@@ -1,0 +1,321 @@
+//! Damage-accumulation aging model.
+//!
+//! Aging is "a synergistic effect" of five mechanisms (paper §II.B). This
+//! module integrates the per-mechanism damage of
+//! [`mechanisms`](self::mechanisms) into an [`AgingState`] and maps total
+//! damage onto observable degradation:
+//!
+//! * **capacity fade** — end-of-life is 80 % of initial capacity at total
+//!   damage 1.0 (paper cites [30]);
+//! * **internal-resistance growth** — drives the round-trip-efficiency drop
+//!   of paper Fig 5;
+//! * **open-circuit-voltage sag** — drives the fully-charged terminal
+//!   voltage drop of paper Fig 3.
+
+mod mechanisms;
+mod stress;
+
+pub use mechanisms::{
+    ActiveMassShedding, GridCorrosion, Mechanism, Stratification, Sulphation, WaterLoss,
+};
+pub use stress::StressSample;
+
+/// Per-mechanism accumulated damage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DamageBreakdown {
+    /// Grid corrosion damage.
+    pub corrosion: f64,
+    /// Active-mass shedding damage.
+    pub shedding: f64,
+    /// Irreversible sulphation damage.
+    pub sulphation: f64,
+    /// Water-loss (drying out) damage.
+    pub water_loss: f64,
+    /// Electrolyte stratification damage.
+    pub stratification: f64,
+}
+
+impl DamageBreakdown {
+    /// Total damage across all mechanisms.
+    pub fn total(&self) -> f64 {
+        self.corrosion + self.shedding + self.sulphation + self.water_loss + self.stratification
+    }
+
+    /// Iterator over `(mechanism name, damage)` pairs, in §II.B order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, f64)> {
+        [
+            ("corrosion", self.corrosion),
+            ("shedding", self.shedding),
+            ("sulphation", self.sulphation),
+            ("water_loss", self.water_loss),
+            ("stratification", self.stratification),
+        ]
+        .into_iter()
+    }
+}
+
+/// The aging model: the five mechanisms plus the damage→degradation
+/// mapping coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingModel {
+    corrosion: GridCorrosion,
+    shedding: ActiveMassShedding,
+    sulphation: Sulphation,
+    water_loss: WaterLoss,
+    stratification: Stratification,
+    /// Capacity fraction lost per unit damage (0.2 ⇒ damage 1.0 = 80 %).
+    capacity_fade_per_damage: f64,
+    /// Relative resistance growth per unit damage.
+    resistance_growth_per_damage: f64,
+    /// Relative open-circuit-voltage sag per unit damage.
+    ocv_sag_per_damage: f64,
+    /// Unit-to-unit aging-rate multiplier (manufacturing variation).
+    rate_multiplier: f64,
+}
+
+impl AgingModel {
+    /// Creates the aging model for a battery with the given nominal
+    /// life-long Ah throughput.
+    pub fn new(lifetime_throughput_ah: f64) -> Self {
+        Self {
+            corrosion: GridCorrosion::default(),
+            shedding: ActiveMassShedding::for_lifetime_throughput(lifetime_throughput_ah),
+            sulphation: Sulphation::default(),
+            water_loss: WaterLoss::default(),
+            stratification: Stratification::default(),
+            capacity_fade_per_damage: 0.20,
+            resistance_growth_per_damage: 1.20,
+            ocv_sag_per_damage: 0.11,
+            rate_multiplier: 1.0,
+        }
+    }
+
+    /// Applies a unit-to-unit manufacturing-variation multiplier to all
+    /// damage rates (paper §IV.B.1: imperfect manufacturing causes aging
+    /// variation).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `multiplier` is not positive and finite.
+    pub fn with_rate_multiplier(mut self, multiplier: f64) -> Self {
+        debug_assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "invalid rate multiplier"
+        );
+        self.rate_multiplier = multiplier;
+        self
+    }
+
+    /// The unit-to-unit aging-rate multiplier.
+    pub fn rate_multiplier(&self) -> f64 {
+        self.rate_multiplier
+    }
+
+    /// Computes the damage increment for one step of stress, broken down by
+    /// mechanism.
+    pub fn incremental_damage(&self, s: &StressSample) -> DamageBreakdown {
+        let m = self.rate_multiplier;
+        DamageBreakdown {
+            corrosion: self.corrosion.incremental_damage(s) * m,
+            shedding: self.shedding.incremental_damage(s) * m,
+            sulphation: self.sulphation.incremental_damage(s) * m,
+            water_loss: self.water_loss.incremental_damage(s) * m,
+            stratification: self.stratification.incremental_damage(s) * m,
+        }
+    }
+}
+
+/// Accumulated aging state of one battery unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingState {
+    model: AgingModel,
+    damage: DamageBreakdown,
+}
+
+impl AgingState {
+    /// A brand-new battery with the given aging model.
+    pub fn new(model: AgingModel) -> Self {
+        Self {
+            model,
+            damage: DamageBreakdown::default(),
+        }
+    }
+
+    /// Integrates one step of stress.
+    pub fn apply(&mut self, s: &StressSample) {
+        let inc = self.model.incremental_damage(s);
+        self.damage.corrosion += inc.corrosion;
+        self.damage.shedding += inc.shedding;
+        self.damage.sulphation += inc.sulphation;
+        self.damage.water_loss += inc.water_loss;
+        self.damage.stratification += inc.stratification;
+    }
+
+    /// Total accumulated damage (1.0 = end-of-life).
+    pub fn total_damage(&self) -> f64 {
+        self.damage.total()
+    }
+
+    /// Per-mechanism damage breakdown.
+    pub fn breakdown(&self) -> &DamageBreakdown {
+        &self.damage
+    }
+
+    /// The aging model in use.
+    pub fn model(&self) -> &AgingModel {
+        &self.model
+    }
+
+    /// Remaining capacity as a fraction of initial capacity.
+    ///
+    /// Linear fade: 1.0 when new, 0.8 at damage 1.0 (end-of-life), floored
+    /// at 0.5 — a battery far past EOL still holds some charge.
+    pub fn capacity_fraction(&self) -> f64 {
+        (1.0 - self.model.capacity_fade_per_damage * self.total_damage()).max(0.5)
+    }
+
+    /// Internal-resistance multiplier relative to the new battery.
+    pub fn resistance_factor(&self) -> f64 {
+        1.0 + self.model.resistance_growth_per_damage * self.total_damage()
+    }
+
+    /// Open-circuit-voltage multiplier relative to the new battery
+    /// (≤ 1.0; drives the Fig 3 fully-charged voltage drop).
+    pub fn ocv_factor(&self) -> f64 {
+        (1.0 - self.model.ocv_sag_per_damage * self.total_damage()).max(0.7)
+    }
+
+    /// `true` once the battery can no longer deliver 80 % of its initial
+    /// capacity — the paper's end-of-life criterion (\[30\]).
+    pub fn is_end_of_life(&self) -> bool {
+        self.total_damage() >= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baat_units::{AmpHours, Amperes, Celsius, SimDuration, Soc};
+
+    fn model() -> AgingModel {
+        AgingModel::new(17_500.0)
+    }
+
+    fn cycling_stress(soc: f64, amps: f64, dt_minutes: u64) -> StressSample {
+        let dt = SimDuration::from_minutes(dt_minutes);
+        let discharged = if amps > 0.0 {
+            Amperes::new(amps) * dt
+        } else {
+            AmpHours::ZERO
+        };
+        StressSample {
+            soc: Soc::new(soc).unwrap(),
+            current: Amperes::new(amps),
+            temperature: Celsius::new(25.0),
+            dt,
+            discharged,
+            charged: AmpHours::ZERO,
+            overcharge: AmpHours::ZERO,
+            capacity: AmpHours::new(35.0),
+            hours_since_full: 4.0,
+        }
+    }
+
+    #[test]
+    fn new_battery_has_no_damage() {
+        let state = AgingState::new(model());
+        assert_eq!(state.total_damage(), 0.0);
+        assert_eq!(state.capacity_fraction(), 1.0);
+        assert_eq!(state.resistance_factor(), 1.0);
+        assert_eq!(state.ocv_factor(), 1.0);
+        assert!(!state.is_end_of_life());
+    }
+
+    #[test]
+    fn damage_accumulates_monotonically() {
+        let mut state = AgingState::new(model());
+        let mut prev = 0.0;
+        for _ in 0..100 {
+            state.apply(&cycling_stress(0.3, 10.0, 10));
+            let d = state.total_damage();
+            assert!(d > prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn eol_at_unit_damage_is_eighty_percent_capacity() {
+        let mut state = AgingState::new(model());
+        // Force damage ≈ 1.0 through massive throughput.
+        while state.total_damage() < 1.0 {
+            state.apply(&cycling_stress(0.2, 30.0, 60));
+        }
+        assert!(state.is_end_of_life());
+        assert!(state.capacity_fraction() <= 0.8 + 1e-6);
+        assert!(state.capacity_fraction() > 0.7);
+    }
+
+    #[test]
+    fn capacity_fraction_floored() {
+        let mut state = AgingState::new(model());
+        for _ in 0..100_000 {
+            state.apply(&cycling_stress(0.1, 35.0, 60));
+            if state.total_damage() > 5.0 {
+                break;
+            }
+        }
+        assert!(state.capacity_fraction() >= 0.5);
+        assert!(state.ocv_factor() >= 0.7);
+    }
+
+    #[test]
+    fn rate_multiplier_scales_damage() {
+        let fast = AgingModel::new(17_500.0).with_rate_multiplier(1.5);
+        let slow = AgingModel::new(17_500.0);
+        let s = cycling_stress(0.3, 10.0, 10);
+        let df = fast.incremental_damage(&s).total();
+        let ds = slow.incremental_damage(&s).total();
+        assert!((df / ds - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_iter_covers_all_mechanisms() {
+        let mut state = AgingState::new(model());
+        state.apply(&cycling_stress(0.2, 10.0, 10));
+        let names: Vec<_> = state.breakdown().iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            [
+                "corrosion",
+                "shedding",
+                "sulphation",
+                "water_loss",
+                "stratification"
+            ]
+        );
+        let total: f64 = state.breakdown().iter().map(|(_, d)| d).sum();
+        assert!((total - state.total_damage()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timestep_invariance_of_time_driven_damage() {
+        // Integrating 1 hour at 10-second steps ≈ one 1-hour step.
+        let m = model();
+        let coarse = {
+            let mut st = AgingState::new(m.clone());
+            st.apply(&cycling_stress(0.2, 2.0, 60));
+            st.total_damage()
+        };
+        let fine = {
+            let mut st = AgingState::new(m);
+            for _ in 0..60 {
+                st.apply(&cycling_stress(0.2, 2.0, 1));
+            }
+            st.total_damage()
+        };
+        assert!(
+            ((coarse - fine) / coarse).abs() < 1e-9,
+            "coarse {coarse} vs fine {fine}"
+        );
+    }
+}

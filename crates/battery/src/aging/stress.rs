@@ -1,0 +1,94 @@
+//! The per-step stress snapshot consumed by the aging mechanisms.
+
+use baat_units::{AmpHours, Amperes, Celsius, SimDuration, Soc};
+
+/// Operating-condition snapshot for one simulation step.
+///
+/// This is the "operating conditions (different voltage, current and
+/// temperature)" input of paper §III: every aging mechanism reads the
+/// stress factors Fig 6 correlates it with from this snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressSample {
+    /// State of charge at the end of the step.
+    pub soc: Soc,
+    /// Battery current during the step (positive = discharge).
+    pub current: Amperes,
+    /// Battery surface temperature during the step.
+    pub temperature: Celsius,
+    /// Step length.
+    pub dt: SimDuration,
+    /// Charge removed from the battery this step (non-negative).
+    pub discharged: AmpHours,
+    /// Charge accepted by the battery this step (non-negative).
+    pub charged: AmpHours,
+    /// Charge pushed in while the battery was already nearly full
+    /// (gassing/overcharge region, non-negative).
+    pub overcharge: AmpHours,
+    /// Nominal capacity, for normalising currents and charges.
+    pub capacity: AmpHours,
+    /// Hours elapsed since the battery last reached full charge.
+    pub hours_since_full: f64,
+}
+
+impl StressSample {
+    /// An idle (zero-current) stress sample, useful as a baseline.
+    pub fn idle(soc: Soc, temperature: Celsius, dt: SimDuration, capacity: AmpHours) -> Self {
+        Self {
+            soc,
+            current: Amperes::ZERO,
+            temperature,
+            dt,
+            discharged: AmpHours::ZERO,
+            charged: AmpHours::ZERO,
+            overcharge: AmpHours::ZERO,
+            capacity,
+            hours_since_full: 0.0,
+        }
+    }
+
+    /// The C-rate of the step: `|I| / capacity` in units of 1/h.
+    pub fn c_rate(&self) -> f64 {
+        self.current.abs().as_f64() / self.capacity.as_f64()
+    }
+
+    /// Step duration in hours.
+    pub fn dt_hours(&self) -> f64 {
+        self.dt.as_hours()
+    }
+
+    /// Temperature acceleration factor (doubles every 10 °C above 20 °C).
+    pub fn arrhenius(&self) -> f64 {
+        self.temperature.arrhenius_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_rate_is_current_over_capacity() {
+        let mut s = StressSample::idle(
+            Soc::new(0.5).unwrap(),
+            Celsius::new(25.0),
+            SimDuration::from_secs(10),
+            AmpHours::new(35.0),
+        );
+        s.current = Amperes::new(17.5);
+        assert!((s.c_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_sample_has_no_charge_motion() {
+        let s = StressSample::idle(
+            Soc::FULL,
+            Celsius::new(20.0),
+            SimDuration::from_minutes(1),
+            AmpHours::new(35.0),
+        );
+        assert_eq!(s.discharged, AmpHours::ZERO);
+        assert_eq!(s.charged, AmpHours::ZERO);
+        assert_eq!(s.overcharge, AmpHours::ZERO);
+        assert!((s.arrhenius() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for battery construction and operation.
+
+/// Errors returned by battery constructors and operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatteryError {
+    /// A specification parameter was invalid.
+    InvalidSpec {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An operation referenced a battery index that does not exist.
+    UnknownBattery {
+        /// The requested index.
+        index: usize,
+        /// The number of batteries in the pack.
+        len: usize,
+    },
+}
+
+impl core::fmt::Display for BatteryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BatteryError::InvalidSpec { field, reason } => {
+                write!(f, "invalid battery spec field `{field}`: {reason}")
+            }
+            BatteryError::UnknownBattery { index, len } => {
+                write!(f, "battery index {index} out of range for pack of {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatteryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let err = BatteryError::InvalidSpec {
+            field: "capacity",
+            reason: "must be positive".to_owned(),
+        };
+        assert!(err.to_string().contains("capacity"));
+    }
+}

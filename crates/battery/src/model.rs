@@ -1,0 +1,646 @@
+//! The dynamic battery model: SoC dynamics, charge acceptance, Peukert
+//! losses, cutoff behaviour, thermal coupling and aging integration.
+
+use baat_units::{
+    AmpHours, Amperes, Celsius, Ohms, SimDuration, SimInstant, Soc, Volts, Watts,
+};
+
+use crate::aging::{AgingModel, AgingState, StressSample};
+use crate::spec::BatterySpec;
+use crate::telemetry::{SensorSample, TelemetryLog};
+use crate::thermal::ThermalModel;
+use crate::voltage::{discharge_current_for_power, open_circuit_voltage, terminal_voltage};
+
+/// SoC at or above which the battery counts as fully recharged.
+const FULL_SOC: f64 = 0.99;
+/// SoC above which accepted charge starts to gas (overcharge region).
+const GASSING_SOC: f64 = 0.90;
+/// Peukert-style penalty gain: extra charge drawn per unit C-rate above
+/// the knee.
+const PEUKERT_GAIN: f64 = 0.12;
+/// C-rate below which discharge is essentially loss-free.
+const PEUKERT_KNEE: f64 = 0.05;
+
+/// What the power infrastructure asks of the battery during one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatteryOp {
+    /// Draw the given power from the battery terminals.
+    Discharge(Watts),
+    /// Push the given power into the battery terminals.
+    Charge(Watts),
+    /// Leave the battery disconnected (self-discharge only).
+    Idle,
+}
+
+/// Outcome of one battery step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepResult {
+    /// Power actually delivered to the load (≤ requested).
+    pub delivered: Watts,
+    /// Power actually absorbed from the charger (≤ offered).
+    pub accepted: Watts,
+    /// Terminal voltage during the step.
+    pub terminal_voltage: Volts,
+    /// Battery current during the step (positive = discharge).
+    pub current: Amperes,
+    /// `true` if the under-voltage/empty cutoff prevented (part of) the
+    /// requested discharge.
+    pub cutoff: bool,
+}
+
+impl StepResult {
+    fn idle(voltage: Volts) -> Self {
+        Self {
+            delivered: Watts::ZERO,
+            accepted: Watts::ZERO,
+            terminal_voltage: voltage,
+            current: Amperes::ZERO,
+            cutoff: false,
+        }
+    }
+}
+
+/// A single sealed lead-acid battery unit with aging.
+///
+/// # Examples
+///
+/// ```
+/// use baat_battery::{Battery, BatteryOp, BatterySpec};
+/// use baat_units::{Celsius, SimDuration, SimInstant, Watts};
+///
+/// let mut battery = Battery::new(BatterySpec::prototype());
+/// let result = battery.step(
+///     BatteryOp::Discharge(Watts::new(60.0)),
+///     Celsius::new(25.0),
+///     SimInstant::START,
+///     SimDuration::from_minutes(10),
+/// );
+/// assert!(result.delivered.as_f64() > 0.0);
+/// assert!(battery.soc() < baat_units::Soc::FULL);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    spec: BatterySpec,
+    aging: AgingState,
+    thermal: ThermalModel,
+    telemetry: TelemetryLog,
+    soc: Soc,
+    hours_since_full: f64,
+    capacity_scale: f64,
+    cutoff_events: u64,
+}
+
+impl Battery {
+    /// Creates a fully charged, brand-new battery.
+    pub fn new(spec: BatterySpec) -> Self {
+        let aging = AgingState::new(AgingModel::new(spec.lifetime_throughput().as_f64()));
+        Self::with_aging(spec, aging, 1.0)
+    }
+
+    /// Creates a battery with explicit aging state and a unit-to-unit
+    /// capacity scale (manufacturing variation; 1.0 = nominal).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `capacity_scale` is not positive and
+    /// finite.
+    pub fn with_aging(spec: BatterySpec, aging: AgingState, capacity_scale: f64) -> Self {
+        debug_assert!(
+            capacity_scale.is_finite() && capacity_scale > 0.0,
+            "invalid capacity scale"
+        );
+        let thermal = ThermalModel::new(
+            spec.ambient(),
+            spec.thermal_resistance(),
+            spec.thermal_time_constant_s(),
+        );
+        Self {
+            spec,
+            aging,
+            thermal,
+            telemetry: TelemetryLog::default(),
+            soc: Soc::FULL,
+            hours_since_full: 0.0,
+            capacity_scale,
+            cutoff_events: 0,
+        }
+    }
+
+    /// The static specification.
+    pub fn spec(&self) -> &BatterySpec {
+        &self.spec
+    }
+
+    /// Current state of charge (relative to the *effective* capacity).
+    pub fn soc(&self) -> Soc {
+        self.soc
+    }
+
+    /// Overrides the state of charge (e.g. to start an experiment from a
+    /// partially charged battery).
+    pub fn set_soc(&mut self, soc: Soc) {
+        self.soc = soc;
+        if soc.value() >= FULL_SOC {
+            self.hours_since_full = 0.0;
+        }
+    }
+
+    /// Effective capacity after aging and manufacturing variation.
+    pub fn effective_capacity(&self) -> AmpHours {
+        self.spec.capacity() * (self.aging.capacity_fraction() * self.capacity_scale)
+    }
+
+    /// Charge currently stored.
+    pub fn stored_charge(&self) -> AmpHours {
+        self.effective_capacity() * self.soc.value()
+    }
+
+    /// Present internal resistance (grows with aging).
+    pub fn internal_resistance(&self) -> Ohms {
+        self.spec.internal_resistance() * self.aging.resistance_factor()
+    }
+
+    /// Present open-circuit voltage.
+    pub fn open_circuit_voltage(&self) -> Volts {
+        open_circuit_voltage(self.spec.nominal_voltage(), self.soc, self.aging.ocv_factor())
+    }
+
+    /// Battery surface temperature.
+    pub fn temperature(&self) -> Celsius {
+        self.thermal.temperature()
+    }
+
+    /// Accumulated aging state.
+    pub fn aging(&self) -> &AgingState {
+        &self.aging
+    }
+
+    /// Telemetry log (sensor samples + usage accumulators).
+    pub fn telemetry(&self) -> &TelemetryLog {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access (for window resets by the controller).
+    pub fn telemetry_mut(&mut self) -> &mut TelemetryLog {
+        &mut self.telemetry
+    }
+
+    /// Number of discharge requests (partially) refused by the cutoff.
+    pub fn cutoff_events(&self) -> u64 {
+        self.cutoff_events
+    }
+
+    /// `true` once effective capacity has fallen to 80 % of initial.
+    pub fn is_end_of_life(&self) -> bool {
+        self.aging.is_end_of_life()
+    }
+
+    /// Hours since the battery last reached full charge.
+    pub fn hours_since_full(&self) -> f64 {
+        self.hours_since_full
+    }
+
+    /// How long the battery could sustain the given terminal power draw
+    /// before running empty — the quantity behind the paper's 2-minute
+    /// emergency-reserve rule (§VI.E, Fig 9's `P_threshold`).
+    ///
+    /// Returns `None` if the battery cannot deliver `power` at all right
+    /// now (cutoff or current limit).
+    pub fn reserve_duration(&self, power: Watts) -> Option<SimDuration> {
+        if power.as_f64() <= 0.0 {
+            return Some(SimDuration::from_days(36_500));
+        }
+        if power > self.available_discharge_power() {
+            return None;
+        }
+        let ocv = self.open_circuit_voltage();
+        let current = discharge_current_for_power(power.as_f64(), ocv, self.internal_resistance())?;
+        if current.as_f64() <= 0.0 {
+            return None;
+        }
+        let hours = self.stored_charge().as_f64() / current.as_f64();
+        Some(SimDuration::from_secs((hours * 3600.0) as u64))
+    }
+
+    /// Maximum power the battery can deliver *right now* without tripping
+    /// the under-voltage cutoff or the maximum discharge current.
+    pub fn available_discharge_power(&self) -> Watts {
+        if self.soc == Soc::EMPTY {
+            return Watts::ZERO;
+        }
+        let ocv = self.open_circuit_voltage();
+        let r = self.internal_resistance();
+        // Current at which terminal voltage hits the cutoff.
+        let i_cutoff = ((ocv - self.spec.cutoff_voltage()).as_f64() / r.as_f64()).max(0.0);
+        let i_max = i_cutoff.min(self.spec.max_discharge_current().as_f64());
+        let i = Amperes::new(i_max);
+        let v = terminal_voltage(ocv, i, r);
+        (i * v).max(Watts::ZERO)
+    }
+
+    /// Synthetically ages the battery to approximately the given total
+    /// damage by applying representative cycling stress, without touching
+    /// telemetry. Used to start experiments from the paper's "old"
+    /// battery stage (§VI.B runs the same comparison in April on new
+    /// batteries and in October on aged ones).
+    ///
+    /// Does nothing if the battery already has at least `target_damage`.
+    pub fn pre_age(&mut self, target_damage: f64) {
+        let stress = StressSample {
+            soc: Soc::saturating(0.55),
+            current: Amperes::new(self.spec.capacity().as_f64() * 0.2),
+            temperature: Celsius::new(27.0),
+            dt: SimDuration::from_hours(1),
+            discharged: AmpHours::new(self.spec.capacity().as_f64() * 0.2),
+            charged: AmpHours::ZERO,
+            overcharge: AmpHours::ZERO,
+            capacity: self.spec.capacity(),
+            hours_since_full: 10.0,
+        };
+        let mut guard = 0u32;
+        while self.aging.total_damage() < target_damage && guard < 1_000_000 {
+            self.aging.apply(&stress);
+            guard += 1;
+        }
+    }
+
+    /// Advances the battery one simulation step.
+    ///
+    /// Applies the requested operation (respecting cutoff, current limits
+    /// and charge acceptance), updates SoC, temperature, telemetry and
+    /// aging, and returns what actually happened.
+    pub fn step(
+        &mut self,
+        op: BatteryOp,
+        ambient: Celsius,
+        now: SimInstant,
+        dt: SimDuration,
+    ) -> StepResult {
+        let mut result = match op {
+            BatteryOp::Discharge(power) => self.apply_discharge(power, dt),
+            BatteryOp::Charge(power) => self.apply_charge(power, dt),
+            BatteryOp::Idle => StepResult::idle(self.open_circuit_voltage()),
+        };
+
+        // Self-discharge applies regardless of operation.
+        let leak = self.spec.self_discharge_per_day() * dt.as_days();
+        self.soc = Soc::saturating(self.soc.value() - leak);
+
+        // Thermal update feeds the aging temperature factor.
+        let temp = self
+            .thermal
+            .step(result.current, self.internal_resistance(), ambient, dt);
+
+        // Track recharge staleness.
+        if self.soc.value() >= FULL_SOC {
+            if self.hours_since_full > 0.0 {
+                self.telemetry.record_full_charge();
+            }
+            self.hours_since_full = 0.0;
+        } else {
+            self.hours_since_full += dt.as_hours();
+        }
+
+        // Aging integration.
+        let (discharged, charged, overcharge) = self.step_charges(&result, dt);
+        let stress = StressSample {
+            soc: self.soc,
+            current: result.current,
+            temperature: temp,
+            dt,
+            discharged,
+            charged,
+            overcharge,
+            capacity: self.spec.capacity(),
+            hours_since_full: self.hours_since_full,
+        };
+        self.aging.apply(&stress);
+
+        // Telemetry.
+        let energy_out = result.delivered * dt;
+        let energy_in = result.accepted * dt;
+        self.telemetry
+            .record(self.soc, result.current, discharged, charged, energy_out, energy_in, dt);
+        self.telemetry.push_sample(SensorSample {
+            at: now,
+            voltage: result.terminal_voltage,
+            current: result.current,
+            temperature: temp,
+            soc: self.soc,
+        });
+
+        // Recompute voltage with post-step SoC for reporting accuracy.
+        result.terminal_voltage = terminal_voltage(
+            self.open_circuit_voltage(),
+            result.current,
+            self.internal_resistance(),
+        );
+        result
+    }
+
+    fn step_charges(
+        &self,
+        result: &StepResult,
+        dt: SimDuration,
+    ) -> (AmpHours, AmpHours, AmpHours) {
+        let i = result.current.as_f64();
+        if i > 0.0 {
+            (Amperes::new(i) * dt, AmpHours::ZERO, AmpHours::ZERO)
+        } else if i < 0.0 {
+            let charged = Amperes::new(-i) * dt;
+            // Charge pushed in past the gassing knee vents as overcharge;
+            // gassing onsets quadratically toward full.
+            let over = if self.soc.value() >= GASSING_SOC {
+                let frac = ((self.soc.value() - GASSING_SOC) / (1.0 - GASSING_SOC)).min(1.0);
+                charged * (frac * frac)
+            } else {
+                AmpHours::ZERO
+            };
+            (AmpHours::ZERO, charged, over)
+        } else {
+            (AmpHours::ZERO, AmpHours::ZERO, AmpHours::ZERO)
+        }
+    }
+
+    fn apply_discharge(&mut self, power: Watts, dt: SimDuration) -> StepResult {
+        if power.as_f64() <= 0.0 {
+            return StepResult::idle(self.open_circuit_voltage());
+        }
+        let ocv = self.open_circuit_voltage();
+        let r = self.internal_resistance();
+        let available = self.available_discharge_power();
+        let mut cutoff = false;
+        let granted = if power > available {
+            cutoff = true;
+            self.cutoff_events += 1;
+            available
+        } else {
+            power
+        };
+        if granted.as_f64() <= 0.0 {
+            return StepResult {
+                cutoff: true,
+                ..StepResult::idle(ocv)
+            };
+        }
+        let current = discharge_current_for_power(granted.as_f64(), ocv, r)
+            .unwrap_or(self.spec.max_discharge_current());
+
+        // Peukert-style rate penalty: high C-rates drain extra charge.
+        let c_rate = current.as_f64() / self.spec.capacity().as_f64();
+        let peukert = 1.0 + PEUKERT_GAIN * ((c_rate - PEUKERT_KNEE).max(0.0) / (1.0 - PEUKERT_KNEE));
+        let drawn = Amperes::new(current.as_f64() * peukert) * dt;
+
+        let capacity = self.effective_capacity();
+        let stored = capacity * self.soc.value();
+        let (actual_drawn, delivered, current, cutoff) = if drawn > stored {
+            // Battery runs empty mid-step: deliver the pro-rated fraction.
+            let frac = stored / drawn;
+            self.cutoff_events += 1;
+            (
+                stored,
+                granted * frac,
+                Amperes::new(current.as_f64() * frac),
+                true,
+            )
+        } else {
+            (drawn, granted, current, cutoff)
+        };
+        self.soc = Soc::saturating(self.soc.value() - actual_drawn / capacity);
+        StepResult {
+            delivered,
+            accepted: Watts::ZERO,
+            terminal_voltage: terminal_voltage(ocv, current, r),
+            current,
+            cutoff,
+        }
+    }
+
+    fn apply_charge(&mut self, power: Watts, dt: SimDuration) -> StepResult {
+        if power.as_f64() <= 0.0 || self.soc.value() >= 1.0 {
+            return StepResult::idle(self.open_circuit_voltage());
+        }
+        let ocv = self.open_circuit_voltage();
+        let r = self.internal_resistance();
+
+        // Charge-acceptance taper: current limit shrinks near full.
+        let headroom = (1.0 - self.soc.value()) / (1.0 - GASSING_SOC);
+        let taper = headroom.min(1.0);
+        let i_limit = self.spec.max_charge_current().as_f64() * taper;
+        if i_limit <= 0.0 {
+            return StepResult::idle(ocv);
+        }
+
+        // Charging terminal voltage is above OCV: V = OCV + I·R.
+        // Solve P = I·(OCV + I·R) for I, then clamp to the acceptance limit.
+        let v = ocv.as_f64();
+        let p = power.as_f64();
+        let i_for_power = (-v + (v * v + 4.0 * r.as_f64() * p).sqrt()) / (2.0 * r.as_f64());
+        let i = i_for_power.min(i_limit);
+        let current = Amperes::new(-i);
+        let v_term = terminal_voltage(ocv, current, r);
+        let accepted = Watts::new(i * v_term.as_f64());
+
+        // Coulombic efficiency: a fraction of the charge becomes heat/gas.
+        let stored_ah = i * dt.as_hours() * self.spec.coulombic_efficiency();
+        let capacity = self.effective_capacity();
+        self.soc = Soc::saturating(self.soc.value() + stored_ah / capacity.as_f64());
+        StepResult {
+            delivered: Watts::ZERO,
+            accepted,
+            terminal_voltage: v_term,
+            current,
+            cutoff: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn battery() -> Battery {
+        Battery::new(BatterySpec::prototype())
+    }
+
+    fn run(b: &mut Battery, op: BatteryOp, steps: u64, dt_secs: u64) -> Vec<StepResult> {
+        let mut now = SimInstant::START;
+        let dt = SimDuration::from_secs(dt_secs);
+        (0..steps)
+            .map(|_| {
+                let r = b.step(op, Celsius::new(25.0), now, dt);
+                now += dt;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn new_battery_is_full_and_healthy() {
+        let b = battery();
+        assert_eq!(b.soc(), Soc::FULL);
+        assert!((b.effective_capacity().as_f64() - 35.0).abs() < 1e-9);
+        assert!(!b.is_end_of_life());
+        assert_eq!(b.cutoff_events(), 0);
+    }
+
+    #[test]
+    fn discharge_reduces_soc_by_coulomb_count() {
+        let mut b = battery();
+        // ~60 W at ~12.5 V ≈ 4.8 A for 1 h ≈ 4.9 Ah of 35 Ah ≈ 14 %.
+        run(&mut b, BatteryOp::Discharge(Watts::new(60.0)), 360, 10);
+        let soc = b.soc().value();
+        assert!((0.80..0.92).contains(&soc), "soc {soc}");
+    }
+
+    #[test]
+    fn charge_restores_soc_with_efficiency_loss() {
+        let mut b = battery();
+        run(&mut b, BatteryOp::Discharge(Watts::new(100.0)), 360, 10);
+        let low = b.soc().value();
+        run(&mut b, BatteryOp::Charge(Watts::new(100.0)), 720, 10);
+        assert!(b.soc().value() > low);
+        // Energy in exceeds energy out for a full round trip.
+        let acc = b.telemetry().lifetime();
+        assert!(acc.energy_in.as_f64() > acc.energy_out.as_f64() * 0.8);
+    }
+
+    #[test]
+    fn deep_discharge_hits_cutoff_not_negative_soc() {
+        let mut b = battery();
+        let results = run(&mut b, BatteryOp::Discharge(Watts::new(300.0)), 2000, 10);
+        assert!(b.soc().value() >= 0.0);
+        assert!(results.iter().any(|r| r.cutoff));
+        assert!(b.cutoff_events() > 0);
+        // Once empty, nothing more is delivered.
+        let last = results.last().unwrap();
+        assert_eq!(last.delivered, Watts::ZERO);
+    }
+
+    #[test]
+    fn terminal_voltage_sags_under_load() {
+        let mut b = battery();
+        let idle_v = b.open_circuit_voltage();
+        let r = run(&mut b, BatteryOp::Discharge(Watts::new(150.0)), 1, 10);
+        assert!(r[0].terminal_voltage < idle_v);
+    }
+
+    #[test]
+    fn charging_voltage_rises_above_ocv() {
+        let mut b = battery();
+        b.set_soc(Soc::new(0.5).unwrap());
+        let ocv = b.open_circuit_voltage();
+        let r = run(&mut b, BatteryOp::Charge(Watts::new(100.0)), 1, 10);
+        assert!(r[0].terminal_voltage > ocv);
+        assert!(r[0].current.as_f64() < 0.0);
+    }
+
+    #[test]
+    fn charge_acceptance_tapers_near_full() {
+        let mut b = battery();
+        b.set_soc(Soc::new(0.5).unwrap());
+        let mid = run(&mut b, BatteryOp::Charge(Watts::new(200.0)), 1, 10)[0].accepted;
+        b.set_soc(Soc::new(0.97).unwrap());
+        let near_full = run(&mut b, BatteryOp::Charge(Watts::new(200.0)), 1, 10)[0].accepted;
+        assert!(near_full < mid * 0.5, "mid {mid} near_full {near_full}");
+    }
+
+    #[test]
+    fn full_battery_accepts_nothing() {
+        let mut b = battery();
+        let r = run(&mut b, BatteryOp::Charge(Watts::new(100.0)), 1, 10);
+        assert_eq!(r[0].accepted, Watts::ZERO);
+    }
+
+    #[test]
+    fn idle_battery_self_discharges_slowly() {
+        let mut b = battery();
+        run(&mut b, BatteryOp::Idle, 24 * 6, 600); // one day in 10-min steps
+        let soc = b.soc().value();
+        assert!(soc < 1.0 && soc > 0.995, "soc {soc}");
+    }
+
+    #[test]
+    fn sustained_cycling_ages_the_battery() {
+        let mut b = battery();
+        // 30 aggressive full-ish cycles.
+        for _ in 0..30 {
+            run(&mut b, BatteryOp::Discharge(Watts::new(200.0)), 90, 60);
+            run(&mut b, BatteryOp::Charge(Watts::new(200.0)), 150, 60);
+        }
+        assert!(b.aging().total_damage() > 0.01);
+        assert!(b.effective_capacity() < AmpHours::new(35.0));
+        assert!(b.internal_resistance() > BatterySpec::prototype().internal_resistance());
+    }
+
+    #[test]
+    fn hours_since_full_resets_on_full_recharge() {
+        let mut b = battery();
+        run(&mut b, BatteryOp::Discharge(Watts::new(100.0)), 60, 60);
+        assert!(b.hours_since_full() > 0.0);
+        run(&mut b, BatteryOp::Charge(Watts::new(150.0)), 600, 60);
+        assert_eq!(b.hours_since_full(), 0.0);
+        assert!(b.telemetry().lifetime().full_charge_events >= 1);
+    }
+
+    #[test]
+    fn reserve_duration_tracks_charge_and_power() {
+        let mut b = battery();
+        // A full 35 Ah battery at ~60 W (≈5 A) lasts ~7 h.
+        let full = b.reserve_duration(Watts::new(60.0)).unwrap();
+        assert!((6.0..8.5).contains(&full.as_hours()), "{full}");
+        // Half charge → roughly half the reserve.
+        b.set_soc(Soc::new(0.5).unwrap());
+        let half = b.reserve_duration(Watts::new(60.0)).unwrap();
+        assert!(half < full);
+        assert!((half.as_hours() * 2.0 - full.as_hours()).abs() < 1.0);
+        // Nearly empty at high power: beyond the 2-minute rule.
+        b.set_soc(Soc::new(0.01).unwrap());
+        // Cutoff may refuse the draw entirely (None) — also fine.
+        if let Some(d) = b.reserve_duration(Watts::new(150.0)) {
+            assert!(d < SimDuration::from_minutes(10), "{d}");
+        }
+        // Zero draw: effectively unbounded.
+        assert!(b.reserve_duration(Watts::ZERO).unwrap() > SimDuration::from_days(1000));
+    }
+
+    #[test]
+    fn undeliverable_power_has_no_reserve() {
+        let b = battery();
+        assert!(b.reserve_duration(Watts::new(50_000.0)).is_none());
+    }
+
+    #[test]
+    fn available_power_drops_with_soc() {
+        let mut b = battery();
+        let full = b.available_discharge_power();
+        b.set_soc(Soc::new(0.2).unwrap());
+        let low = b.available_discharge_power();
+        assert!(low < full);
+        b.set_soc(Soc::EMPTY);
+        assert_eq!(b.available_discharge_power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn aged_battery_stores_less_energy_per_cycle() {
+        // Fig 4's mechanism: effective capacity fades with damage.
+        let spec = BatterySpec::prototype();
+        let mut aged = AgingState::new(AgingModel::new(spec.lifetime_throughput().as_f64()));
+        let stress = StressSample {
+            soc: Soc::new(0.3).unwrap(),
+            current: Amperes::new(10.0),
+            temperature: Celsius::new(30.0),
+            dt: SimDuration::from_hours(1),
+            discharged: AmpHours::new(10.0),
+            charged: AmpHours::ZERO,
+            overcharge: AmpHours::ZERO,
+            capacity: AmpHours::new(35.0),
+            hours_since_full: 12.0,
+        };
+        for _ in 0..400 {
+            aged.apply(&stress);
+        }
+        let b = Battery::with_aging(spec, aged, 1.0);
+        assert!(b.effective_capacity().as_f64() < 35.0 * 0.95);
+    }
+}

@@ -1,0 +1,366 @@
+//! Battery packs with unit-to-unit manufacturing variation.
+//!
+//! The paper (§IV.B.1) attributes aging variation to (1) manufacturing
+//! deviations from nominal specifications and (2) differing per-server
+//! usage. This module models (1): each unit in a pack draws a capacity
+//! scale and an aging-rate multiplier from narrow distributions.
+
+use baat_units::Ohms;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::aging::{AgingModel, AgingState};
+use crate::error::BatteryError;
+use crate::model::Battery;
+use crate::spec::BatterySpec;
+
+/// Spread parameters for unit-to-unit manufacturing variation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationParams {
+    /// Half-width of the uniform capacity spread (e.g. 0.03 = ±3 %).
+    pub capacity_spread: f64,
+    /// Half-width of the uniform internal-resistance spread.
+    pub resistance_spread: f64,
+    /// Half-width of the uniform aging-rate spread.
+    pub aging_rate_spread: f64,
+}
+
+impl Default for VariationParams {
+    fn default() -> Self {
+        Self {
+            capacity_spread: 0.03,
+            resistance_spread: 0.08,
+            aging_rate_spread: 0.10,
+        }
+    }
+}
+
+impl VariationParams {
+    /// No variation: every unit is exactly nominal.
+    pub const NONE: VariationParams = VariationParams {
+        capacity_spread: 0.0,
+        resistance_spread: 0.0,
+        aging_rate_spread: 0.0,
+    };
+
+    fn validate(&self) -> Result<(), BatteryError> {
+        for (field, v) in [
+            ("capacity_spread", self.capacity_spread),
+            ("resistance_spread", self.resistance_spread),
+            ("aging_rate_spread", self.aging_rate_spread),
+        ] {
+            if !(0.0..0.5).contains(&v) {
+                return Err(BatteryError::InvalidSpec {
+                    field,
+                    reason: format!("spread must be in [0, 0.5), got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn draw(&self, rng: &mut StdRng, spread: f64) -> f64 {
+        if spread == 0.0 {
+            1.0
+        } else {
+            rng.random_range(1.0 - spread..=1.0 + spread)
+        }
+    }
+}
+
+/// A group of battery units deployed together (one per server, or a shared
+/// per-rack pool — paper Fig 7 supports both architectures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatteryPack {
+    units: Vec<Battery>,
+}
+
+impl BatteryPack {
+    /// Builds a pack of `count` units from a common spec with seeded
+    /// manufacturing variation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::InvalidSpec`] if `count` is zero or any
+    /// spread is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), baat_battery::BatteryError> {
+    /// use baat_battery::{BatteryPack, BatterySpec, VariationParams};
+    ///
+    /// let pack = BatteryPack::manufacture(
+    ///     BatterySpec::prototype(),
+    ///     6,
+    ///     VariationParams::default(),
+    ///     42,
+    /// )?;
+    /// assert_eq!(pack.len(), 6);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn manufacture(
+        spec: BatterySpec,
+        count: usize,
+        variation: VariationParams,
+        seed: u64,
+    ) -> Result<Self, BatteryError> {
+        if count == 0 {
+            return Err(BatteryError::InvalidSpec {
+                field: "count",
+                reason: "pack must contain at least one battery".to_owned(),
+            });
+        }
+        variation.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let units = (0..count)
+            .map(|_| {
+                let cap_scale = variation.draw(&mut rng, variation.capacity_spread);
+                let r_scale = variation.draw(&mut rng, variation.resistance_spread);
+                let rate = variation.draw(&mut rng, variation.aging_rate_spread);
+                // Per-unit resistance deviation folds into the spec.
+                let unit_spec = {
+                    let mut b = BatterySpec::builder();
+                    b.nominal_voltage(spec.nominal_voltage())
+                        .capacity(spec.capacity())
+                        .internal_resistance(Ohms::new(
+                            spec.internal_resistance().as_f64() * r_scale,
+                        ))
+                        .cutoff_voltage(spec.cutoff_voltage())
+                        .max_charge_current(spec.max_charge_current())
+                        .max_discharge_current(spec.max_discharge_current())
+                        .lifetime_throughput(spec.lifetime_throughput())
+                        .manufacturer(spec.manufacturer())
+                        .coulombic_efficiency(spec.coulombic_efficiency())
+                        .self_discharge_per_day(spec.self_discharge_per_day())
+                        .ambient(spec.ambient());
+                    b.build().expect("derived spec stays valid")
+                };
+                let aging = AgingState::new(
+                    AgingModel::new(unit_spec.lifetime_throughput().as_f64())
+                        .with_rate_multiplier(rate),
+                );
+                Battery::with_aging(unit_spec, aging, cap_scale)
+            })
+            .collect();
+        Ok(Self { units })
+    }
+
+    /// Builds a pack of identical nominal units (no variation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::InvalidSpec`] if `count` is zero.
+    pub fn uniform(spec: BatterySpec, count: usize) -> Result<Self, BatteryError> {
+        Self::manufacture(spec, count, VariationParams::NONE, 0)
+    }
+
+    /// Number of units in the pack.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// `true` if the pack holds no units (never true for constructed
+    /// packs).
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Immutable view of a unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::UnknownBattery`] for an out-of-range index.
+    pub fn unit(&self, index: usize) -> Result<&Battery, BatteryError> {
+        self.units.get(index).ok_or(BatteryError::UnknownBattery {
+            index,
+            len: self.units.len(),
+        })
+    }
+
+    /// Mutable view of a unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::UnknownBattery`] for an out-of-range index.
+    pub fn unit_mut(&mut self, index: usize) -> Result<&mut Battery, BatteryError> {
+        let len = self.units.len();
+        self.units
+            .get_mut(index)
+            .ok_or(BatteryError::UnknownBattery { index, len })
+    }
+
+    /// Iterates over the units.
+    pub fn iter(&self) -> impl Iterator<Item = &Battery> {
+        self.units.iter()
+    }
+
+    /// Iterates mutably over the units.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Battery> {
+        self.units.iter_mut()
+    }
+
+    /// Index of the unit with the highest accumulated damage (the paper's
+    /// "worst battery node").
+    pub fn most_aged(&self) -> usize {
+        self.units
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.aging()
+                    .total_damage()
+                    .total_cmp(&b.aging().total_damage())
+            })
+            .map(|(i, _)| i)
+            .expect("pack is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baat_units::{Celsius, SimDuration, SimInstant, Watts};
+
+    use crate::model::BatteryOp;
+
+    #[test]
+    fn manufacture_is_deterministic_per_seed() {
+        let a = BatteryPack::manufacture(
+            BatterySpec::prototype(),
+            6,
+            VariationParams::default(),
+            7,
+        )
+        .unwrap();
+        let b = BatteryPack::manufacture(
+            BatterySpec::prototype(),
+            6,
+            VariationParams::default(),
+            7,
+        )
+        .unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.effective_capacity(), y.effective_capacity());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_units() {
+        let a = BatteryPack::manufacture(
+            BatterySpec::prototype(),
+            6,
+            VariationParams::default(),
+            1,
+        )
+        .unwrap();
+        let b = BatteryPack::manufacture(
+            BatterySpec::prototype(),
+            6,
+            VariationParams::default(),
+            2,
+        )
+        .unwrap();
+        let same = a
+            .iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.effective_capacity() == y.effective_capacity());
+        assert!(!same);
+    }
+
+    #[test]
+    fn variation_stays_within_spread() {
+        let pack = BatteryPack::manufacture(
+            BatterySpec::prototype(),
+            50,
+            VariationParams::default(),
+            3,
+        )
+        .unwrap();
+        for unit in pack.iter() {
+            let cap = unit.effective_capacity().as_f64();
+            assert!((35.0 * 0.97..=35.0 * 1.03).contains(&cap), "cap {cap}");
+            let rate = unit.aging().model().rate_multiplier();
+            assert!((0.9..=1.1).contains(&rate), "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn uniform_pack_has_identical_units() {
+        let pack = BatteryPack::uniform(BatterySpec::prototype(), 4).unwrap();
+        let cap0 = pack.unit(0).unwrap().effective_capacity();
+        assert!(pack.iter().all(|u| u.effective_capacity() == cap0));
+    }
+
+    #[test]
+    fn empty_pack_is_rejected() {
+        assert!(BatteryPack::uniform(BatterySpec::prototype(), 0).is_err());
+    }
+
+    #[test]
+    fn unknown_index_is_an_error() {
+        let pack = BatteryPack::uniform(BatterySpec::prototype(), 2).unwrap();
+        assert!(matches!(
+            pack.unit(5),
+            Err(BatteryError::UnknownBattery { index: 5, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn most_aged_tracks_heavier_usage() {
+        let mut pack = BatteryPack::uniform(BatterySpec::prototype(), 3).unwrap();
+        let dt = SimDuration::from_minutes(10);
+        let mut now = SimInstant::START;
+        for _ in 0..200 {
+            // Unit 1 works much harder than the others.
+            pack.unit_mut(0)
+                .unwrap()
+                .step(BatteryOp::Discharge(Watts::new(10.0)), Celsius::new(25.0), now, dt);
+            pack.unit_mut(1)
+                .unwrap()
+                .step(BatteryOp::Discharge(Watts::new(150.0)), Celsius::new(25.0), now, dt);
+            pack.unit_mut(2)
+                .unwrap()
+                .step(BatteryOp::Idle, Celsius::new(25.0), now, dt);
+            now += dt;
+        }
+        assert_eq!(pack.most_aged(), 1);
+    }
+
+    #[test]
+    fn aging_rate_variation_produces_aging_spread() {
+        // Identical usage, different units → different damage (paper
+        // §IV.B.1 aging variation).
+        let mut pack = BatteryPack::manufacture(
+            BatterySpec::prototype(),
+            6,
+            VariationParams::default(),
+            11,
+        )
+        .unwrap();
+        let dt = SimDuration::from_minutes(10);
+        let mut now = SimInstant::START;
+        for _ in 0..500 {
+            for unit in pack.iter_mut() {
+                unit.step(BatteryOp::Discharge(Watts::new(80.0)), Celsius::new(25.0), now, dt);
+            }
+            now += dt;
+        }
+        let damages: Vec<f64> = pack.iter().map(|u| u.aging().total_damage()).collect();
+        let min = damages.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = damages.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min * 1.02, "damage spread expected: {damages:?}");
+        // Damage must track the drawn aging-rate multiplier: the
+        // normalized damage (damage / rate) is nearly unit-independent.
+        let normalized: Vec<f64> = pack
+            .iter()
+            .map(|u| u.aging().total_damage() / u.aging().model().rate_multiplier())
+            .collect();
+        let n_min = normalized.iter().cloned().fold(f64::INFINITY, f64::min);
+        let n_max = normalized.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            n_max / n_min < 1.05,
+            "normalized damage should collapse: {normalized:?}"
+        );
+    }
+}

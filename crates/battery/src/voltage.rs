@@ -1,0 +1,128 @@
+//! Open-circuit and terminal voltage models.
+//!
+//! A simplified Shepherd-style model: the open-circuit voltage (OCV) rises
+//! linearly with state of charge, and the terminal voltage adds/subtracts
+//! the ohmic drop across the internal resistance. Aging scales both the
+//! OCV (sag) and the resistance (growth), reproducing the fully-charged
+//! terminal-voltage decline of paper Fig 3.
+
+use baat_units::{Amperes, Ohms, Soc, Volts};
+
+/// Fraction of nominal voltage at 0 % SoC (11.82 V for a 12 V battery).
+const OCV_BASE_FRACTION: f64 = 0.985;
+/// OCV rise from empty to full, as a fraction of nominal voltage.
+const OCV_SPAN_FRACTION: f64 = 0.080;
+
+/// Open-circuit voltage of a lead-acid battery at the given state of
+/// charge.
+///
+/// `ocv_factor` is the aging sag multiplier from
+/// [`AgingState::ocv_factor`](crate::AgingState::ocv_factor) (1.0 when
+/// new).
+///
+/// # Examples
+///
+/// ```
+/// use baat_battery::open_circuit_voltage;
+/// use baat_units::{Soc, Volts};
+///
+/// let full = open_circuit_voltage(Volts::new(12.0), Soc::FULL, 1.0);
+/// let empty = open_circuit_voltage(Volts::new(12.0), Soc::EMPTY, 1.0);
+/// assert!(full > empty);
+/// ```
+pub fn open_circuit_voltage(nominal: Volts, soc: Soc, ocv_factor: f64) -> Volts {
+    nominal * (OCV_BASE_FRACTION + OCV_SPAN_FRACTION * soc.value()) * ocv_factor
+}
+
+/// Terminal voltage under load.
+///
+/// Positive `current` (discharge) pulls the terminal voltage below OCV by
+/// the ohmic drop; negative `current` (charge) pushes it above.
+pub fn terminal_voltage(ocv: Volts, current: Amperes, resistance: Ohms) -> Volts {
+    ocv - current * resistance
+}
+
+/// Solves for the discharge current that delivers `power` at the battery
+/// terminals, accounting for the ohmic drop (`P = I·(OCV − I·R)`).
+///
+/// Returns `None` if the power demand exceeds what the battery can deliver
+/// at any current (past the peak of the power-transfer curve).
+pub fn discharge_current_for_power(
+    power_w: f64,
+    ocv: Volts,
+    resistance: Ohms,
+) -> Option<Amperes> {
+    if power_w <= 0.0 {
+        return Some(Amperes::ZERO);
+    }
+    let v = ocv.as_f64();
+    let r = resistance.as_f64();
+    // I² R − I V + P = 0 ⇒ I = (V − sqrt(V² − 4 R P)) / (2 R)
+    let disc = v * v - 4.0 * r * power_w;
+    if disc < 0.0 {
+        return None;
+    }
+    Some(Amperes::new((v - disc.sqrt()) / (2.0 * r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soc(v: f64) -> Soc {
+        Soc::new(v).unwrap()
+    }
+
+    #[test]
+    fn ocv_rises_with_soc() {
+        let nominal = Volts::new(12.0);
+        let lo = open_circuit_voltage(nominal, soc(0.2), 1.0);
+        let hi = open_circuit_voltage(nominal, soc(0.9), 1.0);
+        assert!(hi > lo);
+        // Physically plausible lead-acid band.
+        assert!(lo.as_f64() > 11.5 && hi.as_f64() < 13.0);
+    }
+
+    #[test]
+    fn aging_sags_ocv() {
+        let nominal = Volts::new(12.0);
+        let new = open_circuit_voltage(nominal, Soc::FULL, 1.0);
+        let aged = open_circuit_voltage(nominal, Soc::FULL, 0.91);
+        assert!((aged.as_f64() / new.as_f64() - 0.91).abs() < 1e-12);
+    }
+
+    #[test]
+    fn terminal_voltage_sags_on_discharge_and_rises_on_charge() {
+        let ocv = Volts::new(12.5);
+        let r = Ohms::new(0.02);
+        let discharging = terminal_voltage(ocv, Amperes::new(10.0), r);
+        let charging = terminal_voltage(ocv, Amperes::new(-10.0), r);
+        assert!(discharging < ocv);
+        assert!(charging > ocv);
+        assert!((discharging.as_f64() - 12.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_solver_matches_power() {
+        let ocv = Volts::new(12.5);
+        let r = Ohms::new(0.02);
+        let i = discharge_current_for_power(100.0, ocv, r).unwrap();
+        let v = terminal_voltage(ocv, i, r);
+        assert!(((i * v).as_f64() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_solver_rejects_impossible_power() {
+        // Peak transferable power is V²/4R ≈ 1953 W here.
+        let ocv = Volts::new(12.5);
+        let r = Ohms::new(0.02);
+        assert!(discharge_current_for_power(5_000.0, ocv, r).is_none());
+        assert!(discharge_current_for_power(1_000.0, ocv, r).is_some());
+    }
+
+    #[test]
+    fn zero_power_needs_zero_current() {
+        let i = discharge_current_for_power(0.0, Volts::new(12.5), Ohms::new(0.02)).unwrap();
+        assert_eq!(i, Amperes::ZERO);
+    }
+}

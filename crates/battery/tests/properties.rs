@@ -1,0 +1,130 @@
+//! Property-based tests for battery invariants.
+
+use baat_battery::{Battery, BatteryOp, BatterySpec, Manufacturer};
+use baat_units::{AmpHours, Celsius, Dod, SimDuration, SimInstant, Soc, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SoC stays in [0, 1] under any operation sequence.
+    #[test]
+    fn soc_always_bounded(ops in proptest::collection::vec((0.0f64..400.0, 0u8..3), 1..200)) {
+        let mut b = Battery::new(BatterySpec::prototype());
+        let dt = SimDuration::from_minutes(5);
+        let mut now = SimInstant::START;
+        for (power, kind) in ops {
+            let op = match kind {
+                0 => BatteryOp::Discharge(Watts::new(power)),
+                1 => BatteryOp::Charge(Watts::new(power)),
+                _ => BatteryOp::Idle,
+            };
+            b.step(op, Celsius::new(25.0), now, dt);
+            now += dt;
+            let soc = b.soc().value();
+            prop_assert!((0.0..=1.0).contains(&soc), "soc {soc}");
+        }
+    }
+
+    /// Damage is monotone non-decreasing and capacity monotone
+    /// non-increasing over any usage.
+    #[test]
+    fn aging_is_irreversible(ops in proptest::collection::vec((0.0f64..400.0, 0u8..3), 1..100)) {
+        let mut b = Battery::new(BatterySpec::prototype());
+        let dt = SimDuration::from_minutes(5);
+        let mut now = SimInstant::START;
+        let mut last_damage = 0.0;
+        let mut last_capacity = b.effective_capacity().as_f64();
+        for (power, kind) in ops {
+            let op = match kind {
+                0 => BatteryOp::Discharge(Watts::new(power)),
+                1 => BatteryOp::Charge(Watts::new(power)),
+                _ => BatteryOp::Idle,
+            };
+            b.step(op, Celsius::new(25.0), now, dt);
+            now += dt;
+            let d = b.aging().total_damage();
+            let c = b.effective_capacity().as_f64();
+            prop_assert!(d >= last_damage, "damage must not heal");
+            prop_assert!(c <= last_capacity + 1e-12, "capacity must not grow");
+            last_damage = d;
+            last_capacity = c;
+        }
+    }
+
+    /// Delivered power never exceeds the request, and accepted power never
+    /// exceeds the offer.
+    #[test]
+    fn power_conservation_at_terminals(power in 0.0f64..500.0, soc0 in 0.05f64..1.0) {
+        let mut b = Battery::new(BatterySpec::prototype());
+        b.set_soc(Soc::new(soc0).unwrap());
+        let dt = SimDuration::from_minutes(1);
+        let d = b.step(BatteryOp::Discharge(Watts::new(power)), Celsius::new(25.0), SimInstant::START, dt);
+        prop_assert!(d.delivered.as_f64() <= power + 1e-9);
+        prop_assert!(d.accepted == Watts::ZERO);
+
+        let mut b2 = Battery::new(BatterySpec::prototype());
+        b2.set_soc(Soc::new(soc0 * 0.9).unwrap());
+        let c = b2.step(BatteryOp::Charge(Watts::new(power)), Celsius::new(25.0), SimInstant::START, dt);
+        prop_assert!(c.accepted.as_f64() <= power + 1e-9);
+        prop_assert!(c.delivered == Watts::ZERO);
+    }
+
+    /// Cumulative telemetry equals the sum of per-step charge motion.
+    #[test]
+    fn telemetry_matches_integrated_current(steps in 1u64..100, power in 10.0f64..200.0) {
+        let mut b = Battery::new(BatterySpec::prototype());
+        let dt = SimDuration::from_minutes(2);
+        let mut now = SimInstant::START;
+        let mut expected = 0.0;
+        for _ in 0..steps {
+            let r = b.step(BatteryOp::Discharge(Watts::new(power)), Celsius::new(25.0), now, dt);
+            if r.current.as_f64() > 0.0 {
+                expected += r.current.as_f64() * dt.as_hours();
+            }
+            now += dt;
+        }
+        let recorded = b.telemetry().lifetime().ah_discharged.as_f64();
+        prop_assert!((recorded - expected).abs() < 1e-6 * expected.max(1.0),
+            "recorded {recorded} expected {expected}");
+    }
+
+    /// Cycle-life curves are monotone decreasing in DoD for every
+    /// manufacturer.
+    #[test]
+    fn cycle_life_monotone(d1 in 0.01f64..1.0, d2 in 0.01f64..1.0) {
+        prop_assume!(d1 < d2);
+        for m in Manufacturer::ALL {
+            let n1 = m.cycles_to_eol(Dod::new(d1).unwrap());
+            let n2 = m.cycles_to_eol(Dod::new(d2).unwrap());
+            prop_assert!(n1 > n2);
+        }
+    }
+
+    /// Terminal voltage under discharge stays below OCV and above zero for
+    /// feasible loads.
+    #[test]
+    fn discharge_voltage_bounded(power in 1.0f64..300.0, soc0 in 0.3f64..1.0) {
+        let mut b = Battery::new(BatterySpec::prototype());
+        b.set_soc(Soc::new(soc0).unwrap());
+        let ocv = b.open_circuit_voltage();
+        let r = b.step(
+            BatteryOp::Discharge(Watts::new(power)),
+            Celsius::new(25.0),
+            SimInstant::START,
+            SimDuration::from_secs(30),
+        );
+        if r.delivered.as_f64() > 0.0 {
+            prop_assert!(r.terminal_voltage < ocv);
+            prop_assert!(r.terminal_voltage.as_f64() > 0.0);
+        }
+    }
+
+    /// Stored charge never exceeds effective capacity.
+    #[test]
+    fn stored_charge_within_capacity(soc0 in 0.0f64..=1.0) {
+        let mut b = Battery::new(BatterySpec::prototype());
+        b.set_soc(Soc::new(soc0).unwrap());
+        prop_assert!(b.stored_charge() <= b.effective_capacity() + AmpHours::new(1e-9));
+    }
+}

@@ -1,0 +1,178 @@
+//! The management console: the reproduction's answer to the prototype's
+//! "software management console built from scratch" (§V.A display
+//! module). Runs one configurable scenario and prints the run summary,
+//! the per-battery aging table, and an event digest; optionally dumps
+//! the trace as CSV for plotting.
+//!
+//! ```text
+//! cargo run --release -p baat-bench --bin console -- \
+//!     --scheme baat --weather cloudy,rainy --seed 7 --old \
+//!     --topology shared:2 --csv trace.csv
+//! ```
+
+use baat_core::Scheme;
+use baat_sim::{BatteryTopology, Event, SimConfig, Simulation};
+use baat_solar::Weather;
+use baat_units::SimDuration;
+
+struct Args {
+    scheme: Scheme,
+    plan: Vec<Weather>,
+    seed: u64,
+    old: bool,
+    topology: BatteryTopology,
+    csv: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: console [--scheme e-buff|baat-s|baat-h|baat] \
+         [--weather sunny,cloudy,rainy] [--seed N] [--old] \
+         [--topology per-server|shared:K] [--csv PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scheme: Scheme::Baat,
+        plan: vec![Weather::Cloudy],
+        seed: 42,
+        old: false,
+        topology: BatteryTopology::PerServer,
+        csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scheme" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.scheme = match v.to_lowercase().as_str() {
+                    "e-buff" | "ebuff" => Scheme::EBuff,
+                    "baat-s" | "baats" => Scheme::BaatS,
+                    "baat-h" | "baath" => Scheme::BaatH,
+                    "baat" => Scheme::Baat,
+                    _ => usage(),
+                };
+            }
+            "--weather" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.plan = v
+                    .split(',')
+                    .map(|w| match w.to_lowercase().as_str() {
+                        "sunny" => Weather::Sunny,
+                        "cloudy" => Weather::Cloudy,
+                        "rainy" => Weather::Rainy,
+                        _ => usage(),
+                    })
+                    .collect();
+                if args.plan.is_empty() {
+                    usage();
+                }
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--old" => args.old = true,
+            "--topology" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.topology = if v == "per-server" {
+                    BatteryTopology::PerServer
+                } else if let Some(k) = v.strip_prefix("shared:") {
+                    BatteryTopology::SharedPool {
+                        pools: k.parse().unwrap_or_else(|_| usage()),
+                    }
+                } else {
+                    usage()
+                };
+            }
+            "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let mut builder = SimConfig::builder();
+    builder
+        .weather_plan(args.plan.clone())
+        .dt(SimDuration::from_secs(30))
+        .sample_every(10)
+        .topology(args.topology)
+        .seed(args.seed);
+    let config = builder.build()?;
+
+    let mut sim = Simulation::new(config)?;
+    if args.old {
+        sim.pre_age_batteries(0.55);
+    }
+    let mut policy = args.scheme.build();
+    let report = sim.run(&mut policy);
+
+    println!("=== BAAT management console ===");
+    println!(
+        "scheme {} | {} day(s): {} | seed {} | {} batteries",
+        report.policy,
+        report.days,
+        args.plan
+            .iter()
+            .map(|w| w.name())
+            .collect::<Vec<_>>()
+            .join(","),
+        args.seed,
+        if args.old { "old" } else { "new" },
+    );
+    println!();
+    println!(
+        "work {:.1} core-h | jobs {} | migrations {} | unserved {} | grid charge {}",
+        report.total_work,
+        report.completed_jobs,
+        report.migrations,
+        report.unserved_energy,
+        report.grid_charge_energy,
+    );
+
+    println!("\nper-node battery table (paper Table 2 view):");
+    println!(
+        "{:<5} {:>8} {:>9} {:>8} {:>7} {:>9} {:>10} {:>9}",
+        "node", "damage", "capacity", "NAT", "CF", "deep <40%", "downtime", "cutoffs"
+    );
+    for n in &report.nodes {
+        println!(
+            "{:<5} {:>8.4} {:>8.1}% {:>8.4} {:>7} {:>9} {:>10} {:>9}",
+            n.node,
+            n.damage,
+            n.capacity_fraction * 100.0,
+            n.lifetime_metrics.nat,
+            n.lifetime_metrics
+                .cf
+                .map_or("—".to_owned(), |v| format!("{v:.2}")),
+            n.deep_discharge_time,
+            n.downtime,
+            n.cutoff_events,
+        );
+    }
+
+    println!("\nevent digest:");
+    let count = |pred: fn(&Event) -> bool| report.events.count(pred);
+    println!(
+        "  shutdowns {}  restarts {}  dvfs changes {}  migrations {}  cutoffs {}  queue overflows {}",
+        count(|e| matches!(e, Event::ServerShutdown { .. })),
+        count(|e| matches!(e, Event::ServerRestart { .. })),
+        count(|e| matches!(e, Event::DvfsChanged { .. })),
+        count(|e| matches!(e, Event::MigrationStarted { .. })),
+        count(|e| matches!(e, Event::BatteryCutoff { .. })),
+        count(|e| matches!(e, Event::PlacementFailed { .. })),
+    );
+
+    if let Some(path) = args.csv {
+        std::fs::write(&path, report.recorder.to_csv())?;
+        println!("\ntrace written to {path} ({} samples)", report.recorder.len());
+    }
+    Ok(())
+}

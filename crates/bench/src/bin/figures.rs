@@ -1,0 +1,128 @@
+//! Regenerates every figure of the paper's measurement and evaluation
+//! sections and prints a markdown report (the source of EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p baat-bench --bin figures [--quick]`
+
+use baat_bench::experiments::{
+    fig03_05, fig10, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19, fig20, fig21, fig22,
+};
+
+const SEED: u64 = 2015; // DSN 2015.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut sections: Vec<(&str, String)> = Vec::new();
+
+    eprintln!("[1/12] Figs 3-5: six-month battery degradation…");
+    let t = if quick {
+        fig03_05::run(2, 10)
+    } else {
+        fig03_05::run_paper()
+    };
+    sections.push(("Figs 3–5 — measured battery degradation", fig03_05::render(&t)));
+
+    eprintln!("[2/12] Fig 10: cycle life vs DoD…");
+    sections.push(("Fig 10 — cycle life vs depth of discharge", {
+        fig10::render(&fig10::run_paper())
+    }));
+
+    eprintln!("[3/12] Fig 12: runtime profiling…");
+    sections.push(("Fig 12 — runtime profiling by weather", {
+        let mut body = fig12::render(&fig12::run(SEED));
+        if !quick {
+            body.push_str(&fig12::render_trajectories(SEED, 0.0015));
+        }
+        body
+    }));
+
+    eprintln!("[4/12] Fig 13: aging comparison matrix…");
+    sections.push(("Fig 13 — aging-metric comparison of the four schemes", {
+        fig13::render(&fig13::run(SEED))
+    }));
+
+    eprintln!("[5/12] Fig 14: lifetime vs sunshine fraction…");
+    let f14 = if quick {
+        fig14::run(&[0.45, 0.75], 4, SEED)
+    } else {
+        fig14::run_paper(SEED)
+    };
+    sections.push(("Fig 14 — lifetime vs solar availability", fig14::render(&f14)));
+
+    eprintln!("[6/12] Fig 15: lifetime vs server-to-battery ratio…");
+    let f15 = if quick {
+        fig15::run(&[2.0, 6.0, 10.0], 3, SEED)
+    } else {
+        fig15::run_paper(SEED)
+    };
+    sections.push(("Fig 15 — lifetime vs server-to-battery ratio", fig15::render(&f15)));
+
+    eprintln!("[7/12] Fig 16: depreciation cost vs slowdown threshold…");
+    let f16 = if quick {
+        fig16::run(&[0.3, 0.5], 3, SEED)
+    } else {
+        fig16::run_paper(SEED)
+    };
+    sections.push(("Fig 16 — annual depreciation cost", fig16::render(&f16)));
+
+    eprintln!("[8/12] Fig 17: scale-out within TCO…");
+    let f17 = if quick {
+        fig17::run(&[0.45, 0.85], 3, SEED)
+    } else {
+        fig17::run_paper(SEED)
+    };
+    sections.push(("Fig 17 — servers addable without raising TCO", fig17::render(&f17)));
+
+    eprintln!("[9/12] Figs 18-19: availability and SoC distribution…");
+    let f1819 = if quick {
+        fig18_19::run(6, SEED)
+    } else {
+        fig18_19::run_paper(SEED)
+    };
+    sections.push(("Figs 18–19 — low-SoC exposure and SoC distribution", {
+        fig18_19::render(&f1819)
+    }));
+
+    eprintln!("[10/12] Fig 20: one-day throughput…");
+    sections.push(("Fig 20 — compute throughput of the four schemes", {
+        fig20::render(&fig20::run_paper(SEED))
+    }));
+
+    eprintln!("[11/12] Fig 21: planned aging vs DoD…");
+    let f21 = if quick {
+        fig21::run(&[0.4, 0.6, 0.9], 2, SEED)
+    } else {
+        fig21::run_paper(SEED)
+    };
+    sections.push(("Fig 21 — performance vs planned DoD", fig21::render(&f21)));
+
+    eprintln!("[12/12] Fig 22: planned aging vs service horizon…");
+    let f22 = if quick {
+        fig22::run(&[300.0, 900.0, 2700.0], 2, SEED)
+    } else {
+        fig22::run_paper(SEED)
+    };
+    sections.push(("Fig 22 — planned-aging benefit vs service horizon", fig22::render(&f22)));
+
+    eprintln!("[+] Table 1: usage scenarios…");
+    let t1 = baat_bench::experiments::table1::run(if quick { 7 } else { 30 }, SEED);
+    sections.push((
+        "Table 1 — battery usage scenarios",
+        baat_bench::experiments::table1::render(&t1),
+    ));
+
+    eprintln!("[+] ablations…");
+    sections.push((
+        "Ablations — reproduction design choices",
+        baat_bench::experiments::ablations::render(SEED),
+    ));
+
+    println!("# BAAT reproduction — regenerated figures\n");
+    println!(
+        "Seed {SEED}; {} parameters. Paper targets quoted inline.\n",
+        if quick { "quick" } else { "full" }
+    );
+    for (title, body) in sections {
+        println!("## {title}\n");
+        println!("{body}");
+    }
+}

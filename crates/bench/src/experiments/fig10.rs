@@ -1,0 +1,121 @@
+//! Figure 10: battery cycle life under varying depth of discharge, for
+//! three manufacturers (Hoppecke, Trojan, UPG).
+//!
+//! The paper's reading: "battery cycle life decreases by 50 % if it is
+//! frequently discharged at a DoD above 50 %".
+
+use baat_battery::Manufacturer;
+use baat_units::Dod;
+
+/// One sweep point: cycle life per manufacturer at one DoD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleLifePoint {
+    /// Depth of discharge in `[0, 1]`.
+    pub dod: f64,
+    /// Cycles to end-of-life for [Hoppecke, Trojan, UPG].
+    pub cycles: [f64; 3],
+}
+
+/// The Fig 10 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleLifeSweep {
+    /// Sweep points, shallow to deep.
+    pub points: Vec<CycleLifePoint>,
+}
+
+impl CycleLifeSweep {
+    /// Ratio of cycle life at deep (≥50 %) vs shallow (25 %) discharge,
+    /// averaged across manufacturers — the paper's headline ~0.5.
+    pub fn deep_shallow_ratio(&self) -> f64 {
+        let at = |target: f64| {
+            self.points
+                .iter()
+                .min_by(|a, b| {
+                    (a.dod - target).abs().total_cmp(&(b.dod - target).abs())
+                })
+                .expect("points non-empty")
+        };
+        let shallow = at(0.25);
+        let deep = at(0.50);
+        (0..3)
+            .map(|i| deep.cycles[i] / shallow.cycles[i])
+            .sum::<f64>()
+            / 3.0
+    }
+}
+
+/// Runs the sweep over `steps` DoD points from 10 % to 90 %.
+pub fn run(steps: usize) -> CycleLifeSweep {
+    let points = (0..steps)
+        .map(|i| {
+            let dod = 0.10 + 0.80 * i as f64 / (steps.max(2) - 1) as f64;
+            let d = Dod::new(dod).expect("sweep stays in range");
+            CycleLifePoint {
+                dod,
+                cycles: [
+                    Manufacturer::Hoppecke.cycles_to_eol(d),
+                    Manufacturer::Trojan.cycles_to_eol(d),
+                    Manufacturer::Upg.cycles_to_eol(d),
+                ],
+            }
+        })
+        .collect();
+    CycleLifeSweep { points }
+}
+
+/// The paper's resolution: seventeen points.
+pub fn run_paper() -> CycleLifeSweep {
+    run(17)
+}
+
+/// Renders the sweep table plus the headline ratio.
+pub fn render(sweep: &CycleLifeSweep) -> String {
+    let rows: Vec<Vec<String>> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.dod * 100.0),
+                format!("{:.0}", p.cycles[0]),
+                format!("{:.0}", p.cycles[1]),
+                format!("{:.0}", p.cycles[2]),
+            ]
+        })
+        .collect();
+    let mut out = crate::table::markdown(&["DoD", "Hoppecke", "Trojan", "UPG"], &rows);
+    out.push_str(&format!(
+        "\ncycle life at 50% vs 25% DoD: {} (paper: ~50%)\n",
+        crate::table::pct(sweep.deep_shallow_ratio())
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_near_half() {
+        let sweep = run_paper();
+        let r = sweep.deep_shallow_ratio();
+        assert!((0.40..0.55).contains(&r), "ratio {r}");
+    }
+
+    #[test]
+    fn manufacturers_keep_fig10_order_everywhere() {
+        for p in &run(9).points {
+            assert!(p.cycles[0] > p.cycles[1]);
+            assert!(p.cycles[1] > p.cycles[2]);
+        }
+    }
+
+    #[test]
+    fn curves_decrease_with_dod() {
+        let sweep = run(9);
+        for pair in sweep.points.windows(2) {
+            for i in 0..3 {
+                assert!(pair[1].cycles[i] < pair[0].cycles[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per paper figure; see DESIGN.md's experiment index.
+
+pub mod ablations;
+pub mod fig03_05;
+pub mod fig10;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18_19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod table1;

@@ -1,0 +1,8 @@
+//! Experiment harness for the BAAT reproduction: one module per paper
+//! figure, shared by the `figures` binary and the Criterion benches.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;

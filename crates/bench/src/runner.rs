@@ -1,0 +1,76 @@
+//! Shared experiment plumbing: standard configurations and scheme runs.
+
+use baat_core::Scheme;
+use baat_sim::{SimConfig, SimReport, Simulation};
+use baat_solar::Weather;
+use baat_units::SimDuration;
+
+/// Pre-aging damage used for the paper's "old" battery stage (§VI.B ran
+/// its aged-battery comparison in October, roughly six months of cycling
+/// after the April setup — about 0.55 damage in our model).
+pub const OLD_BATTERY_DAMAGE: f64 = 0.55;
+
+/// Standard experiment timestep: 30 simulated seconds balances battery
+/// dynamics fidelity against sweep runtime.
+pub const EXPERIMENT_DT: SimDuration = SimDuration::from_secs(30);
+
+/// Builds the standard prototype-day configuration used across
+/// experiments.
+pub fn day_config(weather: Weather, seed: u64) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![weather])
+        .dt(EXPERIMENT_DT)
+        .sample_every(20)
+        .seed(seed);
+    b.build().expect("experiment defaults are valid")
+}
+
+/// Builds a multi-day configuration with the given weather plan.
+pub fn plan_config(plan: Vec<Weather>, seed: u64) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(plan)
+        .dt(EXPERIMENT_DT)
+        .sample_every(40)
+        .seed(seed);
+    b.build().expect("experiment defaults are valid")
+}
+
+/// Runs one scheme on one configuration, optionally pre-aging the
+/// batteries to the "old" stage first.
+pub fn run_scheme(scheme: Scheme, config: SimConfig, pre_age: Option<f64>) -> SimReport {
+    let mut sim = Simulation::new(config).expect("config validated by builder");
+    if let Some(damage) = pre_age {
+        sim.pre_age_batteries(damage);
+    }
+    let mut policy = scheme.build();
+    sim.run(&mut policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_config_is_one_day() {
+        let c = day_config(Weather::Cloudy, 1);
+        assert_eq!(c.days(), 1);
+        assert_eq!(c.dt, EXPERIMENT_DT);
+    }
+
+    #[test]
+    fn run_scheme_produces_report() {
+        let report = run_scheme(Scheme::EBuff, day_config(Weather::Sunny, 2), None);
+        assert_eq!(report.policy, "e-Buff");
+        assert!(report.total_work > 0.0);
+    }
+
+    #[test]
+    fn pre_age_flows_through() {
+        let report = run_scheme(
+            Scheme::EBuff,
+            day_config(Weather::Sunny, 2),
+            Some(OLD_BATTERY_DAMAGE),
+        );
+        assert!(report.mean_damage() >= OLD_BATTERY_DAMAGE);
+    }
+}

@@ -1,0 +1,57 @@
+//! Minimal markdown table rendering for experiment output.
+
+/// Renders a markdown table from a header and rows.
+///
+/// Column counts must match; this is an internal tool, so mismatches
+/// panic rather than silently misalign.
+pub fn markdown(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width mismatch");
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Formats a float with three significant decimals.
+pub fn f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows() {
+        let t = markdown(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let _ = markdown(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(pct(0.2612), "26.1%");
+    }
+}

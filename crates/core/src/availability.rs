@@ -1,0 +1,200 @@
+//! Availability analysis from the battery-aging perspective (paper §VI.E).
+//!
+//! "The key aging factor that directly correlates with server availability
+//! is deep discharge time (DDT). Prior work has shown that datacenter
+//! must leave 2 minutes of reserve capacity in UPS battery for high
+//! availability \[42\]." These helpers extract the Fig 18/19 quantities
+//! from simulation reports.
+
+use baat_sim::SimReport;
+use baat_units::SimDuration;
+
+/// The 2-minute emergency reserve rule from \[42\].
+pub const EMERGENCY_RESERVE: SimDuration = SimDuration::from_minutes(2);
+
+/// Per-policy low-SoC exposure summary (Fig 18).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowSocSummary {
+    /// Worst-node time below 40 % SoC.
+    pub worst: SimDuration,
+    /// Mean per-node time below 40 % SoC.
+    pub mean: SimDuration,
+    /// Worst-node time in the most dangerous bin (SoC < 15 %), the
+    /// single-point-of-failure window.
+    pub worst_critical: SimDuration,
+}
+
+impl LowSocSummary {
+    /// Extracts the summary from a report.
+    pub fn from_report(report: &SimReport) -> Self {
+        let worst = report.worst_low_soc_duration();
+        let total: u64 = report
+            .nodes
+            .iter()
+            .map(|n| n.deep_discharge_time.as_secs())
+            .sum();
+        let mean = if report.nodes.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs(total / report.nodes.len() as u64)
+        };
+        Self {
+            worst,
+            mean,
+            worst_critical: worst_critical_duration(report),
+        }
+    }
+}
+
+/// Relative availability improvement of `improved` over `baseline`, based
+/// on worst-node low-SoC duration (how the paper states "BAAT could
+/// increase battery availability by 47 %").
+///
+/// Returns `None` when the baseline had no low-SoC exposure.
+pub fn availability_improvement(baseline: &SimReport, improved: &SimReport) -> Option<f64> {
+    let base = baseline.worst_low_soc_duration().as_secs() as f64;
+    if base <= 0.0 {
+        return None;
+    }
+    let new = improved.worst_low_soc_duration().as_secs() as f64;
+    Some((base - new) / base)
+}
+
+/// Worst-node time in the critical reserve region (SoC < 15 %, Fig 19's
+/// SoC1 bin) — the single-point-of-failure exposure §VI.E warns about:
+/// below this there is no 2-minute full-power reserve left.
+pub fn worst_critical_duration(report: &SimReport) -> SimDuration {
+    report
+        .nodes
+        .iter()
+        .map(|n| n.soc_histogram[0])
+        .max()
+        .unwrap_or(SimDuration::ZERO)
+}
+
+/// Relative reduction of worst-node critical (<15 % SoC) exposure — the
+/// sharper availability reading of Fig 18.
+///
+/// Returns `None` when the baseline had no critical exposure.
+pub fn critical_improvement(baseline: &SimReport, improved: &SimReport) -> Option<f64> {
+    let base = worst_critical_duration(baseline).as_secs() as f64;
+    if base <= 0.0 {
+        return None;
+    }
+    let new = worst_critical_duration(improved).as_secs() as f64;
+    Some((base - new) / base)
+}
+
+/// Normalized time-weighted SoC distribution over the 7 Fig-19 bins,
+/// aggregated across nodes. Sums to 1 when any time was observed.
+pub fn soc_distribution(report: &SimReport) -> [f64; 7] {
+    let agg = report.aggregate_soc_histogram();
+    let total: f64 = agg.iter().map(|d| d.as_secs() as f64).sum();
+    if total <= 0.0 {
+        return [0.0; 7];
+    }
+    let mut out = [0.0; 7];
+    for (o, d) in out.iter_mut().zip(agg.iter()) {
+        *o = d.as_secs() as f64 / total;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baat_battery::DamageBreakdown;
+    use baat_metrics::{AgingMetrics, BatteryRatings};
+    use baat_sim::{EventLog, NodeReport, Recorder};
+    use baat_units::{AmpHours, WattHours};
+
+    fn node(i: usize, deep_secs: u64, critical_secs: u64) -> NodeReport {
+        let mut hist = [SimDuration::from_secs(100); 7];
+        hist[0] = SimDuration::from_secs(critical_secs);
+        NodeReport {
+            node: i,
+            damage: 0.1,
+            damage_breakdown: DamageBreakdown::default(),
+            capacity_fraction: 0.98,
+            lifetime_metrics: AgingMetrics::from_accumulator(
+                &baat_battery::UsageAccumulator::default(),
+                &BatteryRatings {
+                    capacity: AmpHours::new(35.0),
+                    lifetime_throughput: AmpHours::new(17_500.0),
+                },
+            ),
+            soc_histogram: hist,
+            deep_discharge_time: SimDuration::from_secs(deep_secs),
+            observed: SimDuration::from_hours(10),
+            cutoff_events: 0,
+            downtime: SimDuration::ZERO,
+            full_charge_events: 1,
+            round_trip_efficiency: Some(0.8),
+            work_done: 1.0,
+        }
+    }
+
+    fn report(nodes: Vec<NodeReport>) -> SimReport {
+        SimReport {
+            policy: "t",
+            days: 1,
+            nodes,
+            total_work: 0.0,
+            completed_jobs: 0,
+            migrations: 0,
+            unserved_energy: WattHours::ZERO,
+            curtailed_energy: WattHours::ZERO,
+            grid_charge_energy: WattHours::ZERO,
+            recorder: Recorder::new(),
+            events: EventLog::new(),
+        }
+    }
+
+    #[test]
+    fn summary_extracts_worst_and_mean() {
+        let r = report(vec![node(0, 600, 50), node(1, 1800, 200)]);
+        let s = LowSocSummary::from_report(&r);
+        assert_eq!(s.worst, SimDuration::from_secs(1800));
+        assert_eq!(s.mean, SimDuration::from_secs(1200));
+        assert_eq!(s.worst_critical, SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn improvement_matches_paper_arithmetic() {
+        let base = report(vec![node(0, 2000, 0)]);
+        let improved = report(vec![node(0, 1060, 0)]);
+        let gain = availability_improvement(&base, &improved).unwrap();
+        assert!((gain - 0.47).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_none_without_baseline_exposure() {
+        let base = report(vec![node(0, 0, 0)]);
+        let improved = report(vec![node(0, 0, 0)]);
+        assert!(availability_improvement(&base, &improved).is_none());
+    }
+
+    #[test]
+    fn critical_improvement_uses_the_spof_bin() {
+        let base = report(vec![node(0, 2000, 1000), node(1, 100, 10)]);
+        let improved = report(vec![node(0, 1900, 100), node(1, 100, 0)]);
+        let gain = critical_improvement(&base, &improved).unwrap();
+        assert!((gain - 0.9).abs() < 1e-9);
+        assert_eq!(worst_critical_duration(&base), SimDuration::from_secs(1000));
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let r = report(vec![node(0, 0, 100), node(1, 0, 100)]);
+        let dist = soc_distribution(&r);
+        let sum: f64 = dist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(dist[0] > 0.0);
+    }
+
+    #[test]
+    fn empty_report_distribution_is_zero() {
+        let r = report(vec![]);
+        assert_eq!(soc_distribution(&r), [0.0; 7]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Battery lifetime estimation under a management scheme.
+//!
+//! The paper turns measured aging rates into lifetime claims (Figs 14,
+//! 15): we do the same by simulating a representative window of days,
+//! measuring the damage accumulated per day, and extrapolating to the
+//! end-of-life damage of 1.0 (80 % capacity).
+
+use baat_sim::{run_simulation, SimConfig, SimError, SimReport};
+use baat_solar::{Location, Weather};
+use baat_units::Fraction;
+
+use crate::scheme::Scheme;
+
+/// Outcome of a lifetime estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimeEstimate {
+    /// Days until the *worst* battery node reaches end-of-life — the
+    /// replacement-driving figure.
+    pub worst_days: f64,
+    /// Days until an *average* node reaches end-of-life.
+    pub mean_days: f64,
+    /// Damage accumulated per day by the worst node.
+    pub worst_daily_damage: f64,
+    /// Mean damage accumulated per day across nodes.
+    pub mean_daily_damage: f64,
+}
+
+impl LifetimeEstimate {
+    /// Derives the estimate from a finished simulation report.
+    ///
+    /// Returns `None` if the run accumulated no damage (lifetime would be
+    /// unbounded).
+    pub fn from_report(report: &SimReport) -> Option<Self> {
+        let days = report.days as f64;
+        if days <= 0.0 || report.nodes.is_empty() {
+            return None;
+        }
+        let worst = report.worst_node().damage / days;
+        let mean = report.mean_damage() / days;
+        if worst <= 0.0 || mean <= 0.0 {
+            return None;
+        }
+        Some(Self {
+            worst_days: 1.0 / worst,
+            mean_days: 1.0 / mean,
+            worst_daily_damage: worst,
+            mean_daily_damage: mean,
+        })
+    }
+}
+
+/// Builds a representative weather plan for a site with the given
+/// sunshine fraction (paper Fig 14's x-axis).
+///
+/// The plan is a *deterministic* proportional mixture (largest-remainder
+/// apportionment of sunny/cloudy/rainy days, interleaved), so short
+/// sweep windows still vary smoothly with the sunshine fraction;
+/// stochastic day sequences for long-horizon studies come from
+/// [`Location::sample_days`]. The `seed` rotates the interleaving so
+/// repeated windows are not identical.
+pub fn weather_plan_for_sunshine(sunshine: Fraction, days: usize, seed: u64) -> Vec<Weather> {
+    let probs = Location::new("sweep", sunshine).weather_probabilities();
+    // Largest-remainder apportionment of the day counts.
+    let mut counts: Vec<(Weather, usize, f64)> = probs
+        .iter()
+        .map(|&(w, p)| {
+            let exact = p * days as f64;
+            (w, exact.floor() as usize, exact.fract())
+        })
+        .collect();
+    let mut assigned: usize = counts.iter().map(|(_, c, _)| *c).sum();
+    while assigned < days {
+        let best = counts
+            .iter_mut()
+            .max_by(|a, b| a.2.total_cmp(&b.2))
+            .expect("three classes");
+        best.1 += 1;
+        best.2 = -1.0;
+        assigned += 1;
+    }
+    // Interleave by round-robin over remaining counts, rotated by seed.
+    let mut remaining: Vec<(Weather, usize)> =
+        counts.into_iter().map(|(w, c, _)| (w, c)).collect();
+    let mut plan = Vec::with_capacity(days);
+    let mut idx = seed as usize % 3;
+    while plan.len() < days {
+        let total: usize = remaining.iter().map(|(_, c)| *c).sum();
+        // Pick the class with the largest remaining share, starting from
+        // the rotated index for variety.
+        let mut pick = None;
+        for off in 0..3 {
+            let i = (idx + off) % 3;
+            if remaining[i].1 * 3 > total {
+                pick = Some(i);
+                break;
+            }
+        }
+        let i = pick.unwrap_or_else(|| {
+            remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (_, c))| *c)
+                .map(|(i, _)| i)
+                .expect("three classes")
+        });
+        plan.push(remaining[i].0);
+        remaining[i].1 -= 1;
+        idx = (idx + 1) % 3;
+    }
+    plan
+}
+
+/// Estimates battery lifetime under a scheme for a given configuration
+/// (whose weather plan defines the representative window).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration is rejected.
+///
+/// # Examples
+///
+/// ```no_run
+/// use baat_core::{estimate_lifetime, Scheme};
+/// use baat_sim::SimConfig;
+/// use baat_solar::Weather;
+///
+/// let config = SimConfig::prototype_day(Weather::Cloudy, 42);
+/// let est = estimate_lifetime(Scheme::Baat, config)?.unwrap();
+/// assert!(est.worst_days > 0.0);
+/// # Ok::<(), baat_sim::SimError>(())
+/// ```
+pub fn estimate_lifetime(
+    scheme: Scheme,
+    config: SimConfig,
+) -> Result<Option<LifetimeEstimate>, SimError> {
+    let mut policy = scheme.build();
+    let report = run_simulation(config, &mut policy)?;
+    Ok(LifetimeEstimate::from_report(&report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baat_units::SimDuration;
+
+    fn quick_config(plan: Vec<Weather>) -> SimConfig {
+        let mut b = SimConfig::builder();
+        b.weather_plan(plan)
+            .dt(SimDuration::from_secs(60))
+            .sample_every(30)
+            .seed(11);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lifetime_is_finite_under_cycling() {
+        let est = estimate_lifetime(Scheme::EBuff, quick_config(vec![Weather::Cloudy]))
+            .unwrap()
+            .expect("cycling causes damage");
+        assert!(est.worst_days > 0.0 && est.worst_days.is_finite());
+        assert!(est.worst_days <= est.mean_days);
+    }
+
+    #[test]
+    fn sunnier_weather_extends_lifetime() {
+        let sunny = estimate_lifetime(Scheme::EBuff, quick_config(vec![Weather::Sunny]))
+            .unwrap()
+            .unwrap();
+        let rainy = estimate_lifetime(Scheme::EBuff, quick_config(vec![Weather::Rainy]))
+            .unwrap()
+            .unwrap();
+        assert!(
+            sunny.worst_days > rainy.worst_days,
+            "sunny {} vs rainy {}",
+            sunny.worst_days,
+            rainy.worst_days
+        );
+    }
+
+    #[test]
+    fn weather_plan_respects_sunshine_fraction() {
+        let plan = weather_plan_for_sunshine(Fraction::new(0.8).unwrap(), 1000, 3);
+        let sunny = plan.iter().filter(|w| **w == Weather::Sunny).count();
+        assert!(sunny > 700 && sunny < 900, "sunny days {sunny}");
+    }
+
+    #[test]
+    fn estimate_from_empty_report_is_none() {
+        use baat_sim::{EventLog, Recorder, SimReport};
+        let report = SimReport {
+            policy: "x",
+            days: 1,
+            nodes: vec![],
+            total_work: 0.0,
+            completed_jobs: 0,
+            migrations: 0,
+            unserved_energy: baat_units::WattHours::ZERO,
+            curtailed_energy: baat_units::WattHours::ZERO,
+            grid_charge_energy: baat_units::WattHours::ZERO,
+            recorder: Recorder::new(),
+            events: EventLog::new(),
+        };
+        assert!(LifetimeEstimate::from_report(&report).is_none());
+    }
+}

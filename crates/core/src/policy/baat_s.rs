@@ -1,0 +1,250 @@
+//! BAAT-s (paper Table 4): "only use aging-aware CPU frequency throttling
+//! to slow down battery aging" — the Fig 9 slowdown loop.
+//!
+//! Every control interval the policy checks each node whose battery has
+//! fallen below the deep-discharge threshold. If the window's deep
+//! discharge time (DDT) or discharge rate (DR) exceeds its threshold, the
+//! node's server is throttled one DVFS step to cut demand and "promote
+//! the chances of battery charging to a higher SoC when the intermittent
+//! power supply becomes sufficient again". Once the battery recovers, the
+//! throttle is released one step per interval.
+//!
+//! Unlike full BAAT, BAAT-s never migrates VMs ("a passive solution [that]
+//! leads to workload performance degradation", §VI.B) and places new
+//! workloads without battery awareness.
+
+use baat_sim::{Action, Policy, SystemView};
+use baat_units::Soc;
+use baat_workload::WorkloadKind;
+
+/// Thresholds of the Fig 9 slowdown check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowdownThresholds {
+    /// SoC below which the policy starts watching a node (the paper's
+    /// 40 % deep-discharge line; planned aging substitutes
+    /// `1 − DoD_goal`).
+    pub deep_soc: Soc,
+    /// Window deep-discharge-time fraction that triggers action.
+    pub ddt: f64,
+    /// Window mean discharge C-rate that triggers action.
+    pub dr_c_rate: f64,
+    /// SoC at which the throttle is released.
+    pub recover_soc: Soc,
+}
+
+impl Default for SlowdownThresholds {
+    fn default() -> Self {
+        Self {
+            deep_soc: Soc::DEEP_DISCHARGE_THRESHOLD,
+            ddt: 0.04,
+            dr_c_rate: 0.15,
+            recover_soc: Soc::saturating(0.48),
+        }
+    }
+}
+
+impl SlowdownThresholds {
+    /// `true` if the node's window metrics demand a slowdown.
+    pub fn triggered(&self, soc: Soc, window_ddt: f64, window_dr: f64) -> bool {
+        soc < self.deep_soc && (window_ddt > self.ddt || window_dr > self.dr_c_rate)
+    }
+}
+
+/// Control intervals between successive throttle steps: the paper calls
+/// BAAT-s "a passive solution"; its reaction is deliberately sluggish.
+const THROTTLE_CADENCE: u32 = 3;
+
+/// The slowdown-only policy.
+#[derive(Debug, Clone)]
+pub struct BaatS {
+    thresholds: SlowdownThresholds,
+    since_throttle: u32,
+}
+
+impl Default for BaatS {
+    fn default() -> Self {
+        Self {
+            thresholds: SlowdownThresholds::default(),
+            since_throttle: THROTTLE_CADENCE,
+        }
+    }
+}
+
+impl BaatS {
+    /// Creates the policy with default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the policy with custom thresholds (used by the Fig 16
+    /// threshold sweep).
+    pub fn with_thresholds(thresholds: SlowdownThresholds) -> Self {
+        Self {
+            thresholds,
+            since_throttle: THROTTLE_CADENCE,
+        }
+    }
+
+    /// The active thresholds.
+    pub fn thresholds(&self) -> SlowdownThresholds {
+        self.thresholds
+    }
+}
+
+impl Policy for BaatS {
+    fn name(&self) -> &'static str {
+        "BAAT-s"
+    }
+
+    fn control(&mut self, view: &SystemView) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let may_throttle = self.since_throttle >= THROTTLE_CADENCE;
+        let mut throttled = false;
+        for node in &view.nodes {
+            if !node.online {
+                continue;
+            }
+            let ddt = node.window_metrics.ddt.value();
+            let dr = node.window_metrics.dr.mean_c_rate;
+            if self.thresholds.triggered(node.soc, ddt, dr) {
+                if may_throttle {
+                    if let Some(slower) = node.dvfs.slower() {
+                        actions.push(Action::SetDvfs {
+                            node: node.node,
+                            level: slower,
+                        });
+                        throttled = true;
+                    }
+                }
+            } else if node.soc >= self.thresholds.recover_soc {
+                if let Some(faster) = node.dvfs.faster() {
+                    actions.push(Action::SetDvfs {
+                        node: node.node,
+                        level: faster,
+                    });
+                }
+            }
+        }
+        if throttled {
+            self.since_throttle = 0;
+        } else {
+            self.since_throttle += 1;
+        }
+        actions
+    }
+
+    fn placement_order(&mut self, _kind: WorkloadKind, view: &SystemView) -> Vec<usize> {
+        // Battery-unaware, like e-Buff: the scheme only throttles.
+        (0..view.nodes.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::common::tests_support::{node, plain_node, view_of};
+    use baat_metrics::{AgingMetrics, BatteryRatings, DischargeRate, PartialCycling};
+    use baat_server::DvfsLevel;
+    use baat_units::{AmpHours, Fraction};
+
+    fn stressed_metrics(ddt: f64, dr: f64) -> AgingMetrics {
+        AgingMetrics {
+            nat: 0.1,
+            cf: Some(0.9),
+            pc: PartialCycling {
+                share_by_range: [0.0, 0.0, 0.0, 1.0],
+            },
+            ddt: Fraction::saturating(ddt),
+            dr: DischargeRate {
+                peak_c_rate: dr,
+                mean_c_rate: dr,
+            },
+        }
+    }
+
+    #[allow(dead_code)]
+    fn ratings() -> BatteryRatings {
+        BatteryRatings {
+            capacity: AmpHours::new(35.0),
+            lifetime_throughput: AmpHours::new(17_500.0),
+        }
+    }
+
+    #[test]
+    fn throttles_deep_discharged_high_ddt_node() {
+        let mut p = BaatS::new();
+        let mut n = node(0, stressed_metrics(0.3, 0.1), 0.3, (8, 16));
+        n.window_metrics = stressed_metrics(0.3, 0.1);
+        let v = view_of(vec![n, plain_node(1, 0.9)]);
+        let actions = p.control(&v);
+        assert_eq!(
+            actions,
+            vec![Action::SetDvfs {
+                node: 0,
+                level: DvfsLevel::P1
+            }]
+        );
+    }
+
+    #[test]
+    fn high_dr_alone_also_triggers() {
+        let mut p = BaatS::new();
+        let mut n = node(0, stressed_metrics(0.0, 0.5), 0.3, (8, 16));
+        n.window_metrics = stressed_metrics(0.0, 0.5);
+        let v = view_of(vec![n]);
+        assert!(!p.control(&v).is_empty());
+    }
+
+    #[test]
+    fn healthy_deep_node_is_left_alone() {
+        // Below 40 % SoC but neither DDT nor DR over threshold.
+        let mut p = BaatS::new();
+        let mut n = node(0, stressed_metrics(0.02, 0.1), 0.3, (8, 16));
+        n.window_metrics = stressed_metrics(0.02, 0.1);
+        let v = view_of(vec![n]);
+        assert!(p.control(&v).is_empty());
+    }
+
+    #[test]
+    fn recovery_releases_throttle_stepwise() {
+        let mut p = BaatS::new();
+        let mut n = plain_node(0, 0.8);
+        n.dvfs = DvfsLevel::P3;
+        let v = view_of(vec![n]);
+        let actions = p.control(&v);
+        assert_eq!(
+            actions,
+            vec![Action::SetDvfs {
+                node: 0,
+                level: DvfsLevel::P2
+            }]
+        );
+    }
+
+    #[test]
+    fn mid_band_is_hysteresis_no_action() {
+        // Between deep (40 %) and recover (48 %): hold the level.
+        let mut p = BaatS::new();
+        let mut n = plain_node(0, 0.44);
+        n.dvfs = DvfsLevel::P2;
+        let v = view_of(vec![n]);
+        assert!(p.control(&v).is_empty());
+    }
+
+    #[test]
+    fn offline_nodes_ignored() {
+        let mut p = BaatS::new();
+        let mut n = node(0, stressed_metrics(0.5, 0.5), 0.1, (8, 16));
+        n.window_metrics = stressed_metrics(0.5, 0.5);
+        n.online = false;
+        let v = view_of(vec![n]);
+        assert!(p.control(&v).is_empty());
+    }
+
+    #[test]
+    fn placement_is_battery_unaware() {
+        let mut p = BaatS::new();
+        let v = view_of(vec![plain_node(0, 0.1), plain_node(1, 0.9)]);
+        assert_eq!(p.placement_order(WorkloadKind::KMeans, &v), vec![0, 1]);
+    }
+}

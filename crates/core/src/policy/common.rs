@@ -1,0 +1,244 @@
+//! Shared decision helpers for the Table-4 policies.
+
+use baat_metrics::weighted_aging;
+use baat_server::ServerPowerModel;
+use baat_sim::{NodeView, SystemView, VmView};
+use baat_workload::{DemandClass, VmState, WorkloadKind};
+
+/// Classifies a workload's Table-3 demand class on the configured server
+/// class (paper §IV.B.2.a: power profiling).
+pub fn classify_workload(kind: WorkloadKind, server: &ServerPowerModel) -> DemandClass {
+    kind.profile().classify(server.idle(), server.peak())
+}
+
+/// The Eq-6 weighted aging of one node for a prospective demand class,
+/// computed over lifetime metrics.
+pub fn node_weighted_aging(node: &NodeView, class: DemandClass) -> f64 {
+    weighted_aging(&node.lifetime_metrics, class)
+}
+
+/// Orders all nodes by ascending Eq-6 weighted aging (the Fig 8 placement
+/// rank): least-aged battery first.
+pub fn rank_by_weighted_aging(view: &SystemView, class: DemandClass) -> Vec<usize> {
+    let mut order: Vec<usize> = view.nodes.iter().map(|n| n.node).collect();
+    order.sort_by(|&a, &b| {
+        node_weighted_aging(&view.nodes[a], class)
+            .total_cmp(&node_weighted_aging(&view.nodes[b], class))
+    });
+    order
+}
+
+/// Picks the best migration target for a VM currently on `source`:
+/// the lowest-weighted-aging node that is online, has the resources, and
+/// has a comfortably charged battery. Returns `None` when no node
+/// qualifies (the Fig 9 "VM cannot be migrated due to resource
+/// constraints" branch).
+pub fn best_migration_target(
+    view: &SystemView,
+    source: usize,
+    kind: WorkloadKind,
+    class: DemandClass,
+    min_target_soc: f64,
+) -> Option<usize> {
+    let request = kind.resource_request();
+    rank_by_weighted_aging(view, class)
+        .into_iter()
+        .find(|&candidate| {
+            if candidate == source {
+                return false;
+            }
+            let node = &view.nodes[candidate];
+            node.online
+                && node.soc.value() >= min_target_soc
+                && node.free_resources.0 >= request.0
+                && node.free_resources.1 >= request.1
+        })
+}
+
+/// Selects the most demanding movable (running, non-service) VM on a
+/// node — the one whose departure sheds the most battery load.
+pub fn heaviest_movable_vm(node: &NodeView) -> Option<&VmView> {
+    node.vms
+        .iter()
+        .filter(|vm| vm.state == VmState::Running && !vm.kind.is_service())
+        .max_by(|a, b| {
+            let (ac, _) = a.kind.resource_request();
+            let (bc, _) = b.kind.resource_request();
+            let au = a.kind.mean_utilization().value() * f64::from(ac);
+            let bu = b.kind.mean_utilization().value() * f64::from(bc);
+            au.total_cmp(&bu)
+        })
+}
+
+/// Test scaffolding shared by the policy unit tests.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use baat_battery::UsageAccumulator;
+    use baat_metrics::{AgingMetrics, BatteryRatings};
+    use baat_server::DvfsLevel;
+    use baat_sim::{NodeView, SystemView};
+    use baat_solar::Weather;
+    use baat_units::{
+        AmpHours, Amperes, Fraction, SimDuration, SimInstant, Soc, TimeOfDay, Volts, WattHours,
+        Watts,
+    };
+
+    pub(crate) fn ratings() -> BatteryRatings {
+        BatteryRatings {
+            capacity: AmpHours::new(35.0),
+            lifetime_throughput: AmpHours::new(17_500.0),
+        }
+    }
+
+    /// Builds metrics with the given discharged Ah at the given SoC band.
+    pub(crate) fn metrics(discharged_ah: f64, at_soc: f64) -> AgingMetrics {
+        let mut acc = UsageAccumulator::default();
+        if discharged_ah > 0.0 {
+            let dt = SimDuration::from_hours(1);
+            acc.record(
+                Soc::new(at_soc).unwrap(),
+                Amperes::new(discharged_ah),
+                Amperes::new(discharged_ah) * dt,
+                AmpHours::ZERO,
+                Volts::new(12.0) * Amperes::new(discharged_ah) * dt,
+                WattHours::ZERO,
+                dt,
+            );
+        }
+        AgingMetrics::from_accumulator(&acc, &ratings())
+    }
+
+    pub(crate) fn node(i: usize, m: AgingMetrics, soc: f64, free: (u32, u32)) -> NodeView {
+        NodeView {
+            node: i,
+            soc: Soc::new(soc).unwrap(),
+            window_metrics: m,
+            lifetime_metrics: m,
+            damage: 0.0,
+            capacity_fraction: 1.0,
+            server_power: Watts::new(100.0),
+            utilization: Fraction::HALF,
+            dvfs: DvfsLevel::P0,
+            online: true,
+            free_resources: free,
+            vms: Vec::new(),
+            battery_available: Watts::new(300.0),
+            battery_capacity_wh: 840.0,
+            battery_capacity_ah: 70.0,
+            battery_lifetime_throughput_ah: 35_000.0,
+            soc_floor: Soc::EMPTY,
+            cutoff_events: 0,
+            hours_since_full: 0.0,
+        }
+    }
+
+    /// A healthy idle node at the given SoC.
+    pub(crate) fn plain_node(i: usize, soc: f64) -> NodeView {
+        node(i, metrics(0.0, 0.9), soc, (8, 16))
+    }
+
+    pub(crate) fn view_of(nodes: Vec<NodeView>) -> SystemView {
+        SystemView {
+            now: SimInstant::START,
+            tod: TimeOfDay::NOON,
+            weather: Weather::Sunny,
+            solar: Watts::new(500.0),
+            nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::{metrics, node, view_of as view};
+    use super::*;
+    use baat_server::ServerPowerModel;
+    use baat_workload::{EnergyDemand, PowerDemand, VmId};
+
+    fn class() -> DemandClass {
+        DemandClass {
+            power: PowerDemand::Large,
+            energy: EnergyDemand::More,
+        }
+    }
+
+    #[test]
+    fn software_testing_classifies_large_more() {
+        let c = classify_workload(WorkloadKind::SoftwareTesting, &ServerPowerModel::prototype());
+        assert_eq!(c.power, PowerDemand::Large);
+        assert_eq!(c.energy, EnergyDemand::More);
+    }
+
+    #[test]
+    fn wordcount_is_not_energy_hungry() {
+        let c = classify_workload(WorkloadKind::WordCount, &ServerPowerModel::prototype());
+        assert_eq!(c.energy, EnergyDemand::Less);
+    }
+
+    #[test]
+    fn ranking_prefers_least_used_battery() {
+        let v = view(vec![
+            node(0, metrics(200.0, 0.3), 0.9, (8, 16)),
+            node(1, metrics(10.0, 0.9), 0.9, (8, 16)),
+            node(2, metrics(100.0, 0.5), 0.9, (8, 16)),
+        ]);
+        assert_eq!(rank_by_weighted_aging(&v, class()), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn migration_target_skips_source_and_unfit_nodes() {
+        let v = view(vec![
+            node(0, metrics(200.0, 0.2), 0.2, (8, 16)), // source, stressed
+            node(1, metrics(5.0, 0.9), 0.9, (1, 2)),    // best battery, no room
+            node(2, metrics(50.0, 0.8), 0.8, (8, 16)),  // viable
+        ]);
+        let target =
+            best_migration_target(&v, 0, WorkloadKind::KMeans, class(), 0.6).unwrap();
+        assert_eq!(target, 2);
+    }
+
+    #[test]
+    fn migration_target_requires_charged_battery() {
+        let v = view(vec![
+            node(0, metrics(200.0, 0.2), 0.2, (8, 16)),
+            node(1, metrics(5.0, 0.9), 0.3, (8, 16)), // too discharged
+        ]);
+        assert_eq!(
+            best_migration_target(&v, 0, WorkloadKind::KMeans, class(), 0.6),
+            None
+        );
+    }
+
+    #[test]
+    fn heaviest_movable_vm_skips_services() {
+        let mut n = node(0, metrics(0.0, 0.9), 0.9, (0, 0));
+        n.vms = vec![
+            VmView {
+                id: VmId(1),
+                kind: WorkloadKind::WebServing,
+                state: VmState::Running,
+                progress: 0.2,
+            },
+            VmView {
+                id: VmId(2),
+                kind: WorkloadKind::WordCount,
+                state: VmState::Running,
+                progress: 0.1,
+            },
+            VmView {
+                id: VmId(3),
+                kind: WorkloadKind::SoftwareTesting,
+                state: VmState::Paused,
+                progress: 0.5,
+            },
+        ];
+        let vm = heaviest_movable_vm(&n).unwrap();
+        assert_eq!(vm.id, VmId(2), "services and paused VMs are not movable");
+    }
+
+    #[test]
+    fn no_movable_vm_on_empty_node() {
+        let n = node(0, metrics(0.0, 0.9), 0.9, (8, 16));
+        assert!(heaviest_movable_vm(&n).is_none());
+    }
+}

@@ -1,0 +1,60 @@
+//! The e-Buff baseline (paper Table 4): "aggressively use battery as the
+//! green energy buffer to manage supply/load power variability".
+//!
+//! Modeled on the battery-as-energy-buffer designs of [4, 7]: batteries
+//! bridge every supply/demand gap, placement is battery-unaware
+//! first-fit, and no throttling or migration ever protects a battery. The
+//! engine's default routing is exactly this aggressive usage, so e-Buff
+//! issues no actions.
+
+use baat_sim::{Action, Policy, SystemView};
+use baat_workload::WorkloadKind;
+
+/// The aggressive green-energy-buffer baseline.
+#[derive(Debug, Clone, Default)]
+pub struct EBuff;
+
+impl EBuff {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Policy for EBuff {
+    fn name(&self) -> &'static str {
+        "e-Buff"
+    }
+
+    fn control(&mut self, _view: &SystemView) -> Vec<Action> {
+        Vec::new()
+    }
+
+    fn placement_order(&mut self, _kind: WorkloadKind, view: &SystemView) -> Vec<usize> {
+        // Battery-unaware first-fit by index.
+        (0..view.nodes.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::common::tests_support::{plain_node, view_of};
+
+    #[test]
+    fn never_acts() {
+        let mut p = EBuff::new();
+        let v = view_of(vec![plain_node(0, 0.1), plain_node(1, 0.9)]);
+        assert!(p.control(&v).is_empty());
+    }
+
+    #[test]
+    fn placement_is_index_order_regardless_of_soc() {
+        let mut p = EBuff::new();
+        let v = view_of(vec![plain_node(0, 0.05), plain_node(1, 1.0)]);
+        assert_eq!(
+            p.placement_order(WorkloadKind::SoftwareTesting, &v),
+            vec![0, 1]
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! The Table-4 scheme enumeration.
+
+use baat_sim::Policy;
+
+use crate::policy::{Baat, BaatH, BaatS, EBuff};
+
+/// One of the four battery power-management schemes compared in the
+/// paper's evaluation (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Aggressive green-energy-buffer baseline.
+    EBuff,
+    /// Aging-aware CPU frequency throttling only.
+    BaatS,
+    /// Aging-aware VM migration (hiding) only.
+    BaatH,
+    /// Coordinated hiding + slowing down.
+    Baat,
+}
+
+impl Scheme {
+    /// All four schemes in Table 4's order.
+    pub const ALL: [Scheme; 4] = [Scheme::EBuff, Scheme::BaatS, Scheme::BaatH, Scheme::Baat];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::EBuff => "e-Buff",
+            Scheme::BaatS => "BAAT-s",
+            Scheme::BaatH => "BAAT-h",
+            Scheme::Baat => "BAAT",
+        }
+    }
+
+    /// The Table-4 method description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Scheme::EBuff => {
+                "aggressively use battery as the green energy buffer to manage \
+                 supply/load power variability"
+            }
+            Scheme::BaatS => {
+                "only use aging-aware CPU frequency throttling to slow down battery aging"
+            }
+            Scheme::BaatH => {
+                "only use aging-aware VM migration technique to hide battery aging variation"
+            }
+            Scheme::Baat => {
+                "coordinate hiding and slowing down techniques to dynamically manage \
+                 battery aging"
+            }
+        }
+    }
+
+    /// Instantiates the scheme's policy with default configuration.
+    pub fn build(self) -> Box<dyn Policy> {
+        match self {
+            Scheme::EBuff => Box::new(EBuff::new()),
+            Scheme::BaatS => Box::new(BaatS::new()),
+            Scheme::BaatH => Box::new(BaatH::new()),
+            Scheme::Baat => Box::new(Baat::new()),
+        }
+    }
+}
+
+impl core::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_schemes_with_paper_names() {
+        let names: Vec<_> = Scheme::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["e-Buff", "BAAT-s", "BAAT-h", "BAAT"]);
+    }
+
+    #[test]
+    fn built_policies_report_their_names() {
+        for scheme in Scheme::ALL {
+            assert_eq!(scheme.build().name(), scheme.name());
+        }
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for scheme in Scheme::ALL {
+            assert!(!scheme.description().is_empty());
+        }
+    }
+}

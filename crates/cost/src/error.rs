@@ -1,0 +1,39 @@
+//! Error types for the cost models.
+
+/// Invalid parameter passed to a cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostError {
+    /// A parameter was out of its valid domain.
+    InvalidParameter {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for CostError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CostError::InvalidParameter { field, reason } => {
+                write!(f, "invalid cost parameter `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let err = CostError::InvalidParameter {
+            field: "price",
+            reason: "negative".to_owned(),
+        };
+        assert!(err.to_string().contains("price"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Battery depreciation, ROI and datacenter TCO models for the BAAT
+//! reproduction (paper §VI.D, Figs 16–17).
+//!
+//! * [`BatteryCostModel`] — straight-line battery depreciation over
+//!   measured service life;
+//! * [`TcoModel`] — fleet TCO and the scale-out-within-TCO analysis
+//!   (savings from longer battery life fund more servers, capped by the
+//!   solar power budget).
+//!
+//! # Examples
+//!
+//! ```
+//! use baat_cost::BatteryCostModel;
+//!
+//! let model = BatteryCostModel::prototype();
+//! // BAAT's 69 % lifetime extension cuts annual depreciation:
+//! let saving = model.saving_fraction(365.0, 365.0 * 1.69)?;
+//! assert!(saving > 0.25);
+//! # Ok::<(), baat_cost::CostError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery_cost;
+mod error;
+mod tco;
+
+pub use battery_cost::BatteryCostModel;
+pub use error::CostError;
+pub use tco::TcoModel;

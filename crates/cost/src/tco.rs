@@ -1,0 +1,210 @@
+//! Datacenter TCO and the scale-out-within-TCO analysis (paper §VI.D,
+//! Fig 17).
+//!
+//! "BAAT allows existing green datacenters to expand (scale-out) without
+//! increasing the total cost of ownership (TCO) … the cost savings due to
+//! improved battery life can actually be used to purchase more servers."
+//! The number of servers that can be added is additionally capped by the
+//! available solar power budget, which is why the Fig 17 curve tracks the
+//! sunshine fraction.
+
+use baat_units::{Dollars, Fraction, Watts};
+
+use crate::battery_cost::BatteryCostModel;
+use crate::error::CostError;
+
+/// Per-server annualized cost plus the battery cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcoModel {
+    server_annual: Dollars,
+    battery: BatteryCostModel,
+}
+
+impl TcoModel {
+    /// Creates a model from the annualized per-server cost (capex
+    /// amortization + opex share) and the battery cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidParameter`] if `server_annual` is not
+    /// positive and finite.
+    pub fn new(server_annual: Dollars, battery: BatteryCostModel) -> Result<Self, CostError> {
+        if !(server_annual.as_f64().is_finite() && server_annual.as_f64() > 0.0) {
+            return Err(CostError::InvalidParameter {
+                field: "server_annual",
+                reason: format!("must be positive and finite, got {server_annual}"),
+            });
+        }
+        Ok(Self {
+            server_annual,
+            battery,
+        })
+    }
+
+    /// The prototype economics: commodity servers amortized to $180/yr,
+    /// prototype batteries.
+    pub fn prototype() -> Self {
+        Self::new(Dollars::new(180.0), BatteryCostModel::prototype())
+            .expect("static values are valid")
+    }
+
+    /// Annualized per-server cost.
+    pub fn server_annual(&self) -> Dollars {
+        self.server_annual
+    }
+
+    /// The battery cost model.
+    pub fn battery(&self) -> &BatteryCostModel {
+        &self.battery
+    }
+
+    /// Annual TCO of a fleet of `servers` whose batteries live
+    /// `battery_lifetime_days`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidParameter`] on an invalid lifetime.
+    pub fn annual_tco(
+        &self,
+        servers: usize,
+        battery_lifetime_days: f64,
+    ) -> Result<Dollars, CostError> {
+        let per_battery = self.battery.annual_depreciation(battery_lifetime_days)?;
+        Ok((self.server_annual + per_battery) * servers as f64)
+    }
+
+    /// Servers that can be *added* to a `servers`-node fleet without
+    /// raising annual TCO, funded by the battery-lifetime improvement
+    /// from `baseline_days` to `improved_days`, and capped by the solar
+    /// power budget.
+    ///
+    /// `solar_headroom` is the spare solar power available beyond the
+    /// current fleet's demand; `per_server` the added server's power
+    /// draw. The budget cap reproduces the paper's note that "the actual
+    /// server that can be installed depends on the available solar power
+    /// budget".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidParameter`] on invalid lifetimes.
+    pub fn expandable_servers(
+        &self,
+        servers: usize,
+        baseline_days: f64,
+        improved_days: f64,
+        solar_headroom: Watts,
+        per_server: Watts,
+    ) -> Result<usize, CostError> {
+        let base = self.battery.annual_depreciation(baseline_days)?;
+        let improved = self.battery.annual_depreciation(improved_days)?;
+        let saving_total = (base.as_f64() - improved.as_f64()) * servers as f64;
+        if saving_total <= 0.0 {
+            return Ok(0);
+        }
+        // Each added server costs its annualized price plus its own
+        // battery at the improved lifetime.
+        let marginal = self.server_annual.as_f64() + improved.as_f64();
+        let funded = (saving_total / marginal).floor() as usize;
+        let budget_cap = if per_server.as_f64() > 0.0 {
+            (solar_headroom.as_f64().max(0.0) / per_server.as_f64()).floor() as usize
+        } else {
+            usize::MAX
+        };
+        Ok(funded.min(budget_cap))
+    }
+
+    /// Expansion as a fraction of the existing fleet (the Fig 17 y-axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidParameter`] on invalid lifetimes.
+    pub fn expansion_ratio(
+        &self,
+        servers: usize,
+        baseline_days: f64,
+        improved_days: f64,
+        solar_headroom: Watts,
+        per_server: Watts,
+    ) -> Result<Fraction, CostError> {
+        let added = self.expandable_servers(
+            servers,
+            baseline_days,
+            improved_days,
+            solar_headroom,
+            per_server,
+        )?;
+        Ok(Fraction::saturating(added as f64 / servers.max(1) as f64))
+    }
+}
+
+impl Default for TcoModel {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TcoModel {
+        TcoModel::prototype()
+    }
+
+    #[test]
+    fn tco_scales_with_fleet_size() {
+        let m = model();
+        let one = m.annual_tco(1, 365.0).unwrap();
+        let ten = m.annual_tco(10, 365.0).unwrap();
+        assert!((ten.as_f64() - 10.0 * one.as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_battery_life_lowers_tco() {
+        let m = model();
+        let short = m.annual_tco(6, 365.0).unwrap();
+        let long = m.annual_tco(6, 700.0).unwrap();
+        assert!(long < short);
+    }
+
+    #[test]
+    fn savings_fund_expansion_with_ample_solar() {
+        let m = model();
+        // Large fleet so integer flooring doesn't hide the effect.
+        let added = m
+            .expandable_servers(1000, 365.0, 700.0, Watts::from_kw(50.0), Watts::new(150.0))
+            .unwrap();
+        assert!(added > 0, "improved batteries must fund servers");
+    }
+
+    #[test]
+    fn solar_budget_caps_expansion() {
+        let m = model();
+        let uncapped = m
+            .expandable_servers(1000, 365.0, 700.0, Watts::from_kw(50.0), Watts::new(150.0))
+            .unwrap();
+        let capped = m
+            .expandable_servers(1000, 365.0, 700.0, Watts::new(300.0), Watts::new(150.0))
+            .unwrap();
+        assert!(capped <= 2);
+        assert!(capped < uncapped);
+    }
+
+    #[test]
+    fn no_improvement_no_expansion() {
+        let m = model();
+        let added = m
+            .expandable_servers(100, 365.0, 365.0, Watts::from_kw(10.0), Watts::new(150.0))
+            .unwrap();
+        assert_eq!(added, 0);
+    }
+
+    #[test]
+    fn expansion_ratio_is_fractional() {
+        let m = model();
+        let ratio = m
+            .expansion_ratio(1000, 365.0, 700.0, Watts::from_kw(50.0), Watts::new(150.0))
+            .unwrap();
+        assert!(ratio.value() > 0.0 && ratio.value() < 1.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Cost-model integration tests: the Figs 16/17 arithmetic end-to-end.
+
+use baat_cost::{BatteryCostModel, TcoModel};
+use baat_units::{Dollars, WattHours, Watts};
+
+#[test]
+fn fig16_arithmetic_reproduces_the_paper_saving() {
+    // The paper's 26 % annual-depreciation saving corresponds to a
+    // lifetime extension of 1/(1−0.26) ≈ 1.35×.
+    let model = BatteryCostModel::prototype();
+    let base_days = 365.0;
+    let extended = base_days / (1.0 - 0.26);
+    let saving = model.saving_fraction(base_days, extended).unwrap();
+    assert!((saving - 0.26).abs() < 1e-9);
+}
+
+#[test]
+fn expansion_is_monotone_in_lifetime_improvement() {
+    let tco = TcoModel::prototype();
+    let fleet = 1000;
+    let headroom = Watts::from_kw(30.0);
+    let per_server = Watts::new(130.0);
+    let mut last = 0;
+    for improved in [400.0, 500.0, 700.0, 1000.0] {
+        let n = tco
+            .expandable_servers(fleet, 365.0, improved, headroom, per_server)
+            .unwrap();
+        assert!(n >= last, "expansion must grow with battery life");
+        last = n;
+    }
+    assert!(last > 0);
+}
+
+#[test]
+fn tco_totals_decompose() {
+    let battery = BatteryCostModel::from_energy_price(
+        WattHours::new(840.0),
+        Dollars::new(150.0),
+    )
+    .unwrap();
+    let tco = TcoModel::new(Dollars::new(180.0), battery).unwrap();
+    let total = tco.annual_tco(10, 365.0).unwrap();
+    let per_battery = tco.battery().annual_depreciation(365.0).unwrap();
+    let expected = (180.0 + per_battery.as_f64()) * 10.0;
+    assert!((total.as_f64() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn zero_headroom_means_zero_expansion_regardless_of_savings() {
+    let tco = TcoModel::prototype();
+    let n = tco
+        .expandable_servers(1000, 200.0, 800.0, Watts::ZERO, Watts::new(130.0))
+        .unwrap();
+    assert_eq!(n, 0, "no solar budget, no servers");
+}
+
+#[test]
+fn worse_batteries_cannot_fund_growth() {
+    let tco = TcoModel::prototype();
+    let n = tco
+        .expandable_servers(1000, 500.0, 300.0, Watts::from_kw(100.0), Watts::new(130.0))
+        .unwrap();
+    assert_eq!(n, 0, "a lifetime regression saves nothing");
+}

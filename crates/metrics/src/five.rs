@@ -1,0 +1,259 @@
+//! The five battery-aging metrics of paper §III (Eqs 1–5).
+//!
+//! Each metric is computed from a [`UsageAccumulator`] — the integrals the
+//! prototype's sensors accumulate — plus the battery's static ratings.
+
+use baat_battery::UsageAccumulator;
+use baat_units::{AmpHours, Fraction};
+
+/// Static battery ratings the metrics are normalized by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryRatings {
+    /// Nominal capacity (for C-rate normalization).
+    pub capacity: AmpHours,
+    /// Nominal life-long Ah output, `CAP_nom` in Eq 1.
+    pub lifetime_throughput: AmpHours,
+}
+
+/// Normalized Ah throughput (Eq 1): cumulative discharged charge over the
+/// nominal life-long output. Low for backup-style operation, high for
+/// full cycling; high NAT accelerates active-mass degradation.
+pub fn normalized_ah_throughput(acc: &UsageAccumulator, ratings: &BatteryRatings) -> f64 {
+    acc.ah_discharged.as_f64() / ratings.lifetime_throughput.as_f64()
+}
+
+/// Charge factor (Eq 2): cumulative charge Ah over discharge Ah.
+///
+/// Returns `None` before any discharge. Typical healthy range is
+/// 1–1.3; below it sulphation/stratification dominate, above it
+/// shedding, water loss and corrosion accelerate.
+pub fn charge_factor(acc: &UsageAccumulator) -> Option<f64> {
+    if acc.ah_discharged.as_f64() <= 0.0 {
+        return None;
+    }
+    Some(acc.ah_charged.as_f64() / acc.ah_discharged.as_f64())
+}
+
+/// The healthy charge-factor band from §III.B.
+pub const CHARGE_FACTOR_HEALTHY: core::ops::RangeInclusive<f64> = 1.0..=1.3;
+
+/// Partial cycling (Eqs 3–4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialCycling {
+    /// `PC_X`: share of discharged Ah in each SoC range A–D (Eq 3).
+    pub share_by_range: [f64; 4],
+}
+
+impl PartialCycling {
+    /// Computes the range shares from the accumulator.
+    ///
+    /// With no discharge recorded, all shares are zero.
+    pub fn from_accumulator(acc: &UsageAccumulator) -> Self {
+        let total = acc.ah_discharged.as_f64();
+        let share_by_range = if total <= 0.0 {
+            [0.0; 4]
+        } else {
+            [0, 1, 2, 3].map(|i| acc.ah_discharged_by_range[i].as_f64() / total)
+        };
+        Self { share_by_range }
+    }
+
+    /// The Eq-4 weighted PC value in `[0.25, 1]` (or 0 with no discharge):
+    /// `(PC_A·1 + PC_B·2 + PC_C·3 + PC_D·4) / 4`.
+    ///
+    /// **Higher is worse** — cycling at low SoC weighs 4× cycling near
+    /// full (§III.C: "The higher value of PC will accelerate the battery
+    /// aging").
+    pub fn weighted_value(&self) -> f64 {
+        self.share_by_range
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s * (i as f64 + 1.0))
+            .sum::<f64>()
+            / 4.0
+    }
+
+    /// Share of discharge done at comfortable SoC (ranges A+B).
+    ///
+    /// This is the "PC value" the paper's *evaluation* narrates (higher =
+    /// battery stays at high SoC = healthier); the Eq-4
+    /// [`weighted_value`](Self::weighted_value) moves oppositely.
+    pub fn high_soc_share(&self) -> Fraction {
+        Fraction::saturating(self.share_by_range[0] + self.share_by_range[1])
+    }
+}
+
+/// Deep discharge time (Eq 5): fraction of observed time below 40 % SoC.
+/// Time-based, unlike PC; prolonged low SoC drives irreversible
+/// sulphation and threatens the 2-minute reserve availability rule.
+pub fn deep_discharge_time(acc: &UsageAccumulator) -> Fraction {
+    Fraction::saturating(acc.deep_discharge_fraction())
+}
+
+/// Discharge rate (§III.E), as C-rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DischargeRate {
+    /// Peak discharge C-rate observed (1/h).
+    pub peak_c_rate: f64,
+    /// Mean discharge C-rate while discharging (1/h).
+    pub mean_c_rate: f64,
+}
+
+impl DischargeRate {
+    /// Computes discharge-rate statistics from the accumulator.
+    pub fn from_accumulator(acc: &UsageAccumulator, ratings: &BatteryRatings) -> Self {
+        let cap = ratings.capacity.as_f64();
+        Self {
+            peak_c_rate: acc.peak_discharge.as_f64() / cap,
+            mean_c_rate: acc.mean_discharge_current().as_f64() / cap,
+        }
+    }
+}
+
+/// All five metrics for one battery over one observation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingMetrics {
+    /// Normalized Ah throughput (Eq 1).
+    pub nat: f64,
+    /// Charge factor (Eq 2); `None` before any discharge.
+    pub cf: Option<f64>,
+    /// Partial cycling (Eqs 3–4).
+    pub pc: PartialCycling,
+    /// Deep discharge time fraction (Eq 5).
+    pub ddt: Fraction,
+    /// Discharge-rate statistics (§III.E).
+    pub dr: DischargeRate,
+}
+
+impl AgingMetrics {
+    /// Computes the full metric set from one accumulator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use baat_battery::UsageAccumulator;
+    /// use baat_metrics::{AgingMetrics, BatteryRatings};
+    /// use baat_units::AmpHours;
+    ///
+    /// let ratings = BatteryRatings {
+    ///     capacity: AmpHours::new(35.0),
+    ///     lifetime_throughput: AmpHours::new(17_500.0),
+    /// };
+    /// let metrics = AgingMetrics::from_accumulator(&UsageAccumulator::default(), &ratings);
+    /// assert_eq!(metrics.nat, 0.0);
+    /// assert!(metrics.cf.is_none());
+    /// ```
+    pub fn from_accumulator(acc: &UsageAccumulator, ratings: &BatteryRatings) -> Self {
+        Self {
+            nat: normalized_ah_throughput(acc, ratings),
+            cf: charge_factor(acc),
+            pc: PartialCycling::from_accumulator(acc),
+            ddt: deep_discharge_time(acc),
+            dr: DischargeRate::from_accumulator(acc, ratings),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baat_units::{Amperes, SimDuration, Soc, Volts, WattHours};
+
+    fn ratings() -> BatteryRatings {
+        BatteryRatings {
+            capacity: AmpHours::new(35.0),
+            lifetime_throughput: AmpHours::new(17_500.0),
+        }
+    }
+
+    fn record(acc: &mut UsageAccumulator, soc: f64, amps: f64, secs: u64) {
+        let dt = SimDuration::from_secs(secs);
+        let (dis, chg) = if amps >= 0.0 {
+            (Amperes::new(amps) * dt, AmpHours::ZERO)
+        } else {
+            (AmpHours::ZERO, Amperes::new(-amps) * dt)
+        };
+        acc.record(
+            Soc::new(soc).unwrap(),
+            Amperes::new(amps),
+            dis,
+            chg,
+            (Volts::new(12.0) * Amperes::new(amps.max(0.0))) * dt,
+            WattHours::ZERO,
+            dt,
+        );
+    }
+
+    #[test]
+    fn nat_is_discharge_over_lifetime_throughput() {
+        let mut acc = UsageAccumulator::default();
+        record(&mut acc, 0.7, 17.5, 3600); // 17.5 Ah
+        let nat = normalized_ah_throughput(&acc, &ratings());
+        assert!((nat - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cf_none_until_discharge_then_ratio() {
+        let mut acc = UsageAccumulator::default();
+        record(&mut acc, 0.9, -5.0, 3600);
+        assert_eq!(charge_factor(&acc), None);
+        record(&mut acc, 0.8, 4.0, 3600);
+        let cf = charge_factor(&acc).unwrap();
+        assert!((cf - 1.25).abs() < 1e-12);
+        assert!(CHARGE_FACTOR_HEALTHY.contains(&cf));
+    }
+
+    #[test]
+    fn pc_weighted_range_endpoints() {
+        // All discharge in range A → 0.25; all in range D → 1.0.
+        let mut high = UsageAccumulator::default();
+        record(&mut high, 0.9, 5.0, 3600);
+        let pc_high = PartialCycling::from_accumulator(&high);
+        assert!((pc_high.weighted_value() - 0.25).abs() < 1e-12);
+        assert_eq!(pc_high.high_soc_share(), Fraction::ONE);
+
+        let mut low = UsageAccumulator::default();
+        record(&mut low, 0.1, 5.0, 3600);
+        let pc_low = PartialCycling::from_accumulator(&low);
+        assert!((pc_low.weighted_value() - 1.0).abs() < 1e-12);
+        assert_eq!(pc_low.high_soc_share(), Fraction::ZERO);
+    }
+
+    #[test]
+    fn pc_mixed_discharge_weights_linearly() {
+        let mut acc = UsageAccumulator::default();
+        record(&mut acc, 0.9, 5.0, 3600); // 5 Ah in A (weight 1)
+        record(&mut acc, 0.5, 5.0, 3600); // 5 Ah in C (weight 3)
+        let pc = PartialCycling::from_accumulator(&acc);
+        assert!((pc.weighted_value() - 0.5).abs() < 1e-12); // (0.5·1+0.5·3)/4
+    }
+
+    #[test]
+    fn ddt_counts_time_not_charge() {
+        let mut acc = UsageAccumulator::default();
+        record(&mut acc, 0.2, 0.1, 900); // tiny current, deep, 15 min
+        record(&mut acc, 0.8, 20.0, 2700); // big current, high, 45 min
+        let ddt = deep_discharge_time(&acc);
+        assert!((ddt.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dr_peak_and_mean_c_rates() {
+        let mut acc = UsageAccumulator::default();
+        record(&mut acc, 0.5, 35.0, 600); // 1C for 10 min
+        record(&mut acc, 0.5, 7.0, 600); // 0.2C for 10 min
+        let dr = DischargeRate::from_accumulator(&acc, &ratings());
+        assert!((dr.peak_c_rate - 1.0).abs() < 1e-12);
+        assert!((dr.mean_c_rate - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_metric_set_from_empty_accumulator() {
+        let m = AgingMetrics::from_accumulator(&UsageAccumulator::default(), &ratings());
+        assert_eq!(m.nat, 0.0);
+        assert!(m.cf.is_none());
+        assert_eq!(m.pc.weighted_value(), 0.0);
+        assert_eq!(m.ddt, Fraction::ZERO);
+        assert_eq!(m.dr.peak_c_rate, 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Planned aging: the Eq-7 DoD goal.
+//!
+//! When batteries would outlive the datacenter they serve, BAAT trades the
+//! unusable tail of battery life for present performance by deepening the
+//! allowed depth of discharge (paper §IV.D):
+//!
+//! `DoD_goal = (C_total − C_used) / Cycle_plan × 100 %`
+//!
+//! where `C_total` is the manufacturer's total Ah-throughput rating,
+//! `C_used` the throughput already consumed, and `Cycle_plan` the number
+//! of cycles expected before the planned discard date.
+
+use baat_units::{AmpHours, Dod};
+
+/// Bounds on the planned DoD: never discharge past 90 % (the paper's
+/// "upper bound of battery discharge (i.e., over 90 % DoD)"), never plan
+/// shallower than 5 %.
+pub const DOD_GOAL_RANGE: core::ops::RangeInclusive<f64> = 0.05..=0.90;
+
+/// Inputs to the Eq-7 planned-aging computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedAgingInputs {
+    /// `C_total`: nominal life-long Ah throughput.
+    pub total_throughput: AmpHours,
+    /// `C_used`: Ah throughput already discharged.
+    pub used_throughput: AmpHours,
+    /// Nominal battery capacity (converts per-cycle Ah into a DoD).
+    pub capacity: AmpHours,
+    /// `Cycle_plan`: cycles expected before the planned discard date
+    /// (estimated from the usage log, e.g. one cycle per operating day).
+    pub planned_cycles: f64,
+}
+
+/// Computes the Eq-7 DoD goal, clamped into [`DOD_GOAL_RANGE`].
+///
+/// Returns `None` when `planned_cycles` is not positive or the battery
+/// has no remaining throughput — planned aging is then meaningless and
+/// the caller should fall back to the conservative threshold.
+///
+/// # Examples
+///
+/// ```
+/// use baat_metrics::{dod_goal, PlannedAgingInputs};
+/// use baat_units::AmpHours;
+///
+/// let goal = dod_goal(&PlannedAgingInputs {
+///     total_throughput: AmpHours::new(17_500.0),
+///     used_throughput: AmpHours::new(7_000.0),
+///     capacity: AmpHours::new(35.0),
+///     planned_cycles: 600.0,
+/// })
+/// .unwrap();
+/// // (17500 − 7000) / 600 = 17.5 Ah/cycle = 50 % of 35 Ah.
+/// assert!((goal.value() - 0.5).abs() < 1e-9);
+/// ```
+pub fn dod_goal(inputs: &PlannedAgingInputs) -> Option<Dod> {
+    if inputs.planned_cycles <= 0.0 || !inputs.planned_cycles.is_finite() {
+        return None;
+    }
+    let remaining = inputs.total_throughput.as_f64() - inputs.used_throughput.as_f64();
+    if remaining <= 0.0 {
+        return None;
+    }
+    let ah_per_cycle = remaining / inputs.planned_cycles;
+    let dod = ah_per_cycle / inputs.capacity.as_f64();
+    Some(Dod::saturating(
+        dod.clamp(*DOD_GOAL_RANGE.start(), *DOD_GOAL_RANGE.end()),
+    ))
+}
+
+/// Estimates `Cycle_plan` from a service horizon: operating days remaining
+/// times cycles per day (the paper estimates this "base on the battery
+/// usage log").
+pub fn planned_cycles(days_remaining: f64, cycles_per_day: f64) -> f64 {
+    (days_remaining * cycles_per_day).max(0.0)
+}
+
+/// Estimates the battery's full-equivalent cycles per day from its usage
+/// log — the paper's "estimated base on the battery usage log in
+/// datacenter": cumulative discharged Ah over capacity, per observed day.
+///
+/// Returns `None` until at least one full day has been observed (a
+/// shorter log extrapolates too wildly to plan on).
+pub fn observed_cycles_per_day(
+    acc: &baat_battery::UsageAccumulator,
+    capacity: AmpHours,
+) -> Option<f64> {
+    let days = acc.observed.as_days();
+    if days < 1.0 {
+        return None;
+    }
+    Some(acc.ah_discharged.as_f64() / capacity.as_f64() / days)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(used: f64, cycles: f64) -> PlannedAgingInputs {
+        PlannedAgingInputs {
+            total_throughput: AmpHours::new(17_500.0),
+            used_throughput: AmpHours::new(used),
+            capacity: AmpHours::new(35.0),
+            planned_cycles: cycles,
+        }
+    }
+
+    #[test]
+    fn fresh_battery_long_horizon_gives_shallow_dod() {
+        // 17 500 Ah over 2000 cycles = 8.75 Ah = 25 % DoD.
+        let goal = dod_goal(&inputs(0.0, 2000.0)).unwrap();
+        assert!((goal.value() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_horizon_deepens_dod() {
+        let long = dod_goal(&inputs(0.0, 2000.0)).unwrap();
+        let short = dod_goal(&inputs(0.0, 700.0)).unwrap();
+        assert!(short > long);
+    }
+
+    #[test]
+    fn used_throughput_shrinks_the_goal() {
+        let fresh = dod_goal(&inputs(0.0, 1000.0)).unwrap();
+        let worn = dod_goal(&inputs(10_000.0, 1000.0)).unwrap();
+        assert!(worn < fresh);
+    }
+
+    #[test]
+    fn goal_clamped_to_ninety_percent() {
+        // 17 500 Ah over 100 cycles would be 500 % DoD — clamp to 90 %.
+        let goal = dod_goal(&inputs(0.0, 100.0)).unwrap();
+        assert!((goal.value() - 0.90).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goal_clamped_to_five_percent_floor() {
+        let goal = dod_goal(&inputs(0.0, 1_000_000.0)).unwrap();
+        assert!((goal.value() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_battery_yields_none() {
+        assert!(dod_goal(&inputs(17_500.0, 500.0)).is_none());
+        assert!(dod_goal(&inputs(20_000.0, 500.0)).is_none());
+    }
+
+    #[test]
+    fn invalid_cycle_plan_yields_none() {
+        assert!(dod_goal(&inputs(0.0, 0.0)).is_none());
+        assert!(dod_goal(&inputs(0.0, -5.0)).is_none());
+        assert!(dod_goal(&inputs(0.0, f64::NAN)).is_none());
+    }
+
+    #[test]
+    fn planned_cycles_from_horizon() {
+        assert_eq!(planned_cycles(365.0, 1.0), 365.0);
+        assert_eq!(planned_cycles(-10.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn observed_cycles_need_a_full_day() {
+        use baat_battery::UsageAccumulator;
+        use baat_units::{Amperes, SimDuration, Soc, Volts, WattHours};
+        let mut acc = UsageAccumulator::default();
+        let dt = SimDuration::from_hours(6);
+        acc.record(
+            Soc::new(0.5).unwrap(),
+            Amperes::new(7.0),
+            Amperes::new(7.0) * dt,
+            AmpHours::ZERO,
+            Volts::new(12.0) * Amperes::new(7.0) * dt,
+            WattHours::ZERO,
+            dt,
+        );
+        assert!(observed_cycles_per_day(&acc, AmpHours::new(35.0)).is_none());
+        // Extend past one day of observation.
+        acc.record(
+            Soc::new(0.9).unwrap(),
+            Amperes::ZERO,
+            AmpHours::ZERO,
+            AmpHours::ZERO,
+            WattHours::ZERO,
+            WattHours::ZERO,
+            SimDuration::from_hours(20),
+        );
+        let cpd = observed_cycles_per_day(&acc, AmpHours::new(35.0)).unwrap();
+        // 42 Ah over 35 Ah capacity in 26 h ≈ 1.1 cycles/day.
+        assert!((cpd - 42.0 / 35.0 / (26.0 / 24.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! Three-stage lead-acid battery charger.
+//!
+//! The prototype's controller "can precisely control the battery charger
+//! so that the stored energy reflects the actual solar power supply"
+//! (§V.B). The charger follows the standard lead-acid regime: *bulk*
+//! (full current), *absorption* (tapering toward full), *float*
+//! (maintenance trickle). The taper protects the battery from the
+//! overcharge/water-loss aging path.
+
+use baat_units::{Soc, Watts};
+
+use crate::error::PowerError;
+
+/// Charging stage, determined by state of charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChargeStage {
+    /// Full-power charging below 80 % SoC.
+    Bulk,
+    /// Tapered charging from 80 % up to full.
+    Absorption,
+    /// Maintenance trickle at full charge.
+    Float,
+}
+
+/// A battery charger with a power budget and three-stage control.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Charger {
+    max_power: Watts,
+    /// Conversion efficiency from input bus to battery terminals.
+    efficiency: f64,
+    /// Float trickle as a fraction of max power.
+    float_fraction: f64,
+}
+
+impl Charger {
+    /// Creates a charger with the given maximum output power and
+    /// conversion efficiency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidConfig`] if `max_power` is not
+    /// positive or `efficiency` is outside `(0, 1]`.
+    pub fn new(max_power: Watts, efficiency: f64) -> Result<Self, PowerError> {
+        if !(max_power.as_f64().is_finite() && max_power.as_f64() > 0.0) {
+            return Err(PowerError::InvalidConfig {
+                field: "max_power",
+                reason: format!("must be positive and finite, got {max_power}"),
+            });
+        }
+        if !(efficiency > 0.0 && efficiency <= 1.0) {
+            return Err(PowerError::InvalidConfig {
+                field: "efficiency",
+                reason: format!("must be in (0, 1], got {efficiency}"),
+            });
+        }
+        Ok(Self {
+            max_power,
+            efficiency,
+            float_fraction: 0.02,
+        })
+    }
+
+    /// The prototype charger: 240 W per battery node (two 35 Ah units in
+    /// parallel charge at C/4) at 93 % efficiency.
+    pub fn prototype() -> Self {
+        Self::new(Watts::new(240.0), 0.93).expect("static values are valid")
+    }
+
+    /// Maximum output power.
+    pub fn max_power(&self) -> Watts {
+        self.max_power
+    }
+
+    /// Conversion efficiency.
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// The stage for a battery at the given SoC.
+    pub fn stage(&self, soc: Soc) -> ChargeStage {
+        if soc.value() >= 0.99 {
+            ChargeStage::Float
+        } else if soc.value() >= 0.80 {
+            ChargeStage::Absorption
+        } else {
+            ChargeStage::Bulk
+        }
+    }
+
+    fn stage_scale(&self, soc: Soc) -> f64 {
+        match self.stage(soc) {
+            ChargeStage::Bulk => 1.0,
+            ChargeStage::Absorption => {
+                let span = (0.99 - soc.value()) / (0.99 - 0.80);
+                self.float_fraction + (1.0 - self.float_fraction) * span.clamp(0.0, 1.0)
+            }
+            ChargeStage::Float => self.float_fraction,
+        }
+    }
+
+    /// Maximum input-bus power the charger will usefully absorb at the
+    /// given SoC (before conversion loss). The power switcher uses this to
+    /// decide how much surplus solar to send versus curtail.
+    pub fn acceptance(&self, soc: Soc) -> Watts {
+        self.max_power * self.stage_scale(soc)
+    }
+
+    /// Power delivered to the battery terminals given `available` input
+    /// power and the battery's SoC.
+    ///
+    /// Bulk passes everything up to the rating; absorption tapers the
+    /// current limit linearly toward the float trickle at full; float
+    /// holds the trickle. Conversion efficiency applies once here.
+    pub fn charge_power(&self, soc: Soc, available: Watts) -> Watts {
+        available
+            .max(Watts::ZERO)
+            .min(self.acceptance(soc))
+            * self.efficiency
+    }
+}
+
+impl Default for Charger {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soc(v: f64) -> Soc {
+        Soc::new(v).unwrap()
+    }
+
+    #[test]
+    fn stages_by_soc() {
+        let c = Charger::prototype();
+        assert_eq!(c.stage(soc(0.3)), ChargeStage::Bulk);
+        assert_eq!(c.stage(soc(0.85)), ChargeStage::Absorption);
+        assert_eq!(c.stage(soc(1.0)), ChargeStage::Float);
+    }
+
+    #[test]
+    fn bulk_passes_full_power_with_efficiency() {
+        let c = Charger::prototype();
+        let p = c.charge_power(soc(0.3), Watts::new(100.0));
+        assert!((p.as_f64() - 93.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charger_rating_caps_input() {
+        let c = Charger::prototype();
+        let p = c.charge_power(soc(0.3), Watts::new(1_000.0));
+        assert!((p.as_f64() - 240.0 * 0.93).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorption_tapers_monotonically() {
+        let c = Charger::prototype();
+        let mut prev = f64::INFINITY;
+        for s in [0.80, 0.85, 0.90, 0.95, 0.98] {
+            let p = c.charge_power(soc(s), Watts::new(240.0)).as_f64();
+            assert!(p < prev, "taper must be monotone at soc {s}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn float_is_a_trickle() {
+        let c = Charger::prototype();
+        let p = c.charge_power(soc(1.0), Watts::new(120.0));
+        assert!(p.as_f64() < 120.0 * 0.05);
+        assert!(p.as_f64() > 0.0);
+    }
+
+    #[test]
+    fn negative_available_power_yields_zero() {
+        let c = Charger::prototype();
+        assert_eq!(c.charge_power(soc(0.5), Watts::new(-10.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Charger::new(Watts::ZERO, 0.9).is_err());
+        assert!(Charger::new(Watts::new(100.0), 0.0).is_err());
+        assert!(Charger::new(Watts::new(100.0), 1.5).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Error types for the power infrastructure.
+
+/// Configuration failure in the power infrastructure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for PowerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PowerError::InvalidConfig { field, reason } => {
+                write!(f, "invalid power config field `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let err = PowerError::InvalidConfig {
+            field: "efficiency",
+            reason: "zero".to_owned(),
+        };
+        assert!(err.to_string().contains("efficiency"));
+    }
+}

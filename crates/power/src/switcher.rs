@@ -1,0 +1,208 @@
+//! The power switcher: routes solar, battery and utility power to one
+//! server node.
+//!
+//! Models the prototype's "power switch controller included some PLC,
+//! relays and DC-AC inverter to switch the power sources among utility,
+//! renewable power or battery power" (§V.A). Routing priority for a green
+//! node: solar feeds the load first; shortfall draws from the battery
+//! (through the inverter); surplus solar charges the battery; anything the
+//! battery cannot cover is *unserved* (triggering checkpoint or, if
+//! permitted, a utility fallback).
+
+use baat_units::Watts;
+
+use crate::error::PowerError;
+
+/// How one node's demand was met during a step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Routing {
+    /// Load power served directly from solar.
+    pub solar_to_load: Watts,
+    /// Load power served from the battery (at the terminals, before
+    /// inverter loss).
+    pub battery_to_load: Watts,
+    /// Solar surplus offered to the charger (input-bus side).
+    pub surplus_to_charger: Watts,
+    /// Demand that could not be met (load must shed or checkpoint).
+    pub unserved: Watts,
+    /// Solar energy with nowhere to go (battery full, load met).
+    pub curtailed: Watts,
+}
+
+/// The per-node power switcher with conversion losses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSwitcher {
+    /// DC→AC inverter efficiency on the battery-discharge path.
+    inverter_efficiency: f64,
+}
+
+impl PowerSwitcher {
+    /// Creates a switcher with the given inverter efficiency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidConfig`] if `inverter_efficiency` is
+    /// outside `(0, 1]`.
+    pub fn new(inverter_efficiency: f64) -> Result<Self, PowerError> {
+        if !(inverter_efficiency > 0.0 && inverter_efficiency <= 1.0) {
+            return Err(PowerError::InvalidConfig {
+                field: "inverter_efficiency",
+                reason: format!("must be in (0, 1], got {inverter_efficiency}"),
+            });
+        }
+        Ok(Self {
+            inverter_efficiency,
+        })
+    }
+
+    /// The prototype inverter: 92 % efficient.
+    pub fn prototype() -> Self {
+        Self::new(0.92).expect("static value is valid")
+    }
+
+    /// Inverter efficiency on the battery path.
+    pub fn inverter_efficiency(&self) -> f64 {
+        self.inverter_efficiency
+    }
+
+    /// Battery terminal power needed to serve `load` watts at the AC bus.
+    pub fn battery_draw_for_load(&self, load: Watts) -> Watts {
+        Watts::new(load.as_f64() / self.inverter_efficiency)
+    }
+
+    /// Routes one step of power for a node.
+    ///
+    /// * `demand` — server load power;
+    /// * `solar` — solar power allocated to this node;
+    /// * `battery_available` — maximum battery terminal power the unit can
+    ///   deliver right now;
+    /// * `charger_acceptance` — maximum power the charger+battery will
+    ///   absorb right now (terminal side).
+    pub fn route(
+        &self,
+        demand: Watts,
+        solar: Watts,
+        battery_available: Watts,
+        charger_acceptance: Watts,
+    ) -> Routing {
+        let demand = demand.max(Watts::ZERO);
+        let solar = solar.max(Watts::ZERO);
+
+        let solar_to_load = demand.min(solar);
+        let shortfall = demand - solar_to_load;
+        let surplus = solar - solar_to_load;
+
+        // Battery covers the shortfall through the inverter.
+        let needed_at_terminals = self.battery_draw_for_load(shortfall);
+        let battery_to_load = needed_at_terminals.min(battery_available.max(Watts::ZERO));
+        let served_by_battery = battery_to_load * self.inverter_efficiency;
+        let unserved = (shortfall - served_by_battery).max(Watts::ZERO);
+
+        // Surplus solar goes to the charger, the rest is curtailed.
+        let surplus_to_charger = surplus.min(charger_acceptance.max(Watts::ZERO));
+        let curtailed = surplus - surplus_to_charger;
+
+        Routing {
+            solar_to_load,
+            battery_to_load,
+            surplus_to_charger,
+            unserved,
+            curtailed,
+        }
+    }
+}
+
+impl Default for PowerSwitcher {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw() -> PowerSwitcher {
+        PowerSwitcher::prototype()
+    }
+
+    #[test]
+    fn solar_covers_everything_when_plentiful() {
+        let r = sw().route(
+            Watts::new(100.0),
+            Watts::new(250.0),
+            Watts::new(500.0),
+            Watts::new(120.0),
+        );
+        assert_eq!(r.solar_to_load, Watts::new(100.0));
+        assert_eq!(r.battery_to_load, Watts::ZERO);
+        assert_eq!(r.surplus_to_charger, Watts::new(120.0));
+        assert_eq!(r.curtailed, Watts::new(30.0));
+        assert_eq!(r.unserved, Watts::ZERO);
+    }
+
+    #[test]
+    fn battery_bridges_the_shortfall_with_inverter_loss() {
+        let r = sw().route(
+            Watts::new(100.0),
+            Watts::new(40.0),
+            Watts::new(500.0),
+            Watts::new(120.0),
+        );
+        assert_eq!(r.solar_to_load, Watts::new(40.0));
+        // 60 W shortfall needs 60/0.92 ≈ 65.2 W at the terminals.
+        assert!((r.battery_to_load.as_f64() - 60.0 / 0.92).abs() < 1e-9);
+        assert_eq!(r.unserved, Watts::ZERO);
+        assert_eq!(r.surplus_to_charger, Watts::ZERO);
+    }
+
+    #[test]
+    fn exhausted_battery_leaves_demand_unserved() {
+        let r = sw().route(
+            Watts::new(100.0),
+            Watts::ZERO,
+            Watts::new(23.0),
+            Watts::ZERO,
+        );
+        let served = 23.0 * 0.92;
+        assert!((r.unserved.as_f64() - (100.0 - served)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_demand_routes_all_solar_to_charger() {
+        let r = sw().route(
+            Watts::ZERO,
+            Watts::new(80.0),
+            Watts::new(500.0),
+            Watts::new(50.0),
+        );
+        assert_eq!(r.surplus_to_charger, Watts::new(50.0));
+        assert_eq!(r.curtailed, Watts::new(30.0));
+        assert_eq!(r.battery_to_load, Watts::ZERO);
+    }
+
+    #[test]
+    fn energy_is_conserved() {
+        // solar = to_load + to_charger + curtailed.
+        let r = sw().route(
+            Watts::new(120.0),
+            Watts::new(90.0),
+            Watts::new(10.0),
+            Watts::new(40.0),
+        );
+        let solar_total =
+            r.solar_to_load.as_f64() + r.surplus_to_charger.as_f64() + r.curtailed.as_f64();
+        assert!((solar_total - 90.0).abs() < 1e-9);
+        // demand = solar_to_load + battery served + unserved.
+        let demand_total = r.solar_to_load.as_f64()
+            + r.battery_to_load.as_f64() * 0.92
+            + r.unserved.as_f64();
+        assert!((demand_total - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_efficiency_rejected() {
+        assert!(PowerSwitcher::new(0.0).is_err());
+        assert!(PowerSwitcher::new(1.01).is_err());
+    }
+}

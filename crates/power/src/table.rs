@@ -1,0 +1,200 @@
+//! The per-node power table (paper Table 2 + Fig 7).
+//!
+//! "Each group of batteries has a power table which records the battery
+//! utilization history logs … collected from corresponding sensor of each
+//! battery and sent to [the] BAAT controller", which also reads server
+//! power through the IPDU (§IV.A). The [`PowerTable`] is that
+//! controller-facing data layer: per-node battery sensor rows and server
+//! power rows.
+
+use std::collections::VecDeque;
+
+use baat_battery::SensorSample;
+use baat_units::{SimInstant, Watts};
+
+/// One IPDU server-power reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerPowerRecord {
+    /// Reading timestamp.
+    pub at: SimInstant,
+    /// Server power at the outlet.
+    pub power: Watts,
+}
+
+/// History log for one server/battery node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeLog {
+    battery: VecDeque<SensorSample>,
+    server: VecDeque<ServerPowerRecord>,
+}
+
+/// Retention limit per node and per channel.
+const MAX_ROWS: usize = 8_192;
+
+impl NodeLog {
+    fn push_battery(&mut self, row: SensorSample) {
+        if self.battery.len() == MAX_ROWS {
+            self.battery.pop_front();
+        }
+        self.battery.push_back(row);
+    }
+
+    fn push_server(&mut self, row: ServerPowerRecord) {
+        if self.server.len() == MAX_ROWS {
+            self.server.pop_front();
+        }
+        self.server.push_back(row);
+    }
+
+    /// Battery sensor rows, oldest first.
+    pub fn battery_rows(&self) -> impl Iterator<Item = &SensorSample> {
+        self.battery.iter()
+    }
+
+    /// Server power rows, oldest first.
+    pub fn server_rows(&self) -> impl Iterator<Item = &ServerPowerRecord> {
+        self.server.iter()
+    }
+
+    /// The most recent battery row.
+    pub fn latest_battery(&self) -> Option<&SensorSample> {
+        self.battery.back()
+    }
+
+    /// The most recent server power row.
+    pub fn latest_server(&self) -> Option<&ServerPowerRecord> {
+        self.server.back()
+    }
+
+    /// Mean server power over the retained window.
+    pub fn mean_server_power(&self) -> Watts {
+        if self.server.is_empty() {
+            return Watts::ZERO;
+        }
+        let sum: f64 = self.server.iter().map(|r| r.power.as_f64()).sum();
+        Watts::new(sum / self.server.len() as f64)
+    }
+}
+
+/// The monitoring architecture: one [`NodeLog`] per server/battery node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTable {
+    nodes: Vec<NodeLog>,
+}
+
+impl PowerTable {
+    /// Creates a table for `nodes` server/battery pairs.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            nodes: (0..nodes).map(|_| NodeLog::default()).collect(),
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a battery sensor row for a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn record_battery(&mut self, node: usize, row: SensorSample) {
+        self.nodes[node].push_battery(row);
+    }
+
+    /// Records an IPDU server power row for a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn record_server(&mut self, node: usize, row: ServerPowerRecord) {
+        self.nodes[node].push_server(row);
+    }
+
+    /// The log of one node, or `None` if out of range.
+    pub fn node(&self, node: usize) -> Option<&NodeLog> {
+        self.nodes.get(node)
+    }
+
+    /// Iterates over all node logs.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeLog> {
+        self.nodes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baat_units::{Amperes, Celsius, Soc, Volts};
+
+    fn sample(at: u64) -> SensorSample {
+        SensorSample {
+            at: SimInstant::from_secs(at),
+            voltage: Volts::new(12.3),
+            current: Amperes::new(2.0),
+            temperature: Celsius::new(26.0),
+            soc: Soc::new(0.8).unwrap(),
+        }
+    }
+
+    #[test]
+    fn records_are_retrievable_per_node() {
+        let mut t = PowerTable::new(3);
+        t.record_battery(1, sample(10));
+        t.record_server(
+            1,
+            ServerPowerRecord {
+                at: SimInstant::from_secs(10),
+                power: Watts::new(90.0),
+            },
+        );
+        assert_eq!(t.node(1).unwrap().battery_rows().count(), 1);
+        assert_eq!(t.node(0).unwrap().battery_rows().count(), 0);
+        assert_eq!(
+            t.node(1).unwrap().latest_server().unwrap().power,
+            Watts::new(90.0)
+        );
+        assert!(t.node(7).is_none());
+    }
+
+    #[test]
+    fn mean_server_power_over_window() {
+        let mut t = PowerTable::new(1);
+        for (at, p) in [(0, 80.0), (10, 120.0)] {
+            t.record_server(
+                0,
+                ServerPowerRecord {
+                    at: SimInstant::from_secs(at),
+                    power: Watts::new(p),
+                },
+            );
+        }
+        assert_eq!(t.node(0).unwrap().mean_server_power(), Watts::new(100.0));
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let mut t = PowerTable::new(1);
+        for i in 0..(MAX_ROWS as u64 + 5) {
+            t.record_battery(0, sample(i));
+        }
+        let log = t.node(0).unwrap();
+        assert_eq!(log.battery_rows().count(), MAX_ROWS);
+        assert_eq!(log.battery_rows().next().unwrap().at, SimInstant::from_secs(5));
+    }
+
+    #[test]
+    fn empty_log_defaults() {
+        let t = PowerTable::new(1);
+        let log = t.node(0).unwrap();
+        assert!(log.latest_battery().is_none());
+        assert_eq!(log.mean_server_power(), Watts::ZERO);
+    }
+}

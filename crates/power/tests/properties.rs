@@ -1,0 +1,95 @@
+//! Property-based tests for the power infrastructure.
+
+use baat_power::{Charger, PowerSwitcher};
+use baat_units::{Soc, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The switcher conserves energy on both the supply and demand sides
+    /// for any inputs.
+    #[test]
+    fn switcher_conserves_energy(
+        demand in 0.0f64..2000.0,
+        solar in 0.0f64..2000.0,
+        battery in 0.0f64..2000.0,
+        acceptance in 0.0f64..500.0,
+    ) {
+        let sw = PowerSwitcher::prototype();
+        let r = sw.route(
+            Watts::new(demand),
+            Watts::new(solar),
+            Watts::new(battery),
+            Watts::new(acceptance),
+        );
+        // Supply side: solar splits exactly into load, charger, curtailed.
+        let solar_split =
+            r.solar_to_load.as_f64() + r.surplus_to_charger.as_f64() + r.curtailed.as_f64();
+        prop_assert!((solar_split - solar).abs() < 1e-9);
+        // Demand side: load splits into solar, inverter-delivered battery
+        // power, and unserved.
+        let served = r.solar_to_load.as_f64()
+            + r.battery_to_load.as_f64() * sw.inverter_efficiency()
+            + r.unserved.as_f64();
+        prop_assert!((served - demand).abs() < 1e-9);
+        // No component is negative or exceeds its source.
+        for v in [
+            r.solar_to_load.as_f64(),
+            r.battery_to_load.as_f64(),
+            r.surplus_to_charger.as_f64(),
+            r.unserved.as_f64(),
+            r.curtailed.as_f64(),
+        ] {
+            prop_assert!(v >= 0.0);
+        }
+        prop_assert!(r.battery_to_load.as_f64() <= battery + 1e-9);
+        prop_assert!(r.surplus_to_charger.as_f64() <= acceptance + 1e-9);
+    }
+
+    /// Battery is only used when solar cannot cover demand.
+    #[test]
+    fn battery_is_the_second_choice(demand in 0.0f64..1000.0, solar in 0.0f64..1000.0) {
+        let sw = PowerSwitcher::prototype();
+        let r = sw.route(
+            Watts::new(demand),
+            Watts::new(solar),
+            Watts::new(10_000.0),
+            Watts::new(10_000.0),
+        );
+        if solar >= demand {
+            prop_assert_eq!(r.battery_to_load, Watts::ZERO);
+            prop_assert_eq!(r.unserved, Watts::ZERO);
+        } else {
+            prop_assert!(r.battery_to_load.as_f64() > 0.0 || demand == solar);
+        }
+    }
+
+    /// Charger output is bounded by acceptance × efficiency and is
+    /// monotone in available power.
+    #[test]
+    fn charger_monotone_and_bounded(
+        soc in 0.0f64..=1.0,
+        p1 in 0.0f64..600.0,
+        p2 in 0.0f64..600.0,
+    ) {
+        prop_assume!(p1 <= p2);
+        let c = Charger::prototype();
+        let soc = Soc::new(soc).unwrap();
+        let out1 = c.charge_power(soc, Watts::new(p1));
+        let out2 = c.charge_power(soc, Watts::new(p2));
+        prop_assert!(out1 <= out2);
+        prop_assert!(out2.as_f64() <= c.acceptance(soc).as_f64() * c.efficiency() + 1e-9);
+        prop_assert!(out2.as_f64() <= p2 * c.efficiency() + 1e-9);
+    }
+
+    /// Charger acceptance never grows as the battery fills.
+    #[test]
+    fn acceptance_monotone_in_soc(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        prop_assume!(a <= b);
+        let c = Charger::prototype();
+        let acc_low = c.acceptance(Soc::new(a).unwrap());
+        let acc_high = c.acceptance(Soc::new(b).unwrap());
+        prop_assert!(acc_high <= acc_low + Watts::new(1e-9));
+    }
+}

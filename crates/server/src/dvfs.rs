@@ -1,0 +1,128 @@
+//! DVFS frequency ladder.
+//!
+//! BAAT's slowdown policy throttles CPU frequency to cap server power when
+//! a battery nears its DDT/DR thresholds (paper §IV.C, Fig 9). The ladder
+//! models five P-states; dynamic power scales roughly with `f·V²`, which
+//! we approximate as `speed^2.5` on the dynamic (above-idle) component.
+
+use baat_units::Fraction;
+
+/// A DVFS performance state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum DvfsLevel {
+    /// Full frequency.
+    #[default]
+    P0,
+    /// 85 % frequency.
+    P1,
+    /// 70 % frequency.
+    P2,
+    /// 55 % frequency.
+    P3,
+    /// 40 % frequency — the deepest throttle.
+    P4,
+}
+
+impl DvfsLevel {
+    /// All levels, fastest first.
+    pub const ALL: [DvfsLevel; 5] = [
+        DvfsLevel::P0,
+        DvfsLevel::P1,
+        DvfsLevel::P2,
+        DvfsLevel::P3,
+        DvfsLevel::P4,
+    ];
+
+    /// Relative execution speed (1.0 at P0).
+    pub fn speed(self) -> Fraction {
+        let v = match self {
+            DvfsLevel::P0 => 1.0,
+            DvfsLevel::P1 => 0.85,
+            DvfsLevel::P2 => 0.70,
+            DvfsLevel::P3 => 0.55,
+            DvfsLevel::P4 => 0.40,
+        };
+        Fraction::saturating(v)
+    }
+
+    /// Multiplier on the *dynamic* power component (`speed^2.5`).
+    pub fn power_factor(self) -> f64 {
+        self.speed().value().powf(2.5)
+    }
+
+    /// The next slower level, or `None` at the deepest throttle.
+    pub fn slower(self) -> Option<DvfsLevel> {
+        match self {
+            DvfsLevel::P0 => Some(DvfsLevel::P1),
+            DvfsLevel::P1 => Some(DvfsLevel::P2),
+            DvfsLevel::P2 => Some(DvfsLevel::P3),
+            DvfsLevel::P3 => Some(DvfsLevel::P4),
+            DvfsLevel::P4 => None,
+        }
+    }
+
+    /// The next faster level, or `None` at full speed.
+    pub fn faster(self) -> Option<DvfsLevel> {
+        match self {
+            DvfsLevel::P0 => None,
+            DvfsLevel::P1 => Some(DvfsLevel::P0),
+            DvfsLevel::P2 => Some(DvfsLevel::P1),
+            DvfsLevel::P3 => Some(DvfsLevel::P2),
+            DvfsLevel::P4 => Some(DvfsLevel::P3),
+        }
+    }
+}
+
+impl core::fmt::Display for DvfsLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let i = DvfsLevel::ALL.iter().position(|l| l == self).unwrap_or(0);
+        write!(f, "P{i}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_speed_and_power() {
+        for pair in DvfsLevel::ALL.windows(2) {
+            assert!(pair[0].speed() > pair[1].speed());
+            assert!(pair[0].power_factor() > pair[1].power_factor());
+        }
+    }
+
+    #[test]
+    fn power_saves_more_than_speed_costs() {
+        // The whole point of DVFS: cubic-ish power vs linear speed.
+        for level in &DvfsLevel::ALL[1..] {
+            assert!(level.power_factor() < level.speed().value());
+        }
+    }
+
+    #[test]
+    fn slower_faster_are_inverses() {
+        for level in DvfsLevel::ALL {
+            if let Some(s) = level.slower() {
+                assert_eq!(s.faster(), Some(level));
+            }
+            if let Some(f) = level.faster() {
+                assert_eq!(f.slower(), Some(level));
+            }
+        }
+        assert_eq!(DvfsLevel::P4.slower(), None);
+        assert_eq!(DvfsLevel::P0.faster(), None);
+    }
+
+    #[test]
+    fn p0_is_identity() {
+        assert_eq!(DvfsLevel::P0.speed(), Fraction::ONE);
+        assert_eq!(DvfsLevel::P0.power_factor(), 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DvfsLevel::P0.to_string(), "P0");
+        assert_eq!(DvfsLevel::P4.to_string(), "P4");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for server and hypervisor operations.
+
+use baat_workload::VmId;
+
+/// Errors returned by hosts and clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The host lacks CPU or memory for the requested VM.
+    InsufficientResources {
+        /// The VM that could not be admitted.
+        vm: VmId,
+        /// Requested (cores, memory GiB).
+        requested: (u32, u32),
+        /// Free (cores, memory GiB).
+        free: (u32, u32),
+    },
+    /// No host in the cluster holds the VM.
+    UnknownVm {
+        /// The missing VM.
+        vm: VmId,
+    },
+    /// A server index was out of range.
+    UnknownServer {
+        /// The requested index.
+        index: usize,
+        /// Number of servers in the cluster.
+        len: usize,
+    },
+    /// The migration could not be performed (e.g. source equals target, or
+    /// the VM is already in flight).
+    MigrationRejected {
+        /// The VM whose migration was rejected.
+        vm: VmId,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServerError::InsufficientResources {
+                vm,
+                requested,
+                free,
+            } => write!(
+                f,
+                "cannot admit {vm}: needs {}c/{}g, only {}c/{}g free",
+                requested.0, requested.1, free.0, free.1
+            ),
+            ServerError::UnknownVm { vm } => write!(f, "no host holds {vm}"),
+            ServerError::UnknownServer { index, len } => {
+                write!(f, "server index {index} out of range for cluster of {len}")
+            }
+            ServerError::MigrationRejected { vm, reason } => {
+                write!(f, "migration of {vm} rejected: {reason}")
+            }
+            ServerError::InvalidConfig { field, reason } => {
+                write!(f, "invalid server config field `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ServerError::InsufficientResources {
+            vm: VmId(3),
+            requested: (4, 8),
+            free: (2, 4),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("vm-3") && msg.contains("4c/8g"));
+    }
+}

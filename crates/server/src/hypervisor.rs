@@ -1,0 +1,392 @@
+//! A virtualized server host: VM admission, execution, DVFS and
+//! checkpointing.
+
+use baat_units::{Fraction, SimDuration, TimeOfDay, Watts};
+use baat_workload::{Vm, VmId, VmState};
+
+use crate::dvfs::DvfsLevel;
+use crate::error::ServerError;
+use crate::power_model::ServerPowerModel;
+
+/// Time from power-on until the hypervisor can run VMs again (server
+/// boot + Xen + checkpoint restore). Crash-cycling a node is not free.
+pub const BOOT_DELAY: SimDuration = SimDuration::from_minutes(3);
+
+/// Identifier of a server (and, in the per-server battery architecture,
+/// of its associated battery node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub usize);
+
+impl core::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "server-{}", self.0)
+    }
+}
+
+/// Schedulable resources of one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServerCapacity {
+    /// vCPU cores.
+    pub cores: u32,
+    /// Memory in GiB.
+    pub memory_gb: u32,
+}
+
+impl Default for ServerCapacity {
+    fn default() -> Self {
+        Self {
+            cores: 8,
+            memory_gb: 16,
+        }
+    }
+}
+
+/// A virtualized server: power model, DVFS state, hosted VMs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Host {
+    id: ServerId,
+    power_model: ServerPowerModel,
+    capacity: ServerCapacity,
+    dvfs: DvfsLevel,
+    vms: Vec<Vm>,
+    online: bool,
+    boot_remaining: SimDuration,
+    work_done: f64,
+    completed_jobs: u64,
+}
+
+impl Host {
+    /// Creates an online, idle host.
+    pub fn new(id: ServerId, power_model: ServerPowerModel, capacity: ServerCapacity) -> Self {
+        Self {
+            id,
+            power_model,
+            capacity,
+            dvfs: DvfsLevel::P0,
+            vms: Vec::new(),
+            online: true,
+            boot_remaining: SimDuration::ZERO,
+            work_done: 0.0,
+            completed_jobs: 0,
+        }
+    }
+
+    /// Host identifier.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The host's power model.
+    pub fn power_model(&self) -> &ServerPowerModel {
+        &self.power_model
+    }
+
+    /// Schedulable capacity.
+    pub fn capacity(&self) -> ServerCapacity {
+        self.capacity
+    }
+
+    /// Current DVFS level.
+    pub fn dvfs(&self) -> DvfsLevel {
+        self.dvfs
+    }
+
+    /// Sets the DVFS level (BAAT's power-capping actuator).
+    pub fn set_dvfs(&mut self, level: DvfsLevel) {
+        self.dvfs = level;
+    }
+
+    /// `true` if the host is powered on.
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    /// Powers the host on (VMs stay paused until resumed). A freshly
+    /// powered host spends [`BOOT_DELAY`] booting: it draws idle power
+    /// but runs no VMs until the boot completes.
+    pub fn power_on(&mut self) {
+        if !self.online {
+            self.online = true;
+            self.boot_remaining = BOOT_DELAY;
+        }
+    }
+
+    /// `true` while the host is powered but still booting.
+    pub fn is_booting(&self) -> bool {
+        self.online && !self.boot_remaining.is_zero()
+    }
+
+    /// Powers the host off, checkpointing (pausing) every VM — the
+    /// prototype's behaviour when solar is exhausted (§V.B).
+    pub fn power_off(&mut self) {
+        self.online = false;
+        for vm in &mut self.vms {
+            vm.pause();
+        }
+    }
+
+    /// Resumes all paused VMs (after power-on or a restored budget).
+    pub fn resume_all(&mut self) {
+        if !self.online {
+            return;
+        }
+        for vm in &mut self.vms {
+            if vm.state() == VmState::Paused {
+                vm.resume();
+            }
+        }
+    }
+
+    /// Resources consumed by live (non-completed) VMs.
+    pub fn used_resources(&self) -> (u32, u32) {
+        self.vms
+            .iter()
+            .filter(|vm| !vm.is_completed())
+            .map(|vm| vm.kind().resource_request())
+            .fold((0, 0), |(c, m), (vc, vm_)| (c + vc, m + vm_))
+    }
+
+    /// Resources still free for admission.
+    pub fn free_resources(&self) -> (u32, u32) {
+        let (uc, um) = self.used_resources();
+        (
+            self.capacity.cores.saturating_sub(uc),
+            self.capacity.memory_gb.saturating_sub(um),
+        )
+    }
+
+    /// `true` if a VM with the given request fits right now.
+    pub fn fits(&self, request: (u32, u32)) -> bool {
+        let (fc, fm) = self.free_resources();
+        request.0 <= fc && request.1 <= fm
+    }
+
+    /// Admits a VM, validating resource availability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::InsufficientResources`] if the VM does not
+    /// fit.
+    pub fn admit(&mut self, vm: Vm) -> Result<(), ServerError> {
+        let request = vm.kind().resource_request();
+        if !self.fits(request) {
+            return Err(ServerError::InsufficientResources {
+                vm: vm.id(),
+                requested: request,
+                free: self.free_resources(),
+            });
+        }
+        self.vms.push(vm);
+        Ok(())
+    }
+
+    /// Admits a VM without a resource check.
+    ///
+    /// Used when completing a migration whose capacity was reserved at
+    /// initiation; normal placement must use [`Host::admit`].
+    pub fn admit_unchecked(&mut self, vm: Vm) {
+        self.vms.push(vm);
+    }
+
+    /// Removes and returns a VM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownVm`] if the host does not hold it.
+    pub fn evict(&mut self, vm: VmId) -> Result<Vm, ServerError> {
+        let idx = self
+            .vms
+            .iter()
+            .position(|v| v.id() == vm)
+            .ok_or(ServerError::UnknownVm { vm })?;
+        Ok(self.vms.remove(idx))
+    }
+
+    /// Immutable view of a hosted VM.
+    pub fn vm(&self, vm: VmId) -> Option<&Vm> {
+        self.vms.iter().find(|v| v.id() == vm)
+    }
+
+    /// Mutable view of a hosted VM.
+    pub fn vm_mut(&mut self, vm: VmId) -> Option<&mut Vm> {
+        self.vms.iter_mut().find(|v| v.id() == vm)
+    }
+
+    /// Iterates over hosted VMs.
+    pub fn vms(&self) -> impl Iterator<Item = &Vm> {
+        self.vms.iter()
+    }
+
+    /// Aggregate CPU utilization demanded by running VMs, in `[0, 1]`.
+    pub fn utilization(&self, tod: TimeOfDay) -> Fraction {
+        if !self.online || self.is_booting() {
+            return Fraction::ZERO;
+        }
+        let demanded: f64 = self
+            .vms
+            .iter()
+            .map(|vm| {
+                let (cores, _) = vm.kind().resource_request();
+                f64::from(cores) * vm.utilization(tod).value()
+            })
+            .sum();
+        Fraction::saturating(demanded / f64::from(self.capacity.cores))
+    }
+
+    /// Electrical power drawn right now (zero when offline).
+    pub fn power(&self, tod: TimeOfDay) -> Watts {
+        if !self.online {
+            return Watts::ZERO;
+        }
+        self.power_model.power(self.utilization(tod), self.dvfs)
+    }
+
+    /// Advances all VMs one step; returns useful work done (core-hours).
+    pub fn step(&mut self, tod: TimeOfDay, dt: SimDuration) -> f64 {
+        if !self.online {
+            return 0.0;
+        }
+        if self.is_booting() {
+            self.boot_remaining = self.boot_remaining.saturating_sub(dt);
+            return 0.0;
+        }
+        let speed = self.dvfs.speed();
+        let mut work = 0.0;
+        for vm in &mut self.vms {
+            let before = vm.is_completed();
+            work += vm.advance(speed, tod, dt);
+            if !before && vm.is_completed() {
+                self.completed_jobs += 1;
+            }
+        }
+        self.work_done += work;
+        work
+    }
+
+    /// Total useful work done by this host (core-hours).
+    pub fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    /// Number of batch jobs completed on this host.
+    pub fn completed_jobs(&self) -> u64 {
+        self.completed_jobs
+    }
+
+    /// Drops completed batch VMs, returning how many were reaped.
+    pub fn reap_completed(&mut self) -> usize {
+        let before = self.vms.len();
+        self.vms.retain(|vm| !vm.is_completed());
+        before - self.vms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baat_workload::WorkloadKind;
+
+    fn host() -> Host {
+        Host::new(
+            ServerId(0),
+            ServerPowerModel::prototype(),
+            ServerCapacity::default(),
+        )
+    }
+
+    fn vm(id: u64, kind: WorkloadKind) -> Vm {
+        Vm::new(VmId(id), kind)
+    }
+
+    #[test]
+    fn admission_respects_capacity() {
+        let mut h = host();
+        // 8 cores: SoftwareTesting (6) + WordCount (2) fills it.
+        h.admit(vm(0, WorkloadKind::SoftwareTesting)).unwrap();
+        h.admit(vm(1, WorkloadKind::WordCount)).unwrap();
+        let err = h.admit(vm(2, WorkloadKind::KMeans)).unwrap_err();
+        assert!(matches!(err, ServerError::InsufficientResources { .. }));
+    }
+
+    #[test]
+    fn eviction_frees_resources() {
+        let mut h = host();
+        h.admit(vm(0, WorkloadKind::SoftwareTesting)).unwrap();
+        assert!(!h.fits((4, 8)));
+        let evicted = h.evict(VmId(0)).unwrap();
+        assert_eq!(evicted.id(), VmId(0));
+        assert!(h.fits((4, 8)));
+        assert!(matches!(
+            h.evict(VmId(9)),
+            Err(ServerError::UnknownVm { .. })
+        ));
+    }
+
+    #[test]
+    fn utilization_aggregates_running_vms() {
+        let mut h = host();
+        h.admit(vm(0, WorkloadKind::SoftwareTesting)).unwrap(); // 6c × 0.95
+        let u = h.utilization(TimeOfDay::NOON).value();
+        assert!((u - 6.0 * 0.95 / 8.0).abs() < 1e-9, "u {u}");
+    }
+
+    #[test]
+    fn offline_host_draws_nothing_and_does_nothing() {
+        let mut h = host();
+        h.admit(vm(0, WorkloadKind::KMeans)).unwrap();
+        h.power_off();
+        assert_eq!(h.power(TimeOfDay::NOON), Watts::ZERO);
+        assert_eq!(h.step(TimeOfDay::NOON, SimDuration::from_minutes(10)), 0.0);
+        assert_eq!(h.vm(VmId(0)).unwrap().state(), VmState::Paused);
+    }
+
+    #[test]
+    fn power_off_then_on_resumes_checkpointed_vms() {
+        let mut h = host();
+        h.admit(vm(0, WorkloadKind::KMeans)).unwrap();
+        h.power_off();
+        h.power_on();
+        assert_eq!(h.vm(VmId(0)).unwrap().state(), VmState::Paused);
+        h.resume_all();
+        assert_eq!(h.vm(VmId(0)).unwrap().state(), VmState::Running);
+    }
+
+    #[test]
+    fn dvfs_reduces_power_and_work() {
+        let mut fast = host();
+        let mut slow = host();
+        fast.admit(vm(0, WorkloadKind::SoftwareTesting)).unwrap();
+        slow.admit(vm(0, WorkloadKind::SoftwareTesting)).unwrap();
+        slow.set_dvfs(DvfsLevel::P4);
+        assert!(slow.power(TimeOfDay::NOON) < fast.power(TimeOfDay::NOON));
+        let dt = SimDuration::from_minutes(30);
+        let wf = fast.step(TimeOfDay::NOON, dt);
+        let ws = slow.step(TimeOfDay::NOON, dt);
+        assert!(ws < wf);
+    }
+
+    #[test]
+    fn completed_jobs_counted_and_reaped() {
+        let mut h = host();
+        h.admit(vm(0, WorkloadKind::WordCount)).unwrap();
+        for _ in 0..12 {
+            h.step(TimeOfDay::NOON, SimDuration::from_minutes(10));
+        }
+        assert_eq!(h.completed_jobs(), 1);
+        assert_eq!(h.reap_completed(), 1);
+        assert_eq!(h.vms().count(), 0);
+    }
+
+    #[test]
+    fn completed_vms_free_capacity_without_reaping() {
+        let mut h = host();
+        h.admit(vm(0, WorkloadKind::SoftwareTesting)).unwrap();
+        h.admit(vm(1, WorkloadKind::WordCount)).unwrap();
+        // Run WordCount to completion (1 h nominal).
+        for _ in 0..12 {
+            h.step(TimeOfDay::NOON, SimDuration::from_minutes(10));
+        }
+        assert!(h.vm(VmId(1)).unwrap().is_completed());
+        assert!(h.fits((2, 4)), "completed VM no longer holds resources");
+    }
+}

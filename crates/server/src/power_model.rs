@@ -1,0 +1,117 @@
+//! Server power model: idle/peak linear interpolation with DVFS scaling.
+
+use baat_units::{Fraction, Watts};
+
+use crate::dvfs::DvfsLevel;
+use crate::error::ServerError;
+
+/// Utilization-linear server power model.
+///
+/// `P(u) = P_idle + (P_peak − P_idle) · u · power_factor(dvfs)` — the
+/// standard datacenter approximation; DVFS scales only the dynamic
+/// component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerPowerModel {
+    idle: Watts,
+    peak: Watts,
+}
+
+impl ServerPowerModel {
+    /// Creates a model from idle and peak power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::InvalidConfig`] if `idle` is negative, not
+    /// finite, or at least `peak`.
+    pub fn new(idle: Watts, peak: Watts) -> Result<Self, ServerError> {
+        if !idle.as_f64().is_finite() || !peak.as_f64().is_finite() || idle.as_f64() < 0.0 {
+            return Err(ServerError::InvalidConfig {
+                field: "idle/peak",
+                reason: format!("powers must be finite and non-negative: {idle}, {peak}"),
+            });
+        }
+        if idle >= peak {
+            return Err(ServerError::InvalidConfig {
+                field: "peak",
+                reason: format!("peak {peak} must exceed idle {idle}"),
+            });
+        }
+        Ok(Self { idle, peak })
+    }
+
+    /// The paper-prototype class of server (IBM x330 / HP ProLiant era):
+    /// 70 W idle, 240 W peak. Against the default two-battery 70 Ah node
+    /// this is ~3.4 W/Ah, inside the paper's Fig 15 sweep range.
+    pub fn prototype() -> Self {
+        Self::new(Watts::new(70.0), Watts::new(240.0)).expect("static values are valid")
+    }
+
+    /// Idle power.
+    pub fn idle(&self) -> Watts {
+        self.idle
+    }
+
+    /// Peak power.
+    pub fn peak(&self) -> Watts {
+        self.peak
+    }
+
+    /// Power drawn at the given utilization and DVFS level while online.
+    pub fn power(&self, utilization: Fraction, dvfs: DvfsLevel) -> Watts {
+        self.idle + (self.peak - self.idle) * (utilization.value() * dvfs.power_factor())
+    }
+}
+
+impl Default for ServerPowerModel {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frac(v: f64) -> Fraction {
+        Fraction::new(v).unwrap()
+    }
+
+    #[test]
+    fn idle_at_zero_utilization() {
+        let m = ServerPowerModel::prototype();
+        assert_eq!(m.power(Fraction::ZERO, DvfsLevel::P0), m.idle());
+    }
+
+    #[test]
+    fn peak_at_full_utilization_full_speed() {
+        let m = ServerPowerModel::prototype();
+        assert_eq!(m.power(Fraction::ONE, DvfsLevel::P0), m.peak());
+    }
+
+    #[test]
+    fn throttling_cuts_power_at_same_utilization() {
+        let m = ServerPowerModel::prototype();
+        let full = m.power(frac(0.8), DvfsLevel::P0);
+        let slow = m.power(frac(0.8), DvfsLevel::P4);
+        assert!(slow < full);
+        assert!(slow > m.idle());
+    }
+
+    #[test]
+    fn rejects_idle_at_or_above_peak() {
+        assert!(ServerPowerModel::new(Watts::new(150.0), Watts::new(150.0)).is_err());
+        assert!(ServerPowerModel::new(Watts::new(200.0), Watts::new(150.0)).is_err());
+        assert!(ServerPowerModel::new(Watts::new(-1.0), Watts::new(150.0)).is_err());
+    }
+
+    #[test]
+    fn power_is_monotone_in_utilization() {
+        let m = ServerPowerModel::prototype();
+        let mut prev = Watts::ZERO;
+        for u in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let p = m.power(frac(u), DvfsLevel::P1);
+            assert!(p > prev || u == 0.0);
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Simulation configuration.
+
+use baat_battery::{BatterySpec, VariationParams};
+use baat_power::NoiseSpec;
+use baat_units::{AmpHours, Amperes, Ohms};
+use baat_server::{MigrationSpec, ServerCapacity, ServerPowerModel};
+use baat_solar::Weather;
+use baat_units::{Celsius, SimDuration, TimeOfDay, WattHours};
+
+use crate::error::SimError;
+
+/// How batteries are attached to servers (paper Fig 7 supports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatteryTopology {
+    /// Each server has its own battery bank (Google-style in-server
+    /// integration \[1\]) — the prototype default.
+    PerServer,
+    /// Several servers share per-rack battery pools (Facebook Open Rack
+    /// style \[3\]). Nodes are assigned round-robin-contiguously to
+    /// `pools` pools; each pool's bank aggregates the per-node capacity.
+    SharedPool {
+        /// Number of pools; must divide the node count.
+        pools: usize,
+    },
+}
+
+impl BatteryTopology {
+    /// Number of physical battery banks for `nodes` servers.
+    pub fn banks(self, nodes: usize) -> usize {
+        match self {
+            BatteryTopology::PerServer => nodes,
+            BatteryTopology::SharedPool { pools } => pools,
+        }
+    }
+
+    /// The bank a node draws from.
+    pub fn bank_of(self, node: usize, nodes: usize) -> usize {
+        match self {
+            BatteryTopology::PerServer => node,
+            BatteryTopology::SharedPool { pools } => node / (nodes / pools),
+        }
+    }
+
+    /// Servers per bank.
+    pub fn nodes_per_bank(self, nodes: usize) -> usize {
+        nodes / self.banks(nodes)
+    }
+}
+
+/// Full configuration of one green-datacenter simulation.
+///
+/// Defaults reproduce the paper's prototype: six servers with individual
+/// 12 V 35 Ah batteries, an 8 kWh-sunny-day solar array, servers powered
+/// 08:30–18:30, 10-second timestep, one-minute control interval.
+///
+/// Build with [`SimConfig::builder`]:
+///
+/// ```
+/// # fn main() -> Result<(), baat_sim::SimError> {
+/// use baat_sim::SimConfig;
+/// use baat_solar::Weather;
+///
+/// let config = SimConfig::builder()
+///     .weather_plan(vec![Weather::Cloudy])
+///     .seed(7)
+///     .build()?;
+/// assert_eq!(config.nodes, 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of server/battery nodes.
+    pub nodes: usize,
+    /// Simulation timestep.
+    pub dt: SimDuration,
+    /// How often the policy's `control` hook runs.
+    pub control_interval: SimDuration,
+    /// Server power-on time.
+    pub day_start: TimeOfDay,
+    /// Server shutdown time.
+    pub day_end: TimeOfDay,
+    /// Weather for each simulated day (cycled if the run is longer).
+    pub weather_plan: Vec<Weather>,
+    /// Solar array size expressed as sunny-day energy yield.
+    pub solar_sunny_budget: WattHours,
+    /// Battery unit specification (per server; shared pools aggregate
+    /// it).
+    pub battery_spec: BatterySpec,
+    /// Battery attachment architecture.
+    pub topology: BatteryTopology,
+    /// Unit-to-unit manufacturing variation.
+    pub variation: VariationParams,
+    /// Server power model.
+    pub server_power: ServerPowerModel,
+    /// Server schedulable capacity.
+    pub server_capacity: ServerCapacity,
+    /// VM migration cost model.
+    pub migration: MigrationSpec,
+    /// Web Serving service instances started at power-on.
+    pub services: usize,
+    /// Batch-job arrivals per day.
+    pub batch_jobs_per_day: usize,
+    /// Ambient temperature.
+    pub ambient: Celsius,
+    /// Measurement noise of the battery sensor front-ends.
+    pub sensor_noise: NoiseSpec,
+    /// Record one trace sample every this many steps.
+    pub sample_every: usize,
+    /// Master RNG seed (weather, workloads, sensors, manufacturing).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Starts building a configuration from the prototype defaults.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// The paper's prototype configuration for one day of the given
+    /// weather.
+    pub fn prototype_day(weather: Weather, seed: u64) -> Self {
+        let mut b = Self::builder();
+        b.weather_plan(vec![weather]).seed(seed);
+        b.build().expect("prototype defaults are valid")
+    }
+
+    /// Number of simulated days in the weather plan.
+    pub fn days(&self) -> usize {
+        self.weather_plan.len()
+    }
+}
+
+/// The default per-node battery: the prototype deploys twelve 12 V
+/// 35 Ah units across six servers, i.e. two per node — modeled as one
+/// 70 Ah bank with halved internal resistance and doubled current
+/// limits.
+pub fn prototype_node_battery() -> BatterySpec {
+    let mut b = BatterySpec::builder();
+    b.capacity(AmpHours::new(70.0))
+        .internal_resistance(Ohms::new(0.006))
+        .max_charge_current(Amperes::new(17.5))
+        .max_discharge_current(Amperes::new(70.0));
+    b.build().expect("static values are valid")
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        Self {
+            config: SimConfig {
+                nodes: 6,
+                dt: SimDuration::from_secs(10),
+                control_interval: SimDuration::from_secs(60),
+                day_start: TimeOfDay::from_hm(8, 30),
+                day_end: TimeOfDay::from_hm(18, 30),
+                weather_plan: vec![Weather::Sunny],
+                solar_sunny_budget: WattHours::from_kwh(8.0),
+                battery_spec: prototype_node_battery(),
+                topology: BatteryTopology::PerServer,
+                variation: VariationParams::default(),
+                server_power: ServerPowerModel::prototype(),
+                server_capacity: ServerCapacity::default(),
+                migration: MigrationSpec::default(),
+                services: 6,
+                batch_jobs_per_day: 60,
+                ambient: Celsius::new(25.0),
+                sensor_noise: NoiseSpec::default(),
+                sample_every: 6,
+                seed: 42,
+            },
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Sets the number of server/battery nodes.
+    pub fn nodes(&mut self, nodes: usize) -> &mut Self {
+        self.config.nodes = nodes;
+        self
+    }
+
+    /// Sets the simulation timestep.
+    pub fn dt(&mut self, dt: SimDuration) -> &mut Self {
+        self.config.dt = dt;
+        self
+    }
+
+    /// Sets the policy control interval.
+    pub fn control_interval(&mut self, interval: SimDuration) -> &mut Self {
+        self.config.control_interval = interval;
+        self
+    }
+
+    /// Sets the daily operating window.
+    pub fn operating_window(&mut self, start: TimeOfDay, end: TimeOfDay) -> &mut Self {
+        self.config.day_start = start;
+        self.config.day_end = end;
+        self
+    }
+
+    /// Sets the per-day weather plan.
+    pub fn weather_plan(&mut self, plan: Vec<Weather>) -> &mut Self {
+        self.config.weather_plan = plan;
+        self
+    }
+
+    /// Sets the solar array size (sunny-day yield).
+    pub fn solar_sunny_budget(&mut self, budget: WattHours) -> &mut Self {
+        self.config.solar_sunny_budget = budget;
+        self
+    }
+
+    /// Sets the battery unit specification.
+    pub fn battery_spec(&mut self, spec: BatterySpec) -> &mut Self {
+        self.config.battery_spec = spec;
+        self
+    }
+
+    /// Sets the battery attachment architecture (per-server or shared
+    /// per-rack pools).
+    pub fn topology(&mut self, topology: BatteryTopology) -> &mut Self {
+        self.config.topology = topology;
+        self
+    }
+
+    /// Sets manufacturing variation.
+    pub fn variation(&mut self, variation: VariationParams) -> &mut Self {
+        self.config.variation = variation;
+        self
+    }
+
+    /// Sets the server power model.
+    pub fn server_power(&mut self, model: ServerPowerModel) -> &mut Self {
+        self.config.server_power = model;
+        self
+    }
+
+    /// Sets server schedulable capacity.
+    pub fn server_capacity(&mut self, capacity: ServerCapacity) -> &mut Self {
+        self.config.server_capacity = capacity;
+        self
+    }
+
+    /// Sets the workload mix (service instances, batch arrivals/day).
+    pub fn workload_mix(&mut self, services: usize, batch_jobs_per_day: usize) -> &mut Self {
+        self.config.services = services;
+        self.config.batch_jobs_per_day = batch_jobs_per_day;
+        self
+    }
+
+    /// Sets the ambient temperature.
+    pub fn ambient(&mut self, t: Celsius) -> &mut Self {
+        self.config.ambient = t;
+        self
+    }
+
+    /// Sets the battery sensor noise (use [`NoiseSpec::IDEAL`] for exact
+    /// telemetry).
+    pub fn sensor_noise(&mut self, noise: NoiseSpec) -> &mut Self {
+        self.config.sensor_noise = noise;
+        self
+    }
+
+    /// Sets the trace sampling stride.
+    pub fn sample_every(&mut self, steps: usize) -> &mut Self {
+        self.config.sample_every = steps;
+        self
+    }
+
+    /// Sets the master RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if there are no nodes, no
+    /// weather days, a zero timestep, a control interval smaller than the
+    /// timestep, a zero sampling stride, or an inverted operating window.
+    pub fn build(&self) -> Result<SimConfig, SimError> {
+        let c = &self.config;
+        if c.nodes == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "nodes",
+                reason: "need at least one server/battery node".to_owned(),
+            });
+        }
+        if c.weather_plan.is_empty() {
+            return Err(SimError::InvalidConfig {
+                field: "weather_plan",
+                reason: "need at least one day of weather".to_owned(),
+            });
+        }
+        if c.dt.is_zero() || c.dt.as_secs() > 3600 {
+            return Err(SimError::InvalidConfig {
+                field: "dt",
+                reason: format!("timestep must be in (0, 1 h], got {}", c.dt),
+            });
+        }
+        if c.control_interval < c.dt {
+            return Err(SimError::InvalidConfig {
+                field: "control_interval",
+                reason: "control interval must be at least one timestep".to_owned(),
+            });
+        }
+        if c.sample_every == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "sample_every",
+                reason: "sampling stride must be positive".to_owned(),
+            });
+        }
+        if let BatteryTopology::SharedPool { pools } = c.topology {
+            if pools == 0 || !c.nodes.is_multiple_of(pools) {
+                return Err(SimError::InvalidConfig {
+                    field: "topology",
+                    reason: format!(
+                        "{pools} pools must be nonzero and divide {} nodes",
+                        c.nodes
+                    ),
+                });
+            }
+        }
+        if c.day_end <= c.day_start {
+            return Err(SimError::InvalidConfig {
+                field: "day_end",
+                reason: format!("{} must be after {}", c.day_end, c.day_start),
+            });
+        }
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_prototype() {
+        let c = SimConfig::builder().build().unwrap();
+        assert_eq!(c.nodes, 6);
+        assert_eq!(c.day_start, TimeOfDay::from_hm(8, 30));
+        assert_eq!(c.day_end, TimeOfDay::from_hm(18, 30));
+        assert_eq!(c.solar_sunny_budget, WattHours::from_kwh(8.0));
+    }
+
+    #[test]
+    fn rejects_zero_nodes_and_empty_plan() {
+        assert!(SimConfig::builder().nodes(0).build().is_err());
+        assert!(SimConfig::builder().weather_plan(vec![]).build().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_timing() {
+        assert!(SimConfig::builder().dt(SimDuration::ZERO).build().is_err());
+        assert!(SimConfig::builder()
+            .dt(SimDuration::from_secs(120))
+            .control_interval(SimDuration::from_secs(60))
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .operating_window(TimeOfDay::from_hm(18, 0), TimeOfDay::from_hm(8, 0))
+            .build()
+            .is_err());
+        assert!(SimConfig::builder().sample_every(0).build().is_err());
+    }
+
+    #[test]
+    fn prototype_day_is_one_day() {
+        let c = SimConfig::prototype_day(Weather::Rainy, 1);
+        assert_eq!(c.days(), 1);
+        assert_eq!(c.weather_plan[0], Weather::Rainy);
+    }
+}

@@ -1,0 +1,979 @@
+//! The discrete-time green-datacenter simulation engine.
+//!
+//! Wires the substrates together the way the prototype's hardware is
+//! wired (paper Fig 11): a PV array feeds a per-node power switcher;
+//! each server has its own battery, charger and sensor; the BAAT
+//! controller (a [`Policy`]) observes the power tables every control
+//! interval and actuates DVFS, VM migration and discharge floors.
+
+use std::collections::VecDeque;
+
+use baat_battery::{BatteryOp, BatteryPack};
+use baat_metrics::{AgingMetrics, BatteryRatings};
+use baat_power::{BatterySensor, Charger, PowerSwitcher, PowerTable, ServerPowerRecord};
+use baat_server::{Cluster, ServerId};
+use baat_solar::{ClearSky, CloudProcess, PvArray, Weather};
+use baat_units::{
+    Fraction, SimDuration, SimInstant, Soc, TimeOfDay, Volts, WattHours, Watts,
+};
+use baat_workload::{Arrival, Vm, WorkloadGenerator, WorkloadKind};
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::events::{Event, EventLog};
+use crate::policy::{Action, Policy};
+use crate::recorder::{Recorder, TraceRow};
+use crate::report::{NodeReport, SimReport};
+use crate::view::{NodeView, SystemView, VmView};
+
+/// Consecutive unserved-demand steps before a node checkpoints and shuts
+/// down.
+const SHUTDOWN_STREAK: u32 = 3;
+/// Minimum offline dwell before a restart attempt.
+const RESTART_DWELL: SimDuration = SimDuration::from_minutes(5);
+/// SoC margin above the floor required to restart a node on battery: the
+/// battery must have recovered meaningfully, or the node flaps.
+const RESTART_SOC_MARGIN: f64 = 0.45;
+
+/// One green-datacenter simulation instance.
+pub struct Simulation {
+    config: SimConfig,
+    /// Number of physical battery banks (= nodes for per-server
+    /// integration; fewer for shared pools).
+    banks: usize,
+    /// Node → bank mapping.
+    bank_of: Vec<usize>,
+    /// Bank → member nodes.
+    members: Vec<Vec<usize>>,
+    cluster: Cluster,
+    batteries: BatteryPack,
+    sensors: Vec<BatterySensor>,
+    chargers: Vec<Charger>,
+    switcher: PowerSwitcher,
+    array: PvArray,
+    power_table: PowerTable,
+    generator: WorkloadGenerator,
+    events: EventLog,
+    recorder: Recorder,
+    now: SimInstant,
+    step_index: u64,
+    soc_floors: Vec<Soc>,
+    unserved_streak: Vec<u32>,
+    offline_since: Vec<Option<SimInstant>>,
+    downtime: Vec<SimDuration>,
+    unserved_energy: WattHours,
+    curtailed_energy: WattHours,
+    grid_charge_energy: WattHours,
+    arrivals_today: VecDeque<Arrival>,
+    /// Jobs that could not be placed yet; retried every control interval
+    /// (the prototype's job queue).
+    pending: VecDeque<Vm>,
+    clouds: CloudProcess,
+    weather_today: Weather,
+    started_day: Option<u64>,
+    in_window: bool,
+    last_currents: Vec<f64>,
+    last_voltages: Vec<f64>,
+    last_solar: Watts,
+}
+
+impl Simulation {
+    /// Builds a simulation from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if any substrate rejects its derived
+    /// parameters.
+    pub fn new(config: SimConfig) -> Result<Self, SimError> {
+        let mut cluster = Cluster::homogeneous(
+            config.nodes,
+            config.server_power,
+            config.server_capacity,
+            config.migration,
+        )
+        .map_err(|e| SimError::component("cluster", e))?;
+        // Simulated time starts at midnight; servers power on at the
+        // operating-window edge.
+        cluster.power_off_all();
+        let banks = config.topology.banks(config.nodes);
+        let per_bank = config.topology.nodes_per_bank(config.nodes);
+        let bank_of: Vec<usize> = (0..config.nodes)
+            .map(|i| config.topology.bank_of(i, config.nodes))
+            .collect();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); banks];
+        for (node, &bank) in bank_of.iter().enumerate() {
+            members[bank].push(node);
+        }
+        // A shared pool aggregates the per-node bank: k× capacity and
+        // current limits, 1/k internal resistance.
+        let bank_spec = if per_bank == 1 {
+            config.battery_spec.clone()
+        } else {
+            let s = &config.battery_spec;
+            let k = per_bank as f64;
+            let mut b = baat_battery::BatterySpec::builder();
+            b.nominal_voltage(s.nominal_voltage())
+                .capacity(s.capacity() * k)
+                .internal_resistance(s.internal_resistance() / k)
+                .cutoff_voltage(s.cutoff_voltage())
+                .max_charge_current(s.max_charge_current() * k)
+                .max_discharge_current(s.max_discharge_current() * k)
+                .lifetime_throughput(s.lifetime_throughput() * k)
+                .manufacturer(s.manufacturer())
+                .coulombic_efficiency(s.coulombic_efficiency())
+                .self_discharge_per_day(s.self_discharge_per_day())
+                .ambient(s.ambient());
+            b.build().map_err(|e| SimError::component("shared pool spec", e))?
+        };
+        let batteries = BatteryPack::manufacture(
+            bank_spec,
+            banks,
+            config.variation,
+            config.seed ^ 0xBA77,
+        )
+        .map_err(|e| SimError::component("battery pack", e))?;
+        let array = PvArray::sized_for_daily_energy(
+            config.solar_sunny_budget,
+            Weather::Sunny,
+            ClearSky::temperate(),
+        )
+        .map_err(|e| SimError::component("pv array", e))?;
+        let sensors = (0..banks)
+            .map(|i| {
+                BatterySensor::new(config.sensor_noise, config.seed ^ (0x5E45 + i as u64))
+            })
+            .collect();
+        let charger = Charger::new(
+            Charger::prototype().max_power() * per_bank as f64,
+            Charger::prototype().efficiency(),
+        )
+        .map_err(|e| SimError::component("charger", e))?;
+        let chargers = vec![charger; banks];
+        let weather_today = config.weather_plan[0];
+        let clouds = CloudProcess::new(weather_today, config.seed);
+        let nodes = config.nodes;
+        Ok(Self {
+            banks,
+            bank_of,
+            members,
+            cluster,
+            batteries,
+            sensors,
+            chargers,
+            switcher: PowerSwitcher::prototype(),
+            array,
+            power_table: PowerTable::new(nodes),
+            generator: WorkloadGenerator::new(config.seed ^ 0x10AD),
+            events: EventLog::new(),
+            recorder: Recorder::new(),
+            now: SimInstant::START,
+            step_index: 0,
+            soc_floors: vec![Soc::EMPTY; banks],
+            unserved_streak: vec![0; banks],
+            offline_since: vec![None; nodes],
+            downtime: vec![SimDuration::ZERO; nodes],
+            unserved_energy: WattHours::ZERO,
+            curtailed_energy: WattHours::ZERO,
+            grid_charge_energy: WattHours::ZERO,
+            arrivals_today: VecDeque::new(),
+            pending: VecDeque::new(),
+            clouds,
+            weather_today,
+            started_day: None,
+            in_window: false,
+            last_currents: vec![0.0; banks],
+            last_voltages: vec![config.battery_spec.nominal_voltage().as_f64(); banks],
+            last_solar: Watts::ZERO,
+            config,
+        })
+    }
+
+    /// Pre-ages every battery to the given damage (the paper's "old"
+    /// battery stage).
+    pub fn pre_age_batteries(&mut self, damage: f64) {
+        for b in self.batteries.iter_mut() {
+            b.pre_age(damage);
+        }
+    }
+
+    /// Pre-ages a single battery bank — fault injection for the paper's
+    /// single-point-of-failure scenario, where one "prone-to-wear-out"
+    /// unit threatens the node's availability (§IV.B.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `bank` is out of range.
+    pub fn pre_age_bank(&mut self, bank: usize, damage: f64) -> Result<(), SimError> {
+        let unit = self.batteries.unit_mut(bank).map_err(|e| {
+            SimError::InvalidConfig {
+                field: "bank",
+                reason: e.to_string(),
+            }
+        })?;
+        unit.pre_age(damage);
+        Ok(())
+    }
+
+    /// Immutable access to the battery pack.
+    pub fn batteries(&self) -> &BatteryPack {
+        &self.batteries
+    }
+
+    /// Immutable access to the cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The controller-facing power table.
+    pub fn power_table(&self) -> &PowerTable {
+        &self.power_table
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Runs the configured weather plan to completion under `policy` and
+    /// returns the report.
+    pub fn run<P: Policy>(mut self, policy: &mut P) -> SimReport {
+        let total_steps =
+            self.config.days() as u64 * 86_400 / self.config.dt.as_secs();
+        for _ in 0..total_steps {
+            self.step(policy);
+        }
+        self.into_report(policy.name())
+    }
+
+    /// Advances the simulation one timestep.
+    pub fn step<P: Policy>(&mut self, policy: &mut P) {
+        let dt = self.config.dt;
+        let day = self.now.day();
+        if self.started_day != Some(day) {
+            self.start_day(day);
+        }
+        let tod = self.now.time_of_day();
+
+        // Operating-window edges: power on at day start, checkpoint and
+        // shut down at day end.
+        let in_window = tod.is_between(self.config.day_start, self.config.day_end);
+        if in_window && !self.in_window {
+            self.cluster.power_on_all();
+            for since in &mut self.offline_since {
+                *since = None;
+            }
+        } else if !in_window && self.in_window {
+            self.cluster.power_off_all();
+        }
+        self.in_window = in_window;
+
+        // Workload arrivals.
+        if in_window {
+            while let Some(arrival) = self.arrivals_today.front().copied() {
+                if arrival.at > tod {
+                    break;
+                }
+                self.arrivals_today.pop_front();
+                let vm = self.generator.spawn(arrival.kind);
+                if let Some(vm) = self.place_vm(vm, arrival.kind, policy) {
+                    self.pending.push_back(vm);
+                }
+            }
+        }
+
+        // Solar generation for this step (also exposed to the policy).
+        let attenuation = self.clouds.step();
+        let solar_total = self.array.output(tod, attenuation);
+        self.last_solar = solar_total;
+
+        // Policy control interval.
+        let control_steps = self.config.control_interval.as_secs() / dt.as_secs();
+        if in_window && self.step_index.is_multiple_of(control_steps.max(1)) {
+            for host in self.cluster.hosts_mut() {
+                host.reap_completed();
+            }
+            let view = self.build_view();
+            let actions = policy.control(&view);
+            self.apply_actions(actions);
+            self.retry_pending(policy);
+        }
+
+        // Per-node power routing.
+        self.route_power(solar_total, tod, dt);
+
+        // Node restart checks.
+        if in_window {
+            self.try_restarts(solar_total);
+        }
+
+        // Advance the cluster (migrations + VM execution).
+        self.cluster.step(self.now, tod, dt);
+
+        // Downtime accounting.
+        if in_window {
+            for i in 0..self.config.nodes {
+                if !self.cluster.host(i).expect("index in range").is_online() {
+                    self.downtime[i] += dt;
+                }
+            }
+        }
+
+        // Trace recording.
+        if self.step_index.is_multiple_of(self.config.sample_every as u64) {
+            self.record_row(solar_total, tod);
+        }
+
+        self.now += dt;
+        self.step_index += 1;
+    }
+
+    fn start_day(&mut self, day: u64) {
+        self.started_day = Some(day);
+        // Jobs still queued from yesterday are reported once and carried
+        // over.
+        for _ in 0..self.pending.len() {
+            self.events.push(
+                self.now,
+                Event::PlacementFailed {
+                    node: self.config.nodes,
+                },
+            );
+        }
+        let plan_len = self.config.weather_plan.len() as u64;
+        self.weather_today = self.config.weather_plan[(day % plan_len) as usize];
+        self.clouds = CloudProcess::new(self.weather_today, self.config.seed ^ (day + 1));
+        let services = if day == 0 { self.config.services } else { 0 };
+        self.arrivals_today = self
+            .generator
+            .daily_plan(services, self.config.batch_jobs_per_day)
+            .into();
+        // Daily metric window reset (the controller's observation period).
+        for b in self.batteries.iter_mut() {
+            b.telemetry_mut().reset_window();
+        }
+    }
+
+    /// Attempts to place a VM; returns it back if no node can take it.
+    fn place_vm<P: Policy>(&mut self, vm: Vm, kind: WorkloadKind, policy: &mut P) -> Option<Vm> {
+        let view = self.build_view();
+        let order = policy.placement_order(kind, &view);
+        let request = kind.resource_request();
+        for node in order {
+            if node >= self.config.nodes {
+                continue;
+            }
+            let host = self.cluster.host_mut(node).expect("index in range");
+            if host.is_online() && host.fits(request) {
+                host.admit(vm).expect("fits was checked");
+                return None;
+            }
+        }
+        Some(vm)
+    }
+
+    /// Retries queued jobs in arrival order.
+    fn retry_pending<P: Policy>(&mut self, policy: &mut P) {
+        let mut still_pending = VecDeque::with_capacity(self.pending.len());
+        while let Some(vm) = self.pending.pop_front() {
+            let kind = vm.kind();
+            if let Some(vm) = self.place_vm(vm, kind, policy) {
+                still_pending.push_back(vm);
+            }
+        }
+        self.pending = still_pending;
+    }
+
+    fn apply_actions(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::SetDvfs { node, level } => {
+                    if let Ok(host) = self.cluster.host_mut(node) {
+                        if host.dvfs() != level {
+                            host.set_dvfs(level);
+                            self.events.push(self.now, Event::DvfsChanged { node, level });
+                        }
+                    } else {
+                        self.events.push(self.now, Event::ActionRejected { node });
+                    }
+                }
+                Action::Migrate { vm, target } => {
+                    let from = self.cluster.locate(vm).map(|s| s.0);
+                    match self.cluster.begin_migration(vm, ServerId(target), self.now) {
+                        Ok(()) => self.events.push(
+                            self.now,
+                            Event::MigrationStarted {
+                                vm,
+                                from: from.unwrap_or(usize::MAX),
+                                to: target,
+                            },
+                        ),
+                        Err(_) => self.events.push(
+                            self.now,
+                            Event::ActionRejected {
+                                node: from.unwrap_or(target),
+                            },
+                        ),
+                    }
+                }
+                Action::SetSocFloor { node, floor } => {
+                    if node < self.bank_of.len() {
+                        let bank = self.bank_of[node];
+                        if self.soc_floors[bank] != floor {
+                            self.soc_floors[bank] = floor;
+                            self.events
+                                .push(self.now, Event::SocFloorChanged { node, floor });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Battery terminal power available without crossing the bank's SoC
+    /// floor within one step.
+    fn floored_available(&self, bank: usize, dt: SimDuration) -> Watts {
+        let battery = self.batteries.unit(bank).expect("index in range");
+        let floor = self.soc_floors[bank];
+        let headroom = battery.soc().value() - floor.value();
+        if headroom <= 0.0 {
+            return Watts::ZERO;
+        }
+        let energy_wh = headroom
+            * battery.effective_capacity().as_f64()
+            * battery.open_circuit_voltage().as_f64();
+        let cap = Watts::new(energy_wh / dt.as_hours());
+        battery.available_discharge_power().min(cap)
+    }
+
+    fn route_power(&mut self, solar_total: Watts, tod: TimeOfDay, dt: SimDuration) {
+        let n = self.config.nodes;
+        // Outside the operating window the prototype's power switcher
+        // recharges batteries from the utility line ("switch the utility
+        // or renewable power to charge batteries", §V.A), so every day
+        // starts from full charge and batteries never sulphate at low
+        // SoC overnight.
+        if !self.in_window {
+            for b in 0..self.banks {
+                let battery = self.batteries.unit(b).expect("index in range");
+                let soc = battery.soc();
+                let p = self.chargers[b].charge_power(soc, self.chargers[b].max_power());
+                let op = if p.as_f64() > 0.0 {
+                    BatteryOp::Charge(p)
+                } else {
+                    BatteryOp::Idle
+                };
+                let result = self.batteries.unit_mut(b).expect("index in range").step(
+                    op,
+                    self.config.ambient,
+                    self.now,
+                    dt,
+                );
+                self.grid_charge_energy += result.accepted * dt;
+                self.last_currents[b] = result.current.as_f64();
+                self.last_voltages[b] = result.terminal_voltage.as_f64();
+                let battery = self.batteries.unit(b).expect("index in range");
+                let sample = self.sensors[b].sample(
+                    battery,
+                    Volts::new(self.last_voltages[b]),
+                    result.current,
+                    self.now,
+                );
+                for &node in &self.members[b] {
+                    self.power_table.record_battery(node, sample);
+                }
+            }
+            return;
+        }
+        let demands: Vec<Watts> = (0..n)
+            .map(|i| self.cluster.host(i).expect("index in range").power(tod))
+            .collect();
+
+        for b in 0..self.banks {
+            // Every bank hangs off its share of the PV feed proportional
+            // to the servers it backs (per-server integration: one node,
+            // one bank; shared pools: a rack's worth). The bank's surplus
+            // charges its own battery, so load placement really decides
+            // which battery suffers — the usage imbalance BAAT-h and
+            // BAAT exist to hide.
+            let member_nodes = self.members[b].clone();
+            let demand: Watts = member_nodes.iter().map(|&m| demands[m]).sum();
+            let solar_i = solar_total * (member_nodes.len() as f64 / n as f64);
+
+            let battery_available = self.floored_available(b, dt);
+            let soc = self.batteries.unit(b).expect("index in range").soc();
+            let acceptance = self.chargers[b].acceptance(soc);
+            let routing = self
+                .switcher
+                .route(demand, solar_i, battery_available, acceptance);
+
+            // Apply the battery operation.
+            let op = if routing.battery_to_load.as_f64() > 0.0 {
+                BatteryOp::Discharge(routing.battery_to_load)
+            } else {
+                let p = self.chargers[b].charge_power(soc, routing.surplus_to_charger);
+                if p.as_f64() > 0.0 {
+                    BatteryOp::Charge(p)
+                } else {
+                    BatteryOp::Idle
+                }
+            };
+            let result = self.batteries.unit_mut(b).expect("index in range").step(
+                op,
+                self.config.ambient,
+                self.now,
+                dt,
+            );
+            if result.cutoff {
+                self.events
+                    .push(self.now, Event::BatteryCutoff { node: member_nodes[0] });
+            }
+            self.last_currents[b] = result.current.as_f64();
+            self.last_voltages[b] = result.terminal_voltage.as_f64();
+
+            // Accounting.
+            self.unserved_energy += routing.unserved * dt;
+            self.curtailed_energy += routing.curtailed * dt;
+
+            // Sensor row into the power table (every member node sees its
+            // bank's telemetry, like rack members sharing a UPS monitor).
+            let battery = self.batteries.unit(b).expect("index in range");
+            let sample = self.sensors[b].sample(
+                battery,
+                Volts::new(self.last_voltages[b]),
+                result.current,
+                self.now,
+            );
+            for &node in &member_nodes {
+                self.power_table.record_battery(node, sample);
+                self.power_table.record_server(
+                    node,
+                    ServerPowerRecord {
+                        at: self.now,
+                        power: demands[node],
+                    },
+                );
+            }
+
+            // Emergency shedding on sustained unserved demand: shut down
+            // the hungriest online member first (a shared pool browns out
+            // one server at a time, not the whole rack at once).
+            if demand.as_f64() > 0.0 {
+                if routing.unserved.as_f64() > 0.05 * demand.as_f64() {
+                    self.unserved_streak[b] += 1;
+                    if self.unserved_streak[b] >= SHUTDOWN_STREAK {
+                        let victim = member_nodes
+                            .iter()
+                            .copied()
+                            .filter(|&m| {
+                                self.cluster.host(m).expect("index in range").is_online()
+                            })
+                            .max_by(|&a, &x| demands[a].as_f64().total_cmp(&demands[x].as_f64()));
+                        if let Some(victim) = victim {
+                            self.cluster
+                                .host_mut(victim)
+                                .expect("index in range")
+                                .power_off();
+                            self.offline_since[victim] = Some(self.now);
+                            self.events
+                                .push(self.now, Event::ServerShutdown { node: victim });
+                        }
+                        self.unserved_streak[b] = 0;
+                    }
+                } else {
+                    self.unserved_streak[b] = 0;
+                }
+            }
+        }
+    }
+
+    fn try_restarts(&mut self, solar_total: Watts) {
+        let n = self.config.nodes;
+        let idle = self.config.server_power.idle();
+        for i in 0..n {
+            let host = self.cluster.host(i).expect("index in range");
+            if host.is_online() {
+                continue;
+            }
+            let Some(since) = self.offline_since[i] else {
+                continue;
+            };
+            if self.now.saturating_since(since) < RESTART_DWELL {
+                continue;
+            }
+            let bank = self.bank_of[i];
+            let battery = self.batteries.unit(bank).expect("index in range");
+            let soc_ok =
+                battery.soc().value() > self.soc_floors[bank].value() + RESTART_SOC_MARGIN;
+            let solar_ok = solar_total.as_f64() / n as f64 > idle.as_f64() * 1.2;
+            if soc_ok || solar_ok {
+                let host = self.cluster.host_mut(i).expect("index in range");
+                host.power_on();
+                host.resume_all();
+                self.offline_since[i] = None;
+                self.events.push(self.now, Event::ServerRestart { node: i });
+            }
+        }
+    }
+
+    fn ratings(&self, node: usize) -> BatteryRatings {
+        let spec = self
+            .batteries
+            .unit(self.bank_of[node])
+            .expect("index in range")
+            .spec();
+        BatteryRatings {
+            capacity: spec.capacity(),
+            lifetime_throughput: spec.lifetime_throughput(),
+        }
+    }
+
+    /// Builds the read-only system view for policies.
+    pub fn build_view(&self) -> SystemView {
+        let tod = self.now.time_of_day();
+        let nodes = (0..self.config.nodes)
+            .map(|i| {
+                let bank = self.bank_of[i];
+                let share = 1.0 / self.members[bank].len() as f64;
+                let battery = self.batteries.unit(bank).expect("index in range");
+                let host = self.cluster.host(i).expect("index in range");
+                let ratings = self.ratings(i);
+                NodeView {
+                    node: i,
+                    soc: battery.soc(),
+                    window_metrics: AgingMetrics::from_accumulator(
+                        battery.telemetry().window(),
+                        &ratings,
+                    ),
+                    lifetime_metrics: AgingMetrics::from_accumulator(
+                        battery.telemetry().lifetime(),
+                        &ratings,
+                    ),
+                    damage: battery.aging().total_damage(),
+                    capacity_fraction: battery.aging().capacity_fraction(),
+                    server_power: host.power(tod),
+                    utilization: host.utilization(tod),
+                    dvfs: host.dvfs(),
+                    online: host.is_online(),
+                    free_resources: host.free_resources(),
+                    vms: host
+                        .vms()
+                        .map(|vm| VmView {
+                            id: vm.id(),
+                            kind: vm.kind(),
+                            state: vm.state(),
+                            progress: vm.progress(),
+                        })
+                        .collect(),
+                    battery_available: self.floored_available(bank, self.config.dt) * share,
+                    battery_capacity_wh: battery.effective_capacity().as_f64()
+                        * battery.spec().nominal_voltage().as_f64()
+                        * share,
+                    battery_capacity_ah: battery.spec().capacity().as_f64() * share,
+                    battery_lifetime_throughput_ah: battery
+                        .spec()
+                        .lifetime_throughput()
+                        .as_f64()
+                        * share,
+                    soc_floor: self.soc_floors[bank],
+                    cutoff_events: battery.cutoff_events(),
+                    hours_since_full: battery.hours_since_full(),
+                }
+            })
+            .collect();
+        SystemView {
+            now: self.now,
+            tod,
+            weather: self.weather_today,
+            solar: self.last_solar,
+            nodes,
+        }
+    }
+
+    fn record_row(&mut self, solar: Watts, tod: TimeOfDay) {
+        let n = self.config.nodes;
+        let row = TraceRow {
+            at: self.now,
+            solar,
+            soc: (0..n)
+                .map(|i| {
+                    self.batteries
+                        .unit(self.bank_of[i])
+                        .expect("index in range")
+                        .soc()
+                        .value()
+                })
+                .collect(),
+            server_power: (0..n)
+                .map(|i| self.cluster.host(i).expect("index in range").power(tod))
+                .collect(),
+            battery_current: (0..n).map(|i| self.last_currents[self.bank_of[i]]).collect(),
+            work_cumulative: self.cluster.total_work_done(),
+        };
+        self.recorder.push(row);
+    }
+
+    /// Consumes the simulation and produces the final report.
+    pub fn into_report(self, policy: &'static str) -> SimReport {
+        let completed_jobs = self.cluster.hosts().map(|h| h.completed_jobs()).sum();
+        let migrations = self.cluster.migrations_started();
+        let nodes = (0..self.config.nodes)
+            .map(|i| {
+                let battery = self
+                    .batteries
+                    .unit(self.bank_of[i])
+                    .expect("index in range");
+                let acc = battery.telemetry().lifetime();
+                let ratings = BatteryRatings {
+                    capacity: battery.spec().capacity(),
+                    lifetime_throughput: battery.spec().lifetime_throughput(),
+                };
+                NodeReport {
+                    node: i,
+                    damage: battery.aging().total_damage(),
+                    damage_breakdown: *battery.aging().breakdown(),
+                    capacity_fraction: battery.aging().capacity_fraction(),
+                    lifetime_metrics: AgingMetrics::from_accumulator(acc, &ratings),
+                    soc_histogram: acc.soc_time_histogram,
+                    deep_discharge_time: acc.deep_discharge_time,
+                    observed: acc.observed,
+                    cutoff_events: battery.cutoff_events(),
+                    downtime: self.downtime[i],
+                    full_charge_events: acc.full_charge_events,
+                    round_trip_efficiency: acc.round_trip_efficiency(),
+                    work_done: self.cluster.host(i).expect("index in range").work_done(),
+                }
+            })
+            .collect();
+        SimReport {
+            policy,
+            days: self.config.days(),
+            nodes,
+            total_work: self.cluster.total_work_done(),
+            completed_jobs,
+            migrations,
+            unserved_energy: self.unserved_energy,
+            curtailed_energy: self.curtailed_energy,
+            grid_charge_energy: self.grid_charge_energy,
+            recorder: self.recorder,
+            events: self.events,
+        }
+    }
+}
+
+/// Convenience: run one configuration under one policy.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration is rejected.
+///
+/// # Examples
+///
+/// ```
+/// use baat_sim::{run_simulation, RoundRobinPolicy, SimConfig};
+/// use baat_solar::Weather;
+///
+/// let config = SimConfig::prototype_day(Weather::Sunny, 42);
+/// let report = run_simulation(config, &mut RoundRobinPolicy::new())?;
+/// assert_eq!(report.days, 1);
+/// # Ok::<(), baat_sim::SimError>(())
+/// ```
+pub fn run_simulation<P: Policy>(config: SimConfig, policy: &mut P) -> Result<SimReport, SimError> {
+    Ok(Simulation::new(config)?.run(policy))
+}
+
+/// Fraction of operating time servers were up, across the run (a simple
+/// availability figure).
+pub fn availability(report: &SimReport, operating: SimDuration) -> Fraction {
+    if operating.is_zero() || report.nodes.is_empty() {
+        return Fraction::ONE;
+    }
+    let total_downtime: f64 = report
+        .nodes
+        .iter()
+        .map(|n| n.downtime.as_secs() as f64)
+        .sum();
+    let total_operating = operating.as_secs() as f64 * report.nodes.len() as f64;
+    Fraction::saturating(1.0 - total_downtime / total_operating)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RoundRobinPolicy;
+
+    fn quick_config(weather: Weather) -> SimConfig {
+        let mut b = SimConfig::builder();
+        b.weather_plan(vec![weather])
+            .dt(SimDuration::from_secs(30))
+            .sample_every(10)
+            .seed(7);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn one_sunny_day_runs_and_does_work() {
+        let report =
+            run_simulation(quick_config(Weather::Sunny), &mut RoundRobinPolicy::new()).unwrap();
+        assert!(report.total_work > 0.0, "servers must compute");
+        assert!(report.completed_jobs > 0, "batch jobs must finish");
+        assert!(!report.recorder.is_empty());
+        assert_eq!(report.nodes.len(), 6);
+    }
+
+    #[test]
+    fn batteries_cycle_during_the_day() {
+        let report =
+            run_simulation(quick_config(Weather::Cloudy), &mut RoundRobinPolicy::new()).unwrap();
+        for node in &report.nodes {
+            assert!(
+                node.lifetime_metrics.nat > 0.0,
+                "node {} never discharged",
+                node.node
+            );
+        }
+        assert!(report.mean_damage() > 0.0);
+    }
+
+    #[test]
+    fn rainy_day_stresses_batteries_more_than_sunny() {
+        let sunny =
+            run_simulation(quick_config(Weather::Sunny), &mut RoundRobinPolicy::new()).unwrap();
+        let rainy =
+            run_simulation(quick_config(Weather::Rainy), &mut RoundRobinPolicy::new()).unwrap();
+        assert!(
+            rainy.total_ah_discharged() > sunny.total_ah_discharged(),
+            "rainy {} vs sunny {}",
+            rainy.total_ah_discharged(),
+            sunny.total_ah_discharged()
+        );
+        assert!(rainy.mean_damage() > sunny.mean_damage());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_simulation(quick_config(Weather::Cloudy), &mut RoundRobinPolicy::new())
+            .unwrap();
+        let b = run_simulation(quick_config(Weather::Cloudy), &mut RoundRobinPolicy::new())
+            .unwrap();
+        assert_eq!(a.total_work, b.total_work);
+        assert_eq!(a.mean_damage(), b.mean_damage());
+        assert_eq!(a.events.len(), b.events.len());
+    }
+
+    #[test]
+    fn servers_idle_outside_operating_window() {
+        let report =
+            run_simulation(quick_config(Weather::Sunny), &mut RoundRobinPolicy::new()).unwrap();
+        // Find a recorded row before 08:30: server power must be zero.
+        let early = report
+            .recorder
+            .rows()
+            .iter()
+            .find(|r| r.at.time_of_day() < TimeOfDay::from_hm(8, 0))
+            .expect("early rows exist");
+        assert!(early.server_power.iter().all(|p| p.as_f64() == 0.0));
+        // And a midday row with nonzero power.
+        let midday = report
+            .recorder
+            .rows()
+            .iter()
+            .find(|r| {
+                r.at.time_of_day() > TimeOfDay::from_hm(11, 0)
+                    && r.at.time_of_day() < TimeOfDay::from_hm(12, 0)
+            })
+            .expect("midday rows exist");
+        assert!(midday.server_power.iter().any(|p| p.as_f64() > 0.0));
+    }
+
+    #[test]
+    fn pre_aging_increases_reported_damage() {
+        let config = quick_config(Weather::Sunny);
+        let mut sim = Simulation::new(config).unwrap();
+        sim.pre_age_batteries(0.5);
+        let mut policy = RoundRobinPolicy::new();
+        let report = sim.run(&mut policy);
+        assert!(report.mean_damage() >= 0.5);
+        for node in &report.nodes {
+            assert!(node.capacity_fraction < 0.95);
+        }
+    }
+
+    #[test]
+    fn multi_day_run_advances_clock() {
+        let mut b = SimConfig::builder();
+        b.weather_plan(vec![Weather::Sunny, Weather::Rainy])
+            .dt(SimDuration::from_secs(60))
+            .sample_every(10)
+            .seed(3);
+        let config = b.build().unwrap();
+        let report = run_simulation(config, &mut RoundRobinPolicy::new()).unwrap();
+        assert_eq!(report.days, 2);
+        let last = report.recorder.rows().last().unwrap();
+        assert_eq!(last.at.day(), 1);
+    }
+
+    #[test]
+    fn shared_pool_topology_runs_and_shares_telemetry() {
+        use crate::config::BatteryTopology;
+        let mut b = SimConfig::builder();
+        b.weather_plan(vec![Weather::Cloudy])
+            .dt(SimDuration::from_secs(30))
+            .sample_every(10)
+            .topology(BatteryTopology::SharedPool { pools: 2 })
+            .seed(7);
+        let config = b.build().unwrap();
+        let report = run_simulation(config, &mut RoundRobinPolicy::new()).unwrap();
+        assert!(report.total_work > 0.0);
+        // Rack members share a bank: their battery stats are identical.
+        assert_eq!(report.nodes[0].damage, report.nodes[1].damage);
+        assert_eq!(report.nodes[0].damage, report.nodes[2].damage);
+        assert_eq!(report.nodes[3].damage, report.nodes[5].damage);
+        // The two pools differ (different loads + manufacturing spread).
+        assert_ne!(report.nodes[0].damage, report.nodes[3].damage);
+    }
+
+    #[test]
+    fn shared_pool_must_divide_nodes() {
+        use crate::config::BatteryTopology;
+        let mut b = SimConfig::builder();
+        b.topology(BatteryTopology::SharedPool { pools: 4 }); // 6 % 4 != 0
+        assert!(b.build().is_err());
+        let mut b2 = SimConfig::builder();
+        b2.topology(BatteryTopology::SharedPool { pools: 0 });
+        assert!(b2.build().is_err());
+    }
+
+    #[test]
+    fn shared_pool_sheds_one_server_at_a_time() {
+        use crate::config::BatteryTopology;
+        use crate::events::Event;
+        // One big pool on a rainy day: shedding events must name
+        // individual nodes, not kill the whole rack at once.
+        let mut b = SimConfig::builder();
+        b.weather_plan(vec![Weather::Rainy])
+            .dt(SimDuration::from_secs(30))
+            .sample_every(10)
+            .topology(BatteryTopology::SharedPool { pools: 1 })
+            .seed(3);
+        let report = run_simulation(b.build().unwrap(), &mut RoundRobinPolicy::new()).unwrap();
+        let shutdowns: Vec<usize> = report
+            .events
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::ServerShutdown { node } => Some(node),
+                _ => None,
+            })
+            .collect();
+        assert!(!shutdowns.is_empty(), "a rainy day must shed load");
+        // Nodes survive long enough that sheds happen at distinct times.
+        assert!(report.total_work > 0.0);
+    }
+
+    #[test]
+    fn availability_counts_downtime() {
+        let report =
+            run_simulation(quick_config(Weather::Rainy), &mut RoundRobinPolicy::new()).unwrap();
+        let a = availability(&report, SimDuration::from_hours(10));
+        assert!(a.value() <= 1.0);
+    }
+}

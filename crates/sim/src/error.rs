@@ -1,0 +1,57 @@
+//! Error types for simulation configuration and execution.
+
+/// Errors raised while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An underlying component rejected a setup parameter.
+    Component {
+        /// Which subsystem failed.
+        subsystem: &'static str,
+        /// The component's error message.
+        message: String,
+    },
+}
+
+impl SimError {
+    /// Wraps a component error under a subsystem label.
+    pub fn component(subsystem: &'static str, err: impl core::fmt::Display) -> Self {
+        SimError::Component {
+            subsystem,
+            message: err.to_string(),
+        }
+    }
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid simulation config field `{field}`: {reason}")
+            }
+            SimError::Component { subsystem, message } => {
+                write!(f, "{subsystem} setup failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_wrapper_preserves_message() {
+        let err = SimError::component("battery", "bad spec");
+        assert!(err.to_string().contains("battery"));
+        assert!(err.to_string().contains("bad spec"));
+    }
+}

@@ -1,0 +1,132 @@
+//! The simulation event log.
+
+use baat_server::DvfsLevel;
+use baat_units::{SimInstant, Soc};
+use baat_workload::VmId;
+
+/// A discrete event the engine records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A server was shut down after sustained unserved demand (checkpoint).
+    ServerShutdown {
+        /// Affected node.
+        node: usize,
+    },
+    /// A server came back after power recovered.
+    ServerRestart {
+        /// Affected node.
+        node: usize,
+    },
+    /// A policy changed a server's DVFS level.
+    DvfsChanged {
+        /// Affected node.
+        node: usize,
+        /// New level.
+        level: DvfsLevel,
+    },
+    /// A policy started a VM migration.
+    MigrationStarted {
+        /// The VM in flight.
+        vm: VmId,
+        /// Source node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+    },
+    /// A requested action could not be applied.
+    ActionRejected {
+        /// Affected node (source, for migrations).
+        node: usize,
+    },
+    /// A battery refused (part of) a discharge request.
+    BatteryCutoff {
+        /// Affected node.
+        node: usize,
+    },
+    /// A policy changed a node's SoC floor.
+    SocFloorChanged {
+        /// Affected node.
+        node: usize,
+        /// New floor.
+        floor: Soc,
+    },
+    /// A workload arrival could not be placed anywhere.
+    PlacementFailed {
+        /// The node count at the time (for context).
+        node: usize,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// When the event happened.
+    pub at: SimInstant,
+    /// What happened.
+    pub event: Event,
+}
+
+/// Append-only event log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventLog {
+    events: Vec<TimedEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, at: SimInstant, event: Event) {
+        self.events.push(TimedEvent { at, event });
+    }
+
+    /// All events in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Counts events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.event)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_ordered_and_countable() {
+        let mut log = EventLog::new();
+        log.push(SimInstant::from_secs(1), Event::ServerShutdown { node: 0 });
+        log.push(SimInstant::from_secs(5), Event::ServerRestart { node: 0 });
+        log.push(SimInstant::from_secs(9), Event::ServerShutdown { node: 1 });
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            log.count(|e| matches!(e, Event::ServerShutdown { .. })),
+            2
+        );
+        let times: Vec<u64> = log.iter().map(|e| e.at.as_secs()).collect();
+        assert_eq!(times, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.count(|_| true), 0);
+    }
+}

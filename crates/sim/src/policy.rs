@@ -1,0 +1,183 @@
+//! The policy interface: how a battery-management scheme plugs into the
+//! engine.
+//!
+//! The four Table-4 schemes (e-Buff, BAAT-s, BAAT-h, BAAT) are
+//! implementations of [`Policy`] living in `baat-core`. The engine calls
+//! [`Policy::control`] every control interval and applies the returned
+//! [`Action`]s, and consults [`Policy::placement_order`] whenever a new
+//! workload arrives.
+
+use baat_server::DvfsLevel;
+use baat_units::Soc;
+use baat_workload::{VmId, WorkloadKind};
+
+use crate::view::SystemView;
+
+/// An actuation a policy can request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Set a server's DVFS level (power capping, Fig 9).
+    SetDvfs {
+        /// Target node.
+        node: usize,
+        /// Level to apply.
+        level: DvfsLevel,
+    },
+    /// Live-migrate a VM to another node (aging hiding / slowdown).
+    Migrate {
+        /// The VM to move.
+        vm: VmId,
+        /// Destination node.
+        target: usize,
+    },
+    /// Set the battery discharge floor: the engine will not discharge the
+    /// node's battery below this SoC (planned aging sets it to
+    /// `1 − DoD_goal`; e-Buff leaves it at zero).
+    SetSocFloor {
+        /// Target node.
+        node: usize,
+        /// Minimum SoC to preserve.
+        floor: Soc,
+    },
+}
+
+/// A battery-aging management policy (paper Table 4).
+pub trait Policy {
+    /// Short name for reports ("e-Buff", "BAAT", …).
+    fn name(&self) -> &'static str;
+
+    /// Invoked every control interval with the current system view;
+    /// returns actuations to apply. Infeasible actions (e.g. a migration
+    /// to a full host) are dropped and logged, mirroring the prototype
+    /// where commands can fail at the Xen layer.
+    fn control(&mut self, view: &SystemView) -> Vec<Action>;
+
+    /// Ranks nodes for placing a newly arrived workload, best first. The
+    /// engine admits the VM to the first node in the order with free
+    /// resources; an empty order means "reject the workload".
+    fn placement_order(&mut self, kind: WorkloadKind, view: &SystemView) -> Vec<usize>;
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn control(&mut self, view: &SystemView) -> Vec<Action> {
+        (**self).control(view)
+    }
+
+    fn placement_order(&mut self, kind: WorkloadKind, view: &SystemView) -> Vec<usize> {
+        (**self).placement_order(kind, view)
+    }
+}
+
+/// Baseline placement with no battery awareness: round-robin placement,
+/// no control actions. Useful for engine tests and as the naive
+/// comparison point.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinPolicy {
+    next: usize,
+}
+
+impl RoundRobinPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for RoundRobinPolicy {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn control(&mut self, _view: &SystemView) -> Vec<Action> {
+        Vec::new()
+    }
+
+    fn placement_order(&mut self, _kind: WorkloadKind, view: &SystemView) -> Vec<usize> {
+        let n = view.nodes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let start = self.next % n;
+        self.next = (self.next + 1) % n;
+        (0..n).map(|i| (start + i) % n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baat_solar::Weather;
+    use baat_units::{SimInstant, TimeOfDay, Watts};
+
+    fn empty_view(nodes: usize) -> SystemView {
+        SystemView {
+            now: SimInstant::START,
+            tod: TimeOfDay::NOON,
+            weather: Weather::Sunny,
+            solar: Watts::ZERO,
+            nodes: (0..nodes)
+                .map(|i| crate::view::NodeView {
+                    node: i,
+                    soc: Soc::FULL,
+                    window_metrics: baat_metrics::AgingMetrics::from_accumulator(
+                        &baat_battery::UsageAccumulator::default(),
+                        &baat_metrics::BatteryRatings {
+                            capacity: baat_units::AmpHours::new(35.0),
+                            lifetime_throughput: baat_units::AmpHours::new(17_500.0),
+                        },
+                    ),
+                    lifetime_metrics: baat_metrics::AgingMetrics::from_accumulator(
+                        &baat_battery::UsageAccumulator::default(),
+                        &baat_metrics::BatteryRatings {
+                            capacity: baat_units::AmpHours::new(35.0),
+                            lifetime_throughput: baat_units::AmpHours::new(17_500.0),
+                        },
+                    ),
+                    damage: 0.0,
+                    capacity_fraction: 1.0,
+                    server_power: Watts::ZERO,
+                    utilization: baat_units::Fraction::ZERO,
+                    dvfs: DvfsLevel::P0,
+                    online: true,
+                    free_resources: (8, 16),
+                    vms: Vec::new(),
+                    battery_available: Watts::ZERO,
+                    battery_capacity_wh: 840.0,
+                    battery_capacity_ah: 70.0,
+                    battery_lifetime_throughput_ah: 35_000.0,
+                    soc_floor: Soc::EMPTY,
+                    cutoff_events: 0,
+                    hours_since_full: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_through_nodes() {
+        let mut p = RoundRobinPolicy::new();
+        let view = empty_view(3);
+        let first = p.placement_order(WorkloadKind::KMeans, &view);
+        let second = p.placement_order(WorkloadKind::KMeans, &view);
+        assert_eq!(first, vec![0, 1, 2]);
+        assert_eq!(second, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn round_robin_issues_no_actions() {
+        let mut p = RoundRobinPolicy::new();
+        assert!(p.control(&empty_view(2)).is_empty());
+    }
+
+    #[test]
+    fn empty_cluster_gives_empty_order() {
+        let mut p = RoundRobinPolicy::new();
+        assert!(p
+            .placement_order(WorkloadKind::KMeans, &empty_view(0))
+            .is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Time-series trace recording.
+//!
+//! The prototype's display module visualizes "data captured by sensors,
+//! system log trace, and various aging metrics … in real time" (§V.A).
+//! The recorder is the simulation's equivalent: downsampled per-node
+//! series plus global series, consumed by the figure harness.
+
+use baat_units::{SimInstant, Watts};
+
+/// One recorded sample row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// Sample time.
+    pub at: SimInstant,
+    /// Total solar power.
+    pub solar: Watts,
+    /// Per-node battery SoC (0–1).
+    pub soc: Vec<f64>,
+    /// Per-node server power.
+    pub server_power: Vec<Watts>,
+    /// Per-node battery current (positive = discharge), amperes.
+    pub battery_current: Vec<f64>,
+    /// Cumulative useful work (core-hours).
+    pub work_cumulative: f64,
+}
+
+/// Downsampled time-series store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recorder {
+    rows: Vec<TraceRow>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample row.
+    pub fn push(&mut self, row: TraceRow) {
+        self.rows.push(row);
+    }
+
+    /// All rows in time order.
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// Number of rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The SoC series of one node.
+    pub fn soc_series(&self, node: usize) -> impl Iterator<Item = (SimInstant, f64)> + '_ {
+        self.rows.iter().map(move |r| (r.at, r.soc[node]))
+    }
+
+    /// The solar series.
+    pub fn solar_series(&self) -> impl Iterator<Item = (SimInstant, Watts)> + '_ {
+        self.rows.iter().map(|r| (r.at, r.solar))
+    }
+
+    /// Final cumulative work, or zero if nothing was recorded.
+    pub fn final_work(&self) -> f64 {
+        self.rows.last().map_or(0.0, |r| r.work_cumulative)
+    }
+
+    /// Renders the trace as CSV (one row per sample; per-node SoC, server
+    /// power and battery current columns), for plotting outside Rust.
+    pub fn to_csv(&self) -> String {
+        let nodes = self.rows.first().map_or(0, |r| r.soc.len());
+        let mut out = String::from("time_s,solar_w");
+        for i in 0..nodes {
+            out.push_str(&format!(",soc_{i},server_w_{i},battery_a_{i}"));
+        }
+        out.push_str(",work_cumulative\n");
+        for r in &self.rows {
+            out.push_str(&format!("{},{:.1}", r.at.as_secs(), r.solar.as_f64()));
+            for i in 0..nodes {
+                out.push_str(&format!(
+                    ",{:.4},{:.1},{:.2}",
+                    r.soc[i],
+                    r.server_power[i].as_f64(),
+                    r.battery_current[i]
+                ));
+            }
+            out.push_str(&format!(",{:.3}\n", r.work_cumulative));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(at: u64, soc: f64, work: f64) -> TraceRow {
+        TraceRow {
+            at: SimInstant::from_secs(at),
+            solar: Watts::new(100.0),
+            soc: vec![soc, soc / 2.0],
+            server_power: vec![Watts::new(80.0), Watts::new(90.0)],
+            battery_current: vec![1.0, -2.0],
+            work_cumulative: work,
+        }
+    }
+
+    #[test]
+    fn series_extraction() {
+        let mut r = Recorder::new();
+        r.push(row(0, 1.0, 0.0));
+        r.push(row(60, 0.8, 5.0));
+        let soc: Vec<f64> = r.soc_series(1).map(|(_, v)| v).collect();
+        assert_eq!(soc, vec![0.5, 0.4]);
+        assert_eq!(r.final_work(), 5.0);
+        assert_eq!(r.solar_series().count(), 2);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut r = Recorder::new();
+        r.push(row(0, 1.0, 0.0));
+        r.push(row(60, 0.8, 5.0));
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("time_s,solar_w,soc_0"));
+        assert!(lines[2].starts_with("60,"));
+    }
+
+    #[test]
+    fn empty_recorder() {
+        let r = Recorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.final_work(), 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! End-of-run simulation reports.
+
+use baat_battery::DamageBreakdown;
+use baat_metrics::AgingMetrics;
+use baat_units::{SimDuration, WattHours};
+
+use crate::events::EventLog;
+use crate::recorder::Recorder;
+
+/// Per-node outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Node index.
+    pub node: usize,
+    /// Final accumulated aging damage (1.0 = end-of-life).
+    pub damage: f64,
+    /// Per-mechanism damage breakdown.
+    pub damage_breakdown: DamageBreakdown,
+    /// Final effective capacity as a fraction of nominal.
+    pub capacity_fraction: f64,
+    /// Aging metrics over the whole run.
+    pub lifetime_metrics: AgingMetrics,
+    /// Time-weighted SoC histogram over the 7 Fig-19 bins.
+    pub soc_histogram: [SimDuration; 7],
+    /// Time spent below 40 % SoC (Fig 18's low-SoC duration).
+    pub deep_discharge_time: SimDuration,
+    /// Total observed time.
+    pub observed: SimDuration,
+    /// Battery cutoff events.
+    pub cutoff_events: u64,
+    /// Server downtime during operating hours.
+    pub downtime: SimDuration,
+    /// Full recharges reached.
+    pub full_charge_events: u64,
+    /// Round-trip energy efficiency over the run, if chargeable.
+    pub round_trip_efficiency: Option<f64>,
+    /// Useful work done by this node's server (core-hours).
+    pub work_done: f64,
+}
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Name of the policy that ran.
+    pub policy: &'static str,
+    /// Days simulated.
+    pub days: usize,
+    /// Per-node outcomes.
+    pub nodes: Vec<NodeReport>,
+    /// Total useful work (core-hours) — the Fig 20 throughput metric.
+    pub total_work: f64,
+    /// Batch jobs completed.
+    pub completed_jobs: u64,
+    /// VM migrations started.
+    pub migrations: u64,
+    /// Demand energy that could not be served.
+    pub unserved_energy: WattHours,
+    /// Solar energy curtailed (battery full, load met).
+    pub curtailed_energy: WattHours,
+    /// Utility energy drawn for overnight battery recharge.
+    pub grid_charge_energy: WattHours,
+    /// Downsampled time series.
+    pub recorder: Recorder,
+    /// Discrete event log.
+    pub events: EventLog,
+}
+
+impl SimReport {
+    /// The paper's "worst battery node": highest accumulated damage.
+    pub fn worst_node(&self) -> &NodeReport {
+        self.nodes
+            .iter()
+            .max_by(|a, b| a.damage.total_cmp(&b.damage))
+            .expect("simulations always have nodes")
+    }
+
+    /// Mean damage across nodes.
+    pub fn mean_damage(&self) -> f64 {
+        self.nodes.iter().map(|n| n.damage).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// Worst-node low-SoC duration (the Fig 18 availability proxy).
+    pub fn worst_low_soc_duration(&self) -> SimDuration {
+        self.nodes
+            .iter()
+            .map(|n| n.deep_discharge_time)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Aggregate SoC histogram across all nodes (Fig 19).
+    pub fn aggregate_soc_histogram(&self) -> [SimDuration; 7] {
+        let mut agg = [SimDuration::ZERO; 7];
+        for n in &self.nodes {
+            for (a, b) in agg.iter_mut().zip(n.soc_histogram.iter()) {
+                *a += *b;
+            }
+        }
+        agg
+    }
+
+    /// Total Ah discharged across all nodes over the run.
+    pub fn total_ah_discharged(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.lifetime_metrics.nat)
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baat_battery::UsageAccumulator;
+    use baat_metrics::BatteryRatings;
+    use baat_units::AmpHours;
+
+    fn node(i: usize, damage: f64, deep_secs: u64) -> NodeReport {
+        NodeReport {
+            node: i,
+            damage,
+            damage_breakdown: DamageBreakdown::default(),
+            capacity_fraction: 1.0 - 0.2 * damage,
+            lifetime_metrics: AgingMetrics::from_accumulator(
+                &UsageAccumulator::default(),
+                &BatteryRatings {
+                    capacity: AmpHours::new(35.0),
+                    lifetime_throughput: AmpHours::new(17_500.0),
+                },
+            ),
+            soc_histogram: [SimDuration::from_secs(10); 7],
+            deep_discharge_time: SimDuration::from_secs(deep_secs),
+            observed: SimDuration::from_hours(10),
+            cutoff_events: 0,
+            downtime: SimDuration::ZERO,
+            full_charge_events: 1,
+            round_trip_efficiency: Some(0.8),
+            work_done: 5.0,
+        }
+    }
+
+    fn report() -> SimReport {
+        SimReport {
+            policy: "test",
+            days: 1,
+            nodes: vec![node(0, 0.1, 100), node(1, 0.5, 900), node(2, 0.3, 300)],
+            total_work: 15.0,
+            completed_jobs: 4,
+            migrations: 2,
+            unserved_energy: WattHours::ZERO,
+            curtailed_energy: WattHours::ZERO,
+            grid_charge_energy: WattHours::ZERO,
+            recorder: Recorder::new(),
+            events: EventLog::new(),
+        }
+    }
+
+    #[test]
+    fn worst_node_is_highest_damage() {
+        assert_eq!(report().worst_node().node, 1);
+    }
+
+    #[test]
+    fn mean_damage_is_average() {
+        assert!((report().mean_damage() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_low_soc_duration_is_max() {
+        assert_eq!(
+            report().worst_low_soc_duration(),
+            SimDuration::from_secs(900)
+        );
+    }
+
+    #[test]
+    fn aggregate_histogram_sums_nodes() {
+        let agg = report().aggregate_soc_histogram();
+        assert!(agg.iter().all(|d| *d == SimDuration::from_secs(30)));
+    }
+}

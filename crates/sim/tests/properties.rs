@@ -1,0 +1,79 @@
+//! Property-based tests for engine-level invariants, run on coarse
+//! timesteps to keep the case count affordable.
+
+use baat_sim::{run_simulation, RoundRobinPolicy, SimConfig};
+use baat_solar::Weather;
+use baat_units::SimDuration;
+use proptest::prelude::*;
+
+fn weather_strategy() -> impl Strategy<Value = Weather> {
+    prop_oneof![
+        Just(Weather::Sunny),
+        Just(Weather::Cloudy),
+        Just(Weather::Rainy),
+    ]
+}
+
+fn coarse_config(weather: Weather, seed: u64, nodes: usize) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![weather])
+        .nodes(nodes)
+        .dt(SimDuration::from_secs(300))
+        .control_interval(SimDuration::from_secs(300))
+        .sample_every(2)
+        .seed(seed);
+    b.build().expect("coarse config is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// SoC traces stay in [0, 1] for any weather/seed/fleet size.
+    #[test]
+    fn soc_always_bounded(weather in weather_strategy(), seed in 0u64..500, nodes in 1usize..8) {
+        let report = run_simulation(
+            coarse_config(weather, seed, nodes),
+            &mut RoundRobinPolicy::new(),
+        ).expect("simulation runs");
+        for row in report.recorder.rows() {
+            for &soc in &row.soc {
+                prop_assert!((0.0..=1.0).contains(&soc), "soc {soc}");
+            }
+        }
+    }
+
+    /// Damage is non-negative, monotone with usage, and every node report
+    /// is internally consistent.
+    #[test]
+    fn reports_are_consistent(weather in weather_strategy(), seed in 0u64..500) {
+        let report = run_simulation(
+            coarse_config(weather, seed, 6),
+            &mut RoundRobinPolicy::new(),
+        ).expect("simulation runs");
+        for node in &report.nodes {
+            prop_assert!(node.damage >= 0.0);
+            prop_assert!((0.5..=1.0).contains(&node.capacity_fraction));
+            prop_assert!(node.deep_discharge_time <= node.observed);
+            let hist_total: u64 = node.soc_histogram.iter().map(|d| d.as_secs()).sum();
+            prop_assert_eq!(hist_total, node.observed.as_secs());
+            prop_assert!(node.work_done >= 0.0);
+        }
+        prop_assert!(report.unserved_energy.as_f64() >= 0.0);
+        prop_assert!(report.curtailed_energy.as_f64() >= 0.0);
+        prop_assert!(report.grid_charge_energy.as_f64() >= 0.0);
+        let node_work: f64 = report.nodes.iter().map(|n| n.work_done).sum();
+        prop_assert!((node_work - report.total_work).abs() < 1e-6);
+    }
+
+    /// Determinism: the same config twice gives the same report skeleton.
+    #[test]
+    fn runs_are_deterministic(weather in weather_strategy(), seed in 0u64..500) {
+        let a = run_simulation(coarse_config(weather, seed, 6), &mut RoundRobinPolicy::new())
+            .expect("simulation runs");
+        let b = run_simulation(coarse_config(weather, seed, 6), &mut RoundRobinPolicy::new())
+            .expect("simulation runs");
+        prop_assert_eq!(a.total_work, b.total_work);
+        prop_assert_eq!(a.completed_jobs, b.completed_jobs);
+        prop_assert_eq!(a.events.len(), b.events.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! Error types for solar model configuration.
+
+/// Configuration failure in the solar models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolarError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for SolarError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SolarError::InvalidConfig { field, reason } => {
+                write!(f, "invalid solar config field `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let err = SolarError::InvalidConfig {
+            field: "dt",
+            reason: "zero".to_owned(),
+        };
+        assert!(err.to_string().contains("dt"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Clear-sky diurnal irradiance profile.
+//!
+//! Solar input follows the classic half-sine clear-sky shape between
+//! sunrise and sunset (Wang & Chow's solar radiation model [41] reduces to
+//! this under clear sky at fixed tilt): zero outside daylight, peaking at
+//! solar noon.
+
+use baat_units::TimeOfDay;
+
+use crate::error::SolarError;
+
+/// Clear-sky irradiance profile for one site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClearSky {
+    sunrise: TimeOfDay,
+    sunset: TimeOfDay,
+}
+
+impl ClearSky {
+    /// Creates a profile with the given sunrise and sunset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolarError::InvalidConfig`] if sunset is not after
+    /// sunrise.
+    pub fn new(sunrise: TimeOfDay, sunset: TimeOfDay) -> Result<Self, SolarError> {
+        if sunset <= sunrise {
+            return Err(SolarError::InvalidConfig {
+                field: "sunset",
+                reason: format!("sunset {sunset} must be after sunrise {sunrise}"),
+            });
+        }
+        Ok(Self { sunrise, sunset })
+    }
+
+    /// A temperate mid-year default: 06:30 to 19:30.
+    pub fn temperate() -> Self {
+        Self::new(TimeOfDay::from_hm(6, 30), TimeOfDay::from_hm(19, 30))
+            .expect("static times are valid")
+    }
+
+    /// Sunrise time.
+    pub fn sunrise(&self) -> TimeOfDay {
+        self.sunrise
+    }
+
+    /// Sunset time.
+    pub fn sunset(&self) -> TimeOfDay {
+        self.sunset
+    }
+
+    /// Day length in hours.
+    pub fn day_length_hours(&self) -> f64 {
+        f64::from(self.sunset.as_secs() - self.sunrise.as_secs()) / 3600.0
+    }
+
+    /// Normalized clear-sky irradiance in `[0, 1]` at a time of day:
+    /// `sin(π · (t − sunrise) / daylength)` during daylight, zero at
+    /// night.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use baat_solar::ClearSky;
+    /// use baat_units::TimeOfDay;
+    ///
+    /// let sky = ClearSky::temperate();
+    /// assert_eq!(sky.normalized_irradiance(TimeOfDay::MIDNIGHT), 0.0);
+    /// assert!(sky.normalized_irradiance(TimeOfDay::from_hm(13, 0)) > 0.9);
+    /// ```
+    pub fn normalized_irradiance(&self, at: TimeOfDay) -> f64 {
+        let t = f64::from(at.as_secs());
+        let rise = f64::from(self.sunrise.as_secs());
+        let set = f64::from(self.sunset.as_secs());
+        if t <= rise || t >= set {
+            return 0.0;
+        }
+        (core::f64::consts::PI * (t - rise) / (set - rise)).sin()
+    }
+
+    /// Integral of the normalized profile over the day, in "peak-hours"
+    /// (`2/π × daylength` for the half-sine).
+    pub fn peak_hours(&self) -> f64 {
+        2.0 / core::f64::consts::PI * self.day_length_hours()
+    }
+}
+
+impl Default for ClearSky {
+    fn default() -> Self {
+        Self::temperate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_at_night_peak_at_solar_noon() {
+        let sky = ClearSky::temperate();
+        assert_eq!(sky.normalized_irradiance(TimeOfDay::from_hm(3, 0)), 0.0);
+        assert_eq!(sky.normalized_irradiance(TimeOfDay::from_hm(22, 0)), 0.0);
+        let noon = sky.normalized_irradiance(TimeOfDay::from_hm(13, 0));
+        assert!((noon - 1.0).abs() < 1e-6, "solar noon is 13:00 here");
+    }
+
+    #[test]
+    fn profile_is_symmetric_about_solar_noon() {
+        let sky = ClearSky::temperate();
+        let a = sky.normalized_irradiance(TimeOfDay::from_hm(10, 0));
+        let b = sky.normalized_irradiance(TimeOfDay::from_hm(16, 0));
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_hours_matches_numeric_integral() {
+        let sky = ClearSky::temperate();
+        let mut integral = 0.0;
+        for s in 0..86_400u32 {
+            integral += sky.normalized_irradiance(TimeOfDay::from_secs(s)) / 3600.0;
+        }
+        assert!((integral - sky.peak_hours()).abs() < 0.01);
+    }
+
+    #[test]
+    fn inverted_times_rejected() {
+        let err = ClearSky::new(TimeOfDay::from_hm(19, 0), TimeOfDay::from_hm(6, 0));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn day_length_is_thirteen_hours_for_temperate() {
+        assert!((ClearSky::temperate().day_length_hours() - 13.0).abs() < 1e-9);
+    }
+}

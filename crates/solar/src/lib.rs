@@ -1,0 +1,51 @@
+//! Solar irradiance, weather and PV generation models — the renewable
+//! supply substrate of the BAAT reproduction.
+//!
+//! The paper's prototype taps a rooftop PV line whose daily output it
+//! classifies as Sunny (8 kWh), Cloudy (6 kWh) or Rainy (3 kWh) (§VI.A).
+//! This crate substitutes that physical feed with:
+//!
+//! * [`ClearSky`] — the half-sine clear-sky diurnal irradiance profile;
+//! * [`Weather`] / [`CloudProcess`] — the three paper weather classes with
+//!   an AR(1) cloud-transient attenuation process;
+//! * [`PvArray`] — converts irradiance into electrical power, sizable to
+//!   the paper's daily budgets;
+//! * [`DailySolarTrace`] / [`TraceSummary`] — sampled day traces and the
+//!   paper's similar-day matching (§VI.B);
+//! * [`Location`] — sunshine-fraction geography for the Fig 14/17 sweeps.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), baat_solar::SolarError> {
+//! use baat_solar::{ClearSky, DailySolarTrace, PvArray, Weather};
+//! use baat_units::{SimDuration, WattHours};
+//!
+//! let array = PvArray::sized_for_daily_energy(
+//!     WattHours::from_kwh(8.0),
+//!     Weather::Sunny,
+//!     ClearSky::temperate(),
+//! )?;
+//! let day = DailySolarTrace::generate(&array, Weather::Cloudy, SimDuration::from_secs(60), 42)?;
+//! let energy = day.summary().total;
+//! assert!(energy.as_kwh() > 3.0 && energy.as_kwh() < 9.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod irradiance;
+mod location;
+mod panel;
+mod trace;
+mod weather;
+
+pub use error::SolarError;
+pub use irradiance::ClearSky;
+pub use location::Location;
+pub use panel::PvArray;
+pub use trace::{most_similar_day, DailySolarTrace, TraceSummary};
+pub use weather::{CloudProcess, Weather};

@@ -1,0 +1,164 @@
+//! Geographic solar availability: sunshine fraction and per-day weather
+//! sampling.
+//!
+//! Paper Figs 14 and 17 sweep "sunshine fraction, the percentage of time
+//! when sunshine is recorded [41]" across geographic locations. A
+//! [`Location`] maps a sunshine fraction onto a daily weather distribution
+//! from which seeded day sequences are drawn.
+
+use baat_units::Fraction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::weather::Weather;
+
+/// A deployment site characterized by its sunshine fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Location {
+    name: &'static str,
+    sunshine_fraction: Fraction,
+}
+
+impl Location {
+    /// Creates a location from a sunshine fraction.
+    pub fn new(name: &'static str, sunshine_fraction: Fraction) -> Self {
+        Self {
+            name,
+            sunshine_fraction,
+        }
+    }
+
+    /// Example sites spanning the paper's sweep range, dimmest first.
+    pub fn presets() -> Vec<Location> {
+        fn frac(v: f64) -> Fraction {
+            Fraction::new(v).expect("preset fractions are valid")
+        }
+        vec![
+            Location::new("Seattle", frac(0.43)),
+            Location::new("Pittsburgh", frac(0.45)),
+            Location::new("Chicago", frac(0.54)),
+            Location::new("Atlanta", frac(0.60)),
+            Location::new("Miami", frac(0.66)),
+            Location::new("Denver", frac(0.69)),
+            Location::new("Los Angeles", frac(0.73)),
+            Location::new("Phoenix", frac(0.85)),
+        ]
+    }
+
+    /// Site name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Fraction of daylight time with recorded sunshine.
+    pub fn sunshine_fraction(&self) -> Fraction {
+        self.sunshine_fraction
+    }
+
+    /// Probability of each weather class on a given day.
+    ///
+    /// Sunny days occur with the sunshine fraction; the remainder splits
+    /// 60/40 between cloudy and rainy.
+    pub fn weather_probabilities(&self) -> [(Weather, f64); 3] {
+        let s = self.sunshine_fraction.value();
+        [
+            (Weather::Sunny, s),
+            (Weather::Cloudy, (1.0 - s) * 0.6),
+            (Weather::Rainy, (1.0 - s) * 0.4),
+        ]
+    }
+
+    /// Expected daily solar energy as a fraction of a pure-sunny site
+    /// (weights the paper's 8/6/3 kWh budgets by the weather mix).
+    pub fn expected_energy_factor(&self) -> f64 {
+        self.weather_probabilities()
+            .iter()
+            .map(|(w, p)| p * w.paper_daily_budget_kwh() / 8.0)
+            .sum()
+    }
+
+    /// Draws a deterministic sequence of daily weather for this site.
+    pub fn sample_days(&self, days: usize, seed: u64) -> Vec<Weather> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let probs = self.weather_probabilities();
+        (0..days)
+            .map(|_| {
+                let x: f64 = rng.random_range(0.0..1.0);
+                let mut acc = 0.0;
+                for (w, p) in probs {
+                    acc += p;
+                    if x < acc {
+                        return w;
+                    }
+                }
+                Weather::Rainy
+            })
+            .collect()
+    }
+}
+
+impl core::fmt::Display for Location {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} ({})", self.name, self.sunshine_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(f: f64) -> Location {
+        Location::new("test", Fraction::new(f).unwrap())
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for f in [0.0, 0.3, 0.65, 1.0] {
+            let total: f64 = site(f).weather_probabilities().iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sunnier_sites_have_more_sunny_days() {
+        let dim = site(0.4).sample_days(2000, 7);
+        let bright = site(0.8).sample_days(2000, 7);
+        let count = |days: &[Weather]| days.iter().filter(|w| **w == Weather::Sunny).count();
+        assert!(count(&bright) > count(&dim));
+    }
+
+    #[test]
+    fn sample_frequency_matches_probability() {
+        let loc = site(0.65);
+        let days = loc.sample_days(20_000, 3);
+        let sunny = days.iter().filter(|w| **w == Weather::Sunny).count() as f64;
+        let frac = sunny / days.len() as f64;
+        assert!((frac - 0.65).abs() < 0.02, "observed {frac}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let loc = site(0.5);
+        assert_eq!(loc.sample_days(100, 9), loc.sample_days(100, 9));
+    }
+
+    #[test]
+    fn energy_factor_monotone_in_sunshine() {
+        let mut prev = 0.0;
+        for f in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let e = site(f).expected_energy_factor();
+            assert!(e > prev || f == 0.0);
+            prev = e;
+        }
+        assert!((site(1.0).expected_energy_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_are_sorted_and_plausible() {
+        let presets = Location::presets();
+        assert!(presets.len() >= 6);
+        for pair in presets.windows(2) {
+            assert!(pair[0].sunshine_fraction() <= pair[1].sunshine_fraction());
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! PV array: converts normalized irradiance into electrical power.
+
+use baat_units::{TimeOfDay, WattHours, Watts};
+
+use crate::error::SolarError;
+use crate::irradiance::ClearSky;
+use crate::weather::Weather;
+
+/// A photovoltaic array characterized by its peak DC output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PvArray {
+    peak_power: Watts,
+    sky: ClearSky,
+}
+
+impl PvArray {
+    /// Creates an array with the given peak (clear-sky noon) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolarError::InvalidConfig`] if `peak_power` is not
+    /// positive and finite.
+    pub fn new(peak_power: Watts, sky: ClearSky) -> Result<Self, SolarError> {
+        if !(peak_power.as_f64().is_finite() && peak_power.as_f64() > 0.0) {
+            return Err(SolarError::InvalidConfig {
+                field: "peak_power",
+                reason: format!("must be positive and finite, got {peak_power}"),
+            });
+        }
+        Ok(Self { peak_power, sky })
+    }
+
+    /// Sizes an array so that one day of the given weather yields
+    /// approximately `daily_energy` — how the paper's 8/6/3 kWh budgets
+    /// map onto a panel rating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolarError::InvalidConfig`] if `daily_energy` is not
+    /// positive and finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), baat_solar::SolarError> {
+    /// use baat_solar::{ClearSky, PvArray, Weather};
+    /// use baat_units::WattHours;
+    ///
+    /// let array = PvArray::sized_for_daily_energy(
+    ///     WattHours::from_kwh(8.0),
+    ///     Weather::Sunny,
+    ///     ClearSky::temperate(),
+    /// )?;
+    /// assert!(array.peak_power().as_f64() > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn sized_for_daily_energy(
+        daily_energy: WattHours,
+        weather: Weather,
+        sky: ClearSky,
+    ) -> Result<Self, SolarError> {
+        if !(daily_energy.as_f64().is_finite() && daily_energy.as_f64() > 0.0) {
+            return Err(SolarError::InvalidConfig {
+                field: "daily_energy",
+                reason: format!("must be positive and finite, got {daily_energy}"),
+            });
+        }
+        let peak =
+            daily_energy.as_f64() / (sky.peak_hours() * weather.mean_attenuation());
+        Self::new(Watts::new(peak), sky)
+    }
+
+    /// Peak clear-sky output.
+    pub fn peak_power(&self) -> Watts {
+        self.peak_power
+    }
+
+    /// The clear-sky profile this array sees.
+    pub fn sky(&self) -> &ClearSky {
+        &self.sky
+    }
+
+    /// Instantaneous output at a time of day under the given cloud
+    /// attenuation (from
+    /// [`CloudProcess::step`](crate::CloudProcess::step)).
+    pub fn output(&self, at: TimeOfDay, attenuation: f64) -> Watts {
+        debug_assert!((0.0..=1.0).contains(&attenuation), "invalid attenuation");
+        self.peak_power * (self.sky.normalized_irradiance(at) * attenuation)
+    }
+
+    /// Expected (mean-attenuation) daily energy under the given weather.
+    pub fn expected_daily_energy(&self, weather: Weather) -> WattHours {
+        WattHours::new(
+            self.peak_power.as_f64() * self.sky.peak_hours() * weather.mean_attenuation(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_array_recovers_budget() {
+        for w in Weather::ALL {
+            let array = PvArray::sized_for_daily_energy(
+                WattHours::from_kwh(w.paper_daily_budget_kwh()),
+                w,
+                ClearSky::temperate(),
+            )
+            .unwrap();
+            let e = array.expected_daily_energy(w);
+            assert!((e.as_kwh() - w.paper_daily_budget_kwh()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sunny_array_produces_paper_ratios() {
+        // One array sized for 8 kWh sunny yields ~6 and ~3 kWh on cloudy
+        // and rainy days.
+        let array = PvArray::sized_for_daily_energy(
+            WattHours::from_kwh(8.0),
+            Weather::Sunny,
+            ClearSky::temperate(),
+        )
+        .unwrap();
+        assert!((array.expected_daily_energy(Weather::Cloudy).as_kwh() - 6.0).abs() < 1e-9);
+        assert!((array.expected_daily_energy(Weather::Rainy).as_kwh() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_zero_at_night() {
+        let array = PvArray::new(Watts::new(1000.0), ClearSky::temperate()).unwrap();
+        assert_eq!(array.output(TimeOfDay::MIDNIGHT, 1.0), Watts::ZERO);
+    }
+
+    #[test]
+    fn output_scales_with_attenuation() {
+        let array = PvArray::new(Watts::new(1000.0), ClearSky::temperate()).unwrap();
+        let noon = TimeOfDay::from_hm(13, 0);
+        let full = array.output(noon, 1.0);
+        let half = array.output(noon, 0.5);
+        assert!((half.as_f64() * 2.0 - full.as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_peak_rejected() {
+        assert!(PvArray::new(Watts::new(0.0), ClearSky::temperate()).is_err());
+        assert!(PvArray::new(Watts::new(f64::NAN), ClearSky::temperate()).is_err());
+    }
+}

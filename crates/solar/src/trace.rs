@@ -1,0 +1,250 @@
+//! Daily solar power traces and the paper's similar-day matching.
+//!
+//! The paper compares its four policies on *matched* solar days: "we run
+//! our experiments multiple days and record all the logs … we are able to
+//! find the most similar solar generation scenarios across the multi-groups
+//! of experiment logs" (§VI.B), comparing per-day maxima, minima, averages
+//! and total energy. [`TraceSummary::similarity`] reproduces that matching
+//! criterion.
+
+use baat_units::{SimDuration, TimeOfDay, WattHours, Watts};
+
+use crate::error::SolarError;
+use crate::panel::PvArray;
+use crate::weather::{CloudProcess, Weather};
+
+/// A sampled one-day solar power trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DailySolarTrace {
+    weather: Weather,
+    dt: SimDuration,
+    samples: Vec<Watts>,
+}
+
+impl DailySolarTrace {
+    /// Generates a seeded one-day trace for the given array and weather at
+    /// resolution `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolarError::InvalidConfig`] if `dt` is zero or longer
+    /// than a day.
+    pub fn generate(
+        array: &PvArray,
+        weather: Weather,
+        dt: SimDuration,
+        seed: u64,
+    ) -> Result<Self, SolarError> {
+        if dt.is_zero() || dt.as_secs() > 86_400 {
+            return Err(SolarError::InvalidConfig {
+                field: "dt",
+                reason: format!("step must be in (0, 1 day], got {dt}"),
+            });
+        }
+        let mut clouds = CloudProcess::new(weather, seed);
+        let steps = 86_400 / dt.as_secs();
+        let samples = (0..steps)
+            .map(|i| {
+                let tod = TimeOfDay::from_secs((i * dt.as_secs()) as u32);
+                array.output(tod, clouds.step())
+            })
+            .collect();
+        Ok(Self {
+            weather,
+            dt,
+            samples,
+        })
+    }
+
+    /// The weather class the trace was generated under.
+    pub fn weather(&self) -> Weather {
+        self.weather
+    }
+
+    /// Sample resolution.
+    pub fn dt(&self) -> SimDuration {
+        self.dt
+    }
+
+    /// Power at a time of day (constant within each step).
+    pub fn power_at(&self, at: TimeOfDay) -> Watts {
+        let idx = (u64::from(at.as_secs()) / self.dt.as_secs()) as usize;
+        self.samples.get(idx).copied().unwrap_or(Watts::ZERO)
+    }
+
+    /// Iterates over the samples in time order.
+    pub fn iter(&self) -> impl Iterator<Item = Watts> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Number of samples in the trace.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Summary statistics (the paper's matching features).
+    pub fn summary(&self) -> TraceSummary {
+        let mut max = Watts::ZERO;
+        let mut min_daylight = Watts::new(f64::INFINITY);
+        let mut sum = 0.0;
+        let mut daylight = 0usize;
+        for &p in &self.samples {
+            max = max.max(p);
+            if p.as_f64() > 0.0 {
+                min_daylight = min_daylight.min(p);
+                daylight += 1;
+            }
+            sum += p.as_f64();
+        }
+        if daylight == 0 {
+            min_daylight = Watts::ZERO;
+        }
+        let mean = if self.samples.is_empty() {
+            Watts::ZERO
+        } else {
+            Watts::new(sum / self.samples.len() as f64)
+        };
+        TraceSummary {
+            max,
+            min_daylight,
+            mean,
+            total: WattHours::new(sum * self.dt.as_hours()),
+        }
+    }
+}
+
+/// Per-day solar statistics used to match experiment days (§VI.B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSummary {
+    /// Maximum instantaneous output.
+    pub max: Watts,
+    /// Minimum output during daylight.
+    pub min_daylight: Watts,
+    /// Mean output over the whole day.
+    pub mean: Watts,
+    /// Total generated energy.
+    pub total: WattHours,
+}
+
+impl TraceSummary {
+    /// Similarity distance between two days: the mean relative difference
+    /// over (max, mean, total). Zero for identical days; smaller is more
+    /// similar.
+    pub fn similarity(&self, other: &TraceSummary) -> f64 {
+        fn rel(a: f64, b: f64) -> f64 {
+            let denom = a.abs().max(b.abs()).max(1e-9);
+            (a - b).abs() / denom
+        }
+        (rel(self.max.as_f64(), other.max.as_f64())
+            + rel(self.mean.as_f64(), other.mean.as_f64())
+            + rel(self.total.as_f64(), other.total.as_f64()))
+            / 3.0
+    }
+}
+
+/// Finds the index of the candidate day most similar to `target`, per the
+/// paper's log-matching methodology. Returns `None` if `candidates` is
+/// empty.
+pub fn most_similar_day(target: &TraceSummary, candidates: &[TraceSummary]) -> Option<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            target
+                .similarity(a)
+                .total_cmp(&target.similarity(b))
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::irradiance::ClearSky;
+
+    fn array() -> PvArray {
+        PvArray::sized_for_daily_energy(
+            WattHours::from_kwh(8.0),
+            Weather::Sunny,
+            ClearSky::temperate(),
+        )
+        .unwrap()
+    }
+
+    fn trace(weather: Weather, seed: u64) -> DailySolarTrace {
+        DailySolarTrace::generate(&array(), weather, SimDuration::from_secs(60), seed).unwrap()
+    }
+
+    #[test]
+    fn daily_energy_near_paper_budget() {
+        for w in Weather::ALL {
+            let totals: Vec<f64> = (0..5)
+                .map(|seed| trace(w, seed).summary().total.as_kwh())
+                .collect();
+            let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+            let budget = w.paper_daily_budget_kwh();
+            assert!(
+                (mean - budget).abs() < budget * 0.15,
+                "{w}: mean {mean} kWh vs budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = trace(Weather::Cloudy, 3);
+        let b = trace(Weather::Cloudy, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn night_samples_are_zero() {
+        let t = trace(Weather::Sunny, 1);
+        assert_eq!(t.power_at(TimeOfDay::from_hm(2, 0)), Watts::ZERO);
+        assert_eq!(t.power_at(TimeOfDay::from_hm(23, 0)), Watts::ZERO);
+        assert!(t.power_at(TimeOfDay::from_hm(13, 0)).as_f64() > 0.0);
+    }
+
+    #[test]
+    fn sunny_day_outproduces_rainy_day() {
+        let s = trace(Weather::Sunny, 1).summary();
+        let r = trace(Weather::Rainy, 1).summary();
+        assert!(s.total > r.total);
+        assert!(s.max > r.max);
+    }
+
+    #[test]
+    fn similarity_is_zero_for_identical_days() {
+        let s = trace(Weather::Cloudy, 8).summary();
+        assert_eq!(s.similarity(&s), 0.0);
+    }
+
+    #[test]
+    fn most_similar_day_prefers_same_weather() {
+        let target = trace(Weather::Cloudy, 100).summary();
+        let candidates = vec![
+            trace(Weather::Sunny, 101).summary(),
+            trace(Weather::Cloudy, 102).summary(),
+            trace(Weather::Rainy, 103).summary(),
+        ];
+        assert_eq!(most_similar_day(&target, &candidates), Some(1));
+    }
+
+    #[test]
+    fn most_similar_day_empty_is_none() {
+        let target = trace(Weather::Sunny, 1).summary();
+        assert_eq!(most_similar_day(&target, &[]), None);
+    }
+
+    #[test]
+    fn invalid_dt_rejected() {
+        assert!(
+            DailySolarTrace::generate(&array(), Weather::Sunny, SimDuration::ZERO, 1).is_err()
+        );
+    }
+}

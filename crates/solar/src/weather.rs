@@ -1,0 +1,188 @@
+//! Weather conditions and stochastic cloud attenuation.
+//!
+//! The paper profiles its prototype under three weather classes with daily
+//! solar energy budgets of 8 kWh (Sunny), 6 kWh (Cloudy) and 3 kWh (Rainy)
+//! (§VI.A, Fig 12). Each class is a mean attenuation of the clear-sky
+//! profile plus an AR(1) cloud-transient process whose variance grows with
+//! cloud cover.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Daily weather classification, matching paper Fig 12's three scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Weather {
+    /// Clear day — the paper's 8 kWh scenario.
+    #[default]
+    Sunny,
+    /// Overcast with broken cloud — the 6 kWh scenario.
+    Cloudy,
+    /// Heavy overcast/rain — the 3 kWh scenario.
+    Rainy,
+}
+
+impl Weather {
+    /// All weather classes, sunniest first.
+    pub const ALL: [Weather; 3] = [Weather::Sunny, Weather::Cloudy, Weather::Rainy];
+
+    /// Mean attenuation of clear-sky irradiance.
+    ///
+    /// Ratios are calibrated to the paper's 8 : 6 : 3 kWh daily budgets:
+    /// 0.95 : 0.7125 : 0.35625.
+    pub fn mean_attenuation(self) -> f64 {
+        match self {
+            Weather::Sunny => 0.95,
+            Weather::Cloudy => 0.712_5,
+            Weather::Rainy => 0.356_25,
+        }
+    }
+
+    /// Relative standard deviation of the cloud-transient process.
+    pub fn variability(self) -> f64 {
+        match self {
+            Weather::Sunny => 0.04,
+            Weather::Cloudy => 0.30,
+            Weather::Rainy => 0.20,
+        }
+    }
+
+    /// Paper daily energy budget for the prototype's array.
+    pub fn paper_daily_budget_kwh(self) -> f64 {
+        match self {
+            Weather::Sunny => 8.0,
+            Weather::Cloudy => 6.0,
+            Weather::Rainy => 3.0,
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Weather::Sunny => "Sunny",
+            Weather::Cloudy => "Cloudy",
+            Weather::Rainy => "Rainy",
+        }
+    }
+}
+
+impl core::fmt::Display for Weather {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Seeded AR(1) cloud-transient process producing an attenuation factor
+/// in `(0, 1]` per step.
+///
+/// # Examples
+///
+/// ```
+/// use baat_solar::{CloudProcess, Weather};
+///
+/// let mut clouds = CloudProcess::new(Weather::Cloudy, 42);
+/// let a = clouds.step();
+/// assert!((0.0..=1.0).contains(&a));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CloudProcess {
+    weather: Weather,
+    rng: StdRng,
+    state: f64,
+    /// AR(1) persistence per step.
+    rho: f64,
+}
+
+impl CloudProcess {
+    /// Creates a process for the given weather with a deterministic seed.
+    pub fn new(weather: Weather, seed: u64) -> Self {
+        Self {
+            weather,
+            rng: StdRng::seed_from_u64(seed),
+            state: 0.0,
+            rho: 0.9,
+        }
+    }
+
+    /// The weather class this process models.
+    pub fn weather(&self) -> Weather {
+        self.weather
+    }
+
+    /// Advances the process one step and returns the attenuation factor
+    /// in `[0.02, 1]` to multiply into the clear-sky irradiance.
+    pub fn step(&mut self) -> f64 {
+        // AR(1) with stationary unit variance.
+        let eps: f64 = self.rng.random_range(-1.732..1.732); // uniform, var 1
+        self.state = self.rho * self.state + (1.0 - self.rho * self.rho).sqrt() * eps;
+        let w = self.weather;
+        (w.mean_attenuation() * (1.0 + w.variability() * self.state)).clamp(0.02, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attenuation_ratios_match_paper_budgets() {
+        let s = Weather::Sunny.mean_attenuation();
+        let c = Weather::Cloudy.mean_attenuation();
+        let r = Weather::Rainy.mean_attenuation();
+        assert!((c / s - 6.0 / 8.0).abs() < 1e-9);
+        assert!((r / s - 3.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cloudy_is_most_variable() {
+        assert!(Weather::Cloudy.variability() > Weather::Sunny.variability());
+        assert!(Weather::Cloudy.variability() > Weather::Rainy.variability());
+    }
+
+    #[test]
+    fn process_is_deterministic_per_seed() {
+        let mut a = CloudProcess::new(Weather::Cloudy, 9);
+        let mut b = CloudProcess::new(Weather::Cloudy, 9);
+        for _ in 0..100 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+
+    #[test]
+    fn long_run_mean_approaches_weather_mean() {
+        for w in Weather::ALL {
+            let mut p = CloudProcess::new(w, 1234);
+            let n = 50_000;
+            let sum: f64 = (0..n).map(|_| p.step()).sum();
+            let mean = sum / f64::from(n);
+            assert!(
+                (mean - w.mean_attenuation()).abs() < 0.03,
+                "{w}: mean {mean} vs {}",
+                w.mean_attenuation()
+            );
+        }
+    }
+
+    #[test]
+    fn attenuation_always_in_range() {
+        let mut p = CloudProcess::new(Weather::Rainy, 7);
+        for _ in 0..10_000 {
+            let a = p.step();
+            assert!((0.02..=1.0).contains(&a), "attenuation {a}");
+        }
+    }
+
+    #[test]
+    fn transients_are_persistent_not_white() {
+        // AR(1) with rho 0.9: successive samples should correlate.
+        let mut p = CloudProcess::new(Weather::Cloudy, 5);
+        let xs: Vec<f64> = (0..10_000).map(|_| p.step()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>();
+        let cov: f64 = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>();
+        let autocorr = cov / var;
+        assert!(autocorr > 0.6, "autocorrelation {autocorr}");
+    }
+}

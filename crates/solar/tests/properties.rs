@@ -1,0 +1,97 @@
+//! Property-based tests for the solar models.
+
+use baat_solar::{ClearSky, CloudProcess, DailySolarTrace, Location, PvArray, Weather};
+use baat_units::{Fraction, SimDuration, TimeOfDay, WattHours, Watts};
+use proptest::prelude::*;
+
+fn weather_strategy() -> impl Strategy<Value = Weather> {
+    prop_oneof![
+        Just(Weather::Sunny),
+        Just(Weather::Cloudy),
+        Just(Weather::Rainy),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Clear-sky irradiance is always in [0, 1] and zero at night.
+    #[test]
+    fn irradiance_bounded(secs in 0u32..86_400) {
+        let sky = ClearSky::temperate();
+        let v = sky.normalized_irradiance(TimeOfDay::from_secs(secs));
+        prop_assert!((0.0..=1.0).contains(&v));
+        if !(6 * 3600..=20 * 3600).contains(&secs) {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    /// Cloud attenuation stays in range for any weather and seed.
+    #[test]
+    fn attenuation_in_range(weather in weather_strategy(), seed in 0u64..1000, steps in 1usize..500) {
+        let mut p = CloudProcess::new(weather, seed);
+        for _ in 0..steps {
+            let a = p.step();
+            prop_assert!((0.02..=1.0).contains(&a));
+        }
+    }
+
+    /// Trace energy is bounded by the array's clear-sky maximum.
+    #[test]
+    fn trace_energy_bounded(weather in weather_strategy(), seed in 0u64..100) {
+        let array = PvArray::sized_for_daily_energy(
+            WattHours::from_kwh(8.0),
+            Weather::Sunny,
+            ClearSky::temperate(),
+        ).unwrap();
+        let trace = DailySolarTrace::generate(
+            &array, weather, SimDuration::from_secs(300), seed,
+        ).unwrap();
+        let clear_sky_max = array.peak_power().as_f64() * array.sky().peak_hours();
+        let total = trace.summary().total.as_f64();
+        prop_assert!(total >= 0.0);
+        prop_assert!(total <= clear_sky_max * 1.01, "total {total} > max {clear_sky_max}");
+    }
+
+    /// Sunnier weather never yields less expected energy.
+    #[test]
+    fn weather_ordering_by_energy(seed in 0u64..50) {
+        let array = PvArray::sized_for_daily_energy(
+            WattHours::from_kwh(8.0),
+            Weather::Sunny,
+            ClearSky::temperate(),
+        ).unwrap();
+        let total = |w: Weather| -> f64 {
+            // Average over a few seeds to smooth transients.
+            (0..4)
+                .map(|i| {
+                    DailySolarTrace::generate(&array, w, SimDuration::from_secs(300), seed * 7 + i)
+                        .unwrap()
+                        .summary()
+                        .total
+                        .as_f64()
+                })
+                .sum::<f64>() / 4.0
+        };
+        prop_assert!(total(Weather::Sunny) > total(Weather::Rainy));
+    }
+
+    /// Weather sampling respects probabilities: over many days the sunny
+    /// share converges to the sunshine fraction.
+    #[test]
+    fn location_sampling_converges(f in 0.1f64..0.9, seed in 0u64..20) {
+        let loc = Location::new("p", Fraction::new(f).unwrap());
+        let days = loc.sample_days(4000, seed);
+        let sunny = days.iter().filter(|w| **w == Weather::Sunny).count() as f64 / 4000.0;
+        prop_assert!((sunny - f).abs() < 0.05, "sunny share {sunny} vs fraction {f}");
+    }
+
+    /// Array output is monotone in attenuation.
+    #[test]
+    fn output_monotone_in_attenuation(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        prop_assume!(a < b);
+        let array = PvArray::new(Watts::new(1000.0), ClearSky::temperate()).unwrap();
+        let noon = TimeOfDay::from_hm(13, 0);
+        prop_assert!(array.output(noon, a) <= array.output(noon, b));
+    }
+}

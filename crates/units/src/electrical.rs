@@ -1,0 +1,141 @@
+//! Electrical quantities: current, charge, voltage, resistance.
+
+use crate::energy::Watts;
+use crate::quantity;
+use crate::time::SimDuration;
+
+quantity!(
+    /// Electric current in amperes.
+    ///
+    /// The battery model uses the convention that *positive* current is a
+    /// discharge (charge leaving the battery) and *negative* current is a
+    /// charge, matching the sign of the paper's Ah-throughput integrals.
+    Amperes,
+    "A"
+);
+
+quantity!(
+    /// Electric charge in ampere-hours — the unit battery capacities and the
+    /// paper's Ah-throughput metric (Eq 1) are expressed in.
+    AmpHours,
+    "Ah"
+);
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+
+quantity!(
+    /// Electrical resistance in ohms.
+    Ohms,
+    "Ω"
+);
+
+impl core::ops::Mul<SimDuration> for Amperes {
+    type Output = AmpHours;
+
+    /// Charge moved by this current flowing for `rhs`.
+    #[inline]
+    fn mul(self, rhs: SimDuration) -> AmpHours {
+        AmpHours::new(self.as_f64() * rhs.as_hours())
+    }
+}
+
+impl core::ops::Mul<Amperes> for SimDuration {
+    type Output = AmpHours;
+    #[inline]
+    fn mul(self, rhs: Amperes) -> AmpHours {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<SimDuration> for AmpHours {
+    type Output = Amperes;
+
+    /// Average current that moves this charge over `rhs`.
+    #[inline]
+    fn div(self, rhs: SimDuration) -> Amperes {
+        Amperes::new(self.as_f64() / rhs.as_hours())
+    }
+}
+
+impl core::ops::Mul<Amperes> for Volts {
+    type Output = Watts;
+
+    /// Electrical power `P = V · I`.
+    #[inline]
+    fn mul(self, rhs: Amperes) -> Watts {
+        Watts::new(self.as_f64() * rhs.as_f64())
+    }
+}
+
+impl core::ops::Mul<Volts> for Amperes {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<Volts> for Watts {
+    type Output = Amperes;
+
+    /// Current drawn at a given voltage, `I = P / V`.
+    #[inline]
+    fn div(self, rhs: Volts) -> Amperes {
+        Amperes::new(self.as_f64() / rhs.as_f64())
+    }
+}
+
+impl core::ops::Mul<Ohms> for Amperes {
+    type Output = Volts;
+
+    /// Ohmic voltage drop `V = I · R`.
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts::new(self.as_f64() * rhs.as_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_times_duration_is_charge() {
+        let q = Amperes::new(2.0) * SimDuration::from_hours(3);
+        assert_eq!(q, AmpHours::new(6.0));
+    }
+
+    #[test]
+    fn charge_over_duration_is_current() {
+        let i = AmpHours::new(10.0) / SimDuration::from_hours(5);
+        assert_eq!(i, Amperes::new(2.0));
+    }
+
+    #[test]
+    fn volt_amp_is_watt_both_orders() {
+        assert_eq!(Volts::new(12.0) * Amperes::new(3.0), Watts::new(36.0));
+        assert_eq!(Amperes::new(3.0) * Volts::new(12.0), Watts::new(36.0));
+    }
+
+    #[test]
+    fn power_over_volts_is_current() {
+        assert_eq!(Watts::new(120.0) / Volts::new(12.0), Amperes::new(10.0));
+    }
+
+    #[test]
+    fn ohmic_drop() {
+        assert_eq!(Amperes::new(4.0) * Ohms::new(0.5), Volts::new(2.0));
+    }
+
+    #[test]
+    fn negative_current_models_charging() {
+        let charging = Amperes::new(-3.0);
+        let q = charging * SimDuration::from_hours(1);
+        assert_eq!(q, AmpHours::new(-3.0));
+        assert_eq!(q.abs(), AmpHours::new(3.0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Power and energy quantities.
+
+use crate::quantity;
+use crate::time::SimDuration;
+
+quantity!(
+    /// Electrical power in watts.
+    ///
+    /// Positive values flow *toward* the consumer unless a component
+    /// documents otherwise.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use baat_units::{Watts, SimDuration};
+    ///
+    /// let p = Watts::new(250.0);
+    /// let e = p * SimDuration::from_minutes(30);
+    /// assert_eq!(e.as_f64(), 125.0);
+    /// ```
+    Watts,
+    "W"
+);
+
+quantity!(
+    /// Electrical energy in watt-hours.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use baat_units::WattHours;
+    ///
+    /// let e = WattHours::from_kwh(1.5);
+    /// assert_eq!(e.as_f64(), 1500.0);
+    /// assert_eq!(e.as_kwh(), 1.5);
+    /// ```
+    WattHours,
+    "Wh"
+);
+
+impl Watts {
+    /// Creates a power quantity from kilowatts.
+    #[inline]
+    pub fn from_kw(kw: f64) -> Self {
+        Self::new(kw * 1000.0)
+    }
+
+    /// Returns the value in kilowatts.
+    #[inline]
+    pub fn as_kw(self) -> f64 {
+        self.as_f64() / 1000.0
+    }
+}
+
+impl WattHours {
+    /// Creates an energy quantity from kilowatt-hours.
+    #[inline]
+    pub fn from_kwh(kwh: f64) -> Self {
+        Self::new(kwh * 1000.0)
+    }
+
+    /// Returns the value in kilowatt-hours.
+    #[inline]
+    pub fn as_kwh(self) -> f64 {
+        self.as_f64() / 1000.0
+    }
+}
+
+impl core::ops::Mul<SimDuration> for Watts {
+    type Output = WattHours;
+
+    /// Energy accumulated by drawing this power for `rhs`.
+    #[inline]
+    fn mul(self, rhs: SimDuration) -> WattHours {
+        WattHours::new(self.as_f64() * rhs.as_hours())
+    }
+}
+
+impl core::ops::Mul<Watts> for SimDuration {
+    type Output = WattHours;
+    #[inline]
+    fn mul(self, rhs: Watts) -> WattHours {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<SimDuration> for WattHours {
+    type Output = Watts;
+
+    /// Average power that delivers this energy over `rhs`.
+    #[inline]
+    fn div(self, rhs: SimDuration) -> Watts {
+        Watts::new(self.as_f64() / rhs.as_hours())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kw_conversions() {
+        assert_eq!(Watts::from_kw(2.5).as_f64(), 2500.0);
+        assert_eq!(Watts::new(500.0).as_kw(), 0.5);
+        assert_eq!(WattHours::from_kwh(0.25).as_f64(), 250.0);
+    }
+
+    #[test]
+    fn power_times_duration_is_energy() {
+        let e = Watts::new(100.0) * SimDuration::from_minutes(90);
+        assert!((e.as_f64() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Watts = [Watts::new(1.0), Watts::new(2.5)].into_iter().sum();
+        assert_eq!(total, Watts::new(3.5));
+    }
+
+    #[test]
+    fn ratio_of_like_quantities_is_dimensionless() {
+        let r = WattHours::new(30.0) / WattHours::new(60.0);
+        assert_eq!(r, 0.5);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Watts::new(1.5)), "1.500 W");
+        assert_eq!(format!("{}", WattHours::new(2.0)), "2.000 Wh");
+    }
+}

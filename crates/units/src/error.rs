@@ -1,0 +1,53 @@
+//! Error type for quantity validation.
+
+/// Validation failure when constructing a bounded quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnitError {
+    /// The value fell outside the quantity's valid range (or was NaN).
+    OutOfRange {
+        /// Name of the quantity being constructed.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Smallest permitted value.
+        min: f64,
+        /// Largest permitted value.
+        max: f64,
+    },
+}
+
+impl core::fmt::Display for UnitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UnitError::OutOfRange {
+                quantity,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "{quantity} value {value} outside valid range [{min}, {max}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_descriptive() {
+        let err = UnitError::OutOfRange {
+            quantity: "Soc",
+            value: 1.5,
+            min: 0.0,
+            max: 1.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("Soc"));
+        assert!(msg.contains("1.5"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Bounded dimensionless quantities: fractions, state of charge, depth of
+//! discharge.
+
+use crate::error::UnitError;
+
+/// A dimensionless value validated to lie in `[0, 1]`.
+///
+/// Used for efficiencies, probabilities, utilizations and sunshine
+/// fractions.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), baat_units::UnitError> {
+/// use baat_units::Fraction;
+///
+/// let eff = Fraction::new(0.85)?;
+/// assert_eq!(eff.value(), 0.85);
+/// assert!(Fraction::new(1.2).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Fraction(f64);
+
+impl Fraction {
+    /// The zero fraction.
+    pub const ZERO: Fraction = Fraction(0.0);
+    /// The unit fraction.
+    pub const ONE: Fraction = Fraction(1.0);
+    /// One half.
+    pub const HALF: Fraction = Fraction(0.5);
+
+    /// Creates a fraction, validating that `value ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::OutOfRange`] if `value` is NaN or outside
+    /// `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, UnitError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            return Err(UnitError::OutOfRange {
+                quantity: "Fraction",
+                value,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(Self(value))
+    }
+
+    /// Creates a fraction, clamping `value` into `[0, 1]` (NaN becomes 0).
+    #[inline]
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Self(0.0)
+        } else {
+            Self(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Creates a fraction from a percentage in `[0, 100]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::OutOfRange`] if `pct` is NaN or outside
+    /// `[0, 100]`.
+    pub fn from_percent(pct: f64) -> Result<Self, UnitError> {
+        Self::new(pct / 100.0).map_err(|_| UnitError::OutOfRange {
+            quantity: "Fraction (percent)",
+            value: pct,
+            min: 0.0,
+            max: 100.0,
+        })
+    }
+
+    /// Returns the raw value in `[0, 1]`.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value expressed as a percentage in `[0, 100]`.
+    #[inline]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Returns the complementary fraction `1 - self`.
+    #[inline]
+    pub fn complement(self) -> Self {
+        Self(1.0 - self.0)
+    }
+}
+
+impl core::fmt::Display for Fraction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.1}%", self.as_percent())
+    }
+}
+
+/// Battery state of charge: the fraction of effective capacity currently
+/// stored, in `[0, 1]`.
+///
+/// The paper's partial-cycling metric (Eq 3-4) divides the SoC axis into
+/// four ranges A–D; [`Soc::cycling_range`] exposes that classification.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), baat_units::UnitError> {
+/// use baat_units::Soc;
+///
+/// let soc = Soc::new(0.35)?;
+/// assert!(soc.is_deep_discharge());
+/// assert_eq!(soc.cycling_range(), baat_units::Soc::RANGE_D);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Soc(f64);
+
+impl Soc {
+    /// A fully charged battery.
+    pub const FULL: Soc = Soc(1.0);
+    /// A fully discharged battery.
+    pub const EMPTY: Soc = Soc(0.0);
+
+    /// SoC range A: 80–100 % (paper §III.C).
+    pub const RANGE_A: u8 = 0;
+    /// SoC range B: 60–79 %.
+    pub const RANGE_B: u8 = 1;
+    /// SoC range C: 40–59 %.
+    pub const RANGE_C: u8 = 2;
+    /// SoC range D: 0–39 % — the deep-discharge region.
+    pub const RANGE_D: u8 = 3;
+
+    /// The 40 % threshold below which the paper counts deep discharge
+    /// (Eq 5).
+    pub const DEEP_DISCHARGE_THRESHOLD: Soc = Soc(0.40);
+
+    /// Creates a state of charge, validating that `value ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::OutOfRange`] if `value` is NaN or outside
+    /// `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, UnitError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            return Err(UnitError::OutOfRange {
+                quantity: "Soc",
+                value,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(Self(value))
+    }
+
+    /// Creates a state of charge, clamping into `[0, 1]` (NaN becomes 0).
+    #[inline]
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Self(0.0)
+        } else {
+            Self(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Returns the raw value in `[0, 1]`.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the SoC as a percentage in `[0, 100]`.
+    #[inline]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// The complementary depth of discharge, `DoD = 1 - SoC`.
+    #[inline]
+    pub fn to_dod(self) -> Dod {
+        Dod(1.0 - self.0)
+    }
+
+    /// `true` if the battery is in the deep-discharge region (SoC < 40 %,
+    /// Eq 5 of the paper).
+    #[inline]
+    pub fn is_deep_discharge(self) -> bool {
+        self.0 < Self::DEEP_DISCHARGE_THRESHOLD.0
+    }
+
+    /// The partial-cycling range this SoC falls into (paper §III.C):
+    /// A = 100–80 %, B = 79–60 %, C = 59–40 %, D = 39–0 %.
+    #[inline]
+    pub fn cycling_range(self) -> u8 {
+        let pct = self.as_percent();
+        if pct >= 80.0 {
+            Self::RANGE_A
+        } else if pct >= 60.0 {
+            Self::RANGE_B
+        } else if pct >= 40.0 {
+            Self::RANGE_C
+        } else {
+            Self::RANGE_D
+        }
+    }
+
+    /// The Eq-4 damage weight of this SoC's cycling range (A=1 … D=4).
+    #[inline]
+    pub fn cycling_weight(self) -> f64 {
+        f64::from(self.cycling_range()) + 1.0
+    }
+}
+
+impl core::fmt::Display for Soc {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SoC {:.1}%", self.as_percent())
+    }
+}
+
+/// Battery depth of discharge, in `[0, 1]`; the complement of [`Soc`].
+///
+/// Cycle-life curves (paper Fig 10) are parameterized by DoD.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Dod(f64);
+
+impl Dod {
+    /// Creates a depth of discharge, validating that `value ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::OutOfRange`] if `value` is NaN or outside
+    /// `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, UnitError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            return Err(UnitError::OutOfRange {
+                quantity: "Dod",
+                value,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(Self(value))
+    }
+
+    /// Creates a depth of discharge, clamping into `[0, 1]`.
+    #[inline]
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Self(0.0)
+        } else {
+            Self(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Returns the raw value in `[0, 1]`.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the DoD as a percentage in `[0, 100]`.
+    #[inline]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// The complementary state of charge, `SoC = 1 - DoD`.
+    #[inline]
+    pub fn to_soc(self) -> Soc {
+        Soc(1.0 - self.0)
+    }
+}
+
+impl core::fmt::Display for Dod {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "DoD {:.1}%", self.as_percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_rejects_out_of_range() {
+        assert!(Fraction::new(-0.01).is_err());
+        assert!(Fraction::new(1.01).is_err());
+        assert!(Fraction::new(f64::NAN).is_err());
+        assert!(Fraction::new(0.0).is_ok());
+        assert!(Fraction::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn fraction_saturating_clamps() {
+        assert_eq!(Fraction::saturating(2.0), Fraction::ONE);
+        assert_eq!(Fraction::saturating(-1.0), Fraction::ZERO);
+        assert_eq!(Fraction::saturating(f64::NAN), Fraction::ZERO);
+    }
+
+    #[test]
+    fn fraction_percent_round_trip() {
+        let f = Fraction::from_percent(37.5).unwrap();
+        assert!((f.as_percent() - 37.5).abs() < 1e-12);
+        assert!((f.complement().value() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soc_ranges_match_paper_bands() {
+        assert_eq!(Soc::new(1.0).unwrap().cycling_range(), Soc::RANGE_A);
+        assert_eq!(Soc::new(0.80).unwrap().cycling_range(), Soc::RANGE_A);
+        assert_eq!(Soc::new(0.79).unwrap().cycling_range(), Soc::RANGE_B);
+        assert_eq!(Soc::new(0.60).unwrap().cycling_range(), Soc::RANGE_B);
+        assert_eq!(Soc::new(0.59).unwrap().cycling_range(), Soc::RANGE_C);
+        assert_eq!(Soc::new(0.40).unwrap().cycling_range(), Soc::RANGE_C);
+        assert_eq!(Soc::new(0.39).unwrap().cycling_range(), Soc::RANGE_D);
+        assert_eq!(Soc::new(0.0).unwrap().cycling_range(), Soc::RANGE_D);
+    }
+
+    #[test]
+    fn soc_cycling_weights_are_one_to_four() {
+        assert_eq!(Soc::new(0.9).unwrap().cycling_weight(), 1.0);
+        assert_eq!(Soc::new(0.7).unwrap().cycling_weight(), 2.0);
+        assert_eq!(Soc::new(0.5).unwrap().cycling_weight(), 3.0);
+        assert_eq!(Soc::new(0.1).unwrap().cycling_weight(), 4.0);
+    }
+
+    #[test]
+    fn deep_discharge_threshold_is_exclusive_at_forty() {
+        assert!(!Soc::new(0.40).unwrap().is_deep_discharge());
+        assert!(Soc::new(0.399).unwrap().is_deep_discharge());
+    }
+
+    #[test]
+    fn soc_dod_are_complements() {
+        let soc = Soc::new(0.3).unwrap();
+        let dod = soc.to_dod();
+        assert!((dod.value() - 0.7).abs() < 1e-12);
+        assert!((dod.to_soc().value() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,213 @@
+//! Typed physical quantities for the BAAT green-datacenter simulator.
+//!
+//! Every quantity that crosses a crate boundary in this workspace is a
+//! newtype over `f64` (or integer seconds for time), so that watts can never
+//! be confused with watt-hours, amperes with ampere-hours, or a state of
+//! charge with a depth of discharge. Arithmetic is only defined where it is
+//! physically meaningful, e.g. multiplying [`Watts`] by a [`SimDuration`]
+//! yields [`WattHours`], and multiplying [`Volts`] by [`Amperes`] yields
+//! [`Watts`].
+//!
+//! # Examples
+//!
+//! ```
+//! use baat_units::{Watts, Volts, Amperes, SimDuration};
+//!
+//! let load = Volts::new(12.0) * Amperes::new(5.0);
+//! assert_eq!(load, Watts::new(60.0));
+//!
+//! let energy = load * SimDuration::from_hours(2);
+//! assert_eq!(energy.as_f64(), 120.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod electrical;
+mod energy;
+mod error;
+mod fraction;
+mod money;
+mod thermal;
+mod time;
+
+pub use electrical::{AmpHours, Amperes, Ohms, Volts};
+pub use energy::{WattHours, Watts};
+pub use error::UnitError;
+pub use fraction::{Dod, Fraction, Soc};
+pub use money::Dollars;
+pub use thermal::Celsius;
+pub use time::{SimDuration, SimInstant, TimeOfDay};
+
+/// Declares a `f64`-backed quantity newtype with the shared method surface.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a new quantity from a raw `f64` value.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw `f64` value.
+            #[inline]
+            pub const fn as_f64(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity to the inclusive range `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{:.3} {}", self.0, $unit)
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+pub(crate) use quantity;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_unit_arithmetic_round_trips() {
+        let p = Volts::new(12.0) * Amperes::new(2.0);
+        assert_eq!(p, Watts::new(24.0));
+        let e = p * SimDuration::from_hours(3);
+        assert_eq!(e, WattHours::new(72.0));
+        let back = e / SimDuration::from_hours(3);
+        assert_eq!(back, Watts::new(24.0));
+    }
+
+    #[test]
+    fn quantities_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Watts>();
+        assert_send_sync::<WattHours>();
+        assert_send_sync::<Amperes>();
+        assert_send_sync::<AmpHours>();
+        assert_send_sync::<Volts>();
+        assert_send_sync::<Ohms>();
+        assert_send_sync::<Celsius>();
+        assert_send_sync::<Soc>();
+        assert_send_sync::<Dod>();
+        assert_send_sync::<SimInstant>();
+        assert_send_sync::<SimDuration>();
+        assert_send_sync::<Dollars>();
+    }
+}

@@ -1,0 +1,43 @@
+//! Monetary quantities for the cost and TCO models.
+
+use crate::quantity;
+
+quantity!(
+    /// A monetary amount in US dollars.
+    ///
+    /// The cost model (paper §VI.D) expresses battery depreciation and
+    /// datacenter TCO in dollars; negative values represent savings.
+    Dollars,
+    "$"
+);
+
+impl Dollars {
+    /// Splits an amount evenly over `years`, i.e. straight-line annual
+    /// depreciation.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `years` is not positive and finite.
+    #[inline]
+    pub fn per_year(self, years: f64) -> Dollars {
+        debug_assert!(years > 0.0 && years.is_finite(), "invalid year count");
+        Dollars::new(self.as_f64() / years)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_depreciation() {
+        let annual = Dollars::new(300.0).per_year(3.0);
+        assert_eq!(annual, Dollars::new(100.0));
+    }
+
+    #[test]
+    fn savings_are_negative() {
+        let delta = Dollars::new(74.0) - Dollars::new(100.0);
+        assert_eq!(delta, Dollars::new(-26.0));
+    }
+}

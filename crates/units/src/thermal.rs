@@ -1,0 +1,55 @@
+//! Thermal quantities.
+
+use crate::quantity;
+
+quantity!(
+    /// Temperature in degrees Celsius.
+    ///
+    /// The lead-acid aging literature the paper builds on (Jossen et al.
+    /// \[26\]) expresses the temperature acceleration of aging relative to a
+    /// 20 °C baseline: every 10 °C increase halves battery lifetime. The
+    /// [`Celsius::arrhenius_factor`] helper encodes that rule.
+    Celsius,
+    "°C"
+);
+
+impl Celsius {
+    /// The 20 °C reference temperature used by the lifetime models.
+    pub const REFERENCE: Celsius = Celsius::new(20.0);
+
+    /// Aging acceleration factor relative to the 20 °C baseline.
+    ///
+    /// Implements the doubling rule from the paper (§III.E): "a 10 °C
+    /// temperature increase will result in a reduction of the lifetime by
+    /// 50 %", i.e. `factor = 2^((T - 20) / 10)`. Temperatures below the
+    /// baseline slow aging symmetrically.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use baat_units::Celsius;
+    ///
+    /// assert_eq!(Celsius::new(20.0).arrhenius_factor(), 1.0);
+    /// assert_eq!(Celsius::new(30.0).arrhenius_factor(), 2.0);
+    /// ```
+    #[inline]
+    pub fn arrhenius_factor(self) -> f64 {
+        2f64.powf((self.as_f64() - Self::REFERENCE.as_f64()) / 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrhenius_doubles_every_ten_degrees() {
+        assert!((Celsius::new(40.0).arrhenius_factor() - 4.0).abs() < 1e-12);
+        assert!((Celsius::new(10.0).arrhenius_factor() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_is_unity() {
+        assert_eq!(Celsius::REFERENCE.arrhenius_factor(), 1.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Simulation time: instants, durations, and time of day.
+//!
+//! Simulation time is integer seconds since the start of the simulation.
+//! Integer arithmetic keeps long runs (months of simulated time) free of
+//! floating-point drift.
+
+/// A span of simulated time, in whole seconds.
+///
+/// # Examples
+///
+/// ```
+/// use baat_units::SimDuration;
+///
+/// let d = SimDuration::from_hours(2) + SimDuration::from_minutes(30);
+/// assert_eq!(d.as_secs(), 9000);
+/// assert_eq!(d.as_hours(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a duration from whole minutes.
+    #[inline]
+    pub const fn from_minutes(minutes: u64) -> Self {
+        Self(minutes * 60)
+    }
+
+    /// Creates a duration from whole hours.
+    #[inline]
+    pub const fn from_hours(hours: u64) -> Self {
+        Self(hours * 3600)
+    }
+
+    /// Creates a duration from whole days.
+    #[inline]
+    pub const fn from_days(days: u64) -> Self {
+        Self(days * 86_400)
+    }
+
+    /// Returns the duration in whole seconds.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in (possibly fractional) hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Returns the duration in (possibly fractional) minutes.
+    #[inline]
+    pub fn as_minutes(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Returns the duration in (possibly fractional) days.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    /// `true` if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: returns `self - rhs` or zero.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+}
+
+impl core::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let (d, rem) = (self.0 / 86_400, self.0 % 86_400);
+        let (h, rem) = (rem / 3600, rem % 3600);
+        let (m, s) = (rem / 60, rem % 60);
+        if d > 0 {
+            write!(f, "{d}d {h:02}:{m:02}:{s:02}")
+        } else {
+            write!(f, "{h:02}:{m:02}:{s:02}")
+        }
+    }
+}
+
+impl core::ops::Add for SimDuration {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Mul<u64> for SimDuration {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl core::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|d| d.0).sum())
+    }
+}
+
+/// An instant on the simulation clock: whole seconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use baat_units::{SimInstant, SimDuration};
+///
+/// let t0 = SimInstant::START;
+/// let t1 = t0 + SimDuration::from_hours(1);
+/// assert_eq!(t1 - t0, SimDuration::from_hours(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant(u64);
+
+impl SimInstant {
+    /// The beginning of simulated time.
+    pub const START: SimInstant = SimInstant(0);
+
+    /// Creates an instant from whole seconds since simulation start.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs)
+    }
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The elapsed duration since simulation start.
+    #[inline]
+    pub const fn elapsed(self) -> SimDuration {
+        SimDuration(self.0)
+    }
+
+    /// Which simulated day (0-based) this instant falls in.
+    #[inline]
+    pub const fn day(self) -> u64 {
+        self.0 / 86_400
+    }
+
+    /// The time of day at this instant.
+    #[inline]
+    pub const fn time_of_day(self) -> TimeOfDay {
+        TimeOfDay((self.0 % 86_400) as u32)
+    }
+
+    /// Saturating difference between instants.
+    #[inline]
+    pub const fn saturating_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl core::fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "day {} {}", self.day(), self.time_of_day())
+    }
+}
+
+impl core::ops::Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign<SimDuration> for SimInstant {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Sub for SimInstant {
+    type Output = SimDuration;
+
+    /// Duration between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimInstant::saturating_since`] when ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: SimInstant) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "instant subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+/// A wall-clock time of day within a simulated day (seconds past midnight).
+///
+/// The paper's prototype powers servers from 08:30 to 18:30; schedules are
+/// expressed with this type.
+///
+/// # Examples
+///
+/// ```
+/// use baat_units::TimeOfDay;
+///
+/// let open = TimeOfDay::from_hm(8, 30);
+/// assert_eq!(open.hour(), 8);
+/// assert_eq!(open.minute(), 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeOfDay(u32);
+
+impl TimeOfDay {
+    /// Midnight.
+    pub const MIDNIGHT: TimeOfDay = TimeOfDay(0);
+    /// Noon.
+    pub const NOON: TimeOfDay = TimeOfDay(12 * 3600);
+
+    /// Creates a time of day from hours and minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24` or `minute >= 60`.
+    #[inline]
+    pub const fn from_hm(hour: u32, minute: u32) -> Self {
+        assert!(hour < 24 && minute < 60, "invalid time of day");
+        Self(hour * 3600 + minute * 60)
+    }
+
+    /// Creates a time of day from seconds past midnight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs >= 86_400`.
+    #[inline]
+    pub const fn from_secs(secs: u32) -> Self {
+        assert!(secs < 86_400, "time of day out of range");
+        Self(secs)
+    }
+
+    /// Seconds past midnight.
+    #[inline]
+    pub const fn as_secs(self) -> u32 {
+        self.0
+    }
+
+    /// The hour component (0–23).
+    #[inline]
+    pub const fn hour(self) -> u32 {
+        self.0 / 3600
+    }
+
+    /// The minute component (0–59).
+    #[inline]
+    pub const fn minute(self) -> u32 {
+        (self.0 % 3600) / 60
+    }
+
+    /// Fractional hours past midnight (e.g. 8.5 for 08:30).
+    #[inline]
+    pub fn as_fractional_hours(self) -> f64 {
+        f64::from(self.0) / 3600.0
+    }
+
+    /// `true` if this time lies in `[start, end)`.
+    #[inline]
+    pub fn is_between(self, start: TimeOfDay, end: TimeOfDay) -> bool {
+        start <= self && self < end
+    }
+}
+
+impl core::fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:02}:{:02}", self.hour(), self.minute())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_minutes(60), SimDuration::from_hours(1));
+        assert_eq!(SimDuration::from_hours(24), SimDuration::from_days(1));
+        assert_eq!(SimDuration::from_secs(90).as_minutes(), 1.5);
+    }
+
+    #[test]
+    fn instant_day_and_time_of_day() {
+        let t = SimInstant::from_secs(86_400 * 2 + 3600 * 9 + 60 * 15);
+        assert_eq!(t.day(), 2);
+        assert_eq!(t.time_of_day(), TimeOfDay::from_hm(9, 15));
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let early = SimInstant::from_secs(10);
+        let late = SimInstant::from_secs(100);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(90));
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_of_day_window() {
+        let open = TimeOfDay::from_hm(8, 30);
+        let close = TimeOfDay::from_hm(18, 30);
+        assert!(TimeOfDay::NOON.is_between(open, close));
+        assert!(!TimeOfDay::from_hm(7, 0).is_between(open, close));
+        assert!(!close.is_between(open, close));
+        assert!(open.is_between(open, close));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            format!("{}", SimDuration::from_secs(86_400 + 3661)),
+            "1d 01:01:01"
+        );
+        assert_eq!(format!("{}", TimeOfDay::from_hm(8, 5)), "08:05");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time of day")]
+    fn invalid_time_of_day_panics() {
+        let _ = TimeOfDay::from_hm(24, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the quantity types.
+
+use baat_units::{AmpHours, Amperes, Dod, Fraction, SimDuration, SimInstant, Soc, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fraction_accepts_exactly_unit_interval(v in -2.0f64..3.0) {
+        let ok = (0.0..=1.0).contains(&v);
+        prop_assert_eq!(Fraction::new(v).is_ok(), ok);
+    }
+
+    #[test]
+    fn fraction_saturating_always_in_range(v in proptest::num::f64::ANY) {
+        let f = Fraction::saturating(v);
+        prop_assert!((0.0..=1.0).contains(&f.value()));
+    }
+
+    #[test]
+    fn soc_dod_complement_round_trip(v in 0.0f64..=1.0) {
+        let soc = Soc::new(v).unwrap();
+        let back = soc.to_dod().to_soc();
+        prop_assert!((back.value() - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soc_cycling_weight_monotone_nonincreasing(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let w_lo = Soc::new(lo).unwrap().cycling_weight();
+        let w_hi = Soc::new(hi).unwrap().cycling_weight();
+        // Lower SoC never has a smaller damage weight.
+        prop_assert!(w_lo >= w_hi);
+    }
+
+    #[test]
+    fn power_energy_round_trip(p in 0.0f64..1e6, hours in 1u64..1000) {
+        let d = SimDuration::from_hours(hours);
+        let e = Watts::new(p) * d;
+        let back = e / d;
+        prop_assert!((back.as_f64() - p).abs() < 1e-6 * p.max(1.0));
+    }
+
+    #[test]
+    fn charge_integration_is_linear(i in -100.0f64..100.0, secs in 1u64..1_000_000) {
+        let d = SimDuration::from_secs(secs);
+        let q = Amperes::new(i) * d;
+        let q2 = Amperes::new(2.0 * i) * d;
+        prop_assert!((q2.as_f64() - 2.0 * q.as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instant_add_then_sub_is_identity(start in 0u64..1_000_000, delta in 0u64..1_000_000) {
+        let t0 = SimInstant::from_secs(start);
+        let d = SimDuration::from_secs(delta);
+        prop_assert_eq!((t0 + d) - t0, d);
+    }
+
+    #[test]
+    fn instant_day_time_decomposition(secs in 0u64..(86_400 * 400)) {
+        let t = SimInstant::from_secs(secs);
+        let rebuilt = t.day() * 86_400 + u64::from(t.time_of_day().as_secs());
+        prop_assert_eq!(rebuilt, secs);
+    }
+
+    #[test]
+    fn ohms_law_consistency(v in 1.0f64..100.0, i in 0.1f64..100.0) {
+        let p = Volts::new(v) * Amperes::new(i);
+        let back = p / Volts::new(v);
+        prop_assert!((back.as_f64() - i).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amp_hours_sum_matches_piecewise(parts in proptest::collection::vec(0.0f64..10.0, 1..20)) {
+        let total: AmpHours = parts.iter().map(|&p| AmpHours::new(p)).sum();
+        let expect: f64 = parts.iter().sum();
+        prop_assert!((total.as_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dod_valid_range(v in 0.0f64..=1.0) {
+        let dod = Dod::new(v).unwrap();
+        prop_assert!((dod.as_percent() - v * 100.0).abs() < 1e-9);
+    }
+}

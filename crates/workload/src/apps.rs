@@ -1,0 +1,258 @@
+//! The six datacenter workloads of the paper's evaluation (§V.B):
+//! three from HiBench [39] (Nutch Indexing, K-Means Clustering, Word
+//! Count) and three from CloudSuite [40] (Software Testing, Web Serving,
+//! Data Analytics).
+//!
+//! Each kind carries a utilization signature shaped after its application
+//! class: batch jobs have phase structure, services run all day with a
+//! diurnal swing, and Software Testing is the "resource-hungry and
+//! time-consuming" stressor the paper uses to load its servers.
+
+use baat_units::{Fraction, SimDuration, TimeOfDay};
+
+use crate::profile::PowerProfile;
+
+/// One of the six paper workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// HiBench Nutch Indexing — large-scale search indexing.
+    NutchIndexing,
+    /// HiBench K-Means Clustering — iterative machine learning.
+    KMeans,
+    /// HiBench Word Count — classic MapReduce.
+    WordCount,
+    /// CloudSuite Software Testing — long, resource-hungry batch.
+    SoftwareTesting,
+    /// CloudSuite Web Serving — long-running interactive service.
+    WebServing,
+    /// CloudSuite Data Analytics — MapReduce-style analytics.
+    DataAnalytics,
+}
+
+impl WorkloadKind {
+    /// All six workloads in the paper's order.
+    pub const ALL: [WorkloadKind; 6] = [
+        WorkloadKind::NutchIndexing,
+        WorkloadKind::KMeans,
+        WorkloadKind::WordCount,
+        WorkloadKind::SoftwareTesting,
+        WorkloadKind::WebServing,
+        WorkloadKind::DataAnalytics,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::NutchIndexing => "Nutch Indexing",
+            WorkloadKind::KMeans => "K-Means Clustering",
+            WorkloadKind::WordCount => "Word Count",
+            WorkloadKind::SoftwareTesting => "Software Testing",
+            WorkloadKind::WebServing => "Web Serving",
+            WorkloadKind::DataAnalytics => "Data Analytics",
+        }
+    }
+
+    /// `true` for long-running services (vs finite batch jobs).
+    pub fn is_service(self) -> bool {
+        matches!(self, WorkloadKind::WebServing)
+    }
+
+    /// Nominal full-speed run length (services use the full prototype day).
+    pub fn nominal_duration(self) -> SimDuration {
+        match self {
+            WorkloadKind::NutchIndexing => SimDuration::from_hours(2),
+            WorkloadKind::KMeans => SimDuration::from_minutes(90),
+            WorkloadKind::WordCount => SimDuration::from_hours(1),
+            WorkloadKind::SoftwareTesting => SimDuration::from_hours(6),
+            WorkloadKind::WebServing => SimDuration::from_hours(10),
+            WorkloadKind::DataAnalytics => SimDuration::from_minutes(150),
+        }
+    }
+
+    /// CPU utilization at a point in the job's life.
+    ///
+    /// `progress` is the fraction of the job completed (0–1); `tod` lets
+    /// the Web Serving diurnal pattern follow wall-clock time.
+    pub fn utilization(self, progress: f64, tod: TimeOfDay) -> Fraction {
+        let p = progress.clamp(0.0, 1.0);
+        let u = match self {
+            // Indexing: crawl-parse-index phases with a heavy middle.
+            WorkloadKind::NutchIndexing => {
+                if p < 0.2 {
+                    0.55
+                } else if p < 0.8 {
+                    0.80
+                } else {
+                    0.65
+                }
+            }
+            // K-Means: sawtooth over iterations.
+            WorkloadKind::KMeans => {
+                let phase = (p * 8.0).fract();
+                0.65 + 0.25 * (1.0 - phase)
+            }
+            // WordCount: hot map phase, cooler reduce phase.
+            WorkloadKind::WordCount => {
+                if p < 0.6 {
+                    0.90
+                } else {
+                    0.50
+                }
+            }
+            // Software Testing: sustained near-peak stress.
+            WorkloadKind::SoftwareTesting => 0.95,
+            // Web Serving: diurnal request rate peaking mid-afternoon.
+            WorkloadKind::WebServing => {
+                let h = tod.as_fractional_hours();
+                let swing = ((h - 15.0) * core::f64::consts::PI / 12.0).cos();
+                0.45 + 0.20 * swing
+            }
+            // Data Analytics: staged with a heavy shuffle.
+            WorkloadKind::DataAnalytics => {
+                if p < 0.3 {
+                    0.60
+                } else if p < 0.7 {
+                    0.85
+                } else {
+                    0.70
+                }
+            }
+        };
+        Fraction::saturating(u)
+    }
+
+    /// Mean utilization over a full nominal run started at 08:30.
+    pub fn mean_utilization(self) -> Fraction {
+        let steps = 200;
+        let start = f64::from(TimeOfDay::from_hm(8, 30).as_secs());
+        let dur = self.nominal_duration().as_secs() as f64;
+        let sum: f64 = (0..steps)
+            .map(|i| {
+                let p = (f64::from(i) + 0.5) / f64::from(steps);
+                let tod_secs = ((start + p * dur) as u32) % 86_400;
+                self.utilization(p, TimeOfDay::from_secs(tod_secs)).value()
+            })
+            .sum();
+        Fraction::saturating(sum / f64::from(steps))
+    }
+
+    /// Peak utilization over the job's life.
+    pub fn peak_utilization(self) -> Fraction {
+        let steps = 400;
+        let mut peak: f64 = 0.0;
+        for i in 0..steps {
+            let p = f64::from(i) / f64::from(steps);
+            for h in [9u32, 12, 15, 18] {
+                peak = peak.max(self.utilization(p, TimeOfDay::from_hm(h, 0)).value());
+            }
+        }
+        Fraction::saturating(peak)
+    }
+
+    /// The coarse power profile BAAT's scheduler consumes (§IV.B.2.a).
+    pub fn profile(self) -> PowerProfile {
+        PowerProfile::new(
+            self.mean_utilization(),
+            self.peak_utilization(),
+            self.nominal_duration(),
+        )
+    }
+
+    /// Typical VM resource request (vCPUs, memory GiB) for this workload.
+    pub fn resource_request(self) -> (u32, u32) {
+        match self {
+            WorkloadKind::NutchIndexing => (4, 8),
+            WorkloadKind::KMeans => (4, 6),
+            WorkloadKind::WordCount => (2, 4),
+            WorkloadKind::SoftwareTesting => (6, 8),
+            WorkloadKind::WebServing => (2, 6),
+            WorkloadKind::DataAnalytics => (4, 8),
+        }
+    }
+}
+
+impl core::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_workloads_match_the_paper() {
+        assert_eq!(WorkloadKind::ALL.len(), 6);
+        let names: Vec<_> = WorkloadKind::ALL.iter().map(|w| w.name()).collect();
+        assert!(names.contains(&"Nutch Indexing"));
+        assert!(names.contains(&"Software Testing"));
+    }
+
+    #[test]
+    fn software_testing_is_the_heaviest_stressor() {
+        let st = WorkloadKind::SoftwareTesting.mean_utilization();
+        for w in WorkloadKind::ALL {
+            assert!(st >= w.mean_utilization(), "{w} beat Software Testing");
+        }
+    }
+
+    #[test]
+    fn web_serving_is_the_only_service() {
+        for w in WorkloadKind::ALL {
+            assert_eq!(w.is_service(), w == WorkloadKind::WebServing);
+        }
+    }
+
+    #[test]
+    fn utilization_always_valid_fraction() {
+        for w in WorkloadKind::ALL {
+            for i in 0..50 {
+                let p = f64::from(i) / 50.0;
+                for h in 0..24 {
+                    let u = w.utilization(p, TimeOfDay::from_hm(h, 0)).value();
+                    assert!((0.0..=1.0).contains(&u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn web_serving_peaks_in_the_afternoon() {
+        let w = WorkloadKind::WebServing;
+        let afternoon = w.utilization(0.5, TimeOfDay::from_hm(15, 0));
+        let night = w.utilization(0.5, TimeOfDay::from_hm(3, 0));
+        assert!(afternoon > night);
+    }
+
+    #[test]
+    fn wordcount_map_phase_hotter_than_reduce() {
+        let w = WorkloadKind::WordCount;
+        let map = w.utilization(0.3, TimeOfDay::NOON);
+        let reduce = w.utilization(0.9, TimeOfDay::NOON);
+        assert!(map > reduce);
+    }
+
+    #[test]
+    fn peak_dominates_mean_for_all() {
+        for w in WorkloadKind::ALL {
+            assert!(w.peak_utilization() >= w.mean_utilization(), "{w}");
+        }
+    }
+
+    #[test]
+    fn profiles_are_constructible() {
+        for w in WorkloadKind::ALL {
+            let p = w.profile();
+            assert_eq!(p.nominal_duration(), w.nominal_duration());
+        }
+    }
+
+    #[test]
+    fn resource_requests_are_positive() {
+        for w in WorkloadKind::ALL {
+            let (cpu, mem) = w.resource_request();
+            assert!(cpu > 0 && mem > 0);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Error types for workload configuration.
+
+/// Configuration failure in the workload models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig { field, reason } => {
+                write!(f, "invalid workload config field `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let err = WorkloadError::InvalidConfig {
+            field: "cores",
+            reason: "zero".to_owned(),
+        };
+        assert!(err.to_string().contains("cores"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Datacenter workload models — the demand-side substrate of the BAAT
+//! reproduction.
+//!
+//! The paper evaluates six workloads (§V.B): Nutch Indexing, K-Means
+//! Clustering and Word Count from HiBench, plus Software Testing, Web
+//! Serving and Data Analytics from CloudSuite, all hosted in Xen VMs. This
+//! crate provides:
+//!
+//! * [`WorkloadKind`] — the six workloads with utilization signatures,
+//!   nominal durations and VM resource requests;
+//! * [`PowerProfile`] / [`DemandClass`] — the coarse power/energy
+//!   profiling and Table-3 Large/Small × More/Less classification that
+//!   drives BAAT's Eq-6 weighting;
+//! * [`Vm`] — a virtual machine tracking progress, useful work
+//!   (core-hours, the Fig 20 throughput metric), pause/resume, and
+//!   migration;
+//! * [`WorkloadGenerator`] — seeded daily arrival plans.
+//!
+//! # Examples
+//!
+//! ```
+//! use baat_workload::{Vm, VmId, WorkloadKind};
+//! use baat_units::{Fraction, SimDuration, TimeOfDay};
+//!
+//! let mut vm = Vm::new(VmId(0), WorkloadKind::WordCount);
+//! while !vm.is_completed() {
+//!     vm.advance(Fraction::ONE, TimeOfDay::NOON, SimDuration::from_minutes(10));
+//! }
+//! assert!(vm.work_done() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apps;
+mod error;
+mod generator;
+mod profile;
+mod vm;
+
+pub use apps::WorkloadKind;
+pub use error::WorkloadError;
+pub use generator::{Arrival, WorkloadGenerator};
+pub use profile::{DemandClass, EnergyDemand, PowerDemand, PowerProfile};
+pub use vm::{Vm, VmId, VmState};

@@ -1,0 +1,189 @@
+//! Workload power/energy profiling and the Table-3 demand classification.
+//!
+//! BAAT's aging-hiding scheduler classifies each workload's power demand
+//! as *Large* (above 50 % of server peak) or *Small*, and its energy
+//! demand as *More* or *Less* (run length × power, paper §IV.B.2). The
+//! classification drives the Eq-6 weighting-factor selection.
+
+use baat_units::{Fraction, SimDuration, WattHours, Watts};
+
+/// Power-demand class (paper Table 3): *Large* if average load power
+/// exceeds 50 % of the server's peak power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerDemand {
+    /// Load power above 50 % of server peak.
+    Large,
+    /// Load power at or below 50 % of server peak.
+    Small,
+}
+
+/// Energy-demand class (paper Table 3): *More* for long-running /
+/// energy-hungry workloads, *Less* otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnergyDemand {
+    /// High total energy request.
+    More,
+    /// Low total energy request.
+    Less,
+}
+
+/// The joint Table-3 demand class of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DemandClass {
+    /// Power-demand class.
+    pub power: PowerDemand,
+    /// Energy-demand class.
+    pub energy: EnergyDemand,
+}
+
+impl core::fmt::Display for DemandClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let p = match self.power {
+            PowerDemand::Large => "Large",
+            PowerDemand::Small => "Small",
+        };
+        let e = match self.energy {
+            EnergyDemand::More => "More",
+            EnergyDemand::Less => "Less",
+        };
+        write!(f, "power={p}, energy={e}")
+    }
+}
+
+/// A coarse-granularity power profile for one workload: expected mean
+/// utilization, nominal run length, and the derived demand classes.
+///
+/// The paper notes many datacenter applications provide such profiles
+/// (long-running services, periodic/repetitive jobs, §IV.B.2.a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerProfile {
+    mean_utilization: Fraction,
+    peak_utilization: Fraction,
+    nominal_duration: SimDuration,
+}
+
+impl PowerProfile {
+    /// Creates a profile from mean/peak utilization and nominal duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `peak < mean`.
+    pub fn new(
+        mean_utilization: Fraction,
+        peak_utilization: Fraction,
+        nominal_duration: SimDuration,
+    ) -> Self {
+        debug_assert!(
+            peak_utilization >= mean_utilization,
+            "peak must dominate mean"
+        );
+        Self {
+            mean_utilization,
+            peak_utilization,
+            nominal_duration,
+        }
+    }
+
+    /// Expected mean CPU utilization while running.
+    pub fn mean_utilization(&self) -> Fraction {
+        self.mean_utilization
+    }
+
+    /// Expected peak CPU utilization.
+    pub fn peak_utilization(&self) -> Fraction {
+        self.peak_utilization
+    }
+
+    /// Nominal run length at full speed.
+    pub fn nominal_duration(&self) -> SimDuration {
+        self.nominal_duration
+    }
+
+    /// Expected mean load power on a server with the given idle/peak power.
+    pub fn expected_power(&self, idle: Watts, peak: Watts) -> Watts {
+        idle + (peak - idle) * self.mean_utilization.value()
+    }
+
+    /// Expected total energy over the nominal run.
+    pub fn expected_energy(&self, idle: Watts, peak: Watts) -> WattHours {
+        self.expected_power(idle, peak) * self.nominal_duration
+    }
+
+    /// The Table-3 demand class on a server with the given idle/peak power.
+    ///
+    /// Power is *Large* above 50 % of peak; energy is *More* above the
+    /// energy of a half-power four-hour run (the split that separates the
+    /// paper's long-running services from short batch jobs).
+    pub fn classify(&self, idle: Watts, peak: Watts) -> DemandClass {
+        let power = if self.expected_power(idle, peak).as_f64() > 0.5 * peak.as_f64() {
+            PowerDemand::Large
+        } else {
+            PowerDemand::Small
+        };
+        let energy_threshold = 0.5 * peak.as_f64() * 4.0; // Wh
+        let energy = if self.expected_energy(idle, peak).as_f64() > energy_threshold {
+            EnergyDemand::More
+        } else {
+            EnergyDemand::Less
+        };
+        DemandClass { power, energy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frac(v: f64) -> Fraction {
+        Fraction::new(v).unwrap()
+    }
+
+    const IDLE: Watts = Watts::new(100.0);
+    const PEAK: Watts = Watts::new(300.0);
+
+    #[test]
+    fn expected_power_interpolates_idle_to_peak() {
+        let p = PowerProfile::new(frac(0.5), frac(0.8), SimDuration::from_hours(2));
+        assert_eq!(p.expected_power(IDLE, PEAK), Watts::new(200.0));
+    }
+
+    #[test]
+    fn heavy_long_job_is_large_more() {
+        let p = PowerProfile::new(frac(0.9), frac(1.0), SimDuration::from_hours(6));
+        let c = p.classify(IDLE, PEAK);
+        assert_eq!(c.power, PowerDemand::Large);
+        assert_eq!(c.energy, EnergyDemand::More);
+    }
+
+    #[test]
+    fn light_short_job_is_small_less() {
+        let p = PowerProfile::new(frac(0.1), frac(0.3), SimDuration::from_hours(1));
+        let c = p.classify(IDLE, PEAK);
+        assert_eq!(c.power, PowerDemand::Small);
+        assert_eq!(c.energy, EnergyDemand::Less);
+    }
+
+    #[test]
+    fn light_long_job_is_small_more() {
+        let p = PowerProfile::new(frac(0.2), frac(0.5), SimDuration::from_hours(10));
+        let c = p.classify(IDLE, PEAK);
+        assert_eq!(c.power, PowerDemand::Small);
+        assert_eq!(c.energy, EnergyDemand::More);
+    }
+
+    #[test]
+    fn heavy_short_job_is_large_less() {
+        let p = PowerProfile::new(frac(0.95), frac(1.0), SimDuration::from_minutes(90));
+        let c = p.classify(IDLE, PEAK);
+        assert_eq!(c.power, PowerDemand::Large);
+        assert_eq!(c.energy, EnergyDemand::Less);
+    }
+
+    #[test]
+    fn power_class_boundary_at_half_peak() {
+        // Mean power exactly 50 % of peak is Small (strictly-above rule).
+        let p = PowerProfile::new(frac(0.25), frac(0.5), SimDuration::from_hours(1));
+        assert_eq!(p.expected_power(IDLE, PEAK), Watts::new(150.0));
+        assert_eq!(p.classify(IDLE, PEAK).power, PowerDemand::Small);
+    }
+}

@@ -1,0 +1,251 @@
+//! Virtual machines hosting workloads.
+//!
+//! The paper hosts every workload in a Xen VM so it "can be easily managed
+//! by performing VM spawning, pausing and migration among server nodes"
+//! (§V.B). A [`Vm`] tracks its workload's progress and completed work; the
+//! hypervisor (in `baat-server`) decides where and how fast it runs.
+
+use baat_units::{Fraction, SimDuration, TimeOfDay};
+
+use crate::apps::WorkloadKind;
+
+/// Unique identifier of a VM within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmId(pub u64);
+
+impl core::fmt::Display for VmId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+/// Lifecycle state of a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmState {
+    /// Executing on a host.
+    Running,
+    /// Suspended (e.g. during a power shortfall checkpoint).
+    Paused,
+    /// In transit between hosts; makes no progress and pays overhead.
+    Migrating,
+    /// Finished its nominal work.
+    Completed,
+}
+
+/// A virtual machine executing one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vm {
+    id: VmId,
+    kind: WorkloadKind,
+    state: VmState,
+    /// Completed fraction of the nominal work (0–1; services keep
+    /// accumulating beyond 1).
+    progress: f64,
+    /// Accumulated useful work in core-hours (the Fig 20 throughput
+    /// metric).
+    work_done: f64,
+    /// Number of live migrations this VM has undergone.
+    migrations: u32,
+}
+
+impl Vm {
+    /// Creates a fresh VM for a workload.
+    pub fn new(id: VmId, kind: WorkloadKind) -> Self {
+        Self {
+            id,
+            kind,
+            state: VmState::Running,
+            progress: 0.0,
+            work_done: 0.0,
+            migrations: 0,
+        }
+    }
+
+    /// VM identifier.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// The hosted workload.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> VmState {
+        self.state
+    }
+
+    /// Completed fraction of nominal work, clamped to `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        self.progress.min(1.0)
+    }
+
+    /// Accumulated useful work in core-hours.
+    pub fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    /// Number of live migrations performed.
+    pub fn migrations(&self) -> u32 {
+        self.migrations
+    }
+
+    /// `true` once the workload finished its nominal work.
+    pub fn is_completed(&self) -> bool {
+        self.state == VmState::Completed
+    }
+
+    /// Current CPU utilization demand given wall-clock time of day.
+    ///
+    /// Paused, migrating and completed VMs demand nothing.
+    pub fn utilization(&self, tod: TimeOfDay) -> Fraction {
+        match self.state {
+            VmState::Running => self.kind.utilization(self.progress, tod),
+            _ => Fraction::ZERO,
+        }
+    }
+
+    /// Advances the VM one step at the given execution `speed` (1.0 = full
+    /// frequency; DVFS scales it down).
+    ///
+    /// Returns the useful work done this step, in core-hours.
+    pub fn advance(&mut self, speed: Fraction, tod: TimeOfDay, dt: SimDuration) -> f64 {
+        if self.state != VmState::Running {
+            return 0.0;
+        }
+        let (cores, _) = self.kind.resource_request();
+        let util = self.kind.utilization(self.progress, tod).value();
+        let work = f64::from(cores) * util * speed.value() * dt.as_hours();
+        self.work_done += work;
+        let nominal = self.kind.nominal_duration().as_hours();
+        self.progress += speed.value() * dt.as_hours() / nominal;
+        if !self.kind.is_service() && self.progress >= 1.0 - 1e-9 {
+            self.progress = 1.0;
+            self.state = VmState::Completed;
+        }
+        work
+    }
+
+    /// Pauses the VM (checkpoint on power shortfall, §V.B).
+    pub fn pause(&mut self) {
+        if self.state == VmState::Running {
+            self.state = VmState::Paused;
+        }
+    }
+
+    /// Resumes a paused or migrating VM.
+    pub fn resume(&mut self) {
+        if matches!(self.state, VmState::Paused | VmState::Migrating) {
+            self.state = VmState::Running;
+        }
+    }
+
+    /// Marks the VM as migrating (no progress until
+    /// [`Vm::resume`]).
+    pub fn begin_migration(&mut self) {
+        if matches!(self.state, VmState::Running | VmState::Paused) {
+            self.state = VmState::Migrating;
+            self.migrations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(kind: WorkloadKind) -> Vm {
+        Vm::new(VmId(1), kind)
+    }
+
+    fn full() -> Fraction {
+        Fraction::ONE
+    }
+
+    #[test]
+    fn batch_job_completes_after_nominal_duration() {
+        let mut v = vm(WorkloadKind::WordCount); // 1 h nominal
+        let dt = SimDuration::from_minutes(10);
+        for _ in 0..6 {
+            assert!(!v.is_completed());
+            v.advance(full(), TimeOfDay::NOON, dt);
+        }
+        assert!(v.is_completed());
+        assert!(v.work_done() > 0.0);
+    }
+
+    #[test]
+    fn service_never_completes() {
+        let mut v = vm(WorkloadKind::WebServing);
+        for _ in 0..200 {
+            v.advance(full(), TimeOfDay::NOON, SimDuration::from_minutes(30));
+        }
+        assert!(!v.is_completed());
+        assert_eq!(v.state(), VmState::Running);
+    }
+
+    #[test]
+    fn dvfs_slows_progress_proportionally() {
+        let mut fast = vm(WorkloadKind::KMeans);
+        let mut slow = vm(WorkloadKind::KMeans);
+        let dt = SimDuration::from_minutes(10);
+        fast.advance(full(), TimeOfDay::NOON, dt);
+        slow.advance(Fraction::HALF, TimeOfDay::NOON, dt);
+        assert!((fast.progress() - 2.0 * slow.progress()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paused_vm_makes_no_progress() {
+        let mut v = vm(WorkloadKind::KMeans);
+        v.pause();
+        let w = v.advance(full(), TimeOfDay::NOON, SimDuration::from_hours(1));
+        assert_eq!(w, 0.0);
+        assert_eq!(v.progress(), 0.0);
+        v.resume();
+        assert_eq!(v.state(), VmState::Running);
+    }
+
+    #[test]
+    fn migration_counts_and_blocks_progress() {
+        let mut v = vm(WorkloadKind::DataAnalytics);
+        v.begin_migration();
+        assert_eq!(v.state(), VmState::Migrating);
+        assert_eq!(v.migrations(), 1);
+        assert_eq!(
+            v.advance(full(), TimeOfDay::NOON, SimDuration::from_minutes(5)),
+            0.0
+        );
+        v.resume();
+        v.begin_migration();
+        assert_eq!(v.migrations(), 2);
+    }
+
+    #[test]
+    fn completed_vm_cannot_migrate() {
+        let mut v = vm(WorkloadKind::WordCount);
+        while !v.is_completed() {
+            v.advance(full(), TimeOfDay::NOON, SimDuration::from_minutes(10));
+        }
+        v.begin_migration();
+        assert_eq!(v.state(), VmState::Completed);
+    }
+
+    #[test]
+    fn utilization_zero_unless_running() {
+        let mut v = vm(WorkloadKind::KMeans);
+        assert!(v.utilization(TimeOfDay::NOON).value() > 0.0);
+        v.pause();
+        assert_eq!(v.utilization(TimeOfDay::NOON), Fraction::ZERO);
+    }
+
+    #[test]
+    fn work_done_scales_with_cores_and_utilization() {
+        let mut heavy = vm(WorkloadKind::SoftwareTesting); // 6 cores, 0.95
+        let mut light = vm(WorkloadKind::WordCount); // 2 cores, 0.9 map
+        let dt = SimDuration::from_minutes(30);
+        let wh = heavy.advance(full(), TimeOfDay::NOON, dt);
+        let wl = light.advance(full(), TimeOfDay::NOON, dt);
+        assert!(wh > wl * 2.0);
+    }
+}

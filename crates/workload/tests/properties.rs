@@ -1,0 +1,105 @@
+//! Property-based tests for workloads and VMs.
+
+use baat_units::{Fraction, SimDuration, TimeOfDay};
+use baat_workload::{Vm, VmId, VmState, WorkloadGenerator, WorkloadKind};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = WorkloadKind> {
+    prop_oneof![
+        Just(WorkloadKind::NutchIndexing),
+        Just(WorkloadKind::KMeans),
+        Just(WorkloadKind::WordCount),
+        Just(WorkloadKind::SoftwareTesting),
+        Just(WorkloadKind::WebServing),
+        Just(WorkloadKind::DataAnalytics),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Utilization stays a valid fraction at any progress and any hour.
+    #[test]
+    fn utilization_always_valid(kind in kind_strategy(), p in -0.5f64..2.0, h in 0u32..24, m in 0u32..60) {
+        let u = kind.utilization(p, TimeOfDay::from_hm(h, m)).value();
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+
+    /// Work done is non-negative and proportional to speed for batch jobs
+    /// mid-flight.
+    #[test]
+    fn work_scales_with_speed(kind in kind_strategy(), speed in 0.1f64..1.0, mins in 1u64..60) {
+        let dt = SimDuration::from_minutes(mins);
+        let mut fast = Vm::new(VmId(0), kind);
+        let mut slow = Vm::new(VmId(1), kind);
+        let wf = fast.advance(Fraction::ONE, TimeOfDay::NOON, dt);
+        let ws = slow.advance(Fraction::new(speed).unwrap(), TimeOfDay::NOON, dt);
+        prop_assert!(wf >= 0.0 && ws >= 0.0);
+        prop_assert!(ws <= wf + 1e-9, "slower cannot do more work");
+    }
+
+    /// Batch VMs complete within ~2× their nominal duration at a given
+    /// constant speed; services never complete.
+    #[test]
+    fn completion_time_bounded(kind in kind_strategy(), speed in 0.25f64..1.0) {
+        let mut vm = Vm::new(VmId(0), kind);
+        let dt = SimDuration::from_minutes(5);
+        let nominal_steps =
+            (kind.nominal_duration().as_minutes() / 5.0 / speed).ceil() as u64 + 2;
+        for _ in 0..nominal_steps * 2 {
+            vm.advance(Fraction::new(speed).unwrap(), TimeOfDay::NOON, dt);
+        }
+        if kind.is_service() {
+            prop_assert!(!vm.is_completed());
+        } else {
+            prop_assert!(vm.is_completed(), "{kind} should finish");
+        }
+    }
+
+    /// Progress is monotone and clamped to [0, 1].
+    #[test]
+    fn progress_monotone(kind in kind_strategy(), steps in 1usize..100) {
+        let mut vm = Vm::new(VmId(0), kind);
+        let mut last = 0.0;
+        for _ in 0..steps {
+            vm.advance(Fraction::ONE, TimeOfDay::NOON, SimDuration::from_minutes(7));
+            let p = vm.progress();
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= last);
+            last = p;
+        }
+    }
+
+    /// Daily plans are sorted, within the working window, and have the
+    /// requested size.
+    #[test]
+    fn plans_well_formed(seed in 0u64..500, services in 0usize..5, jobs in 0usize..60) {
+        let mut g = WorkloadGenerator::new(seed);
+        let plan = g.daily_plan(services, jobs);
+        prop_assert_eq!(plan.len(), services + jobs);
+        for pair in plan.windows(2) {
+            prop_assert!(pair[0].at <= pair[1].at);
+        }
+        for a in &plan {
+            prop_assert!(a.at >= TimeOfDay::from_hm(8, 30));
+            prop_assert!(a.at < TimeOfDay::from_hm(16, 0));
+        }
+    }
+
+    /// Pause/resume round-trips preserve progress exactly.
+    #[test]
+    fn pause_resume_preserves_progress(kind in kind_strategy(), steps in 1usize..20) {
+        let mut vm = Vm::new(VmId(0), kind);
+        for _ in 0..steps {
+            vm.advance(Fraction::ONE, TimeOfDay::NOON, SimDuration::from_minutes(3));
+        }
+        let before = vm.progress();
+        vm.pause();
+        vm.advance(Fraction::ONE, TimeOfDay::NOON, SimDuration::from_hours(5));
+        prop_assert_eq!(vm.progress(), before);
+        vm.resume();
+        if !vm.is_completed() {
+            prop_assert_eq!(vm.state(), VmState::Running);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Fleet planning: estimate battery service life per site, derive the
+//! annual depreciation bill, and see how many servers the BAAT savings
+//! buy — the Figs 14, 16 and 17 pipeline as a capacity-planning tool.
+//!
+//! Run with: `cargo run --release --example fleet_planning`
+
+use baat_repro::core::{estimate_lifetime, weather_plan_for_sunshine, Scheme};
+use baat_repro::cost::{BatteryCostModel, TcoModel};
+use baat_repro::sim::SimConfig;
+use baat_repro::solar::Location;
+use baat_repro::units::{Dollars, SimDuration, WattHours, Watts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let battery_cost =
+        BatteryCostModel::from_energy_price(WattHours::new(840.0), Dollars::new(150.0))?;
+    let tco = TcoModel::new(Dollars::new(180.0), battery_cost)?;
+    let fleet = 1000;
+
+    println!(
+        "{:<14} {:>9} {:>11} {:>11} {:>11} {:>10}",
+        "site", "sunshine", "e-Buff life", "BAAT life", "saving/yr", "expansion"
+    );
+    for site in Location::presets() {
+        let plan = weather_plan_for_sunshine(site.sunshine_fraction(), 8, 7);
+        let mut builder = SimConfig::builder();
+        builder
+            .weather_plan(plan)
+            .dt(SimDuration::from_secs(30))
+            .sample_every(40)
+            .seed(7);
+        let config = builder.build()?;
+
+        let ebuff = estimate_lifetime(Scheme::EBuff, config.clone())?
+            .expect("cycling causes damage");
+        let baat = estimate_lifetime(Scheme::Baat, config)?.expect("cycling causes damage");
+
+        let saving_per_node = battery_cost.annual_depreciation(ebuff.worst_days)?.as_f64()
+            - battery_cost.annual_depreciation(baat.worst_days)?.as_f64();
+        let headroom =
+            Watts::new((site.sunshine_fraction().value() - 0.35).max(0.0) * fleet as f64 * 55.0);
+        let expansion = tco.expansion_ratio(
+            fleet,
+            ebuff.worst_days,
+            baat.worst_days,
+            headroom,
+            Watts::new(130.0),
+        )?;
+
+        println!(
+            "{:<14} {:>9} {:>9.0} d {:>9.0} d {:>9.2} $ {:>10}",
+            site.name(),
+            format!("{}", site.sunshine_fraction()),
+            ebuff.worst_days,
+            baat.worst_days,
+            saving_per_node,
+            format!("{expansion}"),
+        );
+    }
+    println!(
+        "\nSavings are per battery node per year; expansion is the share of extra \
+         servers a\n{fleet}-node site can add without raising TCO (paper Fig 17)."
+    );
+    Ok(())
+}

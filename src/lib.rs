@@ -1,0 +1,46 @@
+//! BAAT reproduction — umbrella crate.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can write `baat_repro::core::Scheme` etc. The
+//! individual crates are:
+//!
+//! * [`units`] — typed physical quantities;
+//! * [`battery`] — lead-acid electrochemistry and the five aging
+//!   mechanisms;
+//! * [`solar`] — irradiance, weather and PV generation;
+//! * [`workload`] — the six paper workloads and VMs;
+//! * [`server`] — hosts, DVFS, hypervisor, cluster;
+//! * [`power`] — switcher, charger, sensors, power tables;
+//! * [`metrics`] — NAT, CF, PC, DDT, DR and the Eq-6/Eq-7 decision
+//!   values;
+//! * [`sim`] — the discrete-time green-datacenter engine;
+//! * [`core`] — the BAAT policies (e-Buff, BAAT-s, BAAT-h, BAAT),
+//!   lifetime and availability analyses;
+//! * [`cost`] — depreciation and TCO models.
+//!
+//! # Examples
+//!
+//! ```
+//! use baat_repro::core::Scheme;
+//! use baat_repro::sim::{run_simulation, SimConfig};
+//! use baat_repro::solar::Weather;
+//!
+//! let config = SimConfig::prototype_day(Weather::Cloudy, 7);
+//! let report = run_simulation(config, &mut Scheme::Baat.build())?;
+//! assert!(report.total_work > 0.0);
+//! # Ok::<(), baat_repro::sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baat_battery as battery;
+pub use baat_core as core;
+pub use baat_cost as cost;
+pub use baat_metrics as metrics;
+pub use baat_power as power;
+pub use baat_server as server;
+pub use baat_sim as sim;
+pub use baat_solar as solar;
+pub use baat_units as units;
+pub use baat_workload as workload;
