@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything CI requires, runnable locally with one command.
+#
+# Runs fully offline — CARGO_NET_OFFLINE forces cargo to fail loudly if
+# anything tries to reach a registry instead of hanging or silently
+# fetching. Pair with ci/hermetic.sh, which checks the manifests
+# themselves.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "ok: tier-1 gate passed"

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Hermeticity guard: the workspace must have zero registry/git
+# dependencies so it builds on machines with no crates.io access.
+#
+# Two independent checks:
+#   1. every `[dependencies]`-section entry in every Cargo.toml must be a
+#      path or workspace dependency (no version-only, registry, or git
+#      requirements);
+#   2. the committed Cargo.lock must list only workspace members (no
+#      `source = "registry+..."` entries).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. Manifests: only path/workspace dependency forms allowed. -----------
+# Walk each manifest; inside any *dependencies* section, a `name = ...`
+# line must contain `path =` or `workspace = true` (table form), and a
+# bare `name = "1.0"` version string is rejected.
+while IFS= read -r manifest; do
+    awk -v file="$manifest" '
+        /^\[/ {
+            in_deps = ($0 ~ /dependencies([.\]]|$)/)
+            next
+        }
+        in_deps && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=/ {
+            if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/) {
+                printf "%s: non-path dependency: %s\n", file, $0
+                bad = 1
+            }
+        }
+        END { exit bad }
+    ' "$manifest" || fail=1
+done < <(find . -name Cargo.toml -not -path "./target/*")
+
+# --- 2. Lockfile: no registry or git sources. ------------------------------
+if [ ! -f Cargo.lock ]; then
+    echo "Cargo.lock missing — commit it so offline builds are reproducible"
+    fail=1
+elif grep -n '^source = ' Cargo.lock; then
+    echo "Cargo.lock references external sources (above) — workspace is not hermetic"
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "hermeticity check FAILED"
+    exit 1
+fi
+echo "ok: all dependencies are in-tree path crates"

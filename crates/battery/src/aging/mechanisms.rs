@@ -67,7 +67,8 @@ impl Mechanism for GridCorrosion {
         let charging = s.current.as_f64() < 0.0;
         let high_soc = ((s.soc.value() - 0.9) / 0.1).max(0.0);
         let polarization = if charging { high_soc } else { 0.0 };
-        self.base_per_hour * (1.0 + self.polarization_gain * polarization)
+        self.base_per_hour
+            * (1.0 + self.polarization_gain * polarization)
             * s.arrhenius()
             * s.dt_hours()
     }

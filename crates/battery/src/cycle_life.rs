@@ -91,8 +91,11 @@ pub enum Manufacturer {
 
 impl Manufacturer {
     /// All manufacturers, in Fig 10's order.
-    pub const ALL: [Manufacturer; 3] =
-        [Manufacturer::Hoppecke, Manufacturer::Trojan, Manufacturer::Upg];
+    pub const ALL: [Manufacturer; 3] = [
+        Manufacturer::Hoppecke,
+        Manufacturer::Trojan,
+        Manufacturer::Upg,
+    ];
 
     /// The fitted cycle-life curve for this manufacturer.
     pub fn curve(self) -> CycleLifeCurve {

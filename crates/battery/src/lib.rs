@@ -55,7 +55,7 @@ mod voltage;
 
 pub use aging::{
     ActiveMassShedding, AgingModel, AgingState, DamageBreakdown, GridCorrosion, Mechanism,
-    StressSample, Stratification, Sulphation, WaterLoss,
+    Stratification, StressSample, Sulphation, WaterLoss,
 };
 pub use cycle_life::{CycleLifeCurve, Manufacturer};
 pub use error::BatteryError;

@@ -1,9 +1,7 @@
 //! The dynamic battery model: SoC dynamics, charge acceptance, Peukert
 //! losses, cutoff behaviour, thermal coupling and aging integration.
 
-use baat_units::{
-    AmpHours, Amperes, Celsius, Ohms, SimDuration, SimInstant, Soc, Volts, Watts,
-};
+use baat_units::{AmpHours, Amperes, Celsius, Ohms, SimDuration, SimInstant, Soc, Volts, Watts};
 
 use crate::aging::{AgingModel, AgingState, StressSample};
 use crate::spec::BatterySpec;
@@ -162,7 +160,11 @@ impl Battery {
 
     /// Present open-circuit voltage.
     pub fn open_circuit_voltage(&self) -> Volts {
-        open_circuit_voltage(self.spec.nominal_voltage(), self.soc, self.aging.ocv_factor())
+        open_circuit_voltage(
+            self.spec.nominal_voltage(),
+            self.soc,
+            self.aging.ocv_factor(),
+        )
     }
 
     /// Battery surface temperature.
@@ -319,8 +321,15 @@ impl Battery {
         // Telemetry.
         let energy_out = result.delivered * dt;
         let energy_in = result.accepted * dt;
-        self.telemetry
-            .record(self.soc, result.current, discharged, charged, energy_out, energy_in, dt);
+        self.telemetry.record(
+            self.soc,
+            result.current,
+            discharged,
+            charged,
+            energy_out,
+            energy_in,
+            dt,
+        );
         self.telemetry.push_sample(SensorSample {
             at: now,
             voltage: result.terminal_voltage,
@@ -338,11 +347,7 @@ impl Battery {
         result
     }
 
-    fn step_charges(
-        &self,
-        result: &StepResult,
-        dt: SimDuration,
-    ) -> (AmpHours, AmpHours, AmpHours) {
+    fn step_charges(&self, result: &StepResult, dt: SimDuration) -> (AmpHours, AmpHours, AmpHours) {
         let i = result.current.as_f64();
         if i > 0.0 {
             (Amperes::new(i) * dt, AmpHours::ZERO, AmpHours::ZERO)
@@ -388,7 +393,8 @@ impl Battery {
 
         // Peukert-style rate penalty: high C-rates drain extra charge.
         let c_rate = current.as_f64() / self.spec.capacity().as_f64();
-        let peukert = 1.0 + PEUKERT_GAIN * ((c_rate - PEUKERT_KNEE).max(0.0) / (1.0 - PEUKERT_KNEE));
+        let peukert =
+            1.0 + PEUKERT_GAIN * ((c_rate - PEUKERT_KNEE).max(0.0) / (1.0 - PEUKERT_KNEE));
         let drawn = Amperes::new(current.as_f64() * peukert) * dt;
 
         let capacity = self.effective_capacity();

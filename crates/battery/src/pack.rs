@@ -5,9 +5,8 @@
 //! usage. This module models (1): each unit in a pack draws a capacity
 //! scale and an aging-rate multiplier from narrow distributions.
 
+use baat_rng::StdRng;
 use baat_units::Ohms;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::aging::{AgingModel, AgingState};
 use crate::error::BatteryError;
@@ -226,20 +225,12 @@ mod tests {
 
     #[test]
     fn manufacture_is_deterministic_per_seed() {
-        let a = BatteryPack::manufacture(
-            BatterySpec::prototype(),
-            6,
-            VariationParams::default(),
-            7,
-        )
-        .unwrap();
-        let b = BatteryPack::manufacture(
-            BatterySpec::prototype(),
-            6,
-            VariationParams::default(),
-            7,
-        )
-        .unwrap();
+        let a =
+            BatteryPack::manufacture(BatterySpec::prototype(), 6, VariationParams::default(), 7)
+                .unwrap();
+        let b =
+            BatteryPack::manufacture(BatterySpec::prototype(), 6, VariationParams::default(), 7)
+                .unwrap();
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.effective_capacity(), y.effective_capacity());
         }
@@ -247,20 +238,12 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_units() {
-        let a = BatteryPack::manufacture(
-            BatterySpec::prototype(),
-            6,
-            VariationParams::default(),
-            1,
-        )
-        .unwrap();
-        let b = BatteryPack::manufacture(
-            BatterySpec::prototype(),
-            6,
-            VariationParams::default(),
-            2,
-        )
-        .unwrap();
+        let a =
+            BatteryPack::manufacture(BatterySpec::prototype(), 6, VariationParams::default(), 1)
+                .unwrap();
+        let b =
+            BatteryPack::manufacture(BatterySpec::prototype(), 6, VariationParams::default(), 2)
+                .unwrap();
         let same = a
             .iter()
             .zip(b.iter())
@@ -270,13 +253,9 @@ mod tests {
 
     #[test]
     fn variation_stays_within_spread() {
-        let pack = BatteryPack::manufacture(
-            BatterySpec::prototype(),
-            50,
-            VariationParams::default(),
-            3,
-        )
-        .unwrap();
+        let pack =
+            BatteryPack::manufacture(BatterySpec::prototype(), 50, VariationParams::default(), 3)
+                .unwrap();
         for unit in pack.iter() {
             let cap = unit.effective_capacity().as_f64();
             assert!((35.0 * 0.97..=35.0 * 1.03).contains(&cap), "cap {cap}");
@@ -313,12 +292,18 @@ mod tests {
         let mut now = SimInstant::START;
         for _ in 0..200 {
             // Unit 1 works much harder than the others.
-            pack.unit_mut(0)
-                .unwrap()
-                .step(BatteryOp::Discharge(Watts::new(10.0)), Celsius::new(25.0), now, dt);
-            pack.unit_mut(1)
-                .unwrap()
-                .step(BatteryOp::Discharge(Watts::new(150.0)), Celsius::new(25.0), now, dt);
+            pack.unit_mut(0).unwrap().step(
+                BatteryOp::Discharge(Watts::new(10.0)),
+                Celsius::new(25.0),
+                now,
+                dt,
+            );
+            pack.unit_mut(1).unwrap().step(
+                BatteryOp::Discharge(Watts::new(150.0)),
+                Celsius::new(25.0),
+                now,
+                dt,
+            );
             pack.unit_mut(2)
                 .unwrap()
                 .step(BatteryOp::Idle, Celsius::new(25.0), now, dt);
@@ -331,18 +316,19 @@ mod tests {
     fn aging_rate_variation_produces_aging_spread() {
         // Identical usage, different units → different damage (paper
         // §IV.B.1 aging variation).
-        let mut pack = BatteryPack::manufacture(
-            BatterySpec::prototype(),
-            6,
-            VariationParams::default(),
-            11,
-        )
-        .unwrap();
+        let mut pack =
+            BatteryPack::manufacture(BatterySpec::prototype(), 6, VariationParams::default(), 11)
+                .unwrap();
         let dt = SimDuration::from_minutes(10);
         let mut now = SimInstant::START;
         for _ in 0..500 {
             for unit in pack.iter_mut() {
-                unit.step(BatteryOp::Discharge(Watts::new(80.0)), Celsius::new(25.0), now, dt);
+                unit.step(
+                    BatteryOp::Discharge(Watts::new(80.0)),
+                    Celsius::new(25.0),
+                    now,
+                    dt,
+                );
             }
             now += dt;
         }

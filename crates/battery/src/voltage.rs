@@ -47,11 +47,7 @@ pub fn terminal_voltage(ocv: Volts, current: Amperes, resistance: Ohms) -> Volts
 ///
 /// Returns `None` if the power demand exceeds what the battery can deliver
 /// at any current (past the peak of the power-transfer curve).
-pub fn discharge_current_for_power(
-    power_w: f64,
-    ocv: Volts,
-    resistance: Ohms,
-) -> Option<Amperes> {
+pub fn discharge_current_for_power(power_w: f64, ocv: Volts, resistance: Ohms) -> Option<Amperes> {
     if power_w <= 0.0 {
         return Some(Amperes::ZERO);
     }

@@ -76,7 +76,9 @@ fn pre_age_matches_organic_aging_observables() {
     let mut pre = Battery::new(BatterySpec::prototype());
     pre.pre_age(0.5);
     assert!(pre.aging().total_damage() >= 0.5);
-    assert!((pre.aging().capacity_fraction() - (1.0 - 0.2 * pre.aging().total_damage())).abs() < 1e-9);
+    assert!(
+        (pre.aging().capacity_fraction() - (1.0 - 0.2 * pre.aging().total_damage())).abs() < 1e-9
+    );
     assert!(pre.effective_capacity().as_f64() < 35.0 * 0.92);
     assert!(!pre.is_end_of_life());
     // Pre-aging is idempotent at the target.

@@ -1,15 +1,15 @@
 //! Property-based tests for battery invariants.
 
 use baat_battery::{Battery, BatteryOp, BatterySpec, Manufacturer};
+use baat_testkit::prelude::*;
 use baat_units::{AmpHours, Celsius, Dod, SimDuration, SimInstant, Soc, Watts};
-use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// SoC stays in [0, 1] under any operation sequence.
     #[test]
-    fn soc_always_bounded(ops in proptest::collection::vec((0.0f64..400.0, 0u8..3), 1..200)) {
+    fn soc_always_bounded(ops in baat_testkit::collection::vec((0.0f64..400.0, 0u8..3), 1..200)) {
         let mut b = Battery::new(BatterySpec::prototype());
         let dt = SimDuration::from_minutes(5);
         let mut now = SimInstant::START;
@@ -29,7 +29,7 @@ proptest! {
     /// Damage is monotone non-decreasing and capacity monotone
     /// non-increasing over any usage.
     #[test]
-    fn aging_is_irreversible(ops in proptest::collection::vec((0.0f64..400.0, 0u8..3), 1..100)) {
+    fn aging_is_irreversible(ops in baat_testkit::collection::vec((0.0f64..400.0, 0u8..3), 1..100)) {
         let mut b = Battery::new(BatterySpec::prototype());
         let dt = SimDuration::from_minutes(5);
         let mut now = SimInstant::START;

@@ -1,111 +1,63 @@
-//! Criterion benchmarks: one per paper table/figure.
+//! Wall-clock benchmarks: one per paper table/figure.
 //!
 //! Each benchmark regenerates a scaled-down instance of the corresponding
 //! experiment (the full-parameter runs live in the `figures` binary), so
 //! `cargo bench` both times the harness and re-exercises every
-//! reproduction path.
+//! reproduction path. Runs on the in-tree [`baat_testkit::bench`]
+//! harness; pass `--quick` (or `BAAT_BENCH_QUICK=1`) for a smoke run.
 
 use baat_bench::experiments::{
     fig03_05, fig10, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19, fig20, fig21, fig22,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
+use baat_testkit::bench::Harness;
 use std::hint::black_box;
-use std::time::Duration;
 
 const SEED: u64 = 2015;
 
-/// Shared tuning: a handful of samples over a bounded window — these are
-/// throughput smoke-benches of the harness, not statistics papers.
-fn tune(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_secs(1));
-    g.measurement_time(Duration::from_secs(8));
-}
+fn main() {
+    let mut h = Harness::from_args();
 
-fn bench_measurement_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("measurement");
-    tune(&mut g);
-    g.bench_function("fig03_05_battery_degradation", |b| {
-        b.iter(|| black_box(fig03_05::run(1, 5)))
+    let mut g = h.group("measurement");
+    g.bench("fig03_05_battery_degradation", || {
+        black_box(fig03_05::run(1, 5))
     });
-    g.bench_function("fig10_cycle_life", |b| {
-        b.iter(|| black_box(fig10::run_paper()))
-    });
-    g.finish();
-}
+    g.bench("fig10_cycle_life", || black_box(fig10::run_paper()));
 
-fn bench_profiling_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("profiling");
-    tune(&mut g);
-    g.bench_function("fig12_runtime_profile", |b| {
-        b.iter(|| black_box(fig12::run(SEED)))
-    });
-    g.bench_function("fig13_aging_comparison", |b| {
-        b.iter(|| black_box(fig13::run(SEED)))
-    });
-    g.finish();
-}
+    let mut g = h.group("profiling");
+    g.bench("fig12_runtime_profile", || black_box(fig12::run(SEED)));
+    g.bench("fig13_aging_comparison", || black_box(fig13::run(SEED)));
 
-fn bench_lifetime_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lifetime");
-    tune(&mut g);
-    g.bench_function("fig14_lifetime_vs_sunshine", |b| {
-        b.iter(|| black_box(fig14::run(&[0.6], 1, SEED)))
+    let mut g = h.group("lifetime");
+    g.bench("fig14_lifetime_vs_sunshine", || {
+        black_box(fig14::run(&[0.6], 1, SEED))
     });
-    g.bench_function("fig15_lifetime_vs_ratio", |b| {
-        b.iter(|| black_box(fig15::run(&[4.0], 1, SEED)))
+    g.bench("fig15_lifetime_vs_ratio", || {
+        black_box(fig15::run(&[4.0], 1, SEED))
     });
-    g.finish();
-}
 
-fn bench_cost_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cost");
-    tune(&mut g);
-    g.bench_function("fig16_depreciation_cost", |b| {
-        b.iter(|| black_box(fig16::run(&[0.4], 1, SEED)))
+    let mut g = h.group("cost");
+    g.bench("fig16_depreciation_cost", || {
+        black_box(fig16::run(&[0.4], 1, SEED))
     });
-    g.bench_function("fig17_tco_expansion", |b| {
-        b.iter(|| black_box(fig17::run(&[0.6], 1, SEED)))
+    g.bench("fig17_tco_expansion", || {
+        black_box(fig17::run(&[0.6], 1, SEED))
     });
-    g.finish();
-}
 
-fn bench_availability_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("availability");
-    tune(&mut g);
-    g.bench_function("fig18_19_low_soc_distribution", |b| {
-        b.iter(|| black_box(fig18_19::run(2, SEED)))
+    let mut g = h.group("availability");
+    g.bench("fig18_19_low_soc_distribution", || {
+        black_box(fig18_19::run(2, SEED))
     });
-    g.bench_function("fig20_throughput", |b| {
-        b.iter(|| {
-            black_box(fig20::run(
-                &[(baat_solar::Weather::Cloudy, true)],
-                SEED,
-            ))
-        })
+    g.bench("fig20_throughput", || {
+        black_box(fig20::run(&[(baat_solar::Weather::Cloudy, true)], SEED))
     });
-    g.finish();
-}
 
-fn bench_planned_aging_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("planned_aging");
-    tune(&mut g);
-    g.bench_function("fig21_planned_dod", |b| {
-        b.iter(|| black_box(fig21::run(&[0.6], 1, SEED)))
+    let mut g = h.group("planned_aging");
+    g.bench("fig21_planned_dod", || {
+        black_box(fig21::run(&[0.6], 1, SEED))
     });
-    g.bench_function("fig22_service_horizon", |b| {
-        b.iter(|| black_box(fig22::run(&[800.0], 1, SEED)))
+    g.bench("fig22_service_horizon", || {
+        black_box(fig22::run(&[800.0], 1, SEED))
     });
-    g.finish();
-}
 
-criterion_group!(
-    figures,
-    bench_measurement_figures,
-    bench_profiling_figures,
-    bench_lifetime_figures,
-    bench_cost_figures,
-    bench_availability_figures,
-    bench_planned_aging_figures,
-);
-criterion_main!(figures);
+    h.finish();
+}

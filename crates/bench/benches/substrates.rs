@@ -1,85 +1,82 @@
 //! Micro-benchmarks of the substrate hot paths: how fast the simulator
 //! itself runs (battery step, engine day, metric computation).
+//!
+//! Runs on the in-tree [`baat_testkit::bench`] harness; pass `--quick`
+//! (or `BAAT_BENCH_QUICK=1`) for a smoke run.
 
 use baat_battery::{Battery, BatteryOp, BatterySpec};
 use baat_core::Scheme;
 use baat_metrics::{AgingMetrics, BatteryRatings};
 use baat_sim::{run_simulation, SimConfig};
 use baat_solar::Weather;
+use baat_testkit::bench::Harness;
 use baat_units::{AmpHours, Celsius, SimDuration, SimInstant, Watts};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_battery_step(c: &mut Criterion) {
-    c.bench_function("battery_step_discharge", |b| {
-        let mut battery = Battery::new(BatterySpec::prototype());
-        let dt = SimDuration::from_secs(30);
-        let mut now = SimInstant::START;
-        b.iter(|| {
-            let r = battery.step(
-                BatteryOp::Discharge(Watts::new(80.0)),
-                Celsius::new(25.0),
-                now,
-                dt,
-            );
-            now += dt;
-            if battery.soc().value() < 0.2 {
-                battery.set_soc(baat_units::Soc::FULL);
-            }
-            black_box(r)
-        })
-    });
-}
-
-fn bench_metrics(c: &mut Criterion) {
-    c.bench_function("aging_metrics_from_accumulator", |b| {
-        let mut battery = Battery::new(BatterySpec::prototype());
-        let dt = SimDuration::from_secs(30);
-        let mut now = SimInstant::START;
-        for _ in 0..1000 {
-            battery.step(
-                BatteryOp::Discharge(Watts::new(80.0)),
-                Celsius::new(25.0),
-                now,
-                dt,
-            );
-            now += dt;
+fn bench_battery_step(h: &mut Harness) {
+    let mut battery = Battery::new(BatterySpec::prototype());
+    let dt = SimDuration::from_secs(30);
+    let mut now = SimInstant::START;
+    h.bench("battery_step_discharge", || {
+        let r = battery.step(
+            BatteryOp::Discharge(Watts::new(80.0)),
+            Celsius::new(25.0),
+            now,
+            dt,
+        );
+        now += dt;
+        if battery.soc().value() < 0.2 {
+            battery.set_soc(baat_units::Soc::FULL);
         }
-        let ratings = BatteryRatings {
-            capacity: AmpHours::new(35.0),
-            lifetime_throughput: AmpHours::new(17_500.0),
-        };
-        b.iter(|| {
-            black_box(AgingMetrics::from_accumulator(
-                battery.telemetry().lifetime(),
-                &ratings,
-            ))
-        })
+        black_box(r)
     });
 }
 
-fn bench_simulated_day(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulated_day");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_secs(1));
-    g.measurement_time(std::time::Duration::from_secs(8));
+fn bench_metrics(h: &mut Harness) {
+    let mut battery = Battery::new(BatterySpec::prototype());
+    let dt = SimDuration::from_secs(30);
+    let mut now = SimInstant::START;
+    for _ in 0..1000 {
+        battery.step(
+            BatteryOp::Discharge(Watts::new(80.0)),
+            Celsius::new(25.0),
+            now,
+            dt,
+        );
+        now += dt;
+    }
+    let ratings = BatteryRatings {
+        capacity: AmpHours::new(35.0),
+        lifetime_throughput: AmpHours::new(17_500.0),
+    };
+    h.bench("aging_metrics_from_accumulator", || {
+        black_box(AgingMetrics::from_accumulator(
+            battery.telemetry().lifetime(),
+            &ratings,
+        ))
+    });
+}
+
+fn bench_simulated_day(h: &mut Harness) {
+    let mut g = h.group("simulated_day");
     for scheme in [Scheme::EBuff, Scheme::Baat] {
-        g.bench_function(scheme.name(), |b| {
-            b.iter(|| {
-                let mut cfg = SimConfig::builder();
-                cfg.weather_plan(vec![Weather::Cloudy])
-                    .dt(SimDuration::from_secs(30))
-                    .sample_every(40)
-                    .seed(1);
-                let report =
-                    run_simulation(cfg.build().expect("valid"), &mut scheme.build())
-                        .expect("runs");
-                black_box(report.total_work)
-            })
+        g.bench(scheme.name(), || {
+            let mut cfg = SimConfig::builder();
+            cfg.weather_plan(vec![Weather::Cloudy])
+                .dt(SimDuration::from_secs(30))
+                .sample_every(40)
+                .seed(1);
+            let report =
+                run_simulation(cfg.build().expect("valid"), &mut scheme.build()).expect("runs");
+            black_box(report.total_work)
         });
     }
-    g.finish();
 }
 
-criterion_group!(substrates, bench_battery_step, bench_metrics, bench_simulated_day);
-criterion_main!(substrates);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_battery_step(&mut h);
+    bench_metrics(&mut h);
+    bench_simulated_day(&mut h);
+    h.finish();
+}

@@ -172,7 +172,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(path) = args.csv {
         std::fs::write(&path, report.recorder.to_csv())?;
-        println!("\ntrace written to {path} ({} samples)", report.recorder.len());
+        println!(
+            "\ntrace written to {path} ({} samples)",
+            report.recorder.len()
+        );
     }
     Ok(())
 }

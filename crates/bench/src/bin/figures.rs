@@ -19,7 +19,10 @@ fn main() {
     } else {
         fig03_05::run_paper()
     };
-    sections.push(("Figs 3–5 — measured battery degradation", fig03_05::render(&t)));
+    sections.push((
+        "Figs 3–5 — measured battery degradation",
+        fig03_05::render(&t),
+    ));
 
     eprintln!("[2/12] Fig 10: cycle life vs DoD…");
     sections.push(("Fig 10 — cycle life vs depth of discharge", {
@@ -46,7 +49,10 @@ fn main() {
     } else {
         fig14::run_paper(SEED)
     };
-    sections.push(("Fig 14 — lifetime vs solar availability", fig14::render(&f14)));
+    sections.push((
+        "Fig 14 — lifetime vs solar availability",
+        fig14::render(&f14),
+    ));
 
     eprintln!("[6/12] Fig 15: lifetime vs server-to-battery ratio…");
     let f15 = if quick {
@@ -54,7 +60,10 @@ fn main() {
     } else {
         fig15::run_paper(SEED)
     };
-    sections.push(("Fig 15 — lifetime vs server-to-battery ratio", fig15::render(&f15)));
+    sections.push((
+        "Fig 15 — lifetime vs server-to-battery ratio",
+        fig15::render(&f15),
+    ));
 
     eprintln!("[7/12] Fig 16: depreciation cost vs slowdown threshold…");
     let f16 = if quick {
@@ -70,7 +79,10 @@ fn main() {
     } else {
         fig17::run_paper(SEED)
     };
-    sections.push(("Fig 17 — servers addable without raising TCO", fig17::render(&f17)));
+    sections.push((
+        "Fig 17 — servers addable without raising TCO",
+        fig17::render(&f17),
+    ));
 
     eprintln!("[9/12] Figs 18-19: availability and SoC distribution…");
     let f1819 = if quick {
@@ -101,7 +113,10 @@ fn main() {
     } else {
         fig22::run_paper(SEED)
     };
-    sections.push(("Fig 22 — planned-aging benefit vs service horizon", fig22::render(&f22)));
+    sections.push((
+        "Fig 22 — planned-aging benefit vs service horizon",
+        fig22::render(&f22),
+    ));
 
     eprintln!("[+] Table 1: usage scenarios…");
     let t1 = baat_bench::experiments::table1::run(if quick { 7 } else { 30 }, SEED);

@@ -3,13 +3,13 @@
 //! (paper Fig 7's two architectures), simulation timestep, manufacturing
 //! variation, and control-interval sensitivity.
 
-use baat_core::Scheme;
 use baat_battery::VariationParams;
+use baat_core::Scheme;
 use baat_sim::{run_simulation, BatteryTopology, SimConfig};
 use baat_solar::Weather;
 use baat_units::SimDuration;
 
-use crate::runner::EXPERIMENT_DT;
+use crate::runner::{parallel_map, runner_threads, EXPERIMENT_DT};
 
 fn base_builder(seed: u64) -> baat_sim::SimConfigBuilder {
     let mut b = SimConfig::builder();
@@ -36,35 +36,39 @@ pub struct TopologyRow {
 }
 
 /// Fig 7 architecture ablation: per-server banks vs shared per-rack
-/// pools, under e-Buff and BAAT.
+/// pools, under e-Buff and BAAT. The six cells run in parallel.
 pub fn topology(seed: u64) -> Vec<TopologyRow> {
-    let mut rows = Vec::new();
-    for pools in [6usize, 2, 1] {
+    let specs: Vec<(usize, Scheme)> = [6usize, 2, 1]
+        .iter()
+        .flat_map(|&pools| {
+            [Scheme::EBuff, Scheme::Baat]
+                .into_iter()
+                .map(move |scheme| (pools, scheme))
+        })
+        .collect();
+    parallel_map(specs, runner_threads(), |(pools, scheme)| {
         let topology = if pools == 6 {
             BatteryTopology::PerServer
         } else {
             BatteryTopology::SharedPool { pools }
         };
-        for scheme in [Scheme::EBuff, Scheme::Baat] {
-            let mut b = base_builder(seed);
-            b.topology(topology);
-            let report = run_simulation(b.build().expect("config valid"), &mut scheme.build())
-                .expect("simulation runs");
-            rows.push(TopologyRow {
-                pools,
-                scheme,
-                work: report.total_work,
-                worst_damage: report.worst_node().damage,
-                critical_secs: report
-                    .nodes
-                    .iter()
-                    .map(|n| n.soc_histogram[0].as_secs())
-                    .max()
-                    .unwrap_or(0),
-            });
+        let mut b = base_builder(seed);
+        b.topology(topology);
+        let report = run_simulation(b.build().expect("config valid"), &mut scheme.build())
+            .expect("simulation runs");
+        TopologyRow {
+            pools,
+            scheme,
+            work: report.total_work,
+            worst_damage: report.worst_node().damage,
+            critical_secs: report
+                .nodes
+                .iter()
+                .map(|n| n.soc_histogram[0].as_secs())
+                .max()
+                .unwrap_or(0),
         }
-    }
-    rows
+    })
 }
 
 /// One timestep sensitivity row.
@@ -114,34 +118,42 @@ pub struct VariationRow {
 }
 
 /// Manufacturing-variation ablation: §IV.B.1's aging variation grows with
-/// unit spread; BAAT's hiding compresses the worst/best damage ratio.
+/// unit spread; BAAT's hiding compresses the worst/best damage ratio. The
+/// (spread × scheme) cells run in parallel.
 pub fn variation(seed: u64) -> Vec<VariationRow> {
-    [0.0f64, 0.10, 0.25]
+    let spreads = [0.0f64, 0.10, 0.25];
+    let specs: Vec<(f64, Scheme)> = spreads
         .iter()
-        .map(|&spread| {
-            let run = |scheme: Scheme| {
-                let mut b = base_builder(seed);
-                b.variation(VariationParams {
-                    capacity_spread: (spread / 3.0).min(0.12),
-                    resistance_spread: spread.min(0.3),
-                    aging_rate_spread: spread,
-                });
-                let report =
-                    run_simulation(b.build().expect("config valid"), &mut scheme.build())
-                        .expect("simulation runs");
-                let worst = report.worst_node().damage;
-                let best = report
-                    .nodes
-                    .iter()
-                    .map(|n| n.damage)
-                    .fold(f64::INFINITY, f64::min);
-                worst / best.max(1e-12)
-            };
-            VariationRow {
-                rate_spread: spread,
-                ebuff_spread: run(Scheme::EBuff),
-                baat_spread: run(Scheme::Baat),
-            }
+        .flat_map(|&spread| {
+            [Scheme::EBuff, Scheme::Baat]
+                .into_iter()
+                .map(move |scheme| (spread, scheme))
+        })
+        .collect();
+    let ratios = parallel_map(specs, runner_threads(), |(spread, scheme)| {
+        let mut b = base_builder(seed);
+        b.variation(VariationParams {
+            capacity_spread: (spread / 3.0).min(0.12),
+            resistance_spread: spread.min(0.3),
+            aging_rate_spread: spread,
+        });
+        let report = run_simulation(b.build().expect("config valid"), &mut scheme.build())
+            .expect("simulation runs");
+        let worst = report.worst_node().damage;
+        let best = report
+            .nodes
+            .iter()
+            .map(|n| n.damage)
+            .fold(f64::INFINITY, f64::min);
+        worst / best.max(1e-12)
+    });
+    spreads
+        .iter()
+        .zip(ratios.chunks(2))
+        .map(|(&spread, chunk)| VariationRow {
+            rate_spread: spread,
+            ebuff_spread: chunk[0],
+            baat_spread: chunk[1],
         })
         .collect()
 }
@@ -197,7 +209,13 @@ pub fn render(seed: u64) -> String {
         })
         .collect();
     out.push_str(&crate::table::markdown(
-        &["topology", "scheme", "work c-h", "worst dmg ×1000", "critical s"],
+        &[
+            "topology",
+            "scheme",
+            "work c-h",
+            "worst dmg ×1000",
+            "critical s",
+        ],
         &rows,
     ));
 

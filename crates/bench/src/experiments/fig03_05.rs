@@ -179,7 +179,13 @@ pub fn render(t: &AgingTrajectory) -> String {
         })
         .collect();
     let mut out = crate::table::markdown(
-        &["month", "full-charge V (loaded)", "cycle Wh", "round-trip eff", "damage"],
+        &[
+            "month",
+            "full-charge V (loaded)",
+            "cycle Wh",
+            "round-trip eff",
+            "damage",
+        ],
         &rows,
     );
     let (early, late) = t.voltage_rates();
@@ -216,7 +222,10 @@ mod tests {
         let mut now = SimInstant::START;
         let (v, e, eff) = probe_cycle(&mut b, &mut now);
         assert!(v.as_f64() > 11.0 && v.as_f64() < 13.0);
-        assert!(e > 200.0, "a 420 Wh battery should deliver >200 Wh, got {e}");
+        assert!(
+            e > 200.0,
+            "a 420 Wh battery should deliver >200 Wh, got {e}"
+        );
         assert!((0.5..1.0).contains(&eff), "round trip eff {eff}");
     }
 }

@@ -30,9 +30,7 @@ impl CycleLifeSweep {
         let at = |target: f64| {
             self.points
                 .iter()
-                .min_by(|a, b| {
-                    (a.dod - target).abs().total_cmp(&(b.dod - target).abs())
-                })
+                .min_by(|a, b| (a.dod - target).abs().total_cmp(&(b.dod - target).abs()))
                 .expect("points non-empty")
         };
         let shallow = at(0.25);

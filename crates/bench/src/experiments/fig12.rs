@@ -54,9 +54,7 @@ pub fn hourly_trajectory(
                 let worst = view
                     .nodes
                     .iter()
-                    .max_by(|a, b| {
-                        a.window_metrics.nat.total_cmp(&b.window_metrics.nat)
-                    })
+                    .max_by(|a, b| a.window_metrics.nat.total_cmp(&b.window_metrics.nat))
                     .expect("nodes exist");
                 if crossed.is_none() && worst.window_metrics.nat >= nat_threshold {
                     crossed = Some(hour);
@@ -205,7 +203,14 @@ pub fn render(p: &RuntimeProfile) -> String {
         })
         .collect();
     let mut out = crate::table::markdown(
-        &["weather", "NAT ×1000", "CF", "PC (Eq 4)", "high-SoC share", "DDT"],
+        &[
+            "weather",
+            "NAT ×1000",
+            "CF",
+            "PC (Eq 4)",
+            "high-SoC share",
+            "DDT",
+        ],
         &rows,
     );
     out.push_str(&format!(

@@ -12,7 +12,7 @@ use baat_metrics::weighted_aging;
 use baat_solar::Weather;
 use baat_workload::{DemandClass, EnergyDemand, PowerDemand};
 
-use crate::runner::{day_config, run_scheme, OLD_BATTERY_DAMAGE};
+use crate::runner::{day_config, run_scenarios, Scenario, OLD_BATTERY_DAMAGE};
 
 /// One cell of the comparison matrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,35 +103,44 @@ impl AgingComparison {
     }
 }
 
-/// Runs the 4×2×2 comparison on matched solar days.
+/// Runs the 4×2×2 comparison on matched solar days, fanned out across
+/// the parallel scenario runner.
 pub fn run(seed: u64) -> AgingComparison {
-    let mut cells = Vec::with_capacity(16);
+    let mut specs = Vec::with_capacity(16);
+    let mut scenarios = Vec::with_capacity(16);
     for weather in [Weather::Sunny, Weather::Cloudy] {
         for old in [false, true] {
             for scheme in Scheme::ALL {
                 // Matched days: identical config seed ⇒ identical solar
                 // trace and workload arrivals (the paper matches days by
                 // similarity of solar logs).
-                let report = run_scheme(
-                    scheme,
-                    day_config(weather, seed),
-                    old.then_some(OLD_BATTERY_DAMAGE),
-                );
-                let worst = report.worst_node();
-                let base = if old { OLD_BATTERY_DAMAGE } else { 0.0 };
-                cells.push(ComparisonCell {
-                    scheme,
-                    weather,
-                    old,
-                    nat: worst.lifetime_metrics.nat,
-                    cf: worst.lifetime_metrics.cf,
-                    pc: worst.lifetime_metrics.pc.weighted_value(),
-                    weighted: weighted_aging(&worst.lifetime_metrics, CLASS),
-                    damage: report.mean_damage() - base,
-                });
+                let mut scenario = Scenario::new(scheme, day_config(weather, seed));
+                if old {
+                    scenario = scenario.pre_aged(OLD_BATTERY_DAMAGE);
+                }
+                specs.push((scheme, weather, old));
+                scenarios.push(scenario);
             }
         }
     }
+    let cells = specs
+        .into_iter()
+        .zip(run_scenarios(scenarios))
+        .map(|((scheme, weather, old), report)| {
+            let worst = report.worst_node();
+            let base = if old { OLD_BATTERY_DAMAGE } else { 0.0 };
+            ComparisonCell {
+                scheme,
+                weather,
+                old,
+                nat: worst.lifetime_metrics.nat,
+                cf: worst.lifetime_metrics.cf,
+                pc: worst.lifetime_metrics.pc.weighted_value(),
+                weighted: weighted_aging(&worst.lifetime_metrics, CLASS),
+                damage: report.mean_damage() - base,
+            }
+        })
+        .collect();
     AgingComparison { cells }
 }
 
@@ -155,7 +164,13 @@ pub fn render(c: &AgingComparison) -> String {
         .collect();
     let mut out = crate::table::markdown(
         &[
-            "scheme", "weather", "age", "NAT ×1000", "CF", "PC", "Eq-6 weighted",
+            "scheme",
+            "weather",
+            "age",
+            "NAT ×1000",
+            "CF",
+            "PC",
+            "Eq-6 weighted",
             "damage ×1000",
         ],
         &rows,

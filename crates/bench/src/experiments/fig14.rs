@@ -8,7 +8,7 @@
 use baat_core::{weather_plan_for_sunshine, LifetimeEstimate, Scheme};
 use baat_units::Fraction;
 
-use crate::runner::{plan_config, run_scheme};
+use crate::runner::{plan_config, run_scenarios, Scenario};
 
 /// Lifetime estimates for the four schemes at one sunshine fraction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,21 +55,33 @@ impl LifetimeSweep {
 }
 
 /// Runs the sweep: `fractions` sunshine values × 4 schemes, each
-/// estimated from `days` representative days.
+/// estimated from `days` representative days. All cells fan out across
+/// the parallel scenario runner; schemes share one seed per point
+/// (matched days, per the paper's methodology).
 pub fn run(fractions: &[f64], days: usize, seed: u64) -> LifetimeSweep {
-    let points = fractions
+    let scenarios: Vec<Scenario> = fractions
         .iter()
-        .map(|&sunshine| {
+        .flat_map(|&sunshine| {
             let plan = weather_plan_for_sunshine(
                 Fraction::new(sunshine).expect("fraction valid"),
                 days,
                 seed,
             );
+            Scheme::ALL
+                .iter()
+                .map(|&scheme| Scenario::new(scheme, plan_config(plan.clone(), seed)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let reports = run_scenarios(scenarios);
+    let points = fractions
+        .iter()
+        .zip(reports.chunks(Scheme::ALL.len()))
+        .map(|(&sunshine, chunk)| {
             let mut lifetime_days = [0.0; 4];
-            for (i, scheme) in Scheme::ALL.iter().enumerate() {
-                let report = run_scheme(*scheme, plan_config(plan.clone(), seed), None);
-                let est = LifetimeEstimate::from_report(&report)
-                    .expect("cycling always causes damage");
+            for (i, report) in chunk.iter().enumerate() {
+                let est =
+                    LifetimeEstimate::from_report(report).expect("cycling always causes damage");
                 lifetime_days[i] = est.worst_days;
             }
             SunshinePoint {

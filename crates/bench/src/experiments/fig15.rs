@@ -7,10 +7,10 @@
 
 use baat_core::{weather_plan_for_sunshine, LifetimeEstimate, Scheme};
 use baat_server::ServerPowerModel;
-use baat_sim::SimConfig;
+use baat_sim::{SimConfig, SimReport};
 use baat_units::{Fraction, Watts};
 
-use crate::runner::{run_scheme, EXPERIMENT_DT};
+use crate::runner::{run_scenarios, Scenario, EXPERIMENT_DT};
 
 /// One ratio sweep point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,11 +70,7 @@ fn config_for(ratio_w_per_ah: f64, battery_scale: f64, days: usize, seed: u64) -
     let battery_ah = 70.0 * battery_scale;
     let peak = ratio_w_per_ah * battery_ah;
     let idle = peak * 0.29;
-    let plan = weather_plan_for_sunshine(
-        Fraction::new(0.6).expect("static fraction"),
-        days,
-        seed,
-    );
+    let plan = weather_plan_for_sunshine(Fraction::new(0.6).expect("static fraction"), days, seed);
     let mut spec = baat_battery::BatterySpec::builder();
     spec.capacity(baat_units::AmpHours::new(battery_ah))
         .internal_resistance(baat_units::Ohms::new(0.006 / battery_scale))
@@ -93,49 +89,64 @@ fn config_for(ratio_w_per_ah: f64, battery_scale: f64, days: usize, seed: u64) -
     b.build().expect("derived config is valid")
 }
 
-fn lifetime(scheme: Scheme, config: SimConfig) -> f64 {
-    let report = run_scheme(scheme, config, None);
-    LifetimeEstimate::from_report(&report)
+fn worst_days(report: &SimReport) -> f64 {
+    LifetimeEstimate::from_report(report)
         .expect("cycling always causes damage")
         .worst_days
 }
 
-/// Mean lifetime over four seeded weather windows (one window is noisy).
-fn mean_lifetime(scheme: Scheme, ratio: f64, scale: f64, days: usize, seed: u64) -> f64 {
-    let seeds = [
+/// Runs the ratio sweep over the given W/Ah ratios.
+///
+/// Every lifetime estimate is the mean over four seeded weather windows
+/// (one window is noisy); all (job × window) cells fan out through the
+/// parallel scenario runner at once.
+pub fn run(ratios: &[f64], days: usize, seed: u64) -> RatioSweep {
+    // One job per mean-lifetime estimate: the sweep cells, then the
+    // doubling probe. The probe runs at the light end of the sweep: with
+    // the fleet fully power-starved (high ratios), extra storage cannot
+    // help — exactly the paper's "excessively increasing battery
+    // capacity … may not be wise".
+    let mut jobs: Vec<(Scheme, f64, f64)> = Vec::new();
+    for &ratio in ratios {
+        jobs.push((Scheme::EBuff, ratio, 1.0));
+        jobs.push((Scheme::Baat, ratio, 1.0));
+    }
+    let light = ratios[0];
+    jobs.push((Scheme::EBuff, light, 1.0));
+    jobs.push((Scheme::EBuff, light / 2.0, 2.0));
+
+    let window_seeds = [
         seed,
         seed.wrapping_add(101),
         seed.wrapping_add(211),
         seed.wrapping_add(331),
     ];
-    seeds
+    let scenarios: Vec<Scenario> = jobs
         .iter()
-        .map(|&s| lifetime(scheme, config_for(ratio, scale, days, s)))
-        .sum::<f64>()
-        / seeds.len() as f64
-}
-
-/// Runs the ratio sweep over the given W/Ah ratios.
-pub fn run(ratios: &[f64], days: usize, seed: u64) -> RatioSweep {
-    let points: Vec<RatioPoint> = ratios
-        .iter()
-        .map(|&ratio| RatioPoint {
-            ratio_w_per_ah: ratio,
-            ebuff_days: mean_lifetime(Scheme::EBuff, ratio, 1.0, days, seed),
-            baat_days: mean_lifetime(Scheme::Baat, ratio, 1.0, days, seed),
+        .flat_map(|&(scheme, ratio, scale)| {
+            window_seeds
+                .iter()
+                .map(move |&s| Scenario::new(scheme, config_for(ratio, scale, days, s)))
         })
         .collect();
-    // The doubling probe runs at the light end of the sweep: with the
-    // fleet fully power-starved (high ratios), extra storage cannot help
-    // — exactly the paper's "excessively increasing battery capacity …
-    // may not be wise".
-    let light = ratios[0];
-    let baseline_days = mean_lifetime(Scheme::EBuff, light, 1.0, days, seed);
-    let doubled_battery_days = mean_lifetime(Scheme::EBuff, light / 2.0, 2.0, days, seed);
+    let means: Vec<f64> = run_scenarios(scenarios)
+        .chunks(window_seeds.len())
+        .map(|chunk| chunk.iter().map(worst_days).sum::<f64>() / chunk.len() as f64)
+        .collect();
+
+    let points = ratios
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| RatioPoint {
+            ratio_w_per_ah: ratio,
+            ebuff_days: means[2 * i],
+            baat_days: means[2 * i + 1],
+        })
+        .collect();
     RatioSweep {
         points,
-        doubled_battery_days,
-        baseline_days,
+        doubled_battery_days: means[means.len() - 1],
+        baseline_days: means[means.len() - 2],
     }
 }
 
@@ -158,10 +169,8 @@ pub fn render(s: &RatioSweep) -> String {
             ]
         })
         .collect();
-    let mut out = crate::table::markdown(
-        &["ratio", "e-Buff days", "BAAT days", "BAAT gain"],
-        &rows,
-    );
+    let mut out =
+        crate::table::markdown(&["ratio", "e-Buff days", "BAAT days", "BAAT gain"], &rows);
     out.push_str(&format!(
         "\nheavy-loading lifetime penalty (2→10 W/Ah): {} (paper ~35%)\n\
          battery-doubling lifetime gain: {} (paper <30%)\n",

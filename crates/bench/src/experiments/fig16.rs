@@ -58,11 +58,7 @@ pub fn run(thresholds: &[f64], days: usize, seed: u64) -> CostSweep {
         baat_units::Dollars::new(150.0),
     )
     .expect("static prices are valid");
-    let plan = weather_plan_for_sunshine(
-        Fraction::new(0.55).expect("static fraction"),
-        days,
-        seed,
-    );
+    let plan = weather_plan_for_sunshine(Fraction::new(0.55).expect("static fraction"), days, seed);
     let points = thresholds
         .iter()
         .map(|&deep| {
@@ -74,8 +70,7 @@ pub fn run(thresholds: &[f64], days: usize, seed: u64) -> CostSweep {
                 },
                 ..BaatConfig::default()
             });
-            let sim = Simulation::new(plan_config(plan.clone(), seed))
-                .expect("config validated");
+            let sim = Simulation::new(plan_config(plan.clone(), seed)).expect("config validated");
             let report = sim.run(&mut policy);
             let lifetime_days = LifetimeEstimate::from_report(&report)
                 .expect("cycling causes damage")
@@ -126,7 +121,13 @@ pub fn render(s: &CostSweep) -> String {
         })
         .collect();
     let mut out = crate::table::markdown(
-        &["threshold SoC", "lifetime d", "annual cost", "saving vs e-Buff", "work core-h"],
+        &[
+            "threshold SoC",
+            "lifetime d",
+            "annual cost",
+            "saving vs e-Buff",
+            "work core-h",
+        ],
         &rows,
     );
     out.push_str(&format!(

@@ -10,7 +10,7 @@ use baat_core::{weather_plan_for_sunshine, LifetimeEstimate, Scheme};
 use baat_cost::{BatteryCostModel, TcoModel};
 use baat_units::{Dollars, Fraction, WattHours, Watts};
 
-use crate::runner::{plan_config, run_scheme};
+use crate::runner::{plan_config, run_scenarios, Scenario};
 
 /// One sunshine sweep point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,38 +35,42 @@ pub struct ExpansionSweep {
 impl ExpansionSweep {
     /// The maximum expansion across the sweep (paper: up to ~15 %).
     pub fn max_expansion(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|p| p.expansion)
-            .fold(0.0, f64::max)
+        self.points.iter().map(|p| p.expansion).fold(0.0, f64::max)
     }
 }
 
 /// Runs the sweep at a reference fleet of 1000 servers.
 pub fn run(fractions: &[f64], days: usize, seed: u64) -> ExpansionSweep {
-    let battery = BatteryCostModel::from_energy_price(
-        WattHours::new(840.0),
-        Dollars::new(150.0),
-    )
-    .expect("static prices are valid");
+    let battery = BatteryCostModel::from_energy_price(WattHours::new(840.0), Dollars::new(150.0))
+        .expect("static prices are valid");
     let tco = TcoModel::new(Dollars::new(180.0), battery).expect("static cost is valid");
     let fleet = 1000;
-    let points = fractions
+    let scenarios: Vec<Scenario> = fractions
         .iter()
-        .map(|&sunshine| {
+        .flat_map(|&sunshine| {
             let plan = weather_plan_for_sunshine(
                 Fraction::new(sunshine).expect("fraction valid"),
                 days,
                 seed,
             );
-            let life = |scheme| {
-                let report = run_scheme(scheme, plan_config(plan.clone(), seed), None);
-                LifetimeEstimate::from_report(&report)
+            [Scheme::EBuff, Scheme::Baat]
+                .into_iter()
+                .map(|scheme| Scenario::new(scheme, plan_config(plan.clone(), seed)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let reports = run_scenarios(scenarios);
+    let points = fractions
+        .iter()
+        .zip(reports.chunks(2))
+        .map(|(&sunshine, chunk)| {
+            let life = |report| {
+                LifetimeEstimate::from_report(report)
                     .expect("cycling causes damage")
                     .worst_days
             };
-            let ebuff_days = life(Scheme::EBuff);
-            let baat_days = life(Scheme::Baat);
+            let ebuff_days = life(&chunk[0]);
+            let baat_days = life(&chunk[1]);
             // Solar headroom scales with sunshine: surplus energy beyond
             // the fleet's demand, expressed as spare power at ~130 W per
             // server-slot of surplus.

@@ -6,11 +6,13 @@
 //! piles probability mass into the low SoC bins while BAAT shifts it
 //! toward 90–100 %.
 
-use baat_core::{availability_improvement, critical_improvement, soc_distribution, LowSocSummary, Scheme};
+use baat_core::{
+    availability_improvement, critical_improvement, soc_distribution, LowSocSummary, Scheme,
+};
 use baat_sim::SimReport;
 use baat_solar::Weather;
 
-use crate::runner::{plan_config, run_scheme};
+use crate::runner::{plan_config, run_scenarios, Scenario};
 
 /// Low-SoC and distribution results for one scheme.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,9 +69,14 @@ pub fn run(days: usize, seed: u64) -> AvailabilityStudy {
             _ => Weather::Rainy,
         })
         .collect();
+    let scenarios = Scheme::ALL
+        .iter()
+        .map(|&scheme| Scenario::new(scheme, plan_config(plan.clone(), seed)))
+        .collect();
     let reports: Vec<(Scheme, SimReport)> = Scheme::ALL
         .iter()
-        .map(|&scheme| (scheme, run_scheme(scheme, plan_config(plan.clone(), seed), None)))
+        .copied()
+        .zip(run_scenarios(scenarios))
         .collect();
     let baat_report = &reports
         .iter()

@@ -9,7 +9,7 @@
 use baat_core::Scheme;
 use baat_solar::Weather;
 
-use crate::runner::{day_config, run_scheme, OLD_BATTERY_DAMAGE};
+use crate::runner::{day_config, run_scenarios, Scenario, OLD_BATTERY_DAMAGE};
 
 /// Throughput of the four schemes in one scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,17 +51,26 @@ impl ThroughputStudy {
 
 /// Runs the scenarios (matched solar days per the §VI.B methodology).
 pub fn run(scenarios: &[(Weather, bool)], seed: u64) -> ThroughputStudy {
+    let cells: Vec<Scenario> = scenarios
+        .iter()
+        .flat_map(|&(weather, old)| {
+            Scheme::ALL.iter().map(move |&scheme| {
+                let mut cell = Scenario::new(scheme, day_config(weather, seed));
+                if old {
+                    cell = cell.pre_aged(OLD_BATTERY_DAMAGE);
+                }
+                cell
+            })
+        })
+        .collect();
+    let reports = run_scenarios(cells);
     let rows = scenarios
         .iter()
-        .map(|&(weather, old)| {
+        .zip(reports.chunks(Scheme::ALL.len()))
+        .map(|(&(weather, old), chunk)| {
             let mut work = [0.0; 4];
             let mut downtime_secs = [0; 4];
-            for (i, scheme) in Scheme::ALL.iter().enumerate() {
-                let report = run_scheme(
-                    *scheme,
-                    day_config(weather, seed),
-                    old.then_some(OLD_BATTERY_DAMAGE),
-                );
+            for (i, report) in chunk.iter().enumerate() {
                 work[i] = report.total_work;
                 downtime_secs[i] = report.nodes.iter().map(|n| n.downtime.as_secs()).sum();
             }
@@ -107,7 +116,15 @@ pub fn render(t: &ThroughputStudy) -> String {
         })
         .collect();
     let mut out = crate::table::markdown(
-        &["weather", "age", "e-Buff", "BAAT-s", "BAAT-h", "BAAT", "BAAT vs e-Buff"],
+        &[
+            "weather",
+            "age",
+            "e-Buff",
+            "BAAT-s",
+            "BAAT-h",
+            "BAAT",
+            "BAAT vs e-Buff",
+        ],
         &rows,
     );
     out.push_str(&format!(

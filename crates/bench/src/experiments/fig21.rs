@@ -76,8 +76,7 @@ pub fn run(dods: &[f64], days: usize, seed: u64) -> PlannedDodSweep {
                 },
                 ..BaatConfig::default()
             });
-            let sim = Simulation::new(plan_config(plan.clone(), seed))
-                .expect("config validated");
+            let sim = Simulation::new(plan_config(plan.clone(), seed)).expect("config validated");
             let report = sim.run(&mut policy);
             DodPoint {
                 dod,
@@ -113,7 +112,12 @@ pub fn render(s: &PlannedDodSweep) -> String {
         })
         .collect();
     let mut out = crate::table::markdown(
-        &["planned DoD", "work core-h", "vs e-Buff", "daily damage ×1000"],
+        &[
+            "planned DoD",
+            "work core-h",
+            "vs e-Buff",
+            "daily damage ×1000",
+        ],
         &rows,
     );
     out.push_str(&format!(

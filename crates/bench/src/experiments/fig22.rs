@@ -54,9 +54,7 @@ impl HorizonSweep {
             .points
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                a.benefit_work_days.total_cmp(&b.benefit_work_days)
-            })
+            .max_by(|(_, a), (_, b)| a.benefit_work_days.total_cmp(&b.benefit_work_days))
             .map(|(i, _)| i)
             .unwrap_or(0);
         best != 0 && best != self.points.len() - 1
@@ -82,8 +80,7 @@ pub fn run(horizons_days: &[f64], days: usize, seed: u64) -> HorizonSweep {
                 service_days,
                 cycles_per_day: 1.0,
             });
-            let sim = Simulation::new(plan_config(plan.clone(), seed))
-                .expect("config validated");
+            let sim = Simulation::new(plan_config(plan.clone(), seed)).expect("config validated");
             let report = sim.run(&mut policy);
             let improvement = report.total_work / ebuff.total_work - 1.0;
             HorizonPoint {
@@ -117,7 +114,12 @@ pub fn render(s: &HorizonSweep) -> String {
         })
         .collect();
     let mut out = crate::table::markdown(
-        &["service horizon", "work core-h", "vs e-Buff", "total benefit (work-days)"],
+        &[
+            "service horizon",
+            "work core-h",
+            "vs e-Buff",
+            "total benefit (work-days)",
+        ],
         &rows,
     );
     out.push_str(&format!(

@@ -8,9 +8,8 @@
 //! measures both.
 
 use baat_battery::{BatteryOp, BatteryPack, BatterySpec, VariationParams};
+use baat_rng::StdRng;
 use baat_units::{Celsius, SimDuration, SimInstant, Watts};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The three Table-1 usage scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,9 +84,7 @@ pub fn run_scenario(scenario: UsageScenario, days: u32, seed: u64) -> ScenarioRe
                         let shaving_day = rng.random_range(0.0..1.0) < 0.4 / 144.0;
                         let afternoon = (84..96).contains(&step);
                         if afternoon && (shaving_day || rng.random_range(0.0..1.0) < 0.03) {
-                            BatteryOp::Discharge(Watts::new(
-                                80.0 + 30.0 * unit_idx as f64,
-                            ))
+                            BatteryOp::Discharge(Watts::new(80.0 + 30.0 * unit_idx as f64))
                         } else if (96..120).contains(&step) {
                             BatteryOp::Charge(Watts::new(80.0))
                         } else {
@@ -101,8 +98,7 @@ pub fn run_scenario(scenario: UsageScenario, days: u32, seed: u64) -> ScenarioRe
                     UsageScenario::PowerSmoothing => {
                         if (54..96).contains(&step) {
                             BatteryOp::Discharge(Watts::new(
-                                60.0 + 25.0 * unit_idx as f64
-                                    + rng.random_range(0.0..30.0),
+                                60.0 + 25.0 * unit_idx as f64 + rng.random_range(0.0..30.0),
                             ))
                         } else if (96..144).contains(&step) {
                             BatteryOp::Charge(Watts::new(100.0))
@@ -149,7 +145,11 @@ pub fn render(results: &[ScenarioResult]) -> String {
         })
         .collect();
     let mut out = crate::table::markdown(
-        &["usage objective", "aging speed (damage/day)", "aging variation"],
+        &[
+            "usage objective",
+            "aging speed (damage/day)",
+            "aging variation",
+        ],
         &rows,
     );
     out.push_str(
@@ -192,8 +192,7 @@ mod tests {
                 .aging_variation
         };
         assert!(
-            variation(UsageScenario::PowerBackup)
-                < variation(UsageScenario::PowerSmoothing),
+            variation(UsageScenario::PowerBackup) < variation(UsageScenario::PowerSmoothing),
             "cyclic use must show larger unit-to-unit variation"
         );
     }

@@ -79,8 +79,7 @@ pub fn weather_plan_for_sunshine(sunshine: Fraction, days: usize, seed: u64) -> 
         assigned += 1;
     }
     // Interleave by round-robin over remaining counts, rotated by seed.
-    let mut remaining: Vec<(Weather, usize)> =
-        counts.into_iter().map(|(w, c, _)| (w, c)).collect();
+    let mut remaining: Vec<(Weather, usize)> = counts.into_iter().map(|(w, c, _)| (w, c)).collect();
     let mut plan = Vec::with_capacity(days);
     let mut idx = seed as usize % 3;
     while plan.len() < days {

@@ -140,7 +140,10 @@ impl Baat {
         // horizon; above the line only the 2-minute emergency margin is
         // held back and the horizon stays short to keep throughput up.
         let (reserve, max_horizon) = match defend_line {
-            Some(line) => ((line.value() - 0.13).max(node.soc_floor.value() + 0.05), 7.0),
+            Some(line) => (
+                (line.value() - 0.13).max(node.soc_floor.value() + 0.05),
+                7.0,
+            ),
             None => (node.soc_floor.value() + 0.05, 3.0),
         };
         let hours_left = (18.5 - view.tod.as_fractional_hours()).clamp(0.5, max_horizon);
@@ -336,9 +339,13 @@ mod tests {
         let v = view_of(vec![stressed_loaded_node(0), plain_node(1, 0.9)]);
         let actions = p.control(&v);
         assert!(
-            actions
-                .iter()
-                .any(|a| matches!(a, Action::Migrate { vm: VmId(42), target: 1 })),
+            actions.iter().any(|a| matches!(
+                a,
+                Action::Migrate {
+                    vm: VmId(42),
+                    target: 1
+                }
+            )),
             "expected migration first, got {actions:?}"
         );
         assert!(
@@ -361,9 +368,9 @@ mod tests {
         v.solar = baat_units::Watts::ZERO;
         let actions = p.control(&v);
         assert!(
-            actions
-                .iter()
-                .any(|a| matches!(a, Action::SetDvfs { node: 0, level } if *level != DvfsLevel::P0)),
+            actions.iter().any(
+                |a| matches!(a, Action::SetDvfs { node: 0, level } if *level != DvfsLevel::P0)
+            ),
             "expected a throttle, got {actions:?}"
         );
     }
@@ -383,7 +390,10 @@ mod tests {
         let mut v_poor = view_of(vec![poor.clone(), plain_node(1, 0.9)]);
         v_poor.solar = baat_units::Watts::ZERO;
         let slow = p.fit_dvfs_level(&v_poor, &poor, Some(Soc::DEEP_DISCHARGE_THRESHOLD));
-        assert!(fast < slow, "fast {fast} should be a higher P-state than {slow}");
+        assert!(
+            fast < slow,
+            "fast {fast} should be a higher P-state than {slow}"
+        );
     }
 
     #[test]
@@ -399,14 +409,16 @@ mod tests {
         let best = plain_node(1, 0.95);
         let v = view_of(vec![worst, best]);
         let first = p.control(&v);
-        assert!(first
-            .iter()
-            .any(|a| matches!(a, Action::Migrate { vm: VmId(7), target: 1 })));
+        assert!(first.iter().any(|a| matches!(
+            a,
+            Action::Migrate {
+                vm: VmId(7),
+                target: 1
+            }
+        )));
         // Cooldown suppresses immediate re-balancing.
         let second = p.control(&v);
-        assert!(!second
-            .iter()
-            .any(|a| matches!(a, Action::Migrate { .. })));
+        assert!(!second.iter().any(|a| matches!(a, Action::Migrate { .. })));
     }
 
     #[test]
@@ -418,9 +430,13 @@ mod tests {
         n.dvfs = DvfsLevel::P2;
         let v = view_of(vec![n, plain_node(1, 0.9)]);
         let actions = p.control(&v);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetDvfs { node: 0, level: DvfsLevel::P0 })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetDvfs {
+                node: 0,
+                level: DvfsLevel::P0
+            }
+        )));
     }
 
     #[test]

@@ -13,7 +13,6 @@
 use baat_sim::{Action, Policy, SystemView};
 use baat_workload::WorkloadKind;
 
-
 /// Relative NAT excess over the mean that marks a node as fast-aging.
 const NAT_IMBALANCE_FACTOR: f64 = 1.30;
 
@@ -53,8 +52,7 @@ impl Policy for BaatH {
         // consolidation"), not crisis response: while the cluster's
         // batteries are strained, shuffling VMs only spreads the deep
         // discharge around, so wait for a healthy moment.
-        let mean_soc: f64 =
-            view.nodes.iter().map(|v| v.soc.value()).sum::<f64>() / n as f64;
+        let mean_soc: f64 = view.nodes.iter().map(|v| v.soc.value()).sum::<f64>() / n as f64;
         if mean_soc < 0.55 {
             return Vec::new();
         }
@@ -62,8 +60,12 @@ impl Policy for BaatH {
         // signal this simplified scheme consults — no charge factor, no
         // partial cycling, no workload power profiling, no coordination
         // with slowdown (all of which full BAAT adds).
-        let mean_nat: f64 =
-            view.nodes.iter().map(|v| v.lifetime_metrics.nat).sum::<f64>() / n as f64;
+        let mean_nat: f64 = view
+            .nodes
+            .iter()
+            .map(|v| v.lifetime_metrics.nat)
+            .sum::<f64>()
+            / n as f64;
         if mean_nat <= 0.0 {
             return Vec::new();
         }
@@ -83,9 +85,7 @@ impl Policy for BaatH {
         let mut movable: Vec<_> = worst
             .vms
             .iter()
-            .filter(|vm| {
-                vm.state == baat_workload::VmState::Running && !vm.kind.is_service()
-            })
+            .filter(|vm| vm.state == baat_workload::VmState::Running && !vm.kind.is_service())
             .collect();
         movable.sort_by(|a, b| {
             let w = |v: &&baat_sim::VmView| {

@@ -164,7 +164,10 @@ mod tests {
 
     #[test]
     fn software_testing_classifies_large_more() {
-        let c = classify_workload(WorkloadKind::SoftwareTesting, &ServerPowerModel::prototype());
+        let c = classify_workload(
+            WorkloadKind::SoftwareTesting,
+            &ServerPowerModel::prototype(),
+        );
         assert_eq!(c.power, PowerDemand::Large);
         assert_eq!(c.energy, EnergyDemand::More);
     }
@@ -192,8 +195,7 @@ mod tests {
             node(1, metrics(5.0, 0.9), 0.9, (1, 2)),    // best battery, no room
             node(2, metrics(50.0, 0.8), 0.8, (8, 16)),  // viable
         ]);
-        let target =
-            best_migration_target(&v, 0, WorkloadKind::KMeans, class(), 0.6).unwrap();
+        let target = best_migration_target(&v, 0, WorkloadKind::KMeans, class(), 0.6).unwrap();
         assert_eq!(target, 2);
     }
 

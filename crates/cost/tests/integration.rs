@@ -33,11 +33,8 @@ fn expansion_is_monotone_in_lifetime_improvement() {
 
 #[test]
 fn tco_totals_decompose() {
-    let battery = BatteryCostModel::from_energy_price(
-        WattHours::new(840.0),
-        Dollars::new(150.0),
-    )
-    .unwrap();
+    let battery =
+        BatteryCostModel::from_energy_price(WattHours::new(840.0), Dollars::new(150.0)).unwrap();
     let tco = TcoModel::new(Dollars::new(180.0), battery).unwrap();
     let total = tco.annual_tco(10, 365.0).unwrap();
     let per_battery = tco.battery().annual_depreciation(365.0).unwrap();

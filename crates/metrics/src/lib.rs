@@ -50,8 +50,9 @@ pub use five::{
     charge_factor, deep_discharge_time, normalized_ah_throughput, AgingMetrics, BatteryRatings,
     DischargeRate, PartialCycling, CHARGE_FACTOR_HEALTHY,
 };
-pub use planned::{dod_goal, observed_cycles_per_day, planned_cycles, PlannedAgingInputs, DOD_GOAL_RANGE};
+pub use planned::{
+    dod_goal, observed_cycles_per_day, planned_cycles, PlannedAgingInputs, DOD_GOAL_RANGE,
+};
 pub use weighted::{
-    rank_nodes, table3_sensitivities, weighted_aging, AgingScores, MetricSensitivities,
-    Sensitivity,
+    rank_nodes, table3_sensitivities, weighted_aging, AgingScores, MetricSensitivities, Sensitivity,
 };

@@ -166,7 +166,10 @@ mod tests {
     use baat_units::{AmpHours, Amperes, Fraction, SimDuration, Soc, Volts, WattHours};
 
     fn class(p: PowerDemand, e: EnergyDemand) -> DemandClass {
-        DemandClass { power: p, energy: e }
+        DemandClass {
+            power: p,
+            energy: e,
+        }
     }
 
     fn ratings() -> BatteryRatings {

@@ -4,9 +4,9 @@ use baat_battery::UsageAccumulator;
 use baat_metrics::{
     dod_goal, rank_nodes, weighted_aging, AgingMetrics, BatteryRatings, PlannedAgingInputs,
 };
+use baat_testkit::prelude::*;
 use baat_units::{AmpHours, Amperes, SimDuration, Soc, Volts, WattHours};
 use baat_workload::{DemandClass, EnergyDemand, PowerDemand};
-use proptest::prelude::*;
 
 fn ratings() -> BatteryRatings {
     BatteryRatings {
@@ -35,10 +35,22 @@ fn record(acc: &mut UsageAccumulator, soc: f64, amps: f64, secs: u64) {
 
 fn class_strategy() -> impl Strategy<Value = DemandClass> {
     prop_oneof![
-        Just(DemandClass { power: PowerDemand::Large, energy: EnergyDemand::More }),
-        Just(DemandClass { power: PowerDemand::Large, energy: EnergyDemand::Less }),
-        Just(DemandClass { power: PowerDemand::Small, energy: EnergyDemand::More }),
-        Just(DemandClass { power: PowerDemand::Small, energy: EnergyDemand::Less }),
+        Just(DemandClass {
+            power: PowerDemand::Large,
+            energy: EnergyDemand::More
+        }),
+        Just(DemandClass {
+            power: PowerDemand::Large,
+            energy: EnergyDemand::Less
+        }),
+        Just(DemandClass {
+            power: PowerDemand::Small,
+            energy: EnergyDemand::More
+        }),
+        Just(DemandClass {
+            power: PowerDemand::Small,
+            energy: EnergyDemand::Less
+        }),
     ]
 }
 
@@ -49,7 +61,7 @@ proptest! {
     /// zero for an untouched battery.
     #[test]
     fn weighted_aging_bounded(
-        steps in proptest::collection::vec((0.0f64..1.0, -20.0f64..40.0, 60u64..3600), 0..30),
+        steps in baat_testkit::collection::vec((0.0f64..1.0, -20.0f64..40.0, 60u64..3600), 0..30),
         class in class_strategy(),
     ) {
         let mut acc = UsageAccumulator::default();
@@ -77,7 +89,7 @@ proptest! {
 
     /// PC's Eq-4 value lies in [0.25, 1] whenever anything was discharged.
     #[test]
-    fn pc_range(socs in proptest::collection::vec(0.0f64..1.0, 1..20)) {
+    fn pc_range(socs in baat_testkit::collection::vec(0.0f64..1.0, 1..20)) {
         let mut acc = UsageAccumulator::default();
         for soc in socs {
             record(&mut acc, soc, 5.0, 600);
@@ -92,7 +104,7 @@ proptest! {
     /// Ranking is a permutation and sorted by the weighted value.
     #[test]
     fn ranking_is_sorted_permutation(
-        nats in proptest::collection::vec(0.0f64..1.0, 2..8),
+        nats in baat_testkit::collection::vec(0.0f64..1.0, 2..8),
         class in class_strategy(),
     ) {
         let metrics: Vec<AgingMetrics> = nats

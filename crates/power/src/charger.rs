@@ -112,10 +112,7 @@ impl Charger {
     /// current limit linearly toward the float trickle at full; float
     /// holds the trickle. Conversion efficiency applies once here.
     pub fn charge_power(&self, soc: Soc, available: Watts) -> Watts {
-        available
-            .max(Watts::ZERO)
-            .min(self.acceptance(soc))
-            * self.efficiency
+        available.max(Watts::ZERO).min(self.acceptance(soc)) * self.efficiency
     }
 }
 

@@ -7,9 +7,8 @@
 //! controller only ever sees these noisy readings.
 
 use baat_battery::{Battery, SensorSample};
+use baat_rng::StdRng;
 use baat_units::{Amperes, Celsius, SimInstant, Volts};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Relative/absolute noise bounds of one sensor channel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,8 +134,18 @@ mod tests {
         let mut a = BatterySensor::new(NoiseSpec::default(), 7);
         let mut b = BatterySensor::new(NoiseSpec::default(), 7);
         for _ in 0..10 {
-            let sa = a.sample(&battery, Volts::new(12.0), Amperes::new(1.0), SimInstant::START);
-            let sb = b.sample(&battery, Volts::new(12.0), Amperes::new(1.0), SimInstant::START);
+            let sa = a.sample(
+                &battery,
+                Volts::new(12.0),
+                Amperes::new(1.0),
+                SimInstant::START,
+            );
+            let sb = b.sample(
+                &battery,
+                Volts::new(12.0),
+                Amperes::new(1.0),
+                SimInstant::START,
+            );
             assert_eq!(sa.voltage, sb.voltage);
             assert_eq!(sa.current, sb.current);
         }

@@ -194,9 +194,8 @@ mod tests {
             r.solar_to_load.as_f64() + r.surplus_to_charger.as_f64() + r.curtailed.as_f64();
         assert!((solar_total - 90.0).abs() < 1e-9);
         // demand = solar_to_load + battery served + unserved.
-        let demand_total = r.solar_to_load.as_f64()
-            + r.battery_to_load.as_f64() * 0.92
-            + r.unserved.as_f64();
+        let demand_total =
+            r.solar_to_load.as_f64() + r.battery_to_load.as_f64() * 0.92 + r.unserved.as_f64();
         assert!((demand_total - 120.0).abs() < 1e-9);
     }
 

@@ -187,7 +187,10 @@ mod tests {
         }
         let log = t.node(0).unwrap();
         assert_eq!(log.battery_rows().count(), MAX_ROWS);
-        assert_eq!(log.battery_rows().next().unwrap().at, SimInstant::from_secs(5));
+        assert_eq!(
+            log.battery_rows().next().unwrap().at,
+            SimInstant::from_secs(5)
+        );
     }
 
     #[test]

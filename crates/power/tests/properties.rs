@@ -1,8 +1,8 @@
 //! Property-based tests for the power infrastructure.
 
 use baat_power::{Charger, PowerSwitcher};
+use baat_testkit::prelude::*;
 use baat_units::{Soc, Watts};
-use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

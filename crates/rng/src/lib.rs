@@ -1,0 +1,82 @@
+//! In-tree deterministic random-number generation for the BAAT workspace.
+//!
+//! The build environment is hermetic — no crates.io access — so every
+//! stochastic component (manufacturing variation, cloud transients,
+//! sensor noise, workload arrivals) draws from this crate instead of
+//! `rand`. The API mirrors the small `rand` surface the workspace
+//! actually used: [`StdRng::seed_from_u64`], [`StdRng::random_range`]
+//! over integer and float ranges, and [`StdRng::random`] for a few
+//! primitive types.
+//!
+//! # Determinism contract
+//!
+//! The generator is **part of the simulation's observable behaviour**:
+//! the same seed must produce the same stream on every platform, every
+//! build, and every thread layout, forever. Both algorithms below are
+//! fixed published constants (SplitMix64 for seeding and stream
+//! derivation, xoshiro256\*\* for generation) with pure integer state —
+//! nothing reads the OS, the clock, or ASLR. Changing either algorithm
+//! is a breaking change to every recorded experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use baat_rng::StdRng;
+//!
+//! let mut a = StdRng::seed_from_u64(42);
+//! let mut b = StdRng::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//!
+//! let x: f64 = a.random_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! let die = a.random_range(1..=6);
+//! assert!((1..=6).contains(&die));
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod range;
+mod splitmix;
+mod xoshiro;
+
+pub use range::SampleRange;
+pub use splitmix::{derive_seed, SplitMix64};
+pub use xoshiro::StdRng;
+
+/// Types that can be drawn uniformly from their "natural" domain:
+/// `[0, 1)` for floats, the full value range for integers, a fair coin
+/// for `bool`.
+pub trait Random: Sized {
+    /// Draws one value from `rng`.
+    fn random(rng: &mut StdRng) -> Self;
+}
+
+impl Random for f64 {
+    fn random(rng: &mut StdRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Random for bool {
+    fn random(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u32 {
+    fn random(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for u64 {
+    fn random(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for usize {
+    fn random(rng: &mut StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}

@@ -1,0 +1,184 @@
+//! Uniform sampling from range expressions.
+//!
+//! [`SampleRange`] lets [`StdRng::random_range`](crate::StdRng::random_range)
+//! accept `a..b` and `a..=b` for `f64` and all primitive integers,
+//! matching the `rand` call sites this crate replaced.
+//!
+//! Integer ranges use Lemire's multiply-shift reduction
+//! (`(x * span) >> 64`): for the spans the simulator draws (day slots,
+//! fleet indices, workload tables — all ≪ 2^32) the modulo bias is below
+//! 2^−32 and irrelevant next to the model's own approximations, while the
+//! mapping stays branch-free and, critically for the determinism
+//! contract, consumes exactly one generator word per draw.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::StdRng;
+
+/// A range that a uniform value can be drawn from.
+///
+/// Implemented for `Range` and `RangeInclusive` over `f64` and the
+/// primitive integer types.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        assert!(
+            self.start < self.end,
+            "cannot sample from empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        let x = self.start + rng.next_f64() * (self.end - self.start);
+        // Floating-point rounding of start + u * width can land exactly on
+        // `end` when width is large; fold that boundary back inside.
+        if x >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        let (start, end) = self.into_inner();
+        assert!(
+            start <= end,
+            "cannot sample from empty range {start:?}..={end:?}"
+        );
+        let x = start + rng.next_f64_inclusive() * (end - start);
+        x.clamp(start, end)
+    }
+}
+
+/// Maps one generator word onto `[0, span)` by multiply-shift.
+fn reduce(word: u64, span: u64) -> u64 {
+    (((u128::from(word)) * (u128::from(span))) >> 64) as u64
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample from empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end - self.start) as u64;
+                self.start + reduce(rng.next_u64(), span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample from empty range {start}..={end}");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    // Full u64 domain: every word is already uniform.
+                    return rng.next_u64() as $t;
+                }
+                start + reduce(rng.next_u64(), span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample from empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                // Shift into unsigned offset space; spans fit in u64.
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let offset = reduce(rng.next_u64(), span) as $u;
+                (self.start as $u).wrapping_add(offset) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample from empty range {start}..={end}");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let offset = reduce(rng.next_u64(), span + 1) as $u;
+                (start as $u).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!((0..5u8).contains(&rng.random_range(0..5u8)));
+            assert!((10..=20u64).contains(&rng.random_range(10..=20u64)));
+            assert!((-7..9i32).contains(&rng.random_range(-7..9i32)));
+            assert!((0..3usize).contains(&rng.random_range(0..3usize)));
+            assert!((i64::MIN..=i64::MAX).contains(&rng.random_range(i64::MIN..=i64::MAX)));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x), "{x}");
+            let y: f64 = rng.random_range(-3.5..=3.5);
+            assert!((-3.5..=3.5).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn singleton_inclusive_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rng.random_range(4..=4u32), 4);
+        let v: f64 = rng.random_range(2.5..=2.5);
+        assert_eq!(v, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = rng.random_range(5..5u32);
+    }
+
+    #[test]
+    fn every_bucket_reachable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

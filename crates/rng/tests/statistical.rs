@@ -1,0 +1,103 @@
+//! Statistical smoke tests for `baat-rng`: seed reproducibility, range
+//! bounds, and rough uniformity (chi-square). These are deterministic —
+//! fixed seeds, fixed thresholds — so they can never flake in CI.
+
+use baat_rng::{derive_seed, StdRng};
+
+/// Chi-square statistic of `draws` uniform draws into `bins` buckets.
+fn chi_square(seed: u64, bins: usize, draws: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0u64; bins];
+    for _ in 0..draws {
+        counts[rng.random_range(0..bins)] += 1;
+    }
+    let expected = draws as f64 / bins as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[test]
+fn integer_draws_are_roughly_uniform() {
+    // 64 bins ⇒ 63 degrees of freedom. The 0.999 quantile of χ²(63) is
+    // ≈ 103.4; a healthy generator sits near 63. Three fixed seeds keep
+    // one unlucky stream from masking a real defect.
+    for seed in [1, 2015, 0xDEAD_BEEF] {
+        let stat = chi_square(seed, 64, 100_000);
+        assert!(stat < 103.4, "chi-square {stat} too high for seed {seed}");
+        assert!(
+            stat > 20.0,
+            "chi-square {stat} suspiciously low for seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn float_draws_are_roughly_uniform() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let bins = 50;
+    let draws = 100_000;
+    let mut counts = vec![0u64; bins];
+    for _ in 0..draws {
+        let x: f64 = rng.random_range(0.0..1.0);
+        counts[((x * bins as f64) as usize).min(bins - 1)] += 1;
+    }
+    let expected = draws as f64 / bins as f64;
+    let stat: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    // 0.999 quantile of χ²(49) ≈ 85.4.
+    assert!(stat < 85.4, "chi-square {stat} too high");
+}
+
+#[test]
+fn float_range_mean_is_centred() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 200_000;
+    let sum: f64 = (0..n).map(|_| rng.random_range(-1.0..=1.0)).sum();
+    let mean = sum / f64::from(n);
+    assert!(mean.abs() < 0.01, "mean {mean} off-centre");
+}
+
+#[test]
+fn same_seed_same_stream_across_types() {
+    let mut a = StdRng::seed_from_u64(123);
+    let mut b = StdRng::seed_from_u64(123);
+    for _ in 0..100 {
+        assert_eq!(a.random_range(0..1000u64), b.random_range(0..1000u64));
+        let x: f64 = a.random_range(0.0..1.0);
+        let y: f64 = b.random_range(0.0..1.0);
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "float draws must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn derived_seeds_produce_decorrelated_streams() {
+    let mut a = StdRng::seed_from_u64(derive_seed(42, 0));
+    let mut b = StdRng::seed_from_u64(derive_seed(42, 1));
+    let matches = (0..1000)
+        .filter(|_| a.random_range(0..64u32) == b.random_range(0..64u32))
+        .count();
+    // Independent uniform draws over 64 buckets agree ~1/64 of the time;
+    // 1000 trials should land well under 40 agreements.
+    assert!(matches < 40, "streams look correlated: {matches} matches");
+}
+
+#[test]
+fn bool_draws_are_balanced() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let heads = (0..100_000).filter(|_| rng.random::<bool>()).count();
+    assert!((48_000..52_000).contains(&heads), "heads {heads}");
+}

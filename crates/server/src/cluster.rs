@@ -312,7 +312,10 @@ mod tests {
     #[test]
     fn locate_finds_hosted_vm() {
         let mut c = cluster();
-        c.host_mut(2).unwrap().admit(vm(7, WorkloadKind::KMeans)).unwrap();
+        c.host_mut(2)
+            .unwrap()
+            .admit(vm(7, WorkloadKind::KMeans))
+            .unwrap();
         assert_eq!(c.locate(VmId(7)), Some(ServerId(2)));
         assert_eq!(c.locate(VmId(8)), None);
     }
@@ -320,7 +323,10 @@ mod tests {
     #[test]
     fn migration_moves_vm_after_duration() {
         let mut c = cluster();
-        c.host_mut(0).unwrap().admit(vm(1, WorkloadKind::KMeans)).unwrap();
+        c.host_mut(0)
+            .unwrap()
+            .admit(vm(1, WorkloadKind::KMeans))
+            .unwrap();
         let t0 = SimInstant::START;
         c.begin_migration(VmId(1), ServerId(3), t0).unwrap();
         assert_eq!(c.migrations_in_flight(), 1);
@@ -347,7 +353,10 @@ mod tests {
     #[test]
     fn migration_to_same_host_rejected() {
         let mut c = cluster();
-        c.host_mut(0).unwrap().admit(vm(1, WorkloadKind::KMeans)).unwrap();
+        c.host_mut(0)
+            .unwrap()
+            .admit(vm(1, WorkloadKind::KMeans))
+            .unwrap();
         let err = c
             .begin_migration(VmId(1), ServerId(0), SimInstant::START)
             .unwrap_err();
@@ -357,7 +366,10 @@ mod tests {
     #[test]
     fn double_migration_rejected() {
         let mut c = cluster();
-        c.host_mut(0).unwrap().admit(vm(1, WorkloadKind::KMeans)).unwrap();
+        c.host_mut(0)
+            .unwrap()
+            .admit(vm(1, WorkloadKind::KMeans))
+            .unwrap();
         c.begin_migration(VmId(1), ServerId(1), SimInstant::START)
             .unwrap();
         let err = c
@@ -375,8 +387,14 @@ mod tests {
             .unwrap()
             .admit(vm(9, WorkloadKind::SoftwareTesting)) // 6 cores
             .unwrap();
-        c.host_mut(0).unwrap().admit(vm(1, WorkloadKind::WordCount)).unwrap(); // 2 cores
-        c.host_mut(0).unwrap().admit(vm(2, WorkloadKind::WordCount)).unwrap();
+        c.host_mut(0)
+            .unwrap()
+            .admit(vm(1, WorkloadKind::WordCount))
+            .unwrap(); // 2 cores
+        c.host_mut(0)
+            .unwrap()
+            .admit(vm(2, WorkloadKind::WordCount))
+            .unwrap();
         c.begin_migration(VmId(1), ServerId(1), SimInstant::START)
             .unwrap();
         // Second 2-core VM no longer fits (6 + 2 reserved = 8 cores, but
@@ -390,7 +408,10 @@ mod tests {
     #[test]
     fn migration_pauses_progress() {
         let mut c = cluster();
-        c.host_mut(0).unwrap().admit(vm(1, WorkloadKind::KMeans)).unwrap();
+        c.host_mut(0)
+            .unwrap()
+            .admit(vm(1, WorkloadKind::KMeans))
+            .unwrap();
         c.begin_migration(VmId(1), ServerId(1), SimInstant::START)
             .unwrap();
         let report = c.step(
@@ -404,7 +425,10 @@ mod tests {
     #[test]
     fn power_off_all_stops_cluster_power() {
         let mut c = cluster();
-        c.host_mut(0).unwrap().admit(vm(1, WorkloadKind::SoftwareTesting)).unwrap();
+        c.host_mut(0)
+            .unwrap()
+            .admit(vm(1, WorkloadKind::SoftwareTesting))
+            .unwrap();
         assert!(c.total_power(TimeOfDay::NOON).as_f64() > 0.0);
         c.power_off_all();
         assert_eq!(c.total_power(TimeOfDay::NOON), Watts::ZERO);
@@ -419,8 +443,14 @@ mod tests {
     #[test]
     fn work_accumulates_across_hosts() {
         let mut c = cluster();
-        c.host_mut(0).unwrap().admit(vm(1, WorkloadKind::KMeans)).unwrap();
-        c.host_mut(1).unwrap().admit(vm(2, WorkloadKind::WordCount)).unwrap();
+        c.host_mut(0)
+            .unwrap()
+            .admit(vm(1, WorkloadKind::KMeans))
+            .unwrap();
+        c.host_mut(1)
+            .unwrap()
+            .admit(vm(2, WorkloadKind::WordCount))
+            .unwrap();
         let mut now = SimInstant::START;
         let dt = SimDuration::from_minutes(10);
         for _ in 0..6 {

@@ -1,10 +1,11 @@
 //! Property-based tests for the hypervisor and cluster.
 
-use baat_server::{Cluster, DvfsLevel, Host, MigrationSpec, ServerCapacity, ServerId,
-    ServerPowerModel};
+use baat_server::{
+    Cluster, DvfsLevel, Host, MigrationSpec, ServerCapacity, ServerId, ServerPowerModel,
+};
+use baat_testkit::prelude::*;
 use baat_units::{Fraction, SimDuration, SimInstant, TimeOfDay};
 use baat_workload::{Vm, VmId, WorkloadKind};
-use proptest::prelude::*;
 
 fn kind_strategy() -> impl Strategy<Value = WorkloadKind> {
     prop_oneof![
@@ -22,7 +23,7 @@ proptest! {
 
     /// Admission never over-commits CPU or memory.
     #[test]
-    fn admission_respects_capacity(kinds in proptest::collection::vec(kind_strategy(), 1..20)) {
+    fn admission_respects_capacity(kinds in baat_testkit::collection::vec(kind_strategy(), 1..20)) {
         let mut host = Host::new(
             ServerId(0),
             ServerPowerModel::prototype(),
@@ -39,7 +40,7 @@ proptest! {
     /// Utilization and power are bounded for any VM mix and DVFS level.
     #[test]
     fn power_bounded(
-        kinds in proptest::collection::vec(kind_strategy(), 0..6),
+        kinds in baat_testkit::collection::vec(kind_strategy(), 0..6),
         level in 0usize..5,
         hour in 0u32..24,
     ) {

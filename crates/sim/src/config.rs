@@ -2,9 +2,9 @@
 
 use baat_battery::{BatterySpec, VariationParams};
 use baat_power::NoiseSpec;
-use baat_units::{AmpHours, Amperes, Ohms};
 use baat_server::{MigrationSpec, ServerCapacity, ServerPowerModel};
 use baat_solar::Weather;
+use baat_units::{AmpHours, Amperes, Ohms};
 use baat_units::{Celsius, SimDuration, TimeOfDay, WattHours};
 
 use crate::error::SimError;
@@ -322,10 +322,7 @@ impl SimConfigBuilder {
             if pools == 0 || !c.nodes.is_multiple_of(pools) {
                 return Err(SimError::InvalidConfig {
                     field: "topology",
-                    reason: format!(
-                        "{pools} pools must be nonzero and divide {} nodes",
-                        c.nodes
-                    ),
+                    reason: format!("{pools} pools must be nonzero and divide {} nodes", c.nodes),
                 });
             }
         }

@@ -13,9 +13,7 @@ use baat_metrics::{AgingMetrics, BatteryRatings};
 use baat_power::{BatterySensor, Charger, PowerSwitcher, PowerTable, ServerPowerRecord};
 use baat_server::{Cluster, ServerId};
 use baat_solar::{ClearSky, CloudProcess, PvArray, Weather};
-use baat_units::{
-    Fraction, SimDuration, SimInstant, Soc, TimeOfDay, Volts, WattHours, Watts,
-};
+use baat_units::{Fraction, SimDuration, SimInstant, Soc, TimeOfDay, Volts, WattHours, Watts};
 use baat_workload::{Arrival, Vm, WorkloadGenerator, WorkloadKind};
 
 use crate::config::SimConfig;
@@ -123,15 +121,12 @@ impl Simulation {
                 .coulombic_efficiency(s.coulombic_efficiency())
                 .self_discharge_per_day(s.self_discharge_per_day())
                 .ambient(s.ambient());
-            b.build().map_err(|e| SimError::component("shared pool spec", e))?
+            b.build()
+                .map_err(|e| SimError::component("shared pool spec", e))?
         };
-        let batteries = BatteryPack::manufacture(
-            bank_spec,
-            banks,
-            config.variation,
-            config.seed ^ 0xBA77,
-        )
-        .map_err(|e| SimError::component("battery pack", e))?;
+        let batteries =
+            BatteryPack::manufacture(bank_spec, banks, config.variation, config.seed ^ 0xBA77)
+                .map_err(|e| SimError::component("battery pack", e))?;
         let array = PvArray::sized_for_daily_energy(
             config.solar_sunny_budget,
             Weather::Sunny,
@@ -139,9 +134,7 @@ impl Simulation {
         )
         .map_err(|e| SimError::component("pv array", e))?;
         let sensors = (0..banks)
-            .map(|i| {
-                BatterySensor::new(config.sensor_noise, config.seed ^ (0x5E45 + i as u64))
-            })
+            .map(|i| BatterySensor::new(config.sensor_noise, config.seed ^ (0x5E45 + i as u64)))
             .collect();
         let charger = Charger::new(
             Charger::prototype().max_power() * per_bank as f64,
@@ -204,12 +197,13 @@ impl Simulation {
     ///
     /// Returns [`SimError::InvalidConfig`] if `bank` is out of range.
     pub fn pre_age_bank(&mut self, bank: usize, damage: f64) -> Result<(), SimError> {
-        let unit = self.batteries.unit_mut(bank).map_err(|e| {
-            SimError::InvalidConfig {
+        let unit = self
+            .batteries
+            .unit_mut(bank)
+            .map_err(|e| SimError::InvalidConfig {
                 field: "bank",
                 reason: e.to_string(),
-            }
-        })?;
+            })?;
         unit.pre_age(damage);
         Ok(())
     }
@@ -237,8 +231,7 @@ impl Simulation {
     /// Runs the configured weather plan to completion under `policy` and
     /// returns the report.
     pub fn run<P: Policy>(mut self, policy: &mut P) -> SimReport {
-        let total_steps =
-            self.config.days() as u64 * 86_400 / self.config.dt.as_secs();
+        let total_steps = self.config.days() as u64 * 86_400 / self.config.dt.as_secs();
         for _ in 0..total_steps {
             self.step(policy);
         }
@@ -319,7 +312,10 @@ impl Simulation {
         }
 
         // Trace recording.
-        if self.step_index.is_multiple_of(self.config.sample_every as u64) {
+        if self
+            .step_index
+            .is_multiple_of(self.config.sample_every as u64)
+        {
             self.record_row(solar_total, tod);
         }
 
@@ -390,7 +386,8 @@ impl Simulation {
                     if let Ok(host) = self.cluster.host_mut(node) {
                         if host.dvfs() != level {
                             host.set_dvfs(level);
-                            self.events.push(self.now, Event::DvfsChanged { node, level });
+                            self.events
+                                .push(self.now, Event::DvfsChanged { node, level });
                         }
                     } else {
                         self.events.push(self.now, Event::ActionRejected { node });
@@ -524,8 +521,12 @@ impl Simulation {
                 dt,
             );
             if result.cutoff {
-                self.events
-                    .push(self.now, Event::BatteryCutoff { node: member_nodes[0] });
+                self.events.push(
+                    self.now,
+                    Event::BatteryCutoff {
+                        node: member_nodes[0],
+                    },
+                );
             }
             self.last_currents[b] = result.current.as_f64();
             self.last_voltages[b] = result.terminal_voltage.as_f64();
@@ -564,9 +565,7 @@ impl Simulation {
                         let victim = member_nodes
                             .iter()
                             .copied()
-                            .filter(|&m| {
-                                self.cluster.host(m).expect("index in range").is_online()
-                            })
+                            .filter(|&m| self.cluster.host(m).expect("index in range").is_online())
                             .max_by(|&a, &x| demands[a].as_f64().total_cmp(&demands[x].as_f64()));
                         if let Some(victim) = victim {
                             self.cluster
@@ -602,8 +601,7 @@ impl Simulation {
             }
             let bank = self.bank_of[i];
             let battery = self.batteries.unit(bank).expect("index in range");
-            let soc_ok =
-                battery.soc().value() > self.soc_floors[bank].value() + RESTART_SOC_MARGIN;
+            let soc_ok = battery.soc().value() > self.soc_floors[bank].value() + RESTART_SOC_MARGIN;
             let solar_ok = solar_total.as_f64() / n as f64 > idle.as_f64() * 1.2;
             if soc_ok || solar_ok {
                 let host = self.cluster.host_mut(i).expect("index in range");
@@ -669,10 +667,7 @@ impl Simulation {
                         * battery.spec().nominal_voltage().as_f64()
                         * share,
                     battery_capacity_ah: battery.spec().capacity().as_f64() * share,
-                    battery_lifetime_throughput_ah: battery
-                        .spec()
-                        .lifetime_throughput()
-                        .as_f64()
+                    battery_lifetime_throughput_ah: battery.spec().lifetime_throughput().as_f64()
                         * share,
                     soc_floor: self.soc_floors[bank],
                     cutoff_events: battery.cutoff_events(),
@@ -706,7 +701,9 @@ impl Simulation {
             server_power: (0..n)
                 .map(|i| self.cluster.host(i).expect("index in range").power(tod))
                 .collect(),
-            battery_current: (0..n).map(|i| self.last_currents[self.bank_of[i]]).collect(),
+            battery_current: (0..n)
+                .map(|i| self.last_currents[self.bank_of[i]])
+                .collect(),
             work_cumulative: self.cluster.total_work_done(),
         };
         self.recorder.push(row);
@@ -851,10 +848,10 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let a = run_simulation(quick_config(Weather::Cloudy), &mut RoundRobinPolicy::new())
-            .unwrap();
-        let b = run_simulation(quick_config(Weather::Cloudy), &mut RoundRobinPolicy::new())
-            .unwrap();
+        let a =
+            run_simulation(quick_config(Weather::Cloudy), &mut RoundRobinPolicy::new()).unwrap();
+        let b =
+            run_simulation(quick_config(Weather::Cloudy), &mut RoundRobinPolicy::new()).unwrap();
         assert_eq!(a.total_work, b.total_work);
         assert_eq!(a.mean_damage(), b.mean_damage());
         assert_eq!(a.events.len(), b.events.len());

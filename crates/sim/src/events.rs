@@ -115,10 +115,7 @@ mod tests {
         log.push(SimInstant::from_secs(5), Event::ServerRestart { node: 0 });
         log.push(SimInstant::from_secs(9), Event::ServerShutdown { node: 1 });
         assert_eq!(log.len(), 3);
-        assert_eq!(
-            log.count(|e| matches!(e, Event::ServerShutdown { .. })),
-            2
-        );
+        assert_eq!(log.count(|e| matches!(e, Event::ServerShutdown { .. })), 2);
         let times: Vec<u64> = log.iter().map(|e| e.at.as_secs()).collect();
         assert_eq!(times, vec![1, 5, 9]);
     }

@@ -70,11 +70,7 @@ fn soc_floors_are_enforced_by_the_engine() {
         .run(&mut policy);
     for row in report.recorder.rows() {
         for &soc in &row.soc {
-            assert!(
-                soc >= 0.53,
-                "floor violated: soc {soc} at {}",
-                row.at
-            );
+            assert!(soc >= 0.53, "floor violated: soc {soc} at {}", row.at);
         }
     }
     // The floor starves the servers instead: demand goes unserved.

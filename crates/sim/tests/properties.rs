@@ -3,8 +3,8 @@
 
 use baat_sim::{run_simulation, RoundRobinPolicy, SimConfig};
 use baat_solar::Weather;
+use baat_testkit::prelude::*;
 use baat_units::SimDuration;
-use proptest::prelude::*;
 
 fn weather_strategy() -> impl Strategy<Value = Weather> {
     prop_oneof![

@@ -6,9 +6,8 @@
 //! [`Location`] maps a sunshine fraction onto a daily weather distribution
 //! from which seeded day sequences are drawn.
 
+use baat_rng::StdRng;
 use baat_units::Fraction;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::weather::Weather;
 

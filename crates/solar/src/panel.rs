@@ -66,8 +66,7 @@ impl PvArray {
                 reason: format!("must be positive and finite, got {daily_energy}"),
             });
         }
-        let peak =
-            daily_energy.as_f64() / (sky.peak_hours() * weather.mean_attenuation());
+        let peak = daily_energy.as_f64() / (sky.peak_hours() * weather.mean_attenuation());
         Self::new(Watts::new(peak), sky)
     }
 

@@ -154,11 +154,7 @@ pub fn most_similar_day(target: &TraceSummary, candidates: &[TraceSummary]) -> O
     candidates
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            target
-                .similarity(a)
-                .total_cmp(&target.similarity(b))
-        })
+        .min_by(|(_, a), (_, b)| target.similarity(a).total_cmp(&target.similarity(b)))
         .map(|(i, _)| i)
 }
 
@@ -243,8 +239,6 @@ mod tests {
 
     #[test]
     fn invalid_dt_rejected() {
-        assert!(
-            DailySolarTrace::generate(&array(), Weather::Sunny, SimDuration::ZERO, 1).is_err()
-        );
+        assert!(DailySolarTrace::generate(&array(), Weather::Sunny, SimDuration::ZERO, 1).is_err());
     }
 }

@@ -6,8 +6,7 @@
 //! profile plus an AR(1) cloud-transient process whose variance grows with
 //! cloud cover.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use baat_rng::StdRng;
 
 /// Daily weather classification, matching paper Fig 12's three scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

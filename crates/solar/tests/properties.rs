@@ -1,8 +1,8 @@
 //! Property-based tests for the solar models.
 
 use baat_solar::{ClearSky, CloudProcess, DailySolarTrace, Location, PvArray, Weather};
+use baat_testkit::prelude::*;
 use baat_units::{Fraction, SimDuration, TimeOfDay, WattHours, Watts};
-use proptest::prelude::*;
 
 fn weather_strategy() -> impl Strategy<Value = Weather> {
     prop_oneof![

@@ -1,0 +1,264 @@
+//! Minimal wall-clock benchmark harness for `harness = false` targets.
+//!
+//! The registry-free replacement for `criterion`: no statistics engine,
+//! just warm-up, timed batches, and a mean/min/max report per benchmark.
+//! A bench target builds a [`Harness`] in `main`, registers benchmarks
+//! (optionally inside named groups), and calls [`Harness::finish`]:
+//!
+//! ```no_run
+//! use baat_testkit::bench::Harness;
+//!
+//! fn main() {
+//!     let mut h = Harness::from_args();
+//!     let mut g = h.group("hot-paths");
+//!     g.bench("square", || std::hint::black_box(7u64).pow(2));
+//!     h.finish();
+//! }
+//! ```
+//!
+//! CLI behaviour matches what `cargo bench` expects of a custom harness:
+//! the first free argument is a substring filter, `--quick` (or env
+//! `BAAT_BENCH_QUICK=1`) shrinks the measurement window for smoke runs,
+//! and libtest flags that cargo forwards (`--bench`) are ignored.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing window for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Untimed warm-up duration.
+    pub warm_up: Duration,
+    /// Timed measurement duration.
+    pub measure: Duration,
+}
+
+impl Timing {
+    /// Default window: 0.5 s warm-up, 2 s measurement.
+    pub const STANDARD: Timing = Timing {
+        warm_up: Duration::from_millis(500),
+        measure: Duration::from_secs(2),
+    };
+
+    /// Smoke-run window for CI: just enough iterations to prove the
+    /// benchmarked path executes.
+    pub const QUICK: Timing = Timing {
+        warm_up: Duration::from_millis(10),
+        measure: Duration::from_millis(50),
+    };
+}
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Total timed iterations.
+    pub iterations: u64,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest batch's per-iteration time.
+    pub min: Duration,
+    /// Slowest batch's per-iteration time.
+    pub max: Duration,
+}
+
+/// The top-level bench harness.
+#[derive(Debug)]
+pub struct Harness {
+    filter: Option<String>,
+    timing: Timing,
+    results: Vec<Sample>,
+}
+
+impl Harness {
+    /// Builds a harness from CLI args and environment.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut quick = std::env::var("BAAT_BENCH_QUICK").is_ok_and(|v| v != "0");
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                // Flags cargo/libtest forward to custom harnesses.
+                a if a.starts_with('-') => {}
+                a if filter.is_none() => filter = Some(a.to_owned()),
+                _ => {}
+            }
+        }
+        Self {
+            filter,
+            timing: if quick {
+                Timing::QUICK
+            } else {
+                Timing::STANDARD
+            },
+            results: Vec::new(),
+        }
+    }
+
+    /// A harness with explicit settings (used by tests).
+    pub fn with_timing(timing: Timing) -> Self {
+        Self {
+            filter: None,
+            timing,
+            results: Vec::new(),
+        }
+    }
+
+    /// Opens a named group; benchmarks registered on it report as
+    /// `group/name`.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            prefix: format!("{name}/"),
+        }
+    }
+
+    /// Registers and immediately runs one ungrouped benchmark.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        self.run_one(name.to_owned(), f);
+    }
+
+    fn run_one<R>(&mut self, id: String, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let sample = measure(&id, self.timing, &mut f);
+        eprintln!(
+            "bench {:<44} {:>12} mean  {:>12} min  {:>12} max  ({} iters)",
+            sample.id,
+            fmt_duration(sample.mean),
+            fmt_duration(sample.min),
+            fmt_duration(sample.max),
+            sample.iterations,
+        );
+        self.results.push(sample);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Prints the summary table. Call last in `main`.
+    pub fn finish(self) {
+        if self.results.is_empty() {
+            eprintln!("bench: no benchmarks matched the filter");
+            return;
+        }
+        println!("| benchmark | mean | min | max | iters |");
+        println!("|---|---:|---:|---:|---:|");
+        for s in &self.results {
+            println!(
+                "| {} | {} | {} | {} | {} |",
+                s.id,
+                fmt_duration(s.mean),
+                fmt_duration(s.min),
+                fmt_duration(s.max),
+                s.iterations,
+            );
+        }
+    }
+}
+
+/// A named benchmark group borrowed from a [`Harness`].
+#[derive(Debug)]
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    prefix: String,
+}
+
+impl Group<'_> {
+    /// Registers and immediately runs one benchmark in this group.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        let id = format!("{}{name}", self.prefix);
+        self.harness.run_one(id, f);
+    }
+}
+
+/// Warm-up then timed batches. Batch sizes grow until one batch takes
+/// ≥ ~10 ms, amortising `Instant` overhead for cheap bodies.
+fn measure<R>(id: &str, timing: Timing, f: &mut impl FnMut() -> R) -> Sample {
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < timing.warm_up || warm_iters == 0 {
+        black_box(f());
+        warm_iters += 1;
+    }
+
+    let mut batch: u64 = 1;
+    let mut total_iters: u64 = 0;
+    let mut total_time = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let run_start = Instant::now();
+    while run_start.elapsed() < timing.measure || total_iters == 0 {
+        let batch_start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let elapsed = batch_start.elapsed();
+        let per_iter = elapsed / u32::try_from(batch).unwrap_or(u32::MAX);
+        min = min.min(per_iter);
+        max = max.max(per_iter);
+        total_iters += batch;
+        total_time += elapsed;
+        if elapsed < Duration::from_millis(10) {
+            batch = batch.saturating_mul(2);
+        }
+    }
+
+    Sample {
+        id: id.to_owned(),
+        iterations: total_iters,
+        mean: total_time / u32::try_from(total_iters).unwrap_or(u32::MAX),
+        min,
+        max,
+    }
+}
+
+/// Human-readable duration with ns/µs/ms/s autoscaling.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_body() {
+        let mut h = Harness::with_timing(Timing::QUICK);
+        h.bench("noop", || 1 + 1);
+        let s = &h.results()[0];
+        assert_eq!(s.id, "noop");
+        assert!(s.iterations > 0);
+        assert!(s.min <= s.mean && s.mean <= s.max.max(s.mean));
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut h = Harness::with_timing(Timing::QUICK);
+        h.group("g").bench("inner", || ());
+        assert_eq!(h.results()[0].id, "g/inner");
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

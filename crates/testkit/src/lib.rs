@@ -1,0 +1,90 @@
+//! In-tree property-test and benchmark harness for the hermetic BAAT
+//! workspace.
+//!
+//! The build environment has no crates.io access, so this crate replaces
+//! the two dev-dependencies the workspace used to pull from the registry:
+//!
+//! * **`proptest`** — the [`proptest!`] macro here accepts the same
+//!   `name(arg in strategy, ...)` test syntax, the same
+//!   [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`] body macros,
+//!   and the same `ProptestConfig::with_cases(n)` header. Case
+//!   generation is seeded and deterministic (xoshiro256** from
+//!   [`baat_rng`]); failures are reported **shrink-free**: instead of
+//!   minimising the counterexample, the harness prints the generated
+//!   inputs, the case number, and the base seed needed to replay the
+//!   exact failure.
+//! * **`criterion`** — the [`bench`] module is a minimal wall-clock
+//!   harness for `harness = false` bench targets: warm-up, timed
+//!   batches, and a mean/min/max-per-iteration report.
+//!
+//! # Replaying failures
+//!
+//! Every property derives its case seeds from a stable hash of the test
+//! name, so runs are reproducible by default. To pin the base seed
+//! explicitly (e.g. replaying a failure seen on another machine):
+//!
+//! ```text
+//! BAAT_PROPTEST_SEED=0x1234 cargo test -p baat-battery soc_always_bounded
+//! ```
+//!
+//! `BAAT_PROPTEST_CASES=1024` scales every property's case count up (or
+//! down) without touching source.
+//!
+//! # Examples
+//!
+//! ```
+//! use baat_testkit::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(32))]
+//!
+//!     #[test]
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+// The `proptest!` doc examples must show `#[test]` inside the macro —
+// that is the required call syntax, not an attempt to run a unit test
+// from a doctest.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod bench;
+mod macros;
+mod runner;
+pub mod strategy;
+
+pub use runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use strategy::{Just, Strategy};
+
+#[doc(hidden)]
+pub use runner::{__format_inputs, __run_property};
+
+/// `proptest::collection` compatibility: sized containers of generated
+/// elements.
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+/// `proptest::num` compatibility: numeric edge-case strategies.
+pub mod num {
+    /// Strategies over `f64`, including non-finite values.
+    pub mod f64 {
+        pub use crate::strategy::AnyF64;
+
+        /// Any `f64` bit pattern: normals, subnormals, ±0, ±∞, NaN.
+        pub const ANY: AnyF64 = AnyF64;
+    }
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError, TestCaseResult,
+    };
+}

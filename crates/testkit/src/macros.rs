@@ -1,0 +1,157 @@
+//! The `proptest`-compatible macro surface.
+//!
+//! [`proptest!`](crate::proptest) accepts the subset of `proptest` syntax
+//! the workspace uses: an optional `#![proptest_config(...)]` header and
+//! `#[test] fn name(arg in strategy, ...) { body }` items whose bodies
+//! use [`prop_assert!`](crate::prop_assert),
+//! [`prop_assert_eq!`](crate::prop_assert_eq),
+//! [`prop_assert_ne!`](crate::prop_assert_ne) and
+//! [`prop_assume!`](crate::prop_assume).
+
+/// Declares seeded property tests.
+///
+/// Each declared function becomes a plain `#[test]` that generates
+/// `cases` inputs from the given strategies and runs the body once per
+/// case. See the crate docs for replay instructions.
+///
+/// # Examples
+///
+/// ```
+/// use baat_testkit::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn squares_are_non_negative(x in -100i64..100) {
+///         prop_assert!(x * x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Expands the individual test items of a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __tk_cfg: $crate::ProptestConfig = $cfg;
+            $crate::__run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__tk_cfg,
+                |__tk_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __tk_rng);)+
+                    let __tk_inputs = $crate::__format_inputs(&[
+                        $((stringify!($arg), &$arg as &dyn ::core::fmt::Debug)),+
+                    ]);
+                    let __tk_outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || -> $crate::TestCaseResult {
+                            $body;
+                            ::core::result::Result::Ok(())
+                        }),
+                    );
+                    (__tk_outcome, __tk_inputs)
+                },
+            );
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (with
+/// input reporting) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__tk_l, __tk_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__tk_l == *__tk_r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __tk_l,
+            __tk_r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__tk_l, __tk_r) = (&$left, &$right);
+        if !(*__tk_l == *__tk_r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                __tk_l,
+                __tk_r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__tk_l, __tk_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__tk_l != *__tk_r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __tk_l
+        );
+    }};
+}
+
+/// Discards the current case (redrawing its inputs) when a precondition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies (`proptest::prop_oneof!`).
+///
+/// All alternatives must generate the same value type. Unlike
+/// `proptest`, weights are not supported — every alternative is equally
+/// likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,179 @@
+//! The seeded case runner behind [`proptest!`](crate::proptest).
+//!
+//! Each property derives a base seed from a stable FNV-1a hash of its
+//! fully-qualified name (overridable with `BAAT_PROPTEST_SEED`), then
+//! runs `cases` generated cases. There is no shrinking: a failure
+//! reports the case number, the base seed, and a `Debug` dump of every
+//! generated input, which together replay the exact counterexample.
+
+use std::any::Any;
+
+use baat_rng::{derive_seed, StdRng};
+
+/// Per-property configuration (`proptest::prelude::ProptestConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases: enough to surface violations of the simulator's
+    /// invariants while keeping the tier-1 gate fast.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is violated.
+    Fail(String),
+    /// The generated inputs did not satisfy a `prop_assume!` guard; the
+    /// runner redraws without counting the case.
+    Reject(String),
+}
+
+/// Outcome of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Max redraws for one case before concluding the `prop_assume!` filter
+/// is unsatisfiable.
+const MAX_REJECTS_PER_CASE: u32 = 128;
+
+/// Stable 64-bit FNV-1a, used to turn a test name into a base seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    hash
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name} must be a u64 (decimal or 0x-hex), got {raw:?}"),
+    }
+}
+
+/// Runs one property. Called by the [`proptest!`](crate::proptest)
+/// expansion — not public API.
+#[doc(hidden)]
+pub fn __run_property<F>(name: &str, cfg: &ProptestConfig, body: F)
+where
+    F: Fn(&mut StdRng) -> (Result<TestCaseResult, Box<dyn Any + Send>>, String),
+{
+    let cases =
+        env_u64("BAAT_PROPTEST_CASES").map_or(cfg.cases, |n| u32::try_from(n).unwrap_or(u32::MAX));
+    let base_seed = env_u64("BAAT_PROPTEST_SEED").unwrap_or_else(|| fnv1a(name.as_bytes()));
+
+    for case in 0..u64::from(cases) {
+        for attempt in 0..=u64::from(MAX_REJECTS_PER_CASE) {
+            // One seed per (case, redraw attempt): replayable, and a
+            // rejected draw never shifts the stream of later cases.
+            let case_seed = derive_seed(base_seed, (case << 8) | attempt);
+            let mut rng = StdRng::seed_from_u64(case_seed);
+            let (outcome, inputs) = body(&mut rng);
+            match outcome {
+                Ok(Ok(())) => break,
+                Ok(Err(TestCaseError::Reject(guard))) => {
+                    assert!(
+                        attempt < u64::from(MAX_REJECTS_PER_CASE),
+                        "property {name}: prop_assume!({guard}) rejected \
+                         {MAX_REJECTS_PER_CASE} consecutive draws at case {case} — \
+                         the guard filters out (nearly) the whole domain"
+                    );
+                }
+                Ok(Err(TestCaseError::Fail(message))) => {
+                    panic!(
+                        "{}",
+                        report(name, base_seed, case, cases, &inputs, &message)
+                    );
+                }
+                Err(panic_payload) => {
+                    eprintln!(
+                        "{}",
+                        report(
+                            name,
+                            base_seed,
+                            case,
+                            cases,
+                            &inputs,
+                            "body panicked (below)"
+                        )
+                    );
+                    std::panic::resume_unwind(panic_payload);
+                }
+            }
+        }
+    }
+}
+
+/// The shrink-free failure report.
+fn report(
+    name: &str,
+    base_seed: u64,
+    case: u64,
+    cases: u32,
+    inputs: &str,
+    message: &str,
+) -> String {
+    format!(
+        "property {name} failed at case {case}/{cases}\n  \
+         inputs: {inputs}\n  \
+         cause: {message}\n  \
+         replay: BAAT_PROPTEST_SEED={base_seed:#x} cargo test {short}",
+        short = name.rsplit("::").next().unwrap_or(name),
+    )
+}
+
+/// Formats generated inputs for the failure report. Called by the macro
+/// expansion — not public API.
+#[doc(hidden)]
+pub fn __format_inputs(pairs: &[(&str, &dyn core::fmt::Debug)]) -> String {
+    let mut out = String::new();
+    for (i, (label, value)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(label);
+        out.push_str(" = ");
+        out.push_str(&format!("{value:?}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        // The base seed doubles as a replay token in failure reports, so
+        // the hash must never change across releases.
+        assert_eq!(fnv1a(b"baat"), 11_114_855_961_622_289_625); // computed once, pinned
+    }
+
+    #[test]
+    fn format_inputs_is_readable() {
+        let v = vec![1u8, 2];
+        let s = __format_inputs(&[("a", &1.5f64), ("ops", &v)]);
+        assert_eq!(s, "a = 1.5, ops = [1, 2]");
+    }
+}

@@ -1,0 +1,266 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically maps generator state to a value:
+//! ranges draw uniformly, tuples draw element-wise, [`vec`] draws a
+//! random length then that many elements, [`Just`] always yields its
+//! value, and [`OneOf`] picks one of several alternatives. Unlike
+//! `proptest`, strategies carry no shrinking machinery — the runner
+//! reports the failing inputs and seed instead.
+
+use core::ops::{Range, RangeInclusive};
+
+use baat_rng::{SampleRange, StdRng};
+
+/// A recipe for generating one value from a seeded generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Ranges are strategies wherever [`baat_rng`] can sample them
+/// (`f64` and primitive integers, half-open and inclusive).
+impl<T> Strategy for Range<T>
+where
+    T: Clone,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Clone,
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+/// A strategy that always yields a clone of its value (`proptest::prelude::Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy for storage in heterogeneous collections
+/// (used by [`prop_oneof!`](crate::prop_oneof)).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Uniform choice between alternative strategies of one value type.
+pub struct OneOf<T> {
+    alternatives: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a choice over `alternatives`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+        Self { alternatives }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let pick = rng.random_range(0..self.alternatives.len());
+        self.alternatives[pick].generate(rng)
+    }
+}
+
+/// An inclusive length window for [`vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range {r:?}");
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// A strategy yielding vectors of `element`-generated values with length
+/// drawn from `size` (`proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Any `f64` bit pattern, with the interesting special values
+/// over-represented (`proptest::num::f64::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyF64;
+
+impl Strategy for AnyF64 {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        match rng.random_range(0..20u32) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            5 => f64::MIN_POSITIVE / 2.0, // subnormal
+            // Any bit pattern: mostly huge/tiny magnitudes, occasionally
+            // further NaNs — exactly the hostile end of the domain.
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&x));
+            let n = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&n));
+        }
+    }
+
+    #[test]
+    fn tuples_generate_elementwise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (a, b) = (0.0f64..1.0, 10u32..20).generate(&mut rng);
+        assert!((0.0..1.0).contains(&a));
+        assert!((10..20).contains(&b));
+    }
+
+    #[test]
+    fn vec_respects_size_window() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = vec(0u64..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 10));
+        }
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(Just(42).generate(&mut rng), 42);
+    }
+
+    #[test]
+    fn one_of_reaches_every_alternative() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let strat = OneOf::new(vec![boxed(Just(1u8)), boxed(Just(2)), boxed(Just(3))]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn any_f64_hits_special_values() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut saw_nan = false;
+        let mut saw_finite = false;
+        for _ in 0..1000 {
+            let x = AnyF64.generate(&mut rng);
+            saw_nan |= x.is_nan();
+            saw_finite |= x.is_finite();
+        }
+        assert!(saw_nan && saw_finite);
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end tests of the property harness: the macro surface compiles
+//! against real strategies, failing properties report inputs and seed,
+//! and `prop_assume!` redraws instead of failing.
+
+use baat_testkit::prelude::*;
+use baat_testkit::{__run_property, ProptestConfig, TestCaseError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The macro handles multiple arguments, trailing commas, and tuple
+    /// strategies.
+    #[test]
+    fn ranges_and_tuples(
+        x in 0.0f64..10.0,
+        pair in (0u8..4, 1u64..100),
+        flags in baat_testkit::collection::vec(0u32..2, 1..8),
+    ) {
+        prop_assert!((0.0..10.0).contains(&x));
+        prop_assert!(pair.0 < 4 && (1..100).contains(&pair.1));
+        prop_assert!(!flags.is_empty() && flags.len() < 8);
+        prop_assert_eq!(flags.iter().filter(|f| **f > 1).count(), 0);
+    }
+
+    /// `prop_assume!` filters without burning cases.
+    #[test]
+    fn assume_redraws(a in 0u32..100, b in 0u32..100) {
+        prop_assume!(a < b);
+        prop_assert!(a < b);
+        prop_assert_ne!(b, 0);
+    }
+
+    /// `prop_oneof!` and `Just` cover enum-style strategies.
+    #[test]
+    fn oneof_picks_alternatives(v in prop_oneof![Just(1u8), Just(5), Just(9)]) {
+        prop_assert!(v == 1 || v == 5 || v == 9);
+    }
+
+    /// Hostile floats flow through `num::f64::ANY`.
+    #[test]
+    fn any_f64_is_a_float(x in baat_testkit::num::f64::ANY) {
+        prop_assert!(x.is_nan() || x.is_infinite() || x.is_finite());
+    }
+}
+
+/// A property that always fails must panic with the input dump and the
+/// replay seed in the message.
+#[test]
+fn failures_report_inputs_and_seed() {
+    let err = std::panic::catch_unwind(|| {
+        __run_property(
+            "harness::always_fails",
+            &ProptestConfig::with_cases(5),
+            |rng| {
+                let x = Strategy::generate(&(0u32..10), rng);
+                let inputs = format!("x = {x}");
+                (
+                    Ok(Err(TestCaseError::Fail("forced failure".into()))),
+                    inputs,
+                )
+            },
+        );
+    })
+    .expect_err("property must fail");
+    let message = err
+        .downcast_ref::<String>()
+        .expect("panic carries a String");
+    assert!(message.contains("always_fails"), "{message}");
+    assert!(message.contains("case 0/5"), "{message}");
+    assert!(message.contains("x = "), "{message}");
+    assert!(message.contains("BAAT_PROPTEST_SEED=0x"), "{message}");
+    assert!(message.contains("forced failure"), "{message}");
+}
+
+/// An unsatisfiable `prop_assume!` must abort instead of spinning.
+#[test]
+fn unsatisfiable_assume_aborts() {
+    let err = std::panic::catch_unwind(|| {
+        __run_property(
+            "harness::never_satisfied",
+            &ProptestConfig::with_cases(5),
+            |_rng| {
+                (
+                    Ok(Err(TestCaseError::Reject("false".into()))),
+                    String::new(),
+                )
+            },
+        );
+    })
+    .expect_err("runner must give up");
+    let message = err
+        .downcast_ref::<String>()
+        .expect("panic carries a String");
+    assert!(message.contains("rejected"), "{message}");
+}
+
+/// Two runs of the same property see identical generated inputs.
+#[test]
+fn case_generation_is_deterministic() {
+    fn collect() -> Vec<u64> {
+        let mut seen = Vec::new();
+        // Channel the generated values out through a RefCell captured by
+        // the body closure.
+        let log = std::cell::RefCell::new(&mut seen);
+        __run_property(
+            "harness::deterministic_probe",
+            &ProptestConfig::with_cases(16),
+            |rng| {
+                let v = Strategy::generate(&(0u64..1_000_000), rng);
+                log.borrow_mut().push(v);
+                (Ok(Ok(())), String::new())
+            },
+        );
+        seen
+    }
+    let a = collect();
+    let b = collect();
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 16);
+    assert!(a.windows(2).any(|w| w[0] != w[1]), "inputs should vary");
+}

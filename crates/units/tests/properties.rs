@@ -1,7 +1,7 @@
 //! Property-based tests for the quantity types.
 
+use baat_testkit::prelude::*;
 use baat_units::{AmpHours, Amperes, Dod, Fraction, SimDuration, SimInstant, Soc, Volts, Watts};
-use proptest::prelude::*;
 
 proptest! {
     #[test]
@@ -11,7 +11,7 @@ proptest! {
     }
 
     #[test]
-    fn fraction_saturating_always_in_range(v in proptest::num::f64::ANY) {
+    fn fraction_saturating_always_in_range(v in baat_testkit::num::f64::ANY) {
         let f = Fraction::saturating(v);
         prop_assert!((0.0..=1.0).contains(&f.value()));
     }
@@ -70,7 +70,7 @@ proptest! {
     }
 
     #[test]
-    fn amp_hours_sum_matches_piecewise(parts in proptest::collection::vec(0.0f64..10.0, 1..20)) {
+    fn amp_hours_sum_matches_piecewise(parts in baat_testkit::collection::vec(0.0f64..10.0, 1..20)) {
         let total: AmpHours = parts.iter().map(|&p| AmpHours::new(p)).sum();
         let expect: f64 = parts.iter().sum();
         prop_assert!((total.as_f64() - expect).abs() < 1e-9);

@@ -5,9 +5,8 @@
 //! reproduces that pattern: a Web Serving service starts at power-on, and
 //! batch jobs arrive through the day and are re-submitted as they finish.
 
+use baat_rng::StdRng;
 use baat_units::TimeOfDay;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::apps::WorkloadKind;
 use crate::vm::{Vm, VmId};

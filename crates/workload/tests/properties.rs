@@ -1,8 +1,8 @@
 //! Property-based tests for workloads and VMs.
 
+use baat_testkit::prelude::*;
 use baat_units::{Fraction, SimDuration, TimeOfDay};
 use baat_workload::{Vm, VmId, VmState, WorkloadGenerator, WorkloadKind};
-use proptest::prelude::*;
 
 fn kind_strategy() -> impl Strategy<Value = WorkloadKind> {
     prop_oneof![

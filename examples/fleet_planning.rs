@@ -30,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .seed(7);
         let config = builder.build()?;
 
-        let ebuff = estimate_lifetime(Scheme::EBuff, config.clone())?
-            .expect("cycling causes damage");
+        let ebuff =
+            estimate_lifetime(Scheme::EBuff, config.clone())?.expect("cycling causes damage");
         let baat = estimate_lifetime(Scheme::Baat, config)?.expect("cycling causes damage");
 
         let saving_per_node = battery_cost.annual_depreciation(ebuff.worst_days)?.as_f64()

@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 let mut policy = scheme.build();
                 let report = sim.run(&mut policy);
-                let downtime: u64 =
-                    report.nodes.iter().map(|n| n.downtime.as_secs()).sum();
+                let downtime: u64 = report.nodes.iter().map(|n| n.downtime.as_secs()).sum();
                 let worst = report.worst_node();
                 println!(
                     "{:<8} {:<7} {:<6} {:>9.1} {:>6} {:>9} {:>9} {:>8.4}",

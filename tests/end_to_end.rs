@@ -18,11 +18,8 @@ fn quick_config(plan: Vec<Weather>, seed: u64) -> SimConfig {
 #[test]
 fn all_four_schemes_run_one_day() {
     for scheme in Scheme::ALL {
-        let report = run_simulation(
-            quick_config(vec![Weather::Cloudy], 3),
-            &mut scheme.build(),
-        )
-        .expect("simulation runs");
+        let report = run_simulation(quick_config(vec![Weather::Cloudy], 3), &mut scheme.build())
+            .expect("simulation runs");
         assert_eq!(report.policy, scheme.name());
         assert!(report.total_work > 0.0, "{scheme} did no work");
         assert!(report.completed_jobs > 0, "{scheme} finished no jobs");
@@ -32,10 +29,16 @@ fn all_four_schemes_run_one_day() {
 
 #[test]
 fn identical_seeds_reproduce_identical_runs() {
-    let a = run_simulation(quick_config(vec![Weather::Rainy], 9), &mut Scheme::Baat.build())
-        .expect("simulation runs");
-    let b = run_simulation(quick_config(vec![Weather::Rainy], 9), &mut Scheme::Baat.build())
-        .expect("simulation runs");
+    let a = run_simulation(
+        quick_config(vec![Weather::Rainy], 9),
+        &mut Scheme::Baat.build(),
+    )
+    .expect("simulation runs");
+    let b = run_simulation(
+        quick_config(vec![Weather::Rainy], 9),
+        &mut Scheme::Baat.build(),
+    )
+    .expect("simulation runs");
     assert_eq!(a.total_work, b.total_work);
     assert_eq!(a.migrations, b.migrations);
     assert_eq!(a.events.len(), b.events.len());
@@ -46,10 +49,16 @@ fn identical_seeds_reproduce_identical_runs() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = run_simulation(quick_config(vec![Weather::Cloudy], 1), &mut Scheme::EBuff.build())
-        .expect("simulation runs");
-    let b = run_simulation(quick_config(vec![Weather::Cloudy], 2), &mut Scheme::EBuff.build())
-        .expect("simulation runs");
+    let a = run_simulation(
+        quick_config(vec![Weather::Cloudy], 1),
+        &mut Scheme::EBuff.build(),
+    )
+    .expect("simulation runs");
+    let b = run_simulation(
+        quick_config(vec![Weather::Cloudy], 2),
+        &mut Scheme::EBuff.build(),
+    )
+    .expect("simulation runs");
     assert_ne!(a.total_work, b.total_work);
 }
 
@@ -78,12 +87,14 @@ fn overnight_grid_charging_restores_batteries() {
 
 #[test]
 fn servers_follow_the_operating_window() {
-    let report = run_simulation(quick_config(vec![Weather::Sunny], 7), &mut Scheme::Baat.build())
-        .expect("simulation runs");
+    let report = run_simulation(
+        quick_config(vec![Weather::Sunny], 7),
+        &mut Scheme::Baat.build(),
+    )
+    .expect("simulation runs");
     for row in report.recorder.rows() {
         let tod = row.at.time_of_day();
-        let in_window =
-            tod >= TimeOfDay::from_hm(8, 30) && tod < TimeOfDay::from_hm(18, 30);
+        let in_window = tod >= TimeOfDay::from_hm(8, 30) && tod < TimeOfDay::from_hm(18, 30);
         let power: f64 = row.server_power.iter().map(|p| p.as_f64()).sum();
         if !in_window {
             assert_eq!(power, 0.0, "servers drew power at {tod}");
@@ -93,10 +104,16 @@ fn servers_follow_the_operating_window() {
 
 #[test]
 fn baat_avoids_downtime_under_scarcity() {
-    let ebuff = run_simulation(quick_config(vec![Weather::Rainy], 11), &mut Scheme::EBuff.build())
-        .expect("simulation runs");
-    let baat = run_simulation(quick_config(vec![Weather::Rainy], 11), &mut Scheme::Baat.build())
-        .expect("simulation runs");
+    let ebuff = run_simulation(
+        quick_config(vec![Weather::Rainy], 11),
+        &mut Scheme::EBuff.build(),
+    )
+    .expect("simulation runs");
+    let baat = run_simulation(
+        quick_config(vec![Weather::Rainy], 11),
+        &mut Scheme::Baat.build(),
+    )
+    .expect("simulation runs");
     let downtime = |r: &baat_repro::sim::SimReport| -> u64 {
         r.nodes.iter().map(|n| n.downtime.as_secs()).sum()
     };
@@ -116,8 +133,8 @@ fn baat_ages_batteries_slower_than_ebuff() {
     let plan = vec![Weather::Cloudy, Weather::Rainy];
     let ebuff = run_simulation(quick_config(plan.clone(), 13), &mut Scheme::EBuff.build())
         .expect("simulation runs");
-    let baat = run_simulation(quick_config(plan, 13), &mut Scheme::Baat.build())
-        .expect("simulation runs");
+    let baat =
+        run_simulation(quick_config(plan, 13), &mut Scheme::Baat.build()).expect("simulation runs");
     assert!(
         baat.worst_node().damage < ebuff.worst_node().damage,
         "BAAT {} vs e-Buff {}",
@@ -129,16 +146,29 @@ fn baat_ages_batteries_slower_than_ebuff() {
 #[test]
 fn events_tell_a_consistent_story() {
     use baat_repro::sim::Event;
-    let report = run_simulation(quick_config(vec![Weather::Rainy], 17), &mut Scheme::EBuff.build())
-        .expect("simulation runs");
-    let shutdowns = report.events.count(|e| matches!(e, Event::ServerShutdown { .. }));
-    let restarts = report.events.count(|e| matches!(e, Event::ServerRestart { .. }));
+    let report = run_simulation(
+        quick_config(vec![Weather::Rainy], 17),
+        &mut Scheme::EBuff.build(),
+    )
+    .expect("simulation runs");
+    let shutdowns = report
+        .events
+        .count(|e| matches!(e, Event::ServerShutdown { .. }));
+    let restarts = report
+        .events
+        .count(|e| matches!(e, Event::ServerRestart { .. }));
     // Every restart implies a prior shutdown (day-start power-on is not an
     // event).
-    assert!(restarts <= shutdowns, "restarts {restarts} > shutdowns {shutdowns}");
+    assert!(
+        restarts <= shutdowns,
+        "restarts {restarts} > shutdowns {shutdowns}"
+    );
     // Rainy + e-Buff must hit the battery hard enough to shut something
     // down (that is the premise of the whole paper).
-    assert!(shutdowns > 0, "expected power-driven shutdowns on a rainy day");
+    assert!(
+        shutdowns > 0,
+        "expected power-driven shutdowns on a rainy day"
+    );
 }
 
 #[test]
@@ -149,8 +179,9 @@ fn migration_counts_match_events() {
         &mut Scheme::Baat.build(),
     )
     .expect("simulation runs");
-    let migration_events =
-        report.events.count(|e| matches!(e, Event::MigrationStarted { .. }));
+    let migration_events = report
+        .events
+        .count(|e| matches!(e, Event::MigrationStarted { .. }));
     assert_eq!(report.migrations as usize, migration_events);
 }
 
@@ -163,8 +194,7 @@ fn baat_protects_the_worn_battery_once_its_metrics_show() {
     // keeps it out of the deep region better than e-Buff does.
     let plan = vec![Weather::Cloudy, Weather::Rainy];
     let run_with = |scheme: Scheme| {
-        let mut sim =
-            Simulation::new(quick_config(plan.clone(), 21)).expect("config valid");
+        let mut sim = Simulation::new(quick_config(plan.clone(), 21)).expect("config valid");
         sim.pre_age_bank(0, 0.8).expect("bank exists");
         sim.run(&mut scheme.build())
     };

@@ -12,11 +12,7 @@ use baat_repro::workload::{DemandClass, EnergyDemand, PowerDemand, WorkloadKind}
 /// Runs a node-level power chain for one simulated stretch: a constant
 /// server demand against a solar profile, routed through the switcher
 /// into battery/charger, sampled by a sensor.
-fn run_chain(
-    demand_w: f64,
-    solar_w: f64,
-    hours: u64,
-) -> (Battery, f64 /* unserved Wh */) {
+fn run_chain(demand_w: f64, solar_w: f64, hours: u64) -> (Battery, f64 /* unserved Wh */) {
     let mut battery = Battery::new(BatterySpec::prototype());
     let charger = Charger::prototype();
     let switcher = PowerSwitcher::prototype();
@@ -108,9 +104,7 @@ fn aging_feeds_back_into_deliverable_power() {
 #[test]
 fn planned_aging_math_consumes_real_telemetry() {
     let (battery, _) = run_chain(180.0, 30.0, 8);
-    let used = AmpHours::new(
-        battery.telemetry().lifetime().ah_discharged.as_f64(),
-    );
+    let used = AmpHours::new(battery.telemetry().lifetime().ah_discharged.as_f64());
     let goal = dod_goal(&PlannedAgingInputs {
         total_throughput: battery.spec().lifetime_throughput(),
         used_throughput: used,
