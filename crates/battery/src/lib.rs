@@ -47,6 +47,7 @@ mod aging;
 mod cycle_life;
 mod error;
 mod model;
+mod obs;
 mod pack;
 mod spec;
 mod telemetry;
@@ -60,6 +61,7 @@ pub use aging::{
 pub use cycle_life::{CycleLifeCurve, Manufacturer};
 pub use error::BatteryError;
 pub use model::{Battery, BatteryOp, StepResult};
+pub use obs::AgingObs;
 pub use pack::{BatteryPack, VariationParams};
 pub use spec::{BatterySpec, BatterySpecBuilder};
 pub use telemetry::{SensorSample, TelemetryLog, UsageAccumulator, SOC_HISTOGRAM_BINS};

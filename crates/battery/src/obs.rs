@@ -1,0 +1,80 @@
+//! Observability hooks for the aging model.
+//!
+//! The paper's display module tracks "various aging metrics" live; the
+//! reproduction mirrors that with one gauge per §II.B mechanism plus the
+//! total, updated from a [`DamageBreakdown`] whenever the owner samples
+//! its batteries. Gauges are fleet aggregates: callers sum breakdowns
+//! across units before recording.
+
+use baat_obs::{Gauge, Obs};
+
+use crate::aging::DamageBreakdown;
+
+/// Gauges tracking accumulated damage per aging mechanism.
+#[derive(Debug, Clone, Default)]
+pub struct AgingObs {
+    corrosion: Gauge,
+    shedding: Gauge,
+    sulphation: Gauge,
+    water_loss: Gauge,
+    stratification: Gauge,
+    total: Gauge,
+}
+
+impl AgingObs {
+    /// Registers the aging gauges under `battery.aging.*`. With a
+    /// disabled `Obs` every gauge is inert.
+    pub fn new(obs: &Obs) -> Self {
+        Self {
+            corrosion: obs.gauge("battery.aging.corrosion"),
+            shedding: obs.gauge("battery.aging.shedding"),
+            sulphation: obs.gauge("battery.aging.sulphation"),
+            water_loss: obs.gauge("battery.aging.water_loss"),
+            stratification: obs.gauge("battery.aging.stratification"),
+            total: obs.gauge("battery.aging.total"),
+        }
+    }
+
+    /// A permanently inert instance.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Records the current damage breakdown into the gauges.
+    pub fn record(&self, breakdown: &DamageBreakdown) {
+        self.corrosion.set(breakdown.corrosion);
+        self.shedding.set(breakdown.shedding);
+        self.sulphation.set(breakdown.sulphation);
+        self.water_loss.set(breakdown.water_loss);
+        self.stratification.set(breakdown.stratification);
+        self.total.set(breakdown.total());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_reflect_the_breakdown() {
+        let obs = Obs::enabled();
+        let aging = AgingObs::new(&obs);
+        let breakdown = DamageBreakdown {
+            corrosion: 0.1,
+            shedding: 0.2,
+            sulphation: 0.3,
+            water_loss: 0.05,
+            stratification: 0.05,
+        };
+        aging.record(&breakdown);
+        let jsonl = obs.metrics_jsonl();
+        assert!(jsonl.contains(r#""name":"battery.aging.sulphation","value":0.3"#));
+        assert!(jsonl.contains(r#""name":"battery.aging.total","value":0.7"#));
+    }
+
+    #[test]
+    fn disabled_instance_is_inert() {
+        let aging = AgingObs::disabled();
+        aging.record(&DamageBreakdown::default());
+    }
+}

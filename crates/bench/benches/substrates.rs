@@ -7,7 +7,8 @@
 use baat_battery::{Battery, BatteryOp, BatterySpec};
 use baat_core::Scheme;
 use baat_metrics::{AgingMetrics, BatteryRatings};
-use baat_sim::{run_simulation, SimConfig};
+use baat_obs::Obs;
+use baat_sim::{run_simulation, run_simulation_observed, SimConfig};
 use baat_solar::Weather;
 use baat_testkit::bench::Harness;
 use baat_units::{AmpHours, Celsius, SimDuration, SimInstant, Watts};
@@ -57,19 +58,62 @@ fn bench_metrics(h: &mut Harness) {
     });
 }
 
+fn day_config() -> SimConfig {
+    let mut cfg = SimConfig::builder();
+    cfg.weather_plan(vec![Weather::Cloudy])
+        .dt(SimDuration::from_secs(30))
+        .sample_every(40)
+        .seed(1);
+    cfg.build().expect("valid")
+}
+
 fn bench_simulated_day(h: &mut Harness) {
     let mut g = h.group("simulated_day");
     for scheme in [Scheme::EBuff, Scheme::Baat] {
         g.bench(scheme.name(), || {
-            let mut cfg = SimConfig::builder();
-            cfg.weather_plan(vec![Weather::Cloudy])
-                .dt(SimDuration::from_secs(30))
-                .sample_every(40)
-                .seed(1);
-            let report =
-                run_simulation(cfg.build().expect("valid"), &mut scheme.build()).expect("runs");
+            let report = run_simulation(day_config(), &mut scheme.build()).expect("runs");
             black_box(report.total_work)
         });
+    }
+}
+
+/// The same simulated day with the full observability stack live:
+/// per-stage profiler, engine/policy counters, aging gauges. Comparing
+/// `simulated_day_observed/BAAT` against `simulated_day/BAAT` measures
+/// the profiler + metrics overhead, which must stay under 5 %.
+fn bench_simulated_day_observed(h: &mut Harness) {
+    let mut g = h.group("simulated_day_observed");
+    for scheme in [Scheme::EBuff, Scheme::Baat] {
+        g.bench(scheme.name(), || {
+            let obs = Obs::enabled();
+            let mut policy = scheme.build_observed(&obs);
+            let report = run_simulation_observed(day_config(), &mut policy, obs).expect("runs");
+            black_box(report.total_work)
+        });
+    }
+}
+
+/// Prints the observed-vs-plain overhead per scheme from the measured
+/// samples (best-effort: only when both variants ran under this filter).
+fn report_obs_overhead(h: &Harness) {
+    let mean_of = |id: &str| {
+        h.results()
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.mean.as_secs_f64())
+    };
+    for scheme in [Scheme::EBuff, Scheme::Baat] {
+        let plain = mean_of(&format!("simulated_day/{}", scheme.name()));
+        let observed = mean_of(&format!("simulated_day_observed/{}", scheme.name()));
+        if let (Some(plain), Some(observed)) = (plain, observed) {
+            if plain > 0.0 {
+                println!(
+                    "obs overhead {}: {:+.2}%",
+                    scheme.name(),
+                    (observed / plain - 1.0) * 100.0
+                );
+            }
+        }
     }
 }
 
@@ -78,5 +122,7 @@ fn main() {
     bench_battery_step(&mut h);
     bench_metrics(&mut h);
     bench_simulated_day(&mut h);
+    bench_simulated_day_observed(&mut h);
+    report_obs_overhead(&h);
     h.finish();
 }

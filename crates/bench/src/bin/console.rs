@@ -7,10 +7,16 @@
 //! ```text
 //! cargo run --release -p baat-bench --bin console -- \
 //!     --scheme baat --weather cloudy,rainy --seed 7 --old \
-//!     --topology shared:2 --csv trace.csv
+//!     --topology shared:2 --csv trace.csv --jsonl obs/
 //! ```
+//!
+//! `--jsonl DIR` runs with observation enabled and dumps the structured
+//! exports — `events.jsonl`, `trace.jsonl`, `metrics.jsonl`,
+//! `profile.jsonl` — into `DIR`. The run itself is bit-identical either
+//! way.
 
 use baat_core::Scheme;
+use baat_obs::Obs;
 use baat_sim::{BatteryTopology, Event, SimConfig, Simulation};
 use baat_solar::Weather;
 use baat_units::SimDuration;
@@ -22,13 +28,14 @@ struct Args {
     old: bool,
     topology: BatteryTopology,
     csv: Option<String>,
+    jsonl: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: console [--scheme e-buff|baat-s|baat-h|baat] \
          [--weather sunny,cloudy,rainy] [--seed N] [--old] \
-         [--topology per-server|shared:K] [--csv PATH]"
+         [--topology per-server|shared:K] [--csv PATH] [--jsonl DIR]"
     );
     std::process::exit(2);
 }
@@ -41,6 +48,7 @@ fn parse_args() -> Args {
         old: false,
         topology: BatteryTopology::PerServer,
         csv: None,
+        jsonl: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -90,6 +98,7 @@ fn parse_args() -> Args {
                 };
             }
             "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
+            "--jsonl" => args.jsonl = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -107,12 +116,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(args.seed);
     let config = builder.build()?;
 
-    let mut sim = Simulation::new(config)?;
+    let obs = if args.jsonl.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    let mut sim = Simulation::with_obs(config, obs.clone())?;
     if args.old {
         sim.pre_age_batteries(0.55);
     }
-    let mut policy = args.scheme.build();
-    let report = sim.run(&mut policy);
+    let mut policy = args.scheme.build_observed(&obs);
+    let report = sim.run(&mut policy)?;
 
     println!("=== BAAT management console ===");
     println!(
@@ -169,12 +183,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         count(|e| matches!(e, Event::BatteryCutoff { .. })),
         count(|e| matches!(e, Event::PlacementFailed { .. })),
     );
+    let rejected = report.events.count(|e| match e {
+        Event::Action { outcome } => outcome.is_rejected(),
+        _ => false,
+    });
+    if rejected > 0 {
+        println!("  rejected actions {rejected}");
+    }
 
     if let Some(path) = args.csv {
         std::fs::write(&path, report.recorder.to_csv())?;
         println!(
             "\ntrace written to {path} ({} samples)",
             report.recorder.len()
+        );
+    }
+
+    if let Some(dir) = args.jsonl {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("events.jsonl"), report.events.to_jsonl())?;
+        std::fs::write(dir.join("trace.jsonl"), report.recorder.to_jsonl())?;
+        std::fs::write(dir.join("metrics.jsonl"), obs.metrics_jsonl())?;
+        std::fs::write(dir.join("profile.jsonl"), obs.profile_jsonl())?;
+        println!(
+            "\nstructured exports written to {} (events, trace, metrics, profile)",
+            dir.display()
         );
     }
     Ok(())

@@ -2,6 +2,11 @@
 //! sections and prints a markdown report (the source of EXPERIMENTS.md).
 //!
 //! Usage: `cargo run --release -p baat-bench --bin figures [--quick]`
+//!
+//! When `BAAT_OBS_DIR` is set, the Table-1 and Fig-13 sweeps run with
+//! observation enabled and drop a per-scenario perf + counter report
+//! (`<scenario>.perf.jsonl`) into that directory, next to the figure
+//! output. The figures themselves are bit-identical either way.
 
 use baat_bench::experiments::{
     fig03_05, fig10, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19, fig20, fig21, fig22,
@@ -38,10 +43,17 @@ fn main() {
         body
     }));
 
+    let obs_dir = baat_bench::runner::obs_dir_from_env();
+
     eprintln!("[4/12] Fig 13: aging comparison matrix…");
-    sections.push(("Fig 13 — aging-metric comparison of the four schemes", {
-        fig13::render(&fig13::run(SEED))
-    }));
+    let f13 = match &obs_dir {
+        Some(dir) => fig13::run_observed(SEED, dir).expect("perf reports are writable"),
+        None => fig13::run(SEED),
+    };
+    sections.push((
+        "Fig 13 — aging-metric comparison of the four schemes",
+        fig13::render(&f13),
+    ));
 
     eprintln!("[5/12] Fig 14: lifetime vs sunshine fraction…");
     let f14 = if quick {
@@ -119,7 +131,12 @@ fn main() {
     ));
 
     eprintln!("[+] Table 1: usage scenarios…");
-    let t1 = baat_bench::experiments::table1::run(if quick { 7 } else { 30 }, SEED);
+    let t1_days = if quick { 7 } else { 30 };
+    let t1 = match &obs_dir {
+        Some(dir) => baat_bench::experiments::table1::run_observed(t1_days, SEED, dir)
+            .expect("perf reports are writable"),
+        None => baat_bench::experiments::table1::run(t1_days, SEED),
+    };
     sections.push((
         "Table 1 — battery usage scenarios",
         baat_bench::experiments::table1::render(&t1),
@@ -139,5 +156,8 @@ fn main() {
     for (title, body) in sections {
         println!("## {title}\n");
         println!("{body}");
+    }
+    if let Some(dir) = obs_dir {
+        eprintln!("[obs] per-scenario perf reports in {}", dir.display());
     }
 }

@@ -60,7 +60,7 @@ pub fn topology(seed: u64) -> Vec<TopologyRow> {
             pools,
             scheme,
             work: report.total_work,
-            worst_damage: report.worst_node().damage,
+            worst_damage: report.worst_node().expect("nodes exist").damage,
             critical_secs: report
                 .nodes
                 .iter()
@@ -139,7 +139,7 @@ pub fn variation(seed: u64) -> Vec<VariationRow> {
         });
         let report = run_simulation(b.build().expect("config valid"), &mut scheme.build())
             .expect("simulation runs");
-        let worst = report.worst_node().damage;
+        let worst = report.worst_node().expect("nodes exist").damage;
         let best = report
             .nodes
             .iter()
@@ -183,7 +183,7 @@ pub fn cadence(seed: u64) -> Vec<CadenceRow> {
             CadenceRow {
                 interval_secs: interval,
                 work: report.total_work,
-                worst_damage: report.worst_node().damage,
+                worst_damage: report.worst_node().expect("nodes exist").damage,
             }
         })
         .collect()

@@ -46,11 +46,11 @@ pub fn hourly_trajectory(
     let mut samples = Vec::new();
     let mut crossed = None;
     for step in 0..total_steps {
-        sim.step(&mut policy);
+        sim.step(&mut policy).expect("engine invariants hold");
         if step % steps_per_hour == 0 {
             let hour = (step / steps_per_hour) as u32;
             if (8..=18).contains(&hour) {
-                let view = sim.build_view();
+                let view = sim.build_view().expect("engine invariants hold");
                 let worst = view
                     .nodes
                     .iter()
@@ -137,7 +137,7 @@ pub fn run(seed: u64) -> RuntimeProfile {
                 .iter()
                 .map(|n| n.lifetime_metrics.nat * 35_000.0)
                 .collect();
-            let worst = report.worst_node();
+            let worst = report.worst_node().expect("nodes exist");
             WeatherProfile {
                 weather,
                 node_ah,

@@ -12,7 +12,10 @@ use baat_metrics::weighted_aging;
 use baat_solar::Weather;
 use baat_workload::{DemandClass, EnergyDemand, PowerDemand};
 
-use crate::runner::{day_config, run_scenarios, Scenario, OLD_BATTERY_DAMAGE};
+use crate::runner::{
+    day_config, run_scenarios, run_scenarios_observed_with_threads, runner_threads,
+    write_perf_report, Scenario, OLD_BATTERY_DAMAGE,
+};
 
 /// One cell of the comparison matrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,9 +106,7 @@ impl AgingComparison {
     }
 }
 
-/// Runs the 4×2×2 comparison on matched solar days, fanned out across
-/// the parallel scenario runner.
-pub fn run(seed: u64) -> AgingComparison {
+fn sweep(seed: u64) -> (Vec<(Scheme, Weather, bool)>, Vec<Scenario>) {
     let mut specs = Vec::with_capacity(16);
     let mut scenarios = Vec::with_capacity(16);
     for weather in [Weather::Sunny, Weather::Cloudy] {
@@ -123,11 +124,18 @@ pub fn run(seed: u64) -> AgingComparison {
             }
         }
     }
+    (specs, scenarios)
+}
+
+/// Runs the 4×2×2 comparison on matched solar days, fanned out across
+/// the parallel scenario runner.
+pub fn run(seed: u64) -> AgingComparison {
+    let (specs, scenarios) = sweep(seed);
     let cells = specs
         .into_iter()
         .zip(run_scenarios(scenarios))
         .map(|((scheme, weather, old), report)| {
-            let worst = report.worst_node();
+            let worst = report.worst_node().expect("nodes exist");
             let base = if old { OLD_BATTERY_DAMAGE } else { 0.0 };
             ComparisonCell {
                 scheme,
@@ -142,6 +150,47 @@ pub fn run(seed: u64) -> AgingComparison {
         })
         .collect();
     AgingComparison { cells }
+}
+
+/// [`run`] with per-scenario perf + counter reports written to `dir`
+/// (`fig13_<scheme>_<weather>_<age>.perf.jsonl`). The returned matrix is
+/// bit-identical to [`run`]'s: observation never perturbs a run.
+///
+/// # Errors
+///
+/// Propagates filesystem errors writing the perf reports.
+pub fn run_observed(seed: u64, dir: &std::path::Path) -> std::io::Result<AgingComparison> {
+    let (specs, scenarios) = sweep(seed);
+    let runs = run_scenarios_observed_with_threads(scenarios, runner_threads());
+    let cells = specs
+        .iter()
+        .zip(&runs)
+        .map(|(&(scheme, weather, old), run)| {
+            let report = &run.report;
+            let worst = report.worst_node().expect("nodes exist");
+            let base = if old { OLD_BATTERY_DAMAGE } else { 0.0 };
+            ComparisonCell {
+                scheme,
+                weather,
+                old,
+                nat: worst.lifetime_metrics.nat,
+                cf: worst.lifetime_metrics.cf,
+                pc: worst.lifetime_metrics.pc.weighted_value(),
+                weighted: weighted_aging(&worst.lifetime_metrics, CLASS),
+                damage: report.mean_damage() - base,
+            }
+        })
+        .collect();
+    for (&(scheme, weather, old), run) in specs.iter().zip(&runs) {
+        let label = format!(
+            "fig13_{}_{}_{}",
+            scheme.name().to_lowercase().replace('-', "_"),
+            format!("{weather:?}").to_lowercase(),
+            if old { "old" } else { "young" }
+        );
+        write_perf_report(dir, &label, run)?;
+    }
+    Ok(AgingComparison { cells })
 }
 
 /// Renders the matrix plus headline ratios.

@@ -71,7 +71,7 @@ pub fn run(thresholds: &[f64], days: usize, seed: u64) -> CostSweep {
                 ..BaatConfig::default()
             });
             let sim = Simulation::new(plan_config(plan.clone(), seed)).expect("config validated");
-            let report = sim.run(&mut policy);
+            let report = sim.run(&mut policy).expect("engine invariants hold");
             let lifetime_days = LifetimeEstimate::from_report(&report)
                 .expect("cycling causes damage")
                 .worst_days;

@@ -77,7 +77,7 @@ pub fn run(dods: &[f64], days: usize, seed: u64) -> PlannedDodSweep {
                 ..BaatConfig::default()
             });
             let sim = Simulation::new(plan_config(plan.clone(), seed)).expect("config validated");
-            let report = sim.run(&mut policy);
+            let report = sim.run(&mut policy).expect("engine invariants hold");
             DodPoint {
                 dod,
                 work: report.total_work,

@@ -81,7 +81,7 @@ pub fn run(horizons_days: &[f64], days: usize, seed: u64) -> HorizonSweep {
                 cycles_per_day: 1.0,
             });
             let sim = Simulation::new(plan_config(plan.clone(), seed)).expect("config validated");
-            let report = sim.run(&mut policy);
+            let report = sim.run(&mut policy).expect("engine invariants hold");
             let improvement = report.total_work / ebuff.total_work - 1.0;
             HorizonPoint {
                 service_days,

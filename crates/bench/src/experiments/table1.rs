@@ -8,6 +8,7 @@
 //! measures both.
 
 use baat_battery::{BatteryOp, BatteryPack, BatterySpec, VariationParams};
+use baat_obs::{Obs, Stage};
 use baat_rng::StdRng;
 use baat_units::{Celsius, SimDuration, SimInstant, Watts};
 
@@ -54,6 +55,20 @@ pub struct ScenarioResult {
 
 /// Drives a 6-unit fleet through `days` of one scenario.
 pub fn run_scenario(scenario: UsageScenario, days: u32, seed: u64) -> ScenarioResult {
+    run_scenario_observed(scenario, days, seed, &Obs::disabled())
+}
+
+/// [`run_scenario`] profiling battery steps and counting operations into
+/// `obs` (`table1.ops.*`, [`Stage::BatteryStep`] timings). Results are
+/// bit-identical with observation on or off.
+pub fn run_scenario_observed(
+    scenario: UsageScenario,
+    days: u32,
+    seed: u64,
+    obs: &Obs,
+) -> ScenarioResult {
+    let charges = obs.counter("table1.ops.charge");
+    let discharges = obs.counter("table1.ops.discharge");
     let mut pack = BatteryPack::manufacture(
         BatterySpec::prototype(),
         6,
@@ -107,6 +122,12 @@ pub fn run_scenario(scenario: UsageScenario, days: u32, seed: u64) -> ScenarioRe
                         }
                     }
                 };
+                match op {
+                    BatteryOp::Discharge(_) => discharges.inc(),
+                    BatteryOp::Charge(_) => charges.inc(),
+                    BatteryOp::Idle => {}
+                }
+                let _t = obs.time(Stage::BatteryStep);
                 unit.step(op, Celsius::new(25.0), now, dt);
             }
             now += dt;
@@ -129,6 +150,31 @@ pub fn run(days: u32, seed: u64) -> Vec<ScenarioResult> {
     UsageScenario::ALL
         .iter()
         .map(|&s| run_scenario(s, days, seed))
+        .collect()
+}
+
+/// [`run`] with a per-scenario perf + counter report written to `dir`
+/// (`table1_<scenario>.perf.jsonl`). Results are bit-identical to
+/// [`run`]'s.
+///
+/// # Errors
+///
+/// Propagates filesystem errors writing the perf reports.
+pub fn run_observed(
+    days: u32,
+    seed: u64,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<ScenarioResult>> {
+    UsageScenario::ALL
+        .iter()
+        .map(|&s| {
+            let obs = Obs::enabled();
+            let started = std::time::Instant::now();
+            let result = run_scenario_observed(s, days, seed, &obs);
+            let label = format!("table1_{}", s.name().to_lowercase().replace(' ', "_"));
+            crate::runner::write_perf_jsonl(dir, &label, &obs, started.elapsed())?;
+            Ok(result)
+        })
         .collect()
 }
 

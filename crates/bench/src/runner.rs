@@ -16,7 +16,13 @@
 //! Thread count comes from `BAAT_RUNNER_THREADS` when set, else from
 //! [`std::thread::available_parallelism`].
 
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
 use baat_core::Scheme;
+use baat_obs::json::JsonLine;
+use baat_obs::Obs;
 use baat_rng::derive_seed;
 use baat_sim::{SimConfig, SimReport, Simulation};
 use baat_solar::Weather;
@@ -55,12 +61,26 @@ pub fn plan_config(plan: Vec<Weather>, seed: u64) -> SimConfig {
 /// Runs one scheme on one configuration, optionally pre-aging the
 /// batteries to the "old" stage first.
 pub fn run_scheme(scheme: Scheme, config: SimConfig, pre_age: Option<f64>) -> SimReport {
-    let mut sim = Simulation::new(config).expect("config validated by builder");
+    run_scheme_observed(scheme, config, pre_age, Obs::disabled())
+}
+
+/// [`run_scheme`] recording metrics and stage timings into `obs`.
+///
+/// The report is bit-identical to the unobserved run of the same
+/// configuration: observation never perturbs the simulation.
+pub fn run_scheme_observed(
+    scheme: Scheme,
+    config: SimConfig,
+    pre_age: Option<f64>,
+    obs: Obs,
+) -> SimReport {
+    let mut sim = Simulation::with_obs(config, obs.clone()).expect("config validated by builder");
     if let Some(damage) = pre_age {
         sim.pre_age_batteries(damage);
     }
-    let mut policy = scheme.build();
+    let mut policy = scheme.build_observed(&obs);
     sim.run(&mut policy)
+        .expect("experiment scenarios uphold engine invariants")
 }
 
 /// One sweep cell: everything needed to produce one [`SimReport`].
@@ -93,6 +113,102 @@ impl Scenario {
     fn run(self) -> SimReport {
         run_scheme(self.scheme, self.config, self.pre_age)
     }
+
+    fn run_observed(self) -> ObservedRun {
+        let obs = Obs::enabled();
+        let started = Instant::now();
+        let report = run_scheme_observed(self.scheme, self.config, self.pre_age, obs.clone());
+        ObservedRun {
+            report,
+            obs,
+            wall: started.elapsed(),
+        }
+    }
+}
+
+/// One scenario's report together with the observability registry and
+/// wall-clock time of its run.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// The simulation report — identical to an unobserved run.
+    pub report: SimReport,
+    /// The per-scenario metric/profiler registry.
+    pub obs: Obs,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+/// Runs every scenario with a fresh enabled [`Obs`] each, fanned out over
+/// `threads` workers, and returns runs **in scenario order**.
+///
+/// Reports are bit-identical to [`run_scenarios_with_threads`] for the
+/// same scenario list (verified by `tests/determinism.rs`); only the
+/// wall-clock figures and metric registries are extra.
+pub fn run_scenarios_observed_with_threads(
+    scenarios: Vec<Scenario>,
+    threads: usize,
+) -> Vec<ObservedRun> {
+    parallel_map(scenarios, threads, Scenario::run_observed)
+}
+
+/// Writes one scenario's perf + counter report as JSONL next to the
+/// figure outputs: a header line (scenario, wall-clock), the per-stage
+/// profile lines, then the metric lines.
+///
+/// Returns the path written (`<dir>/<label>.perf.jsonl`).
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating `dir` or writing the file.
+pub fn write_perf_report(dir: &Path, label: &str, run: &ObservedRun) -> std::io::Result<PathBuf> {
+    let mut line = JsonLine::new();
+    line.str_field("scenario", label)
+        .str_field("policy", run.report.policy)
+        .f64_field("wall_ms", run.wall.as_secs_f64() * 1e3)
+        .u64_field("days", run.report.days as u64)
+        .u64_field("events", run.report.events.len() as u64);
+    write_perf_lines(dir, label, line.finish(), &run.obs)
+}
+
+/// Like [`write_perf_report`] for sweeps that drive substrates directly
+/// (no [`SimReport`]): the header carries only the label and wall-clock.
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating `dir` or writing the file.
+pub fn write_perf_jsonl(
+    dir: &Path,
+    label: &str,
+    obs: &Obs,
+    wall: Duration,
+) -> std::io::Result<PathBuf> {
+    let mut line = JsonLine::new();
+    line.str_field("scenario", label)
+        .f64_field("wall_ms", wall.as_secs_f64() * 1e3);
+    write_perf_lines(dir, label, line.finish(), obs)
+}
+
+fn write_perf_lines(
+    dir: &Path,
+    label: &str,
+    header: String,
+    obs: &Obs,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{label}.perf.jsonl"));
+    let mut out = header;
+    out.push('\n');
+    out.push_str(&obs.profile_jsonl());
+    out.push_str(&obs.metrics_jsonl());
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
+/// The directory perf reports go to when the `BAAT_OBS_DIR` environment
+/// variable is set; `None` disables perf emission.
+pub fn obs_dir_from_env() -> Option<PathBuf> {
+    std::env::var_os("BAAT_OBS_DIR").map(PathBuf::from)
 }
 
 /// Derives the seed for sweep cell `index` from a base seed.

@@ -12,8 +12,8 @@
 //!    seed plumbing bug making every run identical).
 
 use baat_bench::runner::{
-    day_config, plan_config, run_scenarios_with_threads, scenario_seed, Scenario,
-    OLD_BATTERY_DAMAGE,
+    day_config, plan_config, run_scenarios_observed_with_threads, run_scenarios_with_threads,
+    scenario_seed, Scenario, OLD_BATTERY_DAMAGE,
 };
 use baat_core::Scheme;
 use baat_sim::SimReport;
@@ -62,6 +62,35 @@ fn thread_count_is_unobservable() {
             sequential, parallel,
             "reports diverged between 1 and {threads} worker threads"
         );
+    }
+}
+
+#[test]
+fn observation_is_invisible_to_reports() {
+    // Running with metrics + stage profiling enabled must produce the
+    // exact same reports as running with observation off, on 1 worker
+    // and on N: the obs layer reads simulation state but never feeds
+    // anything (not even timing) back into it.
+    let plain = run_scenarios_with_threads(sweep(2015), 1);
+    for threads in [1, 4] {
+        let observed = run_scenarios_observed_with_threads(sweep(2015), threads);
+        let reports: Vec<SimReport> = observed.iter().map(|r| r.report.clone()).collect();
+        assert_eq!(
+            plain, reports,
+            "observed run diverged from plain run on {threads} worker threads"
+        );
+        // And the registries actually recorded something — the equality
+        // above must not hold because observation silently no-opped.
+        for run in &observed {
+            assert!(
+                !run.obs.snapshot().is_empty(),
+                "enabled obs recorded no metrics"
+            );
+            assert!(
+                !run.obs.stage_stats().is_empty(),
+                "enabled obs recorded no stage timings"
+            );
+        }
     }
 }
 

@@ -35,7 +35,7 @@ impl LifetimeEstimate {
         if days <= 0.0 || report.nodes.is_empty() {
             return None;
         }
-        let worst = report.worst_node().damage / days;
+        let worst = report.worst_node()?.damage / days;
         let mean = report.mean_damage() / days;
         if worst <= 0.0 || mean <= 0.0 {
             return None;
@@ -70,10 +70,9 @@ pub fn weather_plan_for_sunshine(sunshine: Fraction, days: usize, seed: u64) -> 
         .collect();
     let mut assigned: usize = counts.iter().map(|(_, c, _)| *c).sum();
     while assigned < days {
-        let best = counts
-            .iter_mut()
-            .max_by(|a, b| a.2.total_cmp(&b.2))
-            .expect("three classes");
+        let Some(best) = counts.iter_mut().max_by(|a, b| a.2.total_cmp(&b.2)) else {
+            break;
+        };
         best.1 += 1;
         best.2 = -1.0;
         assigned += 1;
@@ -94,14 +93,12 @@ pub fn weather_plan_for_sunshine(sunshine: Fraction, days: usize, seed: u64) -> 
                 break;
             }
         }
-        let i = pick.unwrap_or_else(|| {
-            remaining
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, (_, c))| *c)
-                .map(|(i, _)| i)
-                .expect("three classes")
-        });
+        let fallback = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (_, c))| *c)
+            .map(|(i, _)| i);
+        let Some(i) = pick.or(fallback) else { break };
         plan.push(remaining[i].0);
         remaining[i].1 -= 1;
         idx = (idx + 1) % 3;

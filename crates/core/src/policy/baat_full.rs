@@ -18,10 +18,11 @@
 //!    enough to wear out at the datacenter's end-of-life.
 
 use baat_metrics::{dod_goal, PlannedAgingInputs};
+use baat_obs::{Counter, Obs};
 use baat_server::ServerPowerModel;
-use baat_sim::{Action, NodeView, Policy, SystemView};
+use baat_sim::{Action, ControlCtx, NodeView, Policy, SystemView};
 use baat_units::{AmpHours, Soc};
-use baat_workload::{DemandClass, EnergyDemand, PowerDemand, WorkloadKind};
+use baat_workload::{DemandClass, EnergyDemand, PowerDemand, VmId, WorkloadKind};
 
 use crate::policy::baat_s::SlowdownThresholds;
 use crate::policy::common::{
@@ -78,11 +79,27 @@ const BALANCE_CLASS: DemandClass = DemandClass {
     energy: EnergyDemand::More,
 };
 
+/// Per-rule decision counters for full BAAT, inert unless attached to an
+/// enabled [`Obs`].
+#[derive(Debug, Clone, Default)]
+struct BaatCounters {
+    /// Fig 9 slowdown triggers answered with a migration.
+    slowdown_migrations: Counter,
+    /// Supply-following DVFS adjustments issued.
+    dvfs_adjustments: Counter,
+    /// Fig 8 balance migrations issued.
+    balance_migrations: Counter,
+    /// Migrations withheld for one interval because the engine rejected
+    /// the same VM's move last interval (backoff on feedback).
+    rejected_backoffs: Counter,
+}
+
 /// The coordinated BAAT policy.
 #[derive(Debug, Clone, Default)]
 pub struct Baat {
     config: BaatConfig,
     cooldown: u32,
+    counters: BaatCounters,
 }
 
 impl Baat {
@@ -96,7 +113,19 @@ impl Baat {
         Self {
             config,
             cooldown: 0,
+            counters: BaatCounters::default(),
         }
+    }
+
+    /// Attaches per-rule decision counters (`policy.baat.*`) to `obs`.
+    /// Counting never changes what the policy decides.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.counters = BaatCounters {
+            slowdown_migrations: obs.counter("policy.baat.slowdown_migrations"),
+            dvfs_adjustments: obs.counter("policy.baat.dvfs_adjustments"),
+            balance_migrations: obs.counter("policy.baat.balance_migrations"),
+            rejected_backoffs: obs.counter("policy.baat.rejected_backoffs"),
+        };
     }
 
     /// Creates the policy with planned aging enabled.
@@ -201,11 +230,16 @@ impl Policy for Baat {
         "BAAT"
     }
 
-    fn control(&mut self, view: &SystemView) -> Vec<Action> {
+    fn control(&mut self, view: &SystemView, ctx: &ControlCtx<'_>) -> Vec<Action> {
         let mut actions = Vec::new();
         let mut migrated_vms = Vec::new();
         let elapsed_days = view.now.day() as f64;
         let t = self.config.thresholds;
+        // Back off VMs whose migration the engine rejected last interval
+        // (failed target, VM already in flight): re-requesting the same
+        // move would fail identically, so fall through to DVFS this round
+        // and re-evaluate next interval.
+        let blocked: Vec<VmId> = ctx.rejected_migrations().collect();
 
         // Slowdown pass (Fig 9), migration-first.
         for node in &view.nodes {
@@ -217,7 +251,12 @@ impl Policy for Baat {
             let dr = node.window_metrics.dr.mean_c_rate;
             let triggered = node.soc < deep_soc && (ddt > t.ddt || dr > t.dr_c_rate);
             if triggered {
-                let migration = heaviest_movable_vm(node).and_then(|vm| {
+                let candidate = heaviest_movable_vm(node);
+                let migration = candidate.and_then(|vm| {
+                    if blocked.contains(&vm.id) {
+                        self.counters.rejected_backoffs.inc();
+                        return None;
+                    }
                     let class = classify_workload(vm.kind, &self.config.server_power);
                     best_migration_target(
                         view,
@@ -229,6 +268,7 @@ impl Policy for Baat {
                     .map(|target| (vm.id, target))
                 });
                 if let Some((vm, target)) = migration {
+                    self.counters.slowdown_migrations.inc();
                     migrated_vms.push(vm);
                     actions.push(Action::Migrate { vm, target });
                 }
@@ -242,6 +282,7 @@ impl Policy for Baat {
             let defend = (node.soc < deep_soc).then_some(deep_soc);
             let level = self.fit_dvfs_level(view, node, defend);
             if level != node.dvfs {
+                self.counters.dvfs_adjustments.inc();
                 actions.push(Action::SetDvfs {
                     node: node.node,
                     level,
@@ -254,8 +295,11 @@ impl Policy for Baat {
             self.cooldown -= 1;
         } else if view.nodes.len() >= 2 {
             let ranked = rank_by_weighted_aging(view, BALANCE_CLASS);
-            let best = &view.nodes[ranked[0]];
-            let worst = &view.nodes[*ranked.last().expect("non-empty")];
+            let (Some(&first), Some(&last)) = (ranked.first(), ranked.last()) else {
+                return actions;
+            };
+            let best = &view.nodes[first];
+            let worst = &view.nodes[last];
             let worst_w = crate::policy::common::node_weighted_aging(worst, BALANCE_CLASS);
             let best_w = crate::policy::common::node_weighted_aging(best, BALANCE_CLASS);
             let gap = if best_w > 1e-6 {
@@ -269,7 +313,9 @@ impl Policy for Baat {
             };
             if gap > self.config.balance_gap && worst.online {
                 if let Some(vm) = heaviest_movable_vm(worst) {
-                    if !migrated_vms.contains(&vm.id) {
+                    if blocked.contains(&vm.id) {
+                        self.counters.rejected_backoffs.inc();
+                    } else if !migrated_vms.contains(&vm.id) {
                         let class = classify_workload(vm.kind, &self.config.server_power);
                         if let Some(target) = best_migration_target(
                             view,
@@ -278,6 +324,7 @@ impl Policy for Baat {
                             class,
                             self.config.min_target_soc,
                         ) {
+                            self.counters.balance_migrations.inc();
                             actions.push(Action::Migrate { vm: vm.id, target });
                             self.cooldown = self.config.balance_cooldown;
                         }
@@ -337,7 +384,7 @@ mod tests {
     fn prefers_migration_over_dvfs() {
         let mut p = Baat::new();
         let v = view_of(vec![stressed_loaded_node(0), plain_node(1, 0.9)]);
-        let actions = p.control(&v);
+        let actions = p.control(&v, &ControlCtx::bootstrap());
         assert!(
             actions.iter().any(|a| matches!(
                 a,
@@ -366,7 +413,7 @@ mod tests {
         other.free_resources = (0, 0); // nowhere to go
         let mut v = view_of(vec![stressed, other]);
         v.solar = baat_units::Watts::ZERO;
-        let actions = p.control(&v);
+        let actions = p.control(&v, &ControlCtx::bootstrap());
         assert!(
             actions.iter().any(
                 |a| matches!(a, Action::SetDvfs { node: 0, level } if *level != DvfsLevel::P0)
@@ -408,7 +455,7 @@ mod tests {
         }];
         let best = plain_node(1, 0.95);
         let v = view_of(vec![worst, best]);
-        let first = p.control(&v);
+        let first = p.control(&v, &ControlCtx::bootstrap());
         assert!(first.iter().any(|a| matches!(
             a,
             Action::Migrate {
@@ -417,7 +464,7 @@ mod tests {
             }
         )));
         // Cooldown suppresses immediate re-balancing.
-        let second = p.control(&v);
+        let second = p.control(&v, &ControlCtx::bootstrap());
         assert!(!second.iter().any(|a| matches!(a, Action::Migrate { .. })));
     }
 
@@ -429,7 +476,7 @@ mod tests {
         let mut n = plain_node(0, 0.9);
         n.dvfs = DvfsLevel::P2;
         let v = view_of(vec![n, plain_node(1, 0.9)]);
-        let actions = p.control(&v);
+        let actions = p.control(&v, &ControlCtx::bootstrap());
         assert!(actions.iter().any(|a| matches!(
             a,
             Action::SetDvfs {

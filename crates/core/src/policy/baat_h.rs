@@ -10,7 +10,8 @@
 //! only and picks migration targets round-robin, not by weighted rank —
 //! reproducing the overhead the paper measures.
 
-use baat_sim::{Action, Policy, SystemView};
+use baat_obs::{Counter, Obs};
+use baat_sim::{Action, ControlCtx, Policy, SystemView};
 use baat_workload::WorkloadKind;
 
 /// Relative NAT excess over the mean that marks a node as fast-aging.
@@ -20,16 +21,37 @@ const NAT_IMBALANCE_FACTOR: f64 = 1.30;
 /// usefully re-migrate faster than VMs transfer).
 const MIGRATION_COOLDOWN: u32 = 20;
 
+/// Per-rule decision counters for BAAT-h, inert unless attached to an
+/// enabled [`Obs`].
+#[derive(Debug, Clone, Default)]
+struct BaatHCounters {
+    /// Hiding migrations issued off the fastest-aging node.
+    migrations: Counter,
+    /// VMs skipped for one interval because their migration was rejected
+    /// last interval (backoff on engine feedback).
+    rejected_backoffs: Counter,
+}
+
 /// The hiding-only policy.
 #[derive(Debug, Clone, Default)]
 pub struct BaatH {
     cooldown: u32,
+    counters: BaatHCounters,
 }
 
 impl BaatH {
     /// Creates the policy.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches per-rule decision counters (`policy.baat_h.*`) to `obs`.
+    /// Counting never changes what the policy decides.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.counters = BaatHCounters {
+            migrations: obs.counter("policy.baat_h.migrations"),
+            rejected_backoffs: obs.counter("policy.baat_h.rejected_backoffs"),
+        };
     }
 }
 
@@ -38,7 +60,10 @@ impl Policy for BaatH {
         "BAAT-h"
     }
 
-    fn control(&mut self, view: &SystemView) -> Vec<Action> {
+    fn control(&mut self, view: &SystemView, ctx: &ControlCtx<'_>) -> Vec<Action> {
+        // Back off VMs whose migration the engine rejected last interval:
+        // re-requesting the identical move would fail the same way.
+        let blocked: Vec<baat_workload::VmId> = ctx.rejected_migrations().collect();
         let n = view.nodes.len();
         if n < 2 {
             return Vec::new();
@@ -99,6 +124,10 @@ impl Policy for BaatH {
         // incoming workload's power profile make it a poor host — the
         // low-efficiency migration §VI.B critiques.
         for vm in movable {
+            if blocked.contains(&vm.id) {
+                self.counters.rejected_backoffs.inc();
+                continue;
+            }
             let request = vm.kind.resource_request();
             let target = view
                 .nodes
@@ -112,6 +141,7 @@ impl Policy for BaatH {
                 .min_by(|a, b| a.lifetime_metrics.nat.total_cmp(&b.lifetime_metrics.nat));
             if let Some(target) = target {
                 self.cooldown = MIGRATION_COOLDOWN;
+                self.counters.migrations.inc();
                 return vec![Action::Migrate {
                     vm: vm.id,
                     target: target.node,
@@ -160,7 +190,7 @@ mod tests {
             loaded(1, 50.0, 0.8),
             loaded(2, 40.0, 0.8),
         ]);
-        let actions = p.control(&v);
+        let actions = p.control(&v, &ControlCtx::bootstrap());
         assert_eq!(actions.len(), 1);
         let Action::Migrate { vm, target } = actions[0] else {
             panic!("expected migration, got {actions:?}");
@@ -180,7 +210,7 @@ mod tests {
             loaded(1, 20.0, 0.30),
             loaded(2, 60.0, 0.95),
         ]);
-        let actions = p.control(&v);
+        let actions = p.control(&v, &ControlCtx::bootstrap());
         let Action::Migrate { target, .. } = actions[0] else {
             panic!("expected migration");
         };
@@ -195,15 +225,18 @@ mod tests {
             loaded(1, 98.0, 0.7),
             loaded(2, 102.0, 0.7),
         ]);
-        assert!(p.control(&v).is_empty());
+        assert!(p.control(&v, &ControlCtx::bootstrap()).is_empty());
     }
 
     #[test]
     fn cooldown_rate_limits_migrations() {
         let mut p = BaatH::new();
         let v = view_of(vec![loaded(0, 300.0, 0.7), loaded(1, 10.0, 0.8)]);
-        assert_eq!(p.control(&v).len(), 1);
-        assert!(p.control(&v).is_empty(), "cooldown must suppress churn");
+        assert_eq!(p.control(&v, &ControlCtx::bootstrap()).len(), 1);
+        assert!(
+            p.control(&v, &ControlCtx::bootstrap()).is_empty(),
+            "cooldown must suppress churn"
+        );
     }
 
     #[test]
@@ -212,7 +245,7 @@ mod tests {
         let mut worst = node(0, metrics(300.0, 0.7), 0.7, (8, 16));
         worst.vms.clear();
         let v = view_of(vec![worst, loaded(1, 10.0, 0.8)]);
-        assert!(p.control(&v).is_empty());
+        assert!(p.control(&v, &ControlCtx::bootstrap()).is_empty());
     }
 
     #[test]
@@ -220,7 +253,7 @@ mod tests {
         // Deep SoC alone is the slowdown scheme's business, not hiding's.
         let mut p = BaatH::new();
         let v = view_of(vec![loaded(0, 100.0, 0.1), loaded(1, 99.0, 0.9)]);
-        assert!(p.control(&v).is_empty());
+        assert!(p.control(&v, &ControlCtx::bootstrap()).is_empty());
     }
 
     #[test]
@@ -238,6 +271,6 @@ mod tests {
     fn single_node_cluster_never_migrates() {
         let mut p = BaatH::new();
         let v = view_of(vec![loaded(0, 300.0, 0.2)]);
-        assert!(p.control(&v).is_empty());
+        assert!(p.control(&v, &ControlCtx::bootstrap()).is_empty());
     }
 }

@@ -13,7 +13,8 @@
 //! leads to workload performance degradation", §VI.B) and places new
 //! workloads without battery awareness.
 
-use baat_sim::{Action, Policy, SystemView};
+use baat_obs::{Counter, Obs};
+use baat_sim::{Action, ControlCtx, Policy, SystemView};
 use baat_units::Soc;
 use baat_workload::WorkloadKind;
 
@@ -54,11 +55,22 @@ impl SlowdownThresholds {
 /// BAAT-s "a passive solution"; its reaction is deliberately sluggish.
 const THROTTLE_CADENCE: u32 = 3;
 
+/// Per-rule decision counters for BAAT-s, inert unless attached to an
+/// enabled [`Obs`].
+#[derive(Debug, Clone, Default)]
+struct BaatSCounters {
+    /// Fig 9 slowdown triggers that produced a throttle step.
+    throttles: Counter,
+    /// Recovery steps releasing a throttle.
+    releases: Counter,
+}
+
 /// The slowdown-only policy.
 #[derive(Debug, Clone)]
 pub struct BaatS {
     thresholds: SlowdownThresholds,
     since_throttle: u32,
+    counters: BaatSCounters,
 }
 
 impl Default for BaatS {
@@ -66,6 +78,7 @@ impl Default for BaatS {
         Self {
             thresholds: SlowdownThresholds::default(),
             since_throttle: THROTTLE_CADENCE,
+            counters: BaatSCounters::default(),
         }
     }
 }
@@ -82,7 +95,17 @@ impl BaatS {
         Self {
             thresholds,
             since_throttle: THROTTLE_CADENCE,
+            counters: BaatSCounters::default(),
         }
+    }
+
+    /// Attaches per-rule decision counters (`policy.baat_s.*`) to `obs`.
+    /// Counting never changes what the policy decides.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.counters = BaatSCounters {
+            throttles: obs.counter("policy.baat_s.throttles"),
+            releases: obs.counter("policy.baat_s.releases"),
+        };
     }
 
     /// The active thresholds.
@@ -96,7 +119,7 @@ impl Policy for BaatS {
         "BAAT-s"
     }
 
-    fn control(&mut self, view: &SystemView) -> Vec<Action> {
+    fn control(&mut self, view: &SystemView, _ctx: &ControlCtx<'_>) -> Vec<Action> {
         let mut actions = Vec::new();
         let may_throttle = self.since_throttle >= THROTTLE_CADENCE;
         let mut throttled = false;
@@ -109,6 +132,7 @@ impl Policy for BaatS {
             if self.thresholds.triggered(node.soc, ddt, dr) {
                 if may_throttle {
                     if let Some(slower) = node.dvfs.slower() {
+                        self.counters.throttles.inc();
                         actions.push(Action::SetDvfs {
                             node: node.node,
                             level: slower,
@@ -118,6 +142,7 @@ impl Policy for BaatS {
                 }
             } else if node.soc >= self.thresholds.recover_soc {
                 if let Some(faster) = node.dvfs.faster() {
+                    self.counters.releases.inc();
                     actions.push(Action::SetDvfs {
                         node: node.node,
                         level: faster,
@@ -176,7 +201,7 @@ mod tests {
         let mut n = node(0, stressed_metrics(0.3, 0.1), 0.3, (8, 16));
         n.window_metrics = stressed_metrics(0.3, 0.1);
         let v = view_of(vec![n, plain_node(1, 0.9)]);
-        let actions = p.control(&v);
+        let actions = p.control(&v, &ControlCtx::bootstrap());
         assert_eq!(
             actions,
             vec![Action::SetDvfs {
@@ -192,7 +217,7 @@ mod tests {
         let mut n = node(0, stressed_metrics(0.0, 0.5), 0.3, (8, 16));
         n.window_metrics = stressed_metrics(0.0, 0.5);
         let v = view_of(vec![n]);
-        assert!(!p.control(&v).is_empty());
+        assert!(!p.control(&v, &ControlCtx::bootstrap()).is_empty());
     }
 
     #[test]
@@ -202,7 +227,7 @@ mod tests {
         let mut n = node(0, stressed_metrics(0.02, 0.1), 0.3, (8, 16));
         n.window_metrics = stressed_metrics(0.02, 0.1);
         let v = view_of(vec![n]);
-        assert!(p.control(&v).is_empty());
+        assert!(p.control(&v, &ControlCtx::bootstrap()).is_empty());
     }
 
     #[test]
@@ -211,7 +236,7 @@ mod tests {
         let mut n = plain_node(0, 0.8);
         n.dvfs = DvfsLevel::P3;
         let v = view_of(vec![n]);
-        let actions = p.control(&v);
+        let actions = p.control(&v, &ControlCtx::bootstrap());
         assert_eq!(
             actions,
             vec![Action::SetDvfs {
@@ -228,7 +253,7 @@ mod tests {
         let mut n = plain_node(0, 0.44);
         n.dvfs = DvfsLevel::P2;
         let v = view_of(vec![n]);
-        assert!(p.control(&v).is_empty());
+        assert!(p.control(&v, &ControlCtx::bootstrap()).is_empty());
     }
 
     #[test]
@@ -238,7 +263,7 @@ mod tests {
         n.window_metrics = stressed_metrics(0.5, 0.5);
         n.online = false;
         let v = view_of(vec![n]);
-        assert!(p.control(&v).is_empty());
+        assert!(p.control(&v, &ControlCtx::bootstrap()).is_empty());
     }
 
     #[test]

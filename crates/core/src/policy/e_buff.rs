@@ -7,7 +7,7 @@
 //! engine's default routing is exactly this aggressive usage, so e-Buff
 //! issues no actions.
 
-use baat_sim::{Action, Policy, SystemView};
+use baat_sim::{Action, ControlCtx, Policy, SystemView};
 use baat_workload::WorkloadKind;
 
 /// The aggressive green-energy-buffer baseline.
@@ -26,7 +26,7 @@ impl Policy for EBuff {
         "e-Buff"
     }
 
-    fn control(&mut self, _view: &SystemView) -> Vec<Action> {
+    fn control(&mut self, _view: &SystemView, _ctx: &ControlCtx<'_>) -> Vec<Action> {
         Vec::new()
     }
 
@@ -45,7 +45,7 @@ mod tests {
     fn never_acts() {
         let mut p = EBuff::new();
         let v = view_of(vec![plain_node(0, 0.1), plain_node(1, 0.9)]);
-        assert!(p.control(&v).is_empty());
+        assert!(p.control(&v, &ControlCtx::bootstrap()).is_empty());
     }
 
     #[test]

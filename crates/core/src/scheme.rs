@@ -1,5 +1,6 @@
 //! The Table-4 scheme enumeration.
 
+use baat_obs::Obs;
 use baat_sim::Policy;
 
 use crate::policy::{Baat, BaatH, BaatS, EBuff};
@@ -54,11 +55,32 @@ impl Scheme {
 
     /// Instantiates the scheme's policy with default configuration.
     pub fn build(self) -> Box<dyn Policy> {
+        self.build_observed(&Obs::disabled())
+    }
+
+    /// Instantiates the scheme's policy with per-rule decision counters
+    /// registered in `obs` (`policy.<scheme>.*`).
+    ///
+    /// Counting is side-effect-free: the policy decides identically with
+    /// observation enabled, disabled, or absent.
+    pub fn build_observed(self, obs: &Obs) -> Box<dyn Policy> {
         match self {
             Scheme::EBuff => Box::new(EBuff::new()),
-            Scheme::BaatS => Box::new(BaatS::new()),
-            Scheme::BaatH => Box::new(BaatH::new()),
-            Scheme::Baat => Box::new(Baat::new()),
+            Scheme::BaatS => {
+                let mut p = BaatS::new();
+                p.attach_obs(obs);
+                Box::new(p)
+            }
+            Scheme::BaatH => {
+                let mut p = BaatH::new();
+                p.attach_obs(obs);
+                Box::new(p)
+            }
+            Scheme::Baat => {
+                let mut p = Baat::new();
+                p.attach_obs(obs);
+                Box::new(p)
+            }
         }
     }
 }

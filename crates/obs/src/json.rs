@@ -1,0 +1,150 @@
+//! A minimal JSON-lines writer.
+//!
+//! The workspace is hermetic (no serde), so structured export is built on
+//! this tiny encoder. It covers exactly what the observability layer
+//! needs: one flat-ish JSON object per line, deterministic float
+//! formatting (Rust's shortest-roundtrip `Display`), and correct string
+//! escaping.
+
+use core::fmt::Write;
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes) into
+/// `out`.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes `v` as a JSON number token into `out`.
+///
+/// JSON has no NaN/∞, so non-finite values are emitted as `null` — a
+/// reader sees "no value" rather than a parse error.
+pub fn f64_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Builder for one JSON object serialized on a single line.
+///
+/// # Examples
+///
+/// ```
+/// use baat_obs::json::JsonLine;
+///
+/// let mut line = JsonLine::new();
+/// line.str_field("kind", "counter")
+///     .u64_field("value", 3)
+///     .f64_field("ratio", 0.5);
+/// assert_eq!(line.finish(), r#"{"kind":"counter","value":3,"ratio":0.5}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonLine {
+    buf: String,
+}
+
+impl JsonLine {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64_field(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        f64_into(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-serialized JSON value verbatim (arrays, nested
+    /// objects). The caller is responsible for its validity.
+    pub fn raw_field(&mut self, key: &str, raw: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Closes the object and returns the line (without a trailing
+    /// newline).
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut line = JsonLine::new();
+        line.f64_field("x", f64::NAN).f64_field("y", 1.5);
+        assert_eq!(line.finish(), r#"{"x":null,"y":1.5}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonLine::new().finish(), "{}");
+    }
+
+    #[test]
+    fn raw_field_passes_through() {
+        let mut line = JsonLine::new();
+        line.raw_field("buckets", "[[1,2],[4,1]]");
+        assert_eq!(line.finish(), r#"{"buckets":[[1,2],[4,1]]}"#);
+    }
+}

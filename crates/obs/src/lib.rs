@@ -1,0 +1,36 @@
+//! In-tree observability for the BAAT reproduction.
+//!
+//! The DSN'15 prototype ships a display module that "visualizes data
+//! captured by sensors, system log trace, and various aging metrics …
+//! in real time". This crate is the reproduction's equivalent
+//! substrate: a metric registry ([`Obs`], [`Counter`], [`Gauge`],
+//! [`Histogram`]), a per-stage step profiler ([`Stage`], [`StageTimer`])
+//! and a dependency-free JSONL encoder ([`json`]) used by every
+//! subsystem to export metrics, events and traces.
+//!
+//! Two invariants shape the design:
+//!
+//! 1. **Free when disabled.** [`Obs::disabled`] hands out handles that
+//!    carry no storage; every update is a branch on `None`, and the
+//!    profiler never reads the clock. Simulations built without
+//!    observation pay nothing.
+//! 2. **Side-effect-free when enabled.** Metric updates are relaxed
+//!    atomics read only after the fact; no simulated decision depends on
+//!    a metric value. The determinism suite pins this: a seeded run
+//!    produces bit-identical `SimReport`s with observation on or off.
+//!
+//! Wall-clock stage timings are inherently non-reproducible and are
+//! therefore kept out of reports and golden snapshots; only call counts
+//! and domain counters are deterministic.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod profile;
+pub mod registry;
+
+pub use profile::{Stage, StageClock, StageStats, StageTimer};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSample, MetricSample, Obs, SampleValue, HISTOGRAM_BUCKETS,
+};

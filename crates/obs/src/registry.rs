@@ -1,0 +1,480 @@
+//! The metric registry and its static handles.
+//!
+//! Subsystems register a metric once (cold path, by name) and keep the
+//! returned handle; updates through a handle are lock-free atomic
+//! operations. A handle obtained from a *disabled* [`Obs`] carries no
+//! cell at all, so every update is a branch on `None` — observation is
+//! free when switched off and needs no `#[cfg]` gymnastics at call
+//! sites.
+//!
+//! Counters and histograms are updated with relaxed atomics: metric
+//! reads happen after the simulation finished (or between steps), never
+//! concurrently with a decision that could feed back into simulated
+//! state, so observation cannot perturb a run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::profile::{Stage, StageStats};
+
+/// Number of power-of-two histogram buckets (bucket `i` counts samples
+/// `< 2^i`, the last bucket is a catch-all).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+#[derive(Debug, Default)]
+struct CounterCell(AtomicU64);
+
+#[derive(Debug, Default)]
+struct GaugeCell(AtomicU64); // f64 bit pattern
+
+#[derive(Debug)]
+struct HistogramCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: core::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MetricCell {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+#[derive(Debug)]
+pub(crate) struct StageCell {
+    pub(crate) calls: AtomicU64,
+    pub(crate) total_ns: AtomicU64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    metrics: Mutex<Vec<(String, MetricCell)>>,
+    pub(crate) stages: [StageCell; Stage::COUNT],
+}
+
+impl Inner {
+    fn new() -> Self {
+        Self {
+            metrics: Mutex::new(Vec::new()),
+            stages: core::array::from_fn(|_| StageCell {
+                calls: AtomicU64::new(0),
+                total_ns: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// Handle to the observability subsystem.
+///
+/// Cheap to clone (an `Arc` under the hood, or nothing at all when
+/// disabled). One `Obs` is typically created per simulation run so that
+/// metric values are attributable to a single scenario.
+///
+/// # Examples
+///
+/// ```
+/// use baat_obs::Obs;
+///
+/// let obs = Obs::enabled();
+/// let hits = obs.counter("cache.hits");
+/// hits.inc();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+///
+/// let off = Obs::disabled();
+/// let miss = off.counter("cache.misses");
+/// miss.inc(); // no-op, no allocation, no atomics
+/// assert_eq!(miss.get(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    pub(crate) inner: Option<Arc<Inner>>,
+}
+
+impl Obs {
+    /// Creates an enabled observability context.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::new())),
+        }
+    }
+
+    /// Creates a disabled context: every handle it hands out is inert.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// `true` if this context records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> MetricCell) -> Option<MetricCell> {
+        let inner = self.inner.as_ref()?;
+        let mut metrics = inner
+            .metrics
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some((_, cell)) = metrics.iter().find(|(n, _)| n == name) {
+            return Some(cell.clone());
+        }
+        let cell = make();
+        metrics.push((name.to_owned(), cell.clone()));
+        Some(cell)
+    }
+
+    /// Registers (or looks up) a monotonically increasing counter.
+    ///
+    /// Registering the same name twice returns handles to the same cell;
+    /// a name collision across metric *kinds* yields a detached cell that
+    /// counts but is never exported (callers namespace their metrics, so
+    /// this is a programming-error escape hatch, not a supported mode).
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register(name, || MetricCell::Counter(Arc::default())) {
+            Some(MetricCell::Counter(c)) => Counter(Some(c)),
+            Some(_) => Counter(Some(Arc::default())),
+            None => Counter(None),
+        }
+    }
+
+    /// Registers (or looks up) a last-value-wins gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, || MetricCell::Gauge(Arc::default())) {
+            Some(MetricCell::Gauge(g)) => Gauge(Some(g)),
+            Some(_) => Gauge(Some(Arc::default())),
+            None => Gauge(None),
+        }
+    }
+
+    /// Registers (or looks up) a power-of-two-bucketed histogram of
+    /// unsigned samples.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.register(name, || MetricCell::Histogram(Arc::default())) {
+            Some(MetricCell::Histogram(h)) => Histogram(Some(h)),
+            Some(_) => Histogram(Some(Arc::default())),
+            None => Histogram(None),
+        }
+    }
+
+    /// Snapshot of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let Some(inner) = self.inner.as_ref() else {
+            return Vec::new();
+        };
+        let metrics = inner
+            .metrics
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut samples: Vec<MetricSample> = metrics
+            .iter()
+            .map(|(name, cell)| MetricSample {
+                name: name.clone(),
+                value: match cell {
+                    MetricCell::Counter(c) => SampleValue::Counter(c.0.load(Ordering::Relaxed)),
+                    MetricCell::Gauge(g) => {
+                        SampleValue::Gauge(f64::from_bits(g.0.load(Ordering::Relaxed)))
+                    }
+                    MetricCell::Histogram(h) => SampleValue::Histogram(Box::new(HistogramSample {
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        buckets: core::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed)),
+                    })),
+                },
+            })
+            .collect();
+        samples.sort_by(|a, b| a.name.cmp(&b.name));
+        samples
+    }
+
+    /// Renders the metric snapshot as JSONL (one metric per line).
+    pub fn metrics_jsonl(&self) -> String {
+        let mut out = String::new();
+        for sample in self.snapshot() {
+            out.push_str(&sample.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-stage profiler statistics (stages with zero calls omitted).
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        let Some(inner) = self.inner.as_ref() else {
+            return Vec::new();
+        };
+        Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let cell = &inner.stages[stage as usize];
+                let calls = cell.calls.load(Ordering::Relaxed);
+                (calls > 0).then(|| StageStats {
+                    stage,
+                    calls,
+                    total_ns: cell.total_ns.load(Ordering::Relaxed),
+                })
+            })
+            .collect()
+    }
+
+    /// Renders the stage profile as JSONL (one stage per line).
+    pub fn profile_jsonl(&self) -> String {
+        let mut out = String::new();
+        for stat in self.stage_stats() {
+            out.push_str(&stat.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Handle to a monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<CounterCell>>);
+
+impl Counter {
+    /// A permanently inert counter, for contexts built without an
+    /// [`Obs`].
+    pub const fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to a last-value-wins gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<GaugeCell>>);
+
+impl Gauge {
+    /// A permanently inert gauge.
+    pub const fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// Stores a new value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.0.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.0.load(Ordering::Relaxed)))
+    }
+}
+
+/// Handle to a power-of-two-bucketed histogram.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    /// A permanently inert histogram.
+    pub const fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            let bucket =
+                (u64::BITS - value.leading_zeros()).min(HISTOGRAM_BUCKETS as u32 - 1) as usize;
+            cell.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of samples recorded (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.count.load(Ordering::Relaxed))
+    }
+}
+
+/// One metric read from a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Registered metric name.
+    pub name: String,
+    /// Its value at snapshot time.
+    pub value: SampleValue,
+}
+
+/// A snapshot value, by metric kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary (boxed: much larger than the scalar variants).
+    Histogram(Box<HistogramSample>),
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSample {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket counts; bucket `i` holds samples `< 2^i`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl MetricSample {
+    /// Serializes the sample as one JSON object line.
+    pub fn to_json(&self) -> String {
+        let mut line = crate::json::JsonLine::new();
+        match &self.value {
+            SampleValue::Counter(v) => {
+                line.str_field("kind", "counter")
+                    .str_field("name", &self.name)
+                    .u64_field("value", *v);
+            }
+            SampleValue::Gauge(v) => {
+                line.str_field("kind", "gauge")
+                    .str_field("name", &self.name)
+                    .f64_field("value", *v);
+            }
+            SampleValue::Histogram(h) => {
+                let mut buckets = String::from("[");
+                for (i, &count) in h.buckets.iter().enumerate() {
+                    if count > 0 {
+                        if buckets.len() > 1 {
+                            buckets.push(',');
+                        }
+                        // Upper bound of the bucket: 2^i (the first bucket
+                        // holds the zero sample).
+                        let bound = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                        buckets.push_str(&format!("[{bound},{count}]"));
+                    }
+                }
+                buckets.push(']');
+                line.str_field("kind", "histogram")
+                    .str_field("name", &self.name)
+                    .u64_field("count", h.count)
+                    .u64_field("sum", h.sum)
+                    .raw_field("buckets", &buckets);
+            }
+        }
+        line.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_export() {
+        let obs = Obs::enabled();
+        let c = obs.counter("a.hits");
+        c.inc();
+        c.add(4);
+        let again = obs.counter("a.hits");
+        again.inc();
+        assert_eq!(c.get(), 6);
+        assert!(obs.metrics_jsonl().contains(r#""name":"a.hits","value":6"#));
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let obs = Obs::disabled();
+        let c = obs.counter("x");
+        let g = obs.gauge("y");
+        let h = obs.histogram("z");
+        c.inc();
+        g.set(3.5);
+        h.observe(9);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert!(obs.snapshot().is_empty());
+        assert!(obs.metrics_jsonl().is_empty());
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        let obs = Obs::enabled();
+        let g = obs.gauge("soc");
+        g.set(0.4);
+        g.set(0.9);
+        assert_eq!(g.get(), 0.9);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let obs = Obs::enabled();
+        let h = obs.histogram("sizes");
+        for v in [0, 1, 2, 3, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        let snapshot = obs.snapshot();
+        let SampleValue::Histogram(hist) = &snapshot[0].value else {
+            panic!("expected histogram");
+        };
+        assert_eq!(hist.sum, 1030);
+        assert_eq!(hist.buckets[0], 1); // the zero sample
+        assert_eq!(hist.buckets[1], 1); // 1
+        assert_eq!(hist.buckets[2], 2); // 2, 3
+        assert_eq!(hist.buckets[11], 1); // 1024
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let obs = Obs::enabled();
+        obs.counter("z.last");
+        obs.counter("a.first");
+        let names: Vec<String> = obs.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+    }
+
+    #[test]
+    fn kind_collision_yields_detached_cell() {
+        let obs = Obs::enabled();
+        let c = obs.counter("dual");
+        let g = obs.gauge("dual"); // kind mismatch
+        c.add(2);
+        g.set(1.0);
+        assert_eq!(c.get(), 2);
+        // The registry keeps the first registration only.
+        assert_eq!(obs.snapshot().len(), 1);
+    }
+}

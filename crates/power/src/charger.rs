@@ -116,9 +116,59 @@ impl Charger {
     }
 }
 
+impl ChargeStage {
+    /// Stable snake-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChargeStage::Bulk => "bulk",
+            ChargeStage::Absorption => "absorption",
+            ChargeStage::Float => "float",
+        }
+    }
+}
+
 impl Default for Charger {
     fn default() -> Self {
         Self::prototype()
+    }
+}
+
+/// Tracks a charger's stage transitions (bulk ↔ absorption ↔ float) and
+/// counts mode switches into an observability counter.
+///
+/// One tracker per charger: the engine feeds it the stage it computed
+/// for each step, and the tracker bumps the counter whenever the stage
+/// differs from the last observed one. With a disabled counter the
+/// tracker still tracks (cheap) but records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct StageTracker {
+    last: Option<ChargeStage>,
+    switches: baat_obs::Counter,
+}
+
+impl StageTracker {
+    /// Creates a tracker feeding the given counter.
+    pub fn new(switches: baat_obs::Counter) -> Self {
+        Self {
+            last: None,
+            switches,
+        }
+    }
+
+    /// Observes the stage for this step; counts a switch if it changed.
+    /// The first observation establishes the baseline and is not counted.
+    pub fn observe(&mut self, stage: ChargeStage) {
+        if let Some(last) = self.last {
+            if last != stage {
+                self.switches.inc();
+            }
+        }
+        self.last = Some(stage);
+    }
+
+    /// The most recently observed stage.
+    pub fn last(&self) -> Option<ChargeStage> {
+        self.last
     }
 }
 

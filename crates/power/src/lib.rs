@@ -39,7 +39,7 @@ mod sensors;
 mod switcher;
 mod table;
 
-pub use charger::{ChargeStage, Charger};
+pub use charger::{ChargeStage, Charger, StageTracker};
 pub use error::PowerError;
 pub use sensors::{BatterySensor, NoiseSpec};
 pub use switcher::{PowerSwitcher, Routing};

@@ -3,7 +3,7 @@
 use baat_units::{SimDuration, SimInstant, TimeOfDay, Watts};
 use baat_workload::{Vm, VmId};
 
-use crate::error::ServerError;
+use crate::error::{MigrationBlock, ServerError};
 use crate::hypervisor::{Host, ServerCapacity, ServerId};
 use crate::power_model::ServerPowerModel;
 
@@ -201,19 +201,19 @@ impl Cluster {
         if self.in_flight.iter().any(|m| m.vm.id() == vm) {
             return Err(ServerError::MigrationRejected {
                 vm,
-                reason: "already migrating".to_owned(),
+                block: MigrationBlock::AlreadyInFlight,
             });
         }
         let source = self.locate(vm).ok_or(ServerError::UnknownVm { vm })?;
         if source == target {
             return Err(ServerError::MigrationRejected {
                 vm,
-                reason: "target equals source".to_owned(),
+                block: MigrationBlock::TargetIsSource,
             });
         }
         let request = self.hosts[source.0]
             .vm(vm)
-            .expect("located above")
+            .ok_or(ServerError::UnknownVm { vm })?
             .kind()
             .resource_request();
         let (fc, fm) = self.reservable_resources(target);
@@ -224,7 +224,7 @@ impl Cluster {
                 free: (fc, fm),
             });
         }
-        let mut evicted = self.hosts[source.0].evict(vm).expect("located above");
+        let mut evicted = self.hosts[source.0].evict(vm)?;
         evicted.begin_migration();
         let duration = self.migration_spec.duration_for(request.1);
         self.in_flight.push(InFlight {

@@ -61,6 +61,17 @@ impl DvfsLevel {
         }
     }
 
+    /// Static P-state name ("P0" … "P4").
+    pub fn name(self) -> &'static str {
+        match self {
+            DvfsLevel::P0 => "P0",
+            DvfsLevel::P1 => "P1",
+            DvfsLevel::P2 => "P2",
+            DvfsLevel::P3 => "P3",
+            DvfsLevel::P4 => "P4",
+        }
+    }
+
     /// The next faster level, or `None` at full speed.
     pub fn faster(self) -> Option<DvfsLevel> {
         match self {
@@ -75,8 +86,7 @@ impl DvfsLevel {
 
 impl core::fmt::Display for DvfsLevel {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let i = DvfsLevel::ALL.iter().position(|l| l == self).unwrap_or(0);
-        write!(f, "P{i}")
+        f.write_str(self.name())
     }
 }
 

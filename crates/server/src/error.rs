@@ -2,6 +2,24 @@
 
 use baat_workload::VmId;
 
+/// Why a structurally valid migration request could not start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationBlock {
+    /// The VM is already in flight.
+    AlreadyInFlight,
+    /// The target is the VM's current host.
+    TargetIsSource,
+}
+
+impl core::fmt::Display for MigrationBlock {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MigrationBlock::AlreadyInFlight => write!(f, "already migrating"),
+            MigrationBlock::TargetIsSource => write!(f, "target equals source"),
+        }
+    }
+}
+
 /// Errors returned by hosts and clusters.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerError {
@@ -31,8 +49,8 @@ pub enum ServerError {
     MigrationRejected {
         /// The VM whose migration was rejected.
         vm: VmId,
-        /// Human-readable explanation.
-        reason: String,
+        /// What blocked it.
+        block: MigrationBlock,
     },
     /// A configuration parameter was invalid.
     InvalidConfig {
@@ -59,8 +77,8 @@ impl core::fmt::Display for ServerError {
             ServerError::UnknownServer { index, len } => {
                 write!(f, "server index {index} out of range for cluster of {len}")
             }
-            ServerError::MigrationRejected { vm, reason } => {
-                write!(f, "migration of {vm} rejected: {reason}")
+            ServerError::MigrationRejected { vm, block } => {
+                write!(f, "migration of {vm} rejected: {block}")
             }
             ServerError::InvalidConfig { field, reason } => {
                 write!(f, "invalid server config field `{field}`: {reason}")

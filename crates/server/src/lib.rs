@@ -47,6 +47,6 @@ mod power_model;
 
 pub use cluster::{Cluster, ClusterStep, MigrationSpec};
 pub use dvfs::DvfsLevel;
-pub use error::ServerError;
+pub use error::{MigrationBlock, ServerError};
 pub use hypervisor::{Host, ServerCapacity, ServerId, BOOT_DELAY};
 pub use power_model::ServerPowerModel;

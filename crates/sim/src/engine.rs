@@ -5,12 +5,29 @@
 //! each server has its own battery, charger and sensor; the BAAT
 //! controller (a [`Policy`]) observes the power tables every control
 //! interval and actuates DVFS, VM migration and discharge floors.
+//!
+//! Every policy [`Action`] is processed through the typed actuation
+//! path: the engine produces an [`ActionOutcome`] (applied, or rejected
+//! with a [`crate::RejectReason`]), appends it to the event log, and
+//! hands the previous interval's outcomes back to the policy through
+//! [`ControlCtx`]. Invariant violations (bad config, substrate
+//! failures) surface as [`SimError`] instead of panicking.
+//!
+//! When built with [`Simulation::with_obs`], the engine also records
+//! per-stage wall-clock timings and domain counters (actions applied and
+//! rejected, shutdowns, restarts, migrations, energy totals) into the
+//! [`Obs`] registry. Observation is free when disabled and never feeds
+//! back into simulated state, so seeded runs are bit-identical with it
+//! on or off.
 
 use std::collections::VecDeque;
 
-use baat_battery::{BatteryOp, BatteryPack};
+use baat_battery::{AgingObs, BatteryOp, BatteryPack, DamageBreakdown};
 use baat_metrics::{AgingMetrics, BatteryRatings};
-use baat_power::{BatterySensor, Charger, PowerSwitcher, PowerTable, ServerPowerRecord};
+use baat_obs::{Counter, Histogram, Obs, Stage, StageClock};
+use baat_power::{
+    BatterySensor, Charger, PowerSwitcher, PowerTable, ServerPowerRecord, StageTracker,
+};
 use baat_server::{Cluster, ServerId};
 use baat_solar::{ClearSky, CloudProcess, PvArray, Weather};
 use baat_units::{Fraction, SimDuration, SimInstant, Soc, TimeOfDay, Volts, WattHours, Watts};
@@ -19,10 +36,19 @@ use baat_workload::{Arrival, Vm, WorkloadGenerator, WorkloadKind};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::events::{Event, EventLog};
-use crate::policy::{Action, Policy};
+use crate::policy::{Action, ActionOutcome, ActionResult, ControlCtx, Policy, RejectReason};
 use crate::recorder::{Recorder, TraceRow};
 use crate::report::{NodeReport, SimReport};
 use crate::view::{NodeView, SystemView, VmView};
+
+/// Per-step stage timings are sampled: one step in this many is timed.
+/// The per-step stages (solar, charger, switcher, battery, placement of
+/// arrivals) run tens of thousands of times per simulated day at
+/// microsecond granularity, so sampling keeps profiler overhead in the
+/// noise while the recorded means stay representative. Control-interval
+/// and recorder stages are rare and always timed; counters are exact
+/// regardless.
+const PROFILE_SAMPLE_STEPS: u64 = 8;
 
 /// Consecutive unserved-demand steps before a node checkpoints and shuts
 /// down.
@@ -32,6 +58,42 @@ const RESTART_DWELL: SimDuration = SimDuration::from_minutes(5);
 /// SoC margin above the floor required to restart a node on battery: the
 /// battery must have recovered meaningfully, or the node flaps.
 const RESTART_SOC_MARGIN: f64 = 0.45;
+
+/// Engine-level metric handles, all inert when observation is disabled.
+#[derive(Debug, Clone)]
+struct EngineCounters {
+    actions_applied: Counter,
+    actions_rejected: Counter,
+    shutdowns: Counter,
+    restarts: Counter,
+    migrations_started: Counter,
+    placements_failed: Counter,
+    battery_cutoffs: Counter,
+    control_intervals: Counter,
+    actions_per_interval: Histogram,
+    unserved_wh: baat_obs::Gauge,
+    curtailed_wh: baat_obs::Gauge,
+    grid_charge_wh: baat_obs::Gauge,
+}
+
+impl EngineCounters {
+    fn new(obs: &Obs) -> Self {
+        Self {
+            actions_applied: obs.counter("sim.actions.applied"),
+            actions_rejected: obs.counter("sim.actions.rejected"),
+            shutdowns: obs.counter("sim.server.shutdowns"),
+            restarts: obs.counter("sim.server.restarts"),
+            migrations_started: obs.counter("sim.migrations.started"),
+            placements_failed: obs.counter("sim.placement.failures"),
+            battery_cutoffs: obs.counter("sim.battery.cutoffs"),
+            control_intervals: obs.counter("sim.control.intervals"),
+            actions_per_interval: obs.histogram("sim.control.actions_per_interval"),
+            unserved_wh: obs.gauge("sim.energy.unserved_wh"),
+            curtailed_wh: obs.gauge("sim.energy.curtailed_wh"),
+            grid_charge_wh: obs.gauge("sim.energy.grid_charge_wh"),
+        }
+    }
+}
 
 /// One green-datacenter simulation instance.
 pub struct Simulation {
@@ -73,23 +135,46 @@ pub struct Simulation {
     last_currents: Vec<f64>,
     last_voltages: Vec<f64>,
     last_solar: Watts,
+    /// Outcomes of the previous control interval's actions, fed back to
+    /// the policy through [`ControlCtx`].
+    last_outcomes: Vec<ActionOutcome>,
+    obs: Obs,
+    counters: EngineCounters,
+    aging_obs: AgingObs,
+    /// Per-bank charger mode-switch trackers.
+    stage_trackers: Vec<StageTracker>,
 }
 
 impl Simulation {
-    /// Builds a simulation from a configuration.
+    /// Builds a simulation from a configuration, with observation
+    /// disabled.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] if any substrate rejects its derived
     /// parameters.
     pub fn new(config: SimConfig) -> Result<Self, SimError> {
+        Self::with_obs(config, Obs::disabled())
+    }
+
+    /// Builds a simulation recording metrics and stage timings into
+    /// `obs`.
+    ///
+    /// Observation never influences the run: a seeded simulation
+    /// produces a bit-identical [`SimReport`] whether `obs` is enabled
+    /// or not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if any substrate rejects its derived
+    /// parameters.
+    pub fn with_obs(config: SimConfig, obs: Obs) -> Result<Self, SimError> {
         let mut cluster = Cluster::homogeneous(
             config.nodes,
             config.server_power,
             config.server_capacity,
             config.migration,
-        )
-        .map_err(|e| SimError::component("cluster", e))?;
+        )?;
         // Simulated time starts at midnight; servers power on at the
         // operating-window edge.
         cluster.power_off_all();
@@ -121,30 +206,31 @@ impl Simulation {
                 .coulombic_efficiency(s.coulombic_efficiency())
                 .self_discharge_per_day(s.self_discharge_per_day())
                 .ambient(s.ambient());
-            b.build()
-                .map_err(|e| SimError::component("shared pool spec", e))?
+            b.build()?
         };
         let batteries =
-            BatteryPack::manufacture(bank_spec, banks, config.variation, config.seed ^ 0xBA77)
-                .map_err(|e| SimError::component("battery pack", e))?;
+            BatteryPack::manufacture(bank_spec, banks, config.variation, config.seed ^ 0xBA77)?;
         let array = PvArray::sized_for_daily_energy(
             config.solar_sunny_budget,
             Weather::Sunny,
             ClearSky::temperate(),
-        )
-        .map_err(|e| SimError::component("pv array", e))?;
+        )?;
         let sensors = (0..banks)
             .map(|i| BatterySensor::new(config.sensor_noise, config.seed ^ (0x5E45 + i as u64)))
             .collect();
         let charger = Charger::new(
             Charger::prototype().max_power() * per_bank as f64,
             Charger::prototype().efficiency(),
-        )
-        .map_err(|e| SimError::component("charger", e))?;
+        )?;
         let chargers = vec![charger; banks];
         let weather_today = config.weather_plan[0];
         let clouds = CloudProcess::new(weather_today, config.seed);
         let nodes = config.nodes;
+        let counters = EngineCounters::new(&obs);
+        let aging_obs = AgingObs::new(&obs);
+        let stage_trackers = (0..banks)
+            .map(|_| StageTracker::new(obs.counter("power.charger.mode_switches")))
+            .collect();
         Ok(Self {
             banks,
             bank_of,
@@ -177,6 +263,11 @@ impl Simulation {
             last_currents: vec![0.0; banks],
             last_voltages: vec![config.battery_spec.nominal_voltage().as_f64(); banks],
             last_solar: Watts::ZERO,
+            last_outcomes: Vec::new(),
+            obs,
+            counters,
+            aging_obs,
+            stage_trackers,
             config,
         })
     }
@@ -195,16 +286,9 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidConfig`] if `bank` is out of range.
+    /// Returns [`SimError::Battery`] if `bank` is out of range.
     pub fn pre_age_bank(&mut self, bank: usize, damage: f64) -> Result<(), SimError> {
-        let unit = self
-            .batteries
-            .unit_mut(bank)
-            .map_err(|e| SimError::InvalidConfig {
-                field: "bank",
-                reason: e.to_string(),
-            })?;
-        unit.pre_age(damage);
+        self.batteries.unit_mut(bank)?.pre_age(damage);
         Ok(())
     }
 
@@ -228,18 +312,35 @@ impl Simulation {
         self.now
     }
 
+    /// The observability context the engine records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Runs the configured weather plan to completion under `policy` and
     /// returns the report.
-    pub fn run<P: Policy>(mut self, policy: &mut P) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if a step hits a broken engine invariant
+    /// (e.g. a substrate rejects an index the engine derived itself).
+    pub fn run<P: Policy>(mut self, policy: &mut P) -> Result<SimReport, SimError> {
         let total_steps = self.config.days() as u64 * 86_400 / self.config.dt.as_secs();
         for _ in 0..total_steps {
-            self.step(policy);
+            self.step(policy)?;
         }
         self.into_report(policy.name())
     }
 
     /// Advances the simulation one timestep.
-    pub fn step<P: Policy>(&mut self, policy: &mut P) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if a substrate rejects an engine-derived
+    /// parameter — an invariant break, not a policy mistake (infeasible
+    /// policy actions are rejected, logged and fed back, never fatal).
+    pub fn step<P: Policy>(&mut self, policy: &mut P) -> Result<(), SimError> {
+        let obs = self.obs.clone();
         let dt = self.config.dt;
         let day = self.now.day();
         if self.started_day != Some(day) {
@@ -260,6 +361,18 @@ impl Simulation {
         }
         self.in_window = in_window;
 
+        // One boundary clock covers every per-step stage (placement,
+        // solar, and route_power's charger/switcher/battery passes), and
+        // only on sampled steps: per-step stage work is microseconds, so
+        // timing one step in PROFILE_SAMPLE_STEPS gives representative
+        // means while keeping profiler overhead well under the 5 %
+        // budget. Counters are never sampled — they stay exact.
+        let mut clock = if self.step_index.is_multiple_of(PROFILE_SAMPLE_STEPS) {
+            obs.stage_clock()
+        } else {
+            StageClock::inert()
+        };
+
         // Workload arrivals.
         if in_window {
             while let Some(arrival) = self.arrivals_today.front().copied() {
@@ -268,35 +381,61 @@ impl Simulation {
                 }
                 self.arrivals_today.pop_front();
                 let vm = self.generator.spawn(arrival.kind);
-                if let Some(vm) = self.place_vm(vm, arrival.kind, policy) {
+                if let Some(vm) = self.place_vm(vm, arrival.kind, policy)? {
                     self.pending.push_back(vm);
                 }
             }
+            clock.lap(Stage::Placement);
         }
 
         // Solar generation for this step (also exposed to the policy).
-        let attenuation = self.clouds.step();
-        let solar_total = self.array.output(tod, attenuation);
+        let solar_total = {
+            let attenuation = self.clouds.step();
+            self.array.output(tod, attenuation)
+        };
+        clock.lap(Stage::Solar);
         self.last_solar = solar_total;
 
-        // Policy control interval.
+        // Policy control interval: hand the policy the view plus the
+        // previous interval's action outcomes, apply what it returns,
+        // remember the new outcomes for next time.
         let control_steps = self.config.control_interval.as_secs() / dt.as_secs();
         if in_window && self.step_index.is_multiple_of(control_steps.max(1)) {
-            for host in self.cluster.hosts_mut() {
-                host.reap_completed();
+            let actions = {
+                let _t = obs.time(Stage::PolicyControl);
+                for host in self.cluster.hosts_mut() {
+                    host.reap_completed();
+                }
+                let view = self.build_view()?;
+                let last = std::mem::take(&mut self.last_outcomes);
+                let ctx = ControlCtx {
+                    step_index: self.step_index,
+                    now: self.now,
+                    last_outcomes: &last,
+                };
+                policy.control(&view, &ctx)
+            };
+            self.counters.control_intervals.inc();
+            self.counters
+                .actions_per_interval
+                .observe(actions.len() as u64);
+            self.last_outcomes = self.apply_actions(actions);
+            {
+                let _t = obs.time(Stage::Placement);
+                self.retry_pending(policy)?;
             }
-            let view = self.build_view();
-            let actions = policy.control(&view);
-            self.apply_actions(actions);
-            self.retry_pending(policy);
+            // The control interval is timed by its own RAII guards; drop
+            // it from the boundary clock so it is not charged to the
+            // charger pass.
+            clock.skip();
         }
 
         // Per-node power routing.
-        self.route_power(solar_total, tod, dt);
+        self.route_power(solar_total, tod, dt, &mut clock)?;
 
         // Node restart checks.
         if in_window {
-            self.try_restarts(solar_total);
+            self.try_restarts(solar_total)?;
         }
 
         // Advance the cluster (migrations + VM execution).
@@ -305,7 +444,7 @@ impl Simulation {
         // Downtime accounting.
         if in_window {
             for i in 0..self.config.nodes {
-                if !self.cluster.host(i).expect("index in range").is_online() {
+                if !self.cluster.host(i)?.is_online() {
                     self.downtime[i] += dt;
                 }
             }
@@ -316,11 +455,13 @@ impl Simulation {
             .step_index
             .is_multiple_of(self.config.sample_every as u64)
         {
-            self.record_row(solar_total, tod);
+            let _t = obs.time(Stage::Recorder);
+            self.record_row(solar_total, tod)?;
         }
 
         self.now += dt;
         self.step_index += 1;
+        Ok(())
     }
 
     fn start_day(&mut self, day: u64) {
@@ -328,6 +469,7 @@ impl Simulation {
         // Jobs still queued from yesterday are reported once and carried
         // over.
         for _ in 0..self.pending.len() {
+            self.counters.placements_failed.inc();
             self.events.push(
                 self.now,
                 Event::PlacementFailed {
@@ -350,66 +492,75 @@ impl Simulation {
     }
 
     /// Attempts to place a VM; returns it back if no node can take it.
-    fn place_vm<P: Policy>(&mut self, vm: Vm, kind: WorkloadKind, policy: &mut P) -> Option<Vm> {
-        let view = self.build_view();
+    fn place_vm<P: Policy>(
+        &mut self,
+        vm: Vm,
+        kind: WorkloadKind,
+        policy: &mut P,
+    ) -> Result<Option<Vm>, SimError> {
+        let view = self.build_view()?;
         let order = policy.placement_order(kind, &view);
         let request = kind.resource_request();
         for node in order {
             if node >= self.config.nodes {
                 continue;
             }
-            let host = self.cluster.host_mut(node).expect("index in range");
+            let host = self.cluster.host_mut(node)?;
             if host.is_online() && host.fits(request) {
-                host.admit(vm).expect("fits was checked");
-                return None;
+                host.admit(vm)?;
+                return Ok(None);
             }
         }
-        Some(vm)
+        Ok(Some(vm))
     }
 
     /// Retries queued jobs in arrival order.
-    fn retry_pending<P: Policy>(&mut self, policy: &mut P) {
+    fn retry_pending<P: Policy>(&mut self, policy: &mut P) -> Result<(), SimError> {
         let mut still_pending = VecDeque::with_capacity(self.pending.len());
         while let Some(vm) = self.pending.pop_front() {
             let kind = vm.kind();
-            if let Some(vm) = self.place_vm(vm, kind, policy) {
+            if let Some(vm) = self.place_vm(vm, kind, policy)? {
                 still_pending.push_back(vm);
             }
         }
         self.pending = still_pending;
+        Ok(())
     }
 
-    fn apply_actions(&mut self, actions: Vec<Action>) {
+    /// Processes each requested action through the typed actuation path:
+    /// applies it or rejects it with a reason, logs the outcome, and
+    /// returns the outcomes for next interval's [`ControlCtx`].
+    fn apply_actions(&mut self, actions: Vec<Action>) -> Vec<ActionOutcome> {
+        let mut outcomes = Vec::with_capacity(actions.len());
         for action in actions {
-            match action {
-                Action::SetDvfs { node, level } => {
-                    if let Ok(host) = self.cluster.host_mut(node) {
+            let result = match action {
+                Action::SetDvfs { node, level } => match self.cluster.host_mut(node) {
+                    Ok(host) => {
                         if host.dvfs() != level {
                             host.set_dvfs(level);
                             self.events
                                 .push(self.now, Event::DvfsChanged { node, level });
                         }
-                    } else {
-                        self.events.push(self.now, Event::ActionRejected { node });
+                        ActionResult::Applied
                     }
-                }
+                    Err(_) => ActionResult::Rejected(RejectReason::UnknownNode),
+                },
                 Action::Migrate { vm, target } => {
                     let from = self.cluster.locate(vm).map(|s| s.0);
                     match self.cluster.begin_migration(vm, ServerId(target), self.now) {
-                        Ok(()) => self.events.push(
-                            self.now,
-                            Event::MigrationStarted {
-                                vm,
-                                from: from.unwrap_or(usize::MAX),
-                                to: target,
-                            },
-                        ),
-                        Err(_) => self.events.push(
-                            self.now,
-                            Event::ActionRejected {
-                                node: from.unwrap_or(target),
-                            },
-                        ),
+                        Ok(()) => {
+                            self.counters.migrations_started.inc();
+                            self.events.push(
+                                self.now,
+                                Event::MigrationStarted {
+                                    vm,
+                                    from: from.unwrap_or(usize::MAX),
+                                    to: target,
+                                },
+                            );
+                            ActionResult::Applied
+                        }
+                        Err(e) => ActionResult::Rejected(RejectReason::from_server_error(&e)),
                     }
                 }
                 Action::SetSocFloor { node, floor } => {
@@ -420,55 +571,78 @@ impl Simulation {
                             self.events
                                 .push(self.now, Event::SocFloorChanged { node, floor });
                         }
+                        ActionResult::Applied
+                    } else {
+                        ActionResult::Rejected(RejectReason::UnknownNode)
                     }
                 }
+            };
+            match result {
+                ActionResult::Applied => self.counters.actions_applied.inc(),
+                ActionResult::Rejected(_) => self.counters.actions_rejected.inc(),
             }
+            let outcome = ActionOutcome { action, result };
+            self.events.push(self.now, Event::Action { outcome });
+            outcomes.push(outcome);
         }
+        outcomes
     }
 
     /// Battery terminal power available without crossing the bank's SoC
     /// floor within one step.
-    fn floored_available(&self, bank: usize, dt: SimDuration) -> Watts {
-        let battery = self.batteries.unit(bank).expect("index in range");
+    fn floored_available(&self, bank: usize, dt: SimDuration) -> Result<Watts, SimError> {
+        let battery = self.batteries.unit(bank)?;
         let floor = self.soc_floors[bank];
         let headroom = battery.soc().value() - floor.value();
         if headroom <= 0.0 {
-            return Watts::ZERO;
+            return Ok(Watts::ZERO);
         }
         let energy_wh = headroom
             * battery.effective_capacity().as_f64()
             * battery.open_circuit_voltage().as_f64();
         let cap = Watts::new(energy_wh / dt.as_hours());
-        battery.available_discharge_power().min(cap)
+        Ok(battery.available_discharge_power().min(cap))
     }
 
-    fn route_power(&mut self, solar_total: Watts, tod: TimeOfDay, dt: SimDuration) {
+    fn route_power(
+        &mut self,
+        solar_total: Watts,
+        tod: TimeOfDay,
+        dt: SimDuration,
+        clock: &mut StageClock<'_>,
+    ) -> Result<(), SimError> {
         let n = self.config.nodes;
         // Outside the operating window the prototype's power switcher
         // recharges batteries from the utility line ("switch the utility
         // or renewable power to charge batteries", §V.A), so every day
         // starts from full charge and batteries never sulphate at low
         // SoC overnight.
+        // Stage timers wrap whole per-stage passes (not per-bank work):
+        // two clock reads per stage per step keeps profiler overhead
+        // well under the 5 % budget even on the fastest schemes.
         if !self.in_window {
-            for b in 0..self.banks {
-                let battery = self.batteries.unit(b).expect("index in range");
-                let soc = battery.soc();
-                let p = self.chargers[b].charge_power(soc, self.chargers[b].max_power());
-                let op = if p.as_f64() > 0.0 {
-                    BatteryOp::Charge(p)
-                } else {
-                    BatteryOp::Idle
-                };
-                let result = self.batteries.unit_mut(b).expect("index in range").step(
-                    op,
-                    self.config.ambient,
-                    self.now,
-                    dt,
-                );
+            let ops = (0..self.banks)
+                .map(|b| {
+                    let soc = self.batteries.unit(b)?.soc();
+                    self.stage_trackers[b].observe(self.chargers[b].stage(soc));
+                    let p = self.chargers[b].charge_power(soc, self.chargers[b].max_power());
+                    Ok(if p.as_f64() > 0.0 {
+                        BatteryOp::Charge(p)
+                    } else {
+                        BatteryOp::Idle
+                    })
+                })
+                .collect::<Result<Vec<_>, SimError>>()?;
+            clock.lap(Stage::Charger);
+            for (b, &op) in ops.iter().enumerate() {
+                let result =
+                    self.batteries
+                        .unit_mut(b)?
+                        .step(op, self.config.ambient, self.now, dt);
                 self.grid_charge_energy += result.accepted * dt;
                 self.last_currents[b] = result.current.as_f64();
                 self.last_voltages[b] = result.terminal_voltage.as_f64();
-                let battery = self.batteries.unit(b).expect("index in range");
+                let battery = self.batteries.unit(b)?;
                 let sample = self.sensors[b].sample(
                     battery,
                     Volts::new(self.last_voltages[b]),
@@ -479,29 +653,46 @@ impl Simulation {
                     self.power_table.record_battery(node, sample);
                 }
             }
-            return;
+            clock.lap(Stage::BatteryStep);
+            return Ok(());
         }
         let demands: Vec<Watts> = (0..n)
-            .map(|i| self.cluster.host(i).expect("index in range").power(tod))
-            .collect();
+            .map(|i| Ok(self.cluster.host(i)?.power(tod)))
+            .collect::<Result<_, SimError>>()?;
+
+        // Every bank hangs off its share of the PV feed proportional to
+        // the servers it backs (per-server integration: one node, one
+        // bank; shared pools: a rack's worth). The bank's surplus charges
+        // its own battery, so load placement really decides which battery
+        // suffers — the usage imbalance BAAT-h and BAAT exist to hide.
+        // Banks are independent within a step (demands are snapshotted
+        // above; acceptance and availability read only that bank's
+        // pre-step state), so the pipeline runs as stage-major passes.
+        let socs_acceptances = (0..self.banks)
+            .map(|b| {
+                let soc = self.batteries.unit(b)?.soc();
+                self.stage_trackers[b].observe(self.chargers[b].stage(soc));
+                Ok((soc, self.chargers[b].acceptance(soc)))
+            })
+            .collect::<Result<Vec<_>, SimError>>()?;
+        clock.lap(Stage::Charger);
+        let routings = (0..self.banks)
+            .map(|b| {
+                let demand: Watts = self.members[b].iter().map(|&m| demands[m]).sum();
+                let solar_i = solar_total * (self.members[b].len() as f64 / n as f64);
+                let available = self.floored_available(b, dt)?;
+                Ok(self
+                    .switcher
+                    .route(demand, solar_i, available, socs_acceptances[b].1))
+            })
+            .collect::<Result<Vec<_>, SimError>>()?;
+        clock.lap(Stage::Switcher);
 
         for b in 0..self.banks {
-            // Every bank hangs off its share of the PV feed proportional
-            // to the servers it backs (per-server integration: one node,
-            // one bank; shared pools: a rack's worth). The bank's surplus
-            // charges its own battery, so load placement really decides
-            // which battery suffers — the usage imbalance BAAT-h and
-            // BAAT exist to hide.
             let member_nodes = self.members[b].clone();
             let demand: Watts = member_nodes.iter().map(|&m| demands[m]).sum();
-            let solar_i = solar_total * (member_nodes.len() as f64 / n as f64);
-
-            let battery_available = self.floored_available(b, dt);
-            let soc = self.batteries.unit(b).expect("index in range").soc();
-            let acceptance = self.chargers[b].acceptance(soc);
-            let routing = self
-                .switcher
-                .route(demand, solar_i, battery_available, acceptance);
+            let soc = socs_acceptances[b].0;
+            let routing = routings[b];
 
             // Apply the battery operation.
             let op = if routing.battery_to_load.as_f64() > 0.0 {
@@ -514,13 +705,12 @@ impl Simulation {
                     BatteryOp::Idle
                 }
             };
-            let result = self.batteries.unit_mut(b).expect("index in range").step(
-                op,
-                self.config.ambient,
-                self.now,
-                dt,
-            );
+            let result = self
+                .batteries
+                .unit_mut(b)?
+                .step(op, self.config.ambient, self.now, dt);
             if result.cutoff {
+                self.counters.battery_cutoffs.inc();
                 self.events.push(
                     self.now,
                     Event::BatteryCutoff {
@@ -537,7 +727,7 @@ impl Simulation {
 
             // Sensor row into the power table (every member node sees its
             // bank's telemetry, like rack members sharing a UPS monitor).
-            let battery = self.batteries.unit(b).expect("index in range");
+            let battery = self.batteries.unit(b)?;
             let sample = self.sensors[b].sample(
                 battery,
                 Volts::new(self.last_voltages[b]),
@@ -562,17 +752,23 @@ impl Simulation {
                 if routing.unserved.as_f64() > 0.05 * demand.as_f64() {
                     self.unserved_streak[b] += 1;
                     if self.unserved_streak[b] >= SHUTDOWN_STREAK {
-                        let victim = member_nodes
-                            .iter()
-                            .copied()
-                            .filter(|&m| self.cluster.host(m).expect("index in range").is_online())
-                            .max_by(|&a, &x| demands[a].as_f64().total_cmp(&demands[x].as_f64()));
+                        let mut victim: Option<usize> = None;
+                        for &m in &member_nodes {
+                            if !self.cluster.host(m)?.is_online() {
+                                continue;
+                            }
+                            let better = match victim {
+                                None => true,
+                                Some(v) => demands[m].as_f64() > demands[v].as_f64(),
+                            };
+                            if better {
+                                victim = Some(m);
+                            }
+                        }
                         if let Some(victim) = victim {
-                            self.cluster
-                                .host_mut(victim)
-                                .expect("index in range")
-                                .power_off();
+                            self.cluster.host_mut(victim)?.power_off();
                             self.offline_since[victim] = Some(self.now);
+                            self.counters.shutdowns.inc();
                             self.events
                                 .push(self.now, Event::ServerShutdown { node: victim });
                         }
@@ -583,14 +779,15 @@ impl Simulation {
                 }
             }
         }
+        clock.lap(Stage::BatteryStep);
+        Ok(())
     }
 
-    fn try_restarts(&mut self, solar_total: Watts) {
+    fn try_restarts(&mut self, solar_total: Watts) -> Result<(), SimError> {
         let n = self.config.nodes;
         let idle = self.config.server_power.idle();
         for i in 0..n {
-            let host = self.cluster.host(i).expect("index in range");
-            if host.is_online() {
+            if self.cluster.host(i)?.is_online() {
                 continue;
             }
             let Some(since) = self.offline_since[i] else {
@@ -600,42 +797,45 @@ impl Simulation {
                 continue;
             }
             let bank = self.bank_of[i];
-            let battery = self.batteries.unit(bank).expect("index in range");
+            let battery = self.batteries.unit(bank)?;
             let soc_ok = battery.soc().value() > self.soc_floors[bank].value() + RESTART_SOC_MARGIN;
             let solar_ok = solar_total.as_f64() / n as f64 > idle.as_f64() * 1.2;
             if soc_ok || solar_ok {
-                let host = self.cluster.host_mut(i).expect("index in range");
+                let host = self.cluster.host_mut(i)?;
                 host.power_on();
                 host.resume_all();
                 self.offline_since[i] = None;
+                self.counters.restarts.inc();
                 self.events.push(self.now, Event::ServerRestart { node: i });
             }
         }
+        Ok(())
     }
 
-    fn ratings(&self, node: usize) -> BatteryRatings {
-        let spec = self
-            .batteries
-            .unit(self.bank_of[node])
-            .expect("index in range")
-            .spec();
-        BatteryRatings {
+    fn ratings(&self, node: usize) -> Result<BatteryRatings, SimError> {
+        let spec = self.batteries.unit(self.bank_of[node])?.spec();
+        Ok(BatteryRatings {
             capacity: spec.capacity(),
             lifetime_throughput: spec.lifetime_throughput(),
-        }
+        })
     }
 
     /// Builds the read-only system view for policies.
-    pub fn build_view(&self) -> SystemView {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the engine's node/bank bookkeeping is
+    /// inconsistent with the substrates (an invariant break).
+    pub fn build_view(&self) -> Result<SystemView, SimError> {
         let tod = self.now.time_of_day();
         let nodes = (0..self.config.nodes)
             .map(|i| {
                 let bank = self.bank_of[i];
                 let share = 1.0 / self.members[bank].len() as f64;
-                let battery = self.batteries.unit(bank).expect("index in range");
-                let host = self.cluster.host(i).expect("index in range");
-                let ratings = self.ratings(i);
-                NodeView {
+                let battery = self.batteries.unit(bank)?;
+                let host = self.cluster.host(i)?;
+                let ratings = self.ratings(i)?;
+                Ok(NodeView {
                     node: i,
                     soc: battery.soc(),
                     window_metrics: AgingMetrics::from_accumulator(
@@ -662,7 +862,7 @@ impl Simulation {
                             progress: vm.progress(),
                         })
                         .collect(),
-                    battery_available: self.floored_available(bank, self.config.dt) * share,
+                    battery_available: self.floored_available(bank, self.config.dt)? * share,
                     battery_capacity_wh: battery.effective_capacity().as_f64()
                         * battery.spec().nominal_voltage().as_f64()
                         * share,
@@ -672,59 +872,79 @@ impl Simulation {
                     soc_floor: self.soc_floors[bank],
                     cutoff_events: battery.cutoff_events(),
                     hours_since_full: battery.hours_since_full(),
-                }
+                })
             })
-            .collect();
-        SystemView {
+            .collect::<Result<_, SimError>>()?;
+        Ok(SystemView {
             now: self.now,
             tod,
             weather: self.weather_today,
             solar: self.last_solar,
             nodes,
-        }
+        })
     }
 
-    fn record_row(&mut self, solar: Watts, tod: TimeOfDay) {
+    fn record_row(&mut self, solar: Watts, tod: TimeOfDay) -> Result<(), SimError> {
         let n = self.config.nodes;
+        let soc = (0..n)
+            .map(|i| Ok(self.batteries.unit(self.bank_of[i])?.soc().value()))
+            .collect::<Result<_, SimError>>()?;
+        let server_power = (0..n)
+            .map(|i| Ok(self.cluster.host(i)?.power(tod)))
+            .collect::<Result<_, SimError>>()?;
         let row = TraceRow {
             at: self.now,
             solar,
-            soc: (0..n)
-                .map(|i| {
-                    self.batteries
-                        .unit(self.bank_of[i])
-                        .expect("index in range")
-                        .soc()
-                        .value()
-                })
-                .collect(),
-            server_power: (0..n)
-                .map(|i| self.cluster.host(i).expect("index in range").power(tod))
-                .collect(),
+            soc,
+            server_power,
             battery_current: (0..n)
                 .map(|i| self.last_currents[self.bank_of[i]])
                 .collect(),
             work_cumulative: self.cluster.total_work_done(),
         };
         self.recorder.push(row);
+        // Refresh the observability gauges at the trace cadence: cheap,
+        // deterministic values, and read-only with respect to sim state.
+        self.counters.unserved_wh.set(self.unserved_energy.as_f64());
+        self.counters
+            .curtailed_wh
+            .set(self.curtailed_energy.as_f64());
+        self.counters
+            .grid_charge_wh
+            .set(self.grid_charge_energy.as_f64());
+        if self.obs.is_enabled() {
+            let mut agg = DamageBreakdown::default();
+            for b in self.batteries.iter() {
+                let d = b.aging().breakdown();
+                agg.corrosion += d.corrosion;
+                agg.shedding += d.shedding;
+                agg.sulphation += d.sulphation;
+                agg.water_loss += d.water_loss;
+                agg.stratification += d.stratification;
+            }
+            self.aging_obs.record(&agg);
+        }
+        Ok(())
     }
 
     /// Consumes the simulation and produces the final report.
-    pub fn into_report(self, policy: &'static str) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the engine's bookkeeping is inconsistent
+    /// with the substrates.
+    pub fn into_report(self, policy: &'static str) -> Result<SimReport, SimError> {
         let completed_jobs = self.cluster.hosts().map(|h| h.completed_jobs()).sum();
         let migrations = self.cluster.migrations_started();
         let nodes = (0..self.config.nodes)
             .map(|i| {
-                let battery = self
-                    .batteries
-                    .unit(self.bank_of[i])
-                    .expect("index in range");
+                let battery = self.batteries.unit(self.bank_of[i])?;
                 let acc = battery.telemetry().lifetime();
                 let ratings = BatteryRatings {
                     capacity: battery.spec().capacity(),
                     lifetime_throughput: battery.spec().lifetime_throughput(),
                 };
-                NodeReport {
+                Ok(NodeReport {
                     node: i,
                     damage: battery.aging().total_damage(),
                     damage_breakdown: *battery.aging().breakdown(),
@@ -737,11 +957,11 @@ impl Simulation {
                     downtime: self.downtime[i],
                     full_charge_events: acc.full_charge_events,
                     round_trip_efficiency: acc.round_trip_efficiency(),
-                    work_done: self.cluster.host(i).expect("index in range").work_done(),
-                }
+                    work_done: self.cluster.host(i)?.work_done(),
+                })
             })
-            .collect();
-        SimReport {
+            .collect::<Result<_, SimError>>()?;
+        Ok(SimReport {
             policy,
             days: self.config.days(),
             nodes,
@@ -753,7 +973,7 @@ impl Simulation {
             grid_charge_energy: self.grid_charge_energy,
             recorder: self.recorder,
             events: self.events,
-        }
+        })
     }
 }
 
@@ -761,7 +981,8 @@ impl Simulation {
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if the configuration is rejected.
+/// Returns [`SimError`] if the configuration is rejected or the run hits
+/// a broken engine invariant.
 ///
 /// # Examples
 ///
@@ -775,7 +996,25 @@ impl Simulation {
 /// # Ok::<(), baat_sim::SimError>(())
 /// ```
 pub fn run_simulation<P: Policy>(config: SimConfig, policy: &mut P) -> Result<SimReport, SimError> {
-    Ok(Simulation::new(config)?.run(policy))
+    Simulation::new(config)?.run(policy)
+}
+
+/// Runs one configuration under one policy while recording metrics and
+/// stage timings into `obs`.
+///
+/// The report is bit-identical to what [`run_simulation`] produces for
+/// the same config: observation never perturbs the run.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration is rejected or the run hits
+/// a broken engine invariant.
+pub fn run_simulation_observed<P: Policy>(
+    config: SimConfig,
+    policy: &mut P,
+    obs: Obs,
+) -> Result<SimReport, SimError> {
+    Simulation::with_obs(config, obs)?.run(policy)
 }
 
 /// Fraction of operating time servers were up, across the run (a simple
@@ -858,6 +1097,30 @@ mod tests {
     }
 
     #[test]
+    fn observation_does_not_perturb_the_run() {
+        let plain =
+            run_simulation(quick_config(Weather::Cloudy), &mut RoundRobinPolicy::new()).unwrap();
+        let obs = Obs::enabled();
+        let observed = run_simulation_observed(
+            quick_config(Weather::Cloudy),
+            &mut RoundRobinPolicy::new(),
+            obs.clone(),
+        )
+        .unwrap();
+        assert_eq!(plain, observed, "obs must be side-effect-free");
+        // And the registry actually recorded the run.
+        assert!(!obs.snapshot().is_empty());
+        assert!(!obs.stage_stats().is_empty());
+        let steps = obs
+            .stage_stats()
+            .iter()
+            .find(|s| s.stage == Stage::BatteryStep)
+            .map(|s| s.calls)
+            .unwrap_or(0);
+        assert!(steps > 0, "battery steps must be profiled");
+    }
+
+    #[test]
     fn servers_idle_outside_operating_window() {
         let report =
             run_simulation(quick_config(Weather::Sunny), &mut RoundRobinPolicy::new()).unwrap();
@@ -888,7 +1151,7 @@ mod tests {
         let mut sim = Simulation::new(config).unwrap();
         sim.pre_age_batteries(0.5);
         let mut policy = RoundRobinPolicy::new();
-        let report = sim.run(&mut policy);
+        let report = sim.run(&mut policy).unwrap();
         assert!(report.mean_damage() >= 0.5);
         for node in &report.nodes {
             assert!(node.capacity_fraction < 0.95);

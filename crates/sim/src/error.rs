@@ -1,4 +1,16 @@
 //! Error types for simulation configuration and execution.
+//!
+//! `SimError` is the workspace's unifying error: every substrate error
+//! converts into it via `From`, so the engine propagates failures with
+//! `?` instead of panicking, and callers can still reach the typed
+//! source through [`std::error::Error::source`] or by matching the
+//! wrapper variant.
+
+use baat_battery::BatteryError;
+use baat_power::PowerError;
+use baat_server::ServerError;
+use baat_solar::SolarError;
+use baat_workload::WorkloadError;
 
 /// Errors raised while configuring or running a simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -10,22 +22,55 @@ pub enum SimError {
         /// Human-readable explanation.
         reason: String,
     },
-    /// An underlying component rejected a setup parameter.
-    Component {
-        /// Which subsystem failed.
-        subsystem: &'static str,
-        /// The component's error message.
-        message: String,
-    },
+    /// The battery substrate failed.
+    Battery(BatteryError),
+    /// The power-path substrate (switcher/charger/sensor) failed.
+    Power(PowerError),
+    /// The server/cluster substrate failed.
+    Server(ServerError),
+    /// The solar substrate failed.
+    Solar(SolarError),
+    /// The workload substrate failed.
+    Workload(WorkloadError),
 }
 
 impl SimError {
-    /// Wraps a component error under a subsystem label.
-    pub fn component(subsystem: &'static str, err: impl core::fmt::Display) -> Self {
-        SimError::Component {
-            subsystem,
-            message: err.to_string(),
+    /// Builds an [`SimError::InvalidConfig`] from any displayable reason.
+    pub fn invalid_config(field: &'static str, reason: impl core::fmt::Display) -> Self {
+        SimError::InvalidConfig {
+            field,
+            reason: reason.to_string(),
         }
+    }
+}
+
+impl From<BatteryError> for SimError {
+    fn from(err: BatteryError) -> Self {
+        SimError::Battery(err)
+    }
+}
+
+impl From<PowerError> for SimError {
+    fn from(err: PowerError) -> Self {
+        SimError::Power(err)
+    }
+}
+
+impl From<ServerError> for SimError {
+    fn from(err: ServerError) -> Self {
+        SimError::Server(err)
+    }
+}
+
+impl From<SolarError> for SimError {
+    fn from(err: SolarError) -> Self {
+        SimError::Solar(err)
+    }
+}
+
+impl From<WorkloadError> for SimError {
+    fn from(err: WorkloadError) -> Self {
+        SimError::Workload(err)
     }
 }
 
@@ -35,23 +80,47 @@ impl core::fmt::Display for SimError {
             SimError::InvalidConfig { field, reason } => {
                 write!(f, "invalid simulation config field `{field}`: {reason}")
             }
-            SimError::Component { subsystem, message } => {
-                write!(f, "{subsystem} setup failed: {message}")
-            }
+            SimError::Battery(e) => write!(f, "battery subsystem: {e}"),
+            SimError::Power(e) => write!(f, "power subsystem: {e}"),
+            SimError::Server(e) => write!(f, "server subsystem: {e}"),
+            SimError::Solar(e) => write!(f, "solar subsystem: {e}"),
+            SimError::Workload(e) => write!(f, "workload subsystem: {e}"),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidConfig { .. } => None,
+            SimError::Battery(e) => Some(e),
+            SimError::Power(e) => Some(e),
+            SimError::Server(e) => Some(e),
+            SimError::Solar(e) => Some(e),
+            SimError::Workload(e) => Some(e),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
-    fn component_wrapper_preserves_message() {
-        let err = SimError::component("battery", "bad spec");
-        assert!(err.to_string().contains("battery"));
-        assert!(err.to_string().contains("bad spec"));
+    fn wrapped_errors_expose_their_source() {
+        let inner = ServerError::UnknownServer { index: 9, len: 6 };
+        let err = SimError::from(inner.clone());
+        assert!(err.to_string().contains("server subsystem"));
+        assert!(err.to_string().contains("index 9"));
+        let source = err.source().expect("wrapper has a source");
+        assert_eq!(source.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn invalid_config_has_no_source() {
+        let err = SimError::invalid_config("nodes", "must be positive");
+        assert!(err.source().is_none());
+        assert!(err.to_string().contains("nodes"));
     }
 }

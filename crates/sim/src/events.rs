@@ -1,8 +1,11 @@
 //! The simulation event log.
 
+use baat_obs::json::JsonLine;
 use baat_server::DvfsLevel;
 use baat_units::{SimInstant, Soc};
 use baat_workload::VmId;
+
+use crate::policy::{Action, ActionOutcome, ActionResult};
 
 /// A discrete event the engine records.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,10 +36,11 @@ pub enum Event {
         /// Destination node.
         to: usize,
     },
-    /// A requested action could not be applied.
-    ActionRejected {
-        /// Affected node (source, for migrations).
-        node: usize,
+    /// A policy action was processed (applied or rejected with a typed
+    /// reason).
+    Action {
+        /// The action and its result.
+        outcome: ActionOutcome,
     },
     /// A battery refused (part of) a discharge request.
     BatteryCutoff {
@@ -57,6 +61,42 @@ pub enum Event {
     },
 }
 
+impl Event {
+    /// Stable snake-case kind name used in exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ServerShutdown { .. } => "server_shutdown",
+            Event::ServerRestart { .. } => "server_restart",
+            Event::DvfsChanged { .. } => "dvfs_changed",
+            Event::MigrationStarted { .. } => "migration_started",
+            Event::Action { .. } => "action",
+            Event::BatteryCutoff { .. } => "battery_cutoff",
+            Event::SocFloorChanged { .. } => "soc_floor_changed",
+            Event::PlacementFailed { .. } => "placement_failed",
+        }
+    }
+}
+
+fn action_fields(line: &mut JsonLine, action: &Action) {
+    match action {
+        Action::SetDvfs { node, level } => {
+            line.str_field("action", "set_dvfs")
+                .u64_field("node", *node as u64)
+                .str_field("level", level.name());
+        }
+        Action::Migrate { vm, target } => {
+            line.str_field("action", "migrate")
+                .u64_field("vm", vm.0)
+                .u64_field("target", *target as u64);
+        }
+        Action::SetSocFloor { node, floor } => {
+            line.str_field("action", "set_soc_floor")
+                .u64_field("node", *node as u64)
+                .f64_field("floor", floor.value());
+        }
+    }
+}
+
 /// A timestamped event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimedEvent {
@@ -64,6 +104,49 @@ pub struct TimedEvent {
     pub at: SimInstant,
     /// What happened.
     pub event: Event,
+}
+
+impl TimedEvent {
+    /// Serializes the event as one JSON object line.
+    pub fn to_json(&self) -> String {
+        let mut line = JsonLine::new();
+        line.u64_field("at_s", self.at.as_secs())
+            .str_field("kind", self.event.kind());
+        match &self.event {
+            Event::ServerShutdown { node }
+            | Event::ServerRestart { node }
+            | Event::BatteryCutoff { node }
+            | Event::PlacementFailed { node } => {
+                line.u64_field("node", *node as u64);
+            }
+            Event::DvfsChanged { node, level } => {
+                line.u64_field("node", *node as u64)
+                    .str_field("level", level.name());
+            }
+            Event::MigrationStarted { vm, from, to } => {
+                line.u64_field("vm", vm.0)
+                    .u64_field("from", *from as u64)
+                    .u64_field("to", *to as u64);
+            }
+            Event::Action { outcome } => {
+                action_fields(&mut line, &outcome.action);
+                match outcome.result {
+                    ActionResult::Applied => {
+                        line.str_field("result", "applied");
+                    }
+                    ActionResult::Rejected(reason) => {
+                        line.str_field("result", "rejected")
+                            .str_field("reason", reason.name());
+                    }
+                }
+            }
+            Event::SocFloorChanged { node, floor } => {
+                line.u64_field("node", *node as u64)
+                    .f64_field("floor", floor.value());
+            }
+        }
+        line.finish()
+    }
 }
 
 /// Append-only event log.
@@ -101,6 +184,16 @@ impl EventLog {
     /// Counts events matching a predicate.
     pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
         self.events.iter().filter(|e| pred(&e.event)).count()
+    }
+
+    /// Renders the log as JSONL (one event per line, time order).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
     }
 }
 

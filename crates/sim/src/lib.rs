@@ -41,10 +41,12 @@ mod report;
 mod view;
 
 pub use config::{BatteryTopology, SimConfig, SimConfigBuilder};
-pub use engine::{availability, run_simulation, Simulation};
+pub use engine::{availability, run_simulation, run_simulation_observed, Simulation};
 pub use error::SimError;
 pub use events::{Event, EventLog, TimedEvent};
-pub use policy::{Action, Policy, RoundRobinPolicy};
+pub use policy::{
+    Action, ActionOutcome, ActionResult, ControlCtx, Policy, RejectReason, RoundRobinPolicy,
+};
 pub use recorder::{Recorder, TraceRow};
 pub use report::{NodeReport, SimReport};
 pub use view::{NodeView, SystemView, VmView};

@@ -6,9 +6,16 @@
 //! [`Policy::control`] every control interval and applies the returned
 //! [`Action`]s, and consults [`Policy::placement_order`] whenever a new
 //! workload arrives.
+//!
+//! Actuation is typed end to end: every requested [`Action`] produces an
+//! [`ActionOutcome`] — applied, or rejected with a [`RejectReason`] —
+//! which is appended to the event log and handed back to the policy on
+//! the *next* control interval through [`ControlCtx`]. This mirrors the
+//! prototype, where commands can fail at the Xen layer and the
+//! controller observes the failure a beat later.
 
-use baat_server::DvfsLevel;
-use baat_units::Soc;
+use baat_server::{DvfsLevel, MigrationBlock, ServerError};
+use baat_units::{SimInstant, Soc};
 use baat_workload::{VmId, WorkloadKind};
 
 use crate::view::SystemView;
@@ -41,16 +48,142 @@ pub enum Action {
     },
 }
 
+/// Why the engine could not apply a requested [`Action`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The named node does not exist.
+    UnknownNode,
+    /// No host in the cluster runs the named VM.
+    UnknownVm,
+    /// The VM is already in flight.
+    AlreadyMigrating,
+    /// The migration target is the VM's current host.
+    TargetIsSource,
+    /// The migration target lacks free resources (net of reservations).
+    TargetFull,
+}
+
+impl RejectReason {
+    /// Maps a cluster error from an attempted migration onto the typed
+    /// policy-facing reason.
+    pub fn from_server_error(err: &ServerError) -> Self {
+        match err {
+            ServerError::UnknownServer { .. } => RejectReason::UnknownNode,
+            ServerError::UnknownVm { .. } => RejectReason::UnknownVm,
+            ServerError::MigrationRejected {
+                block: MigrationBlock::AlreadyInFlight,
+                ..
+            } => RejectReason::AlreadyMigrating,
+            ServerError::MigrationRejected {
+                block: MigrationBlock::TargetIsSource,
+                ..
+            } => RejectReason::TargetIsSource,
+            ServerError::InsufficientResources { .. } => RejectReason::TargetFull,
+            ServerError::InvalidConfig { .. } => RejectReason::UnknownNode,
+        }
+    }
+
+    /// Stable snake-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::UnknownNode => "unknown_node",
+            RejectReason::UnknownVm => "unknown_vm",
+            RejectReason::AlreadyMigrating => "already_migrating",
+            RejectReason::TargetIsSource => "target_is_source",
+            RejectReason::TargetFull => "target_full",
+        }
+    }
+}
+
+/// What happened when the engine processed one [`Action`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActionResult {
+    /// The action took effect (possibly as a no-op, e.g. re-setting the
+    /// current DVFS level).
+    Applied,
+    /// The action was infeasible and dropped.
+    Rejected(RejectReason),
+}
+
+/// One action paired with its result — the typed replacement for the
+/// engine's old silent-drop actuation path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActionOutcome {
+    /// The requested action.
+    pub action: Action,
+    /// Whether it was applied.
+    pub result: ActionResult,
+}
+
+impl ActionOutcome {
+    /// `true` if the action was rejected.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self.result, ActionResult::Rejected(_))
+    }
+
+    /// The rejection reason, if any.
+    pub fn reject_reason(&self) -> Option<RejectReason> {
+        match self.result {
+            ActionResult::Applied => None,
+            ActionResult::Rejected(reason) => Some(reason),
+        }
+    }
+}
+
+/// Per-interval control context handed to [`Policy::control`] alongside
+/// the [`SystemView`].
+///
+/// `last_outcomes` carries the outcomes of the actions the policy
+/// requested on the *previous* control interval (empty on the first),
+/// letting schemes back off from failed migrations instead of re-issuing
+/// them blindly.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlCtx<'a> {
+    /// Engine step index at this control tick.
+    pub step_index: u64,
+    /// Simulation time now.
+    pub now: SimInstant,
+    /// Outcomes of the previous interval's requested actions.
+    pub last_outcomes: &'a [ActionOutcome],
+}
+
+impl ControlCtx<'static> {
+    /// Context for the first control tick (or for driving a policy
+    /// outside the engine, e.g. in tests): step 0, time zero, no prior
+    /// outcomes.
+    pub const fn bootstrap() -> Self {
+        ControlCtx {
+            step_index: 0,
+            now: SimInstant::START,
+            last_outcomes: &[],
+        }
+    }
+}
+
+impl<'a> ControlCtx<'a> {
+    /// Iterates the VMs whose migration was rejected last interval.
+    pub fn rejected_migrations(&self) -> impl Iterator<Item = VmId> + 'a {
+        self.last_outcomes.iter().filter_map(|o| match o {
+            ActionOutcome {
+                action: Action::Migrate { vm, .. },
+                result: ActionResult::Rejected(_),
+            } => Some(*vm),
+            _ => None,
+        })
+    }
+}
+
 /// A battery-aging management policy (paper Table 4).
 pub trait Policy {
     /// Short name for reports ("e-Buff", "BAAT", …).
     fn name(&self) -> &'static str;
 
-    /// Invoked every control interval with the current system view;
-    /// returns actuations to apply. Infeasible actions (e.g. a migration
-    /// to a full host) are dropped and logged, mirroring the prototype
+    /// Invoked every control interval with the current system view and
+    /// the control context; returns actuations to apply. Infeasible
+    /// actions are rejected (not fatal) and surface in the next
+    /// interval's [`ControlCtx::last_outcomes`], mirroring the prototype
     /// where commands can fail at the Xen layer.
-    fn control(&mut self, view: &SystemView) -> Vec<Action>;
+    fn control(&mut self, view: &SystemView, ctx: &ControlCtx<'_>) -> Vec<Action>;
 
     /// Ranks nodes for placing a newly arrived workload, best first. The
     /// engine admits the VM to the first node in the order with free
@@ -63,8 +196,8 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
         (**self).name()
     }
 
-    fn control(&mut self, view: &SystemView) -> Vec<Action> {
-        (**self).control(view)
+    fn control(&mut self, view: &SystemView, ctx: &ControlCtx<'_>) -> Vec<Action> {
+        (**self).control(view, ctx)
     }
 
     fn placement_order(&mut self, kind: WorkloadKind, view: &SystemView) -> Vec<usize> {
@@ -92,7 +225,7 @@ impl Policy for RoundRobinPolicy {
         "round-robin"
     }
 
-    fn control(&mut self, _view: &SystemView) -> Vec<Action> {
+    fn control(&mut self, _view: &SystemView, _ctx: &ControlCtx<'_>) -> Vec<Action> {
         Vec::new()
     }
 
@@ -170,7 +303,9 @@ mod tests {
     #[test]
     fn round_robin_issues_no_actions() {
         let mut p = RoundRobinPolicy::new();
-        assert!(p.control(&empty_view(2)).is_empty());
+        assert!(p
+            .control(&empty_view(2), &ControlCtx::bootstrap())
+            .is_empty());
     }
 
     #[test]
@@ -179,5 +314,82 @@ mod tests {
         assert!(p
             .placement_order(WorkloadKind::KMeans, &empty_view(0))
             .is_empty());
+    }
+
+    #[test]
+    fn ctx_surfaces_rejected_migrations() {
+        let outcomes = [
+            ActionOutcome {
+                action: Action::Migrate {
+                    vm: VmId(3),
+                    target: 1,
+                },
+                result: ActionResult::Rejected(RejectReason::TargetFull),
+            },
+            ActionOutcome {
+                action: Action::Migrate {
+                    vm: VmId(4),
+                    target: 2,
+                },
+                result: ActionResult::Applied,
+            },
+            ActionOutcome {
+                action: Action::SetDvfs {
+                    node: 99,
+                    level: DvfsLevel::P1,
+                },
+                result: ActionResult::Rejected(RejectReason::UnknownNode),
+            },
+        ];
+        let ctx = ControlCtx {
+            step_index: 10,
+            now: SimInstant::from_secs(600),
+            last_outcomes: &outcomes,
+        };
+        let rejected: Vec<VmId> = ctx.rejected_migrations().collect();
+        assert_eq!(rejected, vec![VmId(3)]);
+        assert!(outcomes[0].is_rejected());
+        assert_eq!(outcomes[0].reject_reason(), Some(RejectReason::TargetFull));
+        assert_eq!(outcomes[1].reject_reason(), None);
+    }
+
+    #[test]
+    fn server_errors_map_to_typed_reasons() {
+        use baat_server::{MigrationBlock, ServerError};
+        let cases = [
+            (
+                ServerError::UnknownServer { index: 9, len: 6 },
+                RejectReason::UnknownNode,
+            ),
+            (
+                ServerError::UnknownVm { vm: VmId(1) },
+                RejectReason::UnknownVm,
+            ),
+            (
+                ServerError::MigrationRejected {
+                    vm: VmId(1),
+                    block: MigrationBlock::AlreadyInFlight,
+                },
+                RejectReason::AlreadyMigrating,
+            ),
+            (
+                ServerError::MigrationRejected {
+                    vm: VmId(1),
+                    block: MigrationBlock::TargetIsSource,
+                },
+                RejectReason::TargetIsSource,
+            ),
+            (
+                ServerError::InsufficientResources {
+                    vm: VmId(1),
+                    requested: (4, 8),
+                    free: (0, 0),
+                },
+                RejectReason::TargetFull,
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(RejectReason::from_server_error(&err), expected);
+        }
     }
 }

@@ -71,6 +71,49 @@ impl Recorder {
         self.rows.last().map_or(0.0, |r| r.work_cumulative)
     }
 
+    /// Renders the trace as JSONL (one object per sample row; per-node
+    /// series as JSON arrays), for structured consumers.
+    pub fn to_jsonl(&self) -> String {
+        use baat_obs::json::{f64_into, JsonLine};
+        let mut out = String::new();
+        for r in &self.rows {
+            let mut line = JsonLine::new();
+            line.u64_field("at_s", r.at.as_secs())
+                .f64_field("solar_w", r.solar.as_f64());
+            let mut soc = String::from("[");
+            for (i, v) in r.soc.iter().enumerate() {
+                if i > 0 {
+                    soc.push(',');
+                }
+                f64_into(&mut soc, *v);
+            }
+            soc.push(']');
+            let mut power = String::from("[");
+            for (i, p) in r.server_power.iter().enumerate() {
+                if i > 0 {
+                    power.push(',');
+                }
+                f64_into(&mut power, p.as_f64());
+            }
+            power.push(']');
+            let mut current = String::from("[");
+            for (i, a) in r.battery_current.iter().enumerate() {
+                if i > 0 {
+                    current.push(',');
+                }
+                f64_into(&mut current, *a);
+            }
+            current.push(']');
+            line.raw_field("soc", &soc)
+                .raw_field("server_w", &power)
+                .raw_field("battery_a", &current)
+                .f64_field("work_cumulative", r.work_cumulative);
+            out.push_str(&line.finish());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Renders the trace as CSV (one row per sample; per-node SoC, server
     /// power and battery current columns), for plotting outside Rust.
     pub fn to_csv(&self) -> String {

@@ -2,7 +2,7 @@
 //! engine actually enforces the actions policies request.
 
 use baat_server::DvfsLevel;
-use baat_sim::{Action, Policy, SimConfig, Simulation, SystemView};
+use baat_sim::{Action, ControlCtx, Policy, RejectReason, SimConfig, Simulation, SystemView};
 use baat_solar::Weather;
 use baat_units::{SimDuration, Soc};
 use baat_workload::WorkloadKind;
@@ -27,7 +27,7 @@ impl Policy for Scripted {
         "scripted"
     }
 
-    fn control(&mut self, view: &SystemView) -> Vec<Action> {
+    fn control(&mut self, view: &SystemView, _ctx: &ControlCtx<'_>) -> Vec<Action> {
         if self.issued {
             return Vec::new();
         }
@@ -67,7 +67,8 @@ fn soc_floors_are_enforced_by_the_engine() {
     };
     let report = Simulation::new(config(Weather::Rainy, 5))
         .expect("config valid")
-        .run(&mut policy);
+        .run(&mut policy)
+        .expect("run succeeds");
     for row in report.recorder.rows() {
         for &soc in &row.soc {
             assert!(soc >= 0.53, "floor violated: soc {soc} at {}", row.at);
@@ -89,13 +90,19 @@ fn rejected_actions_are_logged_not_fatal() {
     };
     let report = Simulation::new(config(Weather::Sunny, 6))
         .expect("config valid")
-        .run(&mut policy);
+        .run(&mut policy)
+        .expect("run succeeds");
+    let rejected: Vec<RejectReason> = report
+        .events
+        .iter()
+        .filter_map(|e| match &e.event {
+            Event::Action { outcome } => outcome.reject_reason(),
+            _ => None,
+        })
+        .collect();
     assert!(
-        report
-            .events
-            .count(|e| matches!(e, Event::ActionRejected { .. }))
-            >= 1,
-        "the node-999 DVFS request must be rejected"
+        rejected.contains(&RejectReason::UnknownNode),
+        "the node-999 DVFS request must be rejected as unknown-node, got {rejected:?}"
     );
     assert!(
         report
@@ -122,7 +129,7 @@ impl Policy for MigrateOnce {
         "migrate-once"
     }
 
-    fn control(&mut self, view: &SystemView) -> Vec<Action> {
+    fn control(&mut self, view: &SystemView, _ctx: &ControlCtx<'_>) -> Vec<Action> {
         if self.done {
             return Vec::new();
         }
@@ -157,8 +164,60 @@ fn policy_migrations_flow_through_the_cluster() {
     let mut policy = MigrateOnce { done: false };
     let report = Simulation::new(config(Weather::Sunny, 9))
         .expect("config valid")
-        .run(&mut policy);
+        .run(&mut policy)
+        .expect("run succeeds");
     assert_eq!(report.migrations, 1, "exactly one migration was requested");
+}
+
+/// A policy that requests an impossible migration and records whether the
+/// engine fed the failure back on the next control interval.
+struct FeedbackProbe {
+    requested: bool,
+    saw_rejection: bool,
+}
+
+impl Policy for FeedbackProbe {
+    fn name(&self) -> &'static str {
+        "feedback-probe"
+    }
+
+    fn control(&mut self, _view: &SystemView, ctx: &ControlCtx<'_>) -> Vec<Action> {
+        if self.requested {
+            for vm in ctx.rejected_migrations() {
+                assert_eq!(vm, baat_workload::VmId(u64::MAX));
+                self.saw_rejection = true;
+            }
+            for outcome in ctx.last_outcomes {
+                assert_eq!(outcome.reject_reason(), Some(RejectReason::UnknownVm));
+            }
+            return Vec::new();
+        }
+        self.requested = true;
+        vec![Action::Migrate {
+            vm: baat_workload::VmId(u64::MAX),
+            target: 0,
+        }]
+    }
+
+    fn placement_order(&mut self, _kind: WorkloadKind, view: &SystemView) -> Vec<usize> {
+        (0..view.nodes.len()).collect()
+    }
+}
+
+#[test]
+fn rejected_migrations_are_fed_back_to_the_policy() {
+    let mut policy = FeedbackProbe {
+        requested: false,
+        saw_rejection: false,
+    };
+    Simulation::new(config(Weather::Sunny, 17))
+        .expect("config valid")
+        .run(&mut policy)
+        .expect("run succeeds");
+    assert!(
+        policy.saw_rejection,
+        "the next ControlCtx must surface the rejected migration"
+    );
 }
 
 #[test]
@@ -174,7 +233,8 @@ fn pending_jobs_carry_over_between_days() {
         .seed(8);
     let report = Simulation::new(b.build().expect("config valid"))
         .expect("sim builds")
-        .run(&mut RoundRobinPolicy::new());
+        .run(&mut RoundRobinPolicy::new())
+        .expect("run succeeds");
     // Day 2 reports the carried-over queue.
     assert!(
         report
@@ -191,7 +251,8 @@ fn grid_charging_happens_only_at_night() {
     use baat_sim::RoundRobinPolicy;
     let report = Simulation::new(config(Weather::Sunny, 11))
         .expect("config valid")
-        .run(&mut RoundRobinPolicy::new());
+        .run(&mut RoundRobinPolicy::new())
+        .expect("run succeeds");
     // Overnight utility charging replaces what the day drained; with
     // batteries starting full it is bounded by a day's worth of cycling.
     assert!(report.grid_charge_energy.as_f64() >= 0.0);
@@ -210,8 +271,8 @@ fn a_dying_battery_is_visible_and_survivable() {
     let mut sim = Simulation::new(config(Weather::Cloudy, 13)).expect("config valid");
     sim.pre_age_bank(2, 0.95).expect("bank exists");
     assert!(sim.pre_age_bank(99, 0.5).is_err(), "bad index must error");
-    let report = sim.run(&mut RoundRobinPolicy::new());
-    assert_eq!(report.worst_node().node, 2);
+    let report = sim.run(&mut RoundRobinPolicy::new()).expect("run succeeds");
+    assert_eq!(report.worst_node().expect("has nodes").node, 2);
     assert!(report.nodes[2].capacity_fraction < 0.82);
     assert!(report.total_work > 0.0, "the fleet keeps computing");
 }

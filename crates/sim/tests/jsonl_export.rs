@@ -1,0 +1,184 @@
+//! Golden-snapshot tests for the structured JSONL exports.
+//!
+//! A seeded run's event log, recorder trace and metric snapshot are all
+//! deterministic, so their JSONL renderings are pinned byte-for-byte
+//! against checked-in golden files. This catches accidental format
+//! drift (a renamed field, a reordered key, a float formatting change)
+//! that downstream consumers of `events.jsonl` / `trace.jsonl` /
+//! `metrics.jsonl` would silently mis-parse.
+//!
+//! Stage-profile lines carry wall-clock nanoseconds and are inherently
+//! non-reproducible; they are checked structurally, never against a
+//! golden file.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! BAAT_UPDATE_GOLDEN=1 cargo test -p baat-sim --test jsonl_export
+//! ```
+
+use std::path::PathBuf;
+
+use baat_obs::Obs;
+use baat_server::DvfsLevel;
+use baat_sim::{
+    Action, ControlCtx, Policy, RejectReason, SimConfig, SimReport, Simulation, SystemView,
+};
+use baat_solar::Weather;
+use baat_units::{SimDuration, Soc};
+use baat_workload::{VmId, WorkloadKind};
+
+/// A policy that exercises every action kind once, including two that
+/// must be rejected, so the golden event log covers both
+/// `ActionOutcome` results.
+struct ExerciseActions {
+    issued: bool,
+}
+
+impl Policy for ExerciseActions {
+    fn name(&self) -> &'static str {
+        "exercise-actions"
+    }
+
+    fn control(&mut self, view: &SystemView, _ctx: &ControlCtx<'_>) -> Vec<Action> {
+        if self.issued || view.nodes.is_empty() {
+            return Vec::new();
+        }
+        self.issued = true;
+        vec![
+            Action::SetSocFloor {
+                node: 0,
+                floor: Soc::saturating(0.35),
+            },
+            Action::SetDvfs {
+                node: 0,
+                level: DvfsLevel::P2,
+            },
+            // Rejected: no such node.
+            Action::SetDvfs {
+                node: 999,
+                level: DvfsLevel::P1,
+            },
+            // Rejected: no such VM.
+            Action::Migrate {
+                vm: VmId(u64::MAX),
+                target: 0,
+            },
+        ]
+    }
+
+    fn placement_order(&mut self, _kind: WorkloadKind, view: &SystemView) -> Vec<usize> {
+        (0..view.nodes.len()).collect()
+    }
+}
+
+fn config() -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![Weather::Cloudy])
+        .dt(SimDuration::from_secs(60))
+        .sample_every(240)
+        .seed(2015);
+    b.build().expect("config is valid")
+}
+
+fn observed_run() -> (SimReport, Obs) {
+    let obs = Obs::enabled();
+    let sim = Simulation::with_obs(config(), obs.clone()).expect("config valid");
+    let mut policy = ExerciseActions { issued: false };
+    let report = sim.run(&mut policy).expect("run succeeds");
+    (report, obs)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BAAT_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with BAAT_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if the format change is \
+         intentional, regenerate with BAAT_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn event_log_jsonl_matches_golden() {
+    let (report, _) = observed_run();
+    assert_matches_golden("events.jsonl", &report.events.to_jsonl());
+}
+
+#[test]
+fn recorder_trace_jsonl_matches_golden() {
+    let (report, _) = observed_run();
+    assert_matches_golden("trace.jsonl", &report.recorder.to_jsonl());
+}
+
+#[test]
+fn metric_snapshot_jsonl_matches_golden() {
+    let (_, obs) = observed_run();
+    assert_matches_golden("metrics.jsonl", &obs.metrics_jsonl());
+}
+
+#[test]
+fn profile_jsonl_is_structurally_sound() {
+    // Wall-clock timings cannot be golden-pinned; pin the shape instead:
+    // one JSON object per exercised stage with calls and total_ns.
+    let (_, obs) = observed_run();
+    let profile = obs.profile_jsonl();
+    assert!(!profile.is_empty(), "enabled run must profile stages");
+    for line in profile.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad line: {line}"
+        );
+        for field in ["\"stage\":", "\"calls\":", "\"total_ns\":", "\"mean_ns\":"] {
+            assert!(line.contains(field), "line missing {field}: {line}");
+        }
+    }
+    let battery_line = profile
+        .lines()
+        .find(|l| l.contains("\"stage\":\"battery_step\""))
+        .expect("battery step is always exercised");
+    assert!(!battery_line.contains("\"calls\":0"));
+}
+
+#[test]
+fn rejected_actions_surface_with_their_reasons() {
+    use baat_sim::Event;
+    let (report, _) = observed_run();
+    let rejected: Vec<RejectReason> = report
+        .events
+        .iter()
+        .filter_map(|e| match &e.event {
+            Event::Action { outcome } => outcome.reject_reason(),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        rejected,
+        vec![RejectReason::UnknownNode, RejectReason::UnknownVm],
+        "both bad actions must be rejected, each with its own reason"
+    );
+    // And the applied ones really were applied.
+    let applied = report
+        .events
+        .iter()
+        .filter(|e| matches!(&e.event, Event::Action { outcome } if !outcome.is_rejected()))
+        .count();
+    assert!(applied >= 2, "floor + DVFS actions must apply");
+}

@@ -13,7 +13,7 @@
 //!   minimising the counterexample, the harness prints the generated
 //!   inputs, the case number, and the base seed needed to replay the
 //!   exact failure.
-//! * **`criterion`** — the [`bench`] module is a minimal wall-clock
+//! * **`criterion`** — the [`mod@bench`] module is a minimal wall-clock
 //!   harness for `harness = false` bench targets: warm-up, timed
 //!   batches, and a mean/min/max-per-iteration report.
 //!

@@ -1,7 +1,7 @@
 //! Value-generation strategies.
 //!
 //! A [`Strategy`] deterministically maps generator state to a value:
-//! ranges draw uniformly, tuples draw element-wise, [`vec`] draws a
+//! ranges draw uniformly, tuples draw element-wise, [`vec()`] draws a
 //! random length then that many elements, [`Just`] always yields its
 //! value, and [`OneOf`] picks one of several alternatives. Unlike
 //! `proptest`, strategies carry no shrinking machinery — the runner
@@ -118,7 +118,7 @@ impl<T> Strategy for OneOf<T> {
     }
 }
 
-/// An inclusive length window for [`vec`].
+/// An inclusive length window for [`vec()`].
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
@@ -163,7 +163,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

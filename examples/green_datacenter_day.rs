@@ -28,9 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     sim.pre_age_batteries(OLD_DAMAGE);
                 }
                 let mut policy = scheme.build();
-                let report = sim.run(&mut policy);
+                let report = sim.run(&mut policy)?;
                 let downtime: u64 = report.nodes.iter().map(|n| n.downtime.as_secs()).sum();
-                let worst = report.worst_node();
+                let worst = report.worst_node().expect("report has nodes");
                 println!(
                     "{:<8} {:<7} {:<6} {:>9.1} {:>6} {:>9} {:>9} {:>8.4}",
                     weather.to_string(),

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // different horizons against the e-Buff baseline.
     let baseline = {
         let sim = Simulation::new(config(7))?;
-        sim.run(&mut Scheme::EBuff.build())
+        sim.run(&mut Scheme::EBuff.build())?
     };
     println!(
         "\ntwo hard days (cloudy+rainy), e-Buff baseline: {:.1} core-h, damage {:.4}\n",
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cycles_per_day: 1.0,
         });
         let sim = Simulation::new(config(7))?;
-        let report = sim.run(&mut policy);
+        let report = sim.run(&mut policy)?;
         println!(
             "{:>14.0} d {:>10.1} {:>9.1}% {:>10.4}",
             service_days,

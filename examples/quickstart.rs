@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             node.deep_discharge_time,
         );
     }
-    let worst = report.worst_node();
+    let worst = report.worst_node().expect("report has nodes");
     println!();
     println!(
         "worst battery node: {} (damage {:.4}) — the node BAAT's hiding targets",

@@ -13,6 +13,8 @@
 //! * [`power`] — switcher, charger, sensors, power tables;
 //! * [`metrics`] — NAT, CF, PC, DDT, DR and the Eq-6/Eq-7 decision
 //!   values;
+//! * [`obs`] — observability: metric registry, step profiler, JSONL
+//!   export;
 //! * [`sim`] — the discrete-time green-datacenter engine;
 //! * [`core`] — the BAAT policies (e-Buff, BAAT-s, BAAT-h, BAAT),
 //!   lifetime and availability analyses;
@@ -38,6 +40,7 @@ pub use baat_battery as battery;
 pub use baat_core as core;
 pub use baat_cost as cost;
 pub use baat_metrics as metrics;
+pub use baat_obs as obs;
 pub use baat_power as power;
 pub use baat_server as server;
 pub use baat_sim as sim;

@@ -72,7 +72,7 @@ fn overnight_grid_charging_restores_batteries() {
     // Run through day 0 and the night into day 1 at 08:00.
     let steps_to_8am_day1 = (86_400 + 8 * 3600) / 60;
     for _ in 0..steps_to_8am_day1 {
-        sim.step(&mut policy);
+        sim.step(&mut policy).expect("step succeeds");
     }
     for i in 0..6 {
         let soc = sim.batteries().unit(i).expect("node exists").soc();
@@ -81,7 +81,7 @@ fn overnight_grid_charging_restores_batteries() {
             "battery {i} should be recharged overnight, got {soc}"
         );
     }
-    let report = sim.into_report("e-Buff");
+    let report = sim.into_report("e-Buff").expect("report builds");
     assert!(report.grid_charge_energy.as_f64() > 0.0);
 }
 
@@ -135,11 +135,12 @@ fn baat_ages_batteries_slower_than_ebuff() {
         .expect("simulation runs");
     let baat =
         run_simulation(quick_config(plan, 13), &mut Scheme::Baat.build()).expect("simulation runs");
+    let worst = |r: &baat_repro::sim::SimReport| r.worst_node().expect("has nodes").damage;
     assert!(
-        baat.worst_node().damage < ebuff.worst_node().damage,
+        worst(&baat) < worst(&ebuff),
         "BAAT {} vs e-Buff {}",
-        baat.worst_node().damage,
-        ebuff.worst_node().damage
+        worst(&baat),
+        worst(&ebuff)
     );
 }
 
@@ -196,7 +197,7 @@ fn baat_protects_the_worn_battery_once_its_metrics_show() {
     let run_with = |scheme: Scheme| {
         let mut sim = Simulation::new(quick_config(plan.clone(), 21)).expect("config valid");
         sim.pre_age_bank(0, 0.8).expect("bank exists");
-        sim.run(&mut scheme.build())
+        sim.run(&mut scheme.build()).expect("simulation runs")
     };
     let ebuff = run_with(Scheme::EBuff);
     let baat = run_with(Scheme::Baat);
