@@ -25,4 +25,24 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> faulted-scenario determinism smoke"
+# Two identical faulted console runs must emit byte-identical event
+# logs, the faulted log must actually carry fault events, and a clean
+# run must carry none.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CONSOLE=(cargo run --release -q -p baat-bench --bin console --)
+"${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
+    --faults heavy --jsonl "$SMOKE_DIR/a" >/dev/null
+"${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
+    --faults heavy --jsonl "$SMOKE_DIR/b" >/dev/null
+cmp "$SMOKE_DIR/a/events.jsonl" "$SMOKE_DIR/b/events.jsonl"
+grep -q '"kind":"fault_injected"' "$SMOKE_DIR/a/events.jsonl"
+"${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
+    --jsonl "$SMOKE_DIR/clean" >/dev/null
+if grep -q '"kind":"fault_injected"' "$SMOKE_DIR/clean/events.jsonl"; then
+    echo "error: clean run emitted fault events" >&2
+    exit 1
+fi
+
 echo "ok: tier-1 gate passed"

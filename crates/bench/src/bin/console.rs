@@ -7,17 +7,22 @@
 //! ```text
 //! cargo run --release -p baat-bench --bin console -- \
 //!     --scheme baat --weather cloudy,rainy --seed 7 --old \
-//!     --topology shared:2 --csv trace.csv --jsonl obs/
+//!     --topology shared:2 --faults light --csv trace.csv --jsonl obs/
 //! ```
 //!
 //! `--jsonl DIR` runs with observation enabled and dumps the structured
 //! exports — `events.jsonl`, `trace.jsonl`, `metrics.jsonl`,
 //! `profile.jsonl` — into `DIR`. The run itself is bit-identical either
 //! way.
+//!
+//! `--faults light|heavy[:SEED]` layers a seeded deterministic fault
+//! plan over the run (one plan per simulated day, generated for the
+//! chosen topology). The plan seed defaults to `--seed`, so the same
+//! command line always replays the same outages.
 
 use baat_core::Scheme;
 use baat_obs::Obs;
-use baat_sim::{BatteryTopology, Event, SimConfig, Simulation};
+use baat_sim::{BatteryTopology, Event, FaultMix, FaultPlan, SimConfig, Simulation};
 use baat_solar::Weather;
 use baat_units::SimDuration;
 
@@ -27,6 +32,7 @@ struct Args {
     seed: u64,
     old: bool,
     topology: BatteryTopology,
+    faults: Option<(FaultMix, Option<u64>)>,
     csv: Option<String>,
     jsonl: Option<String>,
 }
@@ -35,7 +41,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: console [--scheme e-buff|baat-s|baat-h|baat] \
          [--weather sunny,cloudy,rainy] [--seed N] [--old] \
-         [--topology per-server|shared:K] [--csv PATH] [--jsonl DIR]"
+         [--topology per-server|shared:K] [--faults light|heavy[:SEED]] \
+         [--csv PATH] [--jsonl DIR]"
     );
     std::process::exit(2);
 }
@@ -47,6 +54,7 @@ fn parse_args() -> Args {
         seed: 42,
         old: false,
         topology: BatteryTopology::PerServer,
+        faults: None,
         csv: None,
         jsonl: None,
     };
@@ -97,6 +105,15 @@ fn parse_args() -> Args {
                     usage()
                 };
             }
+            "--faults" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let (mix, plan_seed) = match v.split_once(':') {
+                    Some((m, s)) => (m, Some(s.parse().unwrap_or_else(|_| usage()))),
+                    None => (v.as_str(), None),
+                };
+                let mix = FaultMix::parse(mix).unwrap_or_else(|| usage());
+                args.faults = Some((mix, plan_seed));
+            }
             "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
             "--jsonl" => args.jsonl = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
@@ -114,6 +131,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .sample_every(10)
         .topology(args.topology)
         .seed(args.seed);
+    if let Some((mix, plan_seed)) = &args.faults {
+        // Probe-build to learn the fleet size the defaults resolve to,
+        // then generate the plan for that topology.
+        let probe = builder.build()?;
+        builder.faults(FaultPlan::generate(
+            plan_seed.unwrap_or(args.seed),
+            probe.days(),
+            probe.nodes,
+            args.topology.banks(probe.nodes),
+            mix,
+        ));
+    }
     let config = builder.build()?;
 
     let obs = if args.jsonl.is_some() {
@@ -189,6 +218,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     if rejected > 0 {
         println!("  rejected actions {rejected}");
+    }
+    if args.faults.is_some() {
+        println!(
+            "  faults injected {}  cleared {}  degraded transitions {}",
+            count(|e| matches!(e, Event::FaultInjected { .. })),
+            count(|e| matches!(e, Event::FaultCleared { .. })),
+            count(|e| matches!(e, Event::DegradedMode { .. })),
+        );
     }
 
     if let Some(path) = args.csv {

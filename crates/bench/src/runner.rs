@@ -24,7 +24,7 @@ use baat_core::Scheme;
 use baat_obs::json::JsonLine;
 use baat_obs::Obs;
 use baat_rng::derive_seed;
-use baat_sim::{SimConfig, SimReport, Simulation};
+use baat_sim::{FaultMix, FaultPlan, SimConfig, SimReport, Simulation};
 use baat_solar::Weather;
 use baat_units::SimDuration;
 
@@ -46,6 +46,41 @@ pub fn day_config(weather: Weather, seed: u64) -> SimConfig {
         .sample_every(20)
         .seed(seed);
     b.build().expect("experiment defaults are valid")
+}
+
+/// [`day_config`] with a seeded fault plan layered on top: the same
+/// weather, timestep and sampling cadence, plus `mix.per_day` faults
+/// generated over the default 6-node / per-server topology. The plan is
+/// a pure function of `seed`, so faulted sweeps replay exactly.
+pub fn faulted_day_config(weather: Weather, seed: u64, mix: &FaultMix) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![weather])
+        .dt(EXPERIMENT_DT)
+        .sample_every(20)
+        .seed(seed)
+        .faults(FaultPlan::generate(seed, 1, 6, 6, mix));
+    b.build().expect("experiment defaults are valid")
+}
+
+/// Builds a clean/faulted scenario pair per scheme — the degradation
+/// ablation matrix. Both cells of a pair share the seed, so the fault
+/// plan is the only thing that differs; the clean cell always precedes
+/// its faulted twin in the returned order.
+pub fn fault_matrix(
+    schemes: &[Scheme],
+    weather: Weather,
+    seed: u64,
+    mix: &FaultMix,
+) -> Vec<Scenario> {
+    let mut out = Vec::with_capacity(schemes.len() * 2);
+    for &scheme in schemes {
+        out.push(Scenario::new(scheme, day_config(weather, seed)));
+        out.push(Scenario::new(
+            scheme,
+            faulted_day_config(weather, seed, mix),
+        ));
+    }
+    out
 }
 
 /// Builds a multi-day configuration with the given weather plan.
@@ -306,6 +341,32 @@ mod tests {
         let c = day_config(Weather::Cloudy, 1);
         assert_eq!(c.days(), 1);
         assert_eq!(c.dt, EXPERIMENT_DT);
+    }
+
+    #[test]
+    fn faulted_day_config_carries_a_replayable_plan() {
+        let mix = FaultMix::light();
+        let a = faulted_day_config(Weather::Cloudy, 9, &mix);
+        let b = faulted_day_config(Weather::Cloudy, 9, &mix);
+        assert_eq!(a.faults.len(), mix.per_day);
+        assert_eq!(a.faults.faults(), b.faults.faults());
+        assert_eq!(a.dt, EXPERIMENT_DT);
+    }
+
+    #[test]
+    fn fault_matrix_pairs_clean_with_faulted() {
+        let schemes = [Scheme::EBuff, Scheme::Baat];
+        let cells = fault_matrix(&schemes, Weather::Sunny, 11, &FaultMix::heavy());
+        assert_eq!(cells.len(), 4);
+        for (i, &scheme) in schemes.iter().enumerate() {
+            let clean = &cells[2 * i];
+            let faulted = &cells[2 * i + 1];
+            assert_eq!(clean.scheme, scheme);
+            assert_eq!(faulted.scheme, scheme);
+            assert!(clean.config.faults.is_empty());
+            assert!(!faulted.config.faults.is_empty());
+            assert_eq!(clean.config.seed, faulted.config.seed);
+        }
     }
 
     #[test]

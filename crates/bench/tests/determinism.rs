@@ -12,15 +12,16 @@
 //!    seed plumbing bug making every run identical).
 
 use baat_bench::runner::{
-    day_config, plan_config, run_scenarios_observed_with_threads, run_scenarios_with_threads,
-    scenario_seed, Scenario, OLD_BATTERY_DAMAGE,
+    day_config, faulted_day_config, plan_config, run_scenarios_observed_with_threads,
+    run_scenarios_with_threads, scenario_seed, Scenario, OLD_BATTERY_DAMAGE,
 };
 use baat_core::Scheme;
-use baat_sim::SimReport;
+use baat_sim::{FaultMix, SimReport};
 use baat_solar::Weather;
 
 /// A small but representative sweep: multiple schemes, weathers, day
-/// counts, and a pre-aged cell.
+/// counts, a pre-aged cell, and a fault-injected cell (the degradation
+/// path must replay exactly like the clean path).
 fn sweep(seed: u64) -> Vec<Scenario> {
     let mut scenarios = Vec::new();
     for (i, weather) in [Weather::Sunny, Weather::Cloudy, Weather::Rainy]
@@ -41,6 +42,10 @@ fn sweep(seed: u64) -> Vec<Scenario> {
         )
         .pre_aged(OLD_BATTERY_DAMAGE),
     );
+    scenarios.push(Scenario::new(
+        Scheme::Baat,
+        faulted_day_config(Weather::Cloudy, seed, &FaultMix::light()),
+    ));
     scenarios
 }
 
@@ -111,6 +116,6 @@ fn reports_preserve_scenario_order() {
     let schemes: Vec<&str> = reports.iter().map(|r| r.policy).collect();
     assert_eq!(
         schemes,
-        ["e-Buff", "BAAT", "e-Buff", "BAAT", "e-Buff", "BAAT", "BAAT"]
+        ["e-Buff", "BAAT", "e-Buff", "BAAT", "e-Buff", "BAAT", "BAAT", "BAAT"]
     );
 }

@@ -18,19 +18,23 @@ pub fn node_weighted_aging(node: &NodeView, class: DemandClass) -> f64 {
 }
 
 /// Orders all nodes by ascending Eq-6 weighted aging (the Fig 8 placement
-/// rank): least-aged battery first.
+/// rank): least-aged battery first. Degraded nodes (stale telemetry —
+/// their metrics are last-known-good, not current) sort after every
+/// healthy node regardless of apparent aging.
 pub fn rank_by_weighted_aging(view: &SystemView, class: DemandClass) -> Vec<usize> {
     let mut order: Vec<usize> = view.nodes.iter().map(|n| n.node).collect();
     order.sort_by(|&a, &b| {
-        node_weighted_aging(&view.nodes[a], class)
-            .total_cmp(&node_weighted_aging(&view.nodes[b], class))
+        let (na, nb) = (&view.nodes[a], &view.nodes[b]);
+        na.degraded
+            .cmp(&nb.degraded)
+            .then(node_weighted_aging(na, class).total_cmp(&node_weighted_aging(nb, class)))
     });
     order
 }
 
 /// Picks the best migration target for a VM currently on `source`:
-/// the lowest-weighted-aging node that is online, has the resources, and
-/// has a comfortably charged battery. Returns `None` when no node
+/// the lowest-weighted-aging node that is online, not degraded, has the
+/// resources, and has a comfortably charged battery. Returns `None` when no node
 /// qualifies (the Fig 9 "VM cannot be migrated due to resource
 /// constraints" branch).
 pub fn best_migration_target(
@@ -49,6 +53,7 @@ pub fn best_migration_target(
             }
             let node = &view.nodes[candidate];
             node.online
+                && !node.degraded
                 && node.soc.value() >= min_target_soc
                 && node.free_resources.0 >= request.0
                 && node.free_resources.1 >= request.1
@@ -120,6 +125,7 @@ pub(crate) mod tests_support {
             utilization: Fraction::HALF,
             dvfs: DvfsLevel::P0,
             online: true,
+            degraded: false,
             free_resources: free,
             vms: Vec::new(),
             battery_available: Watts::new(300.0),

@@ -1,0 +1,145 @@
+//! Property-based tests for the fault-plan and injector contracts:
+//! seeded generation is deterministic and always valid, activation is a
+//! pure function of simulated time, and sensor perturbations never
+//! produce non-finite telemetry.
+
+use baat_faults::{FaultInjector, FaultKind, FaultMix, FaultPlan, FaultSpec};
+use baat_testkit::prelude::*;
+use baat_units::{Amperes, Celsius, SimDuration, SimInstant, Soc, Volts};
+
+fn mix_strategy() -> impl Strategy<Value = FaultMix> {
+    prop_oneof![Just(FaultMix::light()), Just(FaultMix::heavy())]
+}
+
+fn sample_at(secs: u64) -> baat_battery::SensorSample {
+    baat_battery::SensorSample {
+        at: SimInstant::from_secs(secs),
+        voltage: Volts::new(12.3),
+        current: Amperes::new(4.0),
+        temperature: Celsius::new(25.0),
+        soc: Soc::new(0.7).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The same seed always generates the same plan, and every generated
+    /// plan validates against the topology it was generated for.
+    #[test]
+    fn generation_is_deterministic_and_valid(
+        seed in 0u64..1_000,
+        days in 1usize..4,
+        banks in 1usize..7,
+        mix in mix_strategy(),
+    ) {
+        let a = FaultPlan::generate(seed, days, 6, banks, &mix);
+        let b = FaultPlan::generate(seed, days, 6, banks, &mix);
+        prop_assert_eq!(a.faults(), b.faults(), "same seed, same plan");
+        prop_assert!(a.validate(6, banks).is_ok());
+        prop_assert_eq!(a.len(), days * mix.per_day);
+    }
+
+    /// Activation windows are half-open: in force at `start`, out of
+    /// force at `start + duration`, never outside.
+    #[test]
+    fn activation_is_a_pure_function_of_time(
+        start in 0u64..86_400,
+        dur_minutes in 1u64..180,
+        probe in 0u64..172_800,
+    ) {
+        let spec = FaultSpec {
+            kind: FaultKind::PvOutage,
+            start: SimInstant::from_secs(start),
+            duration: SimDuration::from_minutes(dur_minutes),
+        };
+        let now = SimInstant::from_secs(probe);
+        let expected = probe >= start && probe < start + dur_minutes * 60;
+        prop_assert_eq!(spec.active_at(now), expected);
+    }
+
+    /// Stepping an injector over a generated plan keeps the active count
+    /// consistent with the transitions it reported, and every window
+    /// eventually clears.
+    #[test]
+    fn transitions_balance_over_a_run(seed in 0u64..500, mix in mix_strategy()) {
+        let plan = FaultPlan::generate(seed, 1, 6, 6, &mix);
+        let mut injector = FaultInjector::new(&plan, 6, seed);
+        let mut entered = 0usize;
+        let mut cleared = 0usize;
+        // Step a simulated day and a half at one-minute resolution: all
+        // generated windows start and end inside it.
+        for minute in 0..(36 * 60) {
+            for t in injector.begin_step(SimInstant::from_secs(minute * 60)) {
+                if t.entered {
+                    entered += 1;
+                } else {
+                    cleared += 1;
+                }
+            }
+            prop_assert_eq!(injector.active_count(), entered - cleared);
+            let scale = injector.solar_scale();
+            prop_assert!((0.0..=1.0).contains(&scale), "solar scale {scale}");
+        }
+        prop_assert_eq!(entered, plan.len(), "every fault fires exactly once");
+        prop_assert_eq!(cleared, plan.len(), "every fault clears");
+    }
+
+    /// Arbitrary active sensor faults never corrupt a sample into
+    /// non-finite telemetry, and the perturbed timestamp is never newer
+    /// than the truth.
+    #[test]
+    fn perturbed_samples_stay_finite(
+        seed in 0u64..500,
+        sigma in 0.01f64..0.5,
+        drift in 0.01f64..0.2,
+    ) {
+        let mut plan = FaultPlan::new();
+        plan.push(FaultSpec {
+            kind: FaultKind::SensorNoise { bank: 0, sigma },
+            start: SimInstant::START,
+            duration: SimDuration::from_hours(2),
+        });
+        plan.push(FaultSpec {
+            kind: FaultKind::SensorDrift { bank: 0, volts_per_hour: drift },
+            start: SimInstant::START,
+            duration: SimDuration::from_hours(2),
+        });
+        plan.push(FaultSpec {
+            kind: FaultKind::ThermalSensorLoss { bank: 0 },
+            start: SimInstant::START,
+            duration: SimDuration::from_hours(2),
+        });
+        let mut injector = FaultInjector::new(&plan, 1, seed);
+        injector.begin_step(SimInstant::START);
+        for minute in 0..120 {
+            let now = SimInstant::from_secs(minute * 60);
+            let out = injector
+                .observe_sample(0, sample_at(minute * 60), now)
+                .expect("noise/drift faults never drop samples");
+            prop_assert!(out.voltage.as_f64().is_finite());
+            prop_assert!(out.current.as_f64().is_finite());
+            prop_assert!(out.temperature.as_f64().is_finite());
+            prop_assert!(out.at <= now);
+        }
+    }
+
+    /// An injector over an empty plan is the identity on every seam, for
+    /// any seed: the clean path draws nothing and perturbs nothing.
+    #[test]
+    fn empty_plan_is_the_identity(seed in 0u64..1_000, probe in 0u64..86_400) {
+        let mut injector = FaultInjector::new(&FaultPlan::new(), 4, seed);
+        prop_assert!(injector.is_idle());
+        prop_assert!(injector.begin_step(SimInstant::from_secs(probe)).is_empty());
+        prop_assert_eq!(injector.solar_scale(), 1.0);
+        prop_assert!(!injector.migrations_blocked());
+        for bank in 0..4 {
+            prop_assert!(!injector.host_down(bank));
+            let s = sample_at(probe);
+            prop_assert_eq!(
+                injector.observe_sample(bank, s, SimInstant::from_secs(probe)),
+                Some(s)
+            );
+        }
+    }
+}

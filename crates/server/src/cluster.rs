@@ -162,9 +162,11 @@ impl Cluster {
     }
 
     /// Free resources on a host *minus* reservations for in-flight
-    /// migrations targeting it.
+    /// migrations targeting it. An unknown target has no resources.
     pub fn reservable_resources(&self, target: ServerId) -> (u32, u32) {
-        let host = &self.hosts[target.0];
+        let Some(host) = self.hosts.get(target.0) else {
+            return (0, 0);
+        };
         let (mut fc, mut fm) = host.free_resources();
         for mig in self.in_flight.iter().filter(|m| m.to == target) {
             let (c, m) = mig.vm.kind().resource_request();
@@ -211,7 +213,8 @@ impl Cluster {
                 block: MigrationBlock::TargetIsSource,
             });
         }
-        let request = self.hosts[source.0]
+        let request = self
+            .host(source.0)?
             .vm(vm)
             .ok_or(ServerError::UnknownVm { vm })?
             .kind()
@@ -224,7 +227,7 @@ impl Cluster {
                 free: (fc, fm),
             });
         }
-        let mut evicted = self.hosts[source.0].evict(vm)?;
+        let mut evicted = self.host_mut(source.0)?.evict(vm)?;
         evicted.begin_migration();
         let duration = self.migration_spec.duration_for(request.1);
         self.in_flight.push(InFlight {
@@ -248,10 +251,16 @@ impl Cluster {
         let mut remaining = Vec::with_capacity(self.in_flight.len());
         for mut mig in self.in_flight.drain(..) {
             if mig.completes_at <= now {
-                mig.vm.resume();
-                // Capacity was reserved when the migration started.
-                self.hosts[mig.to.0].admit_unchecked(mig.vm);
-                completed += 1;
+                // Capacity was reserved when the migration started; a
+                // target that has somehow vanished keeps the VM in
+                // flight rather than dropping it (or panicking).
+                if let Some(host) = self.hosts.get_mut(mig.to.0) {
+                    mig.vm.resume();
+                    host.admit_unchecked(mig.vm);
+                    completed += 1;
+                } else {
+                    remaining.push(mig);
+                }
             } else {
                 remaining.push(mig);
             }
@@ -307,6 +316,21 @@ mod tests {
     #[test]
     fn prototype_has_six_servers() {
         assert_eq!(cluster().len(), 6);
+    }
+
+    #[test]
+    fn out_of_range_indices_error_instead_of_panicking() {
+        let mut c = cluster();
+        assert_eq!(c.reservable_resources(ServerId(99)), (0, 0));
+        c.host_mut(0)
+            .unwrap()
+            .admit(vm(1, WorkloadKind::KMeans))
+            .unwrap();
+        assert!(matches!(
+            c.begin_migration(VmId(1), ServerId(99), SimInstant::START),
+            Err(ServerError::UnknownServer { index: 99, .. })
+        ));
+        assert_eq!(c.locate(VmId(1)), Some(ServerId(0)), "VM stays put");
     }
 
     #[test]

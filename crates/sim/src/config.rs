@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use baat_battery::{BatterySpec, VariationParams};
+use baat_faults::FaultPlan;
 use baat_power::NoiseSpec;
 use baat_server::{MigrationSpec, ServerCapacity, ServerPowerModel};
 use baat_solar::Weather;
@@ -107,6 +108,8 @@ pub struct SimConfig {
     pub sensor_noise: NoiseSpec,
     /// Record one trace sample every this many steps.
     pub sample_every: usize,
+    /// Scheduled fault injections (empty by default: a clean run).
+    pub faults: FaultPlan,
     /// Master RNG seed (weather, workloads, sensors, manufacturing).
     pub seed: u64,
 }
@@ -172,6 +175,7 @@ impl Default for SimConfigBuilder {
                 ambient: Celsius::new(25.0),
                 sensor_noise: NoiseSpec::default(),
                 sample_every: 6,
+                faults: FaultPlan::default(),
                 seed: 42,
             },
         }
@@ -273,6 +277,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the fault-injection plan (validated against the topology in
+    /// [`SimConfigBuilder::build`]).
+    pub fn faults(&mut self, plan: FaultPlan) -> &mut Self {
+        self.config.faults = plan;
+        self
+    }
+
     /// Sets the master RNG seed.
     pub fn seed(&mut self, seed: u64) -> &mut Self {
         self.config.seed = seed;
@@ -332,6 +343,9 @@ impl SimConfigBuilder {
                 reason: format!("{} must be after {}", c.day_end, c.day_start),
             });
         }
+        c.faults
+            .validate(c.nodes, c.topology.banks(c.nodes))
+            .map_err(|e| SimError::invalid_config("faults", e))?;
         Ok(c.clone())
     }
 }
@@ -368,6 +382,32 @@ mod tests {
             .build()
             .is_err());
         assert!(SimConfig::builder().sample_every(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_fault_plan_outside_topology() {
+        use baat_faults::{FaultKind, FaultSpec};
+        use baat_units::SimInstant;
+        let mut plan = FaultPlan::new();
+        plan.push(FaultSpec {
+            kind: FaultKind::SensorDropout { bank: 6 },
+            start: SimInstant::START,
+            duration: SimDuration::from_minutes(5),
+        });
+        // Six per-server banks: bank 6 is out of range.
+        let err = SimConfig::builder()
+            .faults(plan.clone())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("faults"));
+        // But two shared pools make it out of range too; bank 1 is fine.
+        let mut ok = FaultPlan::new();
+        ok.push(FaultSpec {
+            kind: FaultKind::SensorDropout { bank: 1 },
+            start: SimInstant::START,
+            duration: SimDuration::from_minutes(5),
+        });
+        assert!(SimConfig::builder().faults(ok).build().is_ok());
     }
 
     #[test]

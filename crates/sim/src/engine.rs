@@ -23,8 +23,9 @@
 use std::collections::VecDeque;
 
 use baat_battery::{AgingObs, BatteryOp, BatteryPack, DamageBreakdown};
+use baat_faults::FaultInjector;
 use baat_metrics::{AgingMetrics, BatteryRatings};
-use baat_obs::{Counter, Histogram, Obs, Stage, StageClock};
+use baat_obs::{Counter, Gauge, Histogram, Obs, Stage, StageClock};
 use baat_power::{
     BatterySensor, Charger, PowerSwitcher, PowerTable, ServerPowerRecord, StageTracker,
 };
@@ -36,6 +37,7 @@ use baat_workload::{Arrival, Vm, WorkloadGenerator, WorkloadKind};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::events::{Event, EventLog};
+use crate::fallback::{FallbackInput, FallbackScheme};
 use crate::policy::{Action, ActionOutcome, ActionResult, ControlCtx, Policy, RejectReason};
 use crate::recorder::{Recorder, TraceRow};
 use crate::report::{NodeReport, SimReport};
@@ -95,6 +97,43 @@ impl EngineCounters {
     }
 }
 
+/// Fault-subsystem metric handles. Registered only when the configured
+/// fault plan schedules something, so fault-free runs leave the metrics
+/// registry (and its JSONL export) exactly as before.
+#[derive(Debug, Clone)]
+struct FaultCounters {
+    injected: Counter,
+    cleared: Counter,
+    active: Gauge,
+    degraded_nodes: Gauge,
+    degraded_intervals: Counter,
+    fallback_actions: Counter,
+}
+
+impl FaultCounters {
+    fn new(obs: &Obs) -> Self {
+        Self {
+            injected: obs.counter("faults.injected"),
+            cleared: obs.counter("faults.cleared"),
+            active: obs.gauge("faults.active"),
+            degraded_nodes: obs.gauge("sim.degraded.nodes"),
+            degraded_intervals: obs.counter("sim.degraded.intervals"),
+            fallback_actions: obs.counter("sim.fallback.actions"),
+        }
+    }
+
+    const fn inert() -> Self {
+        Self {
+            injected: Counter::disabled(),
+            cleared: Counter::disabled(),
+            active: Gauge::disabled(),
+            degraded_nodes: Gauge::disabled(),
+            degraded_intervals: Counter::disabled(),
+            fallback_actions: Counter::disabled(),
+        }
+    }
+}
+
 /// One green-datacenter simulation instance.
 pub struct Simulation {
     config: SimConfig,
@@ -143,6 +182,13 @@ pub struct Simulation {
     aging_obs: AgingObs,
     /// Per-bank charger mode-switch trackers.
     stage_trackers: Vec<StageTracker>,
+    /// Applies the configured fault plan at the engine's seams.
+    injector: FaultInjector,
+    /// Per-node degraded flags (telemetry stale past the bound).
+    degraded: Vec<bool>,
+    /// Conservative actions for degraded nodes.
+    fallback: FallbackScheme,
+    fault_counters: FaultCounters,
 }
 
 impl Simulation {
@@ -231,6 +277,12 @@ impl Simulation {
         let stage_trackers = (0..banks)
             .map(|_| StageTracker::new(obs.counter("power.charger.mode_switches")))
             .collect();
+        let injector = FaultInjector::new(&config.faults, banks, config.seed);
+        let fault_counters = if config.faults.is_empty() {
+            FaultCounters::inert()
+        } else {
+            FaultCounters::new(&obs)
+        };
         Ok(Self {
             banks,
             bank_of,
@@ -268,6 +320,10 @@ impl Simulation {
             counters,
             aging_obs,
             stage_trackers,
+            injector,
+            degraded: vec![false; nodes],
+            fallback: FallbackScheme::new(),
+            fault_counters,
             config,
         })
     }
@@ -361,6 +417,13 @@ impl Simulation {
         }
         self.in_window = in_window;
 
+        // Fault-plan transitions and host enforcement. An empty plan
+        // skips every fault hook, so fault-free runs stay bit-identical
+        // to pre-fault builds.
+        if !self.injector.is_idle() {
+            self.process_faults()?;
+        }
+
         // One boundary clock covers every per-step stage (placement,
         // solar, and route_power's charger/switcher/battery passes), and
         // only on sampled steps: per-step stage work is microseconds, so
@@ -391,7 +454,9 @@ impl Simulation {
         // Solar generation for this step (also exposed to the policy).
         let solar_total = {
             let attenuation = self.clouds.step();
-            self.array.output(tod, attenuation)
+            // ×1.0 when no PV fault is active — an exact identity, so
+            // the clean path is untouched.
+            self.array.output(tod, attenuation) * self.injector.solar_scale()
         };
         clock.lap(Stage::Solar);
         self.last_solar = solar_total;
@@ -401,6 +466,12 @@ impl Simulation {
         // remember the new outcomes for next time.
         let control_steps = self.config.control_interval.as_secs() / dt.as_secs();
         if in_window && self.step_index.is_multiple_of(control_steps.max(1)) {
+            // Degradation is re-evaluated at the control cadence, right
+            // before the policy observes the system, so the view's
+            // `degraded` flags are current when decisions are made.
+            if !self.injector.is_idle() {
+                self.update_degradation();
+            }
             let actions = {
                 let _t = obs.time(Stage::PolicyControl);
                 for host in self.cluster.hosts_mut() {
@@ -420,6 +491,9 @@ impl Simulation {
                 .actions_per_interval
                 .observe(actions.len() as u64);
             self.last_outcomes = self.apply_actions(actions);
+            if !self.injector.is_idle() {
+                self.run_fallback()?;
+            }
             {
                 let _t = obs.time(Stage::Placement);
                 self.retry_pending(policy)?;
@@ -491,6 +565,90 @@ impl Simulation {
         }
     }
 
+    /// Advances the fault plan to `now`: logs injection/clear events,
+    /// keeps the active-fault gauge current, and enforces host-failure
+    /// faults by powering the afflicted servers off.
+    fn process_faults(&mut self) -> Result<(), SimError> {
+        for t in self.injector.begin_step(self.now) {
+            if t.entered {
+                self.fault_counters.injected.inc();
+                self.events
+                    .push(self.now, Event::FaultInjected { fault: t.kind });
+            } else {
+                self.fault_counters.cleared.inc();
+                self.events
+                    .push(self.now, Event::FaultCleared { fault: t.kind });
+            }
+        }
+        self.fault_counters
+            .active
+            .set(self.injector.active_count() as f64);
+        // A host-failure fault pins the server down for its whole
+        // window; try_restarts refuses to revive it while it holds.
+        for i in 0..self.config.nodes {
+            if self.injector.host_down(i) && self.cluster.host(i)?.is_online() {
+                self.cluster.host_mut(i)?.power_off();
+                self.offline_since[i] = Some(self.now);
+                self.counters.shutdowns.inc();
+                self.events
+                    .push(self.now, Event::ServerShutdown { node: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-evaluates per-node telemetry staleness against the configured
+    /// bound, logging [`Event::DegradedMode`] transitions and keeping
+    /// the degradation gauges current. A node with no sample yet is
+    /// fresh: degradation means *losing* telemetry, not awaiting it.
+    fn update_degradation(&mut self) {
+        let limit = self.config.faults.staleness_limit();
+        for i in 0..self.config.nodes {
+            let stale = match self.power_table.node(i).and_then(|n| n.latest_battery()) {
+                Some(sample) => self.now.saturating_since(sample.at) > limit,
+                None => false,
+            };
+            if stale != self.degraded[i] {
+                self.degraded[i] = stale;
+                self.events.push(
+                    self.now,
+                    Event::DegradedMode {
+                        node: i,
+                        active: stale,
+                    },
+                );
+            }
+        }
+        let count = self.degraded.iter().filter(|&&d| d).count();
+        self.fault_counters.degraded_nodes.set(count as f64);
+        self.fault_counters.degraded_intervals.add(count as u64);
+    }
+
+    /// Issues the conservative fallback actions for degraded nodes
+    /// through the normal actuation path. The outcomes are logged and
+    /// fed back to the scheme (so it never repeats a fresh rejection)
+    /// but not to the policy: they are the engine's own corrections,
+    /// not the policy's.
+    fn run_fallback(&mut self) -> Result<(), SimError> {
+        let inputs = (0..self.config.nodes)
+            .map(|i| {
+                Ok(FallbackInput {
+                    node: i,
+                    degraded: self.degraded[i],
+                    soc_floor: self.soc_floors[self.bank_of[i]],
+                    dvfs: self.cluster.host(i)?.dvfs(),
+                })
+            })
+            .collect::<Result<Vec<_>, SimError>>()?;
+        let actions = self.fallback.plan(&inputs);
+        self.fault_counters
+            .fallback_actions
+            .add(actions.len() as u64);
+        let outcomes = self.apply_actions(actions);
+        self.fallback.record_outcomes(&outcomes);
+        Ok(())
+    }
+
     /// Attempts to place a VM; returns it back if no node can take it.
     fn place_vm<P: Policy>(
         &mut self,
@@ -545,6 +703,9 @@ impl Simulation {
                     }
                     Err(_) => ActionResult::Rejected(RejectReason::UnknownNode),
                 },
+                Action::Migrate { .. } if self.injector.migrations_blocked() => {
+                    ActionResult::Rejected(RejectReason::FaultInjected)
+                }
                 Action::Migrate { vm, target } => {
                     let from = self.cluster.locate(vm).map(|s| s.0);
                     match self.cluster.begin_migration(vm, ServerId(target), self.now) {
@@ -591,6 +752,9 @@ impl Simulation {
     /// Battery terminal power available without crossing the bank's SoC
     /// floor within one step.
     fn floored_available(&self, bank: usize, dt: SimDuration) -> Result<Watts, SimError> {
+        if self.injector.bank(bank).open_circuit {
+            return Ok(Watts::ZERO);
+        }
         let battery = self.batteries.unit(bank)?;
         let floor = self.soc_floors[bank];
         let headroom = battery.soc().value() - floor.value();
@@ -625,7 +789,18 @@ impl Simulation {
                 .map(|b| {
                     let soc = self.batteries.unit(b)?.soc();
                     self.stage_trackers[b].observe(self.chargers[b].stage(soc));
-                    let p = self.chargers[b].charge_power(soc, self.chargers[b].max_power());
+                    let faults = self.injector.bank(b);
+                    if faults.charger_failed || faults.open_circuit {
+                        return Ok(BatteryOp::Idle);
+                    }
+                    // A mode-stuck charger is latched in float trickle:
+                    // its budget is the float-stage acceptance.
+                    let budget = if faults.charger_stuck {
+                        self.chargers[b].acceptance(Soc::FULL)
+                    } else {
+                        self.chargers[b].max_power()
+                    };
+                    let p = self.chargers[b].charge_power(soc, budget);
                     Ok(if p.as_f64() > 0.0 {
                         BatteryOp::Charge(p)
                     } else {
@@ -643,14 +818,19 @@ impl Simulation {
                 self.last_currents[b] = result.current.as_f64();
                 self.last_voltages[b] = result.terminal_voltage.as_f64();
                 let battery = self.batteries.unit(b)?;
-                let sample = self.sensors[b].sample(
+                let fresh = self.sensors[b].sample(
                     battery,
                     Volts::new(self.last_voltages[b]),
                     result.current,
                     self.now,
                 );
-                for &node in &self.members[b] {
-                    self.power_table.record_battery(node, sample);
+                // The injector's clean path is the identity and draws no
+                // randomness; under sensor faults the row is perturbed
+                // or (dropout) withheld entirely.
+                if let Some(sample) = self.injector.observe_sample(b, fresh, self.now) {
+                    for &node in &self.members[b] {
+                        self.power_table.record_battery(node, sample);
+                    }
                 }
             }
             clock.lap(Stage::BatteryStep);
@@ -672,7 +852,18 @@ impl Simulation {
             .map(|b| {
                 let soc = self.batteries.unit(b)?.soc();
                 self.stage_trackers[b].observe(self.chargers[b].stage(soc));
-                Ok((soc, self.chargers[b].acceptance(soc)))
+                let faults = self.injector.bank(b);
+                // The switcher sees the *effective* acceptance, so a
+                // failed charger's surplus is curtailed, not lost to an
+                // inconsistent charge pass below.
+                let acceptance = if faults.charger_failed || faults.open_circuit {
+                    Watts::ZERO
+                } else if faults.charger_stuck {
+                    self.chargers[b].acceptance(Soc::FULL)
+                } else {
+                    self.chargers[b].acceptance(soc)
+                };
+                Ok((soc, acceptance))
             })
             .collect::<Result<Vec<_>, SimError>>()?;
         clock.lap(Stage::Charger);
@@ -694,8 +885,12 @@ impl Simulation {
             let soc = socs_acceptances[b].0;
             let routing = routings[b];
 
-            // Apply the battery operation.
-            let op = if routing.battery_to_load.as_f64() > 0.0 {
+            // Apply the battery operation. An open-circuit string can
+            // neither charge nor discharge (the switcher already saw
+            // zero availability and zero acceptance).
+            let op = if self.injector.bank(b).open_circuit {
+                BatteryOp::Idle
+            } else if routing.battery_to_load.as_f64() > 0.0 {
                 BatteryOp::Discharge(routing.battery_to_load)
             } else {
                 let p = self.chargers[b].charge_power(soc, routing.surplus_to_charger);
@@ -728,14 +923,19 @@ impl Simulation {
             // Sensor row into the power table (every member node sees its
             // bank's telemetry, like rack members sharing a UPS monitor).
             let battery = self.batteries.unit(b)?;
-            let sample = self.sensors[b].sample(
+            let fresh = self.sensors[b].sample(
                 battery,
                 Volts::new(self.last_voltages[b]),
                 result.current,
                 self.now,
             );
+            // Sensor faults intercept only the battery row; the server
+            // power meter is a separate instrument and keeps flowing.
+            let sample = self.injector.observe_sample(b, fresh, self.now);
             for &node in &member_nodes {
-                self.power_table.record_battery(node, sample);
+                if let Some(sample) = sample {
+                    self.power_table.record_battery(node, sample);
+                }
                 self.power_table.record_server(
                     node,
                     ServerPowerRecord {
@@ -788,6 +988,9 @@ impl Simulation {
         let idle = self.config.server_power.idle();
         for i in 0..n {
             if self.cluster.host(i)?.is_online() {
+                continue;
+            }
+            if self.injector.host_down(i) {
                 continue;
             }
             let Some(since) = self.offline_since[i] else {
@@ -852,6 +1055,7 @@ impl Simulation {
                     utilization: host.utilization(tod),
                     dvfs: host.dvfs(),
                     online: host.is_online(),
+                    degraded: self.degraded[i],
                     free_resources: host.free_resources(),
                     vms: host
                         .vms()

@@ -1,5 +1,6 @@
 //! The simulation event log.
 
+use baat_faults::FaultKind;
 use baat_obs::json::JsonLine;
 use baat_server::DvfsLevel;
 use baat_units::{SimInstant, Soc};
@@ -59,6 +60,24 @@ pub enum Event {
         /// The node count at the time (for context).
         node: usize,
     },
+    /// A planned fault entered force.
+    FaultInjected {
+        /// The fault now active.
+        fault: FaultKind,
+    },
+    /// A planned fault left force.
+    FaultCleared {
+        /// The fault that cleared.
+        fault: FaultKind,
+    },
+    /// A node crossed the telemetry staleness bound (entering degraded
+    /// mode) or recovered fresh telemetry (leaving it).
+    DegradedMode {
+        /// Affected node.
+        node: usize,
+        /// `true` on entry, `false` on exit.
+        active: bool,
+    },
 }
 
 impl Event {
@@ -73,7 +92,20 @@ impl Event {
             Event::BatteryCutoff { .. } => "battery_cutoff",
             Event::SocFloorChanged { .. } => "soc_floor_changed",
             Event::PlacementFailed { .. } => "placement_failed",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::FaultCleared { .. } => "fault_cleared",
+            Event::DegradedMode { .. } => "degraded_mode",
         }
+    }
+}
+
+fn fault_fields(line: &mut JsonLine, fault: &FaultKind) {
+    line.str_field("fault", fault.name());
+    if let Some(target) = fault.target() {
+        line.u64_field("target", target as u64);
+    }
+    if let Some(param) = fault.param() {
+        line.f64_field("param", param);
     }
 }
 
@@ -143,6 +175,13 @@ impl TimedEvent {
             Event::SocFloorChanged { node, floor } => {
                 line.u64_field("node", *node as u64)
                     .f64_field("floor", floor.value());
+            }
+            Event::FaultInjected { fault } | Event::FaultCleared { fault } => {
+                fault_fields(&mut line, fault);
+            }
+            Event::DegradedMode { node, active } => {
+                line.u64_field("node", *node as u64)
+                    .bool_field("active", *active);
             }
         }
         line.finish()

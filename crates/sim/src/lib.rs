@@ -35,15 +35,22 @@ mod config;
 mod engine;
 mod error;
 mod events;
+mod fallback;
 mod policy;
 mod recorder;
 mod report;
 mod view;
 
+/// The fault-injection vocabulary, re-exported so consumers can build
+/// [`SimConfig`] fault plans without depending on `baat-faults` directly.
+pub use baat_faults::{
+    FaultError, FaultKind, FaultMix, FaultPlan, FaultSpec, DEFAULT_STALENESS_LIMIT,
+};
 pub use config::{BatteryTopology, SimConfig, SimConfigBuilder};
 pub use engine::{availability, run_simulation, run_simulation_observed, Simulation};
 pub use error::SimError;
 pub use events::{Event, EventLog, TimedEvent};
+pub use fallback::{FallbackInput, FallbackScheme, FALLBACK_DVFS, FALLBACK_SOC_FLOOR};
 pub use policy::{
     Action, ActionOutcome, ActionResult, ControlCtx, Policy, RejectReason, RoundRobinPolicy,
 };

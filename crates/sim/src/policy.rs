@@ -61,6 +61,9 @@ pub enum RejectReason {
     TargetIsSource,
     /// The migration target lacks free resources (net of reservations).
     TargetFull,
+    /// An injected fault blocks the actuation path (e.g. the migration
+    /// control plane is down).
+    FaultInjected,
 }
 
 impl RejectReason {
@@ -91,6 +94,7 @@ impl RejectReason {
             RejectReason::AlreadyMigrating => "already_migrating",
             RejectReason::TargetIsSource => "target_is_source",
             RejectReason::TargetFull => "target_full",
+            RejectReason::FaultInjected => "fault_injected",
         }
     }
 }
@@ -276,6 +280,7 @@ mod tests {
                     utilization: baat_units::Fraction::ZERO,
                     dvfs: DvfsLevel::P0,
                     online: true,
+                    degraded: false,
                     free_resources: (8, 16),
                     vms: Vec::new(),
                     battery_available: Watts::ZERO,

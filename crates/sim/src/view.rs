@@ -42,6 +42,11 @@ pub struct NodeView {
     pub dvfs: DvfsLevel,
     /// `true` if the server is powered on.
     pub online: bool,
+    /// `true` while the node's telemetry is stale past the configured
+    /// bound and the engine is in degraded (conservative fallback) mode
+    /// for it. Policies should treat this node's battery readings as
+    /// last-known-good, not current.
+    pub degraded: bool,
     /// Free schedulable resources (cores, memory GiB).
     pub free_resources: (u32, u32),
     /// Hosted VMs.
@@ -126,6 +131,7 @@ mod tests {
             utilization: Fraction::HALF,
             dvfs: DvfsLevel::P0,
             online,
+            degraded: false,
             free_resources: (8, 16),
             vms: Vec::new(),
             battery_available: Watts::new(300.0),

@@ -263,6 +263,177 @@ fn grid_charging_happens_only_at_night() {
     );
 }
 
+fn one_fault_config(kind: baat_sim::FaultKind, start_s: u64, minutes: u64) -> SimConfig {
+    use baat_sim::{FaultPlan, FaultSpec};
+    use baat_units::SimInstant;
+    let mut plan = FaultPlan::new();
+    plan.push(FaultSpec {
+        kind,
+        start: SimInstant::from_secs(start_s),
+        duration: SimDuration::from_minutes(minutes),
+    });
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![Weather::Sunny])
+        .dt(SimDuration::from_secs(60))
+        .sample_every(10)
+        .seed(21)
+        .faults(plan);
+    b.build().expect("config is valid")
+}
+
+#[test]
+fn degraded_mode_tracks_the_staleness_bound() {
+    use baat_sim::{Event, FaultKind, RoundRobinPolicy, DEFAULT_STALENESS_LIMIT};
+    // Bank 0's sensor drops out from 10:00 for 20 minutes. With the
+    // default 5-minute staleness bound, node 0 must enter degraded mode
+    // one bound past its last fresh sample and leave within one control
+    // interval of telemetry returning.
+    let fault_start = 10 * 3600;
+    let fault_end = fault_start + 20 * 60;
+    let report = Simulation::new(one_fault_config(
+        FaultKind::SensorDropout { bank: 0 },
+        fault_start,
+        20,
+    ))
+    .expect("config valid")
+    .run(&mut RoundRobinPolicy::new())
+    .expect("run succeeds");
+
+    let transitions: Vec<(u64, bool)> = report
+        .events
+        .iter()
+        .filter_map(|e| match e.event {
+            Event::DegradedMode { node: 0, active } => Some((e.at.as_secs(), active)),
+            _ => None,
+        })
+        .collect();
+    let [(entered_at, true), (exited_at, false)] = transitions[..] else {
+        panic!("expected exactly one enter/exit pair, got {transitions:?}");
+    };
+    let limit = DEFAULT_STALENESS_LIMIT.as_secs();
+    assert!(
+        (fault_start + limit..=fault_start + limit + 120).contains(&entered_at),
+        "entered at {entered_at}, expected ~{}",
+        fault_start + limit
+    );
+    assert!(
+        (fault_end..=fault_end + 120).contains(&exited_at),
+        "exited at {exited_at}, expected ~{fault_end}"
+    );
+
+    // While degraded, the fallback scheme must have raised the floor to
+    // 0.5 and throttled to P4 — each exactly once: once the node is in
+    // the conservative state, nothing more is issued.
+    let fallback_floors = report
+        .events
+        .count(|e| matches!(e, Event::SocFloorChanged { node: 0, floor } if floor.value() == 0.5));
+    assert_eq!(fallback_floors, 1, "floor raised exactly once");
+    let throttles = report
+        .events
+        .count(|e| matches!(e, Event::DvfsChanged { node: 0, level } if *level == DvfsLevel::P4));
+    assert_eq!(throttles, 1, "DVFS forced to P4 exactly once");
+}
+
+#[test]
+fn blocked_migrations_reject_with_the_fault_reason() {
+    use baat_sim::{Event, FaultKind};
+    // Migrations blocked for the whole operating window: the requested
+    // migration must be rejected with the typed fault reason and never
+    // reach the cluster.
+    let report = Simulation::new(one_fault_config(
+        FaultKind::MigrationsBlocked,
+        8 * 3600,
+        10 * 60,
+    ))
+    .expect("config valid")
+    .run(&mut MigrateOnce { done: false })
+    .expect("run succeeds");
+    assert_eq!(report.migrations, 0, "no migration may start");
+    let rejected: Vec<RejectReason> = report
+        .events
+        .iter()
+        .filter_map(|e| match &e.event {
+            Event::Action { outcome } => outcome.reject_reason(),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(rejected, vec![RejectReason::FaultInjected]);
+}
+
+#[test]
+fn host_failure_pins_the_server_down_for_its_window() {
+    use baat_sim::{Event, FaultKind, RoundRobinPolicy};
+    let fault_start = 12 * 3600;
+    let fault_end = fault_start + 30 * 60;
+    let report = Simulation::new(one_fault_config(
+        FaultKind::HostFailure { node: 1 },
+        fault_start,
+        30,
+    ))
+    .expect("config valid")
+    .run(&mut RoundRobinPolicy::new())
+    .expect("run succeeds");
+    let shutdown = report
+        .events
+        .iter()
+        .find(|e| matches!(e.event, Event::ServerShutdown { node: 1 }))
+        .expect("the failed host must shut down");
+    assert_eq!(shutdown.at.as_secs(), fault_start);
+    let restart = report
+        .events
+        .iter()
+        .find(|e| matches!(e.event, Event::ServerRestart { node: 1 }))
+        .expect("the host must come back after the fault clears");
+    assert!(
+        restart.at.as_secs() >= fault_end,
+        "restarted at {} while the fault held until {fault_end}",
+        restart.at.as_secs()
+    );
+    assert!(
+        restart.at.as_secs() <= fault_end + 30 * 60,
+        "a sunny midday must restart the node promptly"
+    );
+    assert!(report.nodes[1].downtime >= SimDuration::from_minutes(30));
+}
+
+#[test]
+fn fallback_scheme_backs_off_from_rejections() {
+    // The public no-repeat contract: an action the engine rejected on
+    // one interval is withheld on the next and may retry after.
+    use baat_sim::{ActionOutcome, ActionResult, FallbackInput, FallbackScheme, FALLBACK_DVFS};
+    let mut scheme = FallbackScheme::new();
+    let degraded = [FallbackInput {
+        node: 0,
+        degraded: true,
+        soc_floor: Soc::EMPTY,
+        dvfs: DvfsLevel::P0,
+    }];
+    let first = scheme.plan(&degraded);
+    assert_eq!(first.len(), 2, "floor raise + throttle");
+    assert!(first
+        .iter()
+        .any(|a| matches!(a, Action::SetDvfs { node: 0, level } if *level == FALLBACK_DVFS)));
+    scheme.record_outcomes(
+        &first
+            .iter()
+            .map(|&action| ActionOutcome {
+                action,
+                result: ActionResult::Rejected(RejectReason::UnknownNode),
+            })
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        scheme.plan(&degraded).is_empty(),
+        "freshly rejected actions must not repeat"
+    );
+    scheme.record_outcomes(&[]);
+    assert_eq!(
+        scheme.plan(&degraded).len(),
+        2,
+        "may retry one interval later"
+    );
+}
+
 #[test]
 fn a_dying_battery_is_visible_and_survivable() {
     use baat_sim::RoundRobinPolicy;

@@ -22,10 +22,11 @@ use std::path::PathBuf;
 use baat_obs::Obs;
 use baat_server::DvfsLevel;
 use baat_sim::{
-    Action, ControlCtx, Policy, RejectReason, SimConfig, SimReport, Simulation, SystemView,
+    Action, ControlCtx, FaultKind, FaultPlan, FaultSpec, Policy, RejectReason, SimConfig,
+    SimReport, Simulation, SystemView,
 };
 use baat_solar::Weather;
-use baat_units::{SimDuration, Soc};
+use baat_units::{SimDuration, SimInstant, Soc};
 use baat_workload::{VmId, WorkloadKind};
 
 /// A policy that exercises every action kind once, including two that
@@ -84,6 +85,58 @@ fn config() -> SimConfig {
 fn observed_run() -> (SimReport, Obs) {
     let obs = Obs::enabled();
     let sim = Simulation::with_obs(config(), obs.clone()).expect("config valid");
+    let mut policy = ExerciseActions { issued: false };
+    let report = sim.run(&mut policy).expect("run succeeds");
+    (report, obs)
+}
+
+/// A hand-built plan exercising every fault seam: sensors (dropout,
+/// noise), the PV feed (outage, derate), a charger, a battery string,
+/// a host, and the migration path. The dropout window is long enough to
+/// push bank 0 past the default 5-minute staleness bound, so the golden
+/// log also pins the degraded-mode transitions and fallback actions.
+fn fault_plan() -> FaultPlan {
+    let at = |h: u64, m: u64| SimInstant::from_secs(h * 3600 + m * 60);
+    let mut plan = FaultPlan::new();
+    for (kind, start, minutes) in [
+        (FaultKind::MigrationsBlocked, at(9, 0), 7 * 60),
+        (FaultKind::SensorDropout { bank: 0 }, at(10, 0), 20),
+        (
+            FaultKind::SensorNoise {
+                bank: 1,
+                sigma: 0.05,
+            },
+            at(10, 0),
+            10,
+        ),
+        (FaultKind::ChargerFailure { bank: 2 }, at(11, 0), 30),
+        (FaultKind::BatteryOpenCircuit { bank: 3 }, at(11, 30), 20),
+        (FaultKind::PvOutage, at(12, 0), 15),
+        (FaultKind::InverterDerate { fraction: 0.5 }, at(13, 0), 30),
+        (FaultKind::HostFailure { node: 4 }, at(14, 0), 20),
+    ] {
+        plan.push(FaultSpec {
+            kind,
+            start,
+            duration: SimDuration::from_minutes(minutes),
+        });
+    }
+    plan
+}
+
+fn faulted_config() -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![Weather::Cloudy])
+        .dt(SimDuration::from_secs(60))
+        .sample_every(240)
+        .seed(2015)
+        .faults(fault_plan());
+    b.build().expect("faulted config is valid")
+}
+
+fn faulted_observed_run() -> (SimReport, Obs) {
+    let obs = Obs::enabled();
+    let sim = Simulation::with_obs(faulted_config(), obs.clone()).expect("config valid");
     let mut policy = ExerciseActions { issued: false };
     let report = sim.run(&mut policy).expect("run succeeds");
     (report, obs)
@@ -155,6 +208,59 @@ fn profile_jsonl_is_structurally_sound() {
         .find(|l| l.contains("\"stage\":\"battery_step\""))
         .expect("battery step is always exercised");
     assert!(!battery_line.contains("\"calls\":0"));
+}
+
+#[test]
+fn faulted_event_log_matches_golden() {
+    let (report, obs) = faulted_observed_run();
+    let jsonl = report.events.to_jsonl();
+    assert_matches_golden("faults.jsonl", &jsonl);
+    // The log must actually carry the fault vocabulary being pinned.
+    for kind in ["fault_injected", "fault_cleared", "degraded_mode"] {
+        assert!(
+            jsonl.contains(&format!("\"kind\":\"{kind}\"")),
+            "faulted run must log {kind} events"
+        );
+    }
+    for fault in [
+        "sensor_dropout",
+        "sensor_noise",
+        "charger_failure",
+        "battery_open_circuit",
+        "pv_outage",
+        "inverter_derate",
+        "host_failure",
+        "migrations_blocked",
+    ] {
+        assert!(
+            jsonl.contains(&format!("\"fault\":\"{fault}\"")),
+            "faulted run must log the {fault} fault"
+        );
+    }
+    // And the fault counters must be registered and populated.
+    let metrics = obs.metrics_jsonl();
+    for metric in [
+        "faults.injected",
+        "faults.cleared",
+        "faults.active",
+        "sim.degraded.nodes",
+        "sim.degraded.intervals",
+        "sim.fallback.actions",
+    ] {
+        assert!(
+            metrics.contains(&format!("\"name\":\"{metric}\"")),
+            "faulted run must register {metric}"
+        );
+    }
+}
+
+#[test]
+fn fault_free_run_registers_no_fault_metrics() {
+    // The lazy registration contract: a clean run's metric export is
+    // exactly the pre-fault set (pinned by metrics.jsonl above), with no
+    // zero-valued fault counters leaking in.
+    let (_, obs) = observed_run();
+    assert!(!obs.metrics_jsonl().contains("faults."));
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for engine-level invariants, run on coarse
 //! timesteps to keep the case count affordable.
 
-use baat_sim::{run_simulation, RoundRobinPolicy, SimConfig};
+use baat_sim::{run_simulation, FaultMix, FaultPlan, RoundRobinPolicy, SimConfig};
 use baat_solar::Weather;
 use baat_testkit::prelude::*;
 use baat_units::SimDuration;
@@ -23,6 +23,20 @@ fn coarse_config(weather: Weather, seed: u64, nodes: usize) -> SimConfig {
         .sample_every(2)
         .seed(seed);
     b.build().expect("coarse config is valid")
+}
+
+/// The coarse config plus a seeded heavy fault plan over its topology.
+fn faulted_config(weather: Weather, seed: u64, nodes: usize) -> SimConfig {
+    let plan = FaultPlan::generate(seed, 1, nodes, nodes, &FaultMix::heavy());
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![weather])
+        .nodes(nodes)
+        .dt(SimDuration::from_secs(300))
+        .control_interval(SimDuration::from_secs(300))
+        .sample_every(2)
+        .seed(seed)
+        .faults(plan);
+    b.build().expect("faulted config is valid")
 }
 
 proptest! {
@@ -75,5 +89,82 @@ proptest! {
         prop_assert_eq!(a.total_work, b.total_work);
         prop_assert_eq!(a.completed_jobs, b.completed_jobs);
         prop_assert_eq!(a.events.len(), b.events.len());
+    }
+
+    /// An explicitly-set empty fault plan is bit-identical to the
+    /// fault-free default: installing the subsystem perturbs nothing.
+    #[test]
+    fn empty_fault_plan_is_bit_identical(weather in weather_strategy(), seed in 0u64..500) {
+        let baseline = run_simulation(coarse_config(weather, seed, 6), &mut RoundRobinPolicy::new())
+            .expect("simulation runs");
+        let mut b = SimConfig::builder();
+        b.weather_plan(vec![weather])
+            .nodes(6)
+            .dt(SimDuration::from_secs(300))
+            .control_interval(SimDuration::from_secs(300))
+            .sample_every(2)
+            .seed(seed)
+            .faults(FaultPlan::new());
+        let with_empty_plan = run_simulation(
+            b.build().expect("config valid"),
+            &mut RoundRobinPolicy::new(),
+        ).expect("simulation runs");
+        prop_assert_eq!(baseline, with_empty_plan);
+    }
+
+    /// Engine invariants survive arbitrary generated fault plans: SoC
+    /// traces stay in [0, 1], reports stay internally consistent, and
+    /// the perturbed run is byte-for-byte replayable from its seed.
+    #[test]
+    fn invariants_hold_under_faults(weather in weather_strategy(), seed in 0u64..500) {
+        let report = run_simulation(
+            faulted_config(weather, seed, 6),
+            &mut RoundRobinPolicy::new(),
+        ).expect("faulted simulation runs");
+        for row in report.recorder.rows() {
+            for &soc in &row.soc {
+                prop_assert!((0.0..=1.0).contains(&soc), "soc {soc}");
+            }
+        }
+        for node in &report.nodes {
+            prop_assert!(node.damage >= 0.0);
+            prop_assert!(node.work_done >= 0.0);
+        }
+        let replay = run_simulation(
+            faulted_config(weather, seed, 6),
+            &mut RoundRobinPolicy::new(),
+        ).expect("faulted simulation runs");
+        prop_assert_eq!(report.events.to_jsonl(), replay.events.to_jsonl());
+    }
+}
+
+/// The same faulted seed produces a byte-identical event log no matter
+/// how many runs execute concurrently: fault injection shares no state
+/// across simulations and never consults thread identity.
+#[test]
+fn faulted_event_logs_are_thread_invariant() {
+    let reference = run_simulation(
+        faulted_config(Weather::Cloudy, 77, 6),
+        &mut RoundRobinPolicy::new(),
+    )
+    .expect("simulation runs")
+    .events
+    .to_jsonl();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| {
+                run_simulation(
+                    faulted_config(Weather::Cloudy, 77, 6),
+                    &mut RoundRobinPolicy::new(),
+                )
+                .expect("simulation runs")
+                .events
+                .to_jsonl()
+            })
+        })
+        .collect();
+    for handle in handles {
+        let jsonl = handle.join().expect("thread completes");
+        assert_eq!(jsonl, reference, "event log must not depend on threading");
     }
 }
