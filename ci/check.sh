@@ -45,4 +45,13 @@ if grep -q '"kind":"fault_injected"' "$SMOKE_DIR/clean/events.jsonl"; then
     exit 1
 fi
 
+if [[ "${BAAT_SKIP_PERF:-0}" != "1" ]]; then
+    echo "==> perf regression smoke (set BAAT_SKIP_PERF=1 to skip)"
+    # Re-measures the hot paths and fails when best-case throughput
+    # falls >20% below the committed BENCH_4.json baseline.
+    cargo bench -p baat-bench --bench perf -- --check
+else
+    echo "==> perf regression smoke skipped (BAAT_SKIP_PERF=1)"
+fi
+
 echo "ok: tier-1 gate passed"

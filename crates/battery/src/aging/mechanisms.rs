@@ -14,7 +14,7 @@
 //! | Water loss (drying out)  | overcharge, temperature |
 //! | Electrolyte stratification | rarely fully recharged, deep low-current discharge |
 
-use crate::aging::stress::StressSample;
+use crate::aging::stress::{SharedStress, StressSample};
 
 /// A lead-acid aging mechanism: converts per-step stress into incremental
 /// damage.
@@ -30,7 +30,20 @@ pub trait Mechanism {
     ///
     /// Must be non-negative and scale linearly with step duration for
     /// time-driven mechanisms (so results are timestep-invariant).
-    fn incremental_damage(&self, s: &StressSample) -> f64;
+    fn incremental_damage(&self, s: &StressSample) -> f64 {
+        self.incremental_damage_at(s, &SharedStress::of(s))
+    }
+
+    /// Like [`Mechanism::incremental_damage`], with the stress factors
+    /// several mechanisms share supplied by the caller.
+    ///
+    /// The Arrhenius factor costs a `powf` and the hour/C-rate factors a
+    /// divide each; the integrator derives them once per stress sample
+    /// and passes the *same* `f64`s to every mechanism — an exact
+    /// substitution that leaves results bit-identical. `shared` must
+    /// equal `SharedStress::of(s)`; mechanisms read only the fields they
+    /// are sensitive to.
+    fn incremental_damage_at(&self, s: &StressSample, shared: &SharedStress) -> f64;
 }
 
 /// Grid corrosion (§II.B.1): the positive-electrode lead grid corrodes,
@@ -62,15 +75,15 @@ impl Mechanism for GridCorrosion {
         "corrosion"
     }
 
-    fn incremental_damage(&self, s: &StressSample) -> f64 {
+    fn incremental_damage_at(&self, s: &StressSample, shared: &SharedStress) -> f64 {
         // Polarization stress peaks when charging a nearly-full battery.
         let charging = s.current.as_f64() < 0.0;
         let high_soc = ((s.soc.value() - 0.9) / 0.1).max(0.0);
         let polarization = if charging { high_soc } else { 0.0 };
         self.base_per_hour
             * (1.0 + self.polarization_gain * polarization)
-            * s.arrhenius()
-            * s.dt_hours()
+            * shared.arrhenius
+            * shared.dt_hours
     }
 }
 
@@ -112,7 +125,7 @@ impl Mechanism for ActiveMassShedding {
         "shedding"
     }
 
-    fn incremental_damage(&self, s: &StressSample) -> f64 {
+    fn incremental_damage_at(&self, s: &StressSample, shared: &SharedStress) -> f64 {
         if s.discharged.as_f64() <= 0.0 {
             return 0.0;
         }
@@ -120,13 +133,13 @@ impl Mechanism for ActiveMassShedding {
         // more (weights 1–4 across ranges A–D, normalized to range-B = 1).
         let soc_weight = s.soc.cycling_weight() / 2.0;
         // High-rate discharge penalty, compounded below 40 % SoC (§III.E).
-        let over_knee = (s.c_rate() - self.c_rate_knee).max(0.0);
+        let over_knee = (shared.c_rate - self.c_rate_knee).max(0.0);
         let mut rate_factor = 1.0 + self.c_rate_gain * over_knee / (1.0 - self.c_rate_knee);
         if s.soc.is_deep_discharge() {
             rate_factor *= 1.0 + self.deep_rate_gain * over_knee.min(1.0);
         }
         let normalized_ah = s.discharged.as_f64() / self.lifetime_throughput_ah;
-        self.per_normalized_ah * normalized_ah * soc_weight * rate_factor * s.arrhenius()
+        self.per_normalized_ah * normalized_ah * soc_weight * rate_factor * shared.arrhenius
     }
 }
 
@@ -156,14 +169,14 @@ impl Mechanism for Sulphation {
         "sulphation"
     }
 
-    fn incremental_damage(&self, s: &StressSample) -> f64 {
+    fn incremental_damage_at(&self, s: &StressSample, shared: &SharedStress) -> f64 {
         // Severity ramps from 0 at the 40 % SoC knee to 1 at 0 % SoC.
         let severity = ((0.40 - s.soc.value()) / 0.40).max(0.0);
         if severity == 0.0 {
             return 0.0;
         }
         let delay_factor = 1.0 + self.recharge_delay_gain * (s.hours_since_full / 24.0).min(4.0);
-        self.per_hour_at_zero_soc * severity * delay_factor * s.arrhenius() * s.dt_hours()
+        self.per_hour_at_zero_soc * severity * delay_factor * shared.arrhenius * shared.dt_hours
     }
 }
 
@@ -190,12 +203,12 @@ impl Mechanism for WaterLoss {
         "water_loss"
     }
 
-    fn incremental_damage(&self, s: &StressSample) -> f64 {
+    fn incremental_damage_at(&self, s: &StressSample, shared: &SharedStress) -> f64 {
         if s.overcharge.as_f64() <= 0.0 {
             return 0.0;
         }
         let normalized = s.overcharge.as_f64() / s.capacity.as_f64();
-        self.per_normalized_overcharge_ah * normalized * s.arrhenius()
+        self.per_normalized_overcharge_ah * normalized * shared.arrhenius
     }
 }
 
@@ -225,17 +238,19 @@ impl Mechanism for Stratification {
         "stratification"
     }
 
-    fn incremental_damage(&self, s: &StressSample) -> f64 {
+    // Stratification is the one temperature-insensitive mechanism: the
+    // shared Arrhenius factor is ignored.
+    fn incremental_damage_at(&self, s: &StressSample, shared: &SharedStress) -> f64 {
         let staleness = (s.hours_since_full / (24.0 * self.saturation_days)).min(1.0);
         if staleness == 0.0 {
             return 0.0;
         }
         // Deep, gentle discharge stratifies hardest ([28]).
         let discharging = s.current.as_f64() > 0.0;
-        let gentle = discharging && s.c_rate() < 0.1;
+        let gentle = discharging && shared.c_rate < 0.1;
         let depth = 1.0 - s.soc.value();
         let stress = staleness * (0.5 + 0.5 * depth) * if gentle { 1.5 } else { 1.0 };
-        self.per_hour * stress * s.dt_hours()
+        self.per_hour * stress * shared.dt_hours
     }
 }
 

@@ -18,7 +18,7 @@ mod stress;
 pub use mechanisms::{
     ActiveMassShedding, GridCorrosion, Mechanism, Stratification, Sulphation, WaterLoss,
 };
-pub use stress::StressSample;
+pub use stress::{SharedStress, StressSample};
 
 /// Per-mechanism accumulated damage.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -114,22 +114,79 @@ impl AgingModel {
     /// Computes the damage increment for one step of stress, broken down by
     /// mechanism.
     pub fn incremental_damage(&self, s: &StressSample) -> DamageBreakdown {
+        self.incremental_damage_at(s, &SharedStress::of(s))
+    }
+
+    /// Like [`AgingModel::incremental_damage`], with the shared stress
+    /// factors supplied by the caller (`shared` must equal
+    /// `SharedStress::of(s)`). The Arrhenius `powf` and the hour/C-rate
+    /// divides are each computed once per sample — or replayed from a
+    /// memo for a repeated temperature — which is an exact substitution.
+    pub fn incremental_damage_at(
+        &self,
+        s: &StressSample,
+        shared: &SharedStress,
+    ) -> DamageBreakdown {
         let m = self.rate_multiplier;
         DamageBreakdown {
-            corrosion: self.corrosion.incremental_damage(s) * m,
-            shedding: self.shedding.incremental_damage(s) * m,
-            sulphation: self.sulphation.incremental_damage(s) * m,
-            water_loss: self.water_loss.incremental_damage(s) * m,
-            stratification: self.stratification.incremental_damage(s) * m,
+            corrosion: self.corrosion.incremental_damage_at(s, shared) * m,
+            shedding: self.shedding.incremental_damage_at(s, shared) * m,
+            sulphation: self.sulphation.incremental_damage_at(s, shared) * m,
+            water_loss: self.water_loss.incremental_damage_at(s, shared) * m,
+            stratification: self.stratification.incremental_damage_at(s, shared) * m,
         }
     }
 }
 
+/// Last-input/last-output pair for [`baat_units::Celsius::arrhenius_factor`].
+///
+/// Battery temperature settles to a bit-exact fixed point whenever the
+/// load is steady (idle rests, float charge, the pre-aging loop), so
+/// consecutive stress samples usually repeat the same temperature and the
+/// `powf` is skipped. A hit returns the exact `f64` a fresh evaluation
+/// would produce — the memo can never change a result, only its cost.
+/// The initial pair is the reference temperature, whose factor is exactly
+/// `1.0` by definition.
+#[derive(Debug, Clone, Copy)]
+struct ArrheniusMemo {
+    temp_bits: u64,
+    factor: f64,
+}
+
+impl Default for ArrheniusMemo {
+    fn default() -> Self {
+        Self {
+            temp_bits: baat_units::Celsius::REFERENCE.as_f64().to_bits(),
+            factor: 1.0,
+        }
+    }
+}
+
+impl ArrheniusMemo {
+    fn factor(&mut self, temperature: baat_units::Celsius) -> f64 {
+        let bits = temperature.as_f64().to_bits();
+        if bits != self.temp_bits {
+            self.temp_bits = bits;
+            self.factor = temperature.arrhenius_factor();
+        }
+        self.factor
+    }
+}
+
 /// Accumulated aging state of one battery unit.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct AgingState {
     model: AgingModel,
     damage: DamageBreakdown,
+    arrhenius: ArrheniusMemo,
+}
+
+/// Equality is semantic — model plus accumulated damage. The Arrhenius
+/// memo is a pure evaluation cache and never distinguishes two states.
+impl PartialEq for AgingState {
+    fn eq(&self, other: &Self) -> bool {
+        self.model == other.model && self.damage == other.damage
+    }
 }
 
 impl AgingState {
@@ -138,12 +195,18 @@ impl AgingState {
         Self {
             model,
             damage: DamageBreakdown::default(),
+            arrhenius: ArrheniusMemo::default(),
         }
     }
 
     /// Integrates one step of stress.
     pub fn apply(&mut self, s: &StressSample) {
-        let inc = self.model.incremental_damage(s);
+        let shared = SharedStress {
+            arrhenius: self.arrhenius.factor(s.temperature),
+            dt_hours: s.dt_hours(),
+            c_rate: s.c_rate(),
+        };
+        let inc = self.model.incremental_damage_at(s, &shared);
         self.damage.corrosion += inc.corrosion;
         self.damage.shedding += inc.shedding;
         self.damage.sulphation += inc.sulphation;
@@ -266,6 +329,32 @@ mod tests {
         }
         assert!(state.capacity_fraction() >= 0.5);
         assert!(state.ocv_factor() >= 0.7);
+    }
+
+    #[test]
+    fn memoized_arrhenius_is_bit_identical_to_direct_formula() {
+        // Repeated temperatures hit the memo, fresh ones miss; the
+        // accumulated damage must match an integration that recomputes
+        // the Arrhenius factor from scratch every step, bit for bit.
+        let m = model();
+        let mut memoized = AgingState::new(m.clone());
+        let mut direct = DamageBreakdown::default();
+        let temps = [25.0, 25.0, 31.7, 31.7, 31.7, 20.0, 42.3, 42.3, 25.0, 25.0];
+        for (i, &t) in temps.iter().enumerate() {
+            let mut s = cycling_stress(0.05 + 0.09 * i as f64, 10.0, 10);
+            s.temperature = Celsius::new(t);
+            memoized.apply(&s);
+            let inc = m.incremental_damage(&s);
+            direct.corrosion += inc.corrosion;
+            direct.shedding += inc.shedding;
+            direct.sulphation += inc.sulphation;
+            direct.water_loss += inc.water_loss;
+            direct.stratification += inc.stratification;
+        }
+        let got = memoized.breakdown();
+        for ((name, g), (_, d)) in got.iter().zip(direct.iter()) {
+            assert_eq!(g.to_bits(), d.to_bits(), "{name} drifted");
+        }
     }
 
     #[test]

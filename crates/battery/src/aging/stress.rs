@@ -30,6 +30,35 @@ pub struct StressSample {
     pub hours_since_full: f64,
 }
 
+/// Stress factors several mechanisms read from the same sample, computed
+/// once per integration step instead of once per mechanism.
+///
+/// Each field must equal the corresponding [`StressSample`] method applied
+/// to the sample it was derived from. Handing every mechanism the same
+/// `f64` — whether freshly divided or replayed from a memo — is an exact
+/// substitution: results stay bit-identical, only the number of divides
+/// and `powf`s changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedStress {
+    /// [`StressSample::arrhenius`] — the `powf` four mechanisms share.
+    pub arrhenius: f64,
+    /// [`StressSample::dt_hours`].
+    pub dt_hours: f64,
+    /// [`StressSample::c_rate`].
+    pub c_rate: f64,
+}
+
+impl SharedStress {
+    /// Derives the shared factors directly from the sample.
+    pub fn of(s: &StressSample) -> Self {
+        Self {
+            arrhenius: s.arrhenius(),
+            dt_hours: s.dt_hours(),
+            c_rate: s.c_rate(),
+        }
+    }
+}
+
 impl StressSample {
     /// An idle (zero-current) stress sample, useful as a baseline.
     pub fn idle(soc: Soc, temperature: Celsius, dt: SimDuration, capacity: AmpHours) -> Self {

@@ -76,6 +76,72 @@ impl CycleLifeCurve {
     }
 }
 
+/// A [`CycleLifeCurve`] with a last-input/last-output memo.
+///
+/// Sweeps and policies repeatedly evaluate the curve at the same depth of
+/// discharge (a DoD target holds for many consecutive steps; Fig 10 queries
+/// each sweep point several times). The memo is keyed on the raw bits of
+/// the DoD, so a hit returns the exact `f64` a fresh `powf·exp` evaluation
+/// would produce — memoization can never change a result, only skip its
+/// cost. The initial pair `(0, ∞)` is itself exact: a DoD whose bits are
+/// zero is `0.0`, whose cycle life is `f64::INFINITY` by definition.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoizedCycleLife {
+    curve: CycleLifeCurve,
+    dod_bits: u64,
+    cycles: f64,
+}
+
+/// Equality is semantic: two memoized curves match when their underlying
+/// curves match, regardless of what input they last evaluated.
+impl PartialEq for MemoizedCycleLife {
+    fn eq(&self, other: &Self) -> bool {
+        self.curve == other.curve
+    }
+}
+
+impl MemoizedCycleLife {
+    /// Wraps a curve with an (initially empty) evaluation memo.
+    pub fn new(curve: CycleLifeCurve) -> Self {
+        Self {
+            curve,
+            dod_bits: 0.0f64.to_bits(),
+            cycles: f64::INFINITY,
+        }
+    }
+
+    /// The wrapped curve.
+    pub fn curve(&self) -> CycleLifeCurve {
+        self.curve
+    }
+
+    /// Memoized [`CycleLifeCurve::cycles_to_eol`]: bit-identical to the
+    /// direct formula, skipping the `powf·exp` when `dod` repeats.
+    pub fn cycles_to_eol(&mut self, dod: Dod) -> f64 {
+        let bits = dod.value().to_bits();
+        if bits != self.dod_bits {
+            self.dod_bits = bits;
+            self.cycles = self.curve.cycles_to_eol(dod);
+        }
+        self.cycles
+    }
+
+    /// Memoized [`CycleLifeCurve::lifetime_throughput`].
+    pub fn lifetime_throughput(&mut self, dod: Dod, capacity: AmpHours) -> AmpHours {
+        let cycles = self.cycles_to_eol(dod);
+        if cycles.is_infinite() {
+            return AmpHours::new(self.curve.a * capacity.as_f64());
+        }
+        AmpHours::new(cycles * dod.value() * capacity.as_f64())
+    }
+}
+
+impl From<CycleLifeCurve> for MemoizedCycleLife {
+    fn from(curve: CycleLifeCurve) -> Self {
+        Self::new(curve)
+    }
+}
+
 /// Lead-acid battery manufacturers whose cycle-life data the paper plots in
 /// Fig 10.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -195,5 +261,35 @@ mod tests {
     #[test]
     fn trojan_is_default() {
         assert_eq!(Manufacturer::default(), Manufacturer::Trojan);
+    }
+
+    #[test]
+    fn memoized_curve_is_bit_identical_to_direct_formula() {
+        // Repeats hit the memo, fresh inputs miss; every answer must match
+        // the uncached curve bit for bit, including the 0-DoD infinity.
+        let curve = Manufacturer::Trojan.curve();
+        let mut memo = MemoizedCycleLife::new(curve);
+        let dods = [0.25, 0.25, 0.25, 0.5, 0.5, 0.0, 0.0, 0.73, 0.25, 1.0];
+        for (k, &d) in dods.iter().enumerate() {
+            let got = memo.cycles_to_eol(dod(d));
+            let want = curve.cycles_to_eol(dod(d));
+            assert_eq!(got.to_bits(), want.to_bits(), "cycles at step {k}");
+            let qgot = memo.lifetime_throughput(dod(d), AmpHours::new(35.0));
+            let qwant = curve.lifetime_throughput(dod(d), AmpHours::new(35.0));
+            assert_eq!(
+                qgot.as_f64().to_bits(),
+                qwant.as_f64().to_bits(),
+                "throughput at step {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn memoized_equality_ignores_the_memo() {
+        let mut warmed = MemoizedCycleLife::new(Manufacturer::Trojan.curve());
+        warmed.cycles_to_eol(dod(0.4));
+        let cold = MemoizedCycleLife::new(Manufacturer::Trojan.curve());
+        assert_eq!(warmed, cold);
+        assert_ne!(warmed, MemoizedCycleLife::new(Manufacturer::Upg.curve()));
     }
 }

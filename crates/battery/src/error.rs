@@ -17,6 +17,15 @@ pub enum BatteryError {
         /// The number of batteries in the pack.
         len: usize,
     },
+    /// A charge or discharge request carried a non-finite power.
+    ///
+    /// Extreme fault injection can drive routed power to `NaN`/`±∞`;
+    /// feeding that into the quadratic current solvers would poison SoC
+    /// and aging with `NaN`, so the step rejects it up front.
+    NonFinitePower {
+        /// The offending power request, in watts.
+        requested_w: f64,
+    },
 }
 
 impl core::fmt::Display for BatteryError {
@@ -27,6 +36,9 @@ impl core::fmt::Display for BatteryError {
             }
             BatteryError::UnknownBattery { index, len } => {
                 write!(f, "battery index {index} out of range for pack of {len}")
+            }
+            BatteryError::NonFinitePower { requested_w } => {
+                write!(f, "power request must be finite, got {requested_w} W")
             }
         }
     }

@@ -56,9 +56,9 @@ mod voltage;
 
 pub use aging::{
     ActiveMassShedding, AgingModel, AgingState, DamageBreakdown, GridCorrosion, Mechanism,
-    Stratification, StressSample, Sulphation, WaterLoss,
+    SharedStress, Stratification, StressSample, Sulphation, WaterLoss,
 };
-pub use cycle_life::{CycleLifeCurve, Manufacturer};
+pub use cycle_life::{CycleLifeCurve, Manufacturer, MemoizedCycleLife};
 pub use error::BatteryError;
 pub use model::{Battery, BatteryOp, StepResult};
 pub use obs::AgingObs;
@@ -66,4 +66,6 @@ pub use pack::{BatteryPack, VariationParams};
 pub use spec::{BatterySpec, BatterySpecBuilder};
 pub use telemetry::{SensorSample, TelemetryLog, UsageAccumulator, SOC_HISTOGRAM_BINS};
 pub use thermal::ThermalModel;
-pub use voltage::{discharge_current_for_power, open_circuit_voltage, terminal_voltage};
+pub use voltage::{
+    charge_current_for_power, discharge_current_for_power, open_circuit_voltage, terminal_voltage,
+};

@@ -1,13 +1,18 @@
 //! The dynamic battery model: SoC dynamics, charge acceptance, Peukert
 //! losses, cutoff behaviour, thermal coupling and aging integration.
 
-use baat_units::{AmpHours, Amperes, Celsius, Ohms, SimDuration, SimInstant, Soc, Volts, Watts};
+use baat_units::{
+    AmpHours, Amperes, Celsius, Ohms, SimDuration, SimInstant, Soc, Volts, WattHours, Watts,
+};
 
 use crate::aging::{AgingModel, AgingState, StressSample};
+use crate::error::BatteryError;
 use crate::spec::BatterySpec;
 use crate::telemetry::{SensorSample, TelemetryLog};
 use crate::thermal::ThermalModel;
-use crate::voltage::{discharge_current_for_power, open_circuit_voltage, terminal_voltage};
+use crate::voltage::{
+    charge_current_for_power, discharge_current_for_power, open_circuit_voltage, terminal_voltage,
+};
 
 /// SoC at or above which the battery counts as fully recharged.
 const FULL_SOC: f64 = 0.99;
@@ -58,6 +63,42 @@ impl StepResult {
     }
 }
 
+/// Hour/day conversions of the step length, cached on the raw seconds.
+///
+/// Every step divides the same `dt` by 3600 and 86 400 several times
+/// (coulomb counting, energy integration, self-discharge); simulations
+/// step with a fixed `dt`, so the divides are re-evaluated only when the
+/// step length changes. A hit replays the exact `f64` a fresh division
+/// would produce, and the initial `(0, 0.0, 0.0)` triple is itself exact
+/// (`0 / 3600 = 0 / 86 400 = 0.0`).
+#[derive(Debug, Clone, Copy)]
+struct DtMemo {
+    dt_secs: u64,
+    hours: f64,
+    days: f64,
+}
+
+impl Default for DtMemo {
+    fn default() -> Self {
+        Self {
+            dt_secs: 0,
+            hours: 0.0,
+            days: 0.0,
+        }
+    }
+}
+
+impl DtMemo {
+    fn refresh(&mut self, dt: SimDuration) -> (f64, f64) {
+        if dt.as_secs() != self.dt_secs {
+            self.dt_secs = dt.as_secs();
+            self.hours = dt.as_hours();
+            self.days = dt.as_days();
+        }
+        (self.hours, self.days)
+    }
+}
+
 /// A single sealed lead-acid battery unit with aging.
 ///
 /// # Examples
@@ -76,7 +117,7 @@ impl StepResult {
 /// assert!(result.delivered.as_f64() > 0.0);
 /// assert!(battery.soc() < baat_units::Soc::FULL);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Battery {
     spec: BatterySpec,
     aging: AgingState,
@@ -86,6 +127,23 @@ pub struct Battery {
     hours_since_full: f64,
     capacity_scale: f64,
     cutoff_events: u64,
+    dt_memo: DtMemo,
+}
+
+/// Equality is semantic — spec, electrochemical state, telemetry and
+/// usage history. The dt conversion memo is a pure evaluation cache and
+/// never distinguishes two batteries.
+impl PartialEq for Battery {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.aging == other.aging
+            && self.thermal == other.thermal
+            && self.telemetry == other.telemetry
+            && self.soc == other.soc
+            && self.hours_since_full == other.hours_since_full
+            && self.capacity_scale == other.capacity_scale
+            && self.cutoff_events == other.cutoff_events
+    }
 }
 
 impl Battery {
@@ -121,6 +179,7 @@ impl Battery {
             hours_since_full: 0.0,
             capacity_scale,
             cutoff_events: 0,
+            dt_memo: DtMemo::default(),
         }
     }
 
@@ -227,11 +286,16 @@ impl Battery {
     /// Maximum power the battery can deliver *right now* without tripping
     /// the under-voltage cutoff or the maximum discharge current.
     pub fn available_discharge_power(&self) -> Watts {
+        self.available_discharge_power_at(self.open_circuit_voltage(), self.internal_resistance())
+    }
+
+    /// [`Battery::available_discharge_power`] with the present OCV and
+    /// internal resistance supplied by the caller, so the step loop can
+    /// reuse values it already derived.
+    fn available_discharge_power_at(&self, ocv: Volts, r: Ohms) -> Watts {
         if self.soc == Soc::EMPTY {
             return Watts::ZERO;
         }
-        let ocv = self.open_circuit_voltage();
-        let r = self.internal_resistance();
         // Current at which terminal voltage hits the cutoff.
         let i_cutoff = ((ocv - self.spec.cutoff_voltage()).as_f64() / r.as_f64()).max(0.0);
         let i_max = i_cutoff.min(self.spec.max_discharge_current().as_f64());
@@ -271,6 +335,12 @@ impl Battery {
     /// Applies the requested operation (respecting cutoff, current limits
     /// and charge acceptance), updates SoC, temperature, telemetry and
     /// aging, and returns what actually happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested power is not finite. Callers whose power
+    /// requests come from untrusted paths (e.g. fault injection) should
+    /// use [`Battery::try_step`] and handle the typed error.
     pub fn step(
         &mut self,
         op: BatteryOp,
@@ -278,20 +348,53 @@ impl Battery {
         now: SimInstant,
         dt: SimDuration,
     ) -> StepResult {
+        self.try_step(op, ambient, now, dt)
+            .expect("power request must be finite")
+    }
+
+    /// Advances the battery one simulation step, rejecting degenerate
+    /// requests with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::NonFinitePower`] when the charge or
+    /// discharge request is `NaN` or infinite — the quadratic current
+    /// solvers would otherwise poison SoC and aging with `NaN`. The
+    /// battery state is untouched on error.
+    pub fn try_step(
+        &mut self,
+        op: BatteryOp,
+        ambient: Celsius,
+        now: SimInstant,
+        dt: SimDuration,
+    ) -> Result<StepResult, BatteryError> {
+        if let BatteryOp::Discharge(p) | BatteryOp::Charge(p) = op {
+            if !p.as_f64().is_finite() {
+                return Err(BatteryError::NonFinitePower {
+                    requested_w: p.as_f64(),
+                });
+            }
+        }
+        let (dt_hours, dt_days) = self.dt_memo.refresh(dt);
+        // OCV and internal resistance are pure functions of SoC and
+        // aging, neither of which changes before the operation arms read
+        // them — compute both once and share. The reported voltage is
+        // still recomputed from post-step state at the end.
+        let ocv = self.open_circuit_voltage();
+        let r = self.internal_resistance();
         let mut result = match op {
-            BatteryOp::Discharge(power) => self.apply_discharge(power, dt),
-            BatteryOp::Charge(power) => self.apply_charge(power, dt),
-            BatteryOp::Idle => StepResult::idle(self.open_circuit_voltage()),
+            BatteryOp::Discharge(power) => self.apply_discharge(power, ocv, r, dt_hours),
+            BatteryOp::Charge(power) => self.apply_charge(power, ocv, r, dt_hours),
+            BatteryOp::Idle => StepResult::idle(ocv),
         };
 
         // Self-discharge applies regardless of operation.
-        let leak = self.spec.self_discharge_per_day() * dt.as_days();
+        let leak = self.spec.self_discharge_per_day() * dt_days;
         self.soc = Soc::saturating(self.soc.value() - leak);
 
-        // Thermal update feeds the aging temperature factor.
-        let temp = self
-            .thermal
-            .step(result.current, self.internal_resistance(), ambient, dt);
+        // Thermal update feeds the aging temperature factor. The
+        // operation arms never touch aging, so `r` is still current.
+        let temp = self.thermal.step(result.current, r, ambient, dt);
 
         // Track recharge staleness.
         if self.soc.value() >= FULL_SOC {
@@ -300,11 +403,11 @@ impl Battery {
             }
             self.hours_since_full = 0.0;
         } else {
-            self.hours_since_full += dt.as_hours();
+            self.hours_since_full += dt_hours;
         }
 
         // Aging integration.
-        let (discharged, charged, overcharge) = self.step_charges(&result, dt);
+        let (discharged, charged, overcharge) = self.step_charges(&result, dt_hours);
         let stress = StressSample {
             soc: self.soc,
             current: result.current,
@@ -319,8 +422,8 @@ impl Battery {
         self.aging.apply(&stress);
 
         // Telemetry.
-        let energy_out = result.delivered * dt;
-        let energy_in = result.accepted * dt;
+        let energy_out = WattHours::new(result.delivered.as_f64() * dt_hours);
+        let energy_in = WattHours::new(result.accepted.as_f64() * dt_hours);
         self.telemetry.record(
             self.soc,
             result.current,
@@ -344,15 +447,15 @@ impl Battery {
             result.current,
             self.internal_resistance(),
         );
-        result
+        Ok(result)
     }
 
-    fn step_charges(&self, result: &StepResult, dt: SimDuration) -> (AmpHours, AmpHours, AmpHours) {
+    fn step_charges(&self, result: &StepResult, dt_hours: f64) -> (AmpHours, AmpHours, AmpHours) {
         let i = result.current.as_f64();
         if i > 0.0 {
-            (Amperes::new(i) * dt, AmpHours::ZERO, AmpHours::ZERO)
+            (AmpHours::new(i * dt_hours), AmpHours::ZERO, AmpHours::ZERO)
         } else if i < 0.0 {
-            let charged = Amperes::new(-i) * dt;
+            let charged = AmpHours::new(-i * dt_hours);
             // Charge pushed in past the gassing knee vents as overcharge;
             // gassing onsets quadratically toward full.
             let over = if self.soc.value() >= GASSING_SOC {
@@ -367,13 +470,11 @@ impl Battery {
         }
     }
 
-    fn apply_discharge(&mut self, power: Watts, dt: SimDuration) -> StepResult {
+    fn apply_discharge(&mut self, power: Watts, ocv: Volts, r: Ohms, dt_hours: f64) -> StepResult {
         if power.as_f64() <= 0.0 {
-            return StepResult::idle(self.open_circuit_voltage());
+            return StepResult::idle(ocv);
         }
-        let ocv = self.open_circuit_voltage();
-        let r = self.internal_resistance();
-        let available = self.available_discharge_power();
+        let available = self.available_discharge_power_at(ocv, r);
         let mut cutoff = false;
         let granted = if power > available {
             cutoff = true;
@@ -395,7 +496,7 @@ impl Battery {
         let c_rate = current.as_f64() / self.spec.capacity().as_f64();
         let peukert =
             1.0 + PEUKERT_GAIN * ((c_rate - PEUKERT_KNEE).max(0.0) / (1.0 - PEUKERT_KNEE));
-        let drawn = Amperes::new(current.as_f64() * peukert) * dt;
+        let drawn = AmpHours::new(current.as_f64() * peukert * dt_hours);
 
         let capacity = self.effective_capacity();
         let stored = capacity * self.soc.value();
@@ -422,12 +523,10 @@ impl Battery {
         }
     }
 
-    fn apply_charge(&mut self, power: Watts, dt: SimDuration) -> StepResult {
+    fn apply_charge(&mut self, power: Watts, ocv: Volts, r: Ohms, dt_hours: f64) -> StepResult {
         if power.as_f64() <= 0.0 || self.soc.value() >= 1.0 {
-            return StepResult::idle(self.open_circuit_voltage());
+            return StepResult::idle(ocv);
         }
-        let ocv = self.open_circuit_voltage();
-        let r = self.internal_resistance();
 
         // Charge-acceptance taper: current limit shrinks near full.
         let headroom = (1.0 - self.soc.value()) / (1.0 - GASSING_SOC);
@@ -438,17 +537,18 @@ impl Battery {
         }
 
         // Charging terminal voltage is above OCV: V = OCV + I·R.
-        // Solve P = I·(OCV + I·R) for I, then clamp to the acceptance limit.
-        let v = ocv.as_f64();
-        let p = power.as_f64();
-        let i_for_power = (-v + (v * v + 4.0 * r.as_f64() * p).sqrt()) / (2.0 * r.as_f64());
+        // Solve P = I·(OCV + I·R) for I, then clamp to the acceptance
+        // limit. `try_step` already rejected non-finite power, so a
+        // degenerate solve cannot occur; the limit is a safe fallback.
+        let i_for_power =
+            charge_current_for_power(power.as_f64(), ocv, r).map_or(i_limit, |a| a.as_f64());
         let i = i_for_power.min(i_limit);
         let current = Amperes::new(-i);
         let v_term = terminal_voltage(ocv, current, r);
         let accepted = Watts::new(i * v_term.as_f64());
 
         // Coulombic efficiency: a fraction of the charge becomes heat/gas.
-        let stored_ah = i * dt.as_hours() * self.spec.coulombic_efficiency();
+        let stored_ah = i * dt_hours * self.spec.coulombic_efficiency();
         let capacity = self.effective_capacity();
         self.soc = Soc::saturating(self.soc.value() + stored_ah / capacity.as_f64());
         StepResult {
@@ -479,6 +579,31 @@ mod tests {
                 r
             })
             .collect()
+    }
+
+    #[test]
+    fn non_finite_power_is_a_typed_error_and_leaves_state_untouched() {
+        let mut b = battery();
+        let before = b.clone();
+        for p in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for op in [
+                BatteryOp::Discharge(Watts::new(p)),
+                BatteryOp::Charge(Watts::new(p)),
+            ] {
+                let err = b
+                    .try_step(
+                        op,
+                        Celsius::new(25.0),
+                        SimInstant::START,
+                        SimDuration::from_minutes(1),
+                    )
+                    .unwrap_err();
+                assert!(
+                    matches!(err, crate::BatteryError::NonFinitePower { requested_w } if !requested_w.is_finite())
+                );
+            }
+        }
+        assert_eq!(b, before, "a rejected step must not mutate the battery");
     }
 
     #[test]

@@ -8,13 +8,33 @@
 use baat_units::{Amperes, Celsius, Ohms, SimDuration};
 
 /// First-order thermal state of one battery unit.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct ThermalModel {
     temperature: Celsius,
     /// Steady-state temperature rise per watt dissipated (K/W).
     thermal_resistance: f64,
     /// First-order time constant, seconds.
     time_constant_s: f64,
+    /// Step length whose relaxation factor is cached in `cached_alpha`.
+    ///
+    /// Simulations step with a fixed `dt`, so the `exp` in the relaxation
+    /// factor is re-evaluated only when the step length changes. The
+    /// initial `(0, 0.0)` pair is itself exact: `1 − exp(0) = 0`.
+    cached_dt_secs: u64,
+    /// `1 − exp(−dt / τ)` for `cached_dt_secs`.
+    cached_alpha: f64,
+}
+
+/// Equality is semantic: two models match when their physical state and
+/// parameters match, regardless of what step length their memoized
+/// relaxation factors were last evaluated for (the memo never changes
+/// results, only whether `exp` is re-evaluated).
+impl PartialEq for ThermalModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.temperature == other.temperature
+            && self.thermal_resistance == other.thermal_resistance
+            && self.time_constant_s == other.time_constant_s
+    }
 }
 
 impl ThermalModel {
@@ -24,6 +44,8 @@ impl ThermalModel {
             temperature: ambient,
             thermal_resistance,
             time_constant_s,
+            cached_dt_secs: 0,
+            cached_alpha: 0.0,
         }
     }
 
@@ -46,7 +68,11 @@ impl ThermalModel {
         let i = current.as_f64();
         let dissipation_w = i * i * resistance.as_f64();
         let target = ambient.as_f64() + self.thermal_resistance * dissipation_w;
-        let alpha = 1.0 - (-(dt.as_secs() as f64) / self.time_constant_s).exp();
+        if dt.as_secs() != self.cached_dt_secs {
+            self.cached_dt_secs = dt.as_secs();
+            self.cached_alpha = 1.0 - (-(dt.as_secs() as f64) / self.time_constant_s).exp();
+        }
+        let alpha = self.cached_alpha;
         let t = self.temperature.as_f64() + (target - self.temperature.as_f64()) * alpha;
         self.temperature = Celsius::new(t);
         self.temperature
@@ -110,6 +136,54 @@ mod tests {
             );
         }
         assert!((d.temperature().as_f64() - c.temperature().as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memoized_alpha_is_bit_identical_to_direct_formula() {
+        // Alternate step lengths so the cache is exercised through both
+        // hits and misses; the trajectory must match an uncached
+        // evaluation bit for bit.
+        let mut m = model();
+        let mut direct_t = m.temperature().as_f64();
+        let dts = [600u64, 600, 120, 120, 120, 600, 300, 300, 0, 600];
+        for (k, &secs) in dts.iter().enumerate() {
+            let amps = Amperes::new((k % 4) as f64 * 8.0);
+            let got = m
+                .step(
+                    amps,
+                    Ohms::new(0.012),
+                    Celsius::new(25.0),
+                    SimDuration::from_secs(secs),
+                )
+                .as_f64();
+            let dissipation = amps.as_f64() * amps.as_f64() * 0.012;
+            let target = 25.0 + 4.0 * dissipation;
+            let alpha = 1.0 - (-(secs as f64) / 3_600.0).exp();
+            direct_t += (target - direct_t) * alpha;
+            assert_eq!(got.to_bits(), direct_t.to_bits(), "step {k} (dt {secs}s)");
+        }
+    }
+
+    #[test]
+    fn equality_ignores_the_alpha_cache() {
+        let mut warmed = model();
+        warmed.step(
+            Amperes::ZERO,
+            Ohms::new(0.012),
+            Celsius::new(25.0),
+            SimDuration::from_secs(600),
+        );
+        let mut cold = model();
+        cold.step(
+            Amperes::ZERO,
+            Ohms::new(0.012),
+            Celsius::new(25.0),
+            SimDuration::from_secs(600),
+        );
+        // Same trajectory, different cache histories: still equal.
+        cold.cached_dt_secs = 0;
+        cold.cached_alpha = 0.0;
+        assert_eq!(warmed, cold);
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub fn terminal_voltage(ocv: Volts, current: Amperes, resistance: Ohms) -> Volts
 /// terminals, accounting for the ohmic drop (`P = I·(OCV − I·R)`).
 ///
 /// Returns `None` if the power demand exceeds what the battery can deliver
-/// at any current (past the peak of the power-transfer curve).
+/// at any current (past the peak of the power-transfer curve), or if the
+/// demand is not a finite number (extreme fault injection can drive routed
+/// power to `NaN`/`∞`; the guard rejects a `NaN` discriminant instead of
+/// letting it flow through `sqrt`).
 pub fn discharge_current_for_power(power_w: f64, ocv: Volts, resistance: Ohms) -> Option<Amperes> {
     if power_w <= 0.0 {
         return Some(Amperes::ZERO);
@@ -55,10 +58,33 @@ pub fn discharge_current_for_power(power_w: f64, ocv: Volts, resistance: Ohms) -
     let r = resistance.as_f64();
     // I² R − I V + P = 0 ⇒ I = (V − sqrt(V² − 4 R P)) / (2 R)
     let disc = v * v - 4.0 * r * power_w;
-    if disc < 0.0 {
+    if disc.is_nan() || disc < 0.0 {
         return None;
     }
     Some(Amperes::new((v - disc.sqrt()) / (2.0 * r)))
+}
+
+/// Solves for the charge current that absorbs `power` at the battery
+/// terminals, where charging lifts the terminal voltage above OCV
+/// (`P = I·(OCV + I·R)`).
+///
+/// Returns `Some(0 A)` for non-positive power and `None` when the demand
+/// is not finite or the solve degenerates (`NaN` discriminant or a
+/// non-finite root) — the caller must treat `None` as an invalid request,
+/// never as "charge at NaN amps".
+pub fn charge_current_for_power(power_w: f64, ocv: Volts, resistance: Ohms) -> Option<Amperes> {
+    if power_w <= 0.0 {
+        return Some(Amperes::ZERO);
+    }
+    let v = ocv.as_f64();
+    let r = resistance.as_f64();
+    // I² R + I V − P = 0 ⇒ I = (−V + sqrt(V² + 4 R P)) / (2 R)
+    let disc = v * v + 4.0 * r * power_w;
+    if disc.is_nan() || disc < 0.0 {
+        return None;
+    }
+    let i = (-v + disc.sqrt()) / (2.0 * r);
+    i.is_finite().then(|| Amperes::new(i))
 }
 
 #[cfg(test)]
@@ -120,5 +146,35 @@ mod tests {
     fn zero_power_needs_zero_current() {
         let i = discharge_current_for_power(0.0, Volts::new(12.5), Ohms::new(0.02)).unwrap();
         assert_eq!(i, Amperes::ZERO);
+    }
+
+    #[test]
+    fn charge_solver_matches_power() {
+        let ocv = Volts::new(12.5);
+        let r = Ohms::new(0.02);
+        let i = charge_current_for_power(100.0, ocv, r).unwrap();
+        // Charging current is reported positive here; terminal voltage is
+        // OCV + I·R.
+        let v = ocv.as_f64() + i.as_f64() * r.as_f64();
+        assert!((i.as_f64() * v - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solvers_reject_non_finite_power_instead_of_returning_nan() {
+        let ocv = Volts::new(12.5);
+        let r = Ohms::new(0.02);
+        for p in [f64::NAN, f64::INFINITY] {
+            assert!(discharge_current_for_power(p, ocv, r).is_none(), "{p}");
+            assert!(charge_current_for_power(p, ocv, r).is_none(), "{p}");
+        }
+        // −∞ counts as "no demand", like any non-positive power.
+        assert_eq!(
+            discharge_current_for_power(f64::NEG_INFINITY, ocv, r),
+            Some(Amperes::ZERO)
+        );
+        assert_eq!(
+            charge_current_for_power(f64::NEG_INFINITY, ocv, r),
+            Some(Amperes::ZERO)
+        );
     }
 }

@@ -1,8 +1,11 @@
 //! Property-based tests for battery invariants.
 
-use baat_battery::{Battery, BatteryOp, BatterySpec, Manufacturer};
+use baat_battery::{
+    AgingModel, AgingState, Battery, BatteryOp, BatterySpec, DamageBreakdown, Manufacturer,
+    MemoizedCycleLife, StressSample,
+};
 use baat_testkit::prelude::*;
-use baat_units::{AmpHours, Celsius, Dod, SimDuration, SimInstant, Soc, Watts};
+use baat_units::{AmpHours, Amperes, Celsius, Dod, SimDuration, SimInstant, Soc, Watts};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -126,5 +129,81 @@ proptest! {
         let mut b = Battery::new(BatterySpec::prototype());
         b.set_soc(Soc::new(soc0).unwrap());
         prop_assert!(b.stored_charge() <= b.effective_capacity() + AmpHours::new(1e-9));
+    }
+
+    /// The memoized cycle-life curve is **bit-identical** to the direct
+    /// `powf·exp` formula across the full DoD domain, for every
+    /// manufacturer — including cache-hit queries. The pool/index
+    /// encoding forces repeated DoDs, so both the miss path and the hit
+    /// path are exercised on every case.
+    #[test]
+    fn memoized_cycle_life_is_bit_identical_to_direct(
+        pool in baat_testkit::collection::vec(0.001f64..=1.0, 1..4),
+        picks in baat_testkit::collection::vec(0usize..4, 1..40),
+    ) {
+        for m in Manufacturer::ALL {
+            let curve = m.curve();
+            let mut memo = MemoizedCycleLife::new(curve);
+            for &p in &picks {
+                let dod = Dod::new(pool[p % pool.len()]).unwrap();
+                let memoized = memo.cycles_to_eol(dod);
+                let direct = curve.cycles_to_eol(dod);
+                prop_assert_eq!(
+                    memoized.to_bits(),
+                    direct.to_bits(),
+                    "memo diverged at dod {} for {:?}: {} vs {}",
+                    dod.value(), m, memoized, direct
+                );
+                prop_assert_eq!(
+                    memo.lifetime_throughput(dod, AmpHours::new(35.0)),
+                    curve.lifetime_throughput(dod, AmpHours::new(35.0))
+                );
+            }
+        }
+    }
+
+    /// Damage integrated through the Arrhenius-memoizing [`AgingState`]
+    /// is **bit-identical** to summing the direct per-sample formula
+    /// ([`AgingModel::incremental_damage`], which evaluates the `powf`
+    /// fresh every time) across the temperature domain. Temperatures are
+    /// drawn from a small pool so consecutive repeats (the memo-hit path)
+    /// occur alongside cold misses.
+    #[test]
+    fn memoized_arrhenius_aging_is_bit_identical_to_direct(
+        temps in baat_testkit::collection::vec(-10.0f64..=60.0, 1..4),
+        steps in baat_testkit::collection::vec((0usize..4, -20.0f64..20.0, 0.05f64..1.0), 1..60),
+    ) {
+        let model = AgingModel::new(17_500.0);
+        let mut state = AgingState::new(model.clone());
+        let mut direct_sum = DamageBreakdown::default();
+        let dt = SimDuration::from_minutes(5);
+        for &(t, amps, soc) in &steps {
+            let current = Amperes::new(amps);
+            let moved = AmpHours::new(amps.abs() * dt.as_hours());
+            let s = StressSample {
+                soc: Soc::new(soc).unwrap(),
+                current,
+                temperature: Celsius::new(temps[t % temps.len()]),
+                dt,
+                discharged: if amps > 0.0 { moved } else { AmpHours::ZERO },
+                charged: if amps < 0.0 { moved } else { AmpHours::ZERO },
+                overcharge: AmpHours::ZERO,
+                capacity: AmpHours::new(35.0),
+                hours_since_full: 4.0,
+            };
+            state.apply(&s);
+            let inc = model.incremental_damage(&s);
+            direct_sum.corrosion += inc.corrosion;
+            direct_sum.shedding += inc.shedding;
+            direct_sum.sulphation += inc.sulphation;
+            direct_sum.water_loss += inc.water_loss;
+            direct_sum.stratification += inc.stratification;
+        }
+        // DamageBreakdown equality is exact f64 equality per mechanism.
+        prop_assert_eq!(state.breakdown(), &direct_sum);
+        prop_assert_eq!(
+            state.total_damage().to_bits(),
+            direct_sum.total().to_bits()
+        );
     }
 }

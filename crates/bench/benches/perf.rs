@@ -1,0 +1,195 @@
+//! The perf regression harness behind `BENCH_4.json`.
+//!
+//! Measures the simulated-day hot path (both schemes), the fig03_05
+//! battery-kernel sweep, the per-stage ns/step profile, and — with
+//! `--features count-allocs` — heap allocations per engine step.
+//!
+//! ```text
+//! cargo bench -p baat-bench --bench perf              # measure + print report
+//! cargo bench -p baat-bench --bench perf -- --update  # rewrite BENCH_4.json
+//! cargo bench -p baat-bench --bench perf -- --check   # gate: fail on >20% regression
+//! ```
+//!
+//! `--check` is what `ci/check.sh` runs (skippable via `BAAT_SKIP_PERF=1`):
+//! it compares freshly measured best-case throughput against the
+//! committed mean throughput with the tolerance from
+//! [`baat_bench::perf::TOLERANCE_PCT`].
+
+use baat_bench::experiments::fig03_05;
+use baat_bench::perf::{PerfBench, PerfReport, BASELINE_FILE};
+use baat_core::Scheme;
+use baat_obs::Obs;
+use baat_sim::{run_simulation, run_simulation_observed, SimConfig, Simulation};
+use baat_solar::Weather;
+use baat_testkit::bench::Harness;
+use baat_units::SimDuration;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+/// Mean wall-clocks measured at the seed revision (before the perf
+/// pass), embedded so `BENCH_4.json` always carries the before/after
+/// pair. Nanoseconds.
+const SEED_SIMULATED_DAY_EBUFF_NS: u64 = 40_620_000;
+const SEED_SIMULATED_DAY_BAAT_NS: u64 = 176_660_000;
+const SEED_FIG03_05_NS: u64 = 279_820;
+
+#[cfg(feature = "count-allocs")]
+mod alloc_count {
+    //! Counting global allocator: every `alloc`/`realloc` bumps one
+    //! relaxed atomic, everything else delegates to [`System`].
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: every method delegates to `System` with unchanged
+    // arguments; the counter update has no safety impact.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: Counting = Counting;
+
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+fn day_config() -> SimConfig {
+    let mut cfg = SimConfig::builder();
+    cfg.weather_plan(vec![Weather::Cloudy])
+        .dt(SimDuration::from_secs(30))
+        .sample_every(40)
+        .seed(1);
+    cfg.build().expect("valid")
+}
+
+/// Steps in one simulated day at the standard 30 s timestep.
+fn day_steps() -> u64 {
+    Simulation::new(day_config()).expect("valid").total_steps()
+}
+
+/// Allocations per engine step across one simulated day, step loop only
+/// (construction and report generation excluded).
+#[cfg(feature = "count-allocs")]
+fn allocs_per_step() -> Option<f64> {
+    let mut sim = Simulation::new(day_config()).expect("valid");
+    let mut policy = Scheme::Baat.build();
+    let steps = sim.total_steps();
+    let before = alloc_count::allocations();
+    sim.run_steps(&mut policy, steps).expect("runs");
+    let after = alloc_count::allocations();
+    Some((after - before) as f64 / steps as f64)
+}
+
+#[cfg(not(feature = "count-allocs"))]
+fn allocs_per_step() -> Option<f64> {
+    None
+}
+
+/// Per-stage ns/step profile of one observed BAAT day.
+fn stage_profile() -> Vec<baat_obs::StageStats> {
+    let obs = Obs::enabled();
+    let mut policy = Scheme::Baat.build_observed(&obs);
+    run_simulation_observed(day_config(), &mut policy, obs.clone()).expect("runs");
+    obs.stage_stats()
+}
+
+fn bench_entry(h: &Harness, id: &str, steps_per_iter: u64, seed_mean_ns: u64) -> PerfBench {
+    let sample = h
+        .results()
+        .iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("benchmark {id} did not run — check the filter"));
+    PerfBench {
+        name: id.to_owned(),
+        steps_per_iter,
+        seed_mean_ns,
+        mean_ns: sample.mean.as_nanos() as u64,
+        min_ns: sample.min.as_nanos() as u64,
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    let check = args.iter().any(|a| a == "--check");
+
+    let mut h = Harness::from_args();
+
+    let mut g = h.group("simulated_day");
+    for scheme in [Scheme::EBuff, Scheme::Baat] {
+        g.bench(scheme.name(), || {
+            let report = run_simulation(day_config(), &mut scheme.build()).expect("runs");
+            black_box(report.total_work)
+        });
+    }
+    let mut g = h.group("sweep");
+    g.bench("fig03_05", || black_box(fig03_05::run(1, 5)));
+
+    let steps = day_steps();
+    let report = PerfReport {
+        benchmarks: vec![
+            bench_entry(
+                &h,
+                "simulated_day/e-Buff",
+                steps,
+                SEED_SIMULATED_DAY_EBUFF_NS,
+            ),
+            bench_entry(&h, "simulated_day/BAAT", steps, SEED_SIMULATED_DAY_BAAT_NS),
+            bench_entry(&h, "sweep/fig03_05", 1, SEED_FIG03_05_NS),
+        ],
+        stages: stage_profile(),
+        allocs_per_step: allocs_per_step(),
+    };
+
+    let baseline_path = workspace_root().join(BASELINE_FILE);
+    if check {
+        let committed = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("perf check: cannot read {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        });
+        let failures = report.regressions_against(&committed);
+        if failures.is_empty() {
+            eprintln!(
+                "perf check: ok ({} benchmarks within tolerance)",
+                report.benchmarks.len()
+            );
+        } else {
+            for f in &failures {
+                eprintln!("perf regression: {f}");
+            }
+            std::process::exit(1);
+        }
+    } else if update {
+        std::fs::write(&baseline_path, report.to_json()).expect("write baseline");
+        eprintln!("perf baseline written to {}", baseline_path.display());
+    } else {
+        println!("{}", report.to_json());
+    }
+
+    h.finish();
+}

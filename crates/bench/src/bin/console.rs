@@ -35,6 +35,7 @@ struct Args {
     faults: Option<(FaultMix, Option<u64>)>,
     csv: Option<String>,
     jsonl: Option<String>,
+    profile: bool,
 }
 
 fn usage() -> ! {
@@ -42,7 +43,7 @@ fn usage() -> ! {
         "usage: console [--scheme e-buff|baat-s|baat-h|baat] \
          [--weather sunny,cloudy,rainy] [--seed N] [--old] \
          [--topology per-server|shared:K] [--faults light|heavy[:SEED]] \
-         [--csv PATH] [--jsonl DIR]"
+         [--csv PATH] [--jsonl DIR] [--profile]"
     );
     std::process::exit(2);
 }
@@ -57,6 +58,7 @@ fn parse_args() -> Args {
         faults: None,
         csv: None,
         jsonl: None,
+        profile: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -116,6 +118,7 @@ fn parse_args() -> Args {
             }
             "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
             "--jsonl" => args.jsonl = Some(it.next().unwrap_or_else(|| usage())),
+            "--profile" => args.profile = true,
             _ => usage(),
         }
     }
@@ -145,7 +148,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let config = builder.build()?;
 
-    let obs = if args.jsonl.is_some() {
+    let obs = if args.jsonl.is_some() || args.profile {
         Obs::enabled()
     } else {
         Obs::disabled()
@@ -226,6 +229,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             count(|e| matches!(e, Event::FaultCleared { .. })),
             count(|e| matches!(e, Event::DegradedMode { .. })),
         );
+    }
+
+    if args.profile {
+        println!("\nper-stage profile:");
+        println!(
+            "{:<16} {:>9} {:>12} {:>12}",
+            "stage", "calls", "ns/call", "total ms"
+        );
+        for s in obs.stage_stats() {
+            println!(
+                "{:<16} {:>9} {:>12} {:>12.3}",
+                s.stage.name(),
+                s.calls,
+                s.mean_ns(),
+                s.total_ns as f64 / 1e6,
+            );
+        }
     }
 
     if let Some(path) = args.csv {

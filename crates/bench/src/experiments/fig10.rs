@@ -4,8 +4,12 @@
 //! The paper's reading: "battery cycle life decreases by 50 % if it is
 //! frequently discharged at a DoD above 50 %".
 
-use baat_battery::Manufacturer;
-use baat_units::Dod;
+use baat_battery::{Manufacturer, MemoizedCycleLife};
+use baat_units::{AmpHours, Dod};
+
+/// Cell capacity used for the throughput column, matching the prototype's
+/// 35 Ah units.
+const CELL_CAPACITY_AH: f64 = 35.0;
 
 /// One sweep point: cycle life per manufacturer at one DoD.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -14,6 +18,9 @@ pub struct CycleLifePoint {
     pub dod: f64,
     /// Cycles to end-of-life for [Hoppecke, Trojan, UPG].
     pub cycles: [f64; 3],
+    /// Lifetime Ah throughput at this DoD for [Hoppecke, Trojan, UPG] —
+    /// the paper's constant-Ah rule ([31, 32]) made visible.
+    pub throughput_ah: [f64; 3],
 }
 
 /// The Fig 10 sweep.
@@ -43,18 +50,27 @@ impl CycleLifeSweep {
 }
 
 /// Runs the sweep over `steps` DoD points from 10 % to 90 %.
+///
+/// Each point evaluates both cycle life and lifetime throughput; the
+/// memoized curves make the throughput query reuse the cycle-life
+/// evaluation instead of repeating its `powf·exp`.
 pub fn run(steps: usize) -> CycleLifeSweep {
+    let mut curves = Manufacturer::ALL.map(|m| MemoizedCycleLife::new(m.curve()));
+    let cap = AmpHours::new(CELL_CAPACITY_AH);
     let points = (0..steps)
         .map(|i| {
             let dod = 0.10 + 0.80 * i as f64 / (steps.max(2) - 1) as f64;
             let d = Dod::new(dod).expect("sweep stays in range");
+            let eval = |c: &mut MemoizedCycleLife| {
+                (c.cycles_to_eol(d), c.lifetime_throughput(d, cap).as_f64())
+            };
+            let (h, hq) = eval(&mut curves[0]);
+            let (t, tq) = eval(&mut curves[1]);
+            let (u, uq) = eval(&mut curves[2]);
             CycleLifePoint {
                 dod,
-                cycles: [
-                    Manufacturer::Hoppecke.cycles_to_eol(d),
-                    Manufacturer::Trojan.cycles_to_eol(d),
-                    Manufacturer::Upg.cycles_to_eol(d),
-                ],
+                cycles: [h, t, u],
+                throughput_ah: [hq, tq, uq],
             }
         })
         .collect();
@@ -77,10 +93,14 @@ pub fn render(sweep: &CycleLifeSweep) -> String {
                 format!("{:.0}", p.cycles[0]),
                 format!("{:.0}", p.cycles[1]),
                 format!("{:.0}", p.cycles[2]),
+                format!("{:.0}", p.throughput_ah[1]),
             ]
         })
         .collect();
-    let mut out = crate::table::markdown(&["DoD", "Hoppecke", "Trojan", "UPG"], &rows);
+    let mut out = crate::table::markdown(
+        &["DoD", "Hoppecke", "Trojan", "UPG", "Trojan Ah-throughput"],
+        &rows,
+    );
     out.push_str(&format!(
         "\ncycle life at 50% vs 25% DoD: {} (paper: ~50%)\n",
         crate::table::pct(sweep.deep_shallow_ratio())
@@ -104,6 +124,22 @@ mod tests {
         for p in &run(9).points {
             assert!(p.cycles[0] > p.cycles[1]);
             assert!(p.cycles[1] > p.cycles[2]);
+        }
+    }
+
+    #[test]
+    fn memoized_sweep_matches_direct_curves_bit_for_bit() {
+        use baat_units::AmpHours;
+        for p in &run_paper().points {
+            let d = Dod::new(p.dod).unwrap();
+            for (i, m) in Manufacturer::ALL.iter().enumerate() {
+                let cycles = m.curve().cycles_to_eol(d);
+                let q = m
+                    .curve()
+                    .lifetime_throughput(d, AmpHours::new(CELL_CAPACITY_AH));
+                assert_eq!(p.cycles[i].to_bits(), cycles.to_bits());
+                assert_eq!(p.throughput_ah[i].to_bits(), q.as_f64().to_bits());
+            }
         }
     }
 

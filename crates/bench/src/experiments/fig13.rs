@@ -13,7 +13,7 @@ use baat_solar::Weather;
 use baat_workload::{DemandClass, EnergyDemand, PowerDemand};
 
 use crate::runner::{
-    day_config, run_scenarios, run_scenarios_observed_with_threads, runner_threads,
+    day_config, run_scenarios_forked, run_scenarios_observed_with_threads, runner_threads,
     write_perf_report, Scenario, OLD_BATTERY_DAMAGE,
 };
 
@@ -133,7 +133,7 @@ pub fn run(seed: u64) -> AgingComparison {
     let (specs, scenarios) = sweep(seed);
     let cells = specs
         .into_iter()
-        .zip(run_scenarios(scenarios))
+        .zip(run_scenarios_forked(scenarios))
         .map(|((scheme, weather, old), report)| {
             let worst = report.worst_node().expect("nodes exist");
             let base = if old { OLD_BATTERY_DAMAGE } else { 0.0 };

@@ -4,5 +4,6 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod perf;
 pub mod runner;
 pub mod table;

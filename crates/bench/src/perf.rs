@@ -1,0 +1,302 @@
+//! The performance-regression baseline: measurement records, the
+//! `BENCH_4.json` serialization, and the >20 % steps/sec gate.
+//!
+//! The perf harness (`benches/perf.rs`) measures the hot paths, embeds
+//! the pre-optimization wall-clocks recorded at the seed revision, and
+//! emits the whole report as `BENCH_4.json` at the repository root.
+//! `ci/check.sh` re-measures in `--check` mode and fails when any
+//! benchmark's best observed throughput falls more than
+//! [`TOLERANCE_PCT`] below the committed figure — catching perf
+//! regressions the way goldens catch behavioural ones.
+//!
+//! The file format is the in-tree [`baat_obs::json`] line style: one JSON
+//! object per benchmark inside a plain JSON document, parseable with the
+//! minimal scanner in [`committed_steps_per_sec`] (no external JSON
+//! dependency, mirroring the hermetic-workspace rule).
+
+use baat_obs::json::JsonLine;
+use baat_obs::StageStats;
+
+/// Allowed steps/sec shortfall (percent) before `--check` fails.
+pub const TOLERANCE_PCT: f64 = 20.0;
+
+/// Where the committed baseline lives, relative to the workspace root.
+pub const BASELINE_FILE: &str = "BENCH_4.json";
+
+/// One measured hot-path benchmark, with the seed-revision wall-clock it
+/// is compared against.
+#[derive(Debug, Clone)]
+pub struct PerfBench {
+    /// Benchmark id (`group/name`).
+    pub name: String,
+    /// Work units (simulation steps, or 1 for whole-sweep wall-clocks)
+    /// performed per iteration.
+    pub steps_per_iter: u64,
+    /// Mean wall-clock per iteration at the seed revision, in
+    /// nanoseconds (the "before" of the before/after record).
+    pub seed_mean_ns: u64,
+    /// Measured mean wall-clock per iteration, in nanoseconds.
+    pub mean_ns: u64,
+    /// Fastest observed batch per iteration, in nanoseconds — the
+    /// noise-robust figure the regression gate compares.
+    pub min_ns: u64,
+}
+
+impl PerfBench {
+    /// Mean throughput in steps (work units) per second.
+    pub fn steps_per_sec(&self) -> f64 {
+        per_sec(self.steps_per_iter, self.mean_ns)
+    }
+
+    /// Best-case throughput in steps per second (from the fastest batch).
+    pub fn best_steps_per_sec(&self) -> f64 {
+        per_sec(self.steps_per_iter, self.min_ns)
+    }
+
+    /// Wall-clock speedup over the seed revision (mean vs mean).
+    pub fn speedup(&self) -> f64 {
+        if self.mean_ns == 0 {
+            return 0.0;
+        }
+        self.seed_mean_ns as f64 / self.mean_ns as f64
+    }
+
+    fn to_json(&self) -> String {
+        let mut line = JsonLine::new();
+        line.str_field("name", &self.name)
+            .u64_field("steps_per_iter", self.steps_per_iter)
+            .u64_field("seed_mean_ns", self.seed_mean_ns)
+            .u64_field("mean_ns", self.mean_ns)
+            .u64_field("min_ns", self.min_ns)
+            .f64_field("steps_per_sec", self.steps_per_sec())
+            .f64_field("best_steps_per_sec", self.best_steps_per_sec())
+            .f64_field("speedup_vs_seed", self.speedup());
+        line.finish()
+    }
+}
+
+fn per_sec(units: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    units as f64 * 1e9 / ns as f64
+}
+
+/// The full perf report emitted as `BENCH_4.json`.
+#[derive(Debug, Clone, Default)]
+pub struct PerfReport {
+    /// The gated hot-path benchmarks.
+    pub benchmarks: Vec<PerfBench>,
+    /// Per-stage profile of one observed simulated day (ns/step), from
+    /// the `baat-obs` stage profiler.
+    pub stages: Vec<StageStats>,
+    /// Heap allocations per engine step over one simulated day, measured
+    /// by the counting allocator (only with `--features count-allocs`).
+    pub allocs_per_step: Option<f64>,
+}
+
+impl PerfReport {
+    /// Serializes the report as the `BENCH_4.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n\"schema\": \"baat-perf-v1\",\n\"issue\": 4,\n");
+        out.push_str(&format!("\"tolerance_pct\": {TOLERANCE_PCT},\n"));
+        out.push_str("\"benchmarks\": [\n");
+        for (i, b) in self.benchmarks.iter().enumerate() {
+            out.push_str(&b.to_json());
+            out.push_str(if i + 1 < self.benchmarks.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("],\n\"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(&s.to_json());
+            out.push_str(if i + 1 < self.stages.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push(']');
+        if let Some(allocs) = self.allocs_per_step {
+            let mut line = JsonLine::new();
+            line.f64_field("allocs_per_step", allocs);
+            out.push_str(",\n\"allocs\": ");
+            out.push_str(&line.finish());
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Compares this (freshly measured) report against the committed
+    /// baseline document. Returns human-readable failure lines, one per
+    /// regressed benchmark; empty means the gate passes.
+    ///
+    /// The gate compares the fresh **best** observed throughput against
+    /// the committed **mean** throughput: the best-of-batches figure is
+    /// robust to scheduler noise on loaded CI machines, while the mean
+    /// keeps the committed reference honest.
+    pub fn regressions_against(&self, committed: &str) -> Vec<String> {
+        let baseline = committed_steps_per_sec(committed);
+        let mut failures = Vec::new();
+        for bench in &self.benchmarks {
+            let Some(&reference) =
+                baseline.iter().find_map(
+                    |(name, v)| {
+                        if *name == bench.name {
+                            Some(v)
+                        } else {
+                            None
+                        }
+                    },
+                )
+            else {
+                failures.push(format!(
+                    "{}: missing from committed {BASELINE_FILE} — re-run with --update",
+                    bench.name
+                ));
+                continue;
+            };
+            let floor = reference * (1.0 - TOLERANCE_PCT / 100.0);
+            let measured = bench.best_steps_per_sec();
+            if measured < floor {
+                failures.push(format!(
+                    "{}: {measured:.0} steps/s is more than {TOLERANCE_PCT}% below \
+                     the committed {reference:.0} steps/s (floor {floor:.0})",
+                    bench.name
+                ));
+            }
+        }
+        failures
+    }
+}
+
+/// Extracts `(name, steps_per_sec)` pairs from a committed baseline
+/// document.
+///
+/// Minimal scanner for the format [`PerfReport::to_json`] emits: each
+/// benchmark is one line carrying both a `"name"` and a
+/// `"steps_per_sec"` field.
+pub fn committed_steps_per_sec(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = extract_str(line, "name") else {
+            continue;
+        };
+        let Some(steps) = extract_f64(line, "steps_per_sec") else {
+            continue;
+        };
+        out.push((name, steps));
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_owned())
+}
+
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PerfReport {
+        PerfReport {
+            benchmarks: vec![
+                PerfBench {
+                    name: "simulated_day/BAAT".to_owned(),
+                    steps_per_iter: 2880,
+                    seed_mean_ns: 176_660_000,
+                    mean_ns: 68_480_000,
+                    min_ns: 61_290_000,
+                },
+                PerfBench {
+                    name: "sweep/fig03_05".to_owned(),
+                    steps_per_iter: 1,
+                    seed_mean_ns: 279_820,
+                    mean_ns: 132_830,
+                    min_ns: 124_790,
+                },
+            ],
+            stages: Vec::new(),
+            allocs_per_step: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_the_scanner() {
+        let r = report();
+        let parsed = committed_steps_per_sec(&r.to_json());
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "simulated_day/BAAT");
+        assert!((parsed[0].1 - r.benchmarks[0].steps_per_sec()).abs() < 1.0);
+        assert!((parsed[1].1 - r.benchmarks[1].steps_per_sec()).abs() < 1.0);
+    }
+
+    #[test]
+    fn speedup_is_seed_over_current() {
+        let r = report();
+        assert!((r.benchmarks[0].speedup() - 176_660_000.0 / 68_480_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_measurement_passes_the_gate() {
+        let r = report();
+        assert!(r.regressions_against(&r.to_json()).is_empty());
+    }
+
+    #[test]
+    fn large_regression_fails_the_gate() {
+        let mut slow = report();
+        let committed = slow.to_json();
+        for b in &mut slow.benchmarks {
+            b.mean_ns *= 2;
+            b.min_ns *= 2;
+        }
+        let failures = slow.regressions_against(&committed);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+    }
+
+    #[test]
+    fn small_wobble_passes_the_gate() {
+        let mut wobbly = report();
+        let committed = wobbly.to_json();
+        for b in &mut wobbly.benchmarks {
+            // 10 % slower stays inside the 20 % tolerance.
+            b.mean_ns = b.mean_ns + b.mean_ns / 10;
+            b.min_ns = b.min_ns + b.min_ns / 10;
+        }
+        assert!(wobbly.regressions_against(&committed).is_empty());
+    }
+
+    #[test]
+    fn missing_benchmark_is_reported() {
+        let committed = report().to_json();
+        let mut extra = report();
+        extra.benchmarks.push(PerfBench {
+            name: "new/bench".to_owned(),
+            steps_per_iter: 1,
+            seed_mean_ns: 0,
+            mean_ns: 100,
+            min_ns: 90,
+        });
+        let failures = extra.regressions_against(&committed);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"));
+    }
+}

@@ -279,6 +279,94 @@ pub fn run_scenarios_with_threads(scenarios: Vec<Scenario>, threads: usize) -> V
     parallel_map(scenarios, threads, Scenario::run)
 }
 
+/// [`run_scenarios`] with snapshot-forked warm-ups: scenarios that share
+/// everything but scheme and fault plan (same config-minus-faults, same
+/// pre-aging) simulate their policy-free pre-window prefix **once**,
+/// then each variant forks a clone of the warm engine and runs its own
+/// tail.
+///
+/// Reports are **bit-identical** to [`run_scenarios`] (verified by
+/// `tests/determinism.rs`): the prefix is policy-independent by
+/// construction — arrivals, placement and control are all gated on the
+/// operating window — and a fault plan installed at the fork point
+/// rebuilds an injector bit-identical to one armed from step 0, as long
+/// as the fork precedes the earliest fault onset. Groups whose faults
+/// fire before the window simply fork earlier (worst case: step 0).
+pub fn run_scenarios_forked(scenarios: Vec<Scenario>) -> Vec<SimReport> {
+    run_scenarios_forked_with_threads(scenarios, runner_threads())
+}
+
+/// [`run_scenarios_forked`] with an explicit worker count.
+pub fn run_scenarios_forked_with_threads(
+    scenarios: Vec<Scenario>,
+    threads: usize,
+) -> Vec<SimReport> {
+    // Group by (config with faults stripped, pre-age): the members of a
+    // group differ only in scheme and fault plan, which is exactly what
+    // the policy-free prefix is independent of.
+    let mut groups: Vec<(SimConfig, Option<u64>, Vec<usize>)> = Vec::new();
+    for (index, scenario) in scenarios.iter().enumerate() {
+        let mut config = scenario.config.clone();
+        config.faults = FaultPlan::new();
+        let pre_age = scenario.pre_age.map(f64::to_bits);
+        match groups
+            .iter_mut()
+            .find(|(c, p, _)| *p == pre_age && *c == config)
+        {
+            Some((_, _, members)) => members.push(index),
+            None => groups.push((config, pre_age, vec![index])),
+        }
+    }
+
+    // Phase 1: one warm prefix per group, in parallel. The fork point
+    // stops before the operating window opens *and* before the earliest
+    // fault of any member arms.
+    let prefixes: Vec<(Simulation, Vec<usize>)> = parallel_map(groups, threads, |group| {
+        let (config, pre_age, members) = group;
+        let dt_secs = config.dt.as_secs();
+        let mut sim = Simulation::new(config).expect("config validated by builder");
+        if let Some(bits) = pre_age {
+            sim.pre_age_batteries(f64::from_bits(bits));
+        }
+        let earliest_fault_step = members
+            .iter()
+            .flat_map(|&i| scenarios[i].config.faults.faults())
+            .map(|s| s.start.as_secs() / dt_secs)
+            .min()
+            .unwrap_or(u64::MAX);
+        let fork = sim.policy_free_prefix_steps().min(earliest_fault_step);
+        // Any policy works here — the prefix never consults it.
+        sim.run_steps(&mut baat_sim::RoundRobinPolicy::new(), fork)
+            .expect("experiment scenarios uphold engine invariants");
+        (sim, members)
+    });
+    let prefix_of: Vec<&Simulation> = {
+        let mut slots: Vec<Option<&Simulation>> = vec![None; scenarios.len()];
+        for (sim, members) in &prefixes {
+            for &index in members {
+                slots[index] = Some(sim);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every scenario belongs to one group"))
+            .collect()
+    };
+
+    // Phase 2: fork and finish every scenario tail, in parallel.
+    let jobs: Vec<(Scenario, &Simulation)> = scenarios.iter().cloned().zip(prefix_of).collect();
+    parallel_map(jobs, threads, |(scenario, prefix)| {
+        let mut sim = prefix.clone();
+        if !scenario.config.faults.is_empty() {
+            sim.install_fault_plan(scenario.config.faults)
+                .expect("fork point precedes the earliest fault onset");
+        }
+        let mut policy = scenario.scheme.build_observed(&Obs::disabled());
+        sim.run_remaining(&mut policy)
+            .expect("experiment scenarios uphold engine invariants")
+    })
+}
+
 /// Order-preserving parallel map over independent jobs.
 ///
 /// Jobs are pulled from a shared atomic cursor by `threads` scoped
@@ -403,6 +491,26 @@ mod tests {
         let seeds: std::collections::HashSet<u64> =
             (0..64).map(|i| scenario_seed(2015, i)).collect();
         assert_eq!(seeds.len(), 64);
+    }
+
+    #[test]
+    fn forked_sweep_matches_from_scratch_on_a_mixed_matrix() {
+        // Clean + faulted pairs across two schemes, plus a pre-aged cell
+        // from a different group: exercises grouping, fault-plan
+        // installation at the fork point, and the pre-age key.
+        let mut scenarios = fault_matrix(
+            &[Scheme::EBuff, Scheme::Baat],
+            Weather::Cloudy,
+            17,
+            &FaultMix::light(),
+        );
+        scenarios.push(
+            Scenario::new(Scheme::Baat, day_config(Weather::Cloudy, 17))
+                .pre_aged(OLD_BATTERY_DAMAGE),
+        );
+        let from_scratch = run_scenarios_with_threads(scenarios.clone(), 3);
+        let forked = run_scenarios_forked_with_threads(scenarios, 3);
+        assert_eq!(from_scratch, forked);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //!    seed plumbing bug making every run identical).
 
 use baat_bench::runner::{
-    day_config, faulted_day_config, plan_config, run_scenarios_observed_with_threads,
-    run_scenarios_with_threads, scenario_seed, Scenario, OLD_BATTERY_DAMAGE,
+    day_config, faulted_day_config, plan_config, run_scenarios_forked_with_threads,
+    run_scenarios_observed_with_threads, run_scenarios_with_threads, scenario_seed, Scenario,
+    OLD_BATTERY_DAMAGE,
 };
 use baat_core::Scheme;
 use baat_sim::{FaultMix, SimReport};
@@ -96,6 +97,22 @@ fn observation_is_invisible_to_reports() {
                 "enabled obs recorded no stage timings"
             );
         }
+    }
+}
+
+#[test]
+fn snapshot_forking_is_unobservable() {
+    // The forked sweep shares one warm policy-free prefix per scenario
+    // group and forks each variant off it. Forking must be invisible:
+    // forked reports equal from-scratch reports bit-for-bit, on 1 worker
+    // and on N, across the clean / pre-aged / fault-injected mix.
+    let from_scratch = run_scenarios_with_threads(sweep(2015), 1);
+    for threads in [1, 2, 4, 8] {
+        let forked = run_scenarios_forked_with_threads(sweep(2015), threads);
+        assert_eq!(
+            from_scratch, forked,
+            "forked sweep diverged from from-scratch on {threads} worker threads"
+        );
     }
 }
 

@@ -23,11 +23,11 @@
 use std::collections::VecDeque;
 
 use baat_battery::{AgingObs, BatteryOp, BatteryPack, DamageBreakdown};
-use baat_faults::FaultInjector;
+use baat_faults::{FaultInjector, FaultPlan};
 use baat_metrics::{AgingMetrics, BatteryRatings};
 use baat_obs::{Counter, Gauge, Histogram, Obs, Stage, StageClock};
 use baat_power::{
-    BatterySensor, Charger, PowerSwitcher, PowerTable, ServerPowerRecord, StageTracker,
+    BatterySensor, Charger, PowerSwitcher, PowerTable, Routing, ServerPowerRecord, StageTracker,
 };
 use baat_server::{Cluster, ServerId};
 use baat_solar::{ClearSky, CloudProcess, PvArray, Weather};
@@ -134,7 +134,37 @@ impl FaultCounters {
     }
 }
 
+/// Reusable hot-loop buffers for [`Simulation::route_power`].
+///
+/// The step loop runs tens of thousands of times per simulated day; these
+/// buffers are cleared and refilled in place so the steady-state loop
+/// performs no heap allocation. They carry no state across steps — every
+/// pass starts with `clear()` — so they are deliberately excluded from
+/// snapshot comparisons and reset to empty on clone.
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Night-path charge decisions, one per bank.
+    ops: Vec<BatteryOp>,
+    /// Per-node server demand snapshot.
+    demands: Vec<Watts>,
+    /// Per-bank pre-step SoC and effective charger acceptance.
+    socs_acceptances: Vec<(Soc, Watts)>,
+    /// Per-bank aggregate member demand (summed once, reused).
+    bank_demands: Vec<Watts>,
+    /// Per-bank switcher decisions.
+    routings: Vec<Routing>,
+}
+
+impl Clone for StepScratch {
+    fn clone(&self) -> Self {
+        // Scratch holds no cross-step state; a forked simulation starts
+        // with fresh (empty) buffers.
+        Self::default()
+    }
+}
+
 /// One green-datacenter simulation instance.
+#[derive(Clone)]
 pub struct Simulation {
     config: SimConfig,
     /// Number of physical battery banks (= nodes for per-server
@@ -189,6 +219,14 @@ pub struct Simulation {
     /// Conservative actions for degraded nodes.
     fallback: FallbackScheme,
     fault_counters: FaultCounters,
+    /// Steps per control interval (≥ 1), hoisted out of the step loop.
+    control_steps: u64,
+    /// Per-bank PV share (`members[b].len() / nodes`), hoisted out of the
+    /// routing loop — precomputed with the identical expression, so routed
+    /// solar power is bit-identical to the inline division.
+    solar_shares: Vec<f64>,
+    /// Reusable hot-loop buffers (no simulated state).
+    scratch: StepScratch,
 }
 
 impl Simulation {
@@ -283,6 +321,11 @@ impl Simulation {
         } else {
             FaultCounters::new(&obs)
         };
+        let control_steps = (config.control_interval.as_secs() / config.dt.as_secs()).max(1);
+        let solar_shares = members
+            .iter()
+            .map(|m| m.len() as f64 / nodes as f64)
+            .collect();
         Ok(Self {
             banks,
             bank_of,
@@ -324,6 +367,9 @@ impl Simulation {
             degraded: vec![false; nodes],
             fallback: FallbackScheme::new(),
             fault_counters,
+            control_steps,
+            solar_shares,
+            scratch: StepScratch::default(),
             config,
         })
     }
@@ -380,12 +426,101 @@ impl Simulation {
     ///
     /// Returns [`SimError`] if a step hits a broken engine invariant
     /// (e.g. a substrate rejects an index the engine derived itself).
-    pub fn run<P: Policy>(mut self, policy: &mut P) -> Result<SimReport, SimError> {
-        let total_steps = self.config.days() as u64 * 86_400 / self.config.dt.as_secs();
-        for _ in 0..total_steps {
+    pub fn run<P: Policy>(self, policy: &mut P) -> Result<SimReport, SimError> {
+        self.run_remaining(policy)
+    }
+
+    /// Total number of steps the configured run spans.
+    pub fn total_steps(&self) -> u64 {
+        self.config.days() as u64 * 86_400 / self.config.dt.as_secs()
+    }
+
+    /// Advances the simulation by up to `steps` timesteps, stopping
+    /// early at the end of the configured run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] under the same conditions as [`step`].
+    ///
+    /// [`step`]: Simulation::step
+    pub fn run_steps<P: Policy>(&mut self, policy: &mut P, steps: u64) -> Result<(), SimError> {
+        let remaining = self.total_steps().saturating_sub(self.step_index);
+        for _ in 0..steps.min(remaining) {
+            self.step(policy)?;
+        }
+        Ok(())
+    }
+
+    /// Runs whatever steps remain of the configured span and returns the
+    /// report — the tail half of a snapshot-forked run (advance a shared
+    /// prefix with [`run_steps`], clone, then finish each variant here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] under the same conditions as [`run`].
+    ///
+    /// [`run_steps`]: Simulation::run_steps
+    /// [`run`]: Simulation::run
+    pub fn run_remaining<P: Policy>(mut self, policy: &mut P) -> Result<SimReport, SimError> {
+        let remaining = self.total_steps().saturating_sub(self.step_index);
+        for _ in 0..remaining {
             self.step(policy)?;
         }
         self.into_report(policy.name())
+    }
+
+    /// Number of leading steps guaranteed independent of the policy: the
+    /// steps strictly before the operating window first opens. Arrivals,
+    /// placement and control are all gated on the window, so every
+    /// policy produces bit-identical engine state across this prefix —
+    /// it can be simulated once and forked per variant.
+    pub fn policy_free_prefix_steps(&self) -> u64 {
+        let day_start = u64::from(self.config.day_start.as_secs());
+        day_start
+            .div_ceil(self.config.dt.as_secs())
+            .min(self.total_steps())
+    }
+
+    /// Replaces the fault plan mid-run, rebuilding the injector — the
+    /// fork half of a snapshot-forked fault sweep: advance a clean
+    /// prefix once, clone, and install each variant's plan.
+    ///
+    /// A freshly built injector is bit-identical to one that tracked the
+    /// same plan from the start, *provided no fault window has opened
+    /// yet*: activation is a pure function of simulated time, and the
+    /// noise RNG only advances while a noise fault is active. Plans
+    /// scheduling anything before the current instant are therefore
+    /// rejected — forking past a fault's onset would skip its
+    /// transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the plan references an
+    /// unknown node or bank, or schedules a fault before [`now`].
+    ///
+    /// [`now`]: Simulation::now
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<(), SimError> {
+        plan.validate(self.config.nodes, self.banks)
+            .map_err(|e| SimError::invalid_config("faults", e))?;
+        if let Some(spec) = plan.faults().iter().find(|s| s.start < self.now) {
+            return Err(SimError::invalid_config(
+                "faults",
+                format!(
+                    "fault starting at {}s predates the fork point ({}s); \
+                     fork before the earliest fault onset",
+                    spec.start.as_secs(),
+                    self.now.as_secs()
+                ),
+            ));
+        }
+        self.injector = FaultInjector::new(&plan, self.banks, self.config.seed);
+        self.fault_counters = if plan.is_empty() {
+            FaultCounters::inert()
+        } else {
+            FaultCounters::new(&self.obs)
+        };
+        self.config.faults = plan;
+        Ok(())
     }
 
     /// Advances the simulation one timestep.
@@ -396,7 +531,19 @@ impl Simulation {
     /// parameter — an invariant break, not a policy mistake (infeasible
     /// policy actions are rejected, logged and fed back, never fatal).
     pub fn step<P: Policy>(&mut self, policy: &mut P) -> Result<(), SimError> {
-        let obs = self.obs.clone();
+        // Lend the obs context to the step body instead of cloning it:
+        // an `Obs` clone is an `Arc` refcount round-trip, which at tens
+        // of thousands of steps per simulated day is measurable. The
+        // swapped-in disabled context is a unit value; nothing inside
+        // `step_inner` reads `self.obs` (the one user, `record_row`,
+        // receives the lent handle explicitly).
+        let obs = std::mem::replace(&mut self.obs, Obs::disabled());
+        let result = self.step_inner(policy, &obs);
+        self.obs = obs;
+        result
+    }
+
+    fn step_inner<P: Policy>(&mut self, policy: &mut P, obs: &Obs) -> Result<(), SimError> {
         let dt = self.config.dt;
         let day = self.now.day();
         if self.started_day != Some(day) {
@@ -436,15 +583,22 @@ impl Simulation {
             StageClock::inert()
         };
 
-        // Workload arrivals.
+        // Workload arrivals. The system view is built lazily (most steps
+        // see no arrival) and then shared across the batch: placement
+        // refreshes only the admitted node's entry per VM.
         if in_window {
+            let mut view: Option<SystemView> = None;
             while let Some(arrival) = self.arrivals_today.front().copied() {
                 if arrival.at > tod {
                     break;
                 }
                 self.arrivals_today.pop_front();
                 let vm = self.generator.spawn(arrival.kind);
-                if let Some(vm) = self.place_vm(vm, arrival.kind, policy)? {
+                if view.is_none() {
+                    view = Some(self.build_view()?);
+                }
+                let view = view.as_mut().expect("view built above");
+                if let Some(vm) = self.place_vm(vm, arrival.kind, policy, view)? {
                     self.pending.push_back(vm);
                 }
             }
@@ -464,8 +618,7 @@ impl Simulation {
         // Policy control interval: hand the policy the view plus the
         // previous interval's action outcomes, apply what it returns,
         // remember the new outcomes for next time.
-        let control_steps = self.config.control_interval.as_secs() / dt.as_secs();
-        if in_window && self.step_index.is_multiple_of(control_steps.max(1)) {
+        if in_window && self.step_index.is_multiple_of(self.control_steps) {
             // Degradation is re-evaluated at the control cadence, right
             // before the policy observes the system, so the view's
             // `degraded` flags are current when decisions are made.
@@ -530,7 +683,7 @@ impl Simulation {
             .is_multiple_of(self.config.sample_every as u64)
         {
             let _t = obs.time(Stage::Recorder);
-            self.record_row(solar_total, tod)?;
+            self.record_row(solar_total, tod, obs)?;
         }
 
         self.now += dt;
@@ -650,14 +803,22 @@ impl Simulation {
     }
 
     /// Attempts to place a VM; returns it back if no node can take it.
+    ///
+    /// `view` is a current [`SystemView`] owned by the caller. Placement
+    /// loops admit many VMs per step, and between two consecutive
+    /// attempts the only simulated state that changes is the admitted
+    /// host — so on success this refreshes just that node's entry, which
+    /// is bit-identical to rebuilding the whole view from scratch (every
+    /// other entry is derived from unchanged state, and view construction
+    /// draws no randomness).
     fn place_vm<P: Policy>(
         &mut self,
         vm: Vm,
         kind: WorkloadKind,
         policy: &mut P,
+        view: &mut SystemView,
     ) -> Result<Option<Vm>, SimError> {
-        let view = self.build_view()?;
-        let order = policy.placement_order(kind, &view);
+        let order = policy.placement_order(kind, view);
         let request = kind.resource_request();
         for node in order {
             if node >= self.config.nodes {
@@ -666,6 +827,7 @@ impl Simulation {
             let host = self.cluster.host_mut(node)?;
             if host.is_online() && host.fits(request) {
                 host.admit(vm)?;
+                view.nodes[node] = self.node_view(node, view.tod)?;
                 return Ok(None);
             }
         }
@@ -674,10 +836,14 @@ impl Simulation {
 
     /// Retries queued jobs in arrival order.
     fn retry_pending<P: Policy>(&mut self, policy: &mut P) -> Result<(), SimError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let mut view = self.build_view()?;
         let mut still_pending = VecDeque::with_capacity(self.pending.len());
         while let Some(vm) = self.pending.pop_front() {
             let kind = vm.kind();
-            if let Some(vm) = self.place_vm(vm, kind, policy)? {
+            if let Some(vm) = self.place_vm(vm, kind, policy, &mut view)? {
                 still_pending.push_back(vm);
             }
         }
@@ -785,14 +951,14 @@ impl Simulation {
         // two clock reads per stage per step keeps profiler overhead
         // well under the 5 % budget even on the fastest schemes.
         if !self.in_window {
-            let ops = (0..self.banks)
-                .map(|b| {
-                    let soc = self.batteries.unit(b)?.soc();
-                    self.stage_trackers[b].observe(self.chargers[b].stage(soc));
-                    let faults = self.injector.bank(b);
-                    if faults.charger_failed || faults.open_circuit {
-                        return Ok(BatteryOp::Idle);
-                    }
+            self.scratch.ops.clear();
+            for b in 0..self.banks {
+                let soc = self.batteries.unit(b)?.soc();
+                self.stage_trackers[b].observe(self.chargers[b].stage(soc));
+                let faults = self.injector.bank(b);
+                let op = if faults.charger_failed || faults.open_circuit {
+                    BatteryOp::Idle
+                } else {
                     // A mode-stuck charger is latched in float trickle:
                     // its budget is the float-stage acceptance.
                     let budget = if faults.charger_stuck {
@@ -801,19 +967,21 @@ impl Simulation {
                         self.chargers[b].max_power()
                     };
                     let p = self.chargers[b].charge_power(soc, budget);
-                    Ok(if p.as_f64() > 0.0 {
+                    if p.as_f64() > 0.0 {
                         BatteryOp::Charge(p)
                     } else {
                         BatteryOp::Idle
-                    })
-                })
-                .collect::<Result<Vec<_>, SimError>>()?;
+                    }
+                };
+                self.scratch.ops.push(op);
+            }
             clock.lap(Stage::Charger);
-            for (b, &op) in ops.iter().enumerate() {
+            for b in 0..self.banks {
+                let op = self.scratch.ops[b];
                 let result =
                     self.batteries
                         .unit_mut(b)?
-                        .step(op, self.config.ambient, self.now, dt);
+                        .try_step(op, self.config.ambient, self.now, dt)?;
                 self.grid_charge_energy += result.accepted * dt;
                 self.last_currents[b] = result.current.as_f64();
                 self.last_voltages[b] = result.terminal_voltage.as_f64();
@@ -836,9 +1004,11 @@ impl Simulation {
             clock.lap(Stage::BatteryStep);
             return Ok(());
         }
-        let demands: Vec<Watts> = (0..n)
-            .map(|i| Ok(self.cluster.host(i)?.power(tod)))
-            .collect::<Result<_, SimError>>()?;
+        self.scratch.demands.clear();
+        for i in 0..n {
+            let p = self.cluster.host(i)?.power(tod);
+            self.scratch.demands.push(p);
+        }
 
         // Every bank hangs off its share of the PV feed proportional to
         // the servers it backs (per-server integration: one node, one
@@ -848,42 +1018,49 @@ impl Simulation {
         // Banks are independent within a step (demands are snapshotted
         // above; acceptance and availability read only that bank's
         // pre-step state), so the pipeline runs as stage-major passes.
-        let socs_acceptances = (0..self.banks)
-            .map(|b| {
-                let soc = self.batteries.unit(b)?.soc();
-                self.stage_trackers[b].observe(self.chargers[b].stage(soc));
-                let faults = self.injector.bank(b);
-                // The switcher sees the *effective* acceptance, so a
-                // failed charger's surplus is curtailed, not lost to an
-                // inconsistent charge pass below.
-                let acceptance = if faults.charger_failed || faults.open_circuit {
-                    Watts::ZERO
-                } else if faults.charger_stuck {
-                    self.chargers[b].acceptance(Soc::FULL)
-                } else {
-                    self.chargers[b].acceptance(soc)
-                };
-                Ok((soc, acceptance))
-            })
-            .collect::<Result<Vec<_>, SimError>>()?;
+        self.scratch.socs_acceptances.clear();
+        for b in 0..self.banks {
+            let soc = self.batteries.unit(b)?.soc();
+            self.stage_trackers[b].observe(self.chargers[b].stage(soc));
+            let faults = self.injector.bank(b);
+            // The switcher sees the *effective* acceptance, so a
+            // failed charger's surplus is curtailed, not lost to an
+            // inconsistent charge pass below.
+            let acceptance = if faults.charger_failed || faults.open_circuit {
+                Watts::ZERO
+            } else if faults.charger_stuck {
+                self.chargers[b].acceptance(Soc::FULL)
+            } else {
+                self.chargers[b].acceptance(soc)
+            };
+            self.scratch.socs_acceptances.push((soc, acceptance));
+        }
         clock.lap(Stage::Charger);
-        let routings = (0..self.banks)
-            .map(|b| {
-                let demand: Watts = self.members[b].iter().map(|&m| demands[m]).sum();
-                let solar_i = solar_total * (self.members[b].len() as f64 / n as f64);
-                let available = self.floored_available(b, dt)?;
-                Ok(self
-                    .switcher
-                    .route(demand, solar_i, available, socs_acceptances[b].1))
-            })
-            .collect::<Result<Vec<_>, SimError>>()?;
+        self.scratch.routings.clear();
+        self.scratch.bank_demands.clear();
+        for b in 0..self.banks {
+            let demand: Watts = self.members[b]
+                .iter()
+                .map(|&m| self.scratch.demands[m])
+                .sum();
+            let solar_i = solar_total * self.solar_shares[b];
+            let available = self.floored_available(b, dt)?;
+            let routing = self.switcher.route(
+                demand,
+                solar_i,
+                available,
+                self.scratch.socs_acceptances[b].1,
+            );
+            self.scratch.bank_demands.push(demand);
+            self.scratch.routings.push(routing);
+        }
         clock.lap(Stage::Switcher);
 
         for b in 0..self.banks {
-            let member_nodes = self.members[b].clone();
-            let demand: Watts = member_nodes.iter().map(|&m| demands[m]).sum();
-            let soc = socs_acceptances[b].0;
-            let routing = routings[b];
+            let member_nodes = &self.members[b];
+            let demand = self.scratch.bank_demands[b];
+            let soc = self.scratch.socs_acceptances[b].0;
+            let routing = self.scratch.routings[b];
 
             // Apply the battery operation. An open-circuit string can
             // neither charge nor discharge (the switcher already saw
@@ -900,10 +1077,10 @@ impl Simulation {
                     BatteryOp::Idle
                 }
             };
-            let result = self
-                .batteries
-                .unit_mut(b)?
-                .step(op, self.config.ambient, self.now, dt);
+            let result =
+                self.batteries
+                    .unit_mut(b)?
+                    .try_step(op, self.config.ambient, self.now, dt)?;
             if result.cutoff {
                 self.counters.battery_cutoffs.inc();
                 self.events.push(
@@ -932,7 +1109,7 @@ impl Simulation {
             // Sensor faults intercept only the battery row; the server
             // power meter is a separate instrument and keeps flowing.
             let sample = self.injector.observe_sample(b, fresh, self.now);
-            for &node in &member_nodes {
+            for &node in member_nodes {
                 if let Some(sample) = sample {
                     self.power_table.record_battery(node, sample);
                 }
@@ -940,7 +1117,7 @@ impl Simulation {
                     node,
                     ServerPowerRecord {
                         at: self.now,
-                        power: demands[node],
+                        power: self.scratch.demands[node],
                     },
                 );
             }
@@ -953,13 +1130,16 @@ impl Simulation {
                     self.unserved_streak[b] += 1;
                     if self.unserved_streak[b] >= SHUTDOWN_STREAK {
                         let mut victim: Option<usize> = None;
-                        for &m in &member_nodes {
+                        for &m in member_nodes {
                             if !self.cluster.host(m)?.is_online() {
                                 continue;
                             }
                             let better = match victim {
                                 None => true,
-                                Some(v) => demands[m].as_f64() > demands[v].as_f64(),
+                                Some(v) => {
+                                    self.scratch.demands[m].as_f64()
+                                        > self.scratch.demands[v].as_f64()
+                                }
                             };
                             if better {
                                 victim = Some(m);
@@ -1032,52 +1212,7 @@ impl Simulation {
     pub fn build_view(&self) -> Result<SystemView, SimError> {
         let tod = self.now.time_of_day();
         let nodes = (0..self.config.nodes)
-            .map(|i| {
-                let bank = self.bank_of[i];
-                let share = 1.0 / self.members[bank].len() as f64;
-                let battery = self.batteries.unit(bank)?;
-                let host = self.cluster.host(i)?;
-                let ratings = self.ratings(i)?;
-                Ok(NodeView {
-                    node: i,
-                    soc: battery.soc(),
-                    window_metrics: AgingMetrics::from_accumulator(
-                        battery.telemetry().window(),
-                        &ratings,
-                    ),
-                    lifetime_metrics: AgingMetrics::from_accumulator(
-                        battery.telemetry().lifetime(),
-                        &ratings,
-                    ),
-                    damage: battery.aging().total_damage(),
-                    capacity_fraction: battery.aging().capacity_fraction(),
-                    server_power: host.power(tod),
-                    utilization: host.utilization(tod),
-                    dvfs: host.dvfs(),
-                    online: host.is_online(),
-                    degraded: self.degraded[i],
-                    free_resources: host.free_resources(),
-                    vms: host
-                        .vms()
-                        .map(|vm| VmView {
-                            id: vm.id(),
-                            kind: vm.kind(),
-                            state: vm.state(),
-                            progress: vm.progress(),
-                        })
-                        .collect(),
-                    battery_available: self.floored_available(bank, self.config.dt)? * share,
-                    battery_capacity_wh: battery.effective_capacity().as_f64()
-                        * battery.spec().nominal_voltage().as_f64()
-                        * share,
-                    battery_capacity_ah: battery.spec().capacity().as_f64() * share,
-                    battery_lifetime_throughput_ah: battery.spec().lifetime_throughput().as_f64()
-                        * share,
-                    soc_floor: self.soc_floors[bank],
-                    cutoff_events: battery.cutoff_events(),
-                    hours_since_full: battery.hours_since_full(),
-                })
-            })
+            .map(|i| self.node_view(i, tod))
             .collect::<Result<_, SimError>>()?;
         Ok(SystemView {
             now: self.now,
@@ -1088,7 +1223,56 @@ impl Simulation {
         })
     }
 
-    fn record_row(&mut self, solar: Watts, tod: TimeOfDay) -> Result<(), SimError> {
+    /// Builds the read-only view of one node — the unit of incremental
+    /// view maintenance: after a placement admits a VM, only the admitted
+    /// node's entry changes, so the placement loop refreshes that single
+    /// entry instead of rebuilding the whole [`SystemView`].
+    fn node_view(&self, i: usize, tod: TimeOfDay) -> Result<NodeView, SimError> {
+        let bank = self.bank_of[i];
+        let share = 1.0 / self.members[bank].len() as f64;
+        let battery = self.batteries.unit(bank)?;
+        let host = self.cluster.host(i)?;
+        let ratings = self.ratings(i)?;
+        Ok(NodeView {
+            node: i,
+            soc: battery.soc(),
+            window_metrics: AgingMetrics::from_accumulator(battery.telemetry().window(), &ratings),
+            lifetime_metrics: AgingMetrics::from_accumulator(
+                battery.telemetry().lifetime(),
+                &ratings,
+            ),
+            damage: battery.aging().total_damage(),
+            capacity_fraction: battery.aging().capacity_fraction(),
+            server_power: host.power(tod),
+            utilization: host.utilization(tod),
+            dvfs: host.dvfs(),
+            online: host.is_online(),
+            degraded: self.degraded[i],
+            free_resources: host.free_resources(),
+            vms: host
+                .vms()
+                .map(|vm| VmView {
+                    id: vm.id(),
+                    kind: vm.kind(),
+                    state: vm.state(),
+                    progress: vm.progress(),
+                })
+                .collect(),
+            battery_available: self.floored_available(bank, self.config.dt)? * share,
+            battery_capacity_wh: battery.effective_capacity().as_f64()
+                * battery.spec().nominal_voltage().as_f64()
+                * share,
+            battery_capacity_ah: battery.spec().capacity().as_f64() * share,
+            battery_lifetime_throughput_ah: battery.spec().lifetime_throughput().as_f64() * share,
+            soc_floor: self.soc_floors[bank],
+            cutoff_events: battery.cutoff_events(),
+            hours_since_full: battery.hours_since_full(),
+        })
+    }
+
+    /// `obs` is the engine's own context, lent by [`Simulation::step`]
+    /// while `self.obs` holds a disabled placeholder.
+    fn record_row(&mut self, solar: Watts, tod: TimeOfDay, obs: &Obs) -> Result<(), SimError> {
         let n = self.config.nodes;
         let soc = (0..n)
             .map(|i| Ok(self.batteries.unit(self.bank_of[i])?.soc().value()))
@@ -1116,7 +1300,7 @@ impl Simulation {
         self.counters
             .grid_charge_wh
             .set(self.grid_charge_energy.as_f64());
-        if self.obs.is_enabled() {
+        if obs.is_enabled() {
             let mut agg = DamageBreakdown::default();
             for b in self.batteries.iter() {
                 let d = b.aging().breakdown();

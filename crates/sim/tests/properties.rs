@@ -1,7 +1,7 @@
 //! Property-based tests for engine-level invariants, run on coarse
 //! timesteps to keep the case count affordable.
 
-use baat_sim::{run_simulation, FaultMix, FaultPlan, RoundRobinPolicy, SimConfig};
+use baat_sim::{run_simulation, FaultMix, FaultPlan, RoundRobinPolicy, SimConfig, Simulation};
 use baat_solar::Weather;
 use baat_testkit::prelude::*;
 use baat_units::SimDuration;
@@ -112,6 +112,44 @@ proptest! {
         prop_assert_eq!(baseline, with_empty_plan);
     }
 
+    /// Snapshot-forked runs are bit-identical to from-scratch runs: a
+    /// clean prefix advanced once, cloned, and finished per variant
+    /// (with or without a fault plan installed at the fork point) must
+    /// reproduce the monolithic run byte for byte.
+    #[test]
+    fn forked_runs_are_bit_identical_to_from_scratch(weather in weather_strategy(), seed in 0u64..500) {
+        let clean_cfg = coarse_config(weather, seed, 6);
+        let faulted_cfg = faulted_config(weather, seed, 6);
+        let plan = faulted_cfg.faults.clone();
+        let dt_secs = clean_cfg.dt.as_secs();
+
+        // Shared warm-up: stop before the window opens and before the
+        // earliest fault arms.
+        let mut prefix = Simulation::new(clean_cfg.clone()).expect("sim builds");
+        let earliest = plan
+            .faults()
+            .iter()
+            .map(|s| s.start.as_secs() / dt_secs)
+            .min()
+            .unwrap_or(u64::MAX);
+        let fork = prefix.policy_free_prefix_steps().min(earliest);
+        prefix.run_steps(&mut RoundRobinPolicy::new(), fork).expect("prefix runs");
+
+        let clean_fork = prefix.clone().run_remaining(&mut RoundRobinPolicy::new())
+            .expect("clean fork runs");
+        let mut faulted_fork_sim = prefix.clone();
+        faulted_fork_sim.install_fault_plan(plan).expect("plan installs at fork");
+        let faulted_fork = faulted_fork_sim.run_remaining(&mut RoundRobinPolicy::new())
+            .expect("faulted fork runs");
+
+        let clean_scratch = run_simulation(clean_cfg, &mut RoundRobinPolicy::new())
+            .expect("simulation runs");
+        let faulted_scratch = run_simulation(faulted_cfg, &mut RoundRobinPolicy::new())
+            .expect("simulation runs");
+        prop_assert_eq!(clean_fork, clean_scratch);
+        prop_assert_eq!(faulted_fork, faulted_scratch);
+    }
+
     /// Engine invariants survive arbitrary generated fault plans: SoC
     /// traces stay in [0, 1], reports stay internally consistent, and
     /// the perturbed run is byte-for-byte replayable from its seed.
@@ -136,6 +174,29 @@ proptest! {
         ).expect("faulted simulation runs");
         prop_assert_eq!(report.events.to_jsonl(), replay.events.to_jsonl());
     }
+}
+
+/// A fork must happen before the earliest fault arms: installing a plan
+/// whose first window has already opened would skip its transition, so
+/// the engine rejects it with a typed error.
+#[test]
+fn installing_a_plan_past_its_onset_is_rejected() {
+    use baat_sim::FaultKind;
+    use baat_units::{SimDuration as Dur, SimInstant};
+
+    let mut sim = Simulation::new(coarse_config(Weather::Sunny, 7, 6)).expect("sim builds");
+    sim.run_steps(&mut RoundRobinPolicy::new(), 10)
+        .expect("prefix runs");
+    let mut plan = FaultPlan::new();
+    plan.push(baat_sim::FaultSpec {
+        kind: FaultKind::PvOutage,
+        start: SimInstant::from_secs(60),
+        duration: Dur::from_secs(600),
+    });
+    let err = sim
+        .install_fault_plan(plan)
+        .expect_err("onset predates fork");
+    assert!(err.to_string().contains("fork"), "got: {err}");
 }
 
 /// The same faulted seed produces a byte-identical event log no matter
