@@ -45,10 +45,21 @@ if grep -q '"kind":"fault_injected"' "$SMOKE_DIR/clean/events.jsonl"; then
     exit 1
 fi
 
+echo "==> OpenMetrics golden + trace schema"
+# The faulted run's OpenMetrics snapshot is a golden: byte-compare it
+# against the checked-in reference (regenerate by copying the fresh
+# snapshot over ci/golden/metrics.om after an intended change). The
+# span export must satisfy the trace schema, and `console diff` must
+# agree the two identical runs are identical.
+cmp "$SMOKE_DIR/a/metrics.om" ci/golden/metrics.om
+"${CONSOLE[@]}" trace-check "$SMOKE_DIR/a/spans.jsonl"
+"${CONSOLE[@]}" diff "$SMOKE_DIR/a/events.jsonl" "$SMOKE_DIR/b/events.jsonl" >/dev/null
+
 if [[ "${BAAT_SKIP_PERF:-0}" != "1" ]]; then
     echo "==> perf regression smoke (set BAAT_SKIP_PERF=1 to skip)"
     # Re-measures the hot paths and fails when best-case throughput
-    # falls >20% below the committed BENCH_4.json baseline.
+    # falls >20% below the committed BENCH_5.json baseline, or when
+    # tracing+health overhead on a faulted day exceeds 5%.
     cargo bench -p baat-bench --bench perf -- --check
 else
     echo "==> perf regression smoke skipped (BAAT_SKIP_PERF=1)"

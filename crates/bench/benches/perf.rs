@@ -1,25 +1,29 @@
-//! The perf regression harness behind `BENCH_4.json`.
+//! The perf regression harness behind `BENCH_5.json`.
 //!
 //! Measures the simulated-day hot path (both schemes), the fig03_05
-//! battery-kernel sweep, the per-stage ns/step profile, and — with
+//! battery-kernel sweep, the per-stage ns/step profile, the
+//! observability overhead of a fully traced faulted day, and — with
 //! `--features count-allocs` — heap allocations per engine step.
 //!
 //! ```text
 //! cargo bench -p baat-bench --bench perf              # measure + print report
-//! cargo bench -p baat-bench --bench perf -- --update  # rewrite BENCH_4.json
+//! cargo bench -p baat-bench --bench perf -- --update  # rewrite BENCH_5.json
 //! cargo bench -p baat-bench --bench perf -- --check   # gate: fail on >20% regression
 //! ```
 //!
 //! `--check` is what `ci/check.sh` runs (skippable via `BAAT_SKIP_PERF=1`):
 //! it compares freshly measured best-case throughput against the
 //! committed mean throughput with the tolerance from
-//! [`baat_bench::perf::TOLERANCE_PCT`].
+//! [`baat_bench::perf::TOLERANCE_PCT`], and bounds the traced-vs-disabled
+//! overhead with [`baat_bench::perf::OBS_OVERHEAD_LIMIT_PCT`].
 
 use baat_bench::experiments::fig03_05;
 use baat_bench::perf::{PerfBench, PerfReport, BASELINE_FILE};
 use baat_core::Scheme;
 use baat_obs::Obs;
-use baat_sim::{run_simulation, run_simulation_observed, SimConfig, Simulation};
+use baat_sim::{
+    run_simulation, run_simulation_observed, FaultMix, FaultPlan, SimConfig, Simulation,
+};
 use baat_solar::Weather;
 use baat_testkit::bench::Harness;
 use baat_units::SimDuration;
@@ -27,7 +31,7 @@ use std::hint::black_box;
 use std::path::PathBuf;
 
 /// Mean wall-clocks measured at the seed revision (before the perf
-/// pass), embedded so `BENCH_4.json` always carries the before/after
+/// pass), embedded so `BENCH_5.json` always carries the before/after
 /// pair. Nanoseconds.
 const SEED_SIMULATED_DAY_EBUFF_NS: u64 = 40_620_000;
 const SEED_SIMULATED_DAY_BAAT_NS: u64 = 176_660_000;
@@ -83,6 +87,27 @@ fn day_config() -> SimConfig {
 /// Steps in one simulated day at the standard 30 s timestep.
 fn day_steps() -> u64 {
     Simulation::new(day_config()).expect("valid").total_steps()
+}
+
+/// The standard day with a seeded light fault plan layered on — the
+/// scenario the observability-overhead gate measures, chosen because it
+/// exercises every obs surface at once (metrics, spans, health checks,
+/// flight recorder).
+fn faulted_day_config() -> SimConfig {
+    let mut cfg = SimConfig::builder();
+    cfg.weather_plan(vec![Weather::Cloudy])
+        .dt(SimDuration::from_secs(30))
+        .sample_every(40)
+        .seed(1);
+    let probe = cfg.build().expect("valid");
+    cfg.faults(FaultPlan::generate(
+        1,
+        probe.days(),
+        probe.nodes,
+        probe.nodes,
+        &FaultMix::light(),
+    ));
+    cfg.build().expect("valid")
 }
 
 /// Allocations per engine step across one simulated day, step loop only
@@ -150,7 +175,28 @@ fn main() {
     let mut g = h.group("sweep");
     g.bench("fig03_05", || black_box(fig03_05::run(1, 5)));
 
+    // The obs-overhead pair: the same faulted day with observation
+    // disabled and fully enabled (metrics + tracing + health + flight).
+    let mut g = h.group("obs_overhead");
+    g.bench("disabled", || {
+        let report = run_simulation(faulted_day_config(), &mut Scheme::Baat.build()).expect("runs");
+        black_box(report.total_work)
+    });
+    g.bench("traced", || {
+        let obs = Obs::enabled();
+        let mut policy = Scheme::Baat.build_observed(&obs);
+        let report = run_simulation_observed(faulted_day_config(), &mut policy, obs).expect("runs");
+        black_box(report.total_work)
+    });
+
     let steps = day_steps();
+    let disabled = bench_entry(&h, "obs_overhead/disabled", steps, 0);
+    let traced = bench_entry(&h, "obs_overhead/traced", steps, 0);
+    // Best-of-batches comparison, like the regression gate: robust to
+    // scheduler noise, and clamped at zero because "obs was faster" is
+    // just noise, not negative overhead.
+    let obs_overhead_pct =
+        (traced.min_ns as f64 - disabled.min_ns as f64) / disabled.min_ns.max(1) as f64 * 100.0;
     let report = PerfReport {
         benchmarks: vec![
             bench_entry(
@@ -164,6 +210,7 @@ fn main() {
         ],
         stages: stage_profile(),
         allocs_per_step: allocs_per_step(),
+        obs_overhead_pct: Some(obs_overhead_pct.max(0.0)),
     };
 
     let baseline_path = workspace_root().join(BASELINE_FILE);
@@ -172,7 +219,8 @@ fn main() {
             eprintln!("perf check: cannot read {}: {e}", baseline_path.display());
             std::process::exit(1);
         });
-        let failures = report.regressions_against(&committed);
+        let mut failures = report.regressions_against(&committed);
+        failures.extend(report.obs_overhead_failure());
         if failures.is_empty() {
             eprintln!(
                 "perf check: ok ({} benchmarks within tolerance)",

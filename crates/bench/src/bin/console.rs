@@ -10,16 +10,31 @@
 //!     --topology shared:2 --faults light --csv trace.csv --jsonl obs/
 //! ```
 //!
+//! Subcommands (first positional argument):
+//!
+//! * `watch` — run the scenario live, re-rendering a per-node table of
+//!   SoC, power, aging and health-check state every `--every N`
+//!   simulated minutes (default 30);
+//! * `diff A.jsonl B.jsonl` — compare two JSONL exports: first
+//!   divergence plus per-metric deltas; exits 1 when they differ;
+//! * `trace-check spans.jsonl` — validate a span export against the
+//!   trace schema (sequential ids, backward-pointing parents, ordered
+//!   timestamps); exits 1 on any violation.
+//!
 //! `--jsonl DIR` runs with observation enabled and dumps the structured
 //! exports — `events.jsonl`, `trace.jsonl`, `metrics.jsonl`,
-//! `profile.jsonl` — into `DIR`. The run itself is bit-identical either
-//! way.
+//! `profile.jsonl`, `spans.jsonl`, `health.jsonl`, `flight.jsonl`, and
+//! the OpenMetrics snapshot `metrics.om` — into `DIR`. The run itself
+//! is bit-identical either way.
 //!
 //! `--faults light|heavy[:SEED]` layers a seeded deterministic fault
 //! plan over the run (one plan per simulated day, generated for the
 //! chosen topology). The plan seed defaults to `--seed`, so the same
 //! command line always replays the same outages.
 
+use std::io::IsTerminal;
+
+use baat_bench::{diff, trace_schema, watch};
 use baat_core::Scheme;
 use baat_obs::Obs;
 use baat_sim::{BatteryTopology, Event, FaultMix, FaultPlan, SimConfig, Simulation};
@@ -27,6 +42,7 @@ use baat_solar::Weather;
 use baat_units::SimDuration;
 
 struct Args {
+    command: Command,
     scheme: Scheme,
     plan: Vec<Weather>,
     seed: u64,
@@ -36,20 +52,31 @@ struct Args {
     csv: Option<String>,
     jsonl: Option<String>,
     profile: bool,
+    every_minutes: u64,
+}
+
+enum Command {
+    Run,
+    Watch,
+    Diff(String, String),
+    TraceCheck(String),
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: console [--scheme e-buff|baat-s|baat-h|baat] \
+        "usage: console [watch] [--scheme e-buff|baat-s|baat-h|baat] \
          [--weather sunny,cloudy,rainy] [--seed N] [--old] \
          [--topology per-server|shared:K] [--faults light|heavy[:SEED]] \
-         [--csv PATH] [--jsonl DIR] [--profile]"
+         [--csv PATH] [--jsonl DIR] [--profile] [--every MINUTES]\n\
+         \x20      console diff A.jsonl B.jsonl\n\
+         \x20      console trace-check spans.jsonl"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
+        command: Command::Run,
         scheme: Scheme::Baat,
         plan: vec![Weather::Cloudy],
         seed: 42,
@@ -59,8 +86,35 @@ fn parse_args() -> Args {
         csv: None,
         jsonl: None,
         profile: false,
+        every_minutes: 30,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    match it.peek().map(String::as_str) {
+        Some("watch") => {
+            args.command = Command::Watch;
+            it.next();
+        }
+        Some("diff") => {
+            it.next();
+            let a = it.next().unwrap_or_else(|| usage());
+            let b = it.next().unwrap_or_else(|| usage());
+            if it.next().is_some() {
+                usage();
+            }
+            args.command = Command::Diff(a, b);
+            return args;
+        }
+        Some("trace-check") => {
+            it.next();
+            let file = it.next().unwrap_or_else(|| usage());
+            if it.next().is_some() {
+                usage();
+            }
+            args.command = Command::TraceCheck(file);
+            return args;
+        }
+        _ => {}
+    }
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--scheme" => {
@@ -119,14 +173,91 @@ fn parse_args() -> Args {
             "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
             "--jsonl" => args.jsonl = Some(it.next().unwrap_or_else(|| usage())),
             "--profile" => args.profile = true,
+            "--every" => {
+                args.every_minutes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&m| m > 0)
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
     }
     args
 }
 
+/// `console diff A B`: renders first divergence + metric deltas, exits 1
+/// when the documents differ.
+fn run_diff(a: &str, b: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let doc_a = std::fs::read_to_string(a)?;
+    let doc_b = std::fs::read_to_string(b)?;
+    let report = diff::diff_runs(&doc_a, &doc_b);
+    print!("{}", report.render());
+    if !report.identical() {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `console trace-check FILE`: validates a span export, exits 1 on any
+/// schema violation.
+fn run_trace_check(file: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let doc = std::fs::read_to_string(file)?;
+    let violations = trace_schema::validate_trace(&doc);
+    if violations.is_empty() {
+        println!("trace ok ({} spans)", doc.lines().count());
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("trace-check: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `console watch`: runs the scenario with observation on, re-rendering
+/// the per-node health frame every `--every` simulated minutes.
+fn run_watch(args: &Args, config: SimConfig) -> Result<(), Box<dyn std::error::Error>> {
+    let obs = Obs::enabled();
+    let dt = config.dt.as_secs();
+    let total_steps = config.days() as u64 * 86_400 / dt;
+    let mut sim = Simulation::with_obs(config, obs.clone())?;
+    if args.old {
+        sim.pre_age_batteries(0.55);
+    }
+    let mut policy = args.scheme.build_observed(&obs);
+    let frame_steps = (args.every_minutes * 60 / dt).max(1);
+    let clear = std::io::stdout().is_terminal();
+    let mut done = 0u64;
+    while done < total_steps {
+        let n = frame_steps.min(total_steps - done);
+        sim.run_steps(&mut policy, n)?;
+        done += n;
+        if clear {
+            // Clear the terminal and re-home the cursor between frames.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", watch::render_frame(&sim)?);
+        if !clear {
+            println!();
+        }
+    }
+    let name = policy.name();
+    let report = sim.into_report(name)?;
+    println!(
+        "done: scheme {} | {} day(s) | work {:.1} core-h | unserved {}",
+        report.policy, report.days, report.total_work, report.unserved_energy,
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    match &args.command {
+        Command::Diff(a, b) => return run_diff(a, b),
+        Command::TraceCheck(file) => return run_trace_check(file),
+        Command::Run | Command::Watch => {}
+    }
     let mut builder = SimConfig::builder();
     builder
         .weather_plan(args.plan.clone())
@@ -147,6 +278,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
     let config = builder.build()?;
+
+    if matches!(args.command, Command::Watch) {
+        return run_watch(&args, config);
+    }
 
     let obs = if args.jsonl.is_some() || args.profile {
         Obs::enabled()
@@ -263,8 +398,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(dir.join("trace.jsonl"), report.recorder.to_jsonl())?;
         std::fs::write(dir.join("metrics.jsonl"), obs.metrics_jsonl())?;
         std::fs::write(dir.join("profile.jsonl"), obs.profile_jsonl())?;
+        std::fs::write(dir.join("spans.jsonl"), obs.spans_jsonl())?;
+        std::fs::write(dir.join("health.jsonl"), obs.health_jsonl())?;
+        std::fs::write(dir.join("flight.jsonl"), obs.flight_jsonl())?;
+        std::fs::write(dir.join("metrics.om"), obs.metrics_openmetrics())?;
         println!(
-            "\nstructured exports written to {} (events, trace, metrics, profile)",
+            "\nstructured exports written to {} (events, trace, metrics, \
+             profile, spans, health, flight, metrics.om)",
             dir.display()
         );
     }

@@ -4,9 +4,10 @@
 //! Usage: `cargo run --release -p baat-bench --bin figures [--quick]`
 //!
 //! When `BAAT_OBS_DIR` is set, the Table-1 and Fig-13 sweeps run with
-//! observation enabled and drop a per-scenario perf + counter report
-//! (`<scenario>.perf.jsonl`) into that directory, next to the figure
-//! output. The figures themselves are bit-identical either way.
+//! observation enabled and drop a per-scenario perf + counter + health
+//! report (`<scenario>.perf.jsonl`) and an OpenMetrics snapshot
+//! (`<scenario>.om`) into that directory, next to the figure output.
+//! The figures themselves are bit-identical either way.
 
 use baat_bench::experiments::{
     fig03_05, fig10, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19, fig20, fig21, fig22,

@@ -1,0 +1,205 @@
+//! Run-diff tooling: compare two JSONL exports from seeded runs.
+//!
+//! Every structured export in this workspace is deterministic for a
+//! seeded run, so two runs that should match can be compared
+//! line-by-line. [`diff_runs`] reports the **first divergence** (the
+//! earliest line index where the files differ — for event or trace
+//! logs, the first simulated moment the runs tell different stories)
+//! and, for metric-style lines (`"name"` + `"value"` fields, the
+//! `metrics.jsonl` shape), the **per-metric deltas** between the two
+//! snapshots. `console diff a.jsonl b.jsonl` renders the result.
+
+use crate::jsonq::{extract_f64, extract_str};
+
+/// One differing metric between the two inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: String,
+    /// Value in the first input (`None` when absent there).
+    pub a: Option<f64>,
+    /// Value in the second input (`None` when absent there).
+    pub b: Option<f64>,
+}
+
+/// The outcome of comparing two JSONL documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Line count of the first input.
+    pub lines_a: usize,
+    /// Line count of the second input.
+    pub lines_b: usize,
+    /// First differing line: `(zero-based index, line from a, line from
+    /// b)`, with a missing line rendered as the empty string. `None`
+    /// when the documents are identical.
+    pub first_divergence: Option<(usize, String, String)>,
+    /// Per-metric deltas, in first-input order then new-in-b order.
+    /// Empty when no metric-style lines differ.
+    pub metric_deltas: Vec<MetricDelta>,
+}
+
+impl DiffReport {
+    /// `true` when the two documents are byte-identical.
+    pub fn identical(&self) -> bool {
+        self.first_divergence.is_none()
+    }
+
+    /// Renders the report for the console.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match &self.first_divergence {
+            None => out.push_str(&format!("identical ({} lines)\n", self.lines_a)),
+            Some((idx, a, b)) => {
+                out.push_str(&format!(
+                    "first divergence at line {} ({} vs {} lines)\n",
+                    idx + 1,
+                    self.lines_a,
+                    self.lines_b
+                ));
+                out.push_str(&format!(
+                    "  a: {}\n",
+                    if a.is_empty() { "<absent>" } else { a }
+                ));
+                out.push_str(&format!(
+                    "  b: {}\n",
+                    if b.is_empty() { "<absent>" } else { b }
+                ));
+            }
+        }
+        if !self.metric_deltas.is_empty() {
+            out.push_str("metric deltas:\n");
+            for d in &self.metric_deltas {
+                let fmt = |v: Option<f64>| v.map_or("—".to_owned(), |v| format!("{v}"));
+                let delta = match (d.a, d.b) {
+                    (Some(a), Some(b)) => format!("  ({:+})", b - a),
+                    _ => String::new(),
+                };
+                out.push_str(&format!(
+                    "  {:<40} {:>14} -> {:<14}{delta}\n",
+                    d.name,
+                    fmt(d.a),
+                    fmt(d.b)
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Collects `(name, value)` pairs from metric-style lines.
+fn metrics(doc: &str) -> Vec<(String, f64)> {
+    doc.lines()
+        .filter_map(|l| Some((extract_str(l, "name")?, extract_f64(l, "value")?)))
+        .collect()
+}
+
+/// Compares two JSONL documents line-by-line.
+pub fn diff_runs(a: &str, b: &str) -> DiffReport {
+    let lines_a: Vec<&str> = a.lines().collect();
+    let lines_b: Vec<&str> = b.lines().collect();
+    let first_divergence = lines_a
+        .iter()
+        .map(Some)
+        .chain(std::iter::repeat(None))
+        .zip(lines_b.iter().map(Some).chain(std::iter::repeat(None)))
+        .take(lines_a.len().max(lines_b.len()))
+        .position(|(la, lb)| la != lb)
+        .map(|idx| {
+            (
+                idx,
+                lines_a.get(idx).copied().unwrap_or("").to_owned(),
+                lines_b.get(idx).copied().unwrap_or("").to_owned(),
+            )
+        });
+
+    let ma = metrics(a);
+    let mb = metrics(b);
+    let mut metric_deltas = Vec::new();
+    for (name, va) in &ma {
+        let vb = mb.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        if vb != Some(*va) {
+            metric_deltas.push(MetricDelta {
+                name: name.clone(),
+                a: Some(*va),
+                b: vb,
+            });
+        }
+    }
+    for (name, vb) in &mb {
+        if !ma.iter().any(|(n, _)| n == name) {
+            metric_deltas.push(MetricDelta {
+                name: name.clone(),
+                a: None,
+                b: Some(*vb),
+            });
+        }
+    }
+
+    DiffReport {
+        lines_a: lines_a.len(),
+        lines_b: lines_b.len(),
+        first_divergence,
+        metric_deltas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_documents_have_no_divergence() {
+        let doc = "{\"at_s\":0}\n{\"at_s\":60}\n";
+        let r = diff_runs(doc, doc);
+        assert!(r.identical());
+        assert!(r.metric_deltas.is_empty());
+        assert!(r.render().starts_with("identical (2 lines)"));
+    }
+
+    #[test]
+    fn first_divergence_is_the_earliest_differing_line() {
+        let a = "{\"at_s\":0}\n{\"at_s\":60,\"x\":1}\n{\"at_s\":120}\n";
+        let b = "{\"at_s\":0}\n{\"at_s\":60,\"x\":2}\n{\"at_s\":120}\n";
+        let r = diff_runs(a, b);
+        let (idx, la, lb) = r.first_divergence.expect("diverges");
+        assert_eq!(idx, 1);
+        assert!(la.contains("\"x\":1") && lb.contains("\"x\":2"));
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_the_missing_line() {
+        let a = "{\"at_s\":0}\n";
+        let b = "{\"at_s\":0}\n{\"at_s\":60}\n";
+        let r = diff_runs(a, b);
+        let (idx, la, lb) = r.first_divergence.clone().expect("diverges");
+        assert_eq!((idx, la.as_str(), lb.as_str()), (1, "", "{\"at_s\":60}"));
+        assert!(r.render().contains("<absent>"));
+    }
+
+    #[test]
+    fn metric_deltas_cover_changed_missing_and_new() {
+        let a = "{\"name\":\"sim.x\",\"kind\":\"counter\",\"value\":3}\n\
+                 {\"name\":\"sim.gone\",\"kind\":\"counter\",\"value\":1}\n";
+        let b = "{\"name\":\"sim.x\",\"kind\":\"counter\",\"value\":5}\n\
+                 {\"name\":\"sim.new\",\"kind\":\"gauge\",\"value\":0.5}\n";
+        let r = diff_runs(a, b);
+        assert_eq!(r.metric_deltas.len(), 3);
+        assert_eq!(r.metric_deltas[0].name, "sim.x");
+        assert_eq!(r.metric_deltas[0].b, Some(5.0));
+        assert_eq!(r.metric_deltas[1].name, "sim.gone");
+        assert_eq!(r.metric_deltas[1].b, None);
+        assert_eq!(r.metric_deltas[2].name, "sim.new");
+        assert_eq!(r.metric_deltas[2].a, None);
+        let rendered = r.render();
+        assert!(rendered.contains("sim.x") && rendered.contains("(+2)"));
+    }
+
+    #[test]
+    fn non_metric_lines_produce_no_deltas() {
+        let a = "{\"at_s\":0,\"soc\":[1.0]}\n";
+        let b = "{\"at_s\":0,\"soc\":[0.9]}\n";
+        let r = diff_runs(a, b);
+        assert!(!r.identical());
+        assert!(r.metric_deltas.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal field scanners for the workspace's one-object-per-line JSON
+//! exports.
+//!
+//! The workspace is hermetic (no serde), and every structured export —
+//! `metrics.jsonl`, `spans.jsonl`, the perf baseline — is emitted by
+//! [`baat_obs::json::JsonLine`]: flat objects, one per line, keys in a
+//! stable order. These scanners extract single fields from such lines
+//! without a JSON parser. They are **not** general JSON readers: nested
+//! objects or keys embedded inside string values can confuse them, which
+//! the emitting side never produces.
+
+/// Extracts a string field's value from a single JSONL line.
+pub fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_owned())
+}
+
+/// Extracts a numeric field from a single JSONL line as `f64`.
+pub fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts a non-negative integer field from a single JSONL line.
+pub fn extract_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_fields_from_a_metric_line() {
+        let line = r#"{"name":"sim.actions.applied","kind":"counter","value":17}"#;
+        assert_eq!(
+            extract_str(line, "name").as_deref(),
+            Some("sim.actions.applied")
+        );
+        assert_eq!(extract_u64(line, "value"), Some(17));
+        assert_eq!(extract_f64(line, "value"), Some(17.0));
+        assert_eq!(extract_str(line, "missing"), None);
+        assert_eq!(extract_u64(line, "name"), None);
+    }
+
+    #[test]
+    fn extracts_negative_and_scientific_floats() {
+        let line = r#"{"a":-0.5,"b":1e-9,"c":3}"#;
+        assert_eq!(extract_f64(line, "a"), Some(-0.5));
+        assert_eq!(extract_f64(line, "b"), Some(1e-9));
+        assert_eq!(extract_u64(line, "a"), None, "negative is not a u64");
+        assert_eq!(extract_u64(line, "c"), Some(3));
+    }
+}

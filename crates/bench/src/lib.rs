@@ -3,7 +3,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod experiments;
+pub mod jsonq;
 pub mod perf;
 pub mod runner;
 pub mod table;
+pub mod trace_schema;
+pub mod watch;

@@ -1,13 +1,15 @@
 //! The performance-regression baseline: measurement records, the
-//! `BENCH_4.json` serialization, and the >20 % steps/sec gate.
+//! `BENCH_5.json` serialization, and the >20 % steps/sec gate.
 //!
 //! The perf harness (`benches/perf.rs`) measures the hot paths, embeds
 //! the pre-optimization wall-clocks recorded at the seed revision, and
-//! emits the whole report as `BENCH_4.json` at the repository root.
+//! emits the whole report as `BENCH_5.json` at the repository root.
 //! `ci/check.sh` re-measures in `--check` mode and fails when any
 //! benchmark's best observed throughput falls more than
 //! [`TOLERANCE_PCT`] below the committed figure — catching perf
-//! regressions the way goldens catch behavioural ones.
+//! regressions the way goldens catch behavioural ones. The same gate
+//! bounds tracing+health observability overhead on a faulted day to
+//! [`OBS_OVERHEAD_LIMIT_PCT`].
 //!
 //! The file format is the in-tree [`baat_obs::json`] line style: one JSON
 //! object per benchmark inside a plain JSON document, parseable with the
@@ -17,11 +19,17 @@
 use baat_obs::json::JsonLine;
 use baat_obs::StageStats;
 
+use crate::jsonq::{extract_f64, extract_str};
+
 /// Allowed steps/sec shortfall (percent) before `--check` fails.
 pub const TOLERANCE_PCT: f64 = 20.0;
 
+/// Allowed wall-clock overhead (percent) of a fully observed faulted
+/// day — metrics, tracing and health active — over the disabled run.
+pub const OBS_OVERHEAD_LIMIT_PCT: f64 = 5.0;
+
 /// Where the committed baseline lives, relative to the workspace root.
-pub const BASELINE_FILE: &str = "BENCH_4.json";
+pub const BASELINE_FILE: &str = "BENCH_5.json";
 
 /// One measured hot-path benchmark, with the seed-revision wall-clock it
 /// is compared against.
@@ -82,7 +90,7 @@ fn per_sec(units: u64, ns: u64) -> f64 {
     units as f64 * 1e9 / ns as f64
 }
 
-/// The full perf report emitted as `BENCH_4.json`.
+/// The full perf report emitted as `BENCH_5.json`.
 #[derive(Debug, Clone, Default)]
 pub struct PerfReport {
     /// The gated hot-path benchmarks.
@@ -93,12 +101,15 @@ pub struct PerfReport {
     /// Heap allocations per engine step over one simulated day, measured
     /// by the counting allocator (only with `--features count-allocs`).
     pub allocs_per_step: Option<f64>,
+    /// Best-case wall-clock overhead (percent) of a fully observed
+    /// faulted day — metrics, tracing, health — over the disabled run.
+    pub obs_overhead_pct: Option<f64>,
 }
 
 impl PerfReport {
-    /// Serializes the report as the `BENCH_4.json` document.
+    /// Serializes the report as the `BENCH_5.json` document.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n\"schema\": \"baat-perf-v1\",\n\"issue\": 4,\n");
+        let mut out = String::from("{\n\"schema\": \"baat-perf-v1\",\n\"issue\": 5,\n");
         out.push_str(&format!("\"tolerance_pct\": {TOLERANCE_PCT},\n"));
         out.push_str("\"benchmarks\": [\n");
         for (i, b) in self.benchmarks.iter().enumerate() {
@@ -125,8 +136,27 @@ impl PerfReport {
             out.push_str(",\n\"allocs\": ");
             out.push_str(&line.finish());
         }
+        if let Some(overhead) = self.obs_overhead_pct {
+            let mut line = JsonLine::new();
+            line.f64_field("obs_overhead_pct", overhead)
+                .f64_field("limit_pct", OBS_OVERHEAD_LIMIT_PCT);
+            out.push_str(",\n\"obs_overhead\": ");
+            out.push_str(&line.finish());
+        }
         out.push_str("\n}\n");
         out
+    }
+
+    /// The observability-overhead gate: a failure line when the measured
+    /// overhead exceeds [`OBS_OVERHEAD_LIMIT_PCT`], else `None`.
+    pub fn obs_overhead_failure(&self) -> Option<String> {
+        let pct = self.obs_overhead_pct?;
+        (pct > OBS_OVERHEAD_LIMIT_PCT).then(|| {
+            format!(
+                "obs overhead: traced faulted day is {pct:.2}% slower than the \
+                 disabled run (limit {OBS_OVERHEAD_LIMIT_PCT}%)"
+            )
+        })
     }
 
     /// Compares this (freshly measured) report against the committed
@@ -192,25 +222,6 @@ pub fn committed_steps_per_sec(json: &str) -> Vec<(String, f64)> {
     out
 }
 
-fn extract_str(line: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\":\"");
-    let start = line.find(&pat)? + pat.len();
-    let end = line[start..].find('"')?;
-    Some(line[start..start + end].to_owned())
-}
-
-fn extract_f64(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let end = rest
-        .find(|c: char| {
-            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
-        })
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +246,7 @@ mod tests {
             ],
             stages: Vec::new(),
             allocs_per_step: None,
+            obs_overhead_pct: None,
         }
     }
 
@@ -282,6 +294,18 @@ mod tests {
             b.min_ns = b.min_ns + b.min_ns / 10;
         }
         assert!(wobbly.regressions_against(&committed).is_empty());
+    }
+
+    #[test]
+    fn obs_overhead_gate_trips_only_past_the_limit() {
+        let mut r = report();
+        assert!(r.obs_overhead_failure().is_none(), "unmeasured passes");
+        r.obs_overhead_pct = Some(OBS_OVERHEAD_LIMIT_PCT - 1.0);
+        assert!(r.obs_overhead_failure().is_none());
+        assert!(r.to_json().contains("\"obs_overhead_pct\":4"));
+        r.obs_overhead_pct = Some(OBS_OVERHEAD_LIMIT_PCT + 0.5);
+        let failure = r.obs_overhead_failure().expect("over the limit fails");
+        assert!(failure.contains("5.50%"), "{failure}");
     }
 
     #[test]

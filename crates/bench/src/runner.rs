@@ -235,8 +235,12 @@ fn write_perf_lines(
     out.push('\n');
     out.push_str(&obs.profile_jsonl());
     out.push_str(&obs.metrics_jsonl());
+    out.push_str(&obs.health_jsonl());
     let mut file = std::fs::File::create(&path)?;
     file.write_all(out.as_bytes())?;
+    // An OpenMetrics snapshot of the same registry rides along for
+    // scrape-style consumers (`<label>.om`, `# EOF`-terminated).
+    std::fs::write(dir.join(format!("{label}.om")), obs.metrics_openmetrics())?;
     Ok(path)
 }
 

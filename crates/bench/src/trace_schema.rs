@@ -1,0 +1,102 @@
+//! Schema validation for `spans.jsonl` trace exports.
+//!
+//! The trace contract (pinned by `baat-obs` unit tests and re-checked
+//! here over whole files, so `ci/check.sh` can validate a real run's
+//! export): one span object per line with `span`, `name` and `start_s`
+//! fields; ids sequential from 1; `parent`, when present, referring to
+//! an **earlier** span (causality cannot point forward in a
+//! simulated-time trace); `end_s`, when present, at or after `start_s`.
+
+use crate::jsonq::{extract_str, extract_u64};
+
+/// Validates a `spans.jsonl` document. Returns one human-readable
+/// violation per broken line/rule; empty means the trace is well-formed.
+pub fn validate_trace(jsonl: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut expected_id = 1u64;
+    for (i, line) in jsonl.lines().enumerate() {
+        let n = i + 1;
+        let Some(id) = extract_u64(line, "span") else {
+            violations.push(format!("line {n}: missing span id"));
+            continue;
+        };
+        if id != expected_id {
+            violations.push(format!(
+                "line {n}: span id {id}, expected sequential {expected_id}"
+            ));
+        }
+        expected_id = id + 1;
+        match extract_str(line, "name") {
+            None => violations.push(format!("line {n}: span {id} missing name")),
+            Some(name) if name.is_empty() => {
+                violations.push(format!("line {n}: span {id} has an empty name"));
+            }
+            Some(_) => {}
+        }
+        let Some(start) = extract_u64(line, "start_s") else {
+            violations.push(format!("line {n}: span {id} missing start_s"));
+            continue;
+        };
+        if let Some(parent) = extract_u64(line, "parent") {
+            if parent == 0 || parent >= id {
+                violations.push(format!(
+                    "line {n}: span {id} parent {parent} does not refer to an earlier span"
+                ));
+            }
+        }
+        if let Some(end) = extract_u64(line, "end_s") {
+            if end < start {
+                violations.push(format!(
+                    "line {n}: span {id} ends at {end}s before it starts at {start}s"
+                ));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_well_formed_trace_passes() {
+        let doc = "{\"span\":1,\"name\":\"fault\",\"start_s\":10}\n\
+                   {\"span\":2,\"name\":\"degraded\",\"start_s\":40,\"parent\":1,\"end_s\":90}\n\
+                   {\"span\":3,\"name\":\"fallback.action\",\"start_s\":40,\"parent\":2,\"end_s\":40}\n";
+        assert!(validate_trace(doc).is_empty());
+    }
+
+    #[test]
+    fn missing_fields_are_reported_per_line() {
+        let doc = "{\"span\":1,\"start_s\":0}\n{\"name\":\"x\",\"start_s\":0}\n";
+        let v = validate_trace(doc);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("missing name"));
+        assert!(v[1].contains("missing span id"));
+    }
+
+    #[test]
+    fn forward_and_self_parents_are_rejected() {
+        let doc = "{\"span\":1,\"name\":\"a\",\"start_s\":0,\"parent\":1}\n\
+                   {\"span\":2,\"name\":\"b\",\"start_s\":0,\"parent\":9}\n";
+        let v = validate_trace(doc);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|m| m.contains("earlier span")));
+    }
+
+    #[test]
+    fn non_sequential_ids_and_inverted_times_are_rejected() {
+        let doc = "{\"span\":1,\"name\":\"a\",\"start_s\":50,\"end_s\":20}\n\
+                   {\"span\":5,\"name\":\"b\",\"start_s\":0}\n";
+        let v = validate_trace(doc);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("before it starts"));
+        assert!(v[1].contains("expected sequential 2"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert!(validate_trace("").is_empty());
+    }
+}

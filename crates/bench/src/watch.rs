@@ -1,0 +1,110 @@
+//! The live-watch frame renderer behind `console watch`.
+//!
+//! Renders one text frame — a per-node table of SoC, power, aging and
+//! health-check state — from a running [`Simulation`]. Kept out of the
+//! console binary so the frame format is unit-testable; the binary only
+//! decides *when* to render (every N simulated minutes) and whether to
+//! clear the terminal between frames.
+
+use baat_obs::HealthCheck;
+use baat_sim::{SimError, Simulation};
+
+/// Short uppercase tag per health check, used in the frame's health
+/// column.
+fn check_tag(check: HealthCheck) -> &'static str {
+    match check {
+        HealthCheck::SocFloorViolation => "FLOOR",
+        HealthCheck::AgingRateAnomaly => "AGING",
+        HealthCheck::SustainedDegraded => "STALE",
+        HealthCheck::ChargerModeThrash => "THRASH",
+    }
+}
+
+/// Renders one watch frame from the simulation's current state.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the engine's bookkeeping is inconsistent
+/// (same conditions as [`Simulation::build_view`]).
+pub fn render_frame(sim: &Simulation) -> Result<String, SimError> {
+    let view = sim.build_view()?;
+    let health = sim.health();
+    let degraded = view.nodes.iter().filter(|n| n.degraded).count();
+    let secs = view.now.as_secs();
+    let mut out = format!(
+        "day {} {:02}:{:02} | solar {:.0} W | degraded {}/{}\n",
+        view.now.day(),
+        secs / 3600 % 24,
+        secs / 60 % 60,
+        view.solar.as_f64(),
+        degraded,
+        view.nodes.len()
+    );
+    out.push_str(&format!(
+        "{:<5} {:>6} {:>6} {:>9} {:>9} {:>5} {:>9}  {}\n",
+        "node", "soc", "floor", "power_w", "damage", "dvfs", "state", "health"
+    ));
+    for n in &view.nodes {
+        let mut tags = String::new();
+        for check in HealthCheck::ALL {
+            if health.is_active(n.node, check) {
+                if !tags.is_empty() {
+                    tags.push(',');
+                }
+                tags.push_str(check_tag(check));
+            }
+        }
+        if tags.is_empty() {
+            tags.push('-');
+        }
+        let state = if !n.online {
+            "offline"
+        } else if n.degraded {
+            "degraded"
+        } else {
+            "online"
+        };
+        out.push_str(&format!(
+            "{:<5} {:>6.3} {:>6.2} {:>9.1} {:>9.5} {:>5} {:>9}  {}\n",
+            n.node,
+            n.soc.value(),
+            n.soc_floor.value(),
+            n.server_power.as_f64(),
+            n.damage,
+            n.dvfs.name(),
+            state,
+            tags
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baat_sim::{RoundRobinPolicy, SimConfig, Simulation};
+    use baat_solar::Weather;
+    use baat_units::SimDuration;
+
+    #[test]
+    fn frame_lists_every_node_with_header() {
+        let mut b = SimConfig::builder();
+        b.weather_plan(vec![Weather::Sunny])
+            .dt(SimDuration::from_secs(60))
+            .seed(3);
+        let config = b.build().expect("valid");
+        let nodes = config.nodes;
+        let mut sim = Simulation::new(config).expect("valid");
+        let mut policy = RoundRobinPolicy::new();
+        // Advance into the operating window so servers are online.
+        sim.run_steps(&mut policy, 9 * 60).expect("runs");
+        let frame = render_frame(&sim).expect("renders");
+        let lines: Vec<&str> = frame.lines().collect();
+        assert_eq!(lines.len(), 2 + nodes, "{frame}");
+        assert!(lines[0].starts_with("day 0 09:00"), "{frame}");
+        assert!(lines[1].contains("health"));
+        assert!(lines[2].contains("online"));
+        // Healthy nodes show the empty-tags marker.
+        assert!(lines[2].trim_end().ends_with('-'), "{frame}");
+    }
+}

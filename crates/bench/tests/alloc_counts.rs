@@ -1,0 +1,133 @@
+//! Allocation-count pin for disabled observability (satellite of the
+//! tracing/health PR): `cargo test -p baat-bench --features count-allocs
+//! --test alloc_counts`.
+//!
+//! Two invariants, measured with a counting global allocator:
+//!
+//! 1. disabled obs handles — metrics, tracer, health monitor, flight
+//!    recorder — perform **zero** heap allocations per operation;
+//! 2. a full faulted day simulated with `Obs::disabled()` stays within
+//!    the committed per-step allocation budget, i.e. the trace/health
+//!    wiring added to the engine attributes no allocations to the
+//!    disabled path.
+#![cfg(feature = "count-allocs")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use baat_core::Scheme;
+use baat_obs::{FlightRecorder, HealthConfig, HealthMonitor, NodeHealthSample, Obs, SpanId};
+use baat_sim::{FaultMix, FaultPlan, SimConfig, Simulation};
+use baat_solar::Weather;
+use baat_units::SimDuration;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: every method delegates to `System` with unchanged arguments;
+// the counter update has no safety impact.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: Counting = Counting;
+
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    (after - before, out)
+}
+
+/// Allocations per step the committed baseline budgets for the engine's
+/// own step loop (events, queues, amortized growth) — see the `allocs`
+/// record in `BENCH_5.json`. Disabled observability must not add to it.
+const STEP_ALLOC_BUDGET: f64 = 10.0;
+
+fn faulted_day_config() -> SimConfig {
+    let mut cfg = SimConfig::builder();
+    cfg.weather_plan(vec![Weather::Cloudy])
+        .dt(SimDuration::from_secs(30))
+        .sample_every(40)
+        .seed(1);
+    let probe = cfg.build().expect("valid");
+    cfg.faults(FaultPlan::generate(
+        1,
+        probe.days(),
+        probe.nodes,
+        probe.nodes,
+        &FaultMix::light(),
+    ));
+    cfg.build().expect("valid")
+}
+
+/// Tests run single-threaded in this file (one test fn) so the global
+/// counter observes only our own work.
+#[test]
+fn disabled_observability_allocates_nothing() {
+    // --- invariant 1: disabled handles are allocation-free per op. ---
+    let obs = Obs::disabled();
+    let counter = obs.counter("alloc.test.counter");
+    let gauge = obs.gauge("alloc.test.gauge");
+    let histogram = obs.histogram("alloc.test.histogram");
+    let tracer = obs.tracer();
+    let mut health = HealthMonitor::new(HealthConfig::default(), &obs);
+    let mut flight = FlightRecorder::new(64, obs.is_enabled());
+
+    let (n, _) = allocs_during(|| {
+        for i in 0..1000u64 {
+            counter.inc();
+            counter.add(i);
+            gauge.set(i as f64);
+            histogram.observe(i);
+            let span = tracer.start("alloc.test", SpanId::NONE, i);
+            tracer.attr_u64(span, "i", i);
+            tracer.attr_f64(span, "f", 0.5);
+            tracer.attr_str(span, "s", "x");
+            tracer.attr_bool(span, "b", true);
+            tracer.end(span, i + 1);
+            health.push_sample(NodeHealthSample {
+                node: 0,
+                soc: 0.8,
+                soc_floor: 0.4,
+                damage: 0.001,
+                degraded: false,
+                charger_mode_switches: i,
+                online: true,
+            });
+            health.evaluate(i * 60);
+            flight.dump("degraded_mode", i * 60);
+        }
+    });
+    assert_eq!(n, 0, "disabled obs handles allocated {n} times");
+    assert!(health.events().is_empty());
+    assert!(flight.dumps().is_empty());
+
+    // --- invariant 2: a disabled-obs faulted day stays in budget. ---
+    let config = faulted_day_config();
+    let mut sim = Simulation::with_obs(config, Obs::disabled()).expect("valid");
+    let mut policy = Scheme::Baat.build();
+    let steps = sim.total_steps();
+    let (n, result) = allocs_during(|| sim.run_steps(&mut policy, steps));
+    result.expect("runs");
+    let per_step = n as f64 / steps as f64;
+    assert!(
+        per_step < STEP_ALLOC_BUDGET,
+        "faulted day with disabled obs allocated {per_step:.3}/step \
+         (budget {STEP_ALLOC_BUDGET})"
+    );
+}

@@ -1,0 +1,719 @@
+//! Aging-health monitoring and the flight recorder.
+//!
+//! [`HealthMonitor`] evaluates per-node rule-based checks once per
+//! control interval — SoC-floor violations, aging-rate anomalies
+//! against a trailing baseline, sustained degraded mode, and charger
+//! mode thrash — and emits edge-triggered typed [`HealthEvent`]s
+//! (one when a check enters violation, one when it recovers).
+//!
+//! [`FlightRecorder`] is the post-mortem companion: a bounded ring
+//! buffer of recent pre-encoded JSONL lines (telemetry rows, events,
+//! span markers) that the engine dumps whenever a node enters degraded
+//! mode or a server shuts down, so a crash can be triaged without a
+//! full-fidelity trace.
+//!
+//! Both are engine-fed, deterministic, and inert when built from a
+//! disabled [`Obs`]: no samples are buffered, no events allocated, no
+//! lines retained.
+
+use std::collections::VecDeque;
+
+use crate::json::JsonLine;
+use crate::registry::{Counter, Obs};
+
+/// Tuning knobs for the per-node health checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// A SoC-floor violation fires when `soc < floor - margin`.
+    pub soc_floor_margin: f64,
+    /// An aging anomaly fires when the per-interval damage rate exceeds
+    /// `factor ×` the trailing-baseline mean rate.
+    pub aging_rate_factor: f64,
+    /// Number of trailing intervals in the aging-rate baseline; the
+    /// check stays quiet until the baseline window is full.
+    pub aging_baseline_window: usize,
+    /// Damage-rate floor below which the anomaly check never fires
+    /// (suppresses noise around a near-zero baseline).
+    pub aging_rate_epsilon: f64,
+    /// Consecutive degraded intervals before "sustained degraded"
+    /// fires.
+    pub sustained_degraded_intervals: u32,
+    /// Trailing window (in intervals) over which charger mode switches
+    /// are counted.
+    pub thrash_window_intervals: usize,
+    /// Mode switches within the window at or above which "charger
+    /// thrash" fires.
+    pub thrash_switch_limit: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            soc_floor_margin: 0.01,
+            aging_rate_factor: 4.0,
+            aging_baseline_window: 16,
+            aging_rate_epsilon: 1e-9,
+            sustained_degraded_intervals: 3,
+            thrash_window_intervals: 16,
+            thrash_switch_limit: 6,
+        }
+    }
+}
+
+/// The rule-based checks the monitor evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthCheck {
+    /// Battery SoC dropped below its enforced floor.
+    SocFloorViolation,
+    /// Per-interval aging rate spiked against the trailing baseline.
+    AgingRateAnomaly,
+    /// Node has been in degraded (stale-telemetry) mode for several
+    /// consecutive intervals.
+    SustainedDegraded,
+    /// Charger is oscillating between charge stages.
+    ChargerModeThrash,
+}
+
+impl HealthCheck {
+    /// All checks, in evaluation order.
+    pub const ALL: [HealthCheck; 4] = [
+        HealthCheck::SocFloorViolation,
+        HealthCheck::AgingRateAnomaly,
+        HealthCheck::SustainedDegraded,
+        HealthCheck::ChargerModeThrash,
+    ];
+
+    /// Stable snake-case name used in exports and metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthCheck::SocFloorViolation => "soc_floor_violation",
+            HealthCheck::AgingRateAnomaly => "aging_rate_anomaly",
+            HealthCheck::SustainedDegraded => "sustained_degraded",
+            HealthCheck::ChargerModeThrash => "charger_mode_thrash",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            HealthCheck::SocFloorViolation => 0,
+            HealthCheck::AgingRateAnomaly => 1,
+            HealthCheck::SustainedDegraded => 2,
+            HealthCheck::ChargerModeThrash => 3,
+        }
+    }
+}
+
+/// One edge-triggered health transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthEvent {
+    /// Simulated second the transition was observed.
+    pub at_s: u64,
+    /// Node the check applies to.
+    pub node: usize,
+    /// Which check transitioned.
+    pub check: HealthCheck,
+    /// The observed value that tripped (or cleared) the check.
+    pub value: f64,
+    /// The threshold it was compared against.
+    pub threshold: f64,
+    /// `true` when the check entered violation, `false` on recovery.
+    pub active: bool,
+}
+
+impl HealthEvent {
+    /// Serializes the event as one JSON object line.
+    pub fn to_json(&self) -> String {
+        let mut line = JsonLine::new();
+        line.u64_field("at_s", self.at_s)
+            .u64_field("node", self.node as u64)
+            .str_field("check", self.check.name())
+            .f64_field("value", self.value)
+            .f64_field("threshold", self.threshold)
+            .bool_field("active", self.active);
+        line.finish()
+    }
+}
+
+/// One node's observation for one control interval, fed by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeHealthSample {
+    /// Node index.
+    pub node: usize,
+    /// Battery state of charge, 0..=1.
+    pub soc: f64,
+    /// Currently enforced SoC floor, 0..=1.
+    pub soc_floor: f64,
+    /// Cumulative aging damage of the node's battery.
+    pub damage: f64,
+    /// `true` while the node runs on stale telemetry.
+    pub degraded: bool,
+    /// Cumulative charger mode switches of the node's bank.
+    pub charger_mode_switches: u64,
+    /// `true` while the host is powered on.
+    pub online: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct NodeState {
+    last_damage: Option<f64>,
+    rate_baseline: VecDeque<f64>,
+    degraded_streak: u32,
+    switch_history: VecDeque<u64>,
+    active: [bool; 4],
+}
+
+/// Per-node rule-based health monitor.
+///
+/// The engine pushes one [`NodeHealthSample`] per node each control
+/// interval and then calls [`HealthMonitor::evaluate`]; transitions are
+/// appended to the event log and counted in lazily registered
+/// `health.<check>` counters. Inert (allocation-free) when built from a
+/// disabled [`Obs`].
+#[derive(Debug, Clone, Default)]
+pub struct HealthMonitor {
+    enabled: bool,
+    config: HealthConfig,
+    obs: Obs,
+    nodes: Vec<NodeState>,
+    pending: Vec<NodeHealthSample>,
+    events: Vec<HealthEvent>,
+    counters: [Option<Counter>; 4],
+}
+
+impl HealthMonitor {
+    /// Creates a monitor bound to `obs`; inert if `obs` is disabled.
+    pub fn new(config: HealthConfig, obs: &Obs) -> Self {
+        Self {
+            enabled: obs.is_enabled(),
+            config,
+            obs: obs.clone(),
+            nodes: Vec::new(),
+            pending: Vec::new(),
+            events: Vec::new(),
+            counters: [None, None, None, None],
+        }
+    }
+
+    /// `true` when the monitor records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Buffers one node's observation for the next [`evaluate`] call.
+    /// No-op (allocation-free) when disabled.
+    ///
+    /// [`evaluate`]: HealthMonitor::evaluate
+    pub fn push_sample(&mut self, sample: NodeHealthSample) {
+        if self.enabled {
+            self.pending.push(sample);
+        }
+    }
+
+    /// Evaluates every buffered sample at simulated second `at_s`,
+    /// emitting edge-triggered events. No-op when disabled.
+    pub fn evaluate(&mut self, at_s: u64) {
+        if !self.enabled {
+            return;
+        }
+        for i in 0..self.pending.len() {
+            let sample = self.pending[i];
+            if self.nodes.len() <= sample.node {
+                self.nodes.resize(sample.node + 1, NodeState::default());
+            }
+            self.evaluate_node(at_s, sample);
+        }
+        self.pending.clear();
+    }
+
+    fn evaluate_node(&mut self, at_s: u64, s: NodeHealthSample) {
+        let cfg = self.config.clone();
+        let state = &mut self.nodes[s.node];
+
+        // 1. SoC-floor violation.
+        let floor_threshold = s.soc_floor - cfg.soc_floor_margin;
+        let floor_violated = s.online && s.soc < floor_threshold;
+
+        // 2. Aging-rate anomaly vs the trailing baseline.
+        let rate = state
+            .last_damage
+            .map_or(0.0, |prev| (s.damage - prev).max(0.0));
+        let baseline_full = state.rate_baseline.len() >= cfg.aging_baseline_window;
+        let baseline_mean = if state.rate_baseline.is_empty() {
+            0.0
+        } else {
+            state.rate_baseline.iter().sum::<f64>() / state.rate_baseline.len() as f64
+        };
+        let rate_threshold = (baseline_mean * cfg.aging_rate_factor).max(cfg.aging_rate_epsilon);
+        let rate_anomalous = baseline_full && rate > rate_threshold;
+
+        // 3. Sustained degraded mode.
+        state.degraded_streak = if s.degraded {
+            state.degraded_streak.saturating_add(1)
+        } else {
+            0
+        };
+        let sustained = state.degraded_streak >= cfg.sustained_degraded_intervals;
+
+        // 4. Charger mode thrash over the trailing window.
+        let switches_in_window = state
+            .switch_history
+            .front()
+            .map_or(0, |&oldest| s.charger_mode_switches.saturating_sub(oldest));
+        let window_full = state.switch_history.len() >= cfg.thrash_window_intervals;
+        let thrashing = window_full && switches_in_window >= cfg.thrash_switch_limit;
+
+        let observations = [
+            (
+                HealthCheck::SocFloorViolation,
+                floor_violated,
+                s.soc,
+                floor_threshold,
+            ),
+            (
+                HealthCheck::AgingRateAnomaly,
+                rate_anomalous,
+                rate,
+                rate_threshold,
+            ),
+            (
+                HealthCheck::SustainedDegraded,
+                sustained,
+                state.degraded_streak as f64,
+                cfg.sustained_degraded_intervals as f64,
+            ),
+            (
+                HealthCheck::ChargerModeThrash,
+                thrashing,
+                switches_in_window as f64,
+                cfg.thrash_switch_limit as f64,
+            ),
+        ];
+
+        // Roll the trailing state forward *after* evaluation so the
+        // baseline never includes the interval being judged.
+        state.last_damage = Some(s.damage);
+        state.rate_baseline.push_back(rate);
+        while state.rate_baseline.len() > cfg.aging_baseline_window {
+            state.rate_baseline.pop_front();
+        }
+        state.switch_history.push_back(s.charger_mode_switches);
+        while state.switch_history.len() > cfg.thrash_window_intervals {
+            state.switch_history.pop_front();
+        }
+
+        let mut transitions: [Option<HealthEvent>; 4] = [None, None, None, None];
+        for (check, active, value, threshold) in observations {
+            let idx = check.index();
+            let state = &mut self.nodes[s.node];
+            if state.active[idx] != active {
+                state.active[idx] = active;
+                transitions[idx] = Some(HealthEvent {
+                    at_s,
+                    node: s.node,
+                    check,
+                    value,
+                    threshold,
+                    active,
+                });
+            }
+        }
+        for event in transitions.into_iter().flatten() {
+            if event.active {
+                self.counter(event.check).inc();
+            }
+            self.events.push(event);
+        }
+    }
+
+    fn counter(&mut self, check: HealthCheck) -> &Counter {
+        let idx = check.index();
+        if self.counters[idx].is_none() {
+            // Registered lazily so runs that never trip a check export
+            // exactly the same metric set as before this module existed.
+            let name = match check {
+                HealthCheck::SocFloorViolation => "health.soc_floor_violation",
+                HealthCheck::AgingRateAnomaly => "health.aging_rate_anomaly",
+                HealthCheck::SustainedDegraded => "health.sustained_degraded",
+                HealthCheck::ChargerModeThrash => "health.charger_mode_thrash",
+            };
+            self.counters[idx] = Some(self.obs.counter(name));
+        }
+        self.counters[idx].as_ref().expect("just inserted")
+    }
+
+    /// All transitions emitted so far, in emission order.
+    pub fn events(&self) -> &[HealthEvent] {
+        &self.events
+    }
+
+    /// Number of transitions emitted so far.
+    pub fn events_len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` while `check` is in violation on `node`.
+    pub fn is_active(&self, node: usize, check: HealthCheck) -> bool {
+        self.nodes
+            .get(node)
+            .is_some_and(|s| s.active[check.index()])
+    }
+
+    /// Drains the event log (used to flush into the [`Obs`] store at
+    /// end of run).
+    pub fn take_events(&mut self) -> Vec<HealthEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Maximum dumps a [`FlightRecorder`] retains (oldest evicted first).
+pub const MAX_FLIGHT_DUMPS: usize = 16;
+
+/// One flight-recorder dump: the ring contents at trigger time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Simulated second of the trigger.
+    pub at_s: u64,
+    /// Stable trigger name (`degraded_mode`, `server_shutdown`).
+    pub reason: &'static str,
+    /// The buffered JSONL lines, oldest first.
+    pub lines: Vec<String>,
+}
+
+/// Bounded ring buffer of recent pre-encoded JSONL lines, dumped on
+/// degraded-mode entry or server shutdown.
+///
+/// The recorder never encodes anything itself — the engine pushes lines
+/// it already has (telemetry rows, timed events, span markers), and
+/// only when [`FlightRecorder::is_enabled`] is true, keeping the
+/// disabled path allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    enabled: bool,
+    cap: usize,
+    ring: VecDeque<String>,
+    dumps: Vec<FlightDump>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `cap` lines; inert when
+    /// `enabled` is false.
+    pub fn new(cap: usize, enabled: bool) -> Self {
+        Self {
+            enabled: enabled && cap > 0,
+            cap,
+            ring: VecDeque::new(),
+            dumps: Vec::new(),
+        }
+    }
+
+    /// `true` when the recorder retains lines. Callers gate line
+    /// construction on this so a disabled recorder costs nothing.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends one pre-encoded JSONL line, evicting the oldest when
+    /// full. No-op when disabled.
+    pub fn push(&mut self, line: String) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(line);
+    }
+
+    /// Snapshots the ring as a dump tagged with `reason`. The ring
+    /// keeps its contents (a later trigger sees the same recent past).
+    /// At most [`MAX_FLIGHT_DUMPS`] dumps are retained, oldest evicted.
+    pub fn dump(&mut self, reason: &'static str, at_s: u64) {
+        if !self.enabled {
+            return;
+        }
+        if self.dumps.len() == MAX_FLIGHT_DUMPS {
+            self.dumps.remove(0);
+        }
+        self.dumps.push(FlightDump {
+            at_s,
+            reason,
+            lines: self.ring.iter().cloned().collect(),
+        });
+    }
+
+    /// Dumps captured so far.
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// Drains the captured dumps (used to flush into the [`Obs`] store
+    /// at end of run).
+    pub fn take_dumps(&mut self) -> Vec<FlightDump> {
+        std::mem::take(&mut self.dumps)
+    }
+}
+
+impl Obs {
+    /// Stores health events for export (no-op when disabled).
+    pub fn record_health_events(&self, events: Vec<HealthEvent>) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner
+                .health_events
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .extend(events);
+        }
+    }
+
+    /// Renders the stored health events as JSONL (one event per line).
+    pub fn health_jsonl(&self) -> String {
+        let Some(inner) = self.inner.as_ref() else {
+            return String::new();
+        };
+        let events = inner
+            .health_events
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut out = String::new();
+        for event in events.iter() {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Stores flight-recorder dumps for export (no-op when disabled).
+    pub fn record_flight_dumps(&self, dumps: Vec<FlightDump>) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner
+                .flight_dumps
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .extend(dumps);
+        }
+    }
+
+    /// Renders the stored flight dumps as JSONL: each dump is one
+    /// header line (`flight_dump`, `reason`, `at_s`, `lines`) followed
+    /// by its buffered lines wrapped as `{"flight_dump":i,"data":…}`.
+    pub fn flight_jsonl(&self) -> String {
+        let Some(inner) = self.inner.as_ref() else {
+            return String::new();
+        };
+        let dumps = inner
+            .flight_dumps
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut out = String::new();
+        for (i, dump) in dumps.iter().enumerate() {
+            let mut header = JsonLine::new();
+            header
+                .u64_field("flight_dump", i as u64)
+                .str_field("reason", dump.reason)
+                .u64_field("at_s", dump.at_s)
+                .u64_field("lines", dump.lines.len() as u64);
+            out.push_str(&header.finish());
+            out.push('\n');
+            for line in &dump.lines {
+                let mut wrapped = JsonLine::new();
+                wrapped
+                    .u64_field("flight_dump", i as u64)
+                    .raw_field("data", line);
+                out.push_str(&wrapped.finish());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(node: usize) -> NodeHealthSample {
+        NodeHealthSample {
+            node,
+            soc: 0.8,
+            soc_floor: 0.3,
+            damage: 0.0,
+            degraded: false,
+            charger_mode_switches: 0,
+            online: true,
+        }
+    }
+
+    fn run_interval(m: &mut HealthMonitor, at_s: u64, s: NodeHealthSample) {
+        m.push_sample(s);
+        m.evaluate(at_s);
+    }
+
+    #[test]
+    fn soc_floor_violation_is_edge_triggered() {
+        let obs = Obs::enabled();
+        let mut m = HealthMonitor::new(HealthConfig::default(), &obs);
+        run_interval(&mut m, 0, sample(0));
+        let mut low = sample(0);
+        low.soc = 0.2;
+        run_interval(&mut m, 60, low);
+        run_interval(&mut m, 120, low); // still low: no second event
+        run_interval(&mut m, 180, sample(0)); // recovered
+        let events = m.events();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert!(events[0].active && events[0].at_s == 60);
+        assert!(!events[1].active && events[1].at_s == 180);
+        assert_eq!(events[0].check, HealthCheck::SocFloorViolation);
+        assert!(obs
+            .metrics_jsonl()
+            .contains(r#""name":"health.soc_floor_violation","value":1"#));
+    }
+
+    #[test]
+    fn offline_node_is_not_a_floor_violation() {
+        let obs = Obs::enabled();
+        let mut m = HealthMonitor::new(HealthConfig::default(), &obs);
+        let mut s = sample(0);
+        s.soc = 0.1;
+        s.online = false;
+        run_interval(&mut m, 0, s);
+        assert!(m.events().is_empty());
+    }
+
+    #[test]
+    fn aging_anomaly_needs_a_full_baseline() {
+        let obs = Obs::enabled();
+        let cfg = HealthConfig {
+            aging_baseline_window: 3,
+            aging_rate_factor: 2.0,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(cfg, &obs);
+        let mut s = sample(0);
+        // Steady rate of 0.001 per interval fills the baseline.
+        for i in 0..5u64 {
+            s.damage = 0.001 * i as f64;
+            run_interval(&mut m, i * 60, s);
+        }
+        assert!(m.events().is_empty());
+        // A 10× spike trips the anomaly.
+        s.damage += 0.01;
+        run_interval(&mut m, 360, s);
+        let events = m.events();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].check, HealthCheck::AgingRateAnomaly);
+        assert!(events[0].active);
+        assert!(m.is_active(0, HealthCheck::AgingRateAnomaly));
+    }
+
+    #[test]
+    fn sustained_degraded_fires_after_streak() {
+        let obs = Obs::enabled();
+        let mut m = HealthMonitor::new(HealthConfig::default(), &obs);
+        let mut s = sample(1);
+        s.degraded = true;
+        run_interval(&mut m, 0, s);
+        run_interval(&mut m, 60, s);
+        assert!(m.events().is_empty());
+        run_interval(&mut m, 120, s); // third consecutive interval
+        assert_eq!(m.events().len(), 1);
+        assert_eq!(m.events()[0].check, HealthCheck::SustainedDegraded);
+        assert_eq!(m.events()[0].node, 1);
+        s.degraded = false;
+        run_interval(&mut m, 180, s);
+        assert_eq!(m.events().len(), 2);
+        assert!(!m.events()[1].active);
+    }
+
+    #[test]
+    fn charger_thrash_counts_switches_in_window() {
+        let obs = Obs::enabled();
+        let cfg = HealthConfig {
+            thrash_window_intervals: 4,
+            thrash_switch_limit: 4,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(cfg, &obs);
+        let mut s = sample(0);
+        // Two switches per interval: window of 4 sees 8 ≥ 4 once full.
+        for i in 0..6u64 {
+            s.charger_mode_switches = 2 * i;
+            run_interval(&mut m, i * 60, s);
+        }
+        let events = m.events();
+        assert!(!events.is_empty(), "{events:?}");
+        assert_eq!(events[0].check, HealthCheck::ChargerModeThrash);
+    }
+
+    #[test]
+    fn disabled_monitor_buffers_nothing() {
+        let obs = Obs::disabled();
+        let mut m = HealthMonitor::new(HealthConfig::default(), &obs);
+        assert!(!m.is_enabled());
+        let mut s = sample(0);
+        s.soc = 0.0;
+        run_interval(&mut m, 0, s);
+        assert!(m.events().is_empty());
+        assert!(m.pending.is_empty());
+        assert!(m.nodes.is_empty());
+    }
+
+    #[test]
+    fn health_events_export_through_obs() {
+        let obs = Obs::enabled();
+        let mut m = HealthMonitor::new(HealthConfig::default(), &obs);
+        let mut s = sample(2);
+        s.soc = 0.1;
+        run_interval(&mut m, 30, s);
+        obs.record_health_events(m.take_events());
+        let jsonl = obs.health_jsonl();
+        assert!(
+            jsonl.contains(r#""check":"soc_floor_violation""#),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains(r#""node":2"#));
+        assert!(m.events().is_empty(), "take_events drained the log");
+    }
+
+    #[test]
+    fn flight_recorder_ring_is_bounded_and_dumps() {
+        let mut f = FlightRecorder::new(3, true);
+        for i in 0..5 {
+            f.push(format!("{{\"i\":{i}}}"));
+        }
+        f.dump("degraded_mode", 900);
+        assert_eq!(f.dumps().len(), 1);
+        let dump = &f.dumps()[0];
+        assert_eq!(dump.lines.len(), 3);
+        assert_eq!(dump.lines[0], "{\"i\":2}"); // oldest two evicted
+        assert_eq!(dump.reason, "degraded_mode");
+
+        let obs = Obs::enabled();
+        obs.record_flight_dumps(f.take_dumps());
+        let jsonl = obs.flight_jsonl();
+        assert!(jsonl.starts_with(
+            "{\"flight_dump\":0,\"reason\":\"degraded_mode\",\"at_s\":900,\"lines\":3}\n"
+        ));
+        assert!(jsonl.contains("\"data\":{\"i\":4}"));
+    }
+
+    #[test]
+    fn disabled_flight_recorder_retains_nothing() {
+        let mut f = FlightRecorder::new(8, false);
+        assert!(!f.is_enabled());
+        f.push("x".to_owned());
+        f.dump("server_shutdown", 1);
+        assert!(f.dumps().is_empty());
+        assert!(f.ring.is_empty());
+    }
+
+    #[test]
+    fn dump_count_is_bounded() {
+        let mut f = FlightRecorder::new(2, true);
+        f.push("a".to_owned());
+        for i in 0..(MAX_FLIGHT_DUMPS as u64 + 4) {
+            f.dump("degraded_mode", i);
+        }
+        assert_eq!(f.dumps().len(), MAX_FLIGHT_DUMPS);
+        assert_eq!(f.dumps()[0].at_s, 4); // oldest evicted
+    }
+}

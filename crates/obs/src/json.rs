@@ -137,6 +137,42 @@ mod tests {
     }
 
     #[test]
+    fn every_non_finite_value_becomes_null() {
+        // Pins the contract: JSON has no NaN/∞ tokens, so all three
+        // non-finite values (and both NaN sign bits) serialize as null.
+        for v in [f64::NAN, -f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut s = String::new();
+            f64_into(&mut s, v);
+            assert_eq!(s, "null", "{v} must serialize as null");
+        }
+        let mut s = String::new();
+        f64_into(&mut s, -0.0);
+        assert_eq!(s, "-0", "negative zero is finite and keeps its sign");
+    }
+
+    #[test]
+    fn all_control_characters_are_escaped() {
+        // Pins the contract: U+0000–U+001F never appear raw in output.
+        // The common whitespace controls use their short escapes, the
+        // rest the \u00XX form; U+0020 and above pass through.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let mut s = String::new();
+            escape_into(&mut s, &c.to_string());
+            let expected = match c {
+                '\n' => "\\n".to_owned(),
+                '\r' => "\\r".to_owned(),
+                '\t' => "\\t".to_owned(),
+                _ => format!("\\u{code:04x}"),
+            };
+            assert_eq!(s, expected, "U+{code:04X} must be escaped");
+        }
+        let mut s = String::new();
+        escape_into(&mut s, "\u{0000}lo\u{001f}hi\u{0020}");
+        assert_eq!(s, "\\u0000lo\\u001fhi ");
+    }
+
+    #[test]
     fn empty_object() {
         assert_eq!(JsonLine::new().finish(), "{}");
     }

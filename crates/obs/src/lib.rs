@@ -4,9 +4,12 @@
 //! captured by sensors, system log trace, and various aging metrics …
 //! in real time". This crate is the reproduction's equivalent
 //! substrate: a metric registry ([`Obs`], [`Counter`], [`Gauge`],
-//! [`Histogram`]), a per-stage step profiler ([`Stage`], [`StageTimer`])
-//! and a dependency-free JSONL encoder ([`json`]) used by every
-//! subsystem to export metrics, events and traces.
+//! [`Histogram`]), a per-stage step profiler ([`Stage`], [`StageTimer`]),
+//! causal trace spans ([`Tracer`], [`SpanId`]), an aging-health monitor
+//! with flight recorder ([`HealthMonitor`], [`FlightRecorder`]), an
+//! OpenMetrics text exporter ([`openmetrics`]) and a dependency-free
+//! JSONL encoder ([`json`]) used by every subsystem to export metrics,
+//! events and traces.
 //!
 //! Two invariants shape the design:
 //!
@@ -21,16 +24,27 @@
 //!
 //! Wall-clock stage timings are inherently non-reproducible and are
 //! therefore kept out of reports and golden snapshots; only call counts
-//! and domain counters are deterministic.
+//! and domain counters are deterministic. Trace spans and health events
+//! are stamped with *simulated* seconds and numbered sequentially, so —
+//! unlike stage timings — their exports are byte-reproducible for a
+//! seeded run.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod health;
 pub mod json;
+pub mod openmetrics;
 pub mod profile;
 pub mod registry;
+pub mod trace;
 
+pub use health::{
+    FlightDump, FlightRecorder, HealthCheck, HealthConfig, HealthEvent, HealthMonitor,
+    NodeHealthSample, MAX_FLIGHT_DUMPS,
+};
 pub use profile::{Stage, StageClock, StageStats, StageTimer};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSample, MetricSample, Obs, SampleValue, HISTOGRAM_BUCKETS,
 };
+pub use trace::{AttrValue, SpanId, SpanRecord, Tracer};

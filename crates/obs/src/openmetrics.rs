@@ -1,0 +1,160 @@
+//! OpenMetrics-style text exporter for the metric registry.
+//!
+//! Renders the [`Obs`] snapshot in the OpenMetrics text format so the
+//! registry can be scraped (or golden-snapshot checked) without any
+//! JSONL-aware tooling: a `# TYPE` line per metric family, `_total`
+//! samples for counters, cumulative `_bucket{le="…"}` series plus
+//! `_sum`/`_count` for histograms, and a closing `# EOF`.
+//!
+//! Metric names are sanitized to the OpenMetrics charset: every
+//! character outside `[a-zA-Z0-9_:]` (the registry uses dots) maps to
+//! `_`.
+
+use crate::registry::{Obs, SampleValue};
+
+/// Maps a registry metric name onto the OpenMetrics charset.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Formats a float the OpenMetrics way (`+Inf`/`-Inf`/`NaN` tokens).
+fn number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Obs {
+    /// Renders the metric snapshot in the OpenMetrics text format.
+    ///
+    /// Deterministic: families are emitted in snapshot (name) order and
+    /// values use Rust's shortest-roundtrip float formatting, so a
+    /// seeded run produces a byte-identical export.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use baat_obs::Obs;
+    ///
+    /// let obs = Obs::enabled();
+    /// obs.counter("sim.actions.applied").add(3);
+    /// let text = obs.metrics_openmetrics();
+    /// assert!(text.contains("sim_actions_applied_total 3\n"));
+    /// assert!(text.ends_with("# EOF\n"));
+    /// ```
+    pub fn metrics_openmetrics(&self) -> String {
+        let mut out = String::new();
+        for sample in self.snapshot() {
+            let name = sanitize(&sample.name);
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                    out.push_str(&format!("{name}_total {v}\n"));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                    out.push_str(&format!("{name} {}\n", number(*v)));
+                }
+                SampleValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    // Registry buckets are disjoint; OpenMetrics wants
+                    // cumulative counts per upper bound.
+                    let mut cumulative = 0u64;
+                    for (i, &count) in h.buckets.iter().enumerate() {
+                        if count == 0 {
+                            continue;
+                        }
+                        cumulative += count;
+                        let bound = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum));
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                }
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gain_the_total_suffix() {
+        let obs = Obs::enabled();
+        obs.counter("sim.steps").add(42);
+        let text = obs.metrics_openmetrics();
+        assert!(text.contains("# TYPE sim_steps counter\n"));
+        assert!(text.contains("sim_steps_total 42\n"));
+    }
+
+    #[test]
+    fn gauges_render_plain_values() {
+        let obs = Obs::enabled();
+        obs.gauge("battery.soc").set(0.75);
+        let text = obs.metrics_openmetrics();
+        assert!(text.contains("# TYPE battery_soc gauge\n"));
+        assert!(text.contains("battery_soc 0.75\n"));
+    }
+
+    #[test]
+    fn non_finite_gauges_use_openmetrics_tokens() {
+        let obs = Obs::enabled();
+        obs.gauge("a").set(f64::NAN);
+        obs.gauge("b").set(f64::INFINITY);
+        obs.gauge("c").set(f64::NEG_INFINITY);
+        let text = obs.metrics_openmetrics();
+        assert!(text.contains("a NaN\n"));
+        assert!(text.contains("b +Inf\n"));
+        assert!(text.contains("c -Inf\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let obs = Obs::enabled();
+        let h = obs.histogram("sizes");
+        for v in [0, 1, 2, 3, 1024] {
+            h.observe(v);
+        }
+        let text = obs.metrics_openmetrics();
+        assert!(text.contains("# TYPE sizes histogram\n"));
+        assert!(text.contains("sizes_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("sizes_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("sizes_bucket{le=\"2\"} 4\n"));
+        assert!(text.contains("sizes_bucket{le=\"1024\"} 5\n"));
+        assert!(text.contains("sizes_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("sizes_sum 1030\n"));
+        assert!(text.contains("sizes_count 5\n"));
+    }
+
+    #[test]
+    fn export_always_ends_with_eof() {
+        assert_eq!(Obs::disabled().metrics_openmetrics(), "# EOF\n");
+        assert!(Obs::enabled().metrics_openmetrics().ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize("sim.fallback.actions"), "sim_fallback_actions");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("ok_name:sub"), "ok_name:sub");
+    }
+}

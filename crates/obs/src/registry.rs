@@ -15,7 +15,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::health::{FlightDump, HealthEvent};
 use crate::profile::{Stage, StageStats};
+use crate::trace::TraceStore;
 
 /// Number of power-of-two histogram buckets (bucket `i` counts samples
 /// `< 2^i`, the last bucket is a catch-all).
@@ -61,6 +63,9 @@ pub(crate) struct StageCell {
 pub(crate) struct Inner {
     metrics: Mutex<Vec<(String, MetricCell)>>,
     pub(crate) stages: [StageCell; Stage::COUNT],
+    pub(crate) trace: TraceStore,
+    pub(crate) health_events: Mutex<Vec<HealthEvent>>,
+    pub(crate) flight_dumps: Mutex<Vec<FlightDump>>,
 }
 
 impl Inner {
@@ -71,6 +76,9 @@ impl Inner {
                 calls: AtomicU64::new(0),
                 total_ns: AtomicU64::new(0),
             }),
+            trace: TraceStore::default(),
+            health_events: Mutex::new(Vec::new()),
+            flight_dumps: Mutex::new(Vec::new()),
         }
     }
 }

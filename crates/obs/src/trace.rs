@@ -1,0 +1,344 @@
+//! Causal trace spans.
+//!
+//! A span is a named interval of simulated time with an optional causal
+//! parent and a small set of key/value attributes. Spans let the engine
+//! link a whole causal chain — `fault → degraded mode → fallback action
+//! → aging delta` — into one trace that can be walked by id, exported as
+//! JSONL alongside the metrics, and diffed across runs.
+//!
+//! The module follows the two crate invariants:
+//!
+//! 1. **Free when disabled.** A [`Tracer`] obtained from a disabled
+//!    [`Obs`] starts no spans: [`Tracer::start`] returns
+//!    [`SpanId::NONE`] without allocating or locking, and every other
+//!    operation on a `NONE` id is a no-op.
+//! 2. **Deterministic when enabled.** Span ids are handed out by a
+//!    sequential counter and timestamps are *simulated* seconds, never
+//!    wall clock, so a seeded run produces a byte-identical span export.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::JsonLine;
+use crate::registry::Obs;
+
+/// Identifier of one span within a [`Tracer`].
+///
+/// Id `0` is the reserved "no span" sentinel ([`SpanId::NONE`]); real
+/// spans are numbered sequentially from 1 in creation order, so a parent
+/// id is always smaller than any of its children's ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The "no span" sentinel: used as the parent of root spans and
+    /// returned by every operation on a disabled tracer.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// `true` for the sentinel id.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw numeric id (0 for the sentinel).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One attribute value attached to a span.
+///
+/// String attributes are `&'static str` on purpose: every producer in
+/// the engine attaches stable names (fault kinds, DVFS levels, charge
+/// stages), and keeping them static makes attribute attachment
+/// allocation-free on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer attribute.
+    U64(u64),
+    /// Floating-point attribute (non-finite values export as `null`).
+    F64(f64),
+    /// Static string attribute.
+    Str(&'static str),
+    /// Boolean attribute.
+    Bool(bool),
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Sequential id (1-based).
+    pub id: u64,
+    /// Causal parent id, if any.
+    pub parent: Option<u64>,
+    /// Stable span name (e.g. `fault`, `degraded`, `fallback.action`).
+    pub name: &'static str,
+    /// Simulated start time, seconds since the run began.
+    pub start_s: u64,
+    /// Simulated end time; `None` while the span is still open.
+    pub end_s: Option<u64>,
+    /// Attributes in attachment order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Serializes the span as one JSON object line.
+    ///
+    /// Core fields (`span`, `name`, `start_s`, then optional `parent`
+    /// and `end_s`) come first; attributes follow flattened, in
+    /// attachment order. Producers keep attribute keys disjoint from
+    /// the core field names.
+    pub fn to_json(&self) -> String {
+        let mut line = JsonLine::new();
+        line.u64_field("span", self.id)
+            .str_field("name", self.name)
+            .u64_field("start_s", self.start_s);
+        if let Some(parent) = self.parent {
+            line.u64_field("parent", parent);
+        }
+        if let Some(end) = self.end_s {
+            line.u64_field("end_s", end);
+        }
+        for (key, value) in &self.attrs {
+            match value {
+                AttrValue::U64(v) => line.u64_field(key, *v),
+                AttrValue::F64(v) => line.f64_field(key, *v),
+                AttrValue::Str(v) => line.str_field(key, v),
+                AttrValue::Bool(v) => line.bool_field(key, *v),
+            };
+        }
+        line.finish()
+    }
+}
+
+/// Span storage shared by all [`Tracer`] clones of one [`Obs`].
+#[derive(Debug, Default)]
+pub(crate) struct TraceStore {
+    next_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl TraceStore {
+    fn with_span<R>(&self, id: SpanId, f: impl FnOnce(&mut SpanRecord) -> R) -> Option<R> {
+        if id.is_none() {
+            return None;
+        }
+        let mut spans = self
+            .spans
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Ids are handed out sequentially, so id N lives at index N-1.
+        spans.get_mut(id.0 as usize - 1).map(f)
+    }
+}
+
+/// Handle for emitting spans.
+///
+/// Cheap to clone (it shares the [`Obs`] storage) and inert when the
+/// originating `Obs` was disabled. Subsystems keep a `Tracer` next to
+/// their metric handles instead of threading an `Obs` through every
+/// call.
+///
+/// # Examples
+///
+/// ```
+/// use baat_obs::{Obs, SpanId};
+///
+/// let obs = Obs::enabled();
+/// let tracer = obs.tracer();
+/// let fault = tracer.start("fault", SpanId::NONE, 100);
+/// let degraded = tracer.start("degraded", fault, 400);
+/// tracer.attr_u64(degraded, "node", 3);
+/// tracer.end(degraded, 700);
+/// tracer.end(fault, 900);
+/// assert_eq!(obs.spans().len(), 2);
+/// assert_eq!(obs.spans()[1].parent, Some(fault.raw()));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<std::sync::Arc<crate::registry::Inner>>,
+}
+
+impl Tracer {
+    /// A permanently inert tracer, for contexts built without an
+    /// [`Obs`].
+    pub const fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// `true` if this tracer records spans.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a span at simulated second `at_s`. Pass
+    /// [`SpanId::NONE`] as `parent` for a root span. Returns
+    /// [`SpanId::NONE`] (without allocating) when disabled.
+    pub fn start(&self, name: &'static str, parent: SpanId, at_s: u64) -> SpanId {
+        let Some(inner) = self.inner.as_ref() else {
+            return SpanId::NONE;
+        };
+        let store = &inner.trace;
+        let id = store.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let record = SpanRecord {
+            id,
+            parent: (!parent.is_none()).then_some(parent.0),
+            name,
+            start_s: at_s,
+            end_s: None,
+            attrs: Vec::new(),
+        };
+        let mut spans = store
+            .spans
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        spans.push(record);
+        SpanId(id)
+    }
+
+    /// Ends a span at simulated second `at_s`. No-op on
+    /// [`SpanId::NONE`] or an unknown id.
+    pub fn end(&self, id: SpanId, at_s: u64) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner.trace.with_span(id, |span| span.end_s = Some(at_s));
+        }
+    }
+
+    fn attr(&self, id: SpanId, key: &'static str, value: AttrValue) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner
+                .trace
+                .with_span(id, |span| span.attrs.push((key, value)));
+        }
+    }
+
+    /// Attaches an unsigned integer attribute.
+    pub fn attr_u64(&self, id: SpanId, key: &'static str, value: u64) {
+        self.attr(id, key, AttrValue::U64(value));
+    }
+
+    /// Attaches a floating-point attribute.
+    pub fn attr_f64(&self, id: SpanId, key: &'static str, value: f64) {
+        self.attr(id, key, AttrValue::F64(value));
+    }
+
+    /// Attaches a static string attribute.
+    pub fn attr_str(&self, id: SpanId, key: &'static str, value: &'static str) {
+        self.attr(id, key, AttrValue::Str(value));
+    }
+
+    /// Attaches a boolean attribute.
+    pub fn attr_bool(&self, id: SpanId, key: &'static str, value: bool) {
+        self.attr(id, key, AttrValue::Bool(value));
+    }
+}
+
+impl Obs {
+    /// A [`Tracer`] sharing this context's span storage (inert when the
+    /// context is disabled).
+    pub fn tracer(&self) -> Tracer {
+        Tracer {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Snapshot of every recorded span, in creation (id) order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let Some(inner) = self.inner.as_ref() else {
+            return Vec::new();
+        };
+        inner
+            .trace
+            .spans
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// Renders the span snapshot as JSONL (one span per line).
+    pub fn spans_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in self.spans() {
+            out.push_str(&span.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_parents_attrs_and_times() {
+        let obs = Obs::enabled();
+        let t = obs.tracer();
+        let root = t.start("fault", SpanId::NONE, 10);
+        t.attr_str(root, "fault", "sensor_dropout");
+        let child = t.start("degraded", root, 40);
+        t.attr_u64(child, "node", 2);
+        t.attr_f64(child, "staleness_s", 330.0);
+        t.attr_bool(child, "active", true);
+        t.end(child, 90);
+        t.end(root, 100);
+
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].id, 1);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].end_s, Some(100));
+        assert_eq!(spans[1].parent, Some(1));
+        assert_eq!(spans[1].start_s, 40);
+        assert_eq!(spans[1].attrs.len(), 3);
+    }
+
+    #[test]
+    fn span_jsonl_is_stable() {
+        let obs = Obs::enabled();
+        let t = obs.tracer();
+        let root = t.start("fault", SpanId::NONE, 10);
+        let child = t.start("degraded", root, 40);
+        t.attr_u64(child, "node", 2);
+        t.end(child, 90);
+        let jsonl = obs.spans_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"span\":1,\"name\":\"fault\",\"start_s\":10}\n\
+             {\"span\":2,\"name\":\"degraded\",\"start_s\":40,\"parent\":1,\"end_s\":90,\"node\":2}\n"
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let obs = Obs::disabled();
+        let t = obs.tracer();
+        assert!(!t.is_enabled());
+        let id = t.start("fault", SpanId::NONE, 0);
+        assert!(id.is_none());
+        t.attr_u64(id, "k", 1);
+        t.end(id, 5);
+        assert!(obs.spans().is_empty());
+        assert!(obs.spans_jsonl().is_empty());
+    }
+
+    #[test]
+    fn unknown_and_none_ids_are_ignored() {
+        let obs = Obs::enabled();
+        let t = obs.tracer();
+        t.end(SpanId::NONE, 1);
+        t.attr_u64(SpanId(99), "k", 1); // never started
+        assert!(obs.spans().is_empty());
+    }
+
+    #[test]
+    fn ids_are_sequential_across_tracer_clones() {
+        let obs = Obs::enabled();
+        let a = obs.tracer();
+        let b = obs.tracer();
+        let s1 = a.start("x", SpanId::NONE, 0);
+        let s2 = b.start("y", SpanId::NONE, 1);
+        assert_eq!(s1.raw(), 1);
+        assert_eq!(s2.raw(), 2);
+    }
+}

@@ -108,6 +108,10 @@ pub struct SimConfig {
     pub sensor_noise: NoiseSpec,
     /// Record one trace sample every this many steps.
     pub sample_every: usize,
+    /// Upper bound on stored trace rows (`None` = unbounded). When the
+    /// cap is reached the recorder halves its resolution in place, so
+    /// long sweeps keep bounded memory without losing the run's span.
+    pub max_trace_rows: Option<usize>,
     /// Scheduled fault injections (empty by default: a clean run).
     pub faults: FaultPlan,
     /// Master RNG seed (weather, workloads, sensors, manufacturing).
@@ -175,6 +179,7 @@ impl Default for SimConfigBuilder {
                 ambient: Celsius::new(25.0),
                 sensor_noise: NoiseSpec::default(),
                 sample_every: 6,
+                max_trace_rows: None,
                 faults: FaultPlan::default(),
                 seed: 42,
             },
@@ -277,6 +282,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Caps the stored trace rows (downsampling in place when hit).
+    pub fn max_trace_rows(&mut self, rows: usize) -> &mut Self {
+        self.config.max_trace_rows = Some(rows);
+        self
+    }
+
     /// Sets the fault-injection plan (validated against the topology in
     /// [`SimConfigBuilder::build`]).
     pub fn faults(&mut self, plan: FaultPlan) -> &mut Self {
@@ -327,6 +338,12 @@ impl SimConfigBuilder {
             return Err(SimError::InvalidConfig {
                 field: "sample_every",
                 reason: "sampling stride must be positive".to_owned(),
+            });
+        }
+        if c.max_trace_rows.is_some_and(|rows| rows < 2) {
+            return Err(SimError::InvalidConfig {
+                field: "max_trace_rows",
+                reason: "trace-row cap must keep at least two rows".to_owned(),
             });
         }
         if let BatteryTopology::SharedPool { pools } = c.topology {
@@ -382,6 +399,8 @@ mod tests {
             .build()
             .is_err());
         assert!(SimConfig::builder().sample_every(0).build().is_err());
+        assert!(SimConfig::builder().max_trace_rows(1).build().is_err());
+        assert!(SimConfig::builder().max_trace_rows(2).build().is_ok());
     }
 
     #[test]

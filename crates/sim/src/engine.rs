@@ -23,9 +23,12 @@
 use std::collections::VecDeque;
 
 use baat_battery::{AgingObs, BatteryOp, BatteryPack, DamageBreakdown};
-use baat_faults::{FaultInjector, FaultPlan};
+use baat_faults::{FaultInjector, FaultKind, FaultPlan};
 use baat_metrics::{AgingMetrics, BatteryRatings};
-use baat_obs::{Counter, Gauge, Histogram, Obs, Stage, StageClock};
+use baat_obs::{
+    Counter, FlightRecorder, Gauge, HealthConfig, HealthMonitor, Histogram, NodeHealthSample, Obs,
+    SpanId, Stage, StageClock, Tracer,
+};
 use baat_power::{
     BatterySensor, Charger, PowerSwitcher, PowerTable, Routing, ServerPowerRecord, StageTracker,
 };
@@ -36,7 +39,7 @@ use baat_workload::{Arrival, Vm, WorkloadGenerator, WorkloadKind};
 
 use crate::config::SimConfig;
 use crate::error::SimError;
-use crate::events::{Event, EventLog};
+use crate::events::{Event, EventLog, TimedEvent};
 use crate::fallback::{FallbackInput, FallbackScheme};
 use crate::policy::{Action, ActionOutcome, ActionResult, ControlCtx, Policy, RejectReason};
 use crate::recorder::{Recorder, TraceRow};
@@ -60,6 +63,10 @@ const RESTART_DWELL: SimDuration = SimDuration::from_minutes(5);
 /// SoC margin above the floor required to restart a node on battery: the
 /// battery must have recovered meaningfully, or the node flaps.
 const RESTART_SOC_MARGIN: f64 = 0.45;
+
+/// Lines the flight recorder's ring retains (recent telemetry rows,
+/// events and health transitions preceding a post-mortem trigger).
+const FLIGHT_RING_CAP: usize = 256;
 
 /// Engine-level metric handles, all inert when observation is disabled.
 #[derive(Debug, Clone)]
@@ -219,6 +226,25 @@ pub struct Simulation {
     /// Conservative actions for degraded nodes.
     fallback: FallbackScheme,
     fault_counters: FaultCounters,
+    /// Span emitter sharing the obs store; inert when obs is disabled,
+    /// and unaffected by the `step()` obs swap.
+    tracer: Tracer,
+    /// Per-node rule-based aging-health monitor, evaluated at the
+    /// control cadence. Inert when obs is disabled.
+    health: HealthMonitor,
+    /// Bounded ring of recent JSONL lines, dumped on degraded-mode
+    /// entry and server shutdown. Inert when obs is disabled.
+    flight: FlightRecorder,
+    /// Cumulative charger mode switches per bank (engine-counted so the
+    /// health monitor's thrash check never reads metric atomics).
+    mode_switches: Vec<u64>,
+    /// Open trace span per active fault (empty when tracing is off).
+    active_fault_spans: Vec<(FaultKind, SpanId)>,
+    /// Open degraded-mode span per node (`NONE` while healthy).
+    degraded_spans: Vec<SpanId>,
+    /// Degraded-entry snapshot per node — entry instant and aging
+    /// breakdown — for the exit span's per-mechanism aging delta.
+    degraded_enter: Vec<Option<(SimInstant, DamageBreakdown)>>,
     /// Steps per control interval (≥ 1), hoisted out of the step loop.
     control_steps: u64,
     /// Per-bank PV share (`members[b].len() / nodes`), hoisted out of the
@@ -326,6 +352,11 @@ impl Simulation {
             .iter()
             .map(|m| m.len() as f64 / nodes as f64)
             .collect();
+        let tracer = obs.tracer();
+        let health = HealthMonitor::new(HealthConfig::default(), &obs);
+        let flight = FlightRecorder::new(FLIGHT_RING_CAP, obs.is_enabled());
+        let total_steps = config.days() as u64 * 86_400 / config.dt.as_secs();
+        let rows_hint = (total_steps / config.sample_every as u64).saturating_add(1) as usize;
         Ok(Self {
             banks,
             bank_of,
@@ -339,7 +370,7 @@ impl Simulation {
             power_table: PowerTable::new(nodes),
             generator: WorkloadGenerator::new(config.seed ^ 0x10AD),
             events: EventLog::new(),
-            recorder: Recorder::new(),
+            recorder: Recorder::with_limits(rows_hint, config.max_trace_rows),
             now: SimInstant::START,
             step_index: 0,
             soc_floors: vec![Soc::EMPTY; banks],
@@ -367,6 +398,13 @@ impl Simulation {
             degraded: vec![false; nodes],
             fallback: FallbackScheme::new(),
             fault_counters,
+            tracer,
+            health,
+            flight,
+            mode_switches: vec![0; banks],
+            active_fault_spans: Vec::new(),
+            degraded_spans: vec![SpanId::NONE; nodes],
+            degraded_enter: vec![None; nodes],
             control_steps,
             solar_shares,
             scratch: StepScratch::default(),
@@ -417,6 +455,12 @@ impl Simulation {
     /// The observability context the engine records into.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// The aging-health monitor — the live per-node check state that
+    /// `console watch` renders between step batches.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
     }
 
     /// Runs the configured weather plan to completion under `policy` and
@@ -625,6 +669,9 @@ impl Simulation {
             if !self.injector.is_idle() {
                 self.update_degradation();
             }
+            let control_span =
+                self.tracer
+                    .start("policy.control", SpanId::NONE, self.now.as_secs());
             let actions = {
                 let _t = obs.time(Stage::PolicyControl);
                 for host in self.cluster.hosts_mut() {
@@ -644,8 +691,24 @@ impl Simulation {
                 .actions_per_interval
                 .observe(actions.len() as u64);
             self.last_outcomes = self.apply_actions(actions);
+            if !control_span.is_none() {
+                self.tracer.attr_str(control_span, "policy", policy.name());
+                self.tracer
+                    .attr_u64(control_span, "actions", self.last_outcomes.len() as u64);
+                let rejected = self
+                    .last_outcomes
+                    .iter()
+                    .filter(|o| o.is_rejected())
+                    .count();
+                self.tracer
+                    .attr_u64(control_span, "rejected", rejected as u64);
+                self.tracer.end(control_span, self.now.as_secs());
+            }
             if !self.injector.is_idle() {
                 self.run_fallback()?;
+            }
+            if self.health.is_enabled() {
+                self.observe_health()?;
             }
             {
                 let _t = obs.time(Stage::Placement);
@@ -691,13 +754,33 @@ impl Simulation {
         Ok(())
     }
 
+    /// Appends `event` to the log and mirrors it into the flight ring,
+    /// dumping the ring on post-mortem triggers (degraded-mode entry,
+    /// server shutdown). An associated fn over disjoint fields so call
+    /// sites may hold other `&self` borrows.
+    fn log_event(events: &mut EventLog, flight: &mut FlightRecorder, at: SimInstant, event: Event) {
+        if flight.is_enabled() {
+            flight.push(TimedEvent { at, event }.to_json());
+            match event {
+                Event::DegradedMode { active: true, .. } => {
+                    flight.dump("degraded_mode", at.as_secs());
+                }
+                Event::ServerShutdown { .. } => flight.dump("server_shutdown", at.as_secs()),
+                _ => {}
+            }
+        }
+        events.push(at, event);
+    }
+
     fn start_day(&mut self, day: u64) {
         self.started_day = Some(day);
         // Jobs still queued from yesterday are reported once and carried
         // over.
         for _ in 0..self.pending.len() {
             self.counters.placements_failed.inc();
-            self.events.push(
+            Self::log_event(
+                &mut self.events,
+                &mut self.flight,
                 self.now,
                 Event::PlacementFailed {
                     node: self.config.nodes,
@@ -725,12 +808,41 @@ impl Simulation {
         for t in self.injector.begin_step(self.now) {
             if t.entered {
                 self.fault_counters.injected.inc();
-                self.events
-                    .push(self.now, Event::FaultInjected { fault: t.kind });
+                // Root span of the causal chain: degraded-mode and
+                // fallback spans downstream parent onto it.
+                let span = self.tracer.start("fault", SpanId::NONE, self.now.as_secs());
+                if !span.is_none() {
+                    self.tracer.attr_str(span, "kind", t.kind.name());
+                    if let Some(target) = t.kind.target() {
+                        self.tracer.attr_u64(span, "target", target as u64);
+                    }
+                    if let Some(param) = t.kind.param() {
+                        self.tracer.attr_f64(span, "param", param);
+                    }
+                    self.active_fault_spans.push((t.kind, span));
+                }
+                Self::log_event(
+                    &mut self.events,
+                    &mut self.flight,
+                    self.now,
+                    Event::FaultInjected { fault: t.kind },
+                );
             } else {
                 self.fault_counters.cleared.inc();
-                self.events
-                    .push(self.now, Event::FaultCleared { fault: t.kind });
+                if let Some(pos) = self
+                    .active_fault_spans
+                    .iter()
+                    .position(|&(kind, _)| kind == t.kind)
+                {
+                    let (_, span) = self.active_fault_spans.remove(pos);
+                    self.tracer.end(span, self.now.as_secs());
+                }
+                Self::log_event(
+                    &mut self.events,
+                    &mut self.flight,
+                    self.now,
+                    Event::FaultCleared { fault: t.kind },
+                );
             }
         }
         self.fault_counters
@@ -743,8 +855,12 @@ impl Simulation {
                 self.cluster.host_mut(i)?.power_off();
                 self.offline_since[i] = Some(self.now);
                 self.counters.shutdowns.inc();
-                self.events
-                    .push(self.now, Event::ServerShutdown { node: i });
+                Self::log_event(
+                    &mut self.events,
+                    &mut self.flight,
+                    self.now,
+                    Event::ServerShutdown { node: i },
+                );
             }
         }
         Ok(())
@@ -763,7 +879,14 @@ impl Simulation {
             };
             if stale != self.degraded[i] {
                 self.degraded[i] = stale;
-                self.events.push(
+                if stale {
+                    self.open_degraded_span(i);
+                } else {
+                    self.close_degraded_span(i);
+                }
+                Self::log_event(
+                    &mut self.events,
+                    &mut self.flight,
                     self.now,
                     Event::DegradedMode {
                         node: i,
@@ -775,6 +898,85 @@ impl Simulation {
         let count = self.degraded.iter().filter(|&&d| d).count();
         self.fault_counters.degraded_nodes.set(count as f64);
         self.fault_counters.degraded_intervals.add(count as u64);
+    }
+
+    /// Opens node `i`'s degraded-mode span, parented to the active fault
+    /// most plausibly responsible for its stale telemetry, and snapshots
+    /// the battery's aging breakdown for the exit delta.
+    fn open_degraded_span(&mut self, i: usize) {
+        let bank = self.bank_of[i];
+        let span = self.tracer.start(
+            "degraded",
+            self.telemetry_fault_span(bank),
+            self.now.as_secs(),
+        );
+        if span.is_none() {
+            return;
+        }
+        self.tracer.attr_u64(span, "node", i as u64);
+        self.degraded_spans[i] = span;
+        self.degraded_enter[i] = self
+            .batteries
+            .unit(bank)
+            .ok()
+            .map(|b| (self.now, *b.aging().breakdown()));
+    }
+
+    /// Closes node `i`'s degraded-mode span, first attaching an
+    /// `aging.delta` child quantifying per-mechanism damage accrued
+    /// while the node ran blind.
+    fn close_degraded_span(&mut self, i: usize) {
+        let span = std::mem::replace(&mut self.degraded_spans[i], SpanId::NONE);
+        if span.is_none() {
+            return;
+        }
+        let now_s = self.now.as_secs();
+        if let Some((since, before)) = self.degraded_enter[i].take() {
+            if let Ok(battery) = self.batteries.unit(self.bank_of[i]) {
+                let after = battery.aging().breakdown();
+                let delta = self.tracer.start("aging.delta", span, now_s);
+                self.tracer.attr_u64(delta, "node", i as u64);
+                self.tracer
+                    .attr_u64(delta, "degraded_s", now_s.saturating_sub(since.as_secs()));
+                self.tracer
+                    .attr_f64(delta, "corrosion", after.corrosion - before.corrosion);
+                self.tracer
+                    .attr_f64(delta, "shedding", after.shedding - before.shedding);
+                self.tracer
+                    .attr_f64(delta, "sulphation", after.sulphation - before.sulphation);
+                self.tracer
+                    .attr_f64(delta, "water_loss", after.water_loss - before.water_loss);
+                self.tracer.attr_f64(
+                    delta,
+                    "stratification",
+                    after.stratification - before.stratification,
+                );
+                self.tracer.end(delta, now_s);
+            }
+        }
+        self.tracer.end(span, now_s);
+    }
+
+    /// The open fault span most plausibly responsible for stale
+    /// telemetry on `bank`: a sensor dropout or stuck-at fault on that
+    /// bank if one is active, else any active fault targeting the bank.
+    fn telemetry_fault_span(&self, bank: usize) -> SpanId {
+        let mut fallback = SpanId::NONE;
+        for &(kind, span) in &self.active_fault_spans {
+            match kind {
+                FaultKind::SensorDropout { bank: b } | FaultKind::SensorStuckAt { bank: b }
+                    if b == bank =>
+                {
+                    return span;
+                }
+                _ => {
+                    if kind.target() == Some(bank) && fallback.is_none() {
+                        fallback = span;
+                    }
+                }
+            }
+        }
+        fallback
     }
 
     /// Issues the conservative fallback actions for degraded nodes
@@ -798,8 +1000,52 @@ impl Simulation {
             .fallback_actions
             .add(actions.len() as u64);
         let outcomes = self.apply_actions(actions);
+        if self.tracer.is_enabled() {
+            self.trace_fallback_outcomes(&outcomes);
+        }
         self.fallback.record_outcomes(&outcomes);
         Ok(())
+    }
+
+    /// Emits one `fallback.action` span per outcome, parented to the
+    /// target node's open degraded-mode span — completing the causal
+    /// chain from fault injection to conservative actuation.
+    fn trace_fallback_outcomes(&mut self, outcomes: &[ActionOutcome]) {
+        let now_s = self.now.as_secs();
+        for outcome in outcomes {
+            let node = match outcome.action {
+                Action::SetDvfs { node, .. } | Action::SetSocFloor { node, .. } => Some(node),
+                Action::Migrate { .. } => None,
+            };
+            let parent = node
+                .and_then(|n| self.degraded_spans.get(n).copied())
+                .unwrap_or(SpanId::NONE);
+            let span = self.tracer.start("fallback.action", parent, now_s);
+            if let Some(node) = node {
+                self.tracer.attr_u64(span, "node", node as u64);
+            }
+            match outcome.action {
+                Action::SetDvfs { level, .. } => {
+                    self.tracer.attr_str(span, "action", "set_dvfs");
+                    self.tracer.attr_str(span, "level", level.name());
+                }
+                Action::Migrate { .. } => {
+                    self.tracer.attr_str(span, "action", "migrate");
+                }
+                Action::SetSocFloor { floor, .. } => {
+                    self.tracer.attr_str(span, "action", "set_soc_floor");
+                    self.tracer.attr_f64(span, "floor", floor.value());
+                }
+            }
+            match outcome.result {
+                ActionResult::Applied => self.tracer.attr_str(span, "outcome", "applied"),
+                ActionResult::Rejected(reason) => {
+                    self.tracer.attr_str(span, "outcome", "rejected");
+                    self.tracer.attr_str(span, "reason", reason.name());
+                }
+            }
+            self.tracer.end(span, now_s);
+        }
     }
 
     /// Attempts to place a VM; returns it back if no node can take it.
@@ -862,8 +1108,12 @@ impl Simulation {
                     Ok(host) => {
                         if host.dvfs() != level {
                             host.set_dvfs(level);
-                            self.events
-                                .push(self.now, Event::DvfsChanged { node, level });
+                            Self::log_event(
+                                &mut self.events,
+                                &mut self.flight,
+                                self.now,
+                                Event::DvfsChanged { node, level },
+                            );
                         }
                         ActionResult::Applied
                     }
@@ -877,7 +1127,9 @@ impl Simulation {
                     match self.cluster.begin_migration(vm, ServerId(target), self.now) {
                         Ok(()) => {
                             self.counters.migrations_started.inc();
-                            self.events.push(
+                            Self::log_event(
+                                &mut self.events,
+                                &mut self.flight,
                                 self.now,
                                 Event::MigrationStarted {
                                     vm,
@@ -895,8 +1147,12 @@ impl Simulation {
                         let bank = self.bank_of[node];
                         if self.soc_floors[bank] != floor {
                             self.soc_floors[bank] = floor;
-                            self.events
-                                .push(self.now, Event::SocFloorChanged { node, floor });
+                            Self::log_event(
+                                &mut self.events,
+                                &mut self.flight,
+                                self.now,
+                                Event::SocFloorChanged { node, floor },
+                            );
                         }
                         ActionResult::Applied
                     } else {
@@ -909,7 +1165,12 @@ impl Simulation {
                 ActionResult::Rejected(_) => self.counters.actions_rejected.inc(),
             }
             let outcome = ActionOutcome { action, result };
-            self.events.push(self.now, Event::Action { outcome });
+            Self::log_event(
+                &mut self.events,
+                &mut self.flight,
+                self.now,
+                Event::Action { outcome },
+            );
             outcomes.push(outcome);
         }
         outcomes
@@ -934,6 +1195,57 @@ impl Simulation {
         Ok(battery.available_discharge_power().min(cap))
     }
 
+    /// Observes bank `b`'s charge stage, counting mode switches (input
+    /// to the health monitor's thrash check) and emitting a
+    /// `charger.mode` span per transition.
+    fn observe_charge_stage(&mut self, b: usize, soc: Soc) {
+        let stage = self.chargers[b].stage(soc);
+        let prev = self.stage_trackers[b].last();
+        self.stage_trackers[b].observe(stage);
+        if let Some(prev) = prev {
+            if prev != stage {
+                self.mode_switches[b] += 1;
+                let span = self
+                    .tracer
+                    .start("charger.mode", SpanId::NONE, self.now.as_secs());
+                if !span.is_none() {
+                    self.tracer.attr_u64(span, "bank", b as u64);
+                    self.tracer.attr_str(span, "from", prev.name());
+                    self.tracer.attr_str(span, "to", stage.name());
+                    self.tracer.end(span, self.now.as_secs());
+                }
+            }
+        }
+    }
+
+    /// Feeds the health monitor one sample per node and evaluates the
+    /// checks, mirroring fresh transitions into the flight ring. Called
+    /// at the control cadence, only when the monitor is enabled.
+    fn observe_health(&mut self) -> Result<(), SimError> {
+        for i in 0..self.config.nodes {
+            let bank = self.bank_of[i];
+            let battery = self.batteries.unit(bank)?;
+            self.health.push_sample(NodeHealthSample {
+                node: i,
+                soc: battery.soc().value(),
+                soc_floor: self.soc_floors[bank].value(),
+                damage: battery.aging().total_damage(),
+                degraded: self.degraded[i],
+                charger_mode_switches: self.mode_switches[bank],
+                online: self.cluster.host(i)?.is_online(),
+            });
+        }
+        let before = self.health.events_len();
+        self.health.evaluate(self.now.as_secs());
+        if self.flight.is_enabled() {
+            for idx in before..self.health.events_len() {
+                let line = self.health.events()[idx].to_json();
+                self.flight.push(line);
+            }
+        }
+        Ok(())
+    }
+
     fn route_power(
         &mut self,
         solar_total: Watts,
@@ -954,7 +1266,7 @@ impl Simulation {
             self.scratch.ops.clear();
             for b in 0..self.banks {
                 let soc = self.batteries.unit(b)?.soc();
-                self.stage_trackers[b].observe(self.chargers[b].stage(soc));
+                self.observe_charge_stage(b, soc);
                 let faults = self.injector.bank(b);
                 let op = if faults.charger_failed || faults.open_circuit {
                     BatteryOp::Idle
@@ -1021,7 +1333,7 @@ impl Simulation {
         self.scratch.socs_acceptances.clear();
         for b in 0..self.banks {
             let soc = self.batteries.unit(b)?.soc();
-            self.stage_trackers[b].observe(self.chargers[b].stage(soc));
+            self.observe_charge_stage(b, soc);
             let faults = self.injector.bank(b);
             // The switcher sees the *effective* acceptance, so a
             // failed charger's surplus is curtailed, not lost to an
@@ -1083,7 +1395,9 @@ impl Simulation {
                     .try_step(op, self.config.ambient, self.now, dt)?;
             if result.cutoff {
                 self.counters.battery_cutoffs.inc();
-                self.events.push(
+                Self::log_event(
+                    &mut self.events,
+                    &mut self.flight,
                     self.now,
                     Event::BatteryCutoff {
                         node: member_nodes[0],
@@ -1149,8 +1463,12 @@ impl Simulation {
                             self.cluster.host_mut(victim)?.power_off();
                             self.offline_since[victim] = Some(self.now);
                             self.counters.shutdowns.inc();
-                            self.events
-                                .push(self.now, Event::ServerShutdown { node: victim });
+                            Self::log_event(
+                                &mut self.events,
+                                &mut self.flight,
+                                self.now,
+                                Event::ServerShutdown { node: victim },
+                            );
                         }
                         self.unserved_streak[b] = 0;
                     }
@@ -1189,7 +1507,12 @@ impl Simulation {
                 host.resume_all();
                 self.offline_since[i] = None;
                 self.counters.restarts.inc();
-                self.events.push(self.now, Event::ServerRestart { node: i });
+                Self::log_event(
+                    &mut self.events,
+                    &mut self.flight,
+                    self.now,
+                    Event::ServerRestart { node: i },
+                );
             }
         }
         Ok(())
@@ -1290,6 +1613,9 @@ impl Simulation {
                 .collect(),
             work_cumulative: self.cluster.total_work_done(),
         };
+        if self.flight.is_enabled() {
+            self.flight.push(Recorder::row_json(&row));
+        }
         self.recorder.push(row);
         // Refresh the observability gauges at the trace cadence: cheap,
         // deterministic values, and read-only with respect to sim state.
@@ -1321,7 +1647,12 @@ impl Simulation {
     ///
     /// Returns [`SimError`] if the engine's bookkeeping is inconsistent
     /// with the substrates.
-    pub fn into_report(self, policy: &'static str) -> Result<SimReport, SimError> {
+    pub fn into_report(mut self, policy: &'static str) -> Result<SimReport, SimError> {
+        // Flush engine-owned health events and flight dumps into the obs
+        // store: they export next to metrics and spans, but stay out of
+        // the report, which is compared bit-for-bit across obs on/off.
+        self.obs.record_health_events(self.health.take_events());
+        self.obs.record_flight_dumps(self.flight.take_dumps());
         let completed_jobs = self.cluster.hosts().map(|h| h.completed_jobs()).sum();
         let migrations = self.cluster.migrations_started();
         let nodes = (0..self.config.nodes)

@@ -25,19 +25,94 @@ pub struct TraceRow {
 }
 
 /// Downsampled time-series store.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// The engine pre-sizes the row buffer from `Simulation::total_steps`
+/// so long sweeps never re-grow (and re-copy) the `Vec` row by row. An
+/// optional `max_rows` cap bounds memory on very long runs: when the
+/// cap is reached the recorder halves its resolution in place (keeps
+/// every other row and doubles the accepted-push stride), so the stored
+/// series always spans the whole run at the finest resolution that
+/// fits.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recorder {
     rows: Vec<TraceRow>,
+    max_rows: Option<usize>,
+    /// Only every `keep_every`-th push is stored (doubles on each
+    /// downsampling pass).
+    keep_every: u64,
+    /// Total pushes offered so far (stored or not).
+    pushes: u64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Recorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_limits(0, None)
     }
 
-    /// Appends a sample row.
+    /// Creates an empty recorder pre-sized for `rows_hint` rows.
+    pub fn with_capacity(rows_hint: usize) -> Self {
+        Self::with_limits(rows_hint, None)
+    }
+
+    /// Creates an empty recorder pre-sized for `rows_hint` rows and
+    /// bounded to at most `max_rows` stored rows (downsampling in place
+    /// when the cap is hit). `None` keeps every offered row.
+    pub fn with_limits(rows_hint: usize, max_rows: Option<usize>) -> Self {
+        let capacity = match max_rows {
+            Some(max) => rows_hint.min(max),
+            None => rows_hint,
+        };
+        Self {
+            rows: Vec::with_capacity(capacity),
+            max_rows,
+            keep_every: 1,
+            pushes: 0,
+        }
+    }
+
+    /// The configured row cap, if any.
+    pub fn max_rows(&self) -> Option<usize> {
+        self.max_rows
+    }
+
+    /// Current accepted-push stride (1 until the cap is first hit).
+    pub fn stride(&self) -> u64 {
+        self.keep_every
+    }
+
+    /// Offers a sample row. Without a cap every row is stored; with one,
+    /// rows beyond the cap trigger an in-place halving of the stored
+    /// series and a doubling of the stride.
     pub fn push(&mut self, row: TraceRow) {
+        let index = self.pushes;
+        self.pushes += 1;
+        if !index.is_multiple_of(self.keep_every) {
+            return;
+        }
+        if let Some(max) = self.max_rows {
+            if self.rows.len() >= max.max(2) {
+                // Stored rows are exactly the pushes ≡ 0 (mod stride);
+                // keeping the even positions leaves the pushes ≡ 0
+                // (mod 2·stride) — the same series at half resolution.
+                let mut i = 0usize;
+                self.rows.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+                self.keep_every *= 2;
+                if !index.is_multiple_of(self.keep_every) {
+                    return;
+                }
+            }
+        }
         self.rows.push(row);
     }
 
@@ -71,44 +146,51 @@ impl Recorder {
         self.rows.last().map_or(0.0, |r| r.work_cumulative)
     }
 
+    /// Serializes one row as a single JSON object line (no trailing
+    /// newline) — the same encoding [`Recorder::to_jsonl`] uses, shared
+    /// with the flight recorder's telemetry ring.
+    pub fn row_json(r: &TraceRow) -> String {
+        use baat_obs::json::{f64_into, JsonLine};
+        let mut line = JsonLine::new();
+        line.u64_field("at_s", r.at.as_secs())
+            .f64_field("solar_w", r.solar.as_f64());
+        let mut soc = String::from("[");
+        for (i, v) in r.soc.iter().enumerate() {
+            if i > 0 {
+                soc.push(',');
+            }
+            f64_into(&mut soc, *v);
+        }
+        soc.push(']');
+        let mut power = String::from("[");
+        for (i, p) in r.server_power.iter().enumerate() {
+            if i > 0 {
+                power.push(',');
+            }
+            f64_into(&mut power, p.as_f64());
+        }
+        power.push(']');
+        let mut current = String::from("[");
+        for (i, a) in r.battery_current.iter().enumerate() {
+            if i > 0 {
+                current.push(',');
+            }
+            f64_into(&mut current, *a);
+        }
+        current.push(']');
+        line.raw_field("soc", &soc)
+            .raw_field("server_w", &power)
+            .raw_field("battery_a", &current)
+            .f64_field("work_cumulative", r.work_cumulative);
+        line.finish()
+    }
+
     /// Renders the trace as JSONL (one object per sample row; per-node
     /// series as JSON arrays), for structured consumers.
     pub fn to_jsonl(&self) -> String {
-        use baat_obs::json::{f64_into, JsonLine};
         let mut out = String::new();
         for r in &self.rows {
-            let mut line = JsonLine::new();
-            line.u64_field("at_s", r.at.as_secs())
-                .f64_field("solar_w", r.solar.as_f64());
-            let mut soc = String::from("[");
-            for (i, v) in r.soc.iter().enumerate() {
-                if i > 0 {
-                    soc.push(',');
-                }
-                f64_into(&mut soc, *v);
-            }
-            soc.push(']');
-            let mut power = String::from("[");
-            for (i, p) in r.server_power.iter().enumerate() {
-                if i > 0 {
-                    power.push(',');
-                }
-                f64_into(&mut power, p.as_f64());
-            }
-            power.push(']');
-            let mut current = String::from("[");
-            for (i, a) in r.battery_current.iter().enumerate() {
-                if i > 0 {
-                    current.push(',');
-                }
-                f64_into(&mut current, *a);
-            }
-            current.push(']');
-            line.raw_field("soc", &soc)
-                .raw_field("server_w", &power)
-                .raw_field("battery_a", &current)
-                .f64_field("work_cumulative", r.work_cumulative);
-            out.push_str(&line.finish());
+            out.push_str(&Self::row_json(r));
             out.push('\n');
         }
         out
@@ -182,5 +264,57 @@ mod tests {
         let r = Recorder::new();
         assert!(r.is_empty());
         assert_eq!(r.final_work(), 0.0);
+    }
+
+    #[test]
+    fn capacity_hint_presizes_without_changing_behavior() {
+        let mut hinted = Recorder::with_capacity(64);
+        let mut plain = Recorder::new();
+        for i in 0..10 {
+            hinted.push(row(i * 60, 1.0, i as f64));
+            plain.push(row(i * 60, 1.0, i as f64));
+        }
+        assert_eq!(hinted, plain);
+        assert_eq!(hinted.len(), 10);
+    }
+
+    #[test]
+    fn max_rows_cap_halves_resolution_in_place() {
+        let mut r = Recorder::with_limits(4, Some(4));
+        for i in 0..16u64 {
+            r.push(row(i * 60, 1.0, i as f64));
+        }
+        // Cap 4 over 16 pushes settles at stride 4: pushes 0,4,8,12.
+        assert_eq!(r.stride(), 4);
+        let times: Vec<u64> = r.rows().iter().map(|x| x.at.as_secs()).collect();
+        assert_eq!(times, vec![0, 240, 480, 720]);
+        assert!(r.len() <= 4);
+        // The full span survives.
+        assert_eq!(r.final_work(), 12.0);
+    }
+
+    #[test]
+    fn capped_series_is_a_subset_of_the_uncapped_series() {
+        let mut capped = Recorder::with_limits(8, Some(8));
+        let mut full = Recorder::new();
+        for i in 0..100u64 {
+            let x = row(i * 30, 1.0 - i as f64 / 100.0, i as f64);
+            capped.push(x.clone());
+            full.push(x);
+        }
+        assert!(capped.len() <= 8);
+        for kept in capped.rows() {
+            assert!(full.rows().contains(kept));
+        }
+    }
+
+    #[test]
+    fn no_cap_keeps_every_row() {
+        let mut r = Recorder::with_capacity(2);
+        for i in 0..50u64 {
+            r.push(row(i, 1.0, 0.0));
+        }
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.stride(), 1);
     }
 }
