@@ -1,6 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything CI requires, runnable locally with one command.
 #
+# Usage: ci/check.sh [MODE]
+#
+#   lint   — fmt + clippy + rustdoc (all deny-warnings)
+#   test   — release build + full workspace test suite
+#   smoke  — faulted-determinism + OpenMetrics-golden console smokes
+#   fleet  — 1k-host fleet-scale smoke (release, thread-invariance)
+#   perf   — perf regression gate against the committed baseline
+#   all    — every mode above, in order (the default)
+#
+# CI runs one mode per matrix job so lint, tests, the fleet smoke and
+# the perf gate fail independently and cache independently; `all`
+# reproduces the full gate locally.
+#
 # Runs fully offline — CARGO_NET_OFFLINE forces cargo to fail loudly if
 # anything tries to reach a registry instead of hanging or silently
 # fetching. Pair with ci/hermetic.sh, which checks the manifests
@@ -10,59 +23,97 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+MODE="${1:-all}"
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+run_lint() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
 
-echo "==> cargo doc (deny warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+    echo "==> cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --workspace --release
+    echo "==> cargo doc (deny warnings)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+}
 
-echo "==> cargo test"
-cargo test --workspace -q
+run_test() {
+    echo "==> cargo build --release"
+    cargo build --workspace --release
 
-echo "==> faulted-scenario determinism smoke"
-# Two identical faulted console runs must emit byte-identical event
-# logs, the faulted log must actually carry fault events, and a clean
-# run must carry none.
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
-CONSOLE=(cargo run --release -q -p baat-bench --bin console --)
-"${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
-    --faults heavy --jsonl "$SMOKE_DIR/a" >/dev/null
-"${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
-    --faults heavy --jsonl "$SMOKE_DIR/b" >/dev/null
-cmp "$SMOKE_DIR/a/events.jsonl" "$SMOKE_DIR/b/events.jsonl"
-grep -q '"kind":"fault_injected"' "$SMOKE_DIR/a/events.jsonl"
-"${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
-    --jsonl "$SMOKE_DIR/clean" >/dev/null
-if grep -q '"kind":"fault_injected"' "$SMOKE_DIR/clean/events.jsonl"; then
-    echo "error: clean run emitted fault events" >&2
-    exit 1
-fi
+    echo "==> cargo test"
+    cargo test --workspace -q
+}
 
-echo "==> OpenMetrics golden + trace schema"
-# The faulted run's OpenMetrics snapshot is a golden: byte-compare it
-# against the checked-in reference (regenerate by copying the fresh
-# snapshot over ci/golden/metrics.om after an intended change). The
-# span export must satisfy the trace schema, and `console diff` must
-# agree the two identical runs are identical.
-cmp "$SMOKE_DIR/a/metrics.om" ci/golden/metrics.om
-"${CONSOLE[@]}" trace-check "$SMOKE_DIR/a/spans.jsonl"
-"${CONSOLE[@]}" diff "$SMOKE_DIR/a/events.jsonl" "$SMOKE_DIR/b/events.jsonl" >/dev/null
+run_smoke() {
+    echo "==> faulted-scenario determinism smoke"
+    # Two identical faulted console runs must emit byte-identical event
+    # logs, the faulted log must actually carry fault events, and a clean
+    # run must carry none.
+    SMOKE_DIR="$(mktemp -d)"
+    trap 'rm -rf "$SMOKE_DIR"' EXIT
+    CONSOLE=(cargo run --release -q -p baat-bench --bin console --)
+    "${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
+        --faults heavy --jsonl "$SMOKE_DIR/a" >/dev/null
+    "${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
+        --faults heavy --jsonl "$SMOKE_DIR/b" >/dev/null
+    cmp "$SMOKE_DIR/a/events.jsonl" "$SMOKE_DIR/b/events.jsonl"
+    grep -q '"kind":"fault_injected"' "$SMOKE_DIR/a/events.jsonl"
+    "${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
+        --jsonl "$SMOKE_DIR/clean" >/dev/null
+    if grep -q '"kind":"fault_injected"' "$SMOKE_DIR/clean/events.jsonl"; then
+        echo "error: clean run emitted fault events" >&2
+        exit 1
+    fi
 
-if [[ "${BAAT_SKIP_PERF:-0}" != "1" ]]; then
-    echo "==> perf regression smoke (set BAAT_SKIP_PERF=1 to skip)"
-    # Re-measures the hot paths and fails when best-case throughput
-    # falls >20% below the committed BENCH_5.json baseline, or when
-    # tracing+health overhead on a faulted day exceeds 5%.
-    cargo bench -p baat-bench --bench perf -- --check
-else
-    echo "==> perf regression smoke skipped (BAAT_SKIP_PERF=1)"
-fi
+    echo "==> OpenMetrics golden + trace schema"
+    # The faulted run's OpenMetrics snapshot is a golden: byte-compare it
+    # against the checked-in reference (regenerate by copying the fresh
+    # snapshot over ci/golden/metrics.om after an intended change). The
+    # span export must satisfy the trace schema, and `console diff` must
+    # agree the two identical runs are identical.
+    cmp "$SMOKE_DIR/a/metrics.om" ci/golden/metrics.om
+    "${CONSOLE[@]}" trace-check "$SMOKE_DIR/a/spans.jsonl"
+    "${CONSOLE[@]}" diff "$SMOKE_DIR/a/events.jsonl" "$SMOKE_DIR/b/events.jsonl" >/dev/null
+}
 
-echo "ok: tier-1 gate passed"
+run_fleet() {
+    echo "==> fleet-scale smoke (1k hosts, release)"
+    # A seeded 1,000-host control interval must fit the wall-clock
+    # budget, and a full 1k-host day must be byte-identical between 1
+    # and 8 runner threads. `--ignored` selects the release-only
+    # fleet gates; the small always-on fleet test rides along.
+    cargo test --release -p baat-bench --test fleet -- --include-ignored
+}
+
+run_perf() {
+    if [[ "${BAAT_SKIP_PERF:-0}" != "1" ]]; then
+        echo "==> perf regression smoke (set BAAT_SKIP_PERF=1 to skip)"
+        # Re-measures the hot paths and fails when best-case throughput
+        # falls >20% below the committed BENCH_6.json baseline, or when
+        # tracing+health overhead on a faulted day exceeds 1µs/step.
+        cargo bench -p baat-bench --bench perf -- --check
+    else
+        echo "==> perf regression smoke skipped (BAAT_SKIP_PERF=1)"
+    fi
+}
+
+case "$MODE" in
+lint) run_lint ;;
+test) run_test ;;
+smoke) run_smoke ;;
+fleet) run_fleet ;;
+perf) run_perf ;;
+all)
+    run_lint
+    run_test
+    run_smoke
+    run_fleet
+    run_perf
+    ;;
+*)
+    echo "error: unknown mode '$MODE' (lint|test|smoke|fleet|perf|all)" >&2
+    exit 2
+    ;;
+esac
+
+echo "ok: ci/check.sh $MODE passed"

@@ -31,6 +31,11 @@
 //! plan over the run (one plan per simulated day, generated for the
 //! chosen topology). The plan seed defaults to `--seed`, so the same
 //! command line always replays the same outages.
+//!
+//! `--fleet N` scales the scenario to an `N`-host fleet: proportional
+//! PV, one service per host plus nine batch jobs per host per day, and
+//! throttled trace recording. `console --fleet 1000 --seed 7` is a
+//! deterministic 1000-host day.
 
 use std::io::IsTerminal;
 
@@ -48,6 +53,7 @@ struct Args {
     seed: u64,
     old: bool,
     topology: BatteryTopology,
+    fleet: Option<usize>,
     faults: Option<(FaultMix, Option<u64>)>,
     csv: Option<String>,
     jsonl: Option<String>,
@@ -66,7 +72,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: console [watch] [--scheme e-buff|baat-s|baat-h|baat] \
          [--weather sunny,cloudy,rainy] [--seed N] [--old] \
-         [--topology per-server|shared:K] [--faults light|heavy[:SEED]] \
+         [--topology per-server|shared:K] [--fleet N] \
+         [--faults light|heavy[:SEED]] \
          [--csv PATH] [--jsonl DIR] [--profile] [--every MINUTES]\n\
          \x20      console diff A.jsonl B.jsonl\n\
          \x20      console trace-check spans.jsonl"
@@ -82,6 +89,7 @@ fn parse_args() -> Args {
         seed: 42,
         old: false,
         topology: BatteryTopology::PerServer,
+        fleet: None,
         faults: None,
         csv: None,
         jsonl: None,
@@ -160,6 +168,14 @@ fn parse_args() -> Args {
                 } else {
                     usage()
                 };
+            }
+            "--fleet" => {
+                args.fleet = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--faults" => {
                 let v = it.next().unwrap_or_else(|| usage());
@@ -265,6 +281,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .sample_every(10)
         .topology(args.topology)
         .seed(args.seed);
+    if let Some(n) = args.fleet {
+        // Applied after the defaults above so the fleet profile's node
+        // count, PV sizing, workload and trace throttling win.
+        builder.fleet(n);
+    }
     if let Some((mix, plan_seed)) = &args.faults {
         // Probe-build to learn the fleet size the defaults resolve to,
         // then generate the plan for that topology.

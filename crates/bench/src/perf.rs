@@ -1,15 +1,15 @@
 //! The performance-regression baseline: measurement records, the
-//! `BENCH_5.json` serialization, and the >20 % steps/sec gate.
+//! `BENCH_6.json` serialization, and the >20 % steps/sec gate.
 //!
 //! The perf harness (`benches/perf.rs`) measures the hot paths, embeds
 //! the pre-optimization wall-clocks recorded at the seed revision, and
-//! emits the whole report as `BENCH_5.json` at the repository root.
+//! emits the whole report as `BENCH_6.json` at the repository root.
 //! `ci/check.sh` re-measures in `--check` mode and fails when any
 //! benchmark's best observed throughput falls more than
 //! [`TOLERANCE_PCT`] below the committed figure — catching perf
 //! regressions the way goldens catch behavioural ones. The same gate
 //! bounds tracing+health observability overhead on a faulted day to
-//! [`OBS_OVERHEAD_LIMIT_PCT`].
+//! [`OBS_OVERHEAD_LIMIT_NS_PER_STEP`] of absolute per-step cost.
 //!
 //! The file format is the in-tree [`baat_obs::json`] line style: one JSON
 //! object per benchmark inside a plain JSON document, parseable with the
@@ -24,12 +24,18 @@ use crate::jsonq::{extract_f64, extract_str};
 /// Allowed steps/sec shortfall (percent) before `--check` fails.
 pub const TOLERANCE_PCT: f64 = 20.0;
 
-/// Allowed wall-clock overhead (percent) of a fully observed faulted
-/// day — metrics, tracing and health active — over the disabled run.
-pub const OBS_OVERHEAD_LIMIT_PCT: f64 = 5.0;
+/// Allowed wall-clock overhead of a fully observed faulted day —
+/// metrics, tracing and health active — over the disabled run, in
+/// nanoseconds per simulation step.
+///
+/// The limit is absolute rather than relative: a percentage gate
+/// tightens every time the base simulation gets faster, failing runs
+/// whose instrumentation cost never changed. 1 µs/step matches the
+/// seed-era budget (5 % of the ~14 µs/step seed-revision day).
+pub const OBS_OVERHEAD_LIMIT_NS_PER_STEP: f64 = 1_000.0;
 
 /// Where the committed baseline lives, relative to the workspace root.
-pub const BASELINE_FILE: &str = "BENCH_5.json";
+pub const BASELINE_FILE: &str = "BENCH_6.json";
 
 /// One measured hot-path benchmark, with the seed-revision wall-clock it
 /// is compared against.
@@ -90,7 +96,7 @@ fn per_sec(units: u64, ns: u64) -> f64 {
     units as f64 * 1e9 / ns as f64
 }
 
-/// The full perf report emitted as `BENCH_5.json`.
+/// The full perf report emitted as `BENCH_6.json`.
 #[derive(Debug, Clone, Default)]
 pub struct PerfReport {
     /// The gated hot-path benchmarks.
@@ -103,13 +109,17 @@ pub struct PerfReport {
     pub allocs_per_step: Option<f64>,
     /// Best-case wall-clock overhead (percent) of a fully observed
     /// faulted day — metrics, tracing, health — over the disabled run.
+    /// Informational: the gate uses [`PerfReport::obs_overhead_ns_per_step`].
     pub obs_overhead_pct: Option<f64>,
+    /// The same overhead as absolute nanoseconds per simulation step —
+    /// the figure gated against [`OBS_OVERHEAD_LIMIT_NS_PER_STEP`].
+    pub obs_overhead_ns_per_step: Option<f64>,
 }
 
 impl PerfReport {
-    /// Serializes the report as the `BENCH_5.json` document.
+    /// Serializes the report as the `BENCH_6.json` document.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n\"schema\": \"baat-perf-v1\",\n\"issue\": 5,\n");
+        let mut out = String::from("{\n\"schema\": \"baat-perf-v1\",\n\"issue\": 6,\n");
         out.push_str(&format!("\"tolerance_pct\": {TOLERANCE_PCT},\n"));
         out.push_str("\"benchmarks\": [\n");
         for (i, b) in self.benchmarks.iter().enumerate() {
@@ -136,10 +146,15 @@ impl PerfReport {
             out.push_str(",\n\"allocs\": ");
             out.push_str(&line.finish());
         }
-        if let Some(overhead) = self.obs_overhead_pct {
+        if self.obs_overhead_pct.is_some() || self.obs_overhead_ns_per_step.is_some() {
             let mut line = JsonLine::new();
-            line.f64_field("obs_overhead_pct", overhead)
-                .f64_field("limit_pct", OBS_OVERHEAD_LIMIT_PCT);
+            if let Some(pct) = self.obs_overhead_pct {
+                line.f64_field("obs_overhead_pct", pct);
+            }
+            if let Some(ns) = self.obs_overhead_ns_per_step {
+                line.f64_field("obs_overhead_ns_per_step", ns);
+            }
+            line.f64_field("limit_ns_per_step", OBS_OVERHEAD_LIMIT_NS_PER_STEP);
             out.push_str(",\n\"obs_overhead\": ");
             out.push_str(&line.finish());
         }
@@ -148,13 +163,14 @@ impl PerfReport {
     }
 
     /// The observability-overhead gate: a failure line when the measured
-    /// overhead exceeds [`OBS_OVERHEAD_LIMIT_PCT`], else `None`.
+    /// per-step overhead exceeds [`OBS_OVERHEAD_LIMIT_NS_PER_STEP`],
+    /// else `None`.
     pub fn obs_overhead_failure(&self) -> Option<String> {
-        let pct = self.obs_overhead_pct?;
-        (pct > OBS_OVERHEAD_LIMIT_PCT).then(|| {
+        let ns = self.obs_overhead_ns_per_step?;
+        (ns > OBS_OVERHEAD_LIMIT_NS_PER_STEP).then(|| {
             format!(
-                "obs overhead: traced faulted day is {pct:.2}% slower than the \
-                 disabled run (limit {OBS_OVERHEAD_LIMIT_PCT}%)"
+                "obs overhead: traced faulted day costs {ns:.0} ns/step over the \
+                 disabled run (limit {OBS_OVERHEAD_LIMIT_NS_PER_STEP} ns/step)"
             )
         })
     }
@@ -247,6 +263,7 @@ mod tests {
             stages: Vec::new(),
             allocs_per_step: None,
             obs_overhead_pct: None,
+            obs_overhead_ns_per_step: None,
         }
     }
 
@@ -300,12 +317,18 @@ mod tests {
     fn obs_overhead_gate_trips_only_past_the_limit() {
         let mut r = report();
         assert!(r.obs_overhead_failure().is_none(), "unmeasured passes");
-        r.obs_overhead_pct = Some(OBS_OVERHEAD_LIMIT_PCT - 1.0);
-        assert!(r.obs_overhead_failure().is_none());
-        assert!(r.to_json().contains("\"obs_overhead_pct\":4"));
-        r.obs_overhead_pct = Some(OBS_OVERHEAD_LIMIT_PCT + 0.5);
+        r.obs_overhead_pct = Some(12.5);
+        r.obs_overhead_ns_per_step = Some(OBS_OVERHEAD_LIMIT_NS_PER_STEP - 500.0);
+        assert!(
+            r.obs_overhead_failure().is_none(),
+            "absolute cost under the limit passes regardless of pct"
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"obs_overhead_pct\":12.5"));
+        assert!(json.contains("\"obs_overhead_ns_per_step\":500"));
+        r.obs_overhead_ns_per_step = Some(OBS_OVERHEAD_LIMIT_NS_PER_STEP + 250.0);
         let failure = r.obs_overhead_failure().expect("over the limit fails");
-        assert!(failure.contains("5.50%"), "{failure}");
+        assert!(failure.contains("1250 ns/step"), "{failure}");
     }
 
     #[test]

@@ -83,6 +83,20 @@ pub fn fault_matrix(
     out
 }
 
+/// Builds a single-day fleet-scale configuration: `nodes` hosts with
+/// proportionally scaled PV and workload (see
+/// [`baat_sim::SimConfigBuilder::fleet`]), the standard experiment
+/// timestep, and deterministic content from `seed` alone — two calls
+/// with equal arguments produce byte-identical runs.
+pub fn fleet_config(nodes: usize, weather: Weather, seed: u64) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![weather])
+        .dt(EXPERIMENT_DT)
+        .seed(seed)
+        .fleet(nodes);
+    b.build().expect("fleet defaults are valid")
+}
+
 /// Builds a multi-day configuration with the given weather plan.
 pub fn plan_config(plan: Vec<Weather>, seed: u64) -> SimConfig {
     let mut b = SimConfig::builder();

@@ -12,7 +12,7 @@
 //!    seed plumbing bug making every run identical).
 
 use baat_bench::runner::{
-    day_config, faulted_day_config, plan_config, run_scenarios_forked_with_threads,
+    day_config, faulted_day_config, fleet_config, plan_config, run_scenarios_forked_with_threads,
     run_scenarios_observed_with_threads, run_scenarios_with_threads, scenario_seed, Scenario,
     OLD_BATTERY_DAMAGE,
 };
@@ -46,6 +46,12 @@ fn sweep(seed: u64) -> Vec<Scenario> {
     scenarios.push(Scenario::new(
         Scheme::Baat,
         faulted_day_config(Weather::Cloudy, seed, &FaultMix::light()),
+    ));
+    // A fleet-scale cell: scaled node count, PV and workload must replay
+    // exactly like the 6-node prototype cells.
+    scenarios.push(Scenario::new(
+        Scheme::Baat,
+        fleet_config(16, Weather::Cloudy, scenario_seed(seed, 9)),
     ));
     scenarios
 }
@@ -133,6 +139,6 @@ fn reports_preserve_scenario_order() {
     let schemes: Vec<&str> = reports.iter().map(|r| r.policy).collect();
     assert_eq!(
         schemes,
-        ["e-Buff", "BAAT", "e-Buff", "BAAT", "e-Buff", "BAAT", "BAAT", "BAAT"]
+        ["e-Buff", "BAAT", "e-Buff", "BAAT", "e-Buff", "BAAT", "BAAT", "BAAT", "BAAT"]
     );
 }

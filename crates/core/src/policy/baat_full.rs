@@ -20,7 +20,7 @@
 use baat_metrics::{dod_goal, PlannedAgingInputs};
 use baat_obs::{Counter, Obs};
 use baat_server::ServerPowerModel;
-use baat_sim::{Action, ControlCtx, NodeView, Policy, SystemView};
+use baat_sim::{Action, ControlCtx, NodeView, PlacementSpec, Policy, SystemView};
 use baat_units::{AmpHours, Soc};
 use baat_workload::{DemandClass, EnergyDemand, PowerDemand, VmId, WorkloadKind};
 
@@ -340,6 +340,12 @@ impl Policy for Baat {
         // Fig 8: profile the workload, rank nodes by Eq-6 weighted aging.
         let class = classify_workload(kind, &self.config.server_power);
         rank_by_weighted_aging(view, class)
+    }
+
+    fn placement_spec(&self) -> PlacementSpec {
+        PlacementSpec::WeightedAging {
+            server_power: self.config.server_power,
+        }
     }
 }
 

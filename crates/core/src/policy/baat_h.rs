@@ -11,7 +11,7 @@
 //! reproducing the overhead the paper measures.
 
 use baat_obs::{Counter, Obs};
-use baat_sim::{Action, ControlCtx, Policy, SystemView};
+use baat_sim::{Action, ControlCtx, PlacementSpec, Policy, SystemView};
 use baat_workload::WorkloadKind;
 
 /// Relative NAT excess over the mean that marks a node as fast-aging.
@@ -161,6 +161,10 @@ impl Policy for BaatH {
                 .total_cmp(&view.nodes[b].lifetime_metrics.nat)
         });
         order
+    }
+
+    fn placement_spec(&self) -> PlacementSpec {
+        PlacementSpec::LifetimeNat
     }
 }
 

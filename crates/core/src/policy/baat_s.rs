@@ -14,7 +14,7 @@
 //! workloads without battery awareness.
 
 use baat_obs::{Counter, Obs};
-use baat_sim::{Action, ControlCtx, Policy, SystemView};
+use baat_sim::{Action, ControlCtx, PlacementSpec, Policy, SystemView};
 use baat_units::Soc;
 use baat_workload::WorkloadKind;
 
@@ -161,6 +161,10 @@ impl Policy for BaatS {
     fn placement_order(&mut self, _kind: WorkloadKind, view: &SystemView) -> Vec<usize> {
         // Battery-unaware, like e-Buff: the scheme only throttles.
         (0..view.nodes.len()).collect()
+    }
+
+    fn placement_spec(&self) -> PlacementSpec {
+        PlacementSpec::FirstFit
     }
 }
 

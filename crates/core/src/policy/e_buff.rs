@@ -7,7 +7,7 @@
 //! engine's default routing is exactly this aggressive usage, so e-Buff
 //! issues no actions.
 
-use baat_sim::{Action, ControlCtx, Policy, SystemView};
+use baat_sim::{Action, ControlCtx, PlacementSpec, Policy, SystemView};
 use baat_workload::WorkloadKind;
 
 /// The aggressive green-energy-buffer baseline.
@@ -33,6 +33,10 @@ impl Policy for EBuff {
     fn placement_order(&mut self, _kind: WorkloadKind, view: &SystemView) -> Vec<usize> {
         // Battery-unaware first-fit by index.
         (0..view.nodes.len()).collect()
+    }
+
+    fn placement_spec(&self) -> PlacementSpec {
+        PlacementSpec::FirstFit
     }
 }
 

@@ -1,0 +1,142 @@
+//! Bit-identity of the incremental placement engine against the legacy
+//! recompute-from-scratch path, for every Table-4 scheme.
+//!
+//! Each scheme now declares a [`PlacementSpec`] that lets the engine
+//! serve its placement order from the incremental `FleetView` ranker
+//! instead of calling `placement_order` over a freshly built
+//! `SystemView`. [`ScratchPlacement`] masks the spec back to `Custom`,
+//! forcing the legacy path on the *same* policy — so a full-run
+//! comparison between the two pins the ranker to the recompute path
+//! byte for byte, across clean, faulted and pre-aged runs.
+
+use baat_core::{classify_workload, rank_by_weighted_aging, Scheme};
+use baat_sim::{
+    FaultMix, FaultPlan, PlacementSpec, ScratchPlacement, SimConfig, SimReport, Simulation,
+};
+use baat_solar::Weather;
+use baat_units::SimDuration;
+use baat_workload::WorkloadKind;
+
+const SCHEMES: [Scheme; 4] = [Scheme::EBuff, Scheme::BaatS, Scheme::BaatH, Scheme::Baat];
+
+fn coarse_config(weather: Weather, seed: u64, faulted: bool) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![weather])
+        .dt(SimDuration::from_secs(120))
+        .control_interval(SimDuration::from_secs(600))
+        .sample_every(4)
+        .seed(seed);
+    if faulted {
+        b.faults(FaultPlan::generate(seed, 1, 6, 6, &FaultMix::heavy()));
+    }
+    b.build().expect("config is valid")
+}
+
+fn run_fast(scheme: Scheme, config: SimConfig, pre_age: Option<f64>) -> SimReport {
+    let mut sim = Simulation::new(config).expect("config valid");
+    if let Some(damage) = pre_age {
+        sim.pre_age_batteries(damage);
+    }
+    sim.run(&mut scheme.build()).expect("fast run succeeds")
+}
+
+fn run_scratch(scheme: Scheme, config: SimConfig, pre_age: Option<f64>) -> SimReport {
+    let mut sim = Simulation::new(config).expect("config valid");
+    if let Some(damage) = pre_age {
+        sim.pre_age_batteries(damage);
+    }
+    sim.run(&mut ScratchPlacement(scheme.build()))
+        .expect("scratch run succeeds")
+}
+
+/// Every scheme, clean cells: two weathers per scheme.
+#[test]
+fn schemes_match_scratch_on_clean_runs() {
+    for scheme in SCHEMES {
+        for weather in [Weather::Sunny, Weather::Rainy] {
+            let fast = run_fast(scheme, coarse_config(weather, 11, false), None);
+            let scratch = run_scratch(scheme, coarse_config(weather, 11, false), None);
+            assert_eq!(
+                fast, scratch,
+                "{scheme:?}/{weather:?}: incremental ranker diverged from scratch"
+            );
+        }
+    }
+}
+
+/// Every scheme under a heavy seeded fault plan: host failures, sensor
+/// dropouts and charger faults drive degraded flips, shutdowns and
+/// restarts through the dirty set mid-run.
+#[test]
+fn schemes_match_scratch_on_faulted_runs() {
+    for scheme in SCHEMES {
+        for seed in [7, 23] {
+            let fast = run_fast(scheme, coarse_config(Weather::Cloudy, seed, true), None);
+            let scratch = run_scratch(scheme, coarse_config(Weather::Cloudy, seed, true), None);
+            assert_eq!(
+                fast, scratch,
+                "{scheme:?}/seed {seed}: faulted incremental run diverged from scratch"
+            );
+        }
+    }
+}
+
+/// Pre-aged batteries start the ranker from nonzero damage and distinct
+/// per-bank aging trajectories.
+#[test]
+fn schemes_match_scratch_on_pre_aged_runs() {
+    for scheme in SCHEMES {
+        let fast = run_fast(scheme, coarse_config(Weather::Cloudy, 5, false), Some(0.55));
+        let scratch = run_scratch(scheme, coarse_config(Weather::Cloudy, 5, false), Some(0.55));
+        assert_eq!(
+            fast, scratch,
+            "{scheme:?}: pre-aged incremental run diverged from scratch"
+        );
+    }
+}
+
+/// Rank-level equality at stepped offsets: at several points through a
+/// faulted day (including while nodes are degraded), the engine's
+/// incremental rank for the weighted-aging and lifetime-NAT specs must
+/// equal the legacy order computed from a fresh [`SystemView`].
+#[test]
+fn incremental_rank_equals_scratch_rank_at_stepped_offsets() {
+    let config = coarse_config(Weather::Cloudy, 7, true);
+    let server_power = baat_server::ServerPowerModel::prototype();
+    let mut sim = Simulation::new(config).expect("config valid");
+    let mut policy = Scheme::Baat.build();
+    let mut saw_degraded = false;
+    for _ in 0..12 {
+        sim.run_steps(&mut policy, 60).expect("chunk runs");
+        let view = sim.build_view().expect("view builds");
+        saw_degraded |= view.nodes.iter().any(|n| n.degraded);
+        for kind in [
+            WorkloadKind::WebServing,
+            WorkloadKind::KMeans,
+            WorkloadKind::SoftwareTesting,
+            WorkloadKind::NutchIndexing,
+        ] {
+            let spec = PlacementSpec::WeightedAging { server_power };
+            let incremental = sim.placement_rank(spec, kind).expect("rank computes");
+            let class = classify_workload(kind, &server_power);
+            let scratch = rank_by_weighted_aging(&view, class);
+            assert_eq!(incremental, scratch, "weighted rank diverged for {kind:?}");
+        }
+        let incremental = sim
+            .placement_rank(PlacementSpec::LifetimeNat, WorkloadKind::WebServing)
+            .expect("rank computes");
+        let mut scratch: Vec<usize> = (0..view.nodes.len()).collect();
+        scratch.sort_by(|&a, &b| {
+            view.nodes[a]
+                .lifetime_metrics
+                .nat
+                .total_cmp(&view.nodes[b].lifetime_metrics.nat)
+        });
+        assert_eq!(incremental, scratch, "lifetime-NAT rank diverged");
+    }
+    assert!(
+        saw_degraded,
+        "the heavy fault plan must degrade at least one node mid-run \
+         (otherwise the degraded sort-after rule went unexercised)"
+    );
+}

@@ -54,5 +54,6 @@ pub use planned::{
     dod_goal, observed_cycles_per_day, planned_cycles, PlannedAgingInputs, DOD_GOAL_RANGE,
 };
 pub use weighted::{
-    rank_nodes, table3_sensitivities, weighted_aging, AgingScores, MetricSensitivities, Sensitivity,
+    class_index, rank_nodes, table3_sensitivities, weighted_aging, weighted_aging_all, AgingScores,
+    MetricSensitivities, Sensitivity, DEMAND_CLASSES,
 };

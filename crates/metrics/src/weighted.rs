@@ -146,6 +146,52 @@ pub fn weighted_aging(metrics: &AgingMetrics, class: DemandClass) -> f64 {
     s.cf.weight() * scores.cf + s.pc.weight() * scores.pc + s.nat.weight() * scores.nat
 }
 
+/// All four Table-3 demand classes, in [`class_index`] order. Fleet-wide
+/// score caches keep one weighted-aging value per entry.
+pub const DEMAND_CLASSES: [DemandClass; 4] = [
+    DemandClass {
+        power: PowerDemand::Large,
+        energy: EnergyDemand::Less,
+    },
+    DemandClass {
+        power: PowerDemand::Large,
+        energy: EnergyDemand::More,
+    },
+    DemandClass {
+        power: PowerDemand::Small,
+        energy: EnergyDemand::Less,
+    },
+    DemandClass {
+        power: PowerDemand::Small,
+        energy: EnergyDemand::More,
+    },
+];
+
+/// Dense index of a demand class into [`DEMAND_CLASSES`].
+pub fn class_index(class: DemandClass) -> usize {
+    let p = match class.power {
+        PowerDemand::Large => 0,
+        PowerDemand::Small => 1,
+    };
+    let e = match class.energy {
+        EnergyDemand::Less => 0,
+        EnergyDemand::More => 1,
+    };
+    p * 2 + e
+}
+
+/// The Eq-6 weighted aging value for every demand class at once, indexed
+/// by [`class_index`]. Each entry is computed by the same
+/// [`weighted_aging`] call a per-class lookup would make, so the values
+/// are bit-identical to scoring classes one at a time.
+pub fn weighted_aging_all(metrics: &AgingMetrics) -> [f64; 4] {
+    let mut out = [0.0; 4];
+    for (slot, class) in out.iter_mut().zip(DEMAND_CLASSES) {
+        *slot = weighted_aging(metrics, class);
+    }
+    out
+}
+
 /// Ranks battery nodes by weighted aging, least-aged first — the Fig 8
 /// placement order.
 ///
@@ -270,6 +316,21 @@ mod tests {
         ] {
             assert_eq!(weighted_aging(&m, c), 0.0);
         }
+    }
+
+    #[test]
+    fn all_classes_scores_match_per_class_calls() {
+        let m = metrics_with(0.37, Some(0.83), 0.44);
+        let all = weighted_aging_all(&m);
+        for class in DEMAND_CLASSES {
+            assert_eq!(all[class_index(class)], weighted_aging(&m, class));
+        }
+        // The dense index is a bijection over the four classes.
+        let mut seen = [false; 4];
+        for class in DEMAND_CLASSES {
+            seen[class_index(class)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Per-stage step profiler.
 //!
 //! The simulation step is a fixed pipeline (solar → switcher → charger →
-//! battery-step → policy-control → placement → recorder). Each stage is
+//! battery-step → policy-control → placement-rank → placement →
+//! recorder). Each stage is
 //! timed with an RAII guard: [`Obs::time`] returns a [`StageTimer`]
 //! whose `Drop` records the elapsed wall-clock nanoseconds and bumps the
 //! call count. When the context is disabled the guard is empty and
@@ -30,7 +31,13 @@ pub enum Stage {
     BatteryStep,
     /// Policy `control` invocation (the BAAT decision pass).
     PolicyControl,
-    /// VM arrival placement and pending-queue retries.
+    /// Placement-order production: incremental fleet-score refresh and
+    /// ranked-order maintenance (or, for custom policies, the
+    /// `placement_order` call itself). Split out of `Placement` so
+    /// ranking cost and admission cost report separately.
+    PlacementRank,
+    /// VM arrival placement and pending-queue retries (admission walks;
+    /// order production is timed as [`Stage::PlacementRank`]).
     Placement,
     /// Trace-row sampling into the `Recorder`.
     Recorder,
@@ -38,7 +45,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All stages, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -47,6 +54,7 @@ impl Stage {
         Stage::Charger,
         Stage::BatteryStep,
         Stage::PolicyControl,
+        Stage::PlacementRank,
         Stage::Placement,
         Stage::Recorder,
     ];
@@ -59,6 +67,7 @@ impl Stage {
             Stage::Charger => "charger",
             Stage::BatteryStep => "battery_step",
             Stage::PolicyControl => "policy_control",
+            Stage::PlacementRank => "placement_rank",
             Stage::Placement => "placement",
             Stage::Recorder => "recorder",
         }

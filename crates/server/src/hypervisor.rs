@@ -53,6 +53,12 @@ pub struct Host {
     boot_remaining: SimDuration,
     work_done: f64,
     completed_jobs: u64,
+    /// Resources held by live (non-completed) VMs, maintained
+    /// incrementally at admission, eviction and completion so
+    /// [`Host::fits`] is O(1) instead of a scan of the VM list —
+    /// placement retries call it for every pending VM × candidate host.
+    used_cores: u32,
+    used_memory_gb: u32,
 }
 
 impl Host {
@@ -68,7 +74,21 @@ impl Host {
             boot_remaining: SimDuration::ZERO,
             work_done: 0.0,
             completed_jobs: 0,
+            used_cores: 0,
+            used_memory_gb: 0,
         }
+    }
+
+    /// Charges a live VM's request against the cached usage counters.
+    fn charge(&mut self, request: (u32, u32)) {
+        self.used_cores += request.0;
+        self.used_memory_gb += request.1;
+    }
+
+    /// Releases a no-longer-live VM's request from the cached counters.
+    fn release(&mut self, request: (u32, u32)) {
+        self.used_cores -= request.0;
+        self.used_memory_gb -= request.1;
     }
 
     /// Host identifier.
@@ -138,12 +158,21 @@ impl Host {
     }
 
     /// Resources consumed by live (non-completed) VMs.
+    ///
+    /// Served from counters maintained at admission, eviction and
+    /// completion (O(1)); debug builds re-derive the value from the VM
+    /// list and assert the two agree.
     pub fn used_resources(&self) -> (u32, u32) {
-        self.vms
-            .iter()
-            .filter(|vm| !vm.is_completed())
-            .map(|vm| vm.kind().resource_request())
-            .fold((0, 0), |(c, m), (vc, vm_)| (c + vc, m + vm_))
+        debug_assert_eq!(
+            (self.used_cores, self.used_memory_gb),
+            self.vms
+                .iter()
+                .filter(|vm| !vm.is_completed())
+                .map(|vm| vm.kind().resource_request())
+                .fold((0, 0), |(c, m), (vc, vm_)| (c + vc, m + vm_)),
+            "cached usage counters drifted from the VM list"
+        );
+        (self.used_cores, self.used_memory_gb)
     }
 
     /// Resources still free for admission.
@@ -176,6 +205,9 @@ impl Host {
                 free: self.free_resources(),
             });
         }
+        if !vm.is_completed() {
+            self.charge(request);
+        }
         self.vms.push(vm);
         Ok(())
     }
@@ -185,6 +217,9 @@ impl Host {
     /// Used when completing a migration whose capacity was reserved at
     /// initiation; normal placement must use [`Host::admit`].
     pub fn admit_unchecked(&mut self, vm: Vm) {
+        if !vm.is_completed() {
+            self.charge(vm.kind().resource_request());
+        }
         self.vms.push(vm);
     }
 
@@ -199,7 +234,11 @@ impl Host {
             .iter()
             .position(|v| v.id() == vm)
             .ok_or(ServerError::UnknownVm { vm })?;
-        Ok(self.vms.remove(idx))
+        let evicted = self.vms.remove(idx);
+        if !evicted.is_completed() {
+            self.release(evicted.kind().resource_request());
+        }
+        Ok(evicted)
     }
 
     /// Immutable view of a hosted VM.
@@ -257,6 +296,9 @@ impl Host {
             work += vm.advance(speed, tod, dt);
             if !before && vm.is_completed() {
                 self.completed_jobs += 1;
+                let (c, m) = vm.kind().resource_request();
+                self.used_cores -= c;
+                self.used_memory_gb -= m;
             }
         }
         self.work_done += work;

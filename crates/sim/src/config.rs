@@ -288,6 +288,25 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Scales the scenario to an `n`-host fleet in one call: `n` nodes,
+    /// PV sized proportionally to the prototype array (8 kWh per 6
+    /// servers), one service VM per host plus nine batch jobs per host
+    /// per day, and trace recording throttled (sparse sampling, hard row
+    /// cap) so memory stays flat at thousands of hosts.
+    ///
+    /// Everything else — battery spec, weather, dt, seed — is left to
+    /// the other builder methods, so `fleet` composes with them; call it
+    /// last if an earlier method also sets one of these fields.
+    pub fn fleet(&mut self, n: usize) -> &mut Self {
+        self.config.nodes = n;
+        self.config.solar_sunny_budget = WattHours::from_kwh(8.0 * n as f64 / 6.0);
+        self.config.services = n;
+        self.config.batch_jobs_per_day = 9 * n;
+        self.config.sample_every = 120;
+        self.config.max_trace_rows = Some(512);
+        self
+    }
+
     /// Sets the fault-injection plan (validated against the topology in
     /// [`SimConfigBuilder::build`]).
     pub fn faults(&mut self, plan: FaultPlan) -> &mut Self {

@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 
 use baat_battery::{AgingObs, BatteryOp, BatteryPack, DamageBreakdown};
 use baat_faults::{FaultInjector, FaultKind, FaultPlan};
-use baat_metrics::{AgingMetrics, BatteryRatings};
+use baat_metrics::{class_index, AgingMetrics, BatteryRatings};
 use baat_obs::{
     Counter, FlightRecorder, Gauge, HealthConfig, HealthMonitor, Histogram, NodeHealthSample, Obs,
     SpanId, Stage, StageClock, Tracer,
@@ -41,6 +41,7 @@ use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::events::{Event, EventLog, TimedEvent};
 use crate::fallback::{FallbackInput, FallbackScheme};
+use crate::fleet::{demand_class, DirtyReason, FleetView, PlacementSpec, NAT_MODE};
 use crate::policy::{Action, ActionOutcome, ActionResult, ControlCtx, Policy, RejectReason};
 use crate::recorder::{Recorder, TraceRow};
 use crate::report::{NodeReport, SimReport};
@@ -253,6 +254,11 @@ pub struct Simulation {
     solar_shares: Vec<f64>,
     /// Reusable hot-loop buffers (no simulated state).
     scratch: StepScratch,
+    /// Incremental placement state: struct-of-arrays score caches,
+    /// dirty-node invalidation, and ranked orders for declarative
+    /// [`PlacementSpec`]s. Never influences simulated state directly —
+    /// ranks are bit-identical to the legacy recompute path.
+    fleet: FleetView,
 }
 
 impl Simulation {
@@ -357,6 +363,7 @@ impl Simulation {
         let flight = FlightRecorder::new(FLIGHT_RING_CAP, obs.is_enabled());
         let total_steps = config.days() as u64 * 86_400 / config.dt.as_secs();
         let rows_hint = (total_steps / config.sample_every as u64).saturating_add(1) as usize;
+        let fleet = FleetView::new(nodes, banks, bank_of.clone());
         Ok(Self {
             banks,
             bank_of,
@@ -408,6 +415,7 @@ impl Simulation {
             control_steps,
             solar_shares,
             scratch: StepScratch::default(),
+            fleet,
             config,
         })
     }
@@ -418,6 +426,7 @@ impl Simulation {
         for b in self.batteries.iter_mut() {
             b.pre_age(damage);
         }
+        self.fleet.mark_all(DirtyReason::Battery);
     }
 
     /// Pre-ages a single battery bank — fault injection for the paper's
@@ -429,6 +438,9 @@ impl Simulation {
     /// Returns [`SimError::Battery`] if `bank` is out of range.
     pub fn pre_age_bank(&mut self, bank: usize, damage: f64) -> Result<(), SimError> {
         self.batteries.unit_mut(bank)?.pre_age(damage);
+        for &m in &self.members[bank] {
+            self.fleet.mark(m, DirtyReason::Battery);
+        }
         Ok(())
     }
 
@@ -461,6 +473,45 @@ impl Simulation {
     /// `console watch` renders between step batches.
     pub fn health(&self) -> &HealthMonitor {
         &self.health
+    }
+
+    /// The incremental placement state: per-node score arrays and the
+    /// dirty-reason masks recording which mutation seams have fired.
+    /// Read-only observability for tests and diagnostics.
+    pub fn fleet(&self) -> &FleetView {
+        &self.fleet
+    }
+
+    /// The placement order the incremental fleet ranker produces for
+    /// `spec` right now, after refreshing any dirty nodes. Sequential
+    /// specs return their static order; `RoundRobin` peeks the cursor
+    /// without advancing it; `Custom` falls back to ascending indices
+    /// (the caller owns its own `placement_order`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the engine's node/bank bookkeeping is
+    /// inconsistent with the substrates.
+    pub fn placement_rank(
+        &mut self,
+        spec: PlacementSpec,
+        kind: WorkloadKind,
+    ) -> Result<Vec<usize>, SimError> {
+        let n = self.config.nodes;
+        self.refresh_fleet()?;
+        let mode = match spec {
+            PlacementSpec::Custom | PlacementSpec::FirstFit => return Ok((0..n).collect()),
+            PlacementSpec::RoundRobin => {
+                let start = self.fleet.rr_peek();
+                return Ok((0..n).map(|i| (start + i) % n).collect());
+            }
+            PlacementSpec::WeightedAging { server_power } => {
+                class_index(demand_class(kind, &server_power))
+            }
+            PlacementSpec::LifetimeNat => NAT_MODE,
+        };
+        self.fleet.ensure_mode(mode);
+        Ok((0..n).map(|r| self.fleet.ranked_node(mode, r)).collect())
     }
 
     /// Runs the configured weather plan to completion under `policy` and
@@ -603,8 +654,10 @@ impl Simulation {
             for since in &mut self.offline_since {
                 *since = None;
             }
+            self.fleet.mark_all(DirtyReason::Power);
         } else if !in_window && self.in_window {
             self.cluster.power_off_all();
+            self.fleet.mark_all(DirtyReason::Power);
         }
         self.in_window = in_window;
 
@@ -619,7 +672,7 @@ impl Simulation {
         // solar, and route_power's charger/switcher/battery passes), and
         // only on sampled steps: per-step stage work is microseconds, so
         // timing one step in PROFILE_SAMPLE_STEPS gives representative
-        // means while keeping profiler overhead well under the 5 %
+        // means while keeping profiler overhead well under the 1 µs/step
         // budget. Counters are never sampled — they stay exact.
         let mut clock = if self.step_index.is_multiple_of(PROFILE_SAMPLE_STEPS) {
             obs.stage_clock()
@@ -627,23 +680,48 @@ impl Simulation {
             StageClock::inert()
         };
 
-        // Workload arrivals. The system view is built lazily (most steps
-        // see no arrival) and then shared across the batch: placement
-        // refreshes only the admitted node's entry per VM.
+        // Workload arrivals. Policies with a declarative placement spec
+        // place from the incremental fleet ranker (refreshed once per
+        // batch — dirty nodes only); custom policies keep the legacy
+        // path, where the system view is built lazily (most steps see no
+        // arrival), shared across the batch, and placement refreshes
+        // only the admitted node's entry per VM.
         if in_window {
-            let mut view: Option<SystemView> = None;
-            while let Some(arrival) = self.arrivals_today.front().copied() {
-                if arrival.at > tod {
-                    break;
+            match policy.placement_spec() {
+                PlacementSpec::Custom => {
+                    let mut view: Option<SystemView> = None;
+                    while let Some(arrival) = self.arrivals_today.front().copied() {
+                        if arrival.at > tod {
+                            break;
+                        }
+                        self.arrivals_today.pop_front();
+                        let vm = self.generator.spawn(arrival.kind);
+                        if view.is_none() {
+                            view = Some(self.build_view()?);
+                        }
+                        let view = view.as_mut().expect("view built above");
+                        if let Some(vm) = self.place_vm(vm, arrival.kind, policy, view, obs)? {
+                            self.pending.push_back(vm);
+                        }
+                    }
                 }
-                self.arrivals_today.pop_front();
-                let vm = self.generator.spawn(arrival.kind);
-                if view.is_none() {
-                    view = Some(self.build_view()?);
-                }
-                let view = view.as_mut().expect("view built above");
-                if let Some(vm) = self.place_vm(vm, arrival.kind, policy, view)? {
-                    self.pending.push_back(vm);
+                spec => {
+                    let mut refreshed = false;
+                    while let Some(arrival) = self.arrivals_today.front().copied() {
+                        if arrival.at > tod {
+                            break;
+                        }
+                        self.arrivals_today.pop_front();
+                        let vm = self.generator.spawn(arrival.kind);
+                        if !refreshed {
+                            let _t = obs.time(Stage::PlacementRank);
+                            self.refresh_fleet()?;
+                            refreshed = true;
+                        }
+                        if let Some(vm) = self.place_vm_fast(vm, arrival.kind, spec)? {
+                            self.pending.push_back(vm);
+                        }
+                    }
                 }
             }
             clock.lap(Stage::Placement);
@@ -672,12 +750,16 @@ impl Simulation {
             let control_span =
                 self.tracer
                     .start("policy.control", SpanId::NONE, self.now.as_secs());
+            // View preparation (reap + build) is engine work, not the
+            // policy's decision pass — it stays outside the
+            // `policy_control` timer so the stage row reports pure
+            // control decision time.
+            for host in self.cluster.hosts_mut() {
+                host.reap_completed();
+            }
+            let view = self.build_view()?;
             let actions = {
                 let _t = obs.time(Stage::PolicyControl);
-                for host in self.cluster.hosts_mut() {
-                    host.reap_completed();
-                }
-                let view = self.build_view()?;
                 let last = std::mem::take(&mut self.last_outcomes);
                 let ctx = ControlCtx {
                     step_index: self.step_index,
@@ -710,10 +792,7 @@ impl Simulation {
             if self.health.is_enabled() {
                 self.observe_health()?;
             }
-            {
-                let _t = obs.time(Stage::Placement);
-                self.retry_pending(policy)?;
-            }
+            self.retry_pending(policy, obs)?;
             // The control interval is timed by its own RAII guards; drop
             // it from the boundary clock so it is not charged to the
             // charger pass.
@@ -806,6 +885,25 @@ impl Simulation {
     /// faults by powering the afflicted servers off.
     fn process_faults(&mut self) -> Result<(), SimError> {
         for t in self.injector.begin_step(self.now) {
+            // Either edge of a fault window can change a node's score
+            // inputs (headroom, telemetry, admission), so both dirty the
+            // affected nodes.
+            match t.kind {
+                FaultKind::HostFailure { node } => {
+                    if node < self.config.nodes {
+                        self.fleet.mark(node, DirtyReason::Fault);
+                    }
+                }
+                kind => match kind.target() {
+                    Some(bank) if bank < self.members.len() => {
+                        for &m in &self.members[bank] {
+                            self.fleet.mark(m, DirtyReason::Fault);
+                        }
+                    }
+                    Some(_) => {}
+                    None => self.fleet.mark_all(DirtyReason::Fault),
+                },
+            }
             if t.entered {
                 self.fault_counters.injected.inc();
                 // Root span of the causal chain: degraded-mode and
@@ -854,6 +952,7 @@ impl Simulation {
             if self.injector.host_down(i) && self.cluster.host(i)?.is_online() {
                 self.cluster.host_mut(i)?.power_off();
                 self.offline_since[i] = Some(self.now);
+                self.fleet.mark(i, DirtyReason::Power);
                 self.counters.shutdowns.inc();
                 Self::log_event(
                     &mut self.events,
@@ -879,6 +978,7 @@ impl Simulation {
             };
             if stale != self.degraded[i] {
                 self.degraded[i] = stale;
+                self.fleet.mark(i, DirtyReason::Degraded);
                 if stale {
                     self.open_degraded_span(i);
                 } else {
@@ -1063,8 +1163,12 @@ impl Simulation {
         kind: WorkloadKind,
         policy: &mut P,
         view: &mut SystemView,
+        obs: &Obs,
     ) -> Result<Option<Vm>, SimError> {
-        let order = policy.placement_order(kind, view);
+        let order = {
+            let _t = obs.time(Stage::PlacementRank);
+            policy.placement_order(kind, view)
+        };
         let request = kind.resource_request();
         for node in order {
             if node >= self.config.nodes {
@@ -1080,16 +1184,111 @@ impl Simulation {
         Ok(Some(vm))
     }
 
+    /// Places a VM through the incremental fleet ranker — no
+    /// [`SystemView`] is built. The admission walk consults the live
+    /// cluster (`is_online` + `fits`), so only the *ranking* is cached;
+    /// any admission since the last refresh is still observed.
+    fn place_vm_fast(
+        &mut self,
+        vm: Vm,
+        kind: WorkloadKind,
+        spec: PlacementSpec,
+    ) -> Result<Option<Vm>, SimError> {
+        let n = self.config.nodes;
+        let (start, mode) = match spec {
+            PlacementSpec::Custom => unreachable!("custom specs use place_vm"),
+            PlacementSpec::FirstFit => (0, None),
+            PlacementSpec::RoundRobin => (self.fleet.rr_next(), None),
+            PlacementSpec::WeightedAging { server_power } => {
+                // Untimed: after the caller's refresh this is a no-op
+                // check; per-VM timer guards here would cost more clock
+                // reads than the work they measure.
+                let mode = class_index(demand_class(kind, &server_power));
+                self.fleet.ensure_mode(mode);
+                (0, Some(mode))
+            }
+            PlacementSpec::LifetimeNat => {
+                self.fleet.ensure_mode(NAT_MODE);
+                (0, Some(NAT_MODE))
+            }
+        };
+        let request = kind.resource_request();
+        for r in 0..n {
+            let node = match mode {
+                None => (start + r) % n,
+                Some(m) => self.fleet.ranked_node(m, r),
+            };
+            let host = self.cluster.host_mut(node)?;
+            if host.is_online() && host.fits(request) {
+                host.admit(vm)?;
+                return Ok(None);
+            }
+        }
+        Ok(Some(vm))
+    }
+
+    /// Re-scores exactly the dirty nodes and folds their keys back into
+    /// the ranked orders. Bank-level quantities (aging metrics, SoC,
+    /// headroom) are computed once per dirty bank per pass, then
+    /// scattered to member nodes.
+    fn refresh_fleet(&mut self) -> Result<(), SimError> {
+        if self.fleet.is_clean() {
+            return Ok(());
+        }
+        let dirty = self.fleet.take_dirty();
+        for &node in &dirty {
+            let i = node as usize;
+            let bank = self.bank_of[i];
+            if self.fleet.bank_needs_refresh(bank) {
+                let ratings = self.ratings(i)?;
+                let headroom = self.floored_available(bank, self.config.dt)?;
+                let battery = self.batteries.unit(bank)?;
+                let metrics =
+                    AgingMetrics::from_accumulator(battery.telemetry().lifetime(), &ratings);
+                self.fleet.update_bank(
+                    bank,
+                    &metrics,
+                    battery.soc().value(),
+                    headroom.as_f64(),
+                    battery.aging().total_damage(),
+                );
+            }
+            let online = self.cluster.host(i)?.is_online();
+            let degraded = self.degraded[i];
+            self.fleet.update_node(i, degraded, online);
+        }
+        self.fleet.commit_refresh(dirty);
+        Ok(())
+    }
+
     /// Retries queued jobs in arrival order.
-    fn retry_pending<P: Policy>(&mut self, policy: &mut P) -> Result<(), SimError> {
+    fn retry_pending<P: Policy>(&mut self, policy: &mut P, obs: &Obs) -> Result<(), SimError> {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let mut view = self.build_view()?;
+        let spec = policy.placement_spec();
+        if spec == PlacementSpec::Custom {
+            let _t = obs.time(Stage::Placement);
+            let mut view = self.build_view()?;
+            let mut still_pending = VecDeque::with_capacity(self.pending.len());
+            while let Some(vm) = self.pending.pop_front() {
+                let kind = vm.kind();
+                if let Some(vm) = self.place_vm(vm, kind, policy, &mut view, obs)? {
+                    still_pending.push_back(vm);
+                }
+            }
+            self.pending = still_pending;
+            return Ok(());
+        }
+        {
+            let _t = obs.time(Stage::PlacementRank);
+            self.refresh_fleet()?;
+        }
+        let _t = obs.time(Stage::Placement);
         let mut still_pending = VecDeque::with_capacity(self.pending.len());
         while let Some(vm) = self.pending.pop_front() {
             let kind = vm.kind();
-            if let Some(vm) = self.place_vm(vm, kind, policy, &mut view)? {
+            if let Some(vm) = self.place_vm_fast(vm, kind, spec)? {
                 still_pending.push_back(vm);
             }
         }
@@ -1115,6 +1314,7 @@ impl Simulation {
                                 Event::DvfsChanged { node, level },
                             );
                         }
+                        self.fleet.mark(node, DirtyReason::Action);
                         ActionResult::Applied
                     }
                     Err(_) => ActionResult::Rejected(RejectReason::UnknownNode),
@@ -1137,6 +1337,10 @@ impl Simulation {
                                     to: target,
                                 },
                             );
+                            if let Some(from) = from {
+                                self.fleet.mark(from, DirtyReason::Action);
+                            }
+                            self.fleet.mark(target, DirtyReason::Action);
                             ActionResult::Applied
                         }
                         Err(e) => ActionResult::Rejected(RejectReason::from_server_error(&e)),
@@ -1153,6 +1357,9 @@ impl Simulation {
                                 self.now,
                                 Event::SocFloorChanged { node, floor },
                             );
+                        }
+                        for &m in &self.members[bank] {
+                            self.fleet.mark(m, DirtyReason::Action);
                         }
                         ActionResult::Applied
                     } else {
@@ -1205,6 +1412,9 @@ impl Simulation {
         if let Some(prev) = prev {
             if prev != stage {
                 self.mode_switches[b] += 1;
+                for &m in &self.members[b] {
+                    self.fleet.mark(m, DirtyReason::ModeSwitch);
+                }
                 let span = self
                     .tracer
                     .start("charger.mode", SpanId::NONE, self.now.as_secs());
@@ -1261,7 +1471,7 @@ impl Simulation {
         // SoC overnight.
         // Stage timers wrap whole per-stage passes (not per-bank work):
         // two clock reads per stage per step keeps profiler overhead
-        // well under the 5 % budget even on the fastest schemes.
+        // well under the 1 µs/step budget even on the fastest schemes.
         if !self.in_window {
             self.scratch.ops.clear();
             for b in 0..self.banks {
@@ -1313,6 +1523,10 @@ impl Simulation {
                     }
                 }
             }
+            // Every bank stepped: SoC, headroom, and aging metrics all
+            // moved, so the whole fleet re-scores before the next
+            // placement.
+            self.fleet.mark_all(DirtyReason::Battery);
             clock.lap(Stage::BatteryStep);
             return Ok(());
         }
@@ -1462,6 +1676,7 @@ impl Simulation {
                         if let Some(victim) = victim {
                             self.cluster.host_mut(victim)?.power_off();
                             self.offline_since[victim] = Some(self.now);
+                            self.fleet.mark(victim, DirtyReason::Power);
                             self.counters.shutdowns.inc();
                             Self::log_event(
                                 &mut self.events,
@@ -1477,6 +1692,7 @@ impl Simulation {
                 }
             }
         }
+        self.fleet.mark_all(DirtyReason::Battery);
         clock.lap(Stage::BatteryStep);
         Ok(())
     }
@@ -1506,6 +1722,7 @@ impl Simulation {
                 host.power_on();
                 host.resume_all();
                 self.offline_since[i] = None;
+                self.fleet.mark(i, DirtyReason::Power);
                 self.counters.restarts.inc();
                 Self::log_event(
                     &mut self.events,

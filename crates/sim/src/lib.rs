@@ -36,6 +36,7 @@ mod engine;
 mod error;
 mod events;
 mod fallback;
+mod fleet;
 mod policy;
 mod recorder;
 mod report;
@@ -51,8 +52,10 @@ pub use engine::{availability, run_simulation, run_simulation_observed, Simulati
 pub use error::SimError;
 pub use events::{Event, EventLog, TimedEvent};
 pub use fallback::{FallbackInput, FallbackScheme, FALLBACK_DVFS, FALLBACK_SOC_FLOOR};
+pub use fleet::{DirtyReason, FleetView, PlacementSpec};
 pub use policy::{
     Action, ActionOutcome, ActionResult, ControlCtx, Policy, RejectReason, RoundRobinPolicy,
+    ScratchPlacement,
 };
 pub use recorder::{Recorder, TraceRow};
 pub use report::{NodeReport, SimReport};

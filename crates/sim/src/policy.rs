@@ -18,6 +18,7 @@ use baat_server::{DvfsLevel, MigrationBlock, ServerError};
 use baat_units::{SimInstant, Soc};
 use baat_workload::{VmId, WorkloadKind};
 
+use crate::fleet::PlacementSpec;
 use crate::view::SystemView;
 
 /// An actuation a policy can request.
@@ -193,6 +194,19 @@ pub trait Policy {
     /// engine admits the VM to the first node in the order with free
     /// resources; an empty order means "reject the workload".
     fn placement_order(&mut self, kind: WorkloadKind, view: &SystemView) -> Vec<usize>;
+
+    /// Declares how this policy's placement order is produced. The
+    /// default, [`PlacementSpec::Custom`], keeps the legacy path (the
+    /// engine builds a [`SystemView`] and calls
+    /// [`Policy::placement_order`]). Policies whose order matches a
+    /// declarative spec should return it: the engine then ranks from its
+    /// incremental [`crate::FleetView`] — bit-identical, without view
+    /// rebuilds or from-scratch sorts. A non-`Custom` spec must describe
+    /// *exactly* what `placement_order` computes; equality is pinned by
+    /// the incremental-vs-scratch test suites.
+    fn placement_spec(&self) -> PlacementSpec {
+        PlacementSpec::Custom
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -207,6 +221,34 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     fn placement_order(&mut self, kind: WorkloadKind, view: &SystemView) -> Vec<usize> {
         (**self).placement_order(kind, view)
     }
+
+    fn placement_spec(&self) -> PlacementSpec {
+        (**self).placement_spec()
+    }
+}
+
+/// Forces the legacy recompute-from-scratch placement path for any
+/// policy by masking its [`Policy::placement_spec`] back to
+/// [`PlacementSpec::Custom`]. The reference wrapper the incremental
+/// fleet ranker is proven bit-identical against: running `P` and
+/// `ScratchPlacement(P)` over the same config must produce identical
+/// reports.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchPlacement<P>(pub P);
+
+impl<P: Policy> Policy for ScratchPlacement<P> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn control(&mut self, view: &SystemView, ctx: &ControlCtx<'_>) -> Vec<Action> {
+        self.0.control(view, ctx)
+    }
+
+    fn placement_order(&mut self, kind: WorkloadKind, view: &SystemView) -> Vec<usize> {
+        self.0.placement_order(kind, view)
+    }
+    // placement_spec deliberately keeps the Custom default.
 }
 
 /// Baseline placement with no battery awareness: round-robin placement,
@@ -241,6 +283,10 @@ impl Policy for RoundRobinPolicy {
         let start = self.next % n;
         self.next = (self.next + 1) % n;
         (0..n).map(|i| (start + i) % n).collect()
+    }
+
+    fn placement_spec(&self) -> PlacementSpec {
+        PlacementSpec::RoundRobin
     }
 }
 

@@ -1,7 +1,9 @@
 //! Property-based tests for engine-level invariants, run on coarse
 //! timesteps to keep the case count affordable.
 
-use baat_sim::{run_simulation, FaultMix, FaultPlan, RoundRobinPolicy, SimConfig, Simulation};
+use baat_sim::{
+    run_simulation, FaultMix, FaultPlan, RoundRobinPolicy, ScratchPlacement, SimConfig, Simulation,
+};
 use baat_solar::Weather;
 use baat_testkit::prelude::*;
 use baat_units::SimDuration;
@@ -148,6 +150,40 @@ proptest! {
             .expect("simulation runs");
         prop_assert_eq!(clean_fork, clean_scratch);
         prop_assert_eq!(faulted_fork, faulted_scratch);
+    }
+
+    /// The incremental placement ranker is unobservable: a policy served
+    /// by the engine's dirty-set fleet ranker ([`RoundRobinPolicy`]
+    /// declares a placement spec) must produce bit-identical reports to
+    /// the same policy masked behind [`ScratchPlacement`], which forces
+    /// the legacy recompute-from-`SystemView` path — across clean runs,
+    /// arbitrary fleet sizes, and heavy fault plans (degraded nodes,
+    /// host failures, mode switches all invalidating mid-run).
+    #[test]
+    fn incremental_placement_matches_scratch(
+        weather in weather_strategy(),
+        seed in 0u64..500,
+        nodes in 1usize..8,
+    ) {
+        let clean_fast = run_simulation(
+            coarse_config(weather, seed, nodes),
+            &mut RoundRobinPolicy::new(),
+        ).expect("fast clean run");
+        let clean_scratch = run_simulation(
+            coarse_config(weather, seed, nodes),
+            &mut ScratchPlacement(RoundRobinPolicy::new()),
+        ).expect("scratch clean run");
+        prop_assert_eq!(clean_fast, clean_scratch);
+
+        let faulted_fast = run_simulation(
+            faulted_config(weather, seed, nodes),
+            &mut RoundRobinPolicy::new(),
+        ).expect("fast faulted run");
+        let faulted_scratch = run_simulation(
+            faulted_config(weather, seed, nodes),
+            &mut ScratchPlacement(RoundRobinPolicy::new()),
+        ).expect("scratch faulted run");
+        prop_assert_eq!(faulted_fast, faulted_scratch);
     }
 
     /// Engine invariants survive arbitrary generated fault plans: SoC

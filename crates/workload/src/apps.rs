@@ -150,12 +150,22 @@ impl WorkloadKind {
     }
 
     /// The coarse power profile BAAT's scheduler consumes (§IV.B.2.a).
+    ///
+    /// The mean/peak integrations behind a profile are pure but cost
+    /// ~1800 utilization evaluations, and placement consults the
+    /// profile for every VM admission attempt — so the six profiles
+    /// are computed once per process and served from a table.
     pub fn profile(self) -> PowerProfile {
-        PowerProfile::new(
-            self.mean_utilization(),
-            self.peak_utilization(),
-            self.nominal_duration(),
-        )
+        static TABLE: std::sync::LazyLock<[PowerProfile; 6]> = std::sync::LazyLock::new(|| {
+            WorkloadKind::ALL.map(|kind| {
+                PowerProfile::new(
+                    kind.mean_utilization(),
+                    kind.peak_utilization(),
+                    kind.nominal_duration(),
+                )
+            })
+        });
+        TABLE[self as usize]
     }
 
     /// Typical VM resource request (vCPUs, memory GiB) for this workload.
