@@ -74,6 +74,26 @@ run_smoke() {
     cmp "$SMOKE_DIR/a/metrics.om" ci/golden/metrics.om
     "${CONSOLE[@]}" trace-check "$SMOKE_DIR/a/spans.jsonl"
     "${CONSOLE[@]}" diff "$SMOKE_DIR/a/events.jsonl" "$SMOKE_DIR/b/events.jsonl" >/dev/null
+
+    echo "==> chemistry ablation smoke"
+    # Both chemistries run the same short day. An explicit
+    # --chemistry lead-acid run must stay byte-identical to the default
+    # run (the flag only adds run metadata and the run.chemistry gauge),
+    # while the li-ion run must actually diverge — a real ablation, not a
+    # relabelled rerun. Run metadata records the chemistry either way.
+    "${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
+        --chemistry lead-acid --jsonl "$SMOKE_DIR/pb" >/dev/null
+    "${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
+        --chemistry li-ion --jsonl "$SMOKE_DIR/li" >/dev/null
+    cmp "$SMOKE_DIR/pb/events.jsonl" "$SMOKE_DIR/clean/events.jsonl"
+    grep -q '"chemistry":"lead-acid"' "$SMOKE_DIR/pb/run.jsonl"
+    grep -q '"chemistry":"li-ion"' "$SMOKE_DIR/li/run.jsonl"
+    grep -q 'run_chemistry\|run\.chemistry' "$SMOKE_DIR/li/metrics.om"
+    if cmp -s "$SMOKE_DIR/li/events.jsonl" "$SMOKE_DIR/clean/events.jsonl"; then
+        echo "error: li-ion run replayed the lead-acid event stream" >&2
+        exit 1
+    fi
+    "${CONSOLE[@]}" trace-check "$SMOKE_DIR/li/spans.jsonl"
 }
 
 run_fleet() {

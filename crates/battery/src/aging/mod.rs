@@ -148,7 +148,7 @@ impl AgingModel {
 /// The initial pair is the reference temperature, whose factor is exactly
 /// `1.0` by definition.
 #[derive(Debug, Clone, Copy)]
-struct ArrheniusMemo {
+pub(crate) struct ArrheniusMemo {
     temp_bits: u64,
     factor: f64,
 }
@@ -163,7 +163,7 @@ impl Default for ArrheniusMemo {
 }
 
 impl ArrheniusMemo {
-    fn factor(&mut self, temperature: baat_units::Celsius) -> f64 {
+    pub(crate) fn factor(&mut self, temperature: baat_units::Celsius) -> f64 {
         let bits = temperature.as_f64().to_bits();
         if bits != self.temp_bits {
             self.temp_bits = bits;

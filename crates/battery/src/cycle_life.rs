@@ -47,6 +47,16 @@ impl CycleLifeCurve {
         Self { a, k, c }
     }
 
+    /// Fitted curve for an LFP-flavoured Li-ion cell.
+    ///
+    /// Calibrated so N(100 % DoD) ≈ 2000 cycles and N(50 % DoD) ≈ 3100 —
+    /// the flat-by-lead-acid-standards DoD dependence of published LFP
+    /// datasheets (`k` well below the lead-acid curves' 1.0). Not a
+    /// [`Manufacturer`] variant: Fig 10 plots lead-acid vendors only.
+    pub fn li_ion_lfp() -> Self {
+        Self::new(2_568.0, 0.45, 0.25)
+    }
+
     /// Number of charge/discharge cycles to end-of-life (80 % capacity) when
     /// cycling repeatedly at depth `dod`.
     ///
@@ -256,6 +266,18 @@ mod tests {
         assert!((q40 / q20 - 1.0).abs() < 0.12, "q20={q20} q40={q40}");
         // ...but very deep cycling wastes life.
         assert!(q90 < q20, "deep discharge must cost total throughput");
+    }
+
+    #[test]
+    fn li_ion_outlives_lead_acid_and_depends_less_on_dod() {
+        let li = CycleLifeCurve::li_ion_lfp();
+        for m in Manufacturer::ALL {
+            assert!(li.cycles_to_eol(dod(0.5)) > 1.8 * m.cycles_to_eol(dod(0.5)));
+        }
+        // Halving sensitivity: doubling DoD costs Li-ion well under the
+        // lead-acid ~50 %.
+        let ratio = li.cycles_to_eol(dod(0.5)) / li.cycles_to_eol(dod(0.25));
+        assert!(ratio > 0.6, "li-ion DoD sensitivity too steep: {ratio}");
     }
 
     #[test]

@@ -1,10 +1,14 @@
-//! Lead-acid battery electrochemistry, aging mechanisms and cycle-life
-//! models — the energy-storage substrate of the BAAT reproduction.
+//! Battery electrochemistry, aging mechanisms and cycle-life models —
+//! the energy-storage substrate of the BAAT reproduction.
 //!
 //! The paper's prototype (§V.A) uses twelve 12 V 35 Ah sealed lead-acid
 //! batteries, one per server. This crate models such units from first
-//! principles:
+//! principles, behind a pluggable [`BatteryModel`] trait:
 //!
+//! * [`BatteryModel`] / [`AnyBattery`] / [`Chemistry`] — the chemistry
+//!   seam: lead-acid and Li-ion behind one deterministic contract;
+//! * [`LiIonBattery`] — an LFP-flavoured equivalent-circuit alternative
+//!   with calendar + cycle aging;
 //! * [`BatterySpec`] — static parameters (capacity, resistance, cutoff,
 //!   manufacturer cycle-life curve), built with a validating builder;
 //! * [`Battery`] — the dynamic model: coulomb-counted SoC, Shepherd-style
@@ -44,8 +48,10 @@
 #![warn(missing_docs)]
 
 mod aging;
+mod chemistry;
 mod cycle_life;
 mod error;
+mod liion;
 mod model;
 mod obs;
 mod pack;
@@ -58,8 +64,10 @@ pub use aging::{
     ActiveMassShedding, AgingModel, AgingState, DamageBreakdown, GridCorrosion, Mechanism,
     SharedStress, Stratification, StressSample, Sulphation, WaterLoss,
 };
+pub use chemistry::{AgingBreakdown, AnyBattery, BatteryModel, Chemistry, MAX_AGING_MECHANISMS};
 pub use cycle_life::{CycleLifeCurve, Manufacturer, MemoizedCycleLife};
 pub use error::BatteryError;
+pub use liion::{LiIonAgingState, LiIonBattery};
 pub use model::{Battery, BatteryOp, StepResult};
 pub use obs::AgingObs;
 pub use pack::{BatteryPack, VariationParams};
@@ -67,5 +75,6 @@ pub use spec::{BatterySpec, BatterySpecBuilder};
 pub use telemetry::{SensorSample, TelemetryLog, UsageAccumulator, SOC_HISTOGRAM_BINS};
 pub use thermal::ThermalModel;
 pub use voltage::{
-    charge_current_for_power, discharge_current_for_power, open_circuit_voltage, terminal_voltage,
+    charge_current_for_power, discharge_current_for_power, li_ion_open_circuit_voltage,
+    open_circuit_voltage, terminal_voltage,
 };

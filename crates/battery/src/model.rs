@@ -2,10 +2,11 @@
 //! losses, cutoff behaviour, thermal coupling and aging integration.
 
 use baat_units::{
-    AmpHours, Amperes, Celsius, Ohms, SimDuration, SimInstant, Soc, Volts, WattHours, Watts,
+    AmpHours, Amperes, Celsius, Ohms, Scale, SimDuration, SimInstant, Soc, Volts, WattHours, Watts,
 };
 
 use crate::aging::{AgingModel, AgingState, StressSample};
+use crate::chemistry::{AgingBreakdown, BatteryModel, Chemistry};
 use crate::error::BatteryError;
 use crate::spec::BatterySpec;
 use crate::telemetry::{SensorSample, TelemetryLog};
@@ -52,7 +53,7 @@ pub struct StepResult {
 }
 
 impl StepResult {
-    fn idle(voltage: Volts) -> Self {
+    pub(crate) fn idle(voltage: Volts) -> Self {
         Self {
             delivered: Watts::ZERO,
             accepted: Watts::ZERO,
@@ -72,7 +73,7 @@ impl StepResult {
 /// would produce, and the initial `(0, 0.0, 0.0)` triple is itself exact
 /// (`0 / 3600 = 0 / 86 400 = 0.0`).
 #[derive(Debug, Clone, Copy)]
-struct DtMemo {
+pub(crate) struct DtMemo {
     dt_secs: u64,
     hours: f64,
     days: f64,
@@ -89,7 +90,7 @@ impl Default for DtMemo {
 }
 
 impl DtMemo {
-    fn refresh(&mut self, dt: SimDuration) -> (f64, f64) {
+    pub(crate) fn refresh(&mut self, dt: SimDuration) -> (f64, f64) {
         if dt.as_secs() != self.dt_secs {
             self.dt_secs = dt.as_secs();
             self.hours = dt.as_hours();
@@ -100,6 +101,12 @@ impl DtMemo {
 }
 
 /// A single sealed lead-acid battery unit with aging.
+///
+/// `Battery` is the lead-acid implementation of the
+/// [`BatteryModel`] trait; chemistry-generic code should accept
+/// `impl BatteryModel` (or [`AnyBattery`](crate::AnyBattery)) instead of
+/// this concrete type. The inherent methods remain for lead-acid-specific
+/// callers and behave identically to their trait counterparts.
 ///
 /// # Examples
 ///
@@ -150,21 +157,14 @@ impl Battery {
     /// Creates a fully charged, brand-new battery.
     pub fn new(spec: BatterySpec) -> Self {
         let aging = AgingState::new(AgingModel::new(spec.lifetime_throughput().as_f64()));
-        Self::with_aging(spec, aging, 1.0)
+        Self::with_aging(spec, aging, Scale::ONE)
     }
 
     /// Creates a battery with explicit aging state and a unit-to-unit
-    /// capacity scale (manufacturing variation; 1.0 = nominal).
-    ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `capacity_scale` is not positive and
-    /// finite.
-    pub fn with_aging(spec: BatterySpec, aging: AgingState, capacity_scale: f64) -> Self {
-        debug_assert!(
-            capacity_scale.is_finite() && capacity_scale > 0.0,
-            "invalid capacity scale"
-        );
+    /// capacity scale (manufacturing variation; [`Scale::ONE`] =
+    /// nominal). The [`Scale`] newtype guarantees the multiplier is
+    /// positive and finite.
+    pub fn with_aging(spec: BatterySpec, aging: AgingState, capacity_scale: Scale) -> Self {
         let thermal = ThermalModel::new(
             spec.ambient(),
             spec.thermal_resistance(),
@@ -177,7 +177,7 @@ impl Battery {
             telemetry: TelemetryLog::default(),
             soc: Soc::FULL,
             hours_since_full: 0.0,
-            capacity_scale,
+            capacity_scale: capacity_scale.value(),
             cutoff_events: 0,
             dt_memo: DtMemo::default(),
         }
@@ -389,7 +389,7 @@ impl Battery {
         };
 
         // Self-discharge applies regardless of operation.
-        let leak = self.spec.self_discharge_per_day() * dt_days;
+        let leak = self.spec.self_discharge_per_day().value() * dt_days;
         self.soc = Soc::saturating(self.soc.value() - leak);
 
         // Thermal update feeds the aging temperature factor. The
@@ -523,6 +523,21 @@ impl Battery {
         }
     }
 
+    /// Accumulated damage across all five lead-acid mechanisms.
+    pub fn total_damage(&self) -> f64 {
+        self.aging.total_damage()
+    }
+
+    /// Remaining capacity as a fraction of initial capacity.
+    pub fn capacity_fraction(&self) -> f64 {
+        self.aging.capacity_fraction()
+    }
+
+    /// The five-mechanism damage breakdown in chemistry-agnostic form.
+    pub fn aging_breakdown(&self) -> AgingBreakdown {
+        AgingBreakdown::from(self.aging.breakdown())
+    }
+
     fn apply_charge(&mut self, power: Watts, ocv: Volts, r: Ohms, dt_hours: f64) -> StepResult {
         if power.as_f64() <= 0.0 || self.soc.value() >= 1.0 {
             return StepResult::idle(ocv);
@@ -548,7 +563,7 @@ impl Battery {
         let accepted = Watts::new(i * v_term.as_f64());
 
         // Coulombic efficiency: a fraction of the charge becomes heat/gas.
-        let stored_ah = i * dt_hours * self.spec.coulombic_efficiency();
+        let stored_ah = i * dt_hours * self.spec.coulombic_efficiency().value();
         let capacity = self.effective_capacity();
         self.soc = Soc::saturating(self.soc.value() + stored_ah / capacity.as_f64());
         StepResult {
@@ -558,6 +573,113 @@ impl Battery {
             current,
             cutoff: false,
         }
+    }
+}
+
+/// The lead-acid chemistry behind the [`BatteryModel`] seam.
+///
+/// Every method delegates to the corresponding inherent method (written
+/// `Battery::method(self, ..)` so resolution cannot recurse into the
+/// trait), which keeps the trait path bit-identical to direct use.
+impl BatteryModel for Battery {
+    fn chemistry(&self) -> Chemistry {
+        Chemistry::LeadAcid
+    }
+
+    fn spec(&self) -> &BatterySpec {
+        Battery::spec(self)
+    }
+
+    fn soc(&self) -> Soc {
+        Battery::soc(self)
+    }
+
+    fn set_soc(&mut self, soc: Soc) {
+        Battery::set_soc(self, soc);
+    }
+
+    fn effective_capacity(&self) -> AmpHours {
+        Battery::effective_capacity(self)
+    }
+
+    fn stored_charge(&self) -> AmpHours {
+        Battery::stored_charge(self)
+    }
+
+    fn internal_resistance(&self) -> Ohms {
+        Battery::internal_resistance(self)
+    }
+
+    fn open_circuit_voltage(&self) -> Volts {
+        Battery::open_circuit_voltage(self)
+    }
+
+    fn temperature(&self) -> Celsius {
+        Battery::temperature(self)
+    }
+
+    fn telemetry(&self) -> &TelemetryLog {
+        Battery::telemetry(self)
+    }
+
+    fn telemetry_mut(&mut self) -> &mut TelemetryLog {
+        Battery::telemetry_mut(self)
+    }
+
+    fn cutoff_events(&self) -> u64 {
+        Battery::cutoff_events(self)
+    }
+
+    fn hours_since_full(&self) -> f64 {
+        Battery::hours_since_full(self)
+    }
+
+    fn total_damage(&self) -> f64 {
+        Battery::total_damage(self)
+    }
+
+    fn capacity_fraction(&self) -> f64 {
+        Battery::capacity_fraction(self)
+    }
+
+    fn aging_breakdown(&self) -> AgingBreakdown {
+        Battery::aging_breakdown(self)
+    }
+
+    fn is_end_of_life(&self) -> bool {
+        Battery::is_end_of_life(self)
+    }
+
+    fn reserve_duration(&self, power: Watts) -> Option<SimDuration> {
+        Battery::reserve_duration(self, power)
+    }
+
+    fn available_discharge_power(&self) -> Watts {
+        Battery::available_discharge_power(self)
+    }
+
+    fn pre_age(&mut self, target_damage: f64) {
+        Battery::pre_age(self, target_damage);
+    }
+
+    fn try_step(
+        &mut self,
+        op: BatteryOp,
+        ambient: Celsius,
+        now: SimInstant,
+        dt: SimDuration,
+    ) -> Result<StepResult, BatteryError> {
+        Battery::try_step(self, op, ambient, now, dt)
+    }
+
+    fn step(
+        &mut self,
+        op: BatteryOp,
+        ambient: Celsius,
+        now: SimInstant,
+        dt: SimDuration,
+    ) -> StepResult {
+        Battery::step(self, op, ambient, now, dt)
     }
 }
 
@@ -771,7 +893,7 @@ mod tests {
         for _ in 0..400 {
             aged.apply(&stress);
         }
-        let b = Battery::with_aging(spec, aged, 1.0);
+        let b = Battery::with_aging(spec, aged, Scale::ONE);
         assert!(b.effective_capacity().as_f64() < 35.0 * 0.95);
     }
 }

@@ -1,36 +1,39 @@
 //! Observability hooks for the aging model.
 //!
 //! The paper's display module tracks "various aging metrics" live; the
-//! reproduction mirrors that with one gauge per §II.B mechanism plus the
-//! total, updated from a [`DamageBreakdown`] whenever the owner samples
-//! its batteries. Gauges are fleet aggregates: callers sum breakdowns
-//! across units before recording.
+//! reproduction mirrors that with one gauge per aging mechanism plus the
+//! total, updated from an [`AgingBreakdown`] whenever the owner samples
+//! its batteries. Gauge names come from the chemistry
+//! ([`Chemistry::aging_labels`]), so a lead-acid fleet registers the five
+//! §II.B mechanisms and a Li-ion fleet registers `calendar`/`cycle`.
+//! Gauges are fleet aggregates: callers sum breakdowns across units
+//! before recording.
 
 use baat_obs::{Gauge, Obs};
 
-use crate::aging::DamageBreakdown;
+use crate::chemistry::{AgingBreakdown, Chemistry, MAX_AGING_MECHANISMS};
 
 /// Gauges tracking accumulated damage per aging mechanism.
 #[derive(Debug, Clone, Default)]
 pub struct AgingObs {
-    corrosion: Gauge,
-    shedding: Gauge,
-    sulphation: Gauge,
-    water_loss: Gauge,
-    stratification: Gauge,
+    mechanisms: [Gauge; MAX_AGING_MECHANISMS],
+    len: usize,
     total: Gauge,
 }
 
 impl AgingObs {
-    /// Registers the aging gauges under `battery.aging.*`. With a
-    /// disabled `Obs` every gauge is inert.
-    pub fn new(obs: &Obs) -> Self {
+    /// Registers one `battery.aging.<mechanism>` gauge per mechanism of
+    /// `chemistry`, plus `battery.aging.total`. With a disabled `Obs`
+    /// every gauge is inert.
+    pub fn new(obs: &Obs, chemistry: Chemistry) -> Self {
+        let names = chemistry.aging_gauge_names();
+        let mut mechanisms: [Gauge; MAX_AGING_MECHANISMS] = Default::default();
+        for (slot, name) in mechanisms.iter_mut().zip(names) {
+            *slot = obs.gauge(name);
+        }
         Self {
-            corrosion: obs.gauge("battery.aging.corrosion"),
-            shedding: obs.gauge("battery.aging.shedding"),
-            sulphation: obs.gauge("battery.aging.sulphation"),
-            water_loss: obs.gauge("battery.aging.water_loss"),
-            stratification: obs.gauge("battery.aging.stratification"),
+            mechanisms,
+            len: names.len(),
             total: obs.gauge("battery.aging.total"),
         }
     }
@@ -40,13 +43,13 @@ impl AgingObs {
         Self::default()
     }
 
-    /// Records the current damage breakdown into the gauges.
-    pub fn record(&self, breakdown: &DamageBreakdown) {
-        self.corrosion.set(breakdown.corrosion);
-        self.shedding.set(breakdown.shedding);
-        self.sulphation.set(breakdown.sulphation);
-        self.water_loss.set(breakdown.water_loss);
-        self.stratification.set(breakdown.stratification);
+    /// Records the current damage breakdown into the gauges, by
+    /// position. The breakdown must come from the same chemistry the
+    /// gauges were registered for (or be empty/default).
+    pub fn record(&self, breakdown: &AgingBreakdown) {
+        for (gauge, (_, value)) in self.mechanisms[..self.len].iter().zip(breakdown.iter()) {
+            gauge.set(value);
+        }
         self.total.set(breakdown.total());
     }
 }
@@ -56,16 +59,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn gauges_reflect_the_breakdown() {
+    fn lead_acid_gauges_reflect_the_breakdown() {
         let obs = Obs::enabled();
-        let aging = AgingObs::new(&obs);
-        let breakdown = DamageBreakdown {
-            corrosion: 0.1,
-            shedding: 0.2,
-            sulphation: 0.3,
-            water_loss: 0.05,
-            stratification: 0.05,
-        };
+        let aging = AgingObs::new(&obs, Chemistry::LeadAcid);
+        let breakdown = AgingBreakdown::from_pairs(&[
+            ("corrosion", 0.1),
+            ("shedding", 0.2),
+            ("sulphation", 0.3),
+            ("water_loss", 0.05),
+            ("stratification", 0.05),
+        ]);
         aging.record(&breakdown);
         let jsonl = obs.metrics_jsonl();
         assert!(jsonl.contains(r#""name":"battery.aging.sulphation","value":0.3"#));
@@ -73,8 +76,22 @@ mod tests {
     }
 
     #[test]
+    fn li_ion_gauges_use_calendar_and_cycle_names() {
+        let obs = Obs::enabled();
+        let aging = AgingObs::new(&obs, Chemistry::LiIon);
+        aging.record(&AgingBreakdown::from_pairs(&[
+            ("calendar", 0.12),
+            ("cycle", 0.08),
+        ]));
+        let jsonl = obs.metrics_jsonl();
+        assert!(jsonl.contains(r#""name":"battery.aging.calendar","value":0.12"#));
+        assert!(jsonl.contains(r#""name":"battery.aging.cycle","value":0.08"#));
+        assert!(!jsonl.contains("battery.aging.corrosion"));
+    }
+
+    #[test]
     fn disabled_instance_is_inert() {
         let aging = AgingObs::disabled();
-        aging.record(&DamageBreakdown::default());
+        aging.record(&AgingBreakdown::default());
     }
 }

@@ -6,22 +6,24 @@
 //! scale and an aging-rate multiplier from narrow distributions.
 
 use baat_rng::StdRng;
-use baat_units::Ohms;
+use baat_units::{Fraction, Ohms, Scale};
 
 use crate::aging::{AgingModel, AgingState};
+use crate::chemistry::{AnyBattery, BatteryModel, Chemistry};
 use crate::error::BatteryError;
+use crate::liion::LiIonBattery;
 use crate::model::Battery;
 use crate::spec::BatterySpec;
 
 /// Spread parameters for unit-to-unit manufacturing variation.
+///
+/// Construct with [`VariationParams::new`] (validated [`Fraction`]
+/// spreads), or use [`VariationParams::NONE`] / `default()`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationParams {
-    /// Half-width of the uniform capacity spread (e.g. 0.03 = ±3 %).
-    pub capacity_spread: f64,
-    /// Half-width of the uniform internal-resistance spread.
-    pub resistance_spread: f64,
-    /// Half-width of the uniform aging-rate spread.
-    pub aging_rate_spread: f64,
+    capacity_spread: f64,
+    resistance_spread: f64,
+    aging_rate_spread: f64,
 }
 
 impl Default for VariationParams {
@@ -41,6 +43,59 @@ impl VariationParams {
         resistance_spread: 0.0,
         aging_rate_spread: 0.0,
     };
+
+    /// Builds validated spread parameters. Each spread is the half-width
+    /// of a uniform distribution around 1.0 (e.g. 0.03 = ±3 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::InvalidSpec`] if any spread is ≥ 0.5 (a
+    /// half-width that large would allow non-positive scales).
+    pub fn new(
+        capacity_spread: Fraction,
+        resistance_spread: Fraction,
+        aging_rate_spread: Fraction,
+    ) -> Result<Self, BatteryError> {
+        let params = Self {
+            capacity_spread: capacity_spread.value(),
+            resistance_spread: resistance_spread.value(),
+            aging_rate_spread: aging_rate_spread.value(),
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Builds spread parameters from raw `f64` values without
+    /// validation (they are checked at
+    /// [`BatteryPack::manufacture`] time, as the old public fields
+    /// were).
+    #[deprecated(note = "use VariationParams::new with Fraction spreads")]
+    pub fn from_spreads(
+        capacity_spread: f64,
+        resistance_spread: f64,
+        aging_rate_spread: f64,
+    ) -> Self {
+        Self {
+            capacity_spread,
+            resistance_spread,
+            aging_rate_spread,
+        }
+    }
+
+    /// Half-width of the uniform capacity spread.
+    pub fn capacity_spread(&self) -> f64 {
+        self.capacity_spread
+    }
+
+    /// Half-width of the uniform internal-resistance spread.
+    pub fn resistance_spread(&self) -> f64 {
+        self.resistance_spread
+    }
+
+    /// Half-width of the uniform aging-rate spread.
+    pub fn aging_rate_spread(&self) -> f64 {
+        self.aging_rate_spread
+    }
 
     fn validate(&self) -> Result<(), BatteryError> {
         for (field, v) in [
@@ -69,9 +124,12 @@ impl VariationParams {
 
 /// A group of battery units deployed together (one per server, or a shared
 /// per-rack pool — paper Fig 7 supports both architectures).
+///
+/// Units are [`AnyBattery`] values: the pack's [`BatterySpec`] chemistry
+/// decides which dynamic model each unit runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatteryPack {
-    units: Vec<Battery>,
+    units: Vec<AnyBattery>,
 }
 
 impl BatteryPack {
@@ -115,13 +173,17 @@ impl BatteryPack {
         let mut rng = StdRng::seed_from_u64(seed);
         let units = (0..count)
             .map(|_| {
+                // The draw order (capacity, resistance, rate) is part of
+                // the determinism contract: changing it would reshuffle
+                // every seeded fleet.
                 let cap_scale = variation.draw(&mut rng, variation.capacity_spread);
                 let r_scale = variation.draw(&mut rng, variation.resistance_spread);
                 let rate = variation.draw(&mut rng, variation.aging_rate_spread);
                 // Per-unit resistance deviation folds into the spec.
                 let unit_spec = {
                     let mut b = BatterySpec::builder();
-                    b.nominal_voltage(spec.nominal_voltage())
+                    b.chemistry(spec.chemistry())
+                        .nominal_voltage(spec.nominal_voltage())
                         .capacity(spec.capacity())
                         .internal_resistance(Ohms::new(
                             spec.internal_resistance().as_f64() * r_scale,
@@ -136,11 +198,20 @@ impl BatteryPack {
                         .ambient(spec.ambient());
                     b.build().expect("derived spec stays valid")
                 };
-                let aging = AgingState::new(
-                    AgingModel::new(unit_spec.lifetime_throughput().as_f64())
-                        .with_rate_multiplier(rate),
-                );
-                Battery::with_aging(unit_spec, aging, cap_scale)
+                let cap_scale = Scale::new(cap_scale).expect("drawn scale is positive");
+                let rate_scale = Scale::new(rate).expect("drawn rate is positive");
+                match unit_spec.chemistry() {
+                    Chemistry::LeadAcid => {
+                        let aging = AgingState::new(
+                            AgingModel::new(unit_spec.lifetime_throughput().as_f64())
+                                .with_rate_multiplier(rate),
+                        );
+                        AnyBattery::LeadAcid(Battery::with_aging(unit_spec, aging, cap_scale))
+                    }
+                    Chemistry::LiIon => AnyBattery::LiIon(LiIonBattery::with_variation(
+                        unit_spec, rate_scale, cap_scale,
+                    )),
+                }
             })
             .collect();
         Ok(Self { units })
@@ -171,7 +242,7 @@ impl BatteryPack {
     /// # Errors
     ///
     /// Returns [`BatteryError::UnknownBattery`] for an out-of-range index.
-    pub fn unit(&self, index: usize) -> Result<&Battery, BatteryError> {
+    pub fn unit(&self, index: usize) -> Result<&AnyBattery, BatteryError> {
         self.units.get(index).ok_or(BatteryError::UnknownBattery {
             index,
             len: self.units.len(),
@@ -183,7 +254,7 @@ impl BatteryPack {
     /// # Errors
     ///
     /// Returns [`BatteryError::UnknownBattery`] for an out-of-range index.
-    pub fn unit_mut(&mut self, index: usize) -> Result<&mut Battery, BatteryError> {
+    pub fn unit_mut(&mut self, index: usize) -> Result<&mut AnyBattery, BatteryError> {
         let len = self.units.len();
         self.units
             .get_mut(index)
@@ -191,12 +262,12 @@ impl BatteryPack {
     }
 
     /// Iterates over the units.
-    pub fn iter(&self) -> impl Iterator<Item = &Battery> {
+    pub fn iter(&self) -> impl Iterator<Item = &AnyBattery> {
         self.units.iter()
     }
 
     /// Iterates mutably over the units.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Battery> {
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut AnyBattery> {
         self.units.iter_mut()
     }
 
@@ -206,11 +277,7 @@ impl BatteryPack {
         self.units
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                a.aging()
-                    .total_damage()
-                    .total_cmp(&b.aging().total_damage())
-            })
+            .max_by(|(_, a), (_, b)| a.total_damage().total_cmp(&b.total_damage()))
             .map(|(i, _)| i)
             .expect("pack is never empty")
     }
@@ -259,7 +326,12 @@ mod tests {
         for unit in pack.iter() {
             let cap = unit.effective_capacity().as_f64();
             assert!((35.0 * 0.97..=35.0 * 1.03).contains(&cap), "cap {cap}");
-            let rate = unit.aging().model().rate_multiplier();
+            let rate = unit
+                .as_lead_acid()
+                .unwrap()
+                .aging()
+                .model()
+                .rate_multiplier();
             assert!((0.9..=1.1).contains(&rate), "rate {rate}");
         }
     }
@@ -332,7 +404,7 @@ mod tests {
             }
             now += dt;
         }
-        let damages: Vec<f64> = pack.iter().map(|u| u.aging().total_damage()).collect();
+        let damages: Vec<f64> = pack.iter().map(|u| u.total_damage()).collect();
         let min = damages.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = damages.iter().cloned().fold(0.0, f64::max);
         assert!(max > min * 1.02, "damage spread expected: {damages:?}");
@@ -340,7 +412,10 @@ mod tests {
         // normalized damage (damage / rate) is nearly unit-independent.
         let normalized: Vec<f64> = pack
             .iter()
-            .map(|u| u.aging().total_damage() / u.aging().model().rate_multiplier())
+            .map(|u| {
+                let pb = u.as_lead_acid().unwrap();
+                pb.total_damage() / pb.aging().model().rate_multiplier()
+            })
             .collect();
         let n_min = normalized.iter().cloned().fold(f64::INFINITY, f64::min);
         let n_max = normalized.iter().cloned().fold(0.0, f64::max);
@@ -348,5 +423,38 @@ mod tests {
             n_max / n_min < 1.05,
             "normalized damage should collapse: {normalized:?}"
         );
+    }
+
+    #[test]
+    fn li_ion_spec_manufactures_li_ion_units_with_variation() {
+        let pack = BatteryPack::manufacture(
+            BatterySpec::li_ion_prototype(),
+            8,
+            VariationParams::default(),
+            21,
+        )
+        .unwrap();
+        let mut caps = Vec::new();
+        for unit in pack.iter() {
+            let li = unit.as_li_ion().expect("chemistry must follow the spec");
+            assert!((0.9..=1.1).contains(&li.aging().rate_multiplier()));
+            caps.push(unit.effective_capacity().as_f64());
+        }
+        assert!(caps.iter().any(|c| (c - caps[0]).abs() > 1e-9));
+    }
+
+    #[test]
+    fn variation_params_reject_wide_spreads() {
+        assert!(
+            VariationParams::new(Fraction::saturating(0.5), Fraction::ZERO, Fraction::ZERO)
+                .is_err()
+        );
+        let p = VariationParams::new(
+            Fraction::saturating(0.03),
+            Fraction::saturating(0.08),
+            Fraction::saturating(0.10),
+        )
+        .unwrap();
+        assert_eq!(p, VariationParams::default());
     }
 }

@@ -1,14 +1,16 @@
 //! Battery specification and builder.
 
-use baat_units::{AmpHours, Amperes, Celsius, Ohms, Volts};
+use baat_units::{AmpHours, Amperes, Celsius, Fraction, Ohms, Volts};
 
+use crate::chemistry::Chemistry;
 use crate::cycle_life::Manufacturer;
 use crate::error::BatteryError;
 
-/// Static parameters of a sealed lead-acid battery unit.
+/// Static parameters of one battery unit, for any [`Chemistry`].
 ///
 /// The defaults model the paper's prototype hardware: twelve 12 V 35 Ah
-/// sealed (VRLA) lead-acid batteries (§V.A).
+/// sealed (VRLA) lead-acid batteries (§V.A). Use
+/// [`BatterySpec::li_ion_prototype`] for the Li-ion equivalent.
 ///
 /// Construct with [`BatterySpec::builder`]:
 ///
@@ -26,6 +28,7 @@ use crate::error::BatteryError;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatterySpec {
+    chemistry: Chemistry,
     nominal_voltage: Volts,
     capacity: AmpHours,
     internal_resistance: Ohms,
@@ -34,8 +37,8 @@ pub struct BatterySpec {
     max_discharge_current: Amperes,
     lifetime_throughput: AmpHours,
     manufacturer: Manufacturer,
-    coulombic_efficiency: f64,
-    self_discharge_per_day: f64,
+    coulombic_efficiency: Fraction,
+    self_discharge_per_day: Fraction,
     thermal_resistance: f64,
     thermal_time_constant_s: f64,
     ambient: Celsius,
@@ -61,6 +64,43 @@ impl BatterySpec {
         BatterySpecBuilder::default()
             .build()
             .expect("prototype defaults are valid")
+    }
+
+    /// An LFP-flavoured Li-ion drop-in for the prototype bay: a 4s pack
+    /// at 12.8 V nominal with the same 35 Ah capacity, but lower
+    /// resistance, faster charging, near-unity coulombic efficiency and
+    /// a ~2000 full-cycle life.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use baat_battery::{BatterySpec, Chemistry};
+    ///
+    /// let spec = BatterySpec::li_ion_prototype();
+    /// assert_eq!(spec.chemistry(), Chemistry::LiIon);
+    /// assert!(spec.lifetime_throughput() > BatterySpec::prototype().lifetime_throughput());
+    /// ```
+    pub fn li_ion_prototype() -> Self {
+        BatterySpec::builder()
+            .chemistry(Chemistry::LiIon)
+            .nominal_voltage(Volts::new(12.8))
+            .capacity(AmpHours::new(35.0))
+            .internal_resistance(Ohms::new(0.008))
+            .cutoff_voltage(Volts::new(10.0))
+            .max_charge_current(Amperes::new(17.5)) // C/2
+            .max_discharge_current(Amperes::new(70.0)) // 2C
+            // ~2000 full-equivalent cycles, set after capacity() so the
+            // lead-acid 500-cycle auto-scaling does not overwrite it.
+            .lifetime_throughput(AmpHours::new(35.0 * 2_000.0))
+            .coulombic_efficiency(Fraction::saturating(0.99))
+            .self_discharge_per_day(Fraction::saturating(0.000_3))
+            .build()
+            .expect("li-ion prototype defaults are valid")
+    }
+
+    /// The electrochemistry this unit implements.
+    pub fn chemistry(&self) -> Chemistry {
+        self.chemistry
     }
 
     /// Nominal terminal voltage (12 V for the prototype units).
@@ -106,12 +146,12 @@ impl BatterySpec {
     }
 
     /// Coulombic (charge) efficiency in `(0, 1]`.
-    pub fn coulombic_efficiency(&self) -> f64 {
+    pub fn coulombic_efficiency(&self) -> Fraction {
         self.coulombic_efficiency
     }
 
     /// Fraction of stored charge lost per idle day.
-    pub fn self_discharge_per_day(&self) -> f64 {
+    pub fn self_discharge_per_day(&self) -> Fraction {
         self.self_discharge_per_day
     }
 
@@ -153,6 +193,7 @@ impl Default for BatterySpecBuilder {
         // cycles.
         Self {
             spec: BatterySpec {
+                chemistry: Chemistry::LeadAcid,
                 nominal_voltage: Volts::new(12.0),
                 capacity: AmpHours::new(35.0),
                 internal_resistance: Ohms::new(0.012),
@@ -161,8 +202,8 @@ impl Default for BatterySpecBuilder {
                 max_discharge_current: Amperes::new(35.0), // 1C
                 lifetime_throughput: AmpHours::new(35.0 * 500.0),
                 manufacturer: Manufacturer::Trojan,
-                coulombic_efficiency: 0.90,
-                self_discharge_per_day: 0.001,
+                coulombic_efficiency: Fraction::saturating(0.90),
+                self_discharge_per_day: Fraction::saturating(0.001),
                 thermal_resistance: 0.6,
                 thermal_time_constant_s: 3_600.0,
                 ambient: Celsius::new(25.0),
@@ -173,6 +214,13 @@ impl Default for BatterySpecBuilder {
 }
 
 impl BatterySpecBuilder {
+    /// Sets the electrochemistry. The dynamic model (lead-acid or
+    /// Li-ion) is chosen from this when the unit is constructed.
+    pub fn chemistry(&mut self, c: Chemistry) -> &mut Self {
+        self.spec.chemistry = c;
+        self
+    }
+
     /// Sets the nominal voltage.
     pub fn nominal_voltage(&mut self, v: Volts) -> &mut Self {
         self.spec.nominal_voltage = v;
@@ -226,14 +274,15 @@ impl BatterySpecBuilder {
         self
     }
 
-    /// Sets the coulombic efficiency (`0 < eff <= 1`).
-    pub fn coulombic_efficiency(&mut self, eff: f64) -> &mut Self {
+    /// Sets the coulombic efficiency. The [`Fraction`] newtype already
+    /// bounds it to `[0, 1]`; [`build`](Self::build) rejects zero.
+    pub fn coulombic_efficiency(&mut self, eff: Fraction) -> &mut Self {
         self.spec.coulombic_efficiency = eff;
         self
     }
 
-    /// Sets the idle self-discharge rate per day.
-    pub fn self_discharge_per_day(&mut self, rate: f64) -> &mut Self {
+    /// Sets the idle self-discharge rate per day (must stay below 10 %).
+    pub fn self_discharge_per_day(&mut self, rate: Fraction) -> &mut Self {
         self.spec.self_discharge_per_day = rate;
         self
     }
@@ -281,16 +330,19 @@ impl BatterySpecBuilder {
                 ),
             });
         }
-        if !(s.coulombic_efficiency > 0.0 && s.coulombic_efficiency <= 1.0) {
+        if s.coulombic_efficiency.value() <= 0.0 {
             return Err(BatteryError::InvalidSpec {
                 field: "coulombic_efficiency",
-                reason: format!("must be in (0, 1], got {}", s.coulombic_efficiency),
+                reason: format!("must be in (0, 1], got {}", s.coulombic_efficiency.value()),
             });
         }
-        if !(0.0..0.1).contains(&s.self_discharge_per_day) {
+        if s.self_discharge_per_day.value() >= 0.1 {
             return Err(BatteryError::InvalidSpec {
                 field: "self_discharge_per_day",
-                reason: format!("must be in [0, 0.1), got {}", s.self_discharge_per_day),
+                reason: format!(
+                    "must be in [0, 0.1), got {}",
+                    s.self_discharge_per_day.value()
+                ),
             });
         }
         Ok(s.clone())
@@ -350,13 +402,24 @@ mod tests {
 
     #[test]
     fn rejects_bad_efficiency() {
+        // Out-of-range values can no longer be expressed: the Fraction
+        // newtype rejects them at construction...
+        assert!(Fraction::new(1.2).is_err());
+        // ...and the builder still rejects the in-range-but-useless zero.
         assert!(BatterySpec::builder()
-            .coulombic_efficiency(0.0)
+            .coulombic_efficiency(Fraction::ZERO)
             .build()
             .is_err());
-        assert!(BatterySpec::builder()
-            .coulombic_efficiency(1.2)
-            .build()
-            .is_err());
+    }
+
+    #[test]
+    fn li_ion_prototype_is_valid_and_distinct() {
+        let li = BatterySpec::li_ion_prototype();
+        let pb = BatterySpec::prototype();
+        assert_eq!(li.chemistry(), Chemistry::LiIon);
+        assert_eq!(pb.chemistry(), Chemistry::LeadAcid);
+        assert_ne!(li, pb);
+        assert!(li.coulombic_efficiency().value() > pb.coulombic_efficiency().value());
+        assert!(li.cutoff_voltage() < li.nominal_voltage());
     }
 }

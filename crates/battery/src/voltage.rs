@@ -34,6 +34,43 @@ pub fn open_circuit_voltage(nominal: Volts, soc: Soc, ocv_factor: f64) -> Volts 
     nominal * (OCV_BASE_FRACTION + OCV_SPAN_FRACTION * soc.value()) * ocv_factor
 }
 
+/// Fraction of nominal voltage at 0 % SoC for the Li-ion curve.
+const LI_ION_OCV_BASE_FRACTION: f64 = 0.930;
+/// Linear OCV rise across the plateau, as a fraction of nominal voltage.
+const LI_ION_OCV_PLATEAU_SPAN: f64 = 0.050;
+/// Extra OCV rise in the top knee (above [`LI_ION_OCV_KNEE_SOC`]).
+const LI_ION_OCV_KNEE_SPAN: f64 = 0.030;
+/// SoC where the flat plateau ends and the top knee begins.
+const LI_ION_OCV_KNEE_SOC: f64 = 0.90;
+
+/// Open-circuit voltage of an LFP-flavoured Li-ion battery at the given
+/// state of charge.
+///
+/// Unlike the lead-acid curve ([`open_circuit_voltage`]) the Li-ion OCV
+/// is nearly flat across the mid-SoC plateau and rises in a knee near
+/// full — the signature LFP shape. `ocv_factor` is the (small) aging sag
+/// multiplier.
+///
+/// # Examples
+///
+/// ```
+/// use baat_battery::li_ion_open_circuit_voltage;
+/// use baat_units::{Soc, Volts};
+///
+/// let nominal = Volts::new(12.8);
+/// let mid_lo = li_ion_open_circuit_voltage(nominal, Soc::new(0.3).unwrap(), 1.0);
+/// let mid_hi = li_ion_open_circuit_voltage(nominal, Soc::new(0.7).unwrap(), 1.0);
+/// // The plateau is much flatter than the lead-acid slope.
+/// assert!((mid_hi.as_f64() - mid_lo.as_f64()) < 0.3);
+/// ```
+pub fn li_ion_open_circuit_voltage(nominal: Volts, soc: Soc, ocv_factor: f64) -> Volts {
+    let s = soc.value();
+    let knee = ((s - LI_ION_OCV_KNEE_SOC).max(0.0)) / (1.0 - LI_ION_OCV_KNEE_SOC);
+    let fraction =
+        LI_ION_OCV_BASE_FRACTION + LI_ION_OCV_PLATEAU_SPAN * s + LI_ION_OCV_KNEE_SPAN * knee;
+    nominal * fraction * ocv_factor
+}
+
 /// Terminal voltage under load.
 ///
 /// Positive `current` (discharge) pulls the terminal voltage below OCV by
@@ -111,6 +148,24 @@ mod tests {
         let new = open_circuit_voltage(nominal, Soc::FULL, 1.0);
         let aged = open_circuit_voltage(nominal, Soc::FULL, 0.91);
         assert!((aged.as_f64() / new.as_f64() - 0.91).abs() < 1e-12);
+    }
+
+    #[test]
+    fn li_ion_ocv_is_flat_mid_plateau_with_a_top_knee() {
+        let nominal = Volts::new(12.8);
+        let p20 = li_ion_open_circuit_voltage(nominal, soc(0.2), 1.0);
+        let p80 = li_ion_open_circuit_voltage(nominal, soc(0.8), 1.0);
+        let full = li_ion_open_circuit_voltage(nominal, Soc::FULL, 1.0);
+        // Monotone and physically plausible for a 4s LFP pack.
+        assert!(p20 < p80 && p80 < full);
+        assert!(p20.as_f64() > 11.8 && full.as_f64() < 13.5);
+        // The 0.2→0.8 plateau slope is flatter than the lead-acid slope
+        // over the same span.
+        let li_slope = (p80 - p20).as_f64();
+        let pb_slope = (open_circuit_voltage(Volts::new(12.0), soc(0.8), 1.0)
+            - open_circuit_voltage(Volts::new(12.0), soc(0.2), 1.0))
+        .as_f64();
+        assert!(li_slope < pb_slope, "li {li_slope} vs pb {pb_slope}");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests for battery invariants.
 
 use baat_battery::{
-    AgingModel, AgingState, Battery, BatteryOp, BatterySpec, DamageBreakdown, Manufacturer,
-    MemoizedCycleLife, StressSample,
+    AgingModel, AgingState, AnyBattery, Battery, BatteryModel, BatteryOp, BatterySpec,
+    DamageBreakdown, Manufacturer, MemoizedCycleLife, StressSample,
 };
 use baat_testkit::prelude::*;
 use baat_units::{AmpHours, Amperes, Celsius, Dod, SimDuration, SimInstant, Soc, Watts};
@@ -205,5 +205,51 @@ proptest! {
             state.total_damage().to_bits(),
             direct_sum.total().to_bits()
         );
+    }
+
+    /// Lead-acid driven through the [`BatteryModel`] trait (via
+    /// [`AnyBattery`]) is **bit-identical** to the direct pre-trait
+    /// [`Battery`] on arbitrary op scripts, for every manufacturer's
+    /// cycle-life curve: every step result matches exactly and the final
+    /// states compare equal (damage compared at the bit level).
+    #[test]
+    fn lead_acid_through_trait_is_bit_identical_to_direct(
+        ops in baat_testkit::collection::vec((0.0f64..400.0, 0u8..3, 0u8..200), 1..120),
+    ) {
+        for m in Manufacturer::ALL {
+            let throughput =
+                m.curve().lifetime_throughput(Dod::new(0.8).unwrap(), AmpHours::new(35.0));
+            let spec = BatterySpec::builder()
+                .lifetime_throughput(throughput)
+                .build()
+                .unwrap();
+            let mut direct = Battery::new(spec.clone());
+            let mut via_trait = AnyBattery::new(spec);
+            let dt = SimDuration::from_minutes(5);
+            let mut now = SimInstant::START;
+            for &(power, kind, ambient_q) in &ops {
+                let op = match kind {
+                    0 => BatteryOp::Discharge(Watts::new(power)),
+                    1 => BatteryOp::Charge(Watts::new(power)),
+                    _ => BatteryOp::Idle,
+                };
+                let ambient = Celsius::new(f64::from(ambient_q) * 0.25 - 5.0);
+                let a = direct.step(op, ambient, now, dt);
+                let b = BatteryModel::step(&mut via_trait, op, ambient, now, dt);
+                prop_assert_eq!(a, b, "step result diverged for {:?}", m);
+                now += dt;
+            }
+            prop_assert_eq!(direct.soc(), via_trait.soc());
+            prop_assert_eq!(
+                direct.total_damage().to_bits(),
+                via_trait.total_damage().to_bits(),
+                "damage diverged for {:?}", m
+            );
+            prop_assert_eq!(direct.open_circuit_voltage(), via_trait.open_circuit_voltage());
+            prop_assert_eq!(
+                &direct,
+                via_trait.as_lead_acid().expect("lead-acid spec builds the lead-acid arm")
+            );
+        }
     }
 }

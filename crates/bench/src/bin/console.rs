@@ -22,10 +22,19 @@
 //!   timestamps); exits 1 on any violation.
 //!
 //! `--jsonl DIR` runs with observation enabled and dumps the structured
-//! exports — `events.jsonl`, `trace.jsonl`, `metrics.jsonl`,
-//! `profile.jsonl`, `spans.jsonl`, `health.jsonl`, `flight.jsonl`, and
-//! the OpenMetrics snapshot `metrics.om` — into `DIR`. The run itself
-//! is bit-identical either way.
+//! exports — `run.jsonl` (run metadata: chemistry, scheme, seed, …),
+//! `events.jsonl`, `trace.jsonl`, `metrics.jsonl`, `profile.jsonl`,
+//! `spans.jsonl`, `health.jsonl`, `flight.jsonl`, and the OpenMetrics
+//! snapshot `metrics.om` — into `DIR`. The run itself is bit-identical
+//! either way.
+//!
+//! `--chemistry lead-acid|li-ion` swaps every node battery for the
+//! chosen chemistry's prototype spec (default: the paper's lead-acid).
+//! It composes with `--fleet` and `--faults`, is recorded in
+//! `run.jsonl`, and — only when passed explicitly — registers a
+//! `run.chemistry` gauge in the metric exports, so default runs keep
+//! their metric set byte-identical. `console diff` reads each export's
+//! sibling `run.jsonl` and labels cross-chemistry comparisons.
 //!
 //! `--faults light|heavy[:SEED]` layers a seeded deterministic fault
 //! plan over the run (one plan per simulated day, generated for the
@@ -39,10 +48,12 @@
 
 use std::io::IsTerminal;
 
-use baat_bench::{diff, trace_schema, watch};
+use baat_battery::Chemistry;
+use baat_bench::{diff, jsonq, trace_schema, watch};
 use baat_core::Scheme;
+use baat_obs::json::JsonLine;
 use baat_obs::Obs;
-use baat_sim::{BatteryTopology, Event, FaultMix, FaultPlan, SimConfig, Simulation};
+use baat_sim::{BatteryTopology, ChemistrySpec, Event, FaultMix, FaultPlan, SimConfig, Simulation};
 use baat_solar::Weather;
 use baat_units::SimDuration;
 
@@ -53,12 +64,21 @@ struct Args {
     seed: u64,
     old: bool,
     topology: BatteryTopology,
+    chemistry: Option<Chemistry>,
     fleet: Option<usize>,
     faults: Option<(FaultMix, Option<u64>)>,
     csv: Option<String>,
     jsonl: Option<String>,
     profile: bool,
     every_minutes: u64,
+}
+
+impl Args {
+    /// The effective chemistry: the `--chemistry` flag, defaulting to
+    /// the paper's lead-acid prototype.
+    fn chemistry(&self) -> Chemistry {
+        self.chemistry.unwrap_or_default()
+    }
 }
 
 enum Command {
@@ -72,8 +92,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: console [watch] [--scheme e-buff|baat-s|baat-h|baat] \
          [--weather sunny,cloudy,rainy] [--seed N] [--old] \
-         [--topology per-server|shared:K] [--fleet N] \
-         [--faults light|heavy[:SEED]] \
+         [--topology per-server|shared:K] [--chemistry lead-acid|li-ion] \
+         [--fleet N] [--faults light|heavy[:SEED]] \
          [--csv PATH] [--jsonl DIR] [--profile] [--every MINUTES]\n\
          \x20      console diff A.jsonl B.jsonl\n\
          \x20      console trace-check spans.jsonl"
@@ -89,6 +109,7 @@ fn parse_args() -> Args {
         seed: 42,
         old: false,
         topology: BatteryTopology::PerServer,
+        chemistry: None,
         fleet: None,
         faults: None,
         csv: None,
@@ -169,6 +190,11 @@ fn parse_args() -> Args {
                     usage()
                 };
             }
+            "--chemistry" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.chemistry =
+                    Some(Chemistry::parse(&v.to_lowercase()).unwrap_or_else(|| usage()));
+            }
             "--fleet" => {
                 args.fleet = Some(
                     it.next()
@@ -202,11 +228,28 @@ fn parse_args() -> Args {
     args
 }
 
+/// The chemistry recorded in the `run.jsonl` sitting next to an export
+/// file, when that metadata exists (exports predating it have none).
+fn sibling_chemistry(export: &str) -> Option<String> {
+    let meta = std::path::Path::new(export).parent()?.join("run.jsonl");
+    let line = std::fs::read_to_string(meta).ok()?;
+    jsonq::extract_str(line.lines().next()?, "chemistry")
+}
+
 /// `console diff A B`: renders first divergence + metric deltas, exits 1
-/// when the documents differ.
+/// when the documents differ. When both sides carry `run.jsonl`
+/// metadata, the comparison is labelled with each run's chemistry so
+/// cross-chemistry diffs are not mistaken for regressions.
 fn run_diff(a: &str, b: &str) -> Result<(), Box<dyn std::error::Error>> {
     let doc_a = std::fs::read_to_string(a)?;
     let doc_b = std::fs::read_to_string(b)?;
+    if let (Some(chem_a), Some(chem_b)) = (sibling_chemistry(a), sibling_chemistry(b)) {
+        if chem_a == chem_b {
+            println!("chemistry: {chem_a} (both runs)");
+        } else {
+            println!("chemistry: A={chem_a} B={chem_b} — cross-chemistry comparison");
+        }
+    }
     let report = diff::diff_runs(&doc_a, &doc_b);
     print!("{}", report.render());
     if !report.identical() {
@@ -286,6 +329,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // count, PV sizing, workload and trace throttling win.
         builder.fleet(n);
     }
+    if let Some(chemistry) = args.chemistry {
+        // Swaps every node battery for the chemistry's prototype spec;
+        // composes with --fleet (spec applies per node) and --faults
+        // (plans are spec-independent).
+        builder.chemistry(ChemistrySpec::new(chemistry));
+    }
     if let Some((mix, plan_seed)) = &args.faults {
         // Probe-build to learn the fleet size the defaults resolve to,
         // then generate the plan for that topology.
@@ -309,6 +358,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         Obs::disabled()
     };
+    if args.chemistry.is_some() {
+        // Registered only when --chemistry was given explicitly, so
+        // default runs keep their metric set (and the CI OpenMetrics
+        // golden) byte-identical. 0 = lead-acid, 1 = li-ion.
+        let index = Chemistry::ALL
+            .iter()
+            .position(|&c| c == args.chemistry())
+            .expect("every chemistry is in ALL");
+        obs.gauge("run.chemistry").set(index as f64);
+    }
     let mut sim = Simulation::with_obs(config, obs.clone())?;
     if args.old {
         sim.pre_age_batteries(0.55);
@@ -318,7 +377,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== BAAT management console ===");
     println!(
-        "scheme {} | {} day(s): {} | seed {} | {} batteries",
+        "scheme {} | {} day(s): {} | seed {} | {} {} batteries",
         report.policy,
         report.days,
         args.plan
@@ -328,6 +387,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .join(","),
         args.seed,
         if args.old { "old" } else { "new" },
+        args.chemistry(),
     );
     println!();
     println!(
@@ -404,17 +464,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    if let Some(path) = args.csv {
-        std::fs::write(&path, report.recorder.to_csv())?;
+    if let Some(path) = &args.csv {
+        std::fs::write(path, report.recorder.to_csv())?;
         println!(
             "\ntrace written to {path} ({} samples)",
             report.recorder.len()
         );
     }
 
-    if let Some(dir) = args.jsonl {
-        let dir = std::path::Path::new(&dir);
+    if let Some(dir) = &args.jsonl {
+        let dir = std::path::Path::new(dir);
         std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("run.jsonl"), run_metadata(&args, &report))?;
         std::fs::write(dir.join("events.jsonl"), report.events.to_jsonl())?;
         std::fs::write(dir.join("trace.jsonl"), report.recorder.to_jsonl())?;
         std::fs::write(dir.join("metrics.jsonl"), obs.metrics_jsonl())?;
@@ -424,10 +485,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(dir.join("flight.jsonl"), obs.flight_jsonl())?;
         std::fs::write(dir.join("metrics.om"), obs.metrics_openmetrics())?;
         println!(
-            "\nstructured exports written to {} (events, trace, metrics, \
+            "\nstructured exports written to {} (run, events, trace, metrics, \
              profile, spans, health, flight, metrics.om)",
             dir.display()
         );
     }
     Ok(())
+}
+
+/// The `run.jsonl` metadata line written next to every `--jsonl` export:
+/// one flat object identifying the run (chemistry, scheme, weather,
+/// seed, topology, fleet, faults), so `console diff` can label
+/// cross-chemistry comparisons and scripts can index export
+/// directories without re-parsing command lines.
+fn run_metadata(args: &Args, report: &baat_sim::SimReport) -> String {
+    let mut line = JsonLine::new();
+    line.str_field("chemistry", args.chemistry().name())
+        .str_field("scheme", report.policy)
+        .str_field(
+            "weather",
+            &args
+                .plan
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+        .u64_field("seed", args.seed)
+        .u64_field("days", report.days as u64)
+        .u64_field("nodes", report.nodes.len() as u64)
+        .bool_field("old", args.old);
+    if let Some(n) = args.fleet {
+        line.u64_field("fleet", n as u64);
+    }
+    if let Some((mix, plan_seed)) = &args.faults {
+        line.u64_field("faults_per_day", mix.per_day as u64)
+            .u64_field("fault_seed", plan_seed.unwrap_or(args.seed));
+    }
+    let mut out = line.finish();
+    out.push('\n');
+    out
 }

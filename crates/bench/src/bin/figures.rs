@@ -9,8 +9,10 @@
 //! (`<scenario>.om`) into that directory, next to the figure output.
 //! The figures themselves are bit-identical either way.
 
+use baat_battery::Chemistry;
 use baat_bench::experiments::{
-    fig03_05, fig10, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19, fig20, fig21, fig22,
+    chem_ablation, fig03_05, fig10, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19, fig20,
+    fig21, fig22,
 };
 
 const SEED: u64 = 2015; // DSN 2015.
@@ -28,6 +30,15 @@ fn main() {
     sections.push((
         "Figs 3–5 — measured battery degradation",
         fig03_05::render(&t),
+    ));
+    let li = if quick {
+        fig03_05::run_chemistry(Chemistry::LiIon, 2, 10)
+    } else {
+        fig03_05::run_chemistry(Chemistry::LiIon, 6, 30)
+    };
+    sections.push((
+        "Figs 3–5 (li-ion) — the same protocol on an LFP unit",
+        fig03_05::render(&li),
     ));
 
     eprintln!("[2/12] Fig 10: cycle life vs DoD…");
@@ -147,6 +158,17 @@ fn main() {
     sections.push((
         "Ablations — reproduction design choices",
         baat_bench::experiments::ablations::render(SEED),
+    ));
+
+    eprintln!("[+] chemistry ablation…");
+    let chem = if quick {
+        chem_ablation::run(vec![baat_solar::Weather::Cloudy], SEED)
+    } else {
+        chem_ablation::run_paper(SEED)
+    };
+    sections.push((
+        "Chemistry ablation — lead-acid vs li-ion banks",
+        chem_ablation::render(&chem),
     ));
 
     println!("# BAAT reproduction — regenerated figures\n");

@@ -7,7 +7,7 @@ use baat_battery::VariationParams;
 use baat_core::Scheme;
 use baat_sim::{run_simulation, BatteryTopology, SimConfig};
 use baat_solar::Weather;
-use baat_units::SimDuration;
+use baat_units::{Fraction, SimDuration};
 
 use crate::runner::{parallel_map, runner_threads, EXPERIMENT_DT};
 
@@ -132,11 +132,14 @@ pub fn variation(seed: u64) -> Vec<VariationRow> {
         .collect();
     let ratios = parallel_map(specs, runner_threads(), |(spread, scheme)| {
         let mut b = base_builder(seed);
-        b.variation(VariationParams {
-            capacity_spread: (spread / 3.0).min(0.12),
-            resistance_spread: spread.min(0.3),
-            aging_rate_spread: spread,
-        });
+        b.variation(
+            VariationParams::new(
+                Fraction::saturating((spread / 3.0).min(0.12)),
+                Fraction::saturating(spread.min(0.3)),
+                Fraction::saturating(spread),
+            )
+            .expect("ablation spreads stay below 0.5"),
+        );
         let report = run_simulation(b.build().expect("config valid"), &mut scheme.build())
             .expect("simulation runs");
         let worst = report.worst_node().expect("nodes exist").damage;

@@ -7,7 +7,7 @@
 //! experiment reproduces the measurement protocol on the battery model:
 //! one aggressive charge/discharge cycle per day, with monthly probes.
 
-use baat_battery::{Battery, BatteryOp, BatterySpec};
+use baat_battery::{AnyBattery, Battery, BatteryModel, BatteryOp, BatterySpec, Chemistry};
 use baat_units::{Celsius, SimDuration, SimInstant, Volts, Watts};
 
 /// One monthly probe of the instrumented battery.
@@ -74,7 +74,7 @@ const AMBIENT: Celsius = Celsius::new(27.0);
 /// Runs one full probe cycle (discharge to cutoff, recharge to full) and
 /// returns (terminal voltage at full under load, delivered Wh, round-trip
 /// efficiency).
-fn probe_cycle(battery: &mut Battery, now: &mut SimInstant) -> (Volts, f64, f64) {
+fn probe_cycle<B: BatteryModel>(battery: &mut B, now: &mut SimInstant) -> (Volts, f64, f64) {
     let dt = SimDuration::from_minutes(2);
     // Measure full-charge terminal voltage under the probe load.
     let first = battery.step(BatteryOp::Discharge(PROBE_LOAD), AMBIENT, *now, dt);
@@ -111,7 +111,7 @@ fn probe_cycle(battery: &mut Battery, now: &mut SimInstant) -> (Volts, f64, f64)
 /// ~2.8 h of load shaving at 110 W (≈75 % DoD on a fresh unit, deeper as
 /// capacity fades — which is what makes the degradation *accelerate*),
 /// followed by a full recharge and idle rest.
-fn daily_cycle(battery: &mut Battery, now: &mut SimInstant) {
+fn daily_cycle<B: BatteryModel>(battery: &mut B, now: &mut SimInstant) {
     let dt = SimDuration::from_minutes(5);
     for _ in 0..34 {
         battery.step(BatteryOp::Discharge(Watts::new(110.0)), AMBIENT, *now, dt);
@@ -129,33 +129,68 @@ fn daily_cycle(battery: &mut Battery, now: &mut SimInstant) {
     }
 }
 
-/// Runs the six-month (or shorter) aging measurement.
-pub fn run(months: usize, days_per_month: usize) -> AgingTrajectory {
-    let mut battery = Battery::new(BatterySpec::prototype());
+/// Runs the measurement protocol on any battery model.
+fn measure<B: BatteryModel>(
+    battery: &mut B,
+    months: usize,
+    days_per_month: usize,
+) -> AgingTrajectory {
     let mut now = SimInstant::START;
     let mut probes = Vec::with_capacity(months + 1);
-    let (v0, e0, eff0) = probe_cycle(&mut battery, &mut now);
+    let (v0, e0, eff0) = probe_cycle(battery, &mut now);
     probes.push(MonthlyProbe {
         month: 0,
         full_charge_voltage: v0,
         cycle_energy_wh: e0,
         round_trip_efficiency: eff0,
-        damage: battery.aging().total_damage(),
+        damage: battery.total_damage(),
     });
     for month in 1..=months {
         for _ in 0..days_per_month {
-            daily_cycle(&mut battery, &mut now);
+            daily_cycle(battery, &mut now);
         }
-        let (v, e, eff) = probe_cycle(&mut battery, &mut now);
+        let (v, e, eff) = probe_cycle(battery, &mut now);
         probes.push(MonthlyProbe {
             month,
             full_charge_voltage: v,
             cycle_energy_wh: e,
             round_trip_efficiency: eff,
-            damage: battery.aging().total_damage(),
+            damage: battery.total_damage(),
         });
     }
     AgingTrajectory { probes }
+}
+
+/// The prototype unit spec for a chemistry.
+fn spec_for(chemistry: Chemistry) -> BatterySpec {
+    match chemistry {
+        Chemistry::LeadAcid => BatterySpec::prototype(),
+        Chemistry::LiIon => BatterySpec::li_ion_prototype(),
+    }
+}
+
+/// Runs the six-month (or shorter) aging measurement on the paper's
+/// lead-acid prototype unit.
+pub fn run(months: usize, days_per_month: usize) -> AgingTrajectory {
+    measure(
+        &mut Battery::new(BatterySpec::prototype()),
+        months,
+        days_per_month,
+    )
+}
+
+/// [`run`] on an arbitrary chemistry's prototype unit — the measurement
+/// protocol is identical, so trajectories are directly comparable.
+pub fn run_chemistry(
+    chemistry: Chemistry,
+    months: usize,
+    days_per_month: usize,
+) -> AgingTrajectory {
+    measure(
+        &mut AnyBattery::new(spec_for(chemistry)),
+        months,
+        days_per_month,
+    )
 }
 
 /// The paper's configuration: six months at thirty days each.
@@ -214,6 +249,35 @@ mod tests {
             assert!(pair[1].damage > pair[0].damage);
             assert!(pair[1].cycle_energy_wh <= pair[0].cycle_energy_wh);
         }
+    }
+
+    #[test]
+    fn run_chemistry_reproduces_the_lead_acid_run_exactly() {
+        // The generic protocol through AnyBattery's lead-acid arm is the
+        // same code as the direct Battery run — trajectories must match
+        // bit-for-bit.
+        assert_eq!(run_chemistry(Chemistry::LeadAcid, 1, 5), run(1, 5));
+    }
+
+    #[test]
+    fn li_ion_survives_the_protocol_with_less_fade() {
+        let pb = run(2, 10);
+        let li = run_chemistry(Chemistry::LiIon, 2, 10);
+        assert_eq!(li.probes.len(), 3);
+        let last = li.probes.last().unwrap();
+        assert!(last.damage > 0.0, "li-ion must actually age");
+        assert!(
+            last.damage < pb.probes.last().unwrap().damage,
+            "LFP cycling at this depth must out-live lead-acid: {} vs {}",
+            last.damage,
+            pb.probes.last().unwrap().damage
+        );
+        assert!(
+            li.capacity_drop() < pb.capacity_drop(),
+            "li-ion capacity fade {} should undercut lead-acid {}",
+            li.capacity_drop(),
+            pb.capacity_drop()
+        );
     }
 
     #[test]

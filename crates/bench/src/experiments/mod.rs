@@ -1,6 +1,7 @@
 //! One module per paper figure; see DESIGN.md's experiment index.
 
 pub mod ablations;
+pub mod chem_ablation;
 pub mod fig03_05;
 pub mod fig10;
 pub mod fig12;

@@ -7,7 +7,7 @@
 //! This experiment drives a small battery fleet through each pattern and
 //! measures both.
 
-use baat_battery::{BatteryOp, BatteryPack, BatterySpec, VariationParams};
+use baat_battery::{BatteryModel, BatteryOp, BatteryPack, BatterySpec, VariationParams};
 use baat_obs::{Obs, Stage};
 use baat_rng::StdRng;
 use baat_units::{Celsius, SimDuration, SimInstant, Watts};
@@ -134,7 +134,7 @@ pub fn run_scenario_observed(
         }
     }
 
-    let damages: Vec<f64> = pack.iter().map(|u| u.aging().total_damage()).collect();
+    let damages: Vec<f64> = pack.iter().map(|u| u.total_damage()).collect();
     let max = damages.iter().cloned().fold(0.0, f64::max);
     let min = damages.iter().cloned().fold(f64::INFINITY, f64::min);
     let mean = damages.iter().sum::<f64>() / damages.len() as f64;

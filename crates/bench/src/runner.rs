@@ -20,11 +20,12 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use baat_battery::Chemistry;
 use baat_core::Scheme;
 use baat_obs::json::JsonLine;
 use baat_obs::Obs;
 use baat_rng::derive_seed;
-use baat_sim::{FaultMix, FaultPlan, SimConfig, SimReport, Simulation};
+use baat_sim::{ChemistrySpec, FaultMix, FaultPlan, SimConfig, SimReport, Simulation};
 use baat_solar::Weather;
 use baat_units::SimDuration;
 
@@ -45,6 +46,32 @@ pub fn day_config(weather: Weather, seed: u64) -> SimConfig {
         .dt(EXPERIMENT_DT)
         .sample_every(20)
         .seed(seed);
+    b.build().expect("experiment defaults are valid")
+}
+
+/// [`day_config`] with the node batteries swapped for `chemistry`'s
+/// prototype spec — everything else (weather, timestep, sampling, seed)
+/// is identical, so a lead-acid vs li-ion pair is a pure chemistry
+/// ablation.
+pub fn chemistry_day_config(chemistry: Chemistry, weather: Weather, seed: u64) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![weather])
+        .dt(EXPERIMENT_DT)
+        .sample_every(20)
+        .seed(seed)
+        .chemistry(ChemistrySpec::new(chemistry));
+    b.build().expect("experiment defaults are valid")
+}
+
+/// [`plan_config`] with the node batteries swapped for `chemistry`'s
+/// prototype spec (see [`chemistry_day_config`]).
+pub fn chemistry_plan_config(chemistry: Chemistry, plan: Vec<Weather>, seed: u64) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(plan)
+        .dt(EXPERIMENT_DT)
+        .sample_every(40)
+        .seed(seed)
+        .chemistry(ChemistrySpec::new(chemistry));
     b.build().expect("experiment defaults are valid")
 }
 

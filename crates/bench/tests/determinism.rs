@@ -11,10 +11,11 @@
 //! 3. distinct seeds actually change the stochastic inputs (no silent
 //!    seed plumbing bug making every run identical).
 
+use baat_battery::Chemistry;
 use baat_bench::runner::{
-    day_config, faulted_day_config, fleet_config, plan_config, run_scenarios_forked_with_threads,
-    run_scenarios_observed_with_threads, run_scenarios_with_threads, scenario_seed, Scenario,
-    OLD_BATTERY_DAMAGE,
+    chemistry_day_config, day_config, faulted_day_config, fleet_config, plan_config,
+    run_scenarios_forked_with_threads, run_scenarios_observed_with_threads,
+    run_scenarios_with_threads, scenario_seed, Scenario, OLD_BATTERY_DAMAGE,
 };
 use baat_core::Scheme;
 use baat_sim::{FaultMix, SimReport};
@@ -52,6 +53,13 @@ fn sweep(seed: u64) -> Vec<Scenario> {
     scenarios.push(Scenario::new(
         Scheme::Baat,
         fleet_config(16, Weather::Cloudy, scenario_seed(seed, 9)),
+    ));
+    // A li-ion cell: the alternative chemistry must uphold the same
+    // replay contract (thread-invariance, forking, seed sensitivity) as
+    // the lead-acid model.
+    scenarios.push(Scenario::new(
+        Scheme::Baat,
+        chemistry_day_config(Chemistry::LiIon, Weather::Cloudy, scenario_seed(seed, 12)),
     ));
     scenarios
 }
@@ -139,6 +147,6 @@ fn reports_preserve_scenario_order() {
     let schemes: Vec<&str> = reports.iter().map(|r| r.policy).collect();
     assert_eq!(
         schemes,
-        ["e-Buff", "BAAT", "e-Buff", "BAAT", "e-Buff", "BAAT", "BAAT", "BAAT", "BAAT"]
+        ["e-Buff", "BAAT", "e-Buff", "BAAT", "e-Buff", "BAAT", "BAAT", "BAAT", "BAAT", "BAAT"]
     );
 }

@@ -103,7 +103,7 @@ pub fn soc_distribution(report: &SimReport) -> [f64; 7] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use baat_battery::DamageBreakdown;
+    use baat_battery::AgingBreakdown;
     use baat_metrics::{AgingMetrics, BatteryRatings};
     use baat_sim::{EventLog, NodeReport, Recorder};
     use baat_units::{AmpHours, WattHours};
@@ -114,7 +114,7 @@ mod tests {
         NodeReport {
             node: i,
             damage: 0.1,
-            damage_breakdown: DamageBreakdown::default(),
+            damage_breakdown: AgingBreakdown::default(),
             capacity_fraction: 0.98,
             lifetime_metrics: AgingMetrics::from_accumulator(
                 &baat_battery::UsageAccumulator::default(),

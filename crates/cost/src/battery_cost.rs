@@ -5,9 +5,21 @@
 //! Depreciation is straight-line over the battery's service life: a unit
 //! that lasts twice as long costs half as much per year.
 
+use baat_battery::Chemistry;
 use baat_units::{Dollars, WattHours};
 
 use crate::error::CostError;
+
+/// Deep-cycle lead-acid stored-energy price, $/kWh (the paper's
+/// prototype economics).
+const LEAD_ACID_PRICE_PER_KWH: f64 = 150.0;
+/// LFP li-ion stored-energy price, $/kWh — roughly twice lead-acid at
+/// datacenter-UPS volumes.
+const LI_ION_PRICE_PER_KWH: f64 = 300.0;
+/// Stored energy of the prototype's lead-acid bay (12 V × 35 Ah).
+const LEAD_ACID_PROTOTYPE_WH: f64 = 420.0;
+/// Stored energy of the li-ion prototype bay (12.8 V × 35 Ah).
+const LI_ION_PROTOTYPE_WH: f64 = 448.0;
 
 /// Cost model for one battery unit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,9 +64,28 @@ impl BatteryCostModel {
         Self::new(price_per_kwh * capacity.as_kwh())
     }
 
-    /// The prototype's 12 V 35 Ah unit at $150/kWh ≈ $63.
+    /// The prototype's 12 V 35 Ah lead-acid unit at $150/kWh ≈ $63.
     pub fn prototype() -> Self {
-        Self::from_energy_price(WattHours::new(420.0), Dollars::new(150.0))
+        Self::for_chemistry(Chemistry::LeadAcid)
+    }
+
+    /// Stored-energy price for a chemistry, $/kWh. Lead-acid keeps the
+    /// historical $150/kWh default; li-ion runs about twice that.
+    pub fn price_per_kwh(chemistry: Chemistry) -> Dollars {
+        match chemistry {
+            Chemistry::LeadAcid => Dollars::new(LEAD_ACID_PRICE_PER_KWH),
+            Chemistry::LiIon => Dollars::new(LI_ION_PRICE_PER_KWH),
+        }
+    }
+
+    /// The prototype-sized unit for a chemistry at that chemistry's
+    /// stored-energy price: lead-acid 420 Wh ≈ $63, li-ion 448 Wh ≈ $134.
+    pub fn for_chemistry(chemistry: Chemistry) -> Self {
+        let capacity = match chemistry {
+            Chemistry::LeadAcid => WattHours::new(LEAD_ACID_PROTOTYPE_WH),
+            Chemistry::LiIon => WattHours::new(LI_ION_PROTOTYPE_WH),
+        };
+        Self::from_energy_price(capacity, Self::price_per_kwh(chemistry))
             .expect("static values are valid")
     }
 
@@ -137,6 +168,28 @@ mod tests {
         let m = BatteryCostModel::prototype();
         let saving = m.saving_fraction(365.0, 365.0 * 1.69).unwrap();
         assert!((saving - (1.0 - 1.0 / 1.69)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn li_ion_unit_costs_about_twice_lead_acid() {
+        let pb = BatteryCostModel::for_chemistry(Chemistry::LeadAcid);
+        let li = BatteryCostModel::for_chemistry(Chemistry::LiIon);
+        assert_eq!(pb, BatteryCostModel::prototype());
+        assert!((li.unit_price().as_f64() - 134.4).abs() < 0.1);
+        let ratio = li.unit_price().as_f64() / pb.unit_price().as_f64();
+        assert!((1.9..=2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn per_kwh_prices_cover_all_chemistries() {
+        for chem in Chemistry::ALL {
+            let price = BatteryCostModel::price_per_kwh(chem);
+            assert!(price.as_f64() > 0.0, "{chem} has no price");
+        }
+        assert!(
+            BatteryCostModel::price_per_kwh(Chemistry::LiIon)
+                > BatteryCostModel::price_per_kwh(Chemistry::LeadAcid)
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! available solar power budget, which is why the Fig 17 curve tracks the
 //! sunshine fraction.
 
+use baat_battery::Chemistry;
 use baat_units::{Dollars, Fraction, Watts};
 
 use crate::battery_cost::BatteryCostModel;
@@ -42,10 +43,19 @@ impl TcoModel {
     }
 
     /// The prototype economics: commodity servers amortized to $180/yr,
-    /// prototype batteries.
+    /// prototype lead-acid batteries.
     pub fn prototype() -> Self {
-        Self::new(Dollars::new(180.0), BatteryCostModel::prototype())
-            .expect("static values are valid")
+        Self::prototype_for(Chemistry::LeadAcid)
+    }
+
+    /// Prototype economics with the battery bay priced for `chemistry`
+    /// (same $180/yr servers; see [`BatteryCostModel::for_chemistry`]).
+    pub fn prototype_for(chemistry: Chemistry) -> Self {
+        Self::new(
+            Dollars::new(180.0),
+            BatteryCostModel::for_chemistry(chemistry),
+        )
+        .expect("static values are valid")
     }
 
     /// Annualized per-server cost.
@@ -197,6 +207,19 @@ mod tests {
             .expandable_servers(100, 365.0, 365.0, Watts::from_kw(10.0), Watts::new(150.0))
             .unwrap();
         assert_eq!(added, 0);
+    }
+
+    #[test]
+    fn li_ion_tco_exceeds_lead_acid_at_equal_lifetime() {
+        let pb = TcoModel::prototype_for(Chemistry::LeadAcid);
+        let li = TcoModel::prototype_for(Chemistry::LiIon);
+        assert_eq!(pb, TcoModel::prototype());
+        let pb_tco = pb.annual_tco(6, 365.0).unwrap();
+        let li_tco = li.annual_tco(6, 365.0).unwrap();
+        assert!(
+            li_tco > pb_tco,
+            "li-ion {li_tco} must cost more than lead-acid {pb_tco} at the same life"
+        );
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Simulation configuration.
 
-use baat_battery::{BatterySpec, VariationParams};
+use baat_battery::{BatterySpec, Chemistry, VariationParams};
 use baat_faults::FaultPlan;
 use baat_power::NoiseSpec;
 use baat_server::{MigrationSpec, ServerCapacity, ServerPowerModel};
 use baat_solar::Weather;
-use baat_units::{AmpHours, Amperes, Ohms};
+use baat_units::{AmpHours, Amperes, Fraction, Ohms, Volts};
 use baat_units::{Celsius, SimDuration, TimeOfDay, WattHours};
 
 use crate::error::SimError;
@@ -151,6 +151,69 @@ pub fn prototype_node_battery() -> BatterySpec {
     b.build().expect("static values are valid")
 }
 
+/// The Li-ion drop-in for [`prototype_node_battery`]: the same 70 Ah
+/// per-node bank built from LFP cells — higher nominal voltage, lower
+/// resistance, C/2 charging, 2C discharge and a ~2000 full-cycle life.
+/// Thermal parameters stay at the builder defaults so shared-pool
+/// aggregation treats both chemistries identically.
+pub fn li_ion_node_battery() -> BatterySpec {
+    let mut b = BatterySpec::builder();
+    b.chemistry(Chemistry::LiIon)
+        .nominal_voltage(Volts::new(12.8))
+        .capacity(AmpHours::new(70.0))
+        .internal_resistance(Ohms::new(0.004))
+        .cutoff_voltage(Volts::new(10.0))
+        .max_charge_current(Amperes::new(35.0)) // C/2
+        .max_discharge_current(Amperes::new(140.0)) // 2C
+        .lifetime_throughput(AmpHours::new(70.0 * 2_000.0))
+        .coulombic_efficiency(Fraction::saturating(0.99))
+        .self_discharge_per_day(Fraction::saturating(0.000_3));
+    b.build().expect("static values are valid")
+}
+
+/// Declarative chemistry selection: maps a [`Chemistry`] onto the
+/// matching prototype node-battery spec, so configs (and the console's
+/// `--chemistry` flag) can pick a chemistry without spelling out a full
+/// [`BatterySpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ChemistrySpec {
+    chemistry: Chemistry,
+}
+
+impl ChemistrySpec {
+    /// The paper's sealed lead-acid hardware (the default).
+    pub fn lead_acid() -> Self {
+        Self {
+            chemistry: Chemistry::LeadAcid,
+        }
+    }
+
+    /// The LFP-flavoured Li-ion alternative.
+    pub fn li_ion() -> Self {
+        Self {
+            chemistry: Chemistry::LiIon,
+        }
+    }
+
+    /// Wraps an already-parsed [`Chemistry`].
+    pub fn new(chemistry: Chemistry) -> Self {
+        Self { chemistry }
+    }
+
+    /// The selected chemistry.
+    pub fn chemistry(self) -> Chemistry {
+        self.chemistry
+    }
+
+    /// The per-node battery spec this chemistry maps to.
+    pub fn node_battery(self) -> BatterySpec {
+        match self.chemistry {
+            Chemistry::LeadAcid => prototype_node_battery(),
+            Chemistry::LiIon => li_ion_node_battery(),
+        }
+    }
+}
+
 /// Builder for [`SimConfig`].
 #[derive(Debug, Clone)]
 pub struct SimConfigBuilder {
@@ -228,6 +291,15 @@ impl SimConfigBuilder {
     /// Sets the battery unit specification.
     pub fn battery_spec(&mut self, spec: BatterySpec) -> &mut Self {
         self.config.battery_spec = spec;
+        self
+    }
+
+    /// Selects the battery chemistry declaratively: replaces the battery
+    /// spec with the chemistry's prototype node battery
+    /// ([`ChemistrySpec::node_battery`]). Call [`Self::battery_spec`]
+    /// afterwards instead to fully customize the unit.
+    pub fn chemistry(&mut self, chemistry: ChemistrySpec) -> &mut Self {
+        self.config.battery_spec = chemistry.node_battery();
         self
     }
 

@@ -22,7 +22,7 @@
 
 use std::collections::VecDeque;
 
-use baat_battery::{AgingObs, BatteryOp, BatteryPack, DamageBreakdown};
+use baat_battery::{AgingBreakdown, AgingObs, BatteryModel, BatteryOp, BatteryPack};
 use baat_faults::{FaultInjector, FaultKind, FaultPlan};
 use baat_metrics::{class_index, AgingMetrics, BatteryRatings};
 use baat_obs::{
@@ -245,7 +245,7 @@ pub struct Simulation {
     degraded_spans: Vec<SpanId>,
     /// Degraded-entry snapshot per node — entry instant and aging
     /// breakdown — for the exit span's per-mechanism aging delta.
-    degraded_enter: Vec<Option<(SimInstant, DamageBreakdown)>>,
+    degraded_enter: Vec<Option<(SimInstant, AgingBreakdown)>>,
     /// Steps per control interval (≥ 1), hoisted out of the step loop.
     control_steps: u64,
     /// Per-bank PV share (`members[b].len() / nodes`), hoisted out of the
@@ -311,7 +311,8 @@ impl Simulation {
             let s = &config.battery_spec;
             let k = per_bank as f64;
             let mut b = baat_battery::BatterySpec::builder();
-            b.nominal_voltage(s.nominal_voltage())
+            b.chemistry(s.chemistry())
+                .nominal_voltage(s.nominal_voltage())
                 .capacity(s.capacity() * k)
                 .internal_resistance(s.internal_resistance() / k)
                 .cutoff_voltage(s.cutoff_voltage())
@@ -343,7 +344,7 @@ impl Simulation {
         let clouds = CloudProcess::new(weather_today, config.seed);
         let nodes = config.nodes;
         let counters = EngineCounters::new(&obs);
-        let aging_obs = AgingObs::new(&obs);
+        let aging_obs = AgingObs::new(&obs, config.battery_spec.chemistry());
         let stage_trackers = (0..banks)
             .map(|_| StageTracker::new(obs.counter("power.charger.mode_switches")))
             .collect();
@@ -1019,7 +1020,7 @@ impl Simulation {
             .batteries
             .unit(bank)
             .ok()
-            .map(|b| (self.now, *b.aging().breakdown()));
+            .map(|b| (self.now, b.aging_breakdown()));
     }
 
     /// Closes node `i`'s degraded-mode span, first attaching an
@@ -1033,24 +1034,17 @@ impl Simulation {
         let now_s = self.now.as_secs();
         if let Some((since, before)) = self.degraded_enter[i].take() {
             if let Ok(battery) = self.batteries.unit(self.bank_of[i]) {
-                let after = battery.aging().breakdown();
+                let diff = battery.aging_breakdown().delta(&before);
                 let delta = self.tracer.start("aging.delta", span, now_s);
                 self.tracer.attr_u64(delta, "node", i as u64);
                 self.tracer
                     .attr_u64(delta, "degraded_s", now_s.saturating_sub(since.as_secs()));
-                self.tracer
-                    .attr_f64(delta, "corrosion", after.corrosion - before.corrosion);
-                self.tracer
-                    .attr_f64(delta, "shedding", after.shedding - before.shedding);
-                self.tracer
-                    .attr_f64(delta, "sulphation", after.sulphation - before.sulphation);
-                self.tracer
-                    .attr_f64(delta, "water_loss", after.water_loss - before.water_loss);
-                self.tracer.attr_f64(
-                    delta,
-                    "stratification",
-                    after.stratification - before.stratification,
-                );
+                // One attribute per mechanism, in the chemistry's
+                // breakdown order (the lead-acid order matches the
+                // pre-trait attribute order byte-for-byte).
+                for (label, value) in diff.iter() {
+                    self.tracer.attr_f64(delta, label, value);
+                }
                 self.tracer.end(delta, now_s);
             }
         }
@@ -1250,7 +1244,7 @@ impl Simulation {
                     &metrics,
                     battery.soc().value(),
                     headroom.as_f64(),
-                    battery.aging().total_damage(),
+                    battery.total_damage(),
                 );
             }
             let online = self.cluster.host(i)?.is_online();
@@ -1439,7 +1433,7 @@ impl Simulation {
                 node: i,
                 soc: battery.soc().value(),
                 soc_floor: self.soc_floors[bank].value(),
-                damage: battery.aging().total_damage(),
+                damage: battery.total_damage(),
                 degraded: self.degraded[i],
                 charger_mode_switches: self.mode_switches[bank],
                 online: self.cluster.host(i)?.is_online(),
@@ -1781,8 +1775,8 @@ impl Simulation {
                 battery.telemetry().lifetime(),
                 &ratings,
             ),
-            damage: battery.aging().total_damage(),
-            capacity_fraction: battery.aging().capacity_fraction(),
+            damage: battery.total_damage(),
+            capacity_fraction: battery.capacity_fraction(),
             server_power: host.power(tod),
             utilization: host.utilization(tod),
             dvfs: host.dvfs(),
@@ -1844,14 +1838,9 @@ impl Simulation {
             .grid_charge_wh
             .set(self.grid_charge_energy.as_f64());
         if obs.is_enabled() {
-            let mut agg = DamageBreakdown::default();
+            let mut agg = AgingBreakdown::default();
             for b in self.batteries.iter() {
-                let d = b.aging().breakdown();
-                agg.corrosion += d.corrosion;
-                agg.shedding += d.shedding;
-                agg.sulphation += d.sulphation;
-                agg.water_loss += d.water_loss;
-                agg.stratification += d.stratification;
+                agg.accumulate(&b.aging_breakdown());
             }
             self.aging_obs.record(&agg);
         }
@@ -1882,9 +1871,9 @@ impl Simulation {
                 };
                 Ok(NodeReport {
                     node: i,
-                    damage: battery.aging().total_damage(),
-                    damage_breakdown: *battery.aging().breakdown(),
-                    capacity_fraction: battery.aging().capacity_fraction(),
+                    damage: battery.total_damage(),
+                    damage_breakdown: battery.aging_breakdown(),
+                    capacity_fraction: battery.capacity_fraction(),
                     lifetime_metrics: AgingMetrics::from_accumulator(acc, &ratings),
                     soc_histogram: acc.soc_time_histogram,
                     deep_discharge_time: acc.deep_discharge_time,

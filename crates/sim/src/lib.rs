@@ -47,7 +47,10 @@ mod view;
 pub use baat_faults::{
     FaultError, FaultKind, FaultMix, FaultPlan, FaultSpec, DEFAULT_STALENESS_LIMIT,
 };
-pub use config::{BatteryTopology, SimConfig, SimConfigBuilder};
+pub use config::{
+    li_ion_node_battery, prototype_node_battery, BatteryTopology, ChemistrySpec, SimConfig,
+    SimConfigBuilder,
+};
 pub use engine::{availability, run_simulation, run_simulation_observed, Simulation};
 pub use error::SimError;
 pub use events::{Event, EventLog, TimedEvent};

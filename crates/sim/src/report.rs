@@ -1,6 +1,6 @@
 //! End-of-run simulation reports.
 
-use baat_battery::DamageBreakdown;
+use baat_battery::AgingBreakdown;
 use baat_metrics::AgingMetrics;
 use baat_units::{SimDuration, WattHours};
 
@@ -15,7 +15,7 @@ pub struct NodeReport {
     /// Final accumulated aging damage (1.0 = end-of-life).
     pub damage: f64,
     /// Per-mechanism damage breakdown.
-    pub damage_breakdown: DamageBreakdown,
+    pub damage_breakdown: AgingBreakdown,
     /// Final effective capacity as a fraction of nominal.
     pub capacity_fraction: f64,
     /// Aging metrics over the whole run.
@@ -119,7 +119,7 @@ mod tests {
         NodeReport {
             node: i,
             damage,
-            damage_breakdown: DamageBreakdown::default(),
+            damage_breakdown: AgingBreakdown::default(),
             capacity_fraction: 1.0 - 0.2 * damage,
             lifetime_metrics: AgingMetrics::from_accumulator(
                 &UsageAccumulator::default(),

@@ -22,8 +22,8 @@ use std::path::PathBuf;
 use baat_obs::Obs;
 use baat_server::DvfsLevel;
 use baat_sim::{
-    Action, ControlCtx, FaultKind, FaultPlan, FaultSpec, Policy, RejectReason, SimConfig,
-    SimReport, Simulation, SystemView,
+    Action, ChemistrySpec, ControlCtx, FaultKind, FaultPlan, FaultSpec, Policy, RejectReason,
+    SimConfig, SimReport, Simulation, SystemView,
 };
 use baat_solar::Weather;
 use baat_units::{SimDuration, SimInstant, Soc};
@@ -142,6 +142,24 @@ fn faulted_observed_run() -> (SimReport, Obs) {
     (report, obs)
 }
 
+/// The [`config`] run with li-ion node batteries — everything else
+/// (weather, seed, sampling, policy) identical, so the golden pins the
+/// alternative chemistry's full event stream.
+fn li_ion_observed_run() -> (SimReport, Obs) {
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![Weather::Cloudy])
+        .dt(SimDuration::from_secs(60))
+        .sample_every(240)
+        .seed(2015)
+        .chemistry(ChemistrySpec::li_ion());
+    let obs = Obs::enabled();
+    let sim = Simulation::with_obs(b.build().expect("li-ion config is valid"), obs.clone())
+        .expect("config valid");
+    let mut policy = ExerciseActions { issued: false };
+    let report = sim.run(&mut policy).expect("run succeeds");
+    (report, obs)
+}
+
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
@@ -185,6 +203,31 @@ fn recorder_trace_jsonl_matches_golden() {
 fn metric_snapshot_jsonl_matches_golden() {
     let (_, obs) = observed_run();
     assert_matches_golden("metrics.jsonl", &obs.metrics_jsonl());
+}
+
+#[test]
+fn li_ion_event_log_matches_golden() {
+    let (report, obs) = li_ion_observed_run();
+    let jsonl = report.events.to_jsonl();
+    assert_matches_golden("li_ion_events.jsonl", &jsonl);
+    // The lead-acid golden must not be re-pinned by accident: the li-ion
+    // stream has to actually differ from the lead-acid one.
+    let lead_acid =
+        std::fs::read_to_string(golden_path("events.jsonl")).expect("lead-acid golden exists");
+    assert_ne!(
+        jsonl, lead_acid,
+        "li-ion run replayed the lead-acid event stream — the chemistry \
+         swap did not reach the engine"
+    );
+    // And the aging gauges are the chemistry's own mechanisms.
+    let metrics = obs.metrics_jsonl();
+    for gauge in ["battery.aging.calendar", "battery.aging.cycle"] {
+        assert!(metrics.contains(gauge), "missing {gauge}");
+    }
+    assert!(
+        !metrics.contains("battery.aging.corrosion"),
+        "li-ion run registered lead-acid aging gauges"
+    );
 }
 
 #[test]

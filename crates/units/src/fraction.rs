@@ -99,6 +99,69 @@ impl core::fmt::Display for Fraction {
     }
 }
 
+/// A positive, finite dimensionless multiplier (e.g. a manufacturing
+/// capacity scale or an aging-rate multiplier), nominally near `1.0`.
+///
+/// Unlike [`Fraction`] a scale may exceed one: a unit drawn from a ±3 %
+/// manufacturing spread can be 1.03× nominal.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), baat_units::UnitError> {
+/// use baat_units::Scale;
+///
+/// let s = Scale::new(1.03)?;
+/// assert_eq!(s.value(), 1.03);
+/// assert!(Scale::new(0.0).is_err());
+/// assert!(Scale::new(f64::NAN).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Scale(f64);
+
+impl Scale {
+    /// The identity scale.
+    pub const ONE: Scale = Scale(1.0);
+
+    /// Creates a scale, validating that `value` is positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::OutOfRange`] if `value` is NaN, infinite, or
+    /// not strictly positive.
+    pub fn new(value: f64) -> Result<Self, UnitError> {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(UnitError::OutOfRange {
+                quantity: "Scale",
+                value,
+                min: f64::MIN_POSITIVE,
+                max: f64::MAX,
+            });
+        }
+        Ok(Self(value))
+    }
+
+    /// Returns the raw multiplier.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::ONE
+    }
+}
+
+impl core::fmt::Display for Scale {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3}×", self.0)
+    }
+}
+
 /// Battery state of charge: the fraction of effective capacity currently
 /// stored, in `[0, 1]`.
 ///
@@ -306,6 +369,16 @@ mod tests {
         let f = Fraction::from_percent(37.5).unwrap();
         assert!((f.as_percent() - 37.5).abs() < 1e-12);
         assert!((f.complement().value() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_accepts_any_positive_finite_multiplier() {
+        assert_eq!(Scale::new(1.5).unwrap().value(), 1.5);
+        assert_eq!(Scale::default(), Scale::ONE);
+        assert!(Scale::new(0.0).is_err());
+        assert!(Scale::new(-1.0).is_err());
+        assert!(Scale::new(f64::INFINITY).is_err());
+        assert!(Scale::new(f64::NAN).is_err());
     }
 
     #[test]

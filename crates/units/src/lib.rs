@@ -34,7 +34,7 @@ mod time;
 pub use electrical::{AmpHours, Amperes, Ohms, Volts};
 pub use energy::{WattHours, Watts};
 pub use error::UnitError;
-pub use fraction::{Dod, Fraction, Soc};
+pub use fraction::{Dod, Fraction, Scale, Soc};
 pub use money::Dollars;
 pub use thermal::Celsius;
 pub use time::{SimDuration, SimInstant, TimeOfDay};

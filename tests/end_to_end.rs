@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the full stack from solar trace to
 //! policy decisions to battery aging.
 
+use baat_repro::battery::BatteryModel;
 use baat_repro::core::Scheme;
 use baat_repro::sim::{availability, run_simulation, SimConfig, Simulation};
 use baat_repro::solar::Weather;
