@@ -3,9 +3,12 @@
 #
 # Usage: ci/check.sh [MODE]
 #
-#   lint   — fmt + clippy + rustdoc (all deny-warnings)
+#   lint   — fmt + clippy + rustdoc (all deny-warnings, deprecated APIs denied)
 #   test   — release build + full workspace test suite
 #   smoke  — faulted-determinism + OpenMetrics-golden console smokes
+#   replay — checkpoint/kill/resume gate: an interrupted checkpointing
+#            run resumed in a fresh process must byte-match the
+#            uninterrupted run's artifacts
 #   fleet  — 1k-host fleet-scale smoke (release, thread-invariance)
 #   perf   — perf regression gate against the committed baseline
 #   all    — every mode above, in order (the default)
@@ -25,12 +28,24 @@ export CARGO_NET_OFFLINE=true
 
 MODE="${1:-all}"
 
+# Temp dirs registered here are removed on exit, whichever modes ran.
+CLEANUP_DIRS=()
+cleanup() {
+    if ((${#CLEANUP_DIRS[@]})); then
+        rm -rf "${CLEANUP_DIRS[@]}"
+    fi
+}
+trap cleanup EXIT
+
 run_lint() {
     echo "==> cargo fmt --check"
     cargo fmt --all -- --check
 
-    echo "==> cargo clippy (deny warnings)"
-    cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> cargo clippy (deny warnings + deprecated)"
+    # -D deprecated keeps callers off soft-removed APIs (e.g. the old
+    # VariationParams::from_spreads constructor) even where the
+    # deprecation warning would otherwise be allowed.
+    cargo clippy --workspace --all-targets -- -D warnings -D deprecated
 
     echo "==> cargo doc (deny warnings)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
@@ -50,7 +65,7 @@ run_smoke() {
     # logs, the faulted log must actually carry fault events, and a clean
     # run must carry none.
     SMOKE_DIR="$(mktemp -d)"
-    trap 'rm -rf "$SMOKE_DIR"' EXIT
+    CLEANUP_DIRS+=("$SMOKE_DIR")
     CONSOLE=(cargo run --release -q -p baat-bench --bin console --)
     "${CONSOLE[@]}" --scheme baat --weather cloudy --seed 7 \
         --faults heavy --jsonl "$SMOKE_DIR/a" >/dev/null
@@ -96,6 +111,69 @@ run_smoke() {
     "${CONSOLE[@]}" trace-check "$SMOKE_DIR/li/spans.jsonl"
 }
 
+run_replay() {
+    echo "==> checkpoint / kill / resume replay gate"
+    # An interrupted checkpointing run, resumed from its last complete
+    # snapshot in a fresh process, must rebuild byte-identical run
+    # artifacts to the same scenario run uninterrupted — and `replay`
+    # must land on the same state hash from two different checkpoints.
+    # The console binary is invoked directly (not through `cargo run`)
+    # so the kill below hits the simulation process itself.
+    cargo build --release -q -p baat-bench --bin console
+    CONSOLE_BIN=target/release/console
+    REPLAY_DIR="$(mktemp -d)"
+    CLEANUP_DIRS+=("$REPLAY_DIR")
+    SCENARIO=(--scheme baat --weather cloudy,rainy,cloudy --seed 11 --faults light)
+
+    "$CONSOLE_BIN" checkpoint --dir "$REPLAY_DIR/full" --every 400 \
+        "${SCENARIO[@]}" >/dev/null
+
+    "$CONSOLE_BIN" checkpoint --dir "$REPLAY_DIR/cut" --every 400 \
+        "${SCENARIO[@]}" >/dev/null &
+    CUT_PID=$!
+    for _ in $(seq 1 600); do
+        if [ "$(ls "$REPLAY_DIR/cut"/step-*.snap 2>/dev/null | wc -l)" -ge 3 ]; then
+            break
+        fi
+        sleep 0.05
+    done
+    kill -9 "$CUT_PID" 2>/dev/null || true
+    wait "$CUT_PID" 2>/dev/null || true
+
+    # Snapshots are sunk sequentially, so every file except the
+    # lexically-newest is complete; drop the newest (the kill may have
+    # cut it off mid-write) and resume from the survivor in a fresh
+    # process. A resumed run rewrites events/trace/result from step 0,
+    # so the artifacts must byte-match the uninterrupted run's.
+    rm -f "$REPLAY_DIR/cut"/events.jsonl "$REPLAY_DIR/cut"/trace.jsonl \
+        "$REPLAY_DIR/cut"/result.jsonl
+    NEWEST="$(ls "$REPLAY_DIR/cut"/step-*.snap | sort | tail -1)"
+    rm -f "$NEWEST"
+    LAST="$(ls "$REPLAY_DIR/cut"/step-*.snap | sort | tail -1)"
+    "$CONSOLE_BIN" resume "$LAST" >/dev/null
+    cmp "$REPLAY_DIR/full/events.jsonl" "$REPLAY_DIR/cut/events.jsonl"
+    cmp "$REPLAY_DIR/full/trace.jsonl" "$REPLAY_DIR/cut/trace.jsonl"
+    cmp "$REPLAY_DIR/full/result.jsonl" "$REPLAY_DIR/cut/result.jsonl"
+
+    # Replaying to one step from two different checkpoints — the full
+    # run's snapshot at the target (zero re-steps) vs the cut run's
+    # earlier one (400 re-steps) — must print the same state hash.
+    TARGET="$(basename "$LAST" .snap)"
+    TARGET="$((10#${TARGET#step-} + 400))"
+    HASH_FULL="$("$CONSOLE_BIN" replay --dir "$REPLAY_DIR/full" --to "$TARGET" |
+        grep -oE 'state hash [0-9a-f]+')"
+    HASH_CUT="$("$CONSOLE_BIN" replay --dir "$REPLAY_DIR/cut" --to "$TARGET" |
+        grep -oE 'state hash [0-9a-f]+')"
+    [ -n "$HASH_FULL" ] && [ "$HASH_FULL" = "$HASH_CUT" ]
+
+    # `replay --event` resolves a recorded event's line index to the
+    # first state containing it and must land there cleanly.
+    FAULT_LINE="$(grep -n '"kind":"fault_injected"' "$REPLAY_DIR/full/events.jsonl" |
+        head -1 | cut -d: -f1)"
+    "$CONSOLE_BIN" replay --dir "$REPLAY_DIR/full" --event "$((FAULT_LINE - 1))" |
+        grep -qE 'state hash [0-9a-f]+'
+}
+
 run_fleet() {
     echo "==> fleet-scale smoke (1k hosts, release)"
     # A seeded 1,000-host control interval must fit the wall-clock
@@ -121,17 +199,19 @@ case "$MODE" in
 lint) run_lint ;;
 test) run_test ;;
 smoke) run_smoke ;;
+replay) run_replay ;;
 fleet) run_fleet ;;
 perf) run_perf ;;
 all)
     run_lint
     run_test
     run_smoke
+    run_replay
     run_fleet
     run_perf
     ;;
 *)
-    echo "error: unknown mode '$MODE' (lint|test|smoke|fleet|perf|all)" >&2
+    echo "error: unknown mode '$MODE' (lint|test|smoke|replay|fleet|perf|all)" >&2
     exit 2
     ;;
 esac

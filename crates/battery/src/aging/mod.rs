@@ -214,6 +214,13 @@ impl AgingState {
         self.damage.stratification += inc.stratification;
     }
 
+    /// Overrides the accumulated per-mechanism damage (checkpoint
+    /// restore). The Arrhenius memo is untouched — it is an exact replay
+    /// cache, so a restored unit starting cold replays bit-identically.
+    pub fn restore_damage(&mut self, damage: DamageBreakdown) {
+        self.damage = damage;
+    }
+
     /// Total accumulated damage (1.0 = end-of-life).
     pub fn total_damage(&self) -> f64 {
         self.damage.total()

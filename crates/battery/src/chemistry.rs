@@ -349,6 +349,26 @@ impl AnyBattery {
             AnyBattery::LiIon(b) => Some(b),
         }
     }
+
+    /// Captures the unit's dynamic state for checkpointing. The aging
+    /// breakdown carries the active chemistry's mechanism labels, so a
+    /// captured state is only meaningful for a unit of the same
+    /// chemistry, spec and variation.
+    pub fn capture_state(&self) -> crate::state::BatteryUnitState {
+        match self {
+            AnyBattery::LeadAcid(b) => b.capture_state(),
+            AnyBattery::LiIon(b) => b.capture_state(),
+        }
+    }
+
+    /// Re-applies a captured dynamic state onto this unit (same
+    /// chemistry, spec and variation as the captured one).
+    pub fn restore_state(&mut self, state: &crate::state::BatteryUnitState) {
+        match self {
+            AnyBattery::LeadAcid(b) => b.restore_state(state),
+            AnyBattery::LiIon(b) => b.restore_state(state),
+        }
+    }
 }
 
 /// Delegates every [`BatteryModel`] method to the active chemistry arm.

@@ -56,6 +56,7 @@ mod model;
 mod obs;
 mod pack;
 mod spec;
+mod state;
 mod telemetry;
 mod thermal;
 mod voltage;
@@ -72,6 +73,7 @@ pub use model::{Battery, BatteryOp, StepResult};
 pub use obs::AgingObs;
 pub use pack::{BatteryPack, VariationParams};
 pub use spec::{BatterySpec, BatterySpecBuilder};
+pub use state::{BatteryUnitState, TelemetryState};
 pub use telemetry::{SensorSample, TelemetryLog, UsageAccumulator, SOC_HISTOGRAM_BINS};
 pub use thermal::ThermalModel;
 pub use voltage::{

@@ -113,6 +113,14 @@ impl LiIonAgingState {
         }
     }
 
+    /// Overrides the accumulated calendar/cycle damage (checkpoint
+    /// restore). The Arrhenius and cycle-life memos are untouched — both
+    /// are exact replay caches.
+    pub fn restore_damage(&mut self, calendar: f64, cycle: f64) {
+        self.calendar = calendar;
+        self.cycle = cycle;
+    }
+
     /// Total accumulated damage (1.0 = end-of-life).
     pub fn total_damage(&self) -> f64 {
         self.calendar + self.cycle
@@ -213,6 +221,33 @@ impl LiIonBattery {
     /// Accumulated calendar/cycle aging state.
     pub fn aging(&self) -> &LiIonAgingState {
         &self.aging
+    }
+
+    /// Captures the unit's dynamic state for checkpointing (see
+    /// [`crate::Battery::capture_state`]; identical contract).
+    pub fn capture_state(&self) -> crate::state::BatteryUnitState {
+        crate::state::BatteryUnitState {
+            soc: self.soc,
+            hours_since_full: self.hours_since_full,
+            cutoff_events: self.cutoff_events,
+            temperature: self.thermal.temperature(),
+            aging: self.aging.breakdown(),
+            telemetry: self.telemetry.capture(),
+        }
+    }
+
+    /// Re-applies a captured dynamic state onto this unit (see
+    /// [`crate::Battery::restore_state`]; identical contract).
+    pub fn restore_state(&mut self, state: &crate::state::BatteryUnitState) {
+        self.soc = state.soc;
+        self.hours_since_full = state.hours_since_full;
+        self.cutoff_events = state.cutoff_events;
+        self.thermal.set_temperature(state.temperature);
+        self.aging.restore_damage(
+            state.aging.get("calendar").unwrap_or(0.0),
+            state.aging.get("cycle").unwrap_or(0.0),
+        );
+        self.telemetry = TelemetryLog::restore(&state.telemetry);
     }
 
     fn available_discharge_power_at(&self, ocv: Volts, r: Ohms) -> Watts {

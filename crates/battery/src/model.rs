@@ -330,6 +330,46 @@ impl Battery {
         }
     }
 
+    /// Captures the unit's dynamic state for checkpointing.
+    ///
+    /// The static side (spec, variation scales, aging model) is not
+    /// included: a restore target is re-manufactured from configuration
+    /// and seed, then [`Battery::restore_state`] overwrites the dynamic
+    /// side. Evaluation memos are excluded by design — they are exact
+    /// replay caches.
+    pub fn capture_state(&self) -> crate::state::BatteryUnitState {
+        crate::state::BatteryUnitState {
+            soc: self.soc,
+            hours_since_full: self.hours_since_full,
+            cutoff_events: self.cutoff_events,
+            temperature: self.thermal.temperature(),
+            aging: self.aging_breakdown(),
+            telemetry: self.telemetry.capture(),
+        }
+    }
+
+    /// Re-applies a captured dynamic state onto this unit.
+    ///
+    /// The unit must have been manufactured from the same spec and
+    /// variation as the captured one; restoring then replays
+    /// bit-identically to the original. Aging mechanisms absent from the
+    /// captured breakdown restore as zero damage.
+    pub fn restore_state(&mut self, state: &crate::state::BatteryUnitState) {
+        self.soc = state.soc;
+        self.hours_since_full = state.hours_since_full;
+        self.cutoff_events = state.cutoff_events;
+        self.thermal.set_temperature(state.temperature);
+        let get = |label| state.aging.get(label).unwrap_or(0.0);
+        self.aging.restore_damage(crate::aging::DamageBreakdown {
+            corrosion: get("corrosion"),
+            shedding: get("shedding"),
+            sulphation: get("sulphation"),
+            water_loss: get("water_loss"),
+            stratification: get("stratification"),
+        });
+        self.telemetry = TelemetryLog::restore(&state.telemetry);
+    }
+
     /// Advances the battery one simulation step.
     ///
     /// Applies the requested operation (respecting cutoff, current limits

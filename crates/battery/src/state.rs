@@ -1,0 +1,58 @@
+//! Checkpointable dynamic state of one battery unit.
+//!
+//! A battery's behaviour is the product of static parameters (the
+//! [`BatterySpec`](crate::BatterySpec), the manufacturing variation
+//! scales, the aging model) and dynamic state accumulated while
+//! stepping. The static side is reproduced bit-identically by
+//! re-manufacturing the unit from its configuration and seed, so a
+//! checkpoint only needs to carry the dynamic side: that is what
+//! [`BatteryUnitState`] holds, for every chemistry, via
+//! `capture_state`/`restore_state` on [`Battery`](crate::Battery),
+//! [`LiIonBattery`](crate::LiIonBattery) and
+//! [`AnyBattery`](crate::AnyBattery).
+//!
+//! Evaluation caches (dt conversions, Arrhenius factors, cycle-life
+//! memos) are deliberately absent: they are exact replay caches, so a
+//! restored unit starting from cold caches produces bit-identical
+//! results.
+
+use baat_units::{Celsius, Soc};
+
+use crate::chemistry::AgingBreakdown;
+use crate::telemetry::{SensorSample, UsageAccumulator};
+
+/// Dynamic state of one battery unit, chemistry-agnostic.
+///
+/// Captured by `capture_state` and re-applied with `restore_state` onto
+/// a freshly manufactured unit of the same spec and variation. The aging
+/// damage travels as the chemistry-canonical labelled breakdown
+/// ([`AgingBreakdown`]), so the same container round-trips lead-acid's
+/// five mechanisms and Li-ion's calendar/cycle pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatteryUnitState {
+    /// State of charge.
+    pub soc: Soc,
+    /// Hours since the unit last reached full charge.
+    pub hours_since_full: f64,
+    /// Number of discharge requests (partially) refused by the cutoff.
+    pub cutoff_events: u64,
+    /// Battery surface temperature.
+    pub temperature: Celsius,
+    /// Per-mechanism accumulated aging damage, chemistry-labelled.
+    pub aging: AgingBreakdown,
+    /// Full telemetry contents (sample ring + usage accumulators).
+    pub telemetry: TelemetryState,
+}
+
+/// Checkpointable contents of a [`TelemetryLog`](crate::TelemetryLog).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryState {
+    /// Ring capacity the log was built with.
+    pub max_samples: usize,
+    /// Retained sensor samples, oldest first.
+    pub samples: Vec<SensorSample>,
+    /// Lifetime usage counters.
+    pub lifetime: UsageAccumulator,
+    /// Current-window usage counters.
+    pub window: UsageAccumulator,
+}

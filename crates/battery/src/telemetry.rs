@@ -204,6 +204,28 @@ impl TelemetryLog {
     pub fn reset_window(&mut self) -> UsageAccumulator {
         std::mem::take(&mut self.window)
     }
+
+    /// Captures the full log contents for a checkpoint.
+    pub fn capture(&self) -> crate::state::TelemetryState {
+        crate::state::TelemetryState {
+            max_samples: self.max_samples,
+            samples: self.samples.iter().copied().collect(),
+            lifetime: self.lifetime,
+            window: self.window,
+        }
+    }
+
+    /// Rebuilds a log from captured contents. The restored log compares
+    /// equal to the one [`TelemetryLog::capture`] saw, including ring
+    /// capacity and eviction position.
+    pub fn restore(state: &crate::state::TelemetryState) -> Self {
+        Self {
+            samples: state.samples.iter().copied().collect(),
+            max_samples: state.max_samples,
+            lifetime: state.lifetime,
+            window: state.window,
+        }
+    }
 }
 
 impl Default for TelemetryLog {

@@ -54,6 +54,12 @@ impl ThermalModel {
         self.temperature
     }
 
+    /// Overrides the thermal state (checkpoint restore). The relaxation
+    /// memo is untouched — it is an exact replay cache keyed on `dt`.
+    pub fn set_temperature(&mut self, temperature: Celsius) {
+        self.temperature = temperature;
+    }
+
     /// Advances the thermal state one step.
     ///
     /// `current` is the battery current (either sign), `resistance` the

@@ -19,7 +19,21 @@
 //!   divergence plus per-metric deltas; exits 1 when they differ;
 //! * `trace-check spans.jsonl` — validate a span export against the
 //!   trace schema (sequential ids, backward-pointing parents, ordered
-//!   timestamps); exits 1 on any violation.
+//!   timestamps); exits 1 on any violation;
+//! * `checkpoint --dir DIR [--every STEPS]` — run the scenario writing a
+//!   versioned, policy-inclusive snapshot (`step-NNNNNNNN.snap`) every N
+//!   steps, plus `run.jsonl` metadata (written before the run starts, so
+//!   a killed process leaves a resumable directory) and the final
+//!   `events.jsonl` / `trace.jsonl` / `result.jsonl` artifacts;
+//! * `resume DIR/step-NNNNNNNN.snap` — rebuild the configuration from
+//!   the sibling `run.jsonl`, restore engine and policy state from the
+//!   snapshot, finish the run, and rewrite the artifacts —
+//!   byte-identical to never having stopped;
+//! * `replay --dir DIR (--to STEP | --event INDEX)` — restore the
+//!   nearest checkpoint at or before the target, re-step to it, and
+//!   print the state hash (equal to a full run paused there);
+//!   `--event INDEX` targets the first state containing the INDEX-th
+//!   line of the recorded `events.jsonl`.
 //!
 //! `--jsonl DIR` runs with observation enabled and dumps the structured
 //! exports — `run.jsonl` (run metadata: chemistry, scheme, seed, …),
@@ -47,13 +61,16 @@
 //! deterministic 1000-host day.
 
 use std::io::IsTerminal;
+use std::path::{Path, PathBuf};
 
 use baat_battery::Chemistry;
 use baat_bench::{diff, jsonq, trace_schema, watch};
 use baat_core::Scheme;
 use baat_obs::json::JsonLine;
 use baat_obs::Obs;
-use baat_sim::{BatteryTopology, ChemistrySpec, Event, FaultMix, FaultPlan, SimConfig, Simulation};
+use baat_sim::{
+    BatteryTopology, ChemistrySpec, Event, FaultMix, FaultPlan, SimConfig, SimSnapshot, Simulation,
+};
 use baat_solar::Weather;
 use baat_units::SimDuration;
 
@@ -70,7 +87,16 @@ struct Args {
     csv: Option<String>,
     jsonl: Option<String>,
     profile: bool,
-    every_minutes: u64,
+    /// `--every`: simulated minutes per frame for `watch`, steps per
+    /// snapshot for `checkpoint` (each defaults separately when unset).
+    every: Option<u64>,
+    /// `--dir`: checkpoint directory for `checkpoint` / `replay`.
+    dir: Option<String>,
+    /// `replay --to STEP`: the target step index.
+    replay_to: Option<u64>,
+    /// `replay --event INDEX`: land just after the INDEX-th recorded
+    /// event instead of an explicit step.
+    replay_event: Option<usize>,
 }
 
 impl Args {
@@ -86,17 +112,23 @@ enum Command {
     Watch,
     Diff(String, String),
     TraceCheck(String),
+    Checkpoint,
+    Resume(String),
+    Replay,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: console [watch] [--scheme e-buff|baat-s|baat-h|baat] \
+        "usage: console [watch|checkpoint] [--scheme e-buff|baat-s|baat-h|baat] \
          [--weather sunny,cloudy,rainy] [--seed N] [--old] \
          [--topology per-server|shared:K] [--chemistry lead-acid|li-ion] \
          [--fleet N] [--faults light|heavy[:SEED]] \
-         [--csv PATH] [--jsonl DIR] [--profile] [--every MINUTES]\n\
+         [--csv PATH] [--jsonl DIR] [--profile] [--every N] [--dir DIR]\n\
          \x20      console diff A.jsonl B.jsonl\n\
-         \x20      console trace-check spans.jsonl"
+         \x20      console trace-check spans.jsonl\n\
+         \x20      console checkpoint --dir DIR [--every STEPS] [scenario flags]\n\
+         \x20      console resume DIR/step-NNNNNNNN.snap\n\
+         \x20      console replay --dir DIR (--to STEP | --event INDEX)"
     );
     std::process::exit(2);
 }
@@ -115,13 +147,33 @@ fn parse_args() -> Args {
         csv: None,
         jsonl: None,
         profile: false,
-        every_minutes: 30,
+        every: None,
+        dir: None,
+        replay_to: None,
+        replay_event: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     match it.peek().map(String::as_str) {
         Some("watch") => {
             args.command = Command::Watch;
             it.next();
+        }
+        Some("checkpoint") => {
+            args.command = Command::Checkpoint;
+            it.next();
+        }
+        Some("replay") => {
+            args.command = Command::Replay;
+            it.next();
+        }
+        Some("resume") => {
+            it.next();
+            let file = it.next().unwrap_or_else(|| usage());
+            if it.next().is_some() {
+                usage();
+            }
+            args.command = Command::Resume(file);
+            return args;
         }
         Some("diff") => {
             it.next();
@@ -216,24 +268,32 @@ fn parse_args() -> Args {
             "--jsonl" => args.jsonl = Some(it.next().unwrap_or_else(|| usage())),
             "--profile" => args.profile = true,
             "--every" => {
-                args.every_minutes = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&m| m > 0)
-                    .unwrap_or_else(|| usage());
+                args.every = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&m| m > 0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--dir" => args.dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--to" => {
+                args.replay_to = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--event" => {
+                args.replay_event = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             _ => usage(),
         }
     }
     args
-}
-
-/// The chemistry recorded in the `run.jsonl` sitting next to an export
-/// file, when that metadata exists (exports predating it have none).
-fn sibling_chemistry(export: &str) -> Option<String> {
-    let meta = std::path::Path::new(export).parent()?.join("run.jsonl");
-    let line = std::fs::read_to_string(meta).ok()?;
-    jsonq::extract_str(line.lines().next()?, "chemistry")
 }
 
 /// `console diff A B`: renders first divergence + metric deltas, exits 1
@@ -243,12 +303,8 @@ fn sibling_chemistry(export: &str) -> Option<String> {
 fn run_diff(a: &str, b: &str) -> Result<(), Box<dyn std::error::Error>> {
     let doc_a = std::fs::read_to_string(a)?;
     let doc_b = std::fs::read_to_string(b)?;
-    if let (Some(chem_a), Some(chem_b)) = (sibling_chemistry(a), sibling_chemistry(b)) {
-        if chem_a == chem_b {
-            println!("chemistry: {chem_a} (both runs)");
-        } else {
-            println!("chemistry: A={chem_a} B={chem_b} — cross-chemistry comparison");
-        }
+    if let Some(banner) = diff::chemistry_banner(Path::new(a), Path::new(b)) {
+        println!("{banner}");
     }
     let report = diff::diff_runs(&doc_a, &doc_b);
     print!("{}", report.render());
@@ -285,7 +341,7 @@ fn run_watch(args: &Args, config: SimConfig) -> Result<(), Box<dyn std::error::E
         sim.pre_age_batteries(0.55);
     }
     let mut policy = args.scheme.build_observed(&obs);
-    let frame_steps = (args.every_minutes * 60 / dt).max(1);
+    let frame_steps = (args.every.unwrap_or(30) * 60 / dt).max(1);
     let clear = std::io::stdout().is_terminal();
     let mut done = 0u64;
     while done < total_steps {
@@ -310,44 +366,393 @@ fn run_watch(args: &Args, config: SimConfig) -> Result<(), Box<dyn std::error::E
     Ok(())
 }
 
+/// Everything that determines a console scenario's [`SimConfig`] and
+/// policy — the run identity that checkpoint metadata must round-trip
+/// so `resume` and `replay` can rebuild the exact configuration in a
+/// fresh process.
+struct RunSpec {
+    scheme: Scheme,
+    plan: Vec<Weather>,
+    seed: u64,
+    old: bool,
+    topology: BatteryTopology,
+    /// `Some` only when `--chemistry` was passed explicitly, mirroring
+    /// the run path (an explicit spec and the default build the same
+    /// batteries, but the config must match byte-for-byte for the
+    /// snapshot's config hash to verify).
+    chemistry: Option<Chemistry>,
+    fleet: Option<usize>,
+    /// Fault mix and the resolved plan seed.
+    faults: Option<(FaultMix, u64)>,
+}
+
+impl RunSpec {
+    fn from_args(args: &Args) -> Self {
+        Self {
+            scheme: args.scheme,
+            plan: args.plan.clone(),
+            seed: args.seed,
+            old: args.old,
+            topology: args.topology,
+            chemistry: args.chemistry,
+            fleet: args.fleet,
+            faults: args
+                .faults
+                .as_ref()
+                .map(|(mix, plan_seed)| (*mix, plan_seed.unwrap_or(args.seed))),
+        }
+    }
+
+    /// Builds the scenario configuration exactly as a `console run`
+    /// with the equivalent flags would.
+    fn build_config(&self) -> Result<SimConfig, baat_sim::SimError> {
+        let mut builder = SimConfig::builder();
+        builder
+            .weather_plan(self.plan.clone())
+            .dt(SimDuration::from_secs(30))
+            .sample_every(10)
+            .topology(self.topology)
+            .seed(self.seed);
+        if let Some(n) = self.fleet {
+            // Applied after the defaults above so the fleet profile's
+            // node count, PV sizing, workload and trace throttling win.
+            builder.fleet(n);
+        }
+        if let Some(chemistry) = self.chemistry {
+            // Swaps every node battery for the chemistry's prototype
+            // spec; composes with --fleet (spec applies per node) and
+            // --faults (plans are spec-independent).
+            builder.chemistry(ChemistrySpec::new(chemistry));
+        }
+        if let Some((mix, plan_seed)) = &self.faults {
+            // Probe-build to learn the fleet size the defaults resolve
+            // to, then generate the plan for that topology.
+            let probe = builder.build()?;
+            builder.faults(FaultPlan::generate(
+                *plan_seed,
+                probe.days(),
+                probe.nodes,
+                self.topology.banks(probe.nodes),
+                mix,
+            ));
+        }
+        builder.build()
+    }
+
+    /// The metadata line written to a checkpoint directory's
+    /// `run.jsonl`: enough to rebuild the configuration (and label
+    /// `console diff` comparisons, which read the same `chemistry`
+    /// field).
+    fn metadata_line(&self, config: &SimConfig, every: u64) -> String {
+        let mut line = JsonLine::new();
+        line.str_field("chemistry", self.chemistry.unwrap_or_default().name())
+            .bool_field("chemistry_explicit", self.chemistry.is_some())
+            .str_field("scheme", self.scheme.name())
+            .str_field(
+                "weather",
+                &self
+                    .plan
+                    .iter()
+                    .map(|w| w.name())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            )
+            .u64_field("seed", self.seed)
+            .u64_field("days", config.days() as u64)
+            .u64_field("nodes", config.nodes as u64)
+            .bool_field("old", self.old)
+            .str_field("topology", &topology_label(self.topology))
+            .u64_field("every", every);
+        if let Some(n) = self.fleet {
+            line.u64_field("fleet", n as u64);
+        }
+        if let Some((mix, plan_seed)) = &self.faults {
+            line.str_field("fault_mix", fault_mix_label(mix))
+                .u64_field("fault_seed", *plan_seed);
+        }
+        let mut out = line.finish();
+        out.push('\n');
+        out
+    }
+
+    /// Rebuilds the spec from a checkpoint directory's `run.jsonl`
+    /// line. Returns `None` when a required field is missing or
+    /// unparseable.
+    fn from_metadata(meta: &str) -> Option<Self> {
+        let scheme_name = jsonq::extract_str(meta, "scheme")?;
+        let scheme = Scheme::ALL.into_iter().find(|s| s.name() == scheme_name)?;
+        let plan: Vec<Weather> = jsonq::extract_str(meta, "weather")?
+            .split(',')
+            .map(|name| Weather::ALL.into_iter().find(|w| w.name() == name))
+            .collect::<Option<Vec<_>>>()?;
+        if plan.is_empty() {
+            return None;
+        }
+        let chemistry = if jsonq::extract_bool(meta, "chemistry_explicit")? {
+            Some(Chemistry::parse(&jsonq::extract_str(meta, "chemistry")?)?)
+        } else {
+            None
+        };
+        let topology = parse_topology(&jsonq::extract_str(meta, "topology")?)?;
+        let faults = match jsonq::extract_str(meta, "fault_mix") {
+            Some(mix) => Some((
+                FaultMix::parse(&mix)?,
+                jsonq::extract_u64(meta, "fault_seed")?,
+            )),
+            None => None,
+        };
+        Some(Self {
+            scheme,
+            plan,
+            seed: jsonq::extract_u64(meta, "seed")?,
+            old: jsonq::extract_bool(meta, "old")?,
+            topology,
+            chemistry,
+            fleet: jsonq::extract_u64(meta, "fleet").map(|n| n as usize),
+            faults,
+        })
+    }
+}
+
+fn topology_label(topology: BatteryTopology) -> String {
+    match topology {
+        BatteryTopology::PerServer => "per-server".to_owned(),
+        BatteryTopology::SharedPool { pools } => format!("shared:{pools}"),
+    }
+}
+
+fn parse_topology(label: &str) -> Option<BatteryTopology> {
+    if label == "per-server" {
+        Some(BatteryTopology::PerServer)
+    } else {
+        let pools = label.strip_prefix("shared:")?.parse().ok()?;
+        Some(BatteryTopology::SharedPool { pools })
+    }
+}
+
+fn fault_mix_label(mix: &FaultMix) -> &'static str {
+    if mix.per_day == FaultMix::light().per_day {
+        "light"
+    } else {
+        "heavy"
+    }
+}
+
+/// Reads and parses the `run.jsonl` metadata in a checkpoint directory.
+fn spec_from_dir(dir: &Path) -> Result<RunSpec, Box<dyn std::error::Error>> {
+    let meta_path = dir.join("run.jsonl");
+    let meta = std::fs::read_to_string(&meta_path)
+        .map_err(|e| format!("read {}: {e}", meta_path.display()))?;
+    let line = meta
+        .lines()
+        .next()
+        .ok_or_else(|| format!("{}: empty metadata", meta_path.display()))?;
+    RunSpec::from_metadata(line)
+        .ok_or_else(|| format!("{}: malformed run metadata", meta_path.display()).into())
+}
+
+/// Writes the run artifacts a finished (or resumed) checkpointed run
+/// leaves behind: `events.jsonl`, `trace.jsonl` and the one-line
+/// `result.jsonl` summary. A resumed run rewrites all three from step
+/// zero — the snapshot carries the full event log and trace — so an
+/// interrupted-and-resumed run's artifacts byte-compare against an
+/// uninterrupted run's.
+fn write_run_artifacts(
+    dir: &Path,
+    report: &baat_sim::SimReport,
+) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::write(dir.join("events.jsonl"), report.events.to_jsonl())?;
+    std::fs::write(dir.join("trace.jsonl"), report.recorder.to_jsonl())?;
+    std::fs::write(dir.join("result.jsonl"), result_line(report))?;
+    Ok(())
+}
+
+/// The `result.jsonl` summary line: the headline scalars of the run,
+/// emitted deterministically for byte-comparison across resumes.
+fn result_line(report: &baat_sim::SimReport) -> String {
+    let mut line = JsonLine::new();
+    line.str_field("policy", report.policy)
+        .u64_field("days", report.days as u64)
+        .f64_field("work_core_h", report.total_work)
+        .u64_field("completed_jobs", report.completed_jobs)
+        .u64_field("migrations", report.migrations)
+        .f64_field("unserved_wh", report.unserved_energy.as_f64())
+        .f64_field("grid_charge_wh", report.grid_charge_energy.as_f64())
+        .f64_field("mean_damage", report.mean_damage());
+    let mut out = line.finish();
+    out.push('\n');
+    out
+}
+
+/// Default steps between snapshots for `console checkpoint`: 120 steps
+/// is one simulated hour at the console's 30 s timestep.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 120;
+
+/// `console checkpoint --dir DIR [--every STEPS]`: runs the scenario,
+/// writing a policy-inclusive snapshot every N steps plus the metadata
+/// and final artifacts `resume` / `replay` need.
+fn run_checkpoint(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(dir) = args.dir.as_deref() else {
+        eprintln!("checkpoint: --dir DIR is required");
+        usage();
+    };
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)?;
+    let every = args.every.unwrap_or(DEFAULT_CHECKPOINT_EVERY);
+    let spec = RunSpec::from_args(args);
+    let config = spec.build_config()?;
+    // Metadata goes down before the run starts, so a killed process
+    // still leaves a resumable directory.
+    std::fs::write(dir.join("run.jsonl"), spec.metadata_line(&config, every))?;
+    let mut sim = Simulation::new(config)?;
+    if args.old {
+        sim.pre_age_batteries(0.55);
+    }
+    let mut policy = args.scheme.build();
+    let mut written = 0u64;
+    let snap_dir = dir.clone();
+    let report = sim.checkpoint_every(&mut policy, every, |snap| {
+        let path = snap_dir.join(format!("step-{:08}.snap", snap.state.step_index));
+        snap.write_file(&path)?;
+        written += 1;
+        Ok(())
+    })?;
+    write_run_artifacts(&dir, &report)?;
+    println!(
+        "checkpointed run complete: scheme {} | {} day(s) | {} snapshot(s) every {} steps in {}",
+        report.policy,
+        report.days,
+        written,
+        every,
+        dir.display(),
+    );
+    println!(
+        "work {:.1} core-h | jobs {} | unserved {}",
+        report.total_work, report.completed_jobs, report.unserved_energy,
+    );
+    Ok(())
+}
+
+/// `console resume FILE`: restores the simulation (and policy decision
+/// state) from a snapshot file, rebuilds the configuration from the
+/// sibling `run.jsonl`, finishes the run, and rewrites the run
+/// artifacts — byte-identical to never having stopped.
+fn run_resume(file: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let path = Path::new(file);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let spec = spec_from_dir(dir)?;
+    let config = spec.build_config()?;
+    let snapshot = SimSnapshot::read_file(path).map_err(baat_sim::SimError::from)?;
+    // Pre-aging is not re-applied: the snapshot's battery state already
+    // carries the accumulated damage.
+    let sim = Simulation::restore(config, &snapshot)?;
+    let mut policy = spec.scheme.build();
+    let restored_policy = snapshot.apply_policy_state(&mut *policy);
+    let from_step = sim.step_index();
+    let report = sim.run_remaining(&mut policy)?;
+    write_run_artifacts(dir, &report)?;
+    println!(
+        "resumed {} from step {} ({}) — run complete",
+        path.display(),
+        from_step,
+        if restored_policy {
+            "policy state restored"
+        } else {
+            "fresh policy state"
+        },
+    );
+    println!(
+        "work {:.1} core-h | jobs {} | unserved {}",
+        report.total_work, report.completed_jobs, report.unserved_energy,
+    );
+    Ok(())
+}
+
+/// `console replay --dir DIR (--to STEP | --event INDEX)`: restores the
+/// nearest checkpoint at or before the target step, re-steps to it, and
+/// prints the state hash — equal to a full run paused at that step.
+fn run_replay(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(dir) = args.dir.as_deref() else {
+        eprintln!("replay: --dir DIR is required");
+        usage();
+    };
+    let dir = Path::new(dir);
+    let spec = spec_from_dir(dir)?;
+    let config = spec.build_config()?;
+    let dt = config.dt.as_secs();
+    let target = match (args.replay_to, args.replay_event) {
+        (Some(step), None) => step,
+        (None, Some(index)) => {
+            // Land on the first state that includes the INDEX-th
+            // recorded event: events are stamped with their step's
+            // start time, so the state just after that step is the
+            // earliest one containing the event.
+            let events = std::fs::read_to_string(dir.join("events.jsonl"))?;
+            let line = events
+                .lines()
+                .nth(index)
+                .ok_or_else(|| format!("events.jsonl has no line {index}"))?;
+            let at_s = jsonq::extract_u64(line, "at_s")
+                .ok_or_else(|| format!("events.jsonl line {index}: no at_s field"))?;
+            at_s / dt + 1
+        }
+        _ => {
+            eprintln!("replay: exactly one of --to STEP or --event INDEX is required");
+            usage();
+        }
+    };
+    // Nearest checkpoint at or before the target step.
+    let mut nearest: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(step) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("step-"))
+            .and_then(|n| n.strip_suffix(".snap"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if step <= target && nearest.as_ref().is_none_or(|(best, _)| step > *best) {
+            nearest = Some((step, entry.path()));
+        }
+    }
+    let Some((base, snap_path)) = nearest else {
+        return Err(format!(
+            "{}: no checkpoint at or before step {target}",
+            dir.display()
+        )
+        .into());
+    };
+    let snapshot = SimSnapshot::read_file(&snap_path).map_err(baat_sim::SimError::from)?;
+    let mut sim = Simulation::restore(config, &snapshot)?;
+    let mut policy = spec.scheme.build();
+    snapshot.apply_policy_state(&mut *policy);
+    sim.run_steps(&mut policy, target - base)?;
+    println!(
+        "replayed to step {target} (checkpoint {base} + {} step(s)) | t = {} s | state hash {:016x}",
+        target - base,
+        target * dt,
+        sim.state_hash(),
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
     match &args.command {
         Command::Diff(a, b) => return run_diff(a, b),
         Command::TraceCheck(file) => return run_trace_check(file),
+        Command::Checkpoint => return run_checkpoint(&args),
+        Command::Resume(file) => return run_resume(file),
+        Command::Replay => return run_replay(&args),
         Command::Run | Command::Watch => {}
     }
-    let mut builder = SimConfig::builder();
-    builder
-        .weather_plan(args.plan.clone())
-        .dt(SimDuration::from_secs(30))
-        .sample_every(10)
-        .topology(args.topology)
-        .seed(args.seed);
-    if let Some(n) = args.fleet {
-        // Applied after the defaults above so the fleet profile's node
-        // count, PV sizing, workload and trace throttling win.
-        builder.fleet(n);
-    }
-    if let Some(chemistry) = args.chemistry {
-        // Swaps every node battery for the chemistry's prototype spec;
-        // composes with --fleet (spec applies per node) and --faults
-        // (plans are spec-independent).
-        builder.chemistry(ChemistrySpec::new(chemistry));
-    }
-    if let Some((mix, plan_seed)) = &args.faults {
-        // Probe-build to learn the fleet size the defaults resolve to,
-        // then generate the plan for that topology.
-        let probe = builder.build()?;
-        builder.faults(FaultPlan::generate(
-            plan_seed.unwrap_or(args.seed),
-            probe.days(),
-            probe.nodes,
-            args.topology.banks(probe.nodes),
-            mix,
-        ));
-    }
-    let config = builder.build()?;
+    let config = RunSpec::from_args(&args).build_config()?;
 
     if matches!(args.command, Command::Watch) {
         return run_watch(&args, config);

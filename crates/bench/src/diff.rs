@@ -86,6 +86,27 @@ impl DiffReport {
     }
 }
 
+/// The chemistry recorded in the `run.jsonl` sitting next to an export
+/// file, when that metadata exists (exports predating it have none).
+pub fn sibling_chemistry(export: &std::path::Path) -> Option<String> {
+    let meta = export.parent()?.join("run.jsonl");
+    let line = std::fs::read_to_string(meta).ok()?;
+    extract_str(line.lines().next()?, "chemistry")
+}
+
+/// The chemistry banner `console diff` prints above a comparison: both
+/// sides' `run.jsonl` metadata must exist for a label; a cross-chemistry
+/// pair is called out so it is not mistaken for a regression.
+pub fn chemistry_banner(a: &std::path::Path, b: &std::path::Path) -> Option<String> {
+    match (sibling_chemistry(a), sibling_chemistry(b)) {
+        (Some(ca), Some(cb)) if ca == cb => Some(format!("chemistry: {ca} (both runs)")),
+        (Some(ca), Some(cb)) => Some(format!(
+            "chemistry: A={ca} B={cb} — cross-chemistry comparison"
+        )),
+        _ => None,
+    }
+}
+
 /// Collects `(name, value)` pairs from metric-style lines.
 fn metrics(doc: &str) -> Vec<(String, f64)> {
     doc.lines()
@@ -201,5 +222,105 @@ mod tests {
         let r = diff_runs(a, b);
         assert!(!r.identical());
         assert!(r.metric_deltas.is_empty());
+    }
+
+    #[test]
+    fn truncated_document_diverges_at_the_cut_line() {
+        // A copy cut off mid-object (killed process, partial download):
+        // the diff must report the cut cleanly, not panic or misalign.
+        let full = "{\"at_s\":0}\n{\"at_s\":60,\"x\":1}\n{\"at_s\":120}\n";
+        let truncated = "{\"at_s\":0}\n{\"at_s\":60,\"x\"";
+        let r = diff_runs(full, truncated);
+        let (idx, la, lb) = r.first_divergence.expect("diverges");
+        assert_eq!(idx, 1);
+        assert_eq!(la, "{\"at_s\":60,\"x\":1}");
+        assert_eq!(lb, "{\"at_s\":60,\"x\"");
+        assert_eq!((r.lines_a, r.lines_b), (3, 2));
+    }
+
+    #[test]
+    fn truncated_metric_line_is_not_counted_as_a_metric() {
+        // The value got cut off: no parsable value, no bogus delta.
+        let a = "{\"name\":\"sim.x\",\"kind\":\"counter\",\"value\":3}\n";
+        let b = "{\"name\":\"sim.x\",\"kind\":\"counter\",\"val";
+        let r = diff_runs(a, b);
+        assert!(!r.identical());
+        assert_eq!(r.metric_deltas.len(), 1, "a's metric is missing in b");
+        assert_eq!(r.metric_deltas[0].b, None);
+    }
+
+    #[test]
+    fn nan_null_values_do_not_panic_and_produce_no_false_deltas() {
+        // JSON has no NaN: emitters write null. Such lines are not
+        // metric-style (no parsable value), so they can only surface as
+        // line divergences or one-sided deltas — never a NaN comparison.
+        let nulls = "{\"name\":\"sim.ratio\",\"kind\":\"gauge\",\"value\":null}\n";
+        let r = diff_runs(nulls, nulls);
+        assert!(r.identical());
+        assert!(r.metric_deltas.is_empty());
+
+        let healthy = "{\"name\":\"sim.ratio\",\"kind\":\"gauge\",\"value\":0.5}\n";
+        let r = diff_runs(nulls, healthy);
+        assert!(!r.identical());
+        assert_eq!(r.metric_deltas.len(), 1);
+        assert_eq!(r.metric_deltas[0].a, None, "null side has no value");
+        assert_eq!(r.metric_deltas[0].b, Some(0.5));
+        // Render must not format a NaN or panic on the one-sided delta.
+        assert!(r.render().contains("—"));
+    }
+
+    #[test]
+    fn empty_and_whitespace_documents_compare_cleanly() {
+        assert!(diff_runs("", "").identical());
+        let r = diff_runs("", "{\"at_s\":0}\n");
+        let (idx, la, _) = r.first_divergence.expect("diverges");
+        assert_eq!((idx, la.as_str()), (0, ""));
+    }
+
+    #[test]
+    fn chemistry_banner_labels_same_cross_and_missing_metadata() {
+        let root = std::env::temp_dir().join(format!("baat-diff-meta-{}", std::process::id()));
+        let (a_dir, b_dir, c_dir) = (root.join("a"), root.join("b"), root.join("c"));
+        for d in [&a_dir, &b_dir, &c_dir] {
+            std::fs::create_dir_all(d).expect("create temp export dir");
+        }
+        std::fs::write(
+            a_dir.join("run.jsonl"),
+            "{\"chemistry\":\"lead-acid\",\"seed\":7}\n",
+        )
+        .expect("write metadata");
+        std::fs::write(
+            b_dir.join("run.jsonl"),
+            "{\"chemistry\":\"li-ion\",\"seed\":7}\n",
+        )
+        .expect("write metadata");
+        // c has no run.jsonl (export predating the metadata).
+        let (a, b, c) = (
+            a_dir.join("events.jsonl"),
+            b_dir.join("events.jsonl"),
+            c_dir.join("events.jsonl"),
+        );
+
+        assert_eq!(
+            chemistry_banner(&a, &a).as_deref(),
+            Some("chemistry: lead-acid (both runs)")
+        );
+        let cross = chemistry_banner(&a, &b).expect("both sides labelled");
+        assert!(cross.contains("A=lead-acid"));
+        assert!(cross.contains("B=li-ion"));
+        assert!(cross.contains("cross-chemistry"));
+        assert_eq!(
+            chemistry_banner(&a, &c),
+            None,
+            "missing metadata: no banner"
+        );
+        assert_eq!(chemistry_banner(&c, &c), None);
+
+        // Malformed metadata (truncated line, no chemistry field) also
+        // yields no banner rather than an error.
+        std::fs::write(c_dir.join("run.jsonl"), "{\"chem").expect("write metadata");
+        assert_eq!(chemistry_banner(&a, &c), None);
+
+        std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -41,6 +41,20 @@ pub fn extract_u64(line: &str, key: &str) -> Option<u64> {
     rest[..end].parse().ok()
 }
 
+/// Extracts a boolean field from a single JSONL line.
+pub fn extract_bool(line: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +70,15 @@ mod tests {
         assert_eq!(extract_f64(line, "value"), Some(17.0));
         assert_eq!(extract_str(line, "missing"), None);
         assert_eq!(extract_u64(line, "name"), None);
+    }
+
+    #[test]
+    fn extracts_bools() {
+        let line = r#"{"old":false,"chemistry_explicit":true,"n":1}"#;
+        assert_eq!(extract_bool(line, "old"), Some(false));
+        assert_eq!(extract_bool(line, "chemistry_explicit"), Some(true));
+        assert_eq!(extract_bool(line, "n"), None);
+        assert_eq!(extract_bool(line, "missing"), None);
     }
 
     #[test]

@@ -25,7 +25,10 @@ use baat_core::Scheme;
 use baat_obs::json::JsonLine;
 use baat_obs::Obs;
 use baat_rng::derive_seed;
-use baat_sim::{ChemistrySpec, FaultMix, FaultPlan, SimConfig, SimReport, Simulation};
+use baat_sim::{
+    ChemistrySpec, FaultMix, FaultPlan, SimConfig, SimError, SimReport, SimSnapshot, Simulation,
+    SnapshotError,
+};
 use baat_solar::Weather;
 use baat_units::SimDuration;
 
@@ -412,6 +415,116 @@ pub fn run_scenarios_forked_with_threads(
     })
 }
 
+/// [`run_scenarios_forked`] with the warm prefix **materialized to
+/// disk**: each group's policy-free prefix simulates once, is written to
+/// `dir` as a versioned [`SimSnapshot`] file (`warm-<group>.snap`), and
+/// every variant restores its own engine from that file before running
+/// its tail.
+///
+/// Reports are **bit-identical** to [`run_scenarios`] (verified by
+/// `tests/determinism.rs`): restore rebuilds the engine from the
+/// group's fault-free config and the snapshot round-trips every dynamic
+/// field bit-exactly, so the forked-from-file engine is
+/// indistinguishable from the in-memory clone [`run_scenarios_forked`]
+/// uses. The snapshot files are left in `dir` — a later invocation of
+/// the same sweep could fork from them without re-simulating, and CI
+/// inspects them as checkpoint artifacts.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on snapshot write/read failures (the simulation
+/// itself upholds engine invariants, as in [`run_scenarios`]).
+pub fn run_scenarios_warmstart(
+    scenarios: Vec<Scenario>,
+    dir: &Path,
+) -> Result<Vec<SimReport>, SimError> {
+    run_scenarios_warmstart_with_threads(scenarios, dir, runner_threads())
+}
+
+/// [`run_scenarios_warmstart`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on snapshot write/read failures.
+pub fn run_scenarios_warmstart_with_threads(
+    scenarios: Vec<Scenario>,
+    dir: &Path,
+    threads: usize,
+) -> Result<Vec<SimReport>, SimError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| SnapshotError::Io(format!("create {}: {e}", dir.display())))?;
+
+    // Group exactly as `run_scenarios_forked` does: members differ only
+    // in scheme and fault plan.
+    let mut groups: Vec<(SimConfig, Option<u64>, Vec<usize>)> = Vec::new();
+    for (index, scenario) in scenarios.iter().enumerate() {
+        let mut config = scenario.config.clone();
+        config.faults = FaultPlan::new();
+        let pre_age = scenario.pre_age.map(f64::to_bits);
+        match groups
+            .iter_mut()
+            .find(|(c, p, _)| *p == pre_age && *c == config)
+        {
+            Some((_, _, members)) => members.push(index),
+            None => groups.push((config, pre_age, vec![index])),
+        }
+    }
+
+    // Phase 1: simulate each group's prefix once and write it to disk.
+    // The file carries the group's config hash, so a stale file from a
+    // different sweep cannot be restored by mistake.
+    let jobs: Vec<(usize, SimConfig, Option<u64>, Vec<usize>)> = groups
+        .into_iter()
+        .enumerate()
+        .map(|(g, (config, pre_age, members))| (g, config, pre_age, members))
+        .collect();
+    let written = parallel_map(jobs, threads, |(group, config, pre_age, members)| {
+        let dt_secs = config.dt.as_secs();
+        let mut sim = Simulation::new(config.clone()).expect("config validated by builder");
+        if let Some(bits) = pre_age {
+            sim.pre_age_batteries(f64::from_bits(bits));
+        }
+        let earliest_fault_step = members
+            .iter()
+            .flat_map(|&i| scenarios[i].config.faults.faults())
+            .map(|s| s.start.as_secs() / dt_secs)
+            .min()
+            .unwrap_or(u64::MAX);
+        let fork = sim.policy_free_prefix_steps().min(earliest_fault_step);
+        sim.run_steps(&mut baat_sim::RoundRobinPolicy::new(), fork)
+            .expect("experiment scenarios uphold engine invariants");
+        let path = dir.join(format!("warm-{group}.snap"));
+        let result = sim.snapshot().write_file(&path).map(|()| path);
+        (result, config, members)
+    });
+    let mut prefix_of: Vec<Option<(PathBuf, SimConfig)>> = vec![None; scenarios.len()];
+    for (result, config, members) in written {
+        let path = result?;
+        for &index in members.iter() {
+            prefix_of[index] = Some((path.clone(), config.clone()));
+        }
+    }
+
+    // Phase 2: every variant restores from its group's file and runs its
+    // own tail.
+    let jobs: Vec<(Scenario, (PathBuf, SimConfig))> = scenarios
+        .into_iter()
+        .zip(prefix_of)
+        .map(|(s, p)| (s, p.expect("every scenario belongs to one group")))
+        .collect();
+    let reports = parallel_map(jobs, threads, |(scenario, (path, config))| {
+        let snapshot = SimSnapshot::read_file(&path)?;
+        let mut sim = Simulation::restore(config, &snapshot)?;
+        if !scenario.config.faults.is_empty() {
+            sim.install_fault_plan(scenario.config.faults)
+                .expect("fork point precedes the earliest fault onset");
+        }
+        let mut policy = scenario.scheme.build_observed(&Obs::disabled());
+        sim.run_remaining(&mut policy)
+    });
+    reports.into_iter().collect()
+}
+
 /// Order-preserving parallel map over independent jobs.
 ///
 /// Jobs are pulled from a shared atomic cursor by `threads` scoped
@@ -556,6 +669,28 @@ mod tests {
         let from_scratch = run_scenarios_with_threads(scenarios.clone(), 3);
         let forked = run_scenarios_forked_with_threads(scenarios, 3);
         assert_eq!(from_scratch, forked);
+    }
+
+    #[test]
+    fn warmstart_sweep_matches_from_scratch_via_disk_roundtrip() {
+        // Same matrix as the forked test, but the warm prefix travels
+        // through a snapshot file between phase 1 and phase 2.
+        let mut scenarios = fault_matrix(
+            &[Scheme::EBuff, Scheme::Baat],
+            Weather::Cloudy,
+            17,
+            &FaultMix::light(),
+        );
+        scenarios.push(
+            Scenario::new(Scheme::Baat, day_config(Weather::Cloudy, 17))
+                .pre_aged(OLD_BATTERY_DAMAGE),
+        );
+        let dir = std::env::temp_dir().join(format!("baat-warmstart-{}", std::process::id()));
+        let from_scratch = run_scenarios_with_threads(scenarios.clone(), 3);
+        let warm = run_scenarios_warmstart_with_threads(scenarios, &dir, 3)
+            .expect("warm-start sweep succeeds");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(from_scratch, warm);
     }
 
     #[test]

@@ -347,6 +347,16 @@ impl Policy for Baat {
             server_power: self.config.server_power,
         }
     }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![u64::from(self.cooldown)]
+    }
+
+    fn load_state(&mut self, state: &[u64]) {
+        if let Some(&cooldown) = state.first() {
+            self.cooldown = cooldown as u32;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -166,6 +166,16 @@ impl Policy for BaatH {
     fn placement_spec(&self) -> PlacementSpec {
         PlacementSpec::LifetimeNat
     }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![u64::from(self.cooldown)]
+    }
+
+    fn load_state(&mut self, state: &[u64]) {
+        if let Some(&cooldown) = state.first() {
+            self.cooldown = cooldown as u32;
+        }
+    }
 }
 
 #[cfg(test)]

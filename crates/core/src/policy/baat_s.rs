@@ -166,6 +166,16 @@ impl Policy for BaatS {
     fn placement_spec(&self) -> PlacementSpec {
         PlacementSpec::FirstFit
     }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![u64::from(self.since_throttle)]
+    }
+
+    fn load_state(&mut self, state: &[u64]) {
+        if let Some(&since) = state.first() {
+            self.since_throttle = since as u32;
+        }
+    }
 }
 
 #[cfg(test)]

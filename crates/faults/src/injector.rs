@@ -36,6 +36,20 @@ pub struct BankFaults {
     pub open_circuit: bool,
 }
 
+/// Checkpointable dynamic state of a [`FaultInjector`]: activation
+/// flags, stuck-at/thermal holds and the noise-stream position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectorState {
+    /// Per-fault activation flags, in plan order.
+    pub active: Vec<bool>,
+    /// Per-bank sample held by an active stuck-at fault.
+    pub held: Vec<Option<SensorSample>>,
+    /// Per-bank temperature held by an active thermal-loss fault.
+    pub held_temp: Vec<Option<baat_units::Celsius>>,
+    /// Noise-stream position.
+    pub rng_state: [u64; 4],
+}
+
 /// Tracks which faults of a [`FaultPlan`] are in force and applies their
 /// effects at the engine's seams.
 ///
@@ -71,6 +85,36 @@ impl FaultInjector {
     /// fault hook.
     pub fn is_idle(&self) -> bool {
         self.specs.is_empty()
+    }
+
+    /// Captures the injector's dynamic state for checkpointing: which
+    /// faults are in force, the per-bank held samples/temperatures, and
+    /// the noise-stream position. The specs themselves are reproduced
+    /// from the fault plan at restore time.
+    pub fn capture_state(&self) -> InjectorState {
+        InjectorState {
+            active: self.active.clone(),
+            held: self.held.clone(),
+            held_temp: self.held_temp.clone(),
+            rng_state: self.rng.state(),
+        }
+    }
+
+    /// Re-applies a captured dynamic state onto this injector. The
+    /// injector must have been built over the same plan and bank count
+    /// as the captured one; mismatched lengths are ignored field-wise
+    /// (the caller's config-hash check is the real guard).
+    pub fn restore_state(&mut self, state: &InjectorState) {
+        if state.active.len() == self.active.len() {
+            self.active.clone_from(&state.active);
+        }
+        if state.held.len() == self.held.len() {
+            self.held.clone_from(&state.held);
+        }
+        if state.held_temp.len() == self.held_temp.len() {
+            self.held_temp.clone_from(&state.held_temp);
+        }
+        self.rng = StdRng::from_state(state.rng_state);
     }
 
     /// Number of faults currently in force.

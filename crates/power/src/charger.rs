@@ -170,6 +170,12 @@ impl StageTracker {
     pub fn last(&self) -> Option<ChargeStage> {
         self.last
     }
+
+    /// Overrides the last-observed stage (checkpoint restore), so the
+    /// first post-restore observation does not miscount a switch.
+    pub fn set_last(&mut self, stage: Option<ChargeStage>) {
+        self.last = stage;
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,19 @@ impl BatterySensor {
         }
     }
 
+    /// Checkpoint view: the noise-stream position.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds a sensor at a saved noise-stream position.
+    pub fn restore(noise: NoiseSpec, rng_state: [u64; 4]) -> Self {
+        Self {
+            noise,
+            rng: StdRng::from_state(rng_state),
+        }
+    }
+
     fn jitter(&mut self, half_width: f64) -> f64 {
         if half_width == 0.0 {
             0.0

@@ -101,6 +101,26 @@ impl StdRng {
     pub fn fork(&mut self) -> StdRng {
         StdRng::seed_from_u64(self.next_u64())
     }
+
+    /// The raw 256-bit stream position, for checkpointing. Feeding the
+    /// words back through [`StdRng::from_state`] resumes the stream at
+    /// exactly this point.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator at a saved stream position.
+    ///
+    /// The words must come from [`StdRng::state`]; the all-zero state
+    /// (xoshiro's one fixed point, unreachable from any seeded stream)
+    /// is mapped onto the same salted fallback `seed_from_u64` uses, so
+    /// the invariant stays local to this module.
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            s[0] = GOLDEN_SALT;
+        }
+        Self { s }
+    }
 }
 
 /// Arbitrary non-zero fallback word (the golden gamma), never reached in
@@ -137,6 +157,24 @@ mod tests {
             let y = rng.next_f64_inclusive();
             assert!((0.0..=1.0).contains(&y), "{y}");
         }
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut a = StdRng::seed_from_u64(17);
+        for _ in 0..257 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn all_zero_state_is_salted_not_stuck() {
+        let mut rng = StdRng::from_state([0; 4]);
+        assert_ne!(rng.next_u64(), rng.next_u64());
     }
 
     #[test]

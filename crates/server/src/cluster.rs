@@ -1,10 +1,10 @@
 //! The server cluster: cross-host VM migration and aggregate accounting.
 
 use baat_units::{SimDuration, SimInstant, TimeOfDay, Watts};
-use baat_workload::{Vm, VmId};
+use baat_workload::{Vm, VmId, VmSnapshot};
 
 use crate::error::{MigrationBlock, ServerError};
-use crate::hypervisor::{Host, ServerCapacity, ServerId};
+use crate::hypervisor::{Host, HostState, ServerCapacity, ServerId};
 use crate::power_model::ServerPowerModel;
 
 /// Live-migration cost model.
@@ -40,6 +40,31 @@ struct InFlight {
     vm: Vm,
     to: ServerId,
     completes_at: SimInstant,
+}
+
+/// Checkpoint view of one in-flight migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InFlightState {
+    /// The migrating VM.
+    pub vm: VmSnapshot,
+    /// Destination host.
+    pub to: ServerId,
+    /// When the transfer completes.
+    pub completes_at: SimInstant,
+}
+
+/// Checkpointable runtime state of a whole [`Cluster`]: per-host state,
+/// in-flight migrations and the migration counter. The migration cost
+/// model and host construction parameters are reproduced from
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterState {
+    /// Per-host runtime state, in host order.
+    pub hosts: Vec<HostState>,
+    /// Migrations currently in flight, in initiation order.
+    pub in_flight: Vec<InFlightState>,
+    /// Total migrations initiated.
+    pub migrations_started: u64,
 }
 
 /// Aggregate outcome of one cluster step.
@@ -282,6 +307,58 @@ impl Cluster {
     /// Total useful work done (core-hours) across all hosts.
     pub fn total_work_done(&self) -> f64 {
         self.hosts.iter().map(Host::work_done).sum()
+    }
+
+    /// Captures the cluster's runtime state for checkpointing.
+    pub fn capture_state(&self) -> ClusterState {
+        ClusterState {
+            hosts: self.hosts.iter().map(Host::capture_state).collect(),
+            in_flight: self
+                .in_flight
+                .iter()
+                .map(|m| InFlightState {
+                    vm: m.vm.capture(),
+                    to: m.to,
+                    completes_at: m.completes_at,
+                })
+                .collect(),
+            migrations_started: self.migrations_started,
+        }
+    }
+
+    /// Re-applies a captured runtime state onto this cluster.
+    ///
+    /// The cluster must have been constructed with the same host count
+    /// and parameters as the captured one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::InvalidConfig`] if the host counts differ.
+    pub fn restore_state(&mut self, state: &ClusterState) -> Result<(), ServerError> {
+        if state.hosts.len() != self.hosts.len() {
+            return Err(ServerError::InvalidConfig {
+                field: "hosts",
+                reason: format!(
+                    "checkpoint has {} hosts, cluster has {}",
+                    state.hosts.len(),
+                    self.hosts.len()
+                ),
+            });
+        }
+        for (host, hs) in self.hosts.iter_mut().zip(&state.hosts) {
+            host.restore_state(hs);
+        }
+        self.in_flight = state
+            .in_flight
+            .iter()
+            .map(|m| InFlight {
+                vm: Vm::restore(m.vm),
+                to: m.to,
+                completes_at: m.completes_at,
+            })
+            .collect();
+        self.migrations_started = state.migrations_started;
+        Ok(())
     }
 
     /// Powers every host on and resumes checkpointed VMs.

@@ -2,7 +2,7 @@
 //! checkpointing.
 
 use baat_units::{Fraction, SimDuration, TimeOfDay, Watts};
-use baat_workload::{Vm, VmId, VmState};
+use baat_workload::{Vm, VmId, VmSnapshot, VmState};
 
 use crate::dvfs::DvfsLevel;
 use crate::error::ServerError;
@@ -39,6 +39,28 @@ impl Default for ServerCapacity {
             memory_gb: 16,
         }
     }
+}
+
+/// Checkpointable runtime state of one [`Host`].
+///
+/// The static side (id, power model, capacity) is reproduced by
+/// reconstructing the host from configuration; this carries only what
+/// stepping mutates. The cached usage counters are not included — they
+/// are re-derived from the restored VM list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostState {
+    /// Current DVFS level.
+    pub dvfs: DvfsLevel,
+    /// `true` if the host is powered on.
+    pub online: bool,
+    /// Remaining boot time (zero once booted).
+    pub boot_remaining: SimDuration,
+    /// Total useful work done (core-hours).
+    pub work_done: f64,
+    /// Number of batch jobs completed.
+    pub completed_jobs: u64,
+    /// Hosted VMs, in hosting order.
+    pub vms: Vec<VmSnapshot>,
 }
 
 /// A virtualized server: power model, DVFS state, hosted VMs.
@@ -313,6 +335,41 @@ impl Host {
     /// Number of batch jobs completed on this host.
     pub fn completed_jobs(&self) -> u64 {
         self.completed_jobs
+    }
+
+    /// Captures the host's runtime state for checkpointing.
+    pub fn capture_state(&self) -> HostState {
+        HostState {
+            dvfs: self.dvfs,
+            online: self.online,
+            boot_remaining: self.boot_remaining,
+            work_done: self.work_done,
+            completed_jobs: self.completed_jobs,
+            vms: self.vms.iter().map(Vm::capture).collect(),
+        }
+    }
+
+    /// Re-applies a captured runtime state onto this host (same id,
+    /// power model and capacity as the captured one). The cached usage
+    /// counters are re-derived from the restored VM list.
+    pub fn restore_state(&mut self, state: &HostState) {
+        self.dvfs = state.dvfs;
+        self.online = state.online;
+        self.boot_remaining = state.boot_remaining;
+        self.work_done = state.work_done;
+        self.completed_jobs = state.completed_jobs;
+        self.vms = state.vms.iter().copied().map(Vm::restore).collect();
+        self.used_cores = 0;
+        self.used_memory_gb = 0;
+        let requests: Vec<_> = self
+            .vms
+            .iter()
+            .filter(|vm| !vm.is_completed())
+            .map(|vm| vm.kind().resource_request())
+            .collect();
+        for request in requests {
+            self.charge(request);
+        }
     }
 
     /// Drops completed batch VMs, returning how many were reaped.

@@ -45,8 +45,8 @@ mod error;
 mod hypervisor;
 mod power_model;
 
-pub use cluster::{Cluster, ClusterStep, MigrationSpec};
+pub use cluster::{Cluster, ClusterState, ClusterStep, InFlightState, MigrationSpec};
 pub use dvfs::DvfsLevel;
 pub use error::{MigrationBlock, ServerError};
-pub use hypervisor::{Host, ServerCapacity, ServerId, BOOT_DELAY};
+pub use hypervisor::{Host, HostState, ServerCapacity, ServerId, BOOT_DELAY};
 pub use power_model::ServerPowerModel;

@@ -45,6 +45,9 @@ use crate::fleet::{demand_class, DirtyReason, FleetView, PlacementSpec, NAT_MODE
 use crate::policy::{Action, ActionOutcome, ActionResult, ControlCtx, Policy, RejectReason};
 use crate::recorder::{Recorder, TraceRow};
 use crate::report::{NodeReport, SimReport};
+use crate::snapshot::{
+    config_hash, PolicyState, SimSnapshot, SimState, SnapshotError, SNAPSHOT_VERSION,
+};
 use crate::view::{NodeView, SystemView, VmView};
 
 /// Per-step stage timings are sampled: one step in this many is timed.
@@ -617,6 +620,271 @@ impl Simulation {
         };
         self.config.faults = plan;
         Ok(())
+    }
+
+    /// Steps completed since the start of the run.
+    pub fn step_index(&self) -> u64 {
+        self.step_index
+    }
+
+    /// The configuration this simulation was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Captures a versioned checkpoint of the simulation's dynamic
+    /// state, sufficient to [`restore`] a bit-identical continuation.
+    ///
+    /// Policy decision state is *not* included (the engine does not hold
+    /// the policy); use [`snapshot_with_policy`] when a policy is in
+    /// hand, or set `state.policy` on the returned snapshot.
+    ///
+    /// [`restore`]: Simulation::restore
+    /// [`snapshot_with_policy`]: Simulation::snapshot_with_policy
+    pub fn snapshot(&self) -> SimSnapshot {
+        let nodes = self.config.nodes;
+        let (clouds_rng, clouds_ar) = self.clouds.state();
+        let (generator_rng, generator_next_id) = self.generator.state();
+        let power_table = (0..nodes)
+            .map(|n| {
+                let log = self.power_table.node(n).expect("node in range");
+                (
+                    log.battery_rows().copied().collect(),
+                    log.server_rows().copied().collect(),
+                )
+            })
+            .collect();
+        let state = SimState {
+            step_index: self.step_index,
+            now: self.now,
+            weather_today: self.weather_today,
+            started_day: self.started_day,
+            in_window: self.in_window,
+            soc_floors: self.soc_floors.iter().map(|s| s.value()).collect(),
+            unserved_streak: self.unserved_streak.clone(),
+            offline_since: self.offline_since.clone(),
+            downtime: self.downtime.clone(),
+            unserved_energy: self.unserved_energy,
+            curtailed_energy: self.curtailed_energy,
+            grid_charge_energy: self.grid_charge_energy,
+            arrivals_today: self.arrivals_today.iter().copied().collect(),
+            pending: self.pending.iter().map(Vm::capture).collect(),
+            clouds_rng,
+            clouds_ar,
+            last_currents: self.last_currents.clone(),
+            last_voltages: self.last_voltages.clone(),
+            last_solar: self.last_solar,
+            last_outcomes: self.last_outcomes.clone(),
+            mode_switches: self.mode_switches.clone(),
+            stage_last: self.stage_trackers.iter().map(StageTracker::last).collect(),
+            degraded: self.degraded.clone(),
+            fallback_rejected: self.fallback.rejected_last().to_vec(),
+            rr_cursor: self.fleet.rr_cursor() as u64,
+            generator_rng,
+            generator_next_id,
+            sensor_rngs: self.sensors.iter().map(BatterySensor::rng_state).collect(),
+            injector: self.injector.capture_state(),
+            events: self.events.iter().cloned().collect(),
+            recorder_keep_every: self.recorder.stride(),
+            recorder_pushes: self.recorder.pushes(),
+            recorder_rows: self.recorder.rows().to_vec(),
+            cluster: self.cluster.capture_state(),
+            power_table,
+            batteries: self.batteries.iter().map(|b| b.capture_state()).collect(),
+            policy: None,
+        };
+        SimSnapshot {
+            version: SNAPSHOT_VERSION,
+            chemistry: self.config.battery_spec.chemistry(),
+            config_hash: config_hash(&self.config),
+            state,
+        }
+    }
+
+    /// [`snapshot`] plus the policy's serialized decision state, so a
+    /// resumed run replays the same future decisions.
+    ///
+    /// [`snapshot`]: Simulation::snapshot
+    pub fn snapshot_with_policy<P: Policy + ?Sized>(&self, policy: &P) -> SimSnapshot {
+        let mut snap = self.snapshot();
+        snap.state.policy = Some(PolicyState {
+            name: policy.name().to_string(),
+            data: policy.save_state(),
+        });
+        snap
+    }
+
+    /// A position-independent hash of the dynamic state. Two simulations
+    /// at the same step of the same seeded run hash equal — whether run
+    /// straight through or restored from a checkpoint and re-stepped.
+    pub fn state_hash(&self) -> u64 {
+        self.snapshot().state_hash()
+    }
+
+    /// Rebuilds a simulation from `config` and overwrites its dynamic
+    /// state from `snapshot`, with observation disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] when the snapshot's version,
+    /// chemistry or config hash do not match `config` — resuming under a
+    /// drifted configuration would silently diverge, so it is refused —
+    /// and [`SimError`] if the rebuilt substrates reject the state.
+    pub fn restore(config: SimConfig, snapshot: &SimSnapshot) -> Result<Self, SimError> {
+        Self::restore_with_obs(config, snapshot, Obs::disabled())
+    }
+
+    /// [`restore`] recording metrics into `obs`.
+    ///
+    /// Observability state (counters, spans, health monitor, flight
+    /// recorder) is rebuilt empty: it never feeds back into simulated
+    /// state, so the resumed run's *simulation* artifacts are
+    /// bit-identical while obs artifacts cover only the resumed span.
+    ///
+    /// # Errors
+    ///
+    /// As [`restore`].
+    ///
+    /// [`restore`]: Simulation::restore
+    pub fn restore_with_obs(
+        config: SimConfig,
+        snapshot: &SimSnapshot,
+        obs: Obs,
+    ) -> Result<Self, SimError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: snapshot.version,
+                expected: SNAPSHOT_VERSION,
+            }
+            .into());
+        }
+        let chem = config.battery_spec.chemistry();
+        if snapshot.chemistry != chem {
+            return Err(SnapshotError::ChemistryMismatch {
+                snapshot: snapshot.chemistry,
+                config: chem,
+            }
+            .into());
+        }
+        let hash = config_hash(&config);
+        if snapshot.config_hash != hash {
+            return Err(SnapshotError::ConfigMismatch {
+                snapshot: snapshot.config_hash,
+                config: hash,
+            }
+            .into());
+        }
+        let mut sim = Self::with_obs(config, obs)?;
+        sim.apply_state(&snapshot.state)?;
+        Ok(sim)
+    }
+
+    /// Overwrites the dynamic state of a freshly built simulation.
+    fn apply_state(&mut self, s: &SimState) -> Result<(), SimError> {
+        let nodes = self.config.nodes;
+        let banks = self.banks;
+        let fits = s.soc_floors.len() == banks
+            && s.unserved_streak.len() == banks
+            && s.offline_since.len() == nodes
+            && s.downtime.len() == nodes
+            && s.last_currents.len() == banks
+            && s.last_voltages.len() == banks
+            && s.mode_switches.len() == banks
+            && s.stage_last.len() == banks
+            && s.degraded.len() == nodes
+            && s.sensor_rngs.len() == banks
+            && s.power_table.len() == nodes
+            && s.batteries.len() == banks;
+        if !fits {
+            return Err(SnapshotError::StateMismatch {
+                context: "per-node/per-bank vector lengths",
+            }
+            .into());
+        }
+        self.cluster.restore_state(&s.cluster)?;
+        for (unit, st) in self.batteries.iter_mut().zip(&s.batteries) {
+            unit.restore_state(st);
+        }
+        for (sensor, rng) in self.sensors.iter_mut().zip(&s.sensor_rngs) {
+            *sensor = BatterySensor::restore(self.config.sensor_noise, *rng);
+        }
+        self.clouds = CloudProcess::restore(s.weather_today, s.clouds_rng, s.clouds_ar);
+        self.generator = WorkloadGenerator::restore(s.generator_rng, s.generator_next_id);
+        self.injector.restore_state(&s.injector);
+        self.events = EventLog::new();
+        for ev in &s.events {
+            self.events.push(ev.at, ev.event);
+        }
+        self.recorder = Recorder::from_parts(
+            s.recorder_rows.clone(),
+            self.config.max_trace_rows,
+            s.recorder_keep_every,
+            s.recorder_pushes,
+        );
+        self.power_table = PowerTable::new(nodes);
+        for (node, (battery, server)) in s.power_table.iter().enumerate() {
+            for row in battery {
+                self.power_table.record_battery(node, *row);
+            }
+            for row in server {
+                self.power_table.record_server(node, *row);
+            }
+        }
+        for (tracker, last) in self.stage_trackers.iter_mut().zip(&s.stage_last) {
+            tracker.set_last(*last);
+        }
+        self.fallback = FallbackScheme::restore(s.fallback_rejected.clone());
+        self.fleet.set_rr_cursor(s.rr_cursor as usize);
+        self.now = s.now;
+        self.step_index = s.step_index;
+        self.weather_today = s.weather_today;
+        self.started_day = s.started_day;
+        self.in_window = s.in_window;
+        self.soc_floors = s.soc_floors.iter().map(|&f| Soc::saturating(f)).collect();
+        self.unserved_streak = s.unserved_streak.clone();
+        self.offline_since = s.offline_since.clone();
+        self.downtime = s.downtime.clone();
+        self.unserved_energy = s.unserved_energy;
+        self.curtailed_energy = s.curtailed_energy;
+        self.grid_charge_energy = s.grid_charge_energy;
+        self.arrivals_today = s.arrivals_today.iter().copied().collect();
+        self.pending = s.pending.iter().cloned().map(Vm::restore).collect();
+        self.last_currents = s.last_currents.clone();
+        self.last_voltages = s.last_voltages.clone();
+        self.last_solar = s.last_solar;
+        self.last_outcomes = s.last_outcomes.clone();
+        self.mode_switches = s.mode_switches.clone();
+        self.degraded = s.degraded.clone();
+        Ok(())
+    }
+
+    /// Runs the remaining steps, handing a policy-inclusive snapshot to
+    /// `sink` every `every` steps (at interior step boundaries; the
+    /// final boundary produces the returned report instead). `every` is
+    /// clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] from stepping, or whatever `sink` returns.
+    pub fn checkpoint_every<P, F>(
+        mut self,
+        policy: &mut P,
+        every: u64,
+        mut sink: F,
+    ) -> Result<SimReport, SimError>
+    where
+        P: Policy,
+        F: FnMut(&SimSnapshot) -> Result<(), SimError>,
+    {
+        let every = every.max(1);
+        while self.step_index < self.total_steps() {
+            let burst = every.min(self.total_steps() - self.step_index);
+            self.run_steps(policy, burst)?;
+            if self.step_index < self.total_steps() {
+                sink(&self.snapshot_with_policy(policy))?;
+            }
+        }
+        self.into_report(policy.name())
     }
 
     /// Advances the simulation one timestep.

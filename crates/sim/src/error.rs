@@ -12,6 +12,8 @@ use baat_server::ServerError;
 use baat_solar::SolarError;
 use baat_workload::WorkloadError;
 
+use crate::snapshot::SnapshotError;
+
 /// Errors raised while configuring or running a simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -32,6 +34,8 @@ pub enum SimError {
     Solar(SolarError),
     /// The workload substrate failed.
     Workload(WorkloadError),
+    /// A checkpoint snapshot could not be encoded, decoded or applied.
+    Snapshot(SnapshotError),
 }
 
 impl SimError {
@@ -74,6 +78,12 @@ impl From<WorkloadError> for SimError {
     }
 }
 
+impl From<SnapshotError> for SimError {
+    fn from(err: SnapshotError) -> Self {
+        SimError::Snapshot(err)
+    }
+}
+
 impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
@@ -85,6 +95,7 @@ impl core::fmt::Display for SimError {
             SimError::Server(e) => write!(f, "server subsystem: {e}"),
             SimError::Solar(e) => write!(f, "solar subsystem: {e}"),
             SimError::Workload(e) => write!(f, "workload subsystem: {e}"),
+            SimError::Snapshot(e) => write!(f, "snapshot: {e}"),
         }
     }
 }
@@ -98,6 +109,7 @@ impl std::error::Error for SimError {
             SimError::Server(e) => Some(e),
             SimError::Solar(e) => Some(e),
             SimError::Workload(e) => Some(e),
+            SimError::Snapshot(e) => Some(e),
         }
     }
 }

@@ -89,6 +89,17 @@ impl FallbackScheme {
             .map(|o| o.action)
             .collect();
     }
+
+    /// Checkpoint view: the actions rejected on the last interval.
+    pub fn rejected_last(&self) -> &[Action] {
+        &self.rejected_last
+    }
+
+    /// Rebuilds the scheme at a saved position (see
+    /// [`FallbackScheme::rejected_last`]).
+    pub fn restore(rejected_last: Vec<Action>) -> Self {
+        Self { rejected_last }
+    }
 }
 
 #[cfg(test)]

@@ -455,6 +455,18 @@ impl FleetView {
         start
     }
 
+    /// Checkpoint view: the raw round-robin cursor.
+    pub(crate) fn rr_cursor(&self) -> usize {
+        self.rr_cursor
+    }
+
+    /// Restores the round-robin cursor from a checkpoint. Everything
+    /// else in the view is a lazily rebuilt cache over live state, so a
+    /// fresh all-dirty view plus this cursor resumes bit-identically.
+    pub(crate) fn set_rr_cursor(&mut self, cursor: usize) {
+        self.rr_cursor = cursor;
+    }
+
     /// The start index the next round-robin placement would use, without
     /// advancing the cursor.
     pub(crate) fn rr_peek(&self) -> usize {

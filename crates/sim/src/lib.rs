@@ -40,6 +40,7 @@ mod fleet;
 mod policy;
 mod recorder;
 mod report;
+mod snapshot;
 mod view;
 
 /// The fault-injection vocabulary, re-exported so consumers can build
@@ -62,4 +63,8 @@ pub use policy::{
 };
 pub use recorder::{Recorder, TraceRow};
 pub use report::{NodeReport, SimReport};
+pub use snapshot::{
+    config_hash, fnv1a, PolicyState, SimSnapshot, SimState, SnapshotError, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use view::{NodeView, SystemView, VmView};

@@ -207,6 +207,22 @@ pub trait Policy {
     fn placement_spec(&self) -> PlacementSpec {
         PlacementSpec::Custom
     }
+
+    /// Serializes the policy's mutable decision state (cooldowns,
+    /// hysteresis counters, …) for a checkpoint. Stateless policies keep
+    /// the default empty vector. The encoding is policy-private: the only
+    /// contract is that [`Policy::load_state`] on a freshly constructed
+    /// policy of the same type restores bit-identical future decisions.
+    fn save_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Policy::save_state`] onto a freshly
+    /// constructed policy. The default ignores the data (stateless
+    /// policies). Implementations must tolerate an empty slice (fresh
+    /// start) and data from older encodings they no longer understand —
+    /// degrade to fresh state rather than panic.
+    fn load_state(&mut self, _state: &[u64]) {}
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -224,6 +240,14 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn placement_spec(&self) -> PlacementSpec {
         (**self).placement_spec()
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        (**self).save_state()
+    }
+
+    fn load_state(&mut self, state: &[u64]) {
+        (**self).load_state(state)
     }
 }
 
@@ -249,6 +273,14 @@ impl<P: Policy> Policy for ScratchPlacement<P> {
         self.0.placement_order(kind, view)
     }
     // placement_spec deliberately keeps the Custom default.
+
+    fn save_state(&self) -> Vec<u64> {
+        self.0.save_state()
+    }
+
+    fn load_state(&mut self, state: &[u64]) {
+        self.0.load_state(state)
+    }
 }
 
 /// Baseline placement with no battery awareness: round-robin placement,
@@ -287,6 +319,16 @@ impl Policy for RoundRobinPolicy {
 
     fn placement_spec(&self) -> PlacementSpec {
         PlacementSpec::RoundRobin
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![self.next as u64]
+    }
+
+    fn load_state(&mut self, state: &[u64]) {
+        if let Some(&next) = state.first() {
+            self.next = next as usize;
+        }
     }
 }
 

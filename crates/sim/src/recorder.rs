@@ -87,6 +87,30 @@ impl Recorder {
         self.keep_every
     }
 
+    /// Total rows offered so far, stored or not (checkpoint view).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Rebuilds a recorder at a saved position: the retained rows, the
+    /// configured cap, and the stride/push counters, exactly as captured
+    /// from [`Recorder::rows`], [`Recorder::max_rows`],
+    /// [`Recorder::stride`] and [`Recorder::pushes`]. Future pushes
+    /// continue the same downsampling schedule bit-identically.
+    pub fn from_parts(
+        rows: Vec<TraceRow>,
+        max_rows: Option<usize>,
+        keep_every: u64,
+        pushes: u64,
+    ) -> Self {
+        Self {
+            rows,
+            max_rows,
+            keep_every: keep_every.max(1),
+            pushes,
+        }
+    }
+
     /// Offers a sample row. Without a cap every row is stored; with one,
     /// rows beyond the cap trigger an in-place halving of the stored
     /// series and a doubling of the stride.

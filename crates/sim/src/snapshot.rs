@@ -1,0 +1,1685 @@
+//! Versioned checkpoint/restore for a running [`Simulation`].
+//!
+//! A [`SimSnapshot`] carries everything the engine needs to resume a run
+//! bit-identically: the dynamic half of every substrate (battery units,
+//! cluster, sensors, workload generator, cloud process, fault injector),
+//! every RNG stream position, the event log and trace recorder, and the
+//! engine's own step bookkeeping. The static half — specs, variation
+//! scales, derived tables — is deliberately absent: it is reproduced
+//! exactly by rebuilding the simulation from the same [`SimConfig`], so
+//! a snapshot is *config + dynamic state*, never a full object graph.
+//!
+//! The byte format is self-describing and dependency-free:
+//!
+//! ```text
+//! magic    8 bytes  b"BAATSNAP"
+//! version  u32 LE   SNAPSHOT_VERSION
+//! chem     u8       index into Chemistry::ALL
+//! config   u64 LE   FNV-1a hash of the canonical config rendering
+//! len      u64 LE   body length in bytes
+//! body     len      field-ordered little-endian state encoding
+//! check    u64 LE   FNV-1a hash of the body
+//! ```
+//!
+//! Integers are little-endian; `f64`s travel as raw IEEE-754 bits (so
+//! round-tripping is bit-exact, NaN payloads included); enums are
+//! single-byte tags. Loading rejects wrong magic, unknown versions,
+//! chemistry or config mismatches, truncation and corruption with typed
+//! [`SnapshotError`]s — it never panics on malformed input.
+//!
+//! [`Simulation`]: crate::Simulation
+
+use std::collections::VecDeque;
+
+use baat_battery::{
+    AgingBreakdown, BatteryUnitState, Chemistry, SensorSample, TelemetryState, UsageAccumulator,
+};
+use baat_faults::{FaultKind, InjectorState};
+use baat_power::{ChargeStage, ServerPowerRecord};
+use baat_server::{ClusterState, DvfsLevel, HostState, InFlightState, ServerId};
+use baat_solar::Weather;
+use baat_units::{
+    AmpHours, Amperes, Celsius, SimDuration, SimInstant, Soc, TimeOfDay, Volts, WattHours, Watts,
+};
+use baat_workload::{Arrival, VmId, VmSnapshot, VmState, WorkloadKind};
+
+use crate::config::SimConfig;
+use crate::events::Event;
+use crate::events::TimedEvent;
+use crate::policy::{Action, ActionOutcome, ActionResult, Policy, RejectReason};
+use crate::recorder::TraceRow;
+
+/// File magic identifying a BAAT snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"BAATSNAP";
+
+/// Current snapshot format version. Bumped on any encoding change;
+/// loaders reject other versions rather than misread them.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be encoded, decoded or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The input does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// The version this build understands.
+        expected: u32,
+    },
+    /// The snapshot's battery chemistry differs from the config's.
+    ChemistryMismatch {
+        /// Chemistry recorded in the snapshot.
+        snapshot: Chemistry,
+        /// Chemistry the restoring config uses.
+        config: Chemistry,
+    },
+    /// The snapshot was taken under a different configuration.
+    ConfigMismatch {
+        /// Config hash recorded in the snapshot.
+        snapshot: u64,
+        /// Hash of the restoring config.
+        config: u64,
+    },
+    /// The input ended before the named field could be read.
+    Truncated {
+        /// The field being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// A decoded value was structurally invalid (bad enum tag, checksum
+    /// failure, impossible length).
+    Corrupt {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// The decoded state does not fit the restoring simulation (e.g. a
+    /// per-bank vector of the wrong length) — a config-hash near-miss
+    /// that slipped past the header checks.
+    StateMismatch {
+        /// The mismatched section.
+        context: &'static str,
+    },
+    /// Reading or writing the snapshot file failed.
+    Io(String),
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a BAAT snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, expected } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (expected {expected})"
+                )
+            }
+            SnapshotError::ChemistryMismatch { snapshot, config } => write!(
+                f,
+                "snapshot chemistry {} does not match config chemistry {}",
+                snapshot.name(),
+                config.name()
+            ),
+            SnapshotError::ConfigMismatch { snapshot, config } => write!(
+                f,
+                "snapshot config hash {snapshot:#018x} does not match restoring config \
+                 {config:#018x}; resume with the exact configuration the checkpoint was taken \
+                 under"
+            ),
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::Corrupt { context } => write!(f, "snapshot corrupt: invalid {context}"),
+            SnapshotError::StateMismatch { context } => {
+                write!(f, "snapshot state does not fit the simulation: {context}")
+            }
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A policy's serialized decision state, carried alongside the engine
+/// state so a resumed run replays the same future decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyState {
+    /// [`Policy::name`] of the policy that produced the state.
+    pub name: String,
+    /// Opaque policy-private words (see [`Policy::save_state`]).
+    pub data: Vec<u64>,
+}
+
+/// The dynamic state of a simulation at one step boundary.
+///
+/// Everything here is overwritten onto a freshly constructed
+/// `Simulation` during restore; anything *not* here is either static
+/// (rebuilt from config), an exact replay cache (safe to cold-start) or
+/// observability-only (rebuilt empty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimState {
+    /// Steps completed so far.
+    pub step_index: u64,
+    /// Simulation clock.
+    pub now: SimInstant,
+    /// Weather class of the current day.
+    pub weather_today: Weather,
+    /// The day `start_day` last ran for (None before the first step).
+    pub started_day: Option<u64>,
+    /// Whether the operating window was open on the last step.
+    pub in_window: bool,
+    /// Per-bank SoC discharge floors.
+    pub soc_floors: Vec<f64>,
+    /// Per-bank consecutive-unserved-step streaks.
+    pub unserved_streak: Vec<u32>,
+    /// Per-node instant the node went offline (None while online).
+    pub offline_since: Vec<Option<SimInstant>>,
+    /// Per-node accumulated downtime.
+    pub downtime: Vec<SimDuration>,
+    /// Total energy demanded but not served.
+    pub unserved_energy: WattHours,
+    /// Total solar energy curtailed.
+    pub curtailed_energy: WattHours,
+    /// Total grid energy used for charging.
+    pub grid_charge_energy: WattHours,
+    /// Remaining arrivals of the current day, soonest first.
+    pub arrivals_today: Vec<Arrival>,
+    /// Jobs awaiting placement, in queue order.
+    pub pending: Vec<VmSnapshot>,
+    /// Cloud-process RNG stream position.
+    pub clouds_rng: [u64; 4],
+    /// Cloud-process AR(1) state.
+    pub clouds_ar: f64,
+    /// Per-bank battery current from the last step (A, +discharge).
+    pub last_currents: Vec<f64>,
+    /// Per-bank battery terminal voltage from the last step.
+    pub last_voltages: Vec<f64>,
+    /// Total solar power from the last step.
+    pub last_solar: Watts,
+    /// Outcomes of the previous control interval's actions.
+    pub last_outcomes: Vec<ActionOutcome>,
+    /// Per-bank cumulative charger mode switches.
+    pub mode_switches: Vec<u64>,
+    /// Per-bank last-observed charger stage.
+    pub stage_last: Vec<Option<ChargeStage>>,
+    /// Per-node degraded (stale-telemetry) flags.
+    pub degraded: Vec<bool>,
+    /// Actions the fallback scheme saw rejected last interval.
+    pub fallback_rejected: Vec<Action>,
+    /// Round-robin placement cursor.
+    pub rr_cursor: u64,
+    /// Workload-generator RNG stream position.
+    pub generator_rng: [u64; 4],
+    /// Next VM id the generator will assign.
+    pub generator_next_id: u64,
+    /// Per-bank sensor noise RNG stream positions.
+    pub sensor_rngs: Vec<[u64; 4]>,
+    /// Fault-injector runtime state (active flags, held samples, RNG).
+    pub injector: InjectorState,
+    /// The full event log, oldest first.
+    pub events: Vec<TimedEvent>,
+    /// Recorder accepted-push stride.
+    pub recorder_keep_every: u64,
+    /// Recorder total pushes offered.
+    pub recorder_pushes: u64,
+    /// Recorder retained rows, oldest first.
+    pub recorder_rows: Vec<TraceRow>,
+    /// Cluster runtime state (hosts, VMs, in-flight migrations).
+    pub cluster: ClusterState,
+    /// Per-node power-table rows: `(battery rows, server rows)`.
+    pub power_table: Vec<(Vec<SensorSample>, Vec<ServerPowerRecord>)>,
+    /// Per-bank battery unit state (SoC, thermal, aging, telemetry).
+    pub batteries: Vec<BatteryUnitState>,
+    /// Policy decision state, when captured with a policy in hand.
+    pub policy: Option<PolicyState>,
+}
+
+/// A versioned, self-describing checkpoint of a running simulation.
+///
+/// Produced by `Simulation::snapshot`, consumed by
+/// `Simulation::restore`. The header triple (version, chemistry, config
+/// hash) lets a loader reject a snapshot it cannot faithfully resume
+/// *before* touching the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    /// Format version ([`SNAPSHOT_VERSION`] when produced by this build).
+    pub version: u32,
+    /// Battery chemistry the run used.
+    pub chemistry: Chemistry,
+    /// FNV-1a hash of the configuration the run was built from.
+    pub config_hash: u64,
+    /// The dynamic state.
+    pub state: SimState,
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice — the workspace's dependency-free hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Canonical hash of a [`SimConfig`], used to pin a snapshot to the
+/// configuration it was captured under.
+///
+/// The hash covers every config field (via the canonical `Debug`
+/// rendering, which is exhaustive for this plain-data struct), so *any*
+/// config drift — different seed, fault plan, battery spec, topology —
+/// changes the hash and restore refuses with
+/// [`SnapshotError::ConfigMismatch`]. It is a same-build guard, not a
+/// portable identity: the `version` header field owns cross-build
+/// compatibility.
+pub fn config_hash(config: &SimConfig) -> u64 {
+    fnv1a(format!("{config:?}").as_bytes())
+}
+
+// ---------------------------------------------------------------------
+// Byte-level encoder/decoder.
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+    fn rng(&mut self, s: &[u64; 4]) {
+        for &w in s {
+            self.u64(w);
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type DecResult<T> = Result<T, SnapshotError>;
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> DecResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(SnapshotError::Truncated { context })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self, context: &'static str) -> DecResult<u8> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> DecResult<u32> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, context: &'static str) -> DecResult<u64> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn usize(&mut self, context: &'static str) -> DecResult<usize> {
+        usize::try_from(self.u64(context)?).map_err(|_| SnapshotError::Corrupt { context })
+    }
+
+    /// A length prefix for a sequence of elements each at least one byte
+    /// wide — bounded by the remaining input, so a corrupt length fails
+    /// fast instead of attempting a huge allocation.
+    fn len(&mut self, context: &'static str) -> DecResult<usize> {
+        let n = self.usize(context)?;
+        if n > self.buf.len() - self.pos {
+            return Err(SnapshotError::Corrupt { context });
+        }
+        Ok(n)
+    }
+
+    fn f64(&mut self, context: &'static str) -> DecResult<f64> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    fn bool(&mut self, context: &'static str) -> DecResult<bool> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt { context }),
+        }
+    }
+
+    fn opt_u64(&mut self, context: &'static str) -> DecResult<Option<u64>> {
+        match self.u8(context)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64(context)?)),
+            _ => Err(SnapshotError::Corrupt { context }),
+        }
+    }
+
+    fn rng(&mut self, context: &'static str) -> DecResult<[u64; 4]> {
+        Ok([
+            self.u64(context)?,
+            self.u64(context)?,
+            self.u64(context)?,
+            self.u64(context)?,
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Enum tag tables. Tags are part of the format: append-only, never
+// reorder without bumping SNAPSHOT_VERSION.
+
+fn weather_tag(w: Weather) -> u8 {
+    Weather::ALL
+        .iter()
+        .position(|&x| x == w)
+        .expect("known weather") as u8
+}
+
+fn weather_from(tag: u8) -> DecResult<Weather> {
+    Weather::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(SnapshotError::Corrupt {
+            context: "weather tag",
+        })
+}
+
+fn chemistry_tag(c: Chemistry) -> u8 {
+    Chemistry::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("known chemistry") as u8
+}
+
+fn chemistry_from(tag: u8) -> DecResult<Chemistry> {
+    Chemistry::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(SnapshotError::Corrupt {
+            context: "chemistry tag",
+        })
+}
+
+fn kind_tag(k: WorkloadKind) -> u8 {
+    WorkloadKind::ALL
+        .iter()
+        .position(|&x| x == k)
+        .expect("known workload") as u8
+}
+
+fn kind_from(tag: u8) -> DecResult<WorkloadKind> {
+    WorkloadKind::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(SnapshotError::Corrupt {
+            context: "workload kind tag",
+        })
+}
+
+fn dvfs_tag(l: DvfsLevel) -> u8 {
+    DvfsLevel::ALL
+        .iter()
+        .position(|&x| x == l)
+        .expect("known dvfs level") as u8
+}
+
+fn dvfs_from(tag: u8) -> DecResult<DvfsLevel> {
+    DvfsLevel::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(SnapshotError::Corrupt {
+            context: "dvfs tag",
+        })
+}
+
+fn vm_state_tag(s: VmState) -> u8 {
+    match s {
+        VmState::Running => 0,
+        VmState::Paused => 1,
+        VmState::Migrating => 2,
+        VmState::Completed => 3,
+    }
+}
+
+fn vm_state_from(tag: u8) -> DecResult<VmState> {
+    Ok(match tag {
+        0 => VmState::Running,
+        1 => VmState::Paused,
+        2 => VmState::Migrating,
+        3 => VmState::Completed,
+        _ => {
+            return Err(SnapshotError::Corrupt {
+                context: "vm state tag",
+            })
+        }
+    })
+}
+
+fn stage_tag(s: ChargeStage) -> u8 {
+    match s {
+        ChargeStage::Bulk => 0,
+        ChargeStage::Absorption => 1,
+        ChargeStage::Float => 2,
+    }
+}
+
+fn stage_from(tag: u8) -> DecResult<ChargeStage> {
+    Ok(match tag {
+        0 => ChargeStage::Bulk,
+        1 => ChargeStage::Absorption,
+        2 => ChargeStage::Float,
+        _ => {
+            return Err(SnapshotError::Corrupt {
+                context: "charge stage tag",
+            })
+        }
+    })
+}
+
+fn reject_tag(r: RejectReason) -> u8 {
+    match r {
+        RejectReason::UnknownNode => 0,
+        RejectReason::UnknownVm => 1,
+        RejectReason::AlreadyMigrating => 2,
+        RejectReason::TargetIsSource => 3,
+        RejectReason::TargetFull => 4,
+        RejectReason::FaultInjected => 5,
+    }
+}
+
+fn reject_from(tag: u8) -> DecResult<RejectReason> {
+    Ok(match tag {
+        0 => RejectReason::UnknownNode,
+        1 => RejectReason::UnknownVm,
+        2 => RejectReason::AlreadyMigrating,
+        3 => RejectReason::TargetIsSource,
+        4 => RejectReason::TargetFull,
+        5 => RejectReason::FaultInjected,
+        _ => {
+            return Err(SnapshotError::Corrupt {
+                context: "reject reason tag",
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Composite encoders/decoders, one pair per carried type.
+
+fn enc_action(e: &mut Enc, a: &Action) {
+    match a {
+        Action::SetDvfs { node, level } => {
+            e.u8(0);
+            e.usize(*node);
+            e.u8(dvfs_tag(*level));
+        }
+        Action::Migrate { vm, target } => {
+            e.u8(1);
+            e.u64(vm.0);
+            e.usize(*target);
+        }
+        Action::SetSocFloor { node, floor } => {
+            e.u8(2);
+            e.usize(*node);
+            e.f64(floor.value());
+        }
+    }
+}
+
+fn dec_action(d: &mut Dec<'_>) -> DecResult<Action> {
+    Ok(match d.u8("action tag")? {
+        0 => Action::SetDvfs {
+            node: d.usize("action node")?,
+            level: dvfs_from(d.u8("action level")?)?,
+        },
+        1 => Action::Migrate {
+            vm: VmId(d.u64("action vm")?),
+            target: d.usize("action target")?,
+        },
+        2 => Action::SetSocFloor {
+            node: d.usize("action node")?,
+            floor: Soc::saturating(d.f64("action floor")?),
+        },
+        _ => {
+            return Err(SnapshotError::Corrupt {
+                context: "action tag",
+            })
+        }
+    })
+}
+
+fn enc_outcome(e: &mut Enc, o: &ActionOutcome) {
+    enc_action(e, &o.action);
+    match o.result {
+        ActionResult::Applied => e.u8(0),
+        ActionResult::Rejected(r) => {
+            e.u8(1);
+            e.u8(reject_tag(r));
+        }
+    }
+}
+
+fn dec_outcome(d: &mut Dec<'_>) -> DecResult<ActionOutcome> {
+    let action = dec_action(d)?;
+    let result = match d.u8("outcome tag")? {
+        0 => ActionResult::Applied,
+        1 => ActionResult::Rejected(reject_from(d.u8("outcome reason")?)?),
+        _ => {
+            return Err(SnapshotError::Corrupt {
+                context: "outcome tag",
+            })
+        }
+    };
+    Ok(ActionOutcome { action, result })
+}
+
+fn enc_fault(e: &mut Enc, f: &FaultKind) {
+    match f {
+        FaultKind::SensorDropout { bank } => {
+            e.u8(0);
+            e.usize(*bank);
+        }
+        FaultKind::SensorStuckAt { bank } => {
+            e.u8(1);
+            e.usize(*bank);
+        }
+        FaultKind::SensorNoise { bank, sigma } => {
+            e.u8(2);
+            e.usize(*bank);
+            e.f64(*sigma);
+        }
+        FaultKind::SensorDrift {
+            bank,
+            volts_per_hour,
+        } => {
+            e.u8(3);
+            e.usize(*bank);
+            e.f64(*volts_per_hour);
+        }
+        FaultKind::PvOutage => e.u8(4),
+        FaultKind::InverterDerate { fraction } => {
+            e.u8(5);
+            e.f64(*fraction);
+        }
+        FaultKind::ChargerFailure { bank } => {
+            e.u8(6);
+            e.usize(*bank);
+        }
+        FaultKind::ChargerModeStuck { bank } => {
+            e.u8(7);
+            e.usize(*bank);
+        }
+        FaultKind::BatteryOpenCircuit { bank } => {
+            e.u8(8);
+            e.usize(*bank);
+        }
+        FaultKind::ThermalSensorLoss { bank } => {
+            e.u8(9);
+            e.usize(*bank);
+        }
+        FaultKind::HostFailure { node } => {
+            e.u8(10);
+            e.usize(*node);
+        }
+        FaultKind::MigrationsBlocked => e.u8(11),
+    }
+}
+
+fn dec_fault(d: &mut Dec<'_>) -> DecResult<FaultKind> {
+    Ok(match d.u8("fault tag")? {
+        0 => FaultKind::SensorDropout {
+            bank: d.usize("fault bank")?,
+        },
+        1 => FaultKind::SensorStuckAt {
+            bank: d.usize("fault bank")?,
+        },
+        2 => FaultKind::SensorNoise {
+            bank: d.usize("fault bank")?,
+            sigma: d.f64("fault sigma")?,
+        },
+        3 => FaultKind::SensorDrift {
+            bank: d.usize("fault bank")?,
+            volts_per_hour: d.f64("fault drift rate")?,
+        },
+        4 => FaultKind::PvOutage,
+        5 => FaultKind::InverterDerate {
+            fraction: d.f64("fault fraction")?,
+        },
+        6 => FaultKind::ChargerFailure {
+            bank: d.usize("fault bank")?,
+        },
+        7 => FaultKind::ChargerModeStuck {
+            bank: d.usize("fault bank")?,
+        },
+        8 => FaultKind::BatteryOpenCircuit {
+            bank: d.usize("fault bank")?,
+        },
+        9 => FaultKind::ThermalSensorLoss {
+            bank: d.usize("fault bank")?,
+        },
+        10 => FaultKind::HostFailure {
+            node: d.usize("fault node")?,
+        },
+        11 => FaultKind::MigrationsBlocked,
+        _ => {
+            return Err(SnapshotError::Corrupt {
+                context: "fault tag",
+            })
+        }
+    })
+}
+
+fn enc_event(e: &mut Enc, ev: &Event) {
+    match ev {
+        Event::ServerShutdown { node } => {
+            e.u8(0);
+            e.usize(*node);
+        }
+        Event::ServerRestart { node } => {
+            e.u8(1);
+            e.usize(*node);
+        }
+        Event::DvfsChanged { node, level } => {
+            e.u8(2);
+            e.usize(*node);
+            e.u8(dvfs_tag(*level));
+        }
+        Event::MigrationStarted { vm, from, to } => {
+            e.u8(3);
+            e.u64(vm.0);
+            e.usize(*from);
+            e.usize(*to);
+        }
+        Event::Action { outcome } => {
+            e.u8(4);
+            enc_outcome(e, outcome);
+        }
+        Event::BatteryCutoff { node } => {
+            e.u8(5);
+            e.usize(*node);
+        }
+        Event::SocFloorChanged { node, floor } => {
+            e.u8(6);
+            e.usize(*node);
+            e.f64(floor.value());
+        }
+        Event::PlacementFailed { node } => {
+            e.u8(7);
+            e.usize(*node);
+        }
+        Event::FaultInjected { fault } => {
+            e.u8(8);
+            enc_fault(e, fault);
+        }
+        Event::FaultCleared { fault } => {
+            e.u8(9);
+            enc_fault(e, fault);
+        }
+        Event::DegradedMode { node, active } => {
+            e.u8(10);
+            e.usize(*node);
+            e.bool(*active);
+        }
+    }
+}
+
+fn dec_event(d: &mut Dec<'_>) -> DecResult<Event> {
+    Ok(match d.u8("event tag")? {
+        0 => Event::ServerShutdown {
+            node: d.usize("event node")?,
+        },
+        1 => Event::ServerRestart {
+            node: d.usize("event node")?,
+        },
+        2 => Event::DvfsChanged {
+            node: d.usize("event node")?,
+            level: dvfs_from(d.u8("event level")?)?,
+        },
+        3 => Event::MigrationStarted {
+            vm: VmId(d.u64("event vm")?),
+            from: d.usize("event from")?,
+            to: d.usize("event to")?,
+        },
+        4 => Event::Action {
+            outcome: dec_outcome(d)?,
+        },
+        5 => Event::BatteryCutoff {
+            node: d.usize("event node")?,
+        },
+        6 => Event::SocFloorChanged {
+            node: d.usize("event node")?,
+            floor: Soc::saturating(d.f64("event floor")?),
+        },
+        7 => Event::PlacementFailed {
+            node: d.usize("event node")?,
+        },
+        8 => Event::FaultInjected {
+            fault: dec_fault(d)?,
+        },
+        9 => Event::FaultCleared {
+            fault: dec_fault(d)?,
+        },
+        10 => Event::DegradedMode {
+            node: d.usize("event node")?,
+            active: d.bool("event active")?,
+        },
+        _ => {
+            return Err(SnapshotError::Corrupt {
+                context: "event tag",
+            })
+        }
+    })
+}
+
+fn enc_vm(e: &mut Enc, v: &VmSnapshot) {
+    e.u64(v.id.0);
+    e.u8(kind_tag(v.kind));
+    e.u8(vm_state_tag(v.state));
+    e.f64(v.progress);
+    e.f64(v.work_done);
+    e.u32(v.migrations);
+}
+
+fn dec_vm(d: &mut Dec<'_>) -> DecResult<VmSnapshot> {
+    Ok(VmSnapshot {
+        id: VmId(d.u64("vm id")?),
+        kind: kind_from(d.u8("vm kind")?)?,
+        state: vm_state_from(d.u8("vm state")?)?,
+        progress: d.f64("vm progress")?,
+        work_done: d.f64("vm work")?,
+        migrations: d.u32("vm migrations")?,
+    })
+}
+
+fn enc_sample(e: &mut Enc, s: &SensorSample) {
+    e.u64(s.at.as_secs());
+    e.f64(s.voltage.as_f64());
+    e.f64(s.current.as_f64());
+    e.f64(s.temperature.as_f64());
+    e.f64(s.soc.value());
+}
+
+fn dec_sample(d: &mut Dec<'_>) -> DecResult<SensorSample> {
+    Ok(SensorSample {
+        at: SimInstant::from_secs(d.u64("sample at")?),
+        voltage: Volts::new(d.f64("sample voltage")?),
+        current: Amperes::new(d.f64("sample current")?),
+        temperature: Celsius::new(d.f64("sample temperature")?),
+        soc: Soc::saturating(d.f64("sample soc")?),
+    })
+}
+
+fn enc_accumulator(e: &mut Enc, u: &UsageAccumulator) {
+    e.f64(u.ah_discharged.as_f64());
+    e.f64(u.ah_charged.as_f64());
+    for r in &u.ah_discharged_by_range {
+        e.f64(r.as_f64());
+    }
+    e.u64(u.observed.as_secs());
+    e.u64(u.deep_discharge_time.as_secs());
+    for b in &u.soc_time_histogram {
+        e.u64(b.as_secs());
+    }
+    e.f64(u.peak_discharge.as_f64());
+    e.f64(u.discharge_amp_seconds);
+    e.u64(u.discharge_time.as_secs());
+    e.f64(u.energy_out.as_f64());
+    e.f64(u.energy_in.as_f64());
+    e.u64(u.full_charge_events);
+}
+
+fn dec_accumulator(d: &mut Dec<'_>) -> DecResult<UsageAccumulator> {
+    let mut u = UsageAccumulator {
+        ah_discharged: AmpHours::new(d.f64("usage ah_discharged")?),
+        ah_charged: AmpHours::new(d.f64("usage ah_charged")?),
+        ..UsageAccumulator::default()
+    };
+    for r in &mut u.ah_discharged_by_range {
+        *r = AmpHours::new(d.f64("usage range")?);
+    }
+    u.observed = SimDuration::from_secs(d.u64("usage observed")?);
+    u.deep_discharge_time = SimDuration::from_secs(d.u64("usage deep time")?);
+    for b in &mut u.soc_time_histogram {
+        *b = SimDuration::from_secs(d.u64("usage histogram")?);
+    }
+    u.peak_discharge = Amperes::new(d.f64("usage peak")?);
+    u.discharge_amp_seconds = d.f64("usage amp seconds")?;
+    u.discharge_time = SimDuration::from_secs(d.u64("usage discharge time")?);
+    u.energy_out = WattHours::new(d.f64("usage energy out")?);
+    u.energy_in = WattHours::new(d.f64("usage energy in")?);
+    u.full_charge_events = d.u64("usage full charges")?;
+    Ok(u)
+}
+
+fn enc_breakdown(e: &mut Enc, b: &AgingBreakdown) {
+    e.usize(b.len());
+    for (_, value) in b.iter() {
+        e.f64(value);
+    }
+}
+
+/// Aging labels are `&'static str`s owned by the chemistry, so the
+/// format stores values only, in chemistry breakdown order, and decoding
+/// re-attaches the labels from the header's chemistry tag.
+fn dec_breakdown(d: &mut Dec<'_>, chemistry: Chemistry) -> DecResult<AgingBreakdown> {
+    let n = d.len("breakdown len")?;
+    if n == 0 {
+        return Ok(AgingBreakdown::default());
+    }
+    let labels = chemistry.aging_labels();
+    if n != labels.len() {
+        return Err(SnapshotError::Corrupt {
+            context: "breakdown mechanism count",
+        });
+    }
+    let mut pairs = Vec::with_capacity(n);
+    for &label in labels {
+        pairs.push((label, d.f64("breakdown value")?));
+    }
+    Ok(AgingBreakdown::from_pairs(&pairs))
+}
+
+fn enc_battery(e: &mut Enc, b: &BatteryUnitState) {
+    e.f64(b.soc.value());
+    e.f64(b.hours_since_full);
+    e.u64(b.cutoff_events);
+    e.f64(b.temperature.as_f64());
+    enc_breakdown(e, &b.aging);
+    e.usize(b.telemetry.max_samples);
+    e.usize(b.telemetry.samples.len());
+    for s in &b.telemetry.samples {
+        enc_sample(e, s);
+    }
+    enc_accumulator(e, &b.telemetry.lifetime);
+    enc_accumulator(e, &b.telemetry.window);
+}
+
+fn dec_battery(d: &mut Dec<'_>, chemistry: Chemistry) -> DecResult<BatteryUnitState> {
+    let soc = Soc::saturating(d.f64("battery soc")?);
+    let hours_since_full = d.f64("battery hours since full")?;
+    let cutoff_events = d.u64("battery cutoffs")?;
+    let temperature = Celsius::new(d.f64("battery temperature")?);
+    let aging = dec_breakdown(d, chemistry)?;
+    let max_samples = d.usize("telemetry capacity")?;
+    let n = d.len("telemetry samples len")?;
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        samples.push(dec_sample(d)?);
+    }
+    let lifetime = dec_accumulator(d)?;
+    let window = dec_accumulator(d)?;
+    Ok(BatteryUnitState {
+        soc,
+        hours_since_full,
+        cutoff_events,
+        temperature,
+        aging,
+        telemetry: TelemetryState {
+            max_samples,
+            samples,
+            lifetime,
+            window,
+        },
+    })
+}
+
+fn enc_host(e: &mut Enc, h: &HostState) {
+    e.u8(dvfs_tag(h.dvfs));
+    e.bool(h.online);
+    e.u64(h.boot_remaining.as_secs());
+    e.f64(h.work_done);
+    e.u64(h.completed_jobs);
+    e.usize(h.vms.len());
+    for v in &h.vms {
+        enc_vm(e, v);
+    }
+}
+
+fn dec_host(d: &mut Dec<'_>) -> DecResult<HostState> {
+    let dvfs = dvfs_from(d.u8("host dvfs")?)?;
+    let online = d.bool("host online")?;
+    let boot_remaining = SimDuration::from_secs(d.u64("host boot")?);
+    let work_done = d.f64("host work")?;
+    let completed_jobs = d.u64("host jobs")?;
+    let n = d.len("host vm count")?;
+    let mut vms = Vec::with_capacity(n);
+    for _ in 0..n {
+        vms.push(dec_vm(d)?);
+    }
+    Ok(HostState {
+        dvfs,
+        online,
+        boot_remaining,
+        work_done,
+        completed_jobs,
+        vms,
+    })
+}
+
+fn enc_cluster(e: &mut Enc, c: &ClusterState) {
+    e.usize(c.hosts.len());
+    for h in &c.hosts {
+        enc_host(e, h);
+    }
+    e.usize(c.in_flight.len());
+    for m in &c.in_flight {
+        enc_vm(e, &m.vm);
+        e.usize(m.to.0);
+        e.u64(m.completes_at.as_secs());
+    }
+    e.u64(c.migrations_started);
+}
+
+fn dec_cluster(d: &mut Dec<'_>) -> DecResult<ClusterState> {
+    let n = d.len("cluster host count")?;
+    let mut hosts = Vec::with_capacity(n);
+    for _ in 0..n {
+        hosts.push(dec_host(d)?);
+    }
+    let m = d.len("cluster in-flight count")?;
+    let mut in_flight = Vec::with_capacity(m);
+    for _ in 0..m {
+        in_flight.push(InFlightState {
+            vm: dec_vm(d)?,
+            to: ServerId(d.usize("migration target")?),
+            completes_at: SimInstant::from_secs(d.u64("migration completes")?),
+        });
+    }
+    Ok(ClusterState {
+        hosts,
+        in_flight,
+        migrations_started: d.u64("cluster migrations")?,
+    })
+}
+
+fn enc_trace_row(e: &mut Enc, r: &TraceRow) {
+    e.u64(r.at.as_secs());
+    e.f64(r.solar.as_f64());
+    e.usize(r.soc.len());
+    for &s in &r.soc {
+        e.f64(s);
+    }
+    e.usize(r.server_power.len());
+    for &p in &r.server_power {
+        e.f64(p.as_f64());
+    }
+    e.usize(r.battery_current.len());
+    for &c in &r.battery_current {
+        e.f64(c);
+    }
+    e.f64(r.work_cumulative);
+}
+
+fn dec_trace_row(d: &mut Dec<'_>) -> DecResult<TraceRow> {
+    let at = SimInstant::from_secs(d.u64("row at")?);
+    let solar = Watts::new(d.f64("row solar")?);
+    let n = d.len("row soc len")?;
+    let mut soc = Vec::with_capacity(n);
+    for _ in 0..n {
+        soc.push(d.f64("row soc")?);
+    }
+    let n = d.len("row power len")?;
+    let mut server_power = Vec::with_capacity(n);
+    for _ in 0..n {
+        server_power.push(Watts::new(d.f64("row power")?));
+    }
+    let n = d.len("row current len")?;
+    let mut battery_current = Vec::with_capacity(n);
+    for _ in 0..n {
+        battery_current.push(d.f64("row current")?);
+    }
+    Ok(TraceRow {
+        at,
+        solar,
+        soc,
+        server_power,
+        battery_current,
+        work_cumulative: d.f64("row work")?,
+    })
+}
+
+fn enc_injector(e: &mut Enc, i: &InjectorState) {
+    e.usize(i.active.len());
+    for &a in &i.active {
+        e.bool(a);
+    }
+    e.usize(i.held.len());
+    for h in &i.held {
+        match h {
+            None => e.u8(0),
+            Some(s) => {
+                e.u8(1);
+                enc_sample(e, s);
+            }
+        }
+    }
+    e.usize(i.held_temp.len());
+    for t in &i.held_temp {
+        match t {
+            None => e.u8(0),
+            Some(c) => {
+                e.u8(1);
+                e.f64(c.as_f64());
+            }
+        }
+    }
+    e.rng(&i.rng_state);
+}
+
+fn dec_injector(d: &mut Dec<'_>) -> DecResult<InjectorState> {
+    let n = d.len("injector active len")?;
+    let mut active = Vec::with_capacity(n);
+    for _ in 0..n {
+        active.push(d.bool("injector active")?);
+    }
+    let n = d.len("injector held len")?;
+    let mut held = Vec::with_capacity(n);
+    for _ in 0..n {
+        held.push(match d.u8("injector held tag")? {
+            0 => None,
+            1 => Some(dec_sample(d)?),
+            _ => {
+                return Err(SnapshotError::Corrupt {
+                    context: "injector held tag",
+                })
+            }
+        });
+    }
+    let n = d.len("injector held temp len")?;
+    let mut held_temp = Vec::with_capacity(n);
+    for _ in 0..n {
+        held_temp.push(match d.u8("injector temp tag")? {
+            0 => None,
+            1 => Some(Celsius::new(d.f64("injector temp")?)),
+            _ => {
+                return Err(SnapshotError::Corrupt {
+                    context: "injector temp tag",
+                })
+            }
+        });
+    }
+    Ok(InjectorState {
+        active,
+        held,
+        held_temp,
+        rng_state: d.rng("injector rng")?,
+    })
+}
+
+fn encode_state(s: &SimState) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u64(s.step_index);
+    e.u64(s.now.as_secs());
+    e.u8(weather_tag(s.weather_today));
+    e.opt_u64(s.started_day);
+    e.bool(s.in_window);
+    e.usize(s.soc_floors.len());
+    for &f in &s.soc_floors {
+        e.f64(f);
+    }
+    e.usize(s.unserved_streak.len());
+    for &v in &s.unserved_streak {
+        e.u32(v);
+    }
+    e.usize(s.offline_since.len());
+    for o in &s.offline_since {
+        e.opt_u64(o.map(SimInstant::as_secs));
+    }
+    e.usize(s.downtime.len());
+    for &t in &s.downtime {
+        e.u64(t.as_secs());
+    }
+    e.f64(s.unserved_energy.as_f64());
+    e.f64(s.curtailed_energy.as_f64());
+    e.f64(s.grid_charge_energy.as_f64());
+    e.usize(s.arrivals_today.len());
+    for a in &s.arrivals_today {
+        e.u32(a.at.as_secs());
+        e.u8(kind_tag(a.kind));
+    }
+    e.usize(s.pending.len());
+    for v in &s.pending {
+        enc_vm(&mut e, v);
+    }
+    e.rng(&s.clouds_rng);
+    e.f64(s.clouds_ar);
+    e.usize(s.last_currents.len());
+    for &c in &s.last_currents {
+        e.f64(c);
+    }
+    e.usize(s.last_voltages.len());
+    for &v in &s.last_voltages {
+        e.f64(v);
+    }
+    e.f64(s.last_solar.as_f64());
+    e.usize(s.last_outcomes.len());
+    for o in &s.last_outcomes {
+        enc_outcome(&mut e, o);
+    }
+    e.usize(s.mode_switches.len());
+    for &m in &s.mode_switches {
+        e.u64(m);
+    }
+    e.usize(s.stage_last.len());
+    for st in &s.stage_last {
+        match st {
+            None => e.u8(255),
+            Some(stage) => e.u8(stage_tag(*stage)),
+        }
+    }
+    e.usize(s.degraded.len());
+    for &f in &s.degraded {
+        e.bool(f);
+    }
+    e.usize(s.fallback_rejected.len());
+    for a in &s.fallback_rejected {
+        enc_action(&mut e, a);
+    }
+    e.u64(s.rr_cursor);
+    e.rng(&s.generator_rng);
+    e.u64(s.generator_next_id);
+    e.usize(s.sensor_rngs.len());
+    for r in &s.sensor_rngs {
+        e.rng(r);
+    }
+    enc_injector(&mut e, &s.injector);
+    e.usize(s.events.len());
+    for ev in &s.events {
+        e.u64(ev.at.as_secs());
+        enc_event(&mut e, &ev.event);
+    }
+    e.u64(s.recorder_keep_every);
+    e.u64(s.recorder_pushes);
+    e.usize(s.recorder_rows.len());
+    for r in &s.recorder_rows {
+        enc_trace_row(&mut e, r);
+    }
+    enc_cluster(&mut e, &s.cluster);
+    e.usize(s.power_table.len());
+    for (battery, server) in &s.power_table {
+        e.usize(battery.len());
+        for row in battery {
+            enc_sample(&mut e, row);
+        }
+        e.usize(server.len());
+        for row in server {
+            e.u64(row.at.as_secs());
+            e.f64(row.power.as_f64());
+        }
+    }
+    e.usize(s.batteries.len());
+    for b in &s.batteries {
+        enc_battery(&mut e, b);
+    }
+    match &s.policy {
+        None => e.u8(0),
+        Some(p) => {
+            e.u8(1);
+            e.str(&p.name);
+            e.usize(p.data.len());
+            for &w in &p.data {
+                e.u64(w);
+            }
+        }
+    }
+    e.buf
+}
+
+fn decode_state(bytes: &[u8], chemistry: Chemistry) -> Result<SimState, SnapshotError> {
+    let d = &mut Dec::new(bytes);
+    let step_index = d.u64("step index")?;
+    let now = SimInstant::from_secs(d.u64("now")?);
+    let weather_today = weather_from(d.u8("weather")?)?;
+    let started_day = d.opt_u64("started day")?;
+    let in_window = d.bool("in window")?;
+    let n = d.len("soc floors len")?;
+    let mut soc_floors = Vec::with_capacity(n);
+    for _ in 0..n {
+        soc_floors.push(d.f64("soc floor")?);
+    }
+    let n = d.len("unserved streak len")?;
+    let mut unserved_streak = Vec::with_capacity(n);
+    for _ in 0..n {
+        unserved_streak.push(d.u32("unserved streak")?);
+    }
+    let n = d.len("offline len")?;
+    let mut offline_since = Vec::with_capacity(n);
+    for _ in 0..n {
+        offline_since.push(d.opt_u64("offline since")?.map(SimInstant::from_secs));
+    }
+    let n = d.len("downtime len")?;
+    let mut downtime = Vec::with_capacity(n);
+    for _ in 0..n {
+        downtime.push(SimDuration::from_secs(d.u64("downtime")?));
+    }
+    let unserved_energy = WattHours::new(d.f64("unserved energy")?);
+    let curtailed_energy = WattHours::new(d.f64("curtailed energy")?);
+    let grid_charge_energy = WattHours::new(d.f64("grid energy")?);
+    let n = d.len("arrivals len")?;
+    let mut arrivals_today = Vec::with_capacity(n);
+    for _ in 0..n {
+        arrivals_today.push(Arrival {
+            at: TimeOfDay::from_secs(d.u32("arrival at")?),
+            kind: kind_from(d.u8("arrival kind")?)?,
+        });
+    }
+    let n = d.len("pending len")?;
+    let mut pending = Vec::with_capacity(n);
+    for _ in 0..n {
+        pending.push(dec_vm(d)?);
+    }
+    let clouds_rng = d.rng("clouds rng")?;
+    let clouds_ar = d.f64("clouds ar")?;
+    let n = d.len("currents len")?;
+    let mut last_currents = Vec::with_capacity(n);
+    for _ in 0..n {
+        last_currents.push(d.f64("current")?);
+    }
+    let n = d.len("voltages len")?;
+    let mut last_voltages = Vec::with_capacity(n);
+    for _ in 0..n {
+        last_voltages.push(d.f64("voltage")?);
+    }
+    let last_solar = Watts::new(d.f64("last solar")?);
+    let n = d.len("outcomes len")?;
+    let mut last_outcomes = Vec::with_capacity(n);
+    for _ in 0..n {
+        last_outcomes.push(dec_outcome(d)?);
+    }
+    let n = d.len("mode switches len")?;
+    let mut mode_switches = Vec::with_capacity(n);
+    for _ in 0..n {
+        mode_switches.push(d.u64("mode switch")?);
+    }
+    let n = d.len("stage last len")?;
+    let mut stage_last = Vec::with_capacity(n);
+    for _ in 0..n {
+        stage_last.push(match d.u8("stage tag")? {
+            255 => None,
+            tag => Some(stage_from(tag)?),
+        });
+    }
+    let n = d.len("degraded len")?;
+    let mut degraded = Vec::with_capacity(n);
+    for _ in 0..n {
+        degraded.push(d.bool("degraded")?);
+    }
+    let n = d.len("fallback len")?;
+    let mut fallback_rejected = Vec::with_capacity(n);
+    for _ in 0..n {
+        fallback_rejected.push(dec_action(d)?);
+    }
+    let rr_cursor = d.u64("rr cursor")?;
+    let generator_rng = d.rng("generator rng")?;
+    let generator_next_id = d.u64("generator next id")?;
+    let n = d.len("sensor rng len")?;
+    let mut sensor_rngs = Vec::with_capacity(n);
+    for _ in 0..n {
+        sensor_rngs.push(d.rng("sensor rng")?);
+    }
+    let injector = dec_injector(d)?;
+    let n = d.len("events len")?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let at = SimInstant::from_secs(d.u64("event at")?);
+        events.push(TimedEvent {
+            at,
+            event: dec_event(d)?,
+        });
+    }
+    let recorder_keep_every = d.u64("recorder stride")?;
+    let recorder_pushes = d.u64("recorder pushes")?;
+    let n = d.len("recorder rows len")?;
+    let mut recorder_rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        recorder_rows.push(dec_trace_row(d)?);
+    }
+    let cluster = dec_cluster(d)?;
+    let n = d.len("power table len")?;
+    let mut power_table = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = d.len("power table battery len")?;
+        let mut battery = Vec::with_capacity(m);
+        for _ in 0..m {
+            battery.push(dec_sample(d)?);
+        }
+        let m = d.len("power table server len")?;
+        let mut server = Vec::with_capacity(m);
+        for _ in 0..m {
+            server.push(ServerPowerRecord {
+                at: SimInstant::from_secs(d.u64("server row at")?),
+                power: Watts::new(d.f64("server row power")?),
+            });
+        }
+        power_table.push((battery, server));
+    }
+    let n = d.len("batteries len")?;
+    let mut batteries = Vec::with_capacity(n);
+    for _ in 0..n {
+        batteries.push(dec_battery(d, chemistry)?);
+    }
+    let policy = match d.u8("policy tag")? {
+        0 => None,
+        1 => {
+            let len = d.len("policy name len")?;
+            let name = String::from_utf8(d.take(len, "policy name")?.to_vec()).map_err(|_| {
+                SnapshotError::Corrupt {
+                    context: "policy name",
+                }
+            })?;
+            let n = d.len("policy data len")?;
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(d.u64("policy word")?);
+            }
+            Some(PolicyState { name, data })
+        }
+        _ => {
+            return Err(SnapshotError::Corrupt {
+                context: "policy tag",
+            })
+        }
+    };
+    if d.pos != bytes.len() {
+        return Err(SnapshotError::Corrupt {
+            context: "trailing bytes",
+        });
+    }
+    Ok(SimState {
+        step_index,
+        now,
+        weather_today,
+        started_day,
+        in_window,
+        soc_floors,
+        unserved_streak,
+        offline_since,
+        downtime,
+        unserved_energy,
+        curtailed_energy,
+        grid_charge_energy,
+        arrivals_today,
+        pending,
+        clouds_rng,
+        clouds_ar,
+        last_currents,
+        last_voltages,
+        last_solar,
+        last_outcomes,
+        mode_switches,
+        stage_last,
+        degraded,
+        fallback_rejected,
+        rr_cursor,
+        generator_rng,
+        generator_next_id,
+        sensor_rngs,
+        injector,
+        events,
+        recorder_keep_every,
+        recorder_pushes,
+        recorder_rows,
+        cluster,
+        power_table,
+        batteries,
+        policy,
+    })
+}
+
+impl SimSnapshot {
+    /// Serializes the snapshot to the versioned byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body = encode_state(&self.state);
+        let mut out = Vec::with_capacity(body.len() + 37);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.push(chemistry_tag(self.chemistry));
+        out.extend_from_slice(&self.config_hash.to_le_bytes());
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        let check = fnv1a(&body);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&check.to_le_bytes());
+        out
+    }
+
+    /// Parses a snapshot from bytes, validating magic, version, body
+    /// length and checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns the matching [`SnapshotError`] on malformed input; never
+    /// panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let d = &mut Dec::new(bytes);
+        let magic = d.take(8, "magic")?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = d.u32("version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let chemistry = chemistry_from(d.u8("chemistry")?)?;
+        let config_hash = d.u64("config hash")?;
+        let body_len = d.usize("body length")?;
+        let body = d.take(body_len, "body")?;
+        let check = d.u64("checksum")?;
+        if fnv1a(body) != check {
+            return Err(SnapshotError::Corrupt {
+                context: "checksum",
+            });
+        }
+        let state = decode_state(body, chemistry)?;
+        Ok(Self {
+            version,
+            chemistry,
+            config_hash,
+            state,
+        })
+    }
+
+    /// A position-independent hash of the dynamic state — two
+    /// simulations at the same step of the same run have equal state
+    /// hashes, whether paused there or restored from a checkpoint and
+    /// re-stepped.
+    pub fn state_hash(&self) -> u64 {
+        fnv1a(&encode_state(&self.state))
+    }
+
+    /// Writes the snapshot to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] on filesystem failure.
+    pub fn write_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+        std::fs::write(path.as_ref(), self.to_bytes())
+            .map_err(|e| SnapshotError::Io(format!("write {}: {e}", path.as_ref().display())))
+    }
+
+    /// Reads and parses a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] on filesystem failure and decoding
+    /// errors on malformed contents.
+    pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| SnapshotError::Io(format!("read {}: {e}", path.as_ref().display())))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Loads the carried policy state into `policy`, if the snapshot
+    /// holds state recorded by a policy of the same name. Returns `true`
+    /// when state was applied.
+    pub fn apply_policy_state<P: Policy + ?Sized>(&self, policy: &mut P) -> bool {
+        match &self.state.policy {
+            Some(p) if p.name == policy.name() => {
+                policy.load_state(&p.data);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Convenience view of the pending queue as a `VecDeque`, matching
+    /// the engine's in-memory representation.
+    pub fn pending_queue(&self) -> VecDeque<VmSnapshot> {
+        self.state.pending.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        assert_eq!(
+            SimSnapshot::from_bytes(b"NOTASNAP-----------------"),
+            Err(SnapshotError::BadMagic)
+        );
+        assert_eq!(
+            SimSnapshot::from_bytes(b""),
+            Err(SnapshotError::Truncated { context: "magic" })
+        );
+    }
+
+    #[test]
+    fn unknown_version_is_typed() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            SimSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion {
+                found: 99,
+                expected: SNAPSHOT_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn decoder_rejects_absurd_length_prefixes() {
+        let mut e = Enc::default();
+        e.u64(u64::MAX);
+        let mut d = Dec::new(&e.buf);
+        assert!(matches!(d.len("test"), Err(SnapshotError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn enum_tags_round_trip() {
+        for w in Weather::ALL {
+            assert_eq!(weather_from(weather_tag(w)).unwrap(), w);
+        }
+        for c in Chemistry::ALL {
+            assert_eq!(chemistry_from(chemistry_tag(c)).unwrap(), c);
+        }
+        for k in WorkloadKind::ALL {
+            assert_eq!(kind_from(kind_tag(k)).unwrap(), k);
+        }
+        for l in DvfsLevel::ALL {
+            assert_eq!(dvfs_from(dvfs_tag(l)).unwrap(), l);
+        }
+        assert!(weather_from(200).is_err());
+        assert!(vm_state_from(9).is_err());
+        assert!(stage_from(9).is_err());
+        assert!(reject_from(9).is_err());
+    }
+
+    #[test]
+    fn fault_kinds_round_trip() {
+        let kinds = [
+            FaultKind::SensorDropout { bank: 1 },
+            FaultKind::SensorStuckAt { bank: 2 },
+            FaultKind::SensorNoise {
+                bank: 0,
+                sigma: 0.4,
+            },
+            FaultKind::SensorDrift {
+                bank: 3,
+                volts_per_hour: -0.01,
+            },
+            FaultKind::PvOutage,
+            FaultKind::InverterDerate { fraction: 0.5 },
+            FaultKind::ChargerFailure { bank: 1 },
+            FaultKind::ChargerModeStuck { bank: 0 },
+            FaultKind::BatteryOpenCircuit { bank: 2 },
+            FaultKind::ThermalSensorLoss { bank: 1 },
+            FaultKind::HostFailure { node: 4 },
+            FaultKind::MigrationsBlocked,
+        ];
+        for kind in kinds {
+            let mut e = Enc::default();
+            enc_fault(&mut e, &kind);
+            let mut d = Dec::new(&e.buf);
+            assert_eq!(dec_fault(&mut d).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        for v in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE] {
+            let mut e = Enc::default();
+            e.f64(v);
+            let mut d = Dec::new(&e.buf);
+            assert_eq!(d.f64("v").unwrap().to_bits(), v.to_bits());
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! The resume-equivalence test layer for versioned [`SimSnapshot`]s.
+//!
+//! Resume equivalence is pinned three ways:
+//!
+//! 1. **Property**: over random seeds, weathers, chemistries, fleet
+//!    sizes and checkpoint steps, a run snapshotted at an arbitrary
+//!    step — serialized to bytes, parsed back, and restored into a
+//!    fresh engine + policy — finishes with a report and event JSONL
+//!    **byte-identical** to the uninterrupted run (faulted configs
+//!    included).
+//! 2. **Golden**: a committed binary checkpoint file restores in this
+//!    (necessarily different) process and finishes identically to a
+//!    from-scratch run; the current encoder also still produces those
+//!    exact bytes, pinning format version 1. Regenerate with
+//!    `BAAT_UPDATE_GOLDEN=1` only on an intentional format change
+//!    (which must bump `SNAPSHOT_VERSION`).
+//! 3. **CI**: `ci/check.sh replay` kills a checkpointing console run
+//!    mid-flight and resumes it in a fresh process (see `ci/`).
+//!
+//! Version/config/chemistry skew must surface as typed
+//! [`SnapshotError`]s — never a panic, never a silently-wrong resume.
+
+use std::path::PathBuf;
+
+use baat_battery::Chemistry;
+use baat_sim::{
+    config_hash, ChemistrySpec, FaultMix, FaultPlan, Policy, RoundRobinPolicy, SimConfig, SimError,
+    SimSnapshot, Simulation, SnapshotError, SNAPSHOT_VERSION,
+};
+use baat_solar::Weather;
+use baat_testkit::prelude::*;
+use baat_units::SimDuration;
+
+fn weather_strategy() -> impl Strategy<Value = Weather> {
+    prop_oneof![
+        Just(Weather::Sunny),
+        Just(Weather::Cloudy),
+        Just(Weather::Rainy),
+    ]
+}
+
+fn chemistry_strategy() -> impl Strategy<Value = Chemistry> {
+    prop_oneof![Just(Chemistry::LeadAcid), Just(Chemistry::LiIon)]
+}
+
+/// Coarse-timestep config in the given chemistry, optionally with a
+/// seeded heavy fault plan (non-empty for every seed), so snapshots
+/// carry live fault-injector state.
+fn coarse_config(chemistry: Chemistry, weather: Weather, seed: u64, nodes: usize) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![weather])
+        .nodes(nodes)
+        .dt(SimDuration::from_secs(300))
+        .control_interval(SimDuration::from_secs(300))
+        .sample_every(2)
+        .seed(seed)
+        .chemistry(ChemistrySpec::new(chemistry));
+    b.build().expect("coarse config is valid")
+}
+
+fn faulted_config(chemistry: Chemistry, weather: Weather, seed: u64, nodes: usize) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![weather])
+        .nodes(nodes)
+        .dt(SimDuration::from_secs(300))
+        .control_interval(SimDuration::from_secs(300))
+        .sample_every(2)
+        .seed(seed)
+        .chemistry(ChemistrySpec::new(chemistry))
+        .faults(FaultPlan::generate(
+            seed,
+            1,
+            nodes,
+            nodes,
+            &FaultMix::heavy(),
+        ));
+    b.build().expect("faulted config is valid")
+}
+
+fn total_steps(config: &SimConfig) -> u64 {
+    config.days() as u64 * 86_400 / config.dt.as_secs()
+}
+
+/// Runs `config` to completion in one piece.
+fn straight_run(config: SimConfig) -> baat_sim::SimReport {
+    let sim = Simulation::new(config).expect("sim builds");
+    let mut policy = RoundRobinPolicy::new();
+    sim.run(&mut policy).expect("straight run succeeds")
+}
+
+/// Runs `config` to `split` steps, round-trips a policy-inclusive
+/// snapshot through bytes, restores a fresh engine + policy from it,
+/// and finishes.
+fn split_run(config: SimConfig, split: u64) -> baat_sim::SimReport {
+    let mut sim = Simulation::new(config.clone()).expect("sim builds");
+    let mut policy = RoundRobinPolicy::new();
+    sim.run_steps(&mut policy, split).expect("prefix runs");
+    let bytes = sim.snapshot_with_policy(&policy).to_bytes();
+    drop(sim);
+    let snapshot = SimSnapshot::from_bytes(&bytes).expect("bytes parse back");
+    let resumed = Simulation::restore(config, &snapshot).expect("snapshot restores");
+    let mut fresh_policy = RoundRobinPolicy::new();
+    assert!(
+        snapshot.apply_policy_state(&mut fresh_policy),
+        "policy names match, so state must apply"
+    );
+    resumed
+        .run_remaining(&mut fresh_policy)
+        .expect("resumed run succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A simulation cloned (via snapshot bytes) at an arbitrary step and
+    /// finished equals the uninterrupted run — both chemistries, with a
+    /// non-empty fault plan in the mix.
+    #[test]
+    fn resume_at_any_step_is_bit_identical(
+        weather in weather_strategy(),
+        chemistry in chemistry_strategy(),
+        seed in 0u64..500,
+        nodes in 2usize..6,
+        split_permille in 1u64..999,
+    ) {
+        let config = faulted_config(chemistry, weather, seed, nodes);
+        let split = (total_steps(&config) * split_permille / 1000).max(1);
+        let straight = straight_run(config.clone());
+        let resumed = split_run(config, split);
+        // Report equality covers aging, throughput, recorder rows and
+        // the event log; JSONL byte-equality additionally pins the
+        // serialized artifacts CI compares.
+        prop_assert_eq!(&straight, &resumed);
+        prop_assert_eq!(straight.events.to_jsonl(), resumed.events.to_jsonl());
+        prop_assert_eq!(
+            straight.recorder.to_jsonl(),
+            resumed.recorder.to_jsonl()
+        );
+    }
+
+    /// Fault-free runs resume identically too (the injector state is
+    /// empty but still round-trips).
+    #[test]
+    fn clean_runs_resume_identically(
+        weather in weather_strategy(),
+        chemistry in chemistry_strategy(),
+        seed in 0u64..500,
+    ) {
+        let config = coarse_config(chemistry, weather, seed, 4);
+        let split = total_steps(&config) / 2;
+        let straight = straight_run(config.clone());
+        let resumed = split_run(config, split);
+        prop_assert_eq!(straight, resumed);
+    }
+
+    /// The state hash is position-independent: pausing a run at STEP and
+    /// restoring an earlier checkpoint then re-stepping to STEP land on
+    /// the same hash — the invariant `console replay` prints.
+    #[test]
+    fn replay_lands_on_the_paused_state_hash(
+        weather in weather_strategy(),
+        chemistry in chemistry_strategy(),
+        seed in 0u64..500,
+    ) {
+        let config = faulted_config(chemistry, weather, seed, 4);
+        let steps = total_steps(&config);
+        let (checkpoint, target) = (steps / 4, steps / 2);
+
+        let mut paused = Simulation::new(config.clone()).expect("sim builds");
+        let mut policy = RoundRobinPolicy::new();
+        paused.run_steps(&mut policy, target).expect("paused run");
+        let paused_hash = paused.state_hash();
+
+        let mut sim = Simulation::new(config.clone()).expect("sim builds");
+        let mut policy = RoundRobinPolicy::new();
+        sim.run_steps(&mut policy, checkpoint).expect("prefix runs");
+        let bytes = sim.snapshot_with_policy(&policy).to_bytes();
+        let snapshot = SimSnapshot::from_bytes(&bytes).expect("bytes parse");
+        let mut replayed = Simulation::restore(config, &snapshot).expect("restores");
+        let mut fresh = RoundRobinPolicy::new();
+        snapshot.apply_policy_state(&mut fresh);
+        replayed
+            .run_steps(&mut fresh, target - checkpoint)
+            .expect("replay steps");
+        prop_assert_eq!(replayed.state_hash(), paused_hash);
+    }
+}
+
+#[test]
+fn unsupported_version_is_a_typed_error() {
+    let config = coarse_config(Chemistry::LeadAcid, Weather::Cloudy, 7, 3);
+    let sim = Simulation::new(config.clone()).expect("sim builds");
+    let mut snapshot = sim.snapshot();
+    snapshot.version = SNAPSHOT_VERSION + 1;
+    match Simulation::restore(config, &snapshot)
+        .err()
+        .expect("restore must fail")
+    {
+        SimError::Snapshot(SnapshotError::UnsupportedVersion { found, expected }) => {
+            assert_eq!(found, SNAPSHOT_VERSION + 1);
+            assert_eq!(expected, SNAPSHOT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn config_skew_is_a_typed_error() {
+    let config = coarse_config(Chemistry::LeadAcid, Weather::Cloudy, 7, 3);
+    let sim = Simulation::new(config).expect("sim builds");
+    let snapshot = sim.snapshot();
+    // Same shape, different seed: the config hash must catch it.
+    let skewed = coarse_config(Chemistry::LeadAcid, Weather::Cloudy, 8, 3);
+    match Simulation::restore(skewed, &snapshot)
+        .err()
+        .expect("restore must fail")
+    {
+        SimError::Snapshot(SnapshotError::ConfigMismatch { snapshot, config }) => {
+            assert_ne!(snapshot, config);
+        }
+        other => panic!("expected ConfigMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn chemistry_skew_is_a_typed_error() {
+    let config = coarse_config(Chemistry::LeadAcid, Weather::Cloudy, 7, 3);
+    let sim = Simulation::new(config).expect("sim builds");
+    let snapshot = sim.snapshot();
+    let li_ion = coarse_config(Chemistry::LiIon, Weather::Cloudy, 7, 3);
+    match Simulation::restore(li_ion, &snapshot)
+        .err()
+        .expect("restore must fail")
+    {
+        SimError::Snapshot(SnapshotError::ChemistryMismatch { snapshot, config }) => {
+            assert_eq!(snapshot, Chemistry::LeadAcid);
+            assert_eq!(config, Chemistry::LiIon);
+        }
+        other => panic!("expected ChemistryMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_and_corrupt_files_are_typed_errors() {
+    let config = coarse_config(Chemistry::LeadAcid, Weather::Cloudy, 7, 3);
+    let sim = Simulation::new(config).expect("sim builds");
+    let bytes = sim.snapshot().to_bytes();
+
+    // Every prefix must fail cleanly, never panic.
+    for cut in [0, 4, 8, 12, 13, 21, 29, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            SimSnapshot::from_bytes(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes must not parse"
+        );
+    }
+    // A flipped body bit fails the checksum.
+    let mut corrupt = bytes.clone();
+    let mid = 37 + (corrupt.len() - 37) / 2;
+    corrupt[mid] ^= 0x01;
+    match SimSnapshot::from_bytes(&corrupt) {
+        Err(SnapshotError::Corrupt { .. }) => {}
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+/// `checkpoint_every` sinks snapshots at interior boundaries only, and
+/// the checkpointed run's report equals the uninterrupted one.
+#[test]
+fn checkpoint_every_sinks_interior_boundaries_and_matches_straight_run() {
+    let config = faulted_config(Chemistry::LeadAcid, Weather::Cloudy, 11, 4);
+    let steps = total_steps(&config);
+    let every = 50;
+
+    let straight = straight_run(config.clone());
+
+    let sim = Simulation::new(config).expect("sim builds");
+    let mut policy = RoundRobinPolicy::new();
+    let mut seen = Vec::new();
+    let report = sim
+        .checkpoint_every(&mut policy, every, |snap| {
+            seen.push(snap.state.step_index);
+            Ok(())
+        })
+        .expect("checkpointed run succeeds");
+
+    let expected: Vec<u64> = (1..)
+        .map(|i| i * every)
+        .take_while(|&s| s < steps)
+        .collect();
+    assert_eq!(
+        seen, expected,
+        "interior boundaries only, no final snapshot"
+    );
+    assert_eq!(straight, report);
+}
+
+/// Resuming from the *last* snapshot of an interrupted checkpointed run
+/// reproduces the uninterrupted artifacts — the library half of the CI
+/// kill-and-resume cell.
+#[test]
+fn interrupted_checkpoint_run_resumes_to_identical_artifacts() {
+    let config = faulted_config(Chemistry::LiIon, Weather::Rainy, 23, 4);
+    let steps = total_steps(&config);
+    let straight = straight_run(config.clone());
+
+    // "Interrupt" by running only to the third boundary, keeping the
+    // snapshot bytes a killed process would have flushed to disk.
+    let every = steps / 5;
+    let mut sim = Simulation::new(config.clone()).expect("sim builds");
+    let mut policy = RoundRobinPolicy::new();
+    sim.run_steps(&mut policy, every * 3).expect("prefix runs");
+    let bytes = sim.snapshot_with_policy(&policy).to_bytes();
+    drop(sim);
+
+    let snapshot = SimSnapshot::from_bytes(&bytes).expect("bytes parse");
+    let resumed = Simulation::restore(config, &snapshot).expect("restores");
+    let mut fresh = RoundRobinPolicy::new();
+    snapshot.apply_policy_state(&mut fresh);
+    let report = resumed.run_remaining(&mut fresh).expect("resumed run");
+    assert_eq!(straight.events.to_jsonl(), report.events.to_jsonl());
+    assert_eq!(straight.recorder.to_jsonl(), report.recorder.to_jsonl());
+    assert_eq!(straight, report);
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/checkpoint_v1.snap")
+}
+
+/// The golden checkpoint's scenario: fixed chemistry, weather, seed,
+/// fleet and fault plan, snapshotted at step 120 of 288.
+fn golden_config() -> SimConfig {
+    faulted_config(Chemistry::LeadAcid, Weather::Cloudy, 4242, 4)
+}
+
+const GOLDEN_SPLIT: u64 = 120;
+
+fn golden_bytes_now() -> Vec<u8> {
+    let mut sim = Simulation::new(golden_config()).expect("sim builds");
+    let mut policy = RoundRobinPolicy::new();
+    sim.run_steps(&mut policy, GOLDEN_SPLIT)
+        .expect("prefix runs");
+    sim.snapshot_with_policy(&policy).to_bytes()
+}
+
+/// The committed checkpoint file — written by an earlier process — still
+/// parses, carries format version 1 and the scenario's config hash, and
+/// byte-matches what the current encoder produces.
+#[test]
+fn golden_checkpoint_file_is_byte_stable() {
+    let actual = golden_bytes_now();
+    let path = golden_path();
+    if std::env::var_os("BAAT_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden checkpoint");
+    }
+    let committed = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden checkpoint {} ({e}); regenerate with BAAT_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed, actual,
+        "snapshot encoding drifted from the committed checkpoint; an \
+         intentional format change must bump SNAPSHOT_VERSION and \
+         regenerate with BAAT_UPDATE_GOLDEN=1"
+    );
+}
+
+/// Cross-process resume: restoring the committed checkpoint file and
+/// finishing the run matches a from-scratch run bit for bit.
+#[test]
+fn golden_checkpoint_resumes_identically_across_processes() {
+    let path = golden_path();
+    if std::env::var_os("BAAT_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, golden_bytes_now()).expect("write golden checkpoint");
+    }
+    let snapshot = SimSnapshot::read_file(&path).unwrap_or_else(|e| {
+        panic!("golden checkpoint unreadable ({e}); regenerate with BAAT_UPDATE_GOLDEN=1")
+    });
+    assert_eq!(snapshot.version, SNAPSHOT_VERSION);
+    assert_eq!(snapshot.chemistry, Chemistry::LeadAcid);
+    assert_eq!(snapshot.config_hash, config_hash(&golden_config()));
+    assert_eq!(snapshot.state.step_index, GOLDEN_SPLIT);
+
+    let resumed = Simulation::restore(golden_config(), &snapshot).expect("restores");
+    let mut policy = RoundRobinPolicy::new();
+    assert!(snapshot.apply_policy_state(&mut policy));
+    let report = resumed.run_remaining(&mut policy).expect("resumed run");
+    let straight = straight_run(golden_config());
+    assert_eq!(straight, report);
+}
+
+/// A policy with a different name than the snapshot's recorded state
+/// keeps its fresh state (no cross-policy contamination).
+#[test]
+fn policy_state_only_applies_to_the_matching_policy() {
+    struct Renamed(RoundRobinPolicy);
+    impl Policy for Renamed {
+        fn name(&self) -> &'static str {
+            "renamed"
+        }
+        fn control(
+            &mut self,
+            view: &baat_sim::SystemView,
+            ctx: &baat_sim::ControlCtx<'_>,
+        ) -> Vec<baat_sim::Action> {
+            self.0.control(view, ctx)
+        }
+        fn placement_order(
+            &mut self,
+            kind: baat_workload::WorkloadKind,
+            view: &baat_sim::SystemView,
+        ) -> Vec<usize> {
+            self.0.placement_order(kind, view)
+        }
+        fn save_state(&self) -> Vec<u64> {
+            self.0.save_state()
+        }
+        fn load_state(&mut self, state: &[u64]) {
+            self.0.load_state(state);
+        }
+    }
+
+    let config = coarse_config(Chemistry::LeadAcid, Weather::Sunny, 3, 3);
+    let mut sim = Simulation::new(config).expect("sim builds");
+    let mut policy = RoundRobinPolicy::new();
+    sim.run_steps(&mut policy, 50).expect("prefix runs");
+    let snapshot = sim.snapshot_with_policy(&policy);
+
+    let mut other = Renamed(RoundRobinPolicy::new());
+    assert!(!snapshot.apply_policy_state(&mut other));
+    assert_eq!(other.0.save_state(), RoundRobinPolicy::new().save_state());
+}

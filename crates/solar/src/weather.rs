@@ -107,6 +107,22 @@ impl CloudProcess {
         self.weather
     }
 
+    /// Checkpoint view: the RNG stream position and the AR(1) state.
+    pub fn state(&self) -> ([u64; 4], f64) {
+        (self.rng.state(), self.state)
+    }
+
+    /// Rebuilds a process at a saved position (see
+    /// [`CloudProcess::state`]).
+    pub fn restore(weather: Weather, rng_state: [u64; 4], ar_state: f64) -> Self {
+        Self {
+            weather,
+            rng: StdRng::from_state(rng_state),
+            state: ar_state,
+            rho: 0.9,
+        }
+    }
+
     /// Advances the process one step and returns the attenuation factor
     /// in `[0.02, 1]` to multiply into the clear-sky irradiance.
     pub fn step(&mut self) -> f64 {

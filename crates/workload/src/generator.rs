@@ -37,6 +37,20 @@ impl WorkloadGenerator {
         }
     }
 
+    /// Checkpoint view: the RNG stream position and the next VM id.
+    pub fn state(&self) -> ([u64; 4], u64) {
+        (self.rng.state(), self.next_id)
+    }
+
+    /// Rebuilds a generator at a saved position (see
+    /// [`WorkloadGenerator::state`]).
+    pub fn restore(rng_state: [u64; 4], next_id: u64) -> Self {
+        Self {
+            rng: StdRng::from_state(rng_state),
+            next_id,
+        }
+    }
+
     /// Allocates the next VM for a workload.
     pub fn spawn(&mut self, kind: WorkloadKind) -> Vm {
         let id = VmId(self.next_id);

@@ -42,4 +42,4 @@ pub use apps::WorkloadKind;
 pub use error::WorkloadError;
 pub use generator::{Arrival, WorkloadGenerator};
 pub use profile::{DemandClass, EnergyDemand, PowerDemand, PowerProfile};
-pub use vm::{Vm, VmId, VmState};
+pub use vm::{Vm, VmId, VmSnapshot, VmState};

@@ -32,6 +32,27 @@ pub enum VmState {
     Completed,
 }
 
+/// Raw dynamic fields of a [`Vm`], for checkpointing.
+///
+/// `progress` is the *unclamped* accumulator (services keep counting
+/// past 1.0), so [`Vm::restore`] reproduces the original bit for bit
+/// where [`Vm::progress`] would clamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmSnapshot {
+    /// VM identifier.
+    pub id: VmId,
+    /// The hosted workload.
+    pub kind: WorkloadKind,
+    /// Lifecycle state.
+    pub state: VmState,
+    /// Unclamped completed fraction of nominal work.
+    pub progress: f64,
+    /// Accumulated useful work in core-hours.
+    pub work_done: f64,
+    /// Number of live migrations performed.
+    pub migrations: u32,
+}
+
 /// A virtual machine executing one workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Vm {
@@ -138,6 +159,31 @@ impl Vm {
     pub fn resume(&mut self) {
         if matches!(self.state, VmState::Paused | VmState::Migrating) {
             self.state = VmState::Running;
+        }
+    }
+
+    /// Captures the VM's full dynamic state for checkpointing.
+    pub fn capture(&self) -> VmSnapshot {
+        VmSnapshot {
+            id: self.id,
+            kind: self.kind,
+            state: self.state,
+            progress: self.progress,
+            work_done: self.work_done,
+            migrations: self.migrations,
+        }
+    }
+
+    /// Rebuilds a VM from a captured snapshot, bit-identical to the
+    /// original at capture time.
+    pub fn restore(s: VmSnapshot) -> Self {
+        Self {
+            id: s.id,
+            kind: s.kind,
+            state: s.state,
+            progress: s.progress,
+            work_done: s.work_done,
+            migrations: s.migrations,
         }
     }
 
