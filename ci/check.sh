@@ -9,7 +9,10 @@
 #   replay — checkpoint/kill/resume gate: an interrupted checkpointing
 #            run resumed in a fresh process must byte-match the
 #            uninterrupted run's artifacts
-#   fleet  — 1k-host fleet-scale smoke (release, thread-invariance)
+#   fleet  — fleet-scale smoke (release): 1k-host wall-clock budget +
+#            thread-invariance, 8-thread sharding speedup gate, 10k-host
+#            smoke. `fleet --threads N` runs the wall-clock gates with N
+#            engine threads (exported as BAAT_ENGINE_THREADS)
 #   perf   — perf regression gate against the committed baseline
 #   all    — every mode above, in order (the default)
 #
@@ -27,6 +30,21 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 MODE="${1:-all}"
+if [[ $# -gt 0 ]]; then shift; fi
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+    --threads)
+        # Engine worker threads for the fleet wall-clock gates (intra-step
+        # sharding; distinct from BAAT_RUNNER_THREADS scenario fan-out).
+        export BAAT_ENGINE_THREADS="${2:?--threads needs a count}"
+        shift 2
+        ;;
+    *)
+        echo "error: unknown argument '$1' (supported: --threads N)" >&2
+        exit 2
+        ;;
+    esac
+done
 
 # Temp dirs registered here are removed on exit, whichever modes ran.
 CLEANUP_DIRS=()
@@ -175,11 +193,13 @@ run_replay() {
 }
 
 run_fleet() {
-    echo "==> fleet-scale smoke (1k hosts, release)"
-    # A seeded 1,000-host control interval must fit the wall-clock
-    # budget, and a full 1k-host day must be byte-identical between 1
-    # and 8 runner threads. `--ignored` selects the release-only
-    # fleet gates; the small always-on fleet test rides along.
+    echo "==> fleet-scale smoke (1k + 10k hosts, release, ${BAAT_ENGINE_THREADS:-1} engine threads)"
+    # A seeded 1,000-host window must fit the wall-clock budget at the
+    # requested engine thread count, the 8-thread sharded engine must be
+    # >=4x faster than sequential (skipped below 8 CPUs), a 10k-host
+    # window must fit its own budget, and a full 1k-host day must be
+    # byte-identical between 1 and 8 runner threads. `--ignored` selects
+    # the release-only fleet gates; the small always-on test rides along.
     cargo test --release -p baat-bench --test fleet -- --include-ignored
 }
 
@@ -187,7 +207,7 @@ run_perf() {
     if [[ "${BAAT_SKIP_PERF:-0}" != "1" ]]; then
         echo "==> perf regression smoke (set BAAT_SKIP_PERF=1 to skip)"
         # Re-measures the hot paths and fails when best-case throughput
-        # falls >20% below the committed BENCH_6.json baseline, or when
+        # falls >20% below the committed BENCH_9.json baseline, or when
         # tracing+health overhead on a faulted day exceeds 1µs/step.
         cargo bench -p baat-bench --bench perf -- --check
     else

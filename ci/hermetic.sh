@@ -33,6 +33,19 @@ while IFS= read -r manifest; do
     ' "$manifest" || fail=1
 done < <(find . -name Cargo.toml -not -path "./target/*")
 
+# --- 1b. baat-exec: zero dependencies, full stop. ---------------------------
+# The worker pool is the one crate allowed `unsafe`; keeping its
+# dependency section empty keeps that audit surface self-contained (and
+# guarantees the engine's parallelism never grows a hidden runtime).
+if awk '
+    /^\[/ { in_deps = ($0 ~ /^\[dependencies\]/); next }
+    in_deps && /^[[:space:]]*[A-Za-z0-9_.-]+[[:space:]]*=/ { found = 1 }
+    END { exit !found }
+' crates/exec/Cargo.toml; then
+    echo "crates/exec/Cargo.toml declares dependencies — the worker pool must stay dependency-free"
+    fail=1
+fi
+
 # --- 2. Lockfile: no registry or git sources. ------------------------------
 if [ ! -f Cargo.lock ]; then
     echo "Cargo.lock missing — commit it so offline builds are reproducible"

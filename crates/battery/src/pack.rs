@@ -271,6 +271,14 @@ impl BatteryPack {
         self.units.iter_mut()
     }
 
+    /// The units as one mutable slice — the sharding seam: the engine
+    /// splits the pack into disjoint per-bank ranges (`split_at_mut`)
+    /// so independent banks step on separate threads. Each unit owns
+    /// its memo caches, so a `&mut` range is safe to step in isolation.
+    pub fn units_mut(&mut self) -> &mut [AnyBattery] {
+        &mut self.units
+    }
+
     /// Index of the unit with the highest accumulated damage (the paper's
     /// "worst battery node").
     pub fn most_aged(&self) -> usize {

@@ -59,6 +59,12 @@
 //! PV, one service per host plus nine batch jobs per host per day, and
 //! throttled trace recording. `console --fleet 1000 --seed 7` is a
 //! deterministic 1000-host day.
+//!
+//! `--threads N` shards the engine's per-bank stages across `N` worker
+//! threads (see `DESIGN.md` §13). Results are bit-identical at any
+//! count, so the flag is a pure speed knob: it is not recorded in
+//! `run.jsonl`, and checkpoints move freely between thread counts.
+//! `console --fleet 1000 --threads 8` is the fast 1000-host day.
 
 use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
@@ -87,6 +93,10 @@ struct Args {
     csv: Option<String>,
     jsonl: Option<String>,
     profile: bool,
+    /// `--threads`: engine worker threads for intra-step sharding.
+    /// Results are bit-identical at any count, so this is a pure
+    /// speed knob and is deliberately absent from `run.jsonl`.
+    threads: usize,
     /// `--every`: simulated minutes per frame for `watch`, steps per
     /// snapshot for `checkpoint` (each defaults separately when unset).
     every: Option<u64>,
@@ -123,7 +133,8 @@ fn usage() -> ! {
          [--weather sunny,cloudy,rainy] [--seed N] [--old] \
          [--topology per-server|shared:K] [--chemistry lead-acid|li-ion] \
          [--fleet N] [--faults light|heavy[:SEED]] \
-         [--csv PATH] [--jsonl DIR] [--profile] [--every N] [--dir DIR]\n\
+         [--csv PATH] [--jsonl DIR] [--profile] [--threads N] \
+         [--every N] [--dir DIR]\n\
          \x20      console diff A.jsonl B.jsonl\n\
          \x20      console trace-check spans.jsonl\n\
          \x20      console checkpoint --dir DIR [--every STEPS] [scenario flags]\n\
@@ -147,6 +158,7 @@ fn parse_args() -> Args {
         csv: None,
         jsonl: None,
         profile: false,
+        threads: 1,
         every: None,
         dir: None,
         replay_to: None,
@@ -267,6 +279,13 @@ fn parse_args() -> Args {
             "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
             "--jsonl" => args.jsonl = Some(it.next().unwrap_or_else(|| usage())),
             "--profile" => args.profile = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t > 0)
+                    .unwrap_or_else(|| usage());
+            }
             "--every" => {
                 args.every = Some(
                     it.next()
@@ -384,6 +403,10 @@ struct RunSpec {
     fleet: Option<usize>,
     /// Fault mix and the resolved plan seed.
     faults: Option<(FaultMix, u64)>,
+    /// Engine worker threads. Not part of run identity (results are
+    /// bit-identical at any count), so `from_metadata` restores checked
+    /// runs at 1 and `--threads` only accelerates live runs.
+    threads: usize,
 }
 
 impl RunSpec {
@@ -400,6 +423,7 @@ impl RunSpec {
                 .faults
                 .as_ref()
                 .map(|(mix, plan_seed)| (*mix, plan_seed.unwrap_or(args.seed))),
+            threads: args.threads,
         }
     }
 
@@ -412,7 +436,8 @@ impl RunSpec {
             .dt(SimDuration::from_secs(30))
             .sample_every(10)
             .topology(self.topology)
-            .seed(self.seed);
+            .seed(self.seed)
+            .threads(self.threads);
         if let Some(n) = self.fleet {
             // Applied after the defaults above so the fleet profile's
             // node count, PV sizing, workload and trace throttling win.
@@ -510,6 +535,7 @@ impl RunSpec {
             chemistry,
             fleet: jsonq::extract_u64(meta, "fleet").map(|n| n as usize),
             faults,
+            threads: 1,
         })
     }
 }

@@ -5,10 +5,11 @@
 //!
 //! Figure and ablation sweeps are embarrassingly parallel: every
 //! scenario owns its full simulation state and its own seed, so
-//! [`run_scenarios`] fans them out across `std::thread::scope` workers.
+//! [`run_scenarios`] fans them out across a [`baat_exec::ExecPool`] —
+//! the same worker pool the engine uses for intra-step sharding.
 //! Determinism is preserved by construction — a scenario's result is a
-//! pure function of its [`Scenario`] value, results are written back by
-//! scenario index, and nothing about scheduling order can leak into a
+//! pure function of its [`Scenario`] value, the pool returns results in
+//! item order, and nothing about scheduling order can leak into a
 //! [`SimReport`]. The same scenario list therefore produces
 //! **bit-identical** reports on 1 thread and on N (verified by
 //! `tests/determinism.rs`).
@@ -527,55 +528,23 @@ pub fn run_scenarios_warmstart_with_threads(
 
 /// Order-preserving parallel map over independent jobs.
 ///
-/// Jobs are pulled from a shared atomic cursor by `threads` scoped
-/// workers; each result lands in its input's slot, so the output order
-/// (and therefore every downstream table) is independent of scheduling.
+/// Jobs run on a [`baat_exec::ExecPool`] of `threads` workers; the pool
+/// hands results back in item order, so the output order (and therefore
+/// every downstream table) is independent of scheduling. Runner jobs are
+/// whole simulations (seconds each), so a per-call pool spin-up is noise
+/// here — unlike the engine's per-step batches, which hold one pool for
+/// the run's lifetime.
 pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
     let threads = threads.clamp(1, items.len().max(1));
     if threads == 1 {
         return items.into_iter().map(f).collect();
     }
-
-    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    let slots: Vec<Mutex<Option<U>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    let f = &f;
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(index) else { break };
-                let item = job
-                    .lock()
-                    .expect("job mutex cannot be poisoned: items are taken, not mutated")
-                    .take()
-                    .expect("each index is claimed exactly once");
-                let result = f(item);
-                *slots[index]
-                    .lock()
-                    .expect("slot mutex cannot be poisoned: results are stored, not mutated") =
-                    Some(result);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("scope joined all workers")
-                .expect("every slot was filled")
-        })
-        .collect()
+    baat_exec::ExecPool::new(threads).map(items, f)
 }
 
 #[cfg(test)]

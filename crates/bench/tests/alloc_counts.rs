@@ -55,7 +55,7 @@ fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
 
 /// Allocations per step the committed baseline budgets for the engine's
 /// own step loop (events, queues, amortized growth) — see the `allocs`
-/// record in `BENCH_6.json`. Disabled observability must not add to it.
+/// record in `BENCH_9.json`. Disabled observability must not add to it.
 const STEP_ALLOC_BUDGET: f64 = 10.0;
 
 fn faulted_day_config() -> SimConfig {

@@ -5,9 +5,10 @@
 //! per host per day) while staying deterministic from the seed alone.
 //! The always-on test pins thread-invariance at a small fleet; the
 //! `--ignored` tests are the CI fleet gate — a seeded 1000-host run
-//! whose in-window control steps must fit a wall-clock budget and whose
-//! report must be byte-identical across runner thread counts. Run them
-//! release-mode:
+//! whose in-window control steps must fit a wall-clock budget (at the
+//! engine thread count from `BAAT_ENGINE_THREADS`), an 8-thread
+//! sharding speedup gate, a 10 000-host wall-clock smoke, and
+//! byte-identity across runner thread counts. Run them release-mode:
 //!
 //! ```text
 //! cargo test --release -p baat-bench --test fleet -- --ignored
@@ -18,7 +19,7 @@ use std::time::Instant;
 use baat_bench::runner::{fleet_config, run_scenarios_with_threads, scenario_seed, Scenario};
 use baat_core::Scheme;
 use baat_obs::Obs;
-use baat_sim::Simulation;
+use baat_sim::{EngineThreads, SimConfig, Simulation};
 use baat_solar::Weather;
 
 /// Wall-clock budget for the timed 1000-host control-interval window,
@@ -28,6 +29,38 @@ fn budget_secs() -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(20.0)
+}
+
+/// Engine worker threads for the wall-clock gates: `BAAT_ENGINE_THREADS`
+/// when set (the CI fleet matrix's multi-thread cell exports it), else 1.
+/// Distinct from `BAAT_RUNNER_THREADS`, which fans out whole scenarios;
+/// this knob shards *inside* one simulation's step.
+fn engine_threads() -> usize {
+    std::env::var("BAAT_ENGINE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(1)
+}
+
+fn with_engine_threads(mut config: SimConfig, threads: usize) -> SimConfig {
+    config.threads = EngineThreads::new(threads);
+    config
+}
+
+/// Warm a fleet simulation to the 08:30 control-window start, then time
+/// `timed_secs` of simulated in-window stepping. Returns elapsed seconds.
+fn timed_window_secs(config: SimConfig, timed_secs: u64) -> f64 {
+    let dt = config.dt.as_secs();
+    let warmup_steps = (8 * 3600 + 1800) / dt; // midnight → 08:30 window start
+    let timed_steps = timed_secs / dt;
+    let mut sim = Simulation::with_obs(config, Obs::disabled()).expect("valid fleet config");
+    let mut policy = Scheme::Baat.build();
+    sim.run_steps(&mut policy, warmup_steps).expect("warmup");
+    let started = Instant::now();
+    sim.run_steps(&mut policy, timed_steps)
+        .expect("timed window");
+    started.elapsed().as_secs_f64()
 }
 
 #[test]
@@ -62,21 +95,65 @@ fn small_fleet_is_deterministic_across_runner_threads() {
 #[test]
 #[ignore = "release-mode fleet gate: run with --ignored"]
 fn fleet_1k_control_hour_fits_wall_clock_budget() {
-    let config = fleet_config(1000, Weather::Cloudy, 7);
-    let dt = config.dt.as_secs();
-    let warmup_steps = (8 * 3600 + 1800) / dt; // midnight → 08:30 window start
-    let timed_steps = 3600 / dt; // one simulated hour in-window
-    let mut sim = Simulation::with_obs(config, Obs::disabled()).expect("valid fleet config");
-    let mut policy = Scheme::Baat.build();
-    sim.run_steps(&mut policy, warmup_steps).expect("warmup");
-    let started = Instant::now();
-    sim.run_steps(&mut policy, timed_steps).expect("timed hour");
-    let elapsed = started.elapsed().as_secs_f64();
+    let config = with_engine_threads(fleet_config(1000, Weather::Cloudy, 7), engine_threads());
+    let elapsed = timed_window_secs(config, 3600); // one simulated hour
     let budget = budget_secs();
     assert!(
         elapsed < budget,
-        "1000-host in-window hour took {elapsed:.2}s, budget {budget}s \
-         (override with BAAT_FLEET_BUDGET_SECS)"
+        "1000-host in-window hour took {elapsed:.2}s at {} engine threads, budget {budget}s \
+         (override with BAAT_FLEET_BUDGET_SECS)",
+        engine_threads()
+    );
+}
+
+/// The sharding payoff gate: the 1000-host in-window hour must run at
+/// least [`min_speedup`](BAAT_FLEET_MIN_SPEEDUP) times faster with 8
+/// engine threads than with 1. Skipped (vacuously passing) on hosts
+/// with fewer than 8 CPUs, where the target is unreachable by
+/// construction.
+#[test]
+#[ignore = "release-mode fleet gate: run with --ignored"]
+fn fleet_1k_day_speeds_up_at_least_4x_at_8_threads() {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cpus < 8 {
+        eprintln!("fleet speedup gate skipped: only {cpus} CPUs available, need 8");
+        return;
+    }
+    let min_speedup: f64 = std::env::var("BAAT_FLEET_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4.0);
+    let config = |threads| with_engine_threads(fleet_config(1000, Weather::Cloudy, 7), threads);
+    // Untimed warm pass so page-cache/allocator state is comparable.
+    let _ = timed_window_secs(config(8), 600);
+    let sequential = timed_window_secs(config(1), 3600);
+    let sharded = timed_window_secs(config(8), 3600);
+    let speedup = sequential / sharded.max(1e-9);
+    assert!(
+        speedup >= min_speedup,
+        "1000-host in-window hour: {sequential:.2}s at 1 thread vs {sharded:.2}s at 8 \
+         ({speedup:.2}x, need {min_speedup}x; override with BAAT_FLEET_MIN_SPEEDUP)"
+    );
+}
+
+/// The 10 000-host smoke: a quarter simulated hour in-window must fit a
+/// (generous, overridable) wall-clock budget at the matrix's engine
+/// thread count. Catches super-linear blowups in placement, telemetry or
+/// the shard merge at an order of magnitude beyond the 1k gate.
+#[test]
+#[ignore = "release-mode fleet gate: run with --ignored"]
+fn fleet_10k_quarter_hour_fits_wall_clock_budget() {
+    let budget: f64 = std::env::var("BAAT_FLEET_10K_BUDGET_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120.0);
+    let config = with_engine_threads(fleet_config(10_000, Weather::Cloudy, 7), engine_threads());
+    let elapsed = timed_window_secs(config, 900);
+    assert!(
+        elapsed < budget,
+        "10000-host in-window quarter hour took {elapsed:.2}s at {} engine threads, \
+         budget {budget}s (override with BAAT_FLEET_10K_BUDGET_SECS)",
+        engine_threads()
     );
 }
 

@@ -1,0 +1,409 @@
+//! In-tree scoped worker pool for deterministic fan-out/merge.
+//!
+//! The workspace is hermetic (no rayon), so this crate provides the one
+//! primitive the engine and the bench runner need: run `N` independent
+//! tasks on a fixed set of persistent workers and hand the results back
+//! **in task-index order**. Determinism is the caller's contract — a
+//! task may only touch state disjoint from every other task's — and the
+//! pool's contract is that the returned `Vec` is ordered by task index,
+//! so a sequential merge over it reproduces the single-threaded fold
+//! order bit-for-bit.
+//!
+//! Design, sized for per-simulation-step batches (tens of microseconds
+//! of work, dispatched tens of thousands of times per simulated day):
+//!
+//! * **Persistent workers.** [`ExecPool::new`] spawns `threads - 1`
+//!   workers once; [`ExecPool::run`] never spawns. (A scoped-thread
+//!   pool would pay ~10 µs of spawn latency per worker per batch —
+//!   more than the batch itself.)
+//! * **Epoch dispatch with a spin fast-path.** Each batch bumps an
+//!   epoch. Idle workers spin briefly on the epoch atomic before
+//!   sleeping on a condvar, so back-to-back batches (the step loop)
+//!   avoid futex round-trips.
+//! * **Mutex-guarded task claiming.** Workers claim task indices under
+//!   the batch mutex. Batches here are coarse (one task per shard, a
+//!   handful of shards), so a lock per claim is noise — and it makes
+//!   stale execution impossible by construction: a worker can only
+//!   observe the current batch's job pointer.
+//! * **Caller participation.** The calling thread claims tasks too,
+//!   then waits on a completion counter; `threads = N` means `N` CPUs
+//!   are busy, not `N + 1` threads fighting over `N` cores.
+//!
+//! A panicking task does not poison the pool: the panic is caught,
+//! the batch completes, and the payload is re-thrown on the caller.
+//!
+//! ```
+//! use baat_exec::ExecPool;
+//!
+//! let pool = ExecPool::new(4);
+//! let squares = pool.run(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Iterations an idle worker spins on the epoch atomic before sleeping
+/// on the condvar. Sized to cover the inter-batch gap of a hot step
+/// loop (~1 µs) without burning a core when the pool is actually idle.
+const SPIN_BUDGET: u32 = 4_096;
+
+/// Lifetime-erased reference to the current batch's task closure. The
+/// `'static` is a lie told once, inside [`ExecPool::run`]: the pointee
+/// lives on `run`'s stack, and the erasure is sound because a worker
+/// only obtains a `Job` under the batch mutex in the same critical
+/// section that claims a task index — so it is always the *current*
+/// batch's closure — and `run` blocks on the completion counter until
+/// every claimed task has executed before letting the closure drop.
+#[derive(Clone, Copy)]
+struct Job(&'static (dyn Fn(usize) + Sync));
+
+/// The current batch, guarded by one mutex: workers read the job and
+/// claim indices only under this lock, so a worker can never run a
+/// stale job against a new batch's cursor.
+struct Batch {
+    /// Monotonic batch id; bumped by every [`ExecPool::run`].
+    epoch: u64,
+    /// The batch's task closure; `None` once the cursor drains.
+    job: Option<Job>,
+    /// Next unclaimed task index.
+    cursor: usize,
+    /// Total tasks in the batch.
+    tasks: usize,
+}
+
+struct Shared {
+    batch: Mutex<Batch>,
+    work_cv: Condvar,
+    /// Mirror of `batch.epoch` readable without the mutex — the
+    /// workers' spin fast-path.
+    epoch: AtomicU64,
+    /// Tasks completed in the current batch (claimed *and* executed).
+    finished: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size worker pool; see the crate docs for the design.
+pub struct ExecPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes batches: one `run` at a time, so the single shared
+    /// batch slot and completion counter are never shared between two
+    /// concurrent callers (e.g. cloned simulations holding one pool).
+    run_lock: Mutex<()>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ExecPool {
+    /// Creates a pool that runs batches on `threads` OS threads total:
+    /// `threads - 1` persistent workers plus the calling thread.
+    /// `threads` is clamped to at least 1; a 1-thread pool spawns
+    /// nothing and [`run`](Self::run) degenerates to a sequential loop.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            batch: Mutex::new(Batch {
+                epoch: 0,
+                job: None,
+                cursor: 0,
+                tasks: 0,
+            }),
+            work_cv: Condvar::new(),
+            epoch: AtomicU64::new(0),
+            finished: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("baat-exec-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            run_lock: Mutex::new(()),
+            threads,
+        }
+    }
+
+    /// Total threads batches run on (workers + the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0..tasks)` across the pool and returns the results in
+    /// task-index order. Blocks until every task completed. If any task
+    /// panicked, the first panic (by task index) is re-thrown here
+    /// after the batch drains, leaving the pool reusable.
+    pub fn run<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if tasks == 0 {
+            return Vec::new();
+        }
+        if self.workers.is_empty() || tasks == 1 {
+            return (0..tasks).map(f).collect();
+        }
+        // One slot per task; each index is claimed exactly once, so
+        // every lock below is uncontended.
+        let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+            (0..tasks).map(|_| Mutex::new(None)).collect();
+        let call = |i: usize| {
+            let result = catch_unwind(AssertUnwindSafe(|| f(i)));
+            *slots[i].lock().expect("slot lock") = Some(result);
+        };
+        // SAFETY: erases the closure's stack lifetime so workers can
+        // hold the pointer. The pointee stays alive and unmoved until
+        // this function returns, and the completion-counter wait below
+        // guarantees no worker dereferences it after that.
+        let job = Job(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(&call)
+        });
+
+        let guard = self.run_lock.lock().expect("run lock");
+        self.shared.finished.store(0, Ordering::Relaxed);
+        {
+            let mut batch = self.shared.batch.lock().expect("batch lock");
+            batch.epoch += 1;
+            batch.job = Some(job);
+            batch.cursor = 0;
+            batch.tasks = tasks;
+            self.shared.epoch.store(batch.epoch, Ordering::Release);
+        }
+        self.shared.work_cv.notify_all();
+
+        // Participate until the cursor drains, then clear the job so
+        // late-waking workers see an exhausted batch.
+        loop {
+            let claimed = {
+                let mut batch = self.shared.batch.lock().expect("batch lock");
+                if batch.cursor >= batch.tasks {
+                    batch.job = None;
+                    None
+                } else {
+                    let i = batch.cursor;
+                    batch.cursor += 1;
+                    Some(i)
+                }
+            };
+            let Some(i) = claimed else { break };
+            call(i);
+            self.shared.finished.fetch_add(1, Ordering::Release);
+        }
+        // Wait for tasks still running on workers. Every claimed index
+        // increments `finished` (panics are caught), so this terminates.
+        let mut spins = 0u32;
+        while self.shared.finished.load(Ordering::Acquire) < tasks {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(SPIN_BUDGET) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        drop(guard);
+
+        let mut out = Vec::with_capacity(tasks);
+        let mut panicked = None;
+        for slot in slots {
+            match slot.into_inner().expect("slot lock").expect("task ran") {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    panicked.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panicked {
+            resume_unwind(payload);
+        }
+        out
+    }
+
+    /// Consumes `items`, applying `f` to each across the pool; results
+    /// come back in item order. The batched equivalent of
+    /// `items.into_iter().map(f).collect()`.
+    pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+        self.run(cells.len(), |i| {
+            let item = cells[i]
+                .lock()
+                .expect("item lock")
+                .take()
+                .expect("each index is claimed exactly once");
+            f(item)
+        })
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        // Fast path: spin briefly for the next batch before sleeping.
+        let mut spins = 0u32;
+        while shared.epoch.load(Ordering::Acquire) == seen
+            && !shared.shutdown.load(Ordering::Relaxed)
+        {
+            spins += 1;
+            if spins >= SPIN_BUDGET {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let mut batch = shared.batch.lock().expect("batch lock");
+        while batch.epoch == seen {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            batch = shared.work_cv.wait(batch).expect("batch lock");
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // Claim and run tasks. The job is re-read under the lock on
+        // every claim, so this loop seamlessly rolls into a newer
+        // batch (and never runs a stale job against it).
+        loop {
+            seen = batch.epoch;
+            let Some(job) = batch.job else { break };
+            if batch.cursor >= batch.tasks {
+                break;
+            }
+            let i = batch.cursor;
+            batch.cursor += 1;
+            drop(batch);
+            (job.0)(i);
+            shared.finished.fetch_add(1, Ordering::Release);
+            batch = shared.batch.lock().expect("batch lock");
+        }
+        drop(batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = ExecPool::new(4);
+        let out = pool.run(64, |i| i * 3);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ExecPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.workers.is_empty());
+        assert_eq!(pool.run(5, |i| i + 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let pool = ExecPool::new(3);
+        assert!(pool.run(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn repeated_batches_reuse_the_same_workers() {
+        let pool = ExecPool::new(4);
+        for round in 0..200 {
+            let out = pool.run(9, move |i| i + round);
+            assert_eq!(out, (round..round + 9).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = ExecPool::new(8);
+        let counts: Vec<AtomicU32> = (0..1_000).map(|_| AtomicU32::new(0)).collect();
+        pool.run(counts.len(), |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn tasks_see_disjoint_mutable_state() {
+        let pool = ExecPool::new(4);
+        let mut data = vec![0u64; 40];
+        let chunks: Vec<Mutex<Option<&mut [u64]>>> =
+            data.chunks_mut(10).map(|c| Mutex::new(Some(c))).collect();
+        pool.run(chunks.len(), |s| {
+            let mut guard = chunks[s].lock().unwrap();
+            for (k, v) in guard.as_mut().unwrap().iter_mut().enumerate() {
+                *v = (s * 10 + k) as u64;
+            }
+        });
+        drop(chunks);
+        assert_eq!(data, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let pool = ExecPool::new(3);
+        let items: Vec<String> = (0..17).map(|i| format!("item-{i}")).collect();
+        let lens = pool.map(items, |s| s.len());
+        assert_eq!(lens.len(), 17);
+        assert_eq!(lens[0], 6);
+        assert_eq!(lens[16], 7);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_and_pool_survives() {
+        let pool = ExecPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                assert!(i != 5, "task five exploded");
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // The pool is still usable after the panic.
+        assert_eq!(pool.run(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn oversubscribed_batches_complete() {
+        let pool = ExecPool::new(2);
+        let out = pool.run(333, |i| i as u64 * 2);
+        assert_eq!(out.len(), 333);
+        assert_eq!(out[332], 664);
+    }
+}

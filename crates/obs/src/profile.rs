@@ -169,6 +169,31 @@ impl StageClock<'_> {
             *prev = Instant::now();
         }
     }
+
+    /// `true` when this clock records (enabled context on a sampled
+    /// step). Parallel stage passes consult this before measuring
+    /// per-shard elapsed time for [`StageClock::add`].
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.ctx.is_some()
+    }
+
+    /// Records `total_ns` of externally measured time against `stage`
+    /// as one call, without moving the boundary. Sharded stage passes
+    /// measure each shard's elapsed nanoseconds on its worker, then add
+    /// the shard-index-ordered sum here — an order-independent integer
+    /// sum, so the aggregate is deterministic in everything but the
+    /// wall-clock readings themselves (which are inherently noisy, see
+    /// the module docs). The recorded value is CPU time across shards,
+    /// not wall time.
+    #[inline]
+    pub fn add(&mut self, stage: Stage, total_ns: u64) {
+        if let Some((inner, _)) = self.ctx.as_ref() {
+            let cell = &inner.stages[stage as usize];
+            cell.calls.fetch_add(1, Ordering::Relaxed);
+            cell.total_ns.fetch_add(total_ns, Ordering::Relaxed);
+        }
+    }
 }
 
 /// RAII guard recording one timed stage execution on drop.

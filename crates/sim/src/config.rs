@@ -48,6 +48,58 @@ impl BatteryTopology {
     }
 }
 
+/// Engine worker-thread count — a *performance* knob, deliberately
+/// invisible to configuration identity.
+///
+/// Sharded stepping is bit-identical at any thread count, so two
+/// configs differing only in `threads` describe the same simulation:
+/// they must compare equal (the bench runner groups warm-started
+/// scenarios by config equality) and must hash identically (snapshot
+/// `config_hash` covers the `Debug` rendering, and a snapshot taken on
+/// an 8-thread run must restore into a 1-thread process). Both are
+/// guaranteed here: `PartialEq` always matches and `Debug` prints a
+/// fixed placeholder.
+#[derive(Clone, Copy)]
+pub struct EngineThreads(usize);
+
+impl EngineThreads {
+    /// Single-threaded stepping (the default).
+    pub const ONE: EngineThreads = EngineThreads(1);
+
+    /// Wraps a thread count; clamped to at least 1.
+    pub fn new(threads: usize) -> Self {
+        Self(threads.max(1))
+    }
+
+    /// The thread count (≥ 1).
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl Default for EngineThreads {
+    fn default() -> Self {
+        Self::ONE
+    }
+}
+
+impl std::fmt::Debug for EngineThreads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Fixed rendering regardless of the count: the snapshot config
+        // hash covers `format!("{config:?}")`, and thread count is not
+        // part of a run's identity.
+        f.write_str("EngineThreads(_)")
+    }
+}
+
+impl PartialEq for EngineThreads {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for EngineThreads {}
+
 /// Full configuration of one green-datacenter simulation.
 ///
 /// Defaults reproduce the paper's prototype: six servers with individual
@@ -69,7 +121,7 @@ impl BatteryTopology {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct SimConfig {
     /// Number of server/battery nodes.
     pub nodes: usize,
@@ -116,6 +168,44 @@ pub struct SimConfig {
     pub faults: FaultPlan,
     /// Master RNG seed (weather, workloads, sensors, manufacturing).
     pub seed: u64,
+    /// Worker threads for sharded stepping (default 1 = sequential).
+    /// Results are bit-identical at any value; excluded from config
+    /// identity and snapshot hashing (see [`EngineThreads`]).
+    pub threads: EngineThreads,
+}
+
+/// Manual `Debug` mirroring the derive output field-for-field — except
+/// `threads`, which is omitted entirely. `crate::config_hash` hashes the
+/// `Debug` rendering, and the worker-thread count must not change config
+/// identity (results are bit-identical at any count), nor may adding the
+/// knob invalidate previously written checkpoints. The golden snapshot
+/// test pins this rendering byte-for-byte.
+impl core::fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("nodes", &self.nodes)
+            .field("dt", &self.dt)
+            .field("control_interval", &self.control_interval)
+            .field("day_start", &self.day_start)
+            .field("day_end", &self.day_end)
+            .field("weather_plan", &self.weather_plan)
+            .field("solar_sunny_budget", &self.solar_sunny_budget)
+            .field("battery_spec", &self.battery_spec)
+            .field("topology", &self.topology)
+            .field("variation", &self.variation)
+            .field("server_power", &self.server_power)
+            .field("server_capacity", &self.server_capacity)
+            .field("migration", &self.migration)
+            .field("services", &self.services)
+            .field("batch_jobs_per_day", &self.batch_jobs_per_day)
+            .field("ambient", &self.ambient)
+            .field("sensor_noise", &self.sensor_noise)
+            .field("sample_every", &self.sample_every)
+            .field("max_trace_rows", &self.max_trace_rows)
+            .field("faults", &self.faults)
+            .field("seed", &self.seed)
+            .finish()
+    }
 }
 
 impl SimConfig {
@@ -245,6 +335,7 @@ impl Default for SimConfigBuilder {
                 max_trace_rows: None,
                 faults: FaultPlan::default(),
                 seed: 42,
+                threads: EngineThreads::ONE,
             },
         }
     }
@@ -392,6 +483,15 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the engine worker-thread count (clamped to ≥ 1). Sharded
+    /// stepping is bit-identical at any value — this only trades
+    /// wall-clock for cores, and never changes run identity (snapshots
+    /// round-trip across thread counts).
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.config.threads = EngineThreads::new(threads);
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -518,6 +618,23 @@ mod tests {
             duration: SimDuration::from_minutes(5),
         });
         assert!(SimConfig::builder().faults(ok).build().is_ok());
+    }
+
+    #[test]
+    fn thread_count_is_invisible_to_config_identity() {
+        let mut b1 = SimConfig::builder();
+        b1.threads(1);
+        let mut b8 = SimConfig::builder();
+        b8.threads(8);
+        let c1 = b1.build().unwrap();
+        let c8 = b8.build().unwrap();
+        // Equality and the Debug rendering (the snapshot hash input)
+        // ignore the knob, but the knob itself is preserved.
+        assert_eq!(c1, c8);
+        assert_eq!(format!("{c1:?}"), format!("{c8:?}"));
+        assert_eq!(c1.threads.get(), 1);
+        assert_eq!(c8.threads.get(), 8);
+        assert_eq!(EngineThreads::new(0).get(), 1);
     }
 
     #[test]

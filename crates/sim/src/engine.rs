@@ -21,8 +21,13 @@
 //! on or off.
 
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use baat_battery::{AgingBreakdown, AgingObs, BatteryModel, BatteryOp, BatteryPack};
+use baat_battery::{
+    AgingBreakdown, AgingObs, AnyBattery, BatteryModel, BatteryOp, BatteryPack, SensorSample,
+};
+use baat_exec::ExecPool;
 use baat_faults::{FaultInjector, FaultKind, FaultPlan};
 use baat_metrics::{class_index, AgingMetrics, BatteryRatings};
 use baat_obs::{
@@ -71,6 +76,36 @@ const RESTART_SOC_MARGIN: f64 = 0.45;
 /// Lines the flight recorder's ring retains (recent telemetry rows,
 /// events and health transitions preceding a post-mortem trigger).
 const FLIGHT_RING_CAP: usize = 256;
+
+/// Minimum fleet size before a configured pool shards the system-view
+/// build; below this the per-batch dispatch overhead outweighs the
+/// per-node scoring work.
+const PAR_VIEW_MIN_NODES: usize = 128;
+
+/// Minimum dirty-node count before a configured pool shards the fleet
+/// refresh's bank scoring.
+const PAR_REFRESH_MIN_NODES: usize = 64;
+
+/// Splits `0..total` into at most `parts` contiguous, balanced ranges
+/// (sizes differ by at most one; empty input yields no ranges). Shard
+/// results are merged back in range order, which is why determinism
+/// never depends on which worker ran which range.
+fn shard_ranges(total: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, total.max(1));
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
 
 /// Engine-level metric handles, all inert when observation is disabled.
 #[derive(Debug, Clone)]
@@ -262,6 +297,13 @@ pub struct Simulation {
     /// [`PlacementSpec`]s. Never influences simulated state directly —
     /// ranks are bit-identical to the legacy recompute path.
     fleet: FleetView,
+    /// Scoped worker pool for intra-step sharding; `None` when the
+    /// configured [`crate::EngineThreads`] count is 1 (the reference
+    /// sequential path). Results are bit-identical at every thread
+    /// count, so the pool is engine plumbing, not simulated state: it is
+    /// excluded from snapshots, and a resumed run may pick a different
+    /// count freely.
+    pool: Option<Arc<ExecPool>>,
 }
 
 impl Simulation {
@@ -368,6 +410,10 @@ impl Simulation {
         let total_steps = config.days() as u64 * 86_400 / config.dt.as_secs();
         let rows_hint = (total_steps / config.sample_every as u64).saturating_add(1) as usize;
         let fleet = FleetView::new(nodes, banks, bank_of.clone());
+        let pool = match config.threads.get() {
+            0 | 1 => None,
+            t => Some(Arc::new(ExecPool::new(t))),
+        };
         Ok(Self {
             banks,
             bank_of,
@@ -420,6 +466,7 @@ impl Simulation {
             solar_shares,
             scratch: StepScratch::default(),
             fleet,
+            pool,
             config,
         })
     }
@@ -1068,8 +1115,17 @@ impl Simulation {
             clock.skip();
         }
 
-        // Per-node power routing.
-        self.route_power(solar_total, tod, dt, &mut clock)?;
+        // Per-node power routing: sharded across the worker pool when one
+        // is configured and there is more than one bank to shard (banks
+        // are the independence boundary), the plain sequential pass
+        // otherwise. Both paths produce bit-identical state; threads=1 is
+        // the reference.
+        match self.pool.clone() {
+            Some(pool) if self.banks > 1 => {
+                self.route_power_sharded(&pool, solar_total, tod, dt, &mut clock)?;
+            }
+            _ => self.route_power(solar_total, tod, dt, &mut clock)?,
+        }
 
         // Node restart checks.
         if in_window {
@@ -1498,6 +1554,11 @@ impl Simulation {
             return Ok(());
         }
         let dirty = self.fleet.take_dirty();
+        if let Some(pool) = self.pool.clone() {
+            if dirty.len() >= PAR_REFRESH_MIN_NODES {
+                return self.refresh_fleet_sharded(&pool, dirty);
+            }
+        }
         for &node in &dirty {
             let i = node as usize;
             let bank = self.bank_of[i];
@@ -1513,6 +1574,85 @@ impl Simulation {
                     battery.soc().value(),
                     headroom.as_f64(),
                     battery.total_damage(),
+                );
+            }
+            let online = self.cluster.host(i)?.is_online();
+            let degraded = self.degraded[i];
+            self.fleet.update_node(i, degraded, online);
+        }
+        self.fleet.commit_refresh(dirty);
+        Ok(())
+    }
+
+    /// The sharded refresh pass: the bank-level scoring (ratings, floored
+    /// availability, aging metrics — the expensive half) fans out over
+    /// the pool; the scatter into [`FleetView`] stays sequential and
+    /// identical to [`Simulation::refresh_fleet`].
+    ///
+    /// The dedup below reproduces [`FleetView::bank_needs_refresh`]'s
+    /// first-seen-per-pass semantics exactly, so the precomputed scores
+    /// arrive in the same order the scatter loop asks for them.
+    fn refresh_fleet_sharded(&mut self, pool: &ExecPool, dirty: Vec<u32>) -> Result<(), SimError> {
+        struct BankScore {
+            bank: usize,
+            metrics: AgingMetrics,
+            soc: f64,
+            headroom: f64,
+            damage: f64,
+        }
+        let mut seen = vec![false; self.banks];
+        let mut dirty_banks: Vec<usize> = Vec::new();
+        for &node in &dirty {
+            let bank = self.bank_of[node as usize];
+            if !seen[bank] {
+                seen[bank] = true;
+                dirty_banks.push(bank);
+            }
+        }
+        let ranges = shard_ranges(dirty_banks.len(), pool.threads());
+        let dt = self.config.dt;
+        let dirty_banks_ref = &dirty_banks;
+        let chunks: Vec<Result<Vec<BankScore>, SimError>> = pool.run(ranges.len(), |s| {
+            ranges[s]
+                .clone()
+                .map(|idx| {
+                    let bank = dirty_banks_ref[idx];
+                    let node = self.members[bank][0];
+                    let ratings = self.ratings(node)?;
+                    let headroom = self.floored_available(bank, dt)?;
+                    let battery = self.batteries.unit(bank)?;
+                    Ok(BankScore {
+                        bank,
+                        metrics: AgingMetrics::from_accumulator(
+                            battery.telemetry().lifetime(),
+                            &ratings,
+                        ),
+                        soc: battery.soc().value(),
+                        headroom: headroom.as_f64(),
+                        damage: battery.total_damage(),
+                    })
+                })
+                .collect()
+        });
+        let mut scores = Vec::with_capacity(dirty_banks.len());
+        for chunk in chunks {
+            scores.extend(chunk?);
+        }
+        let mut next = scores.into_iter();
+        for &node in &dirty {
+            let i = node as usize;
+            let bank = self.bank_of[i];
+            if self.fleet.bank_needs_refresh(bank) {
+                let score = next
+                    .next()
+                    .filter(|s| s.bank == bank)
+                    .ok_or_else(|| SimError::invalid_config("threads", "shard score order"))?;
+                self.fleet.update_bank(
+                    bank,
+                    &score.metrics,
+                    score.soc,
+                    score.headroom,
+                    score.damage,
                 );
             }
             let online = self.cluster.host(i)?.is_online();
@@ -1959,6 +2099,410 @@ impl Simulation {
         Ok(())
     }
 
+    /// The sharded counterpart of [`Simulation::route_power`]: same
+    /// physics, same state transitions, bit-identical results.
+    ///
+    /// Banks are independent within a step (demands are snapshotted,
+    /// acceptance and availability read only the bank's own pre-step
+    /// state), so the hot per-bank work fans out over contiguous bank
+    /// ranges — one shard per pool thread — in three phases:
+    ///
+    /// 1. **Sequential pre-pass**: charger stage observation. Its tracer
+    ///    spans, mode-switch counters and fleet marks are order-sensitive
+    ///    cross-bank seams, so it stays on one thread, bank order.
+    /// 2. **Parallel fused pass**: per shard, the switcher routing,
+    ///    battery integration, sensor sampling and shedding *decisions*
+    ///    run over disjoint `&mut` range views of the per-bank state
+    ///    (battery units, sensors, last currents/voltages, unserved
+    ///    streaks). Day shards also fill their slice of the per-node
+    ///    demand snapshot — members are contiguous node ranges, so the
+    ///    snapshot shards with the banks.
+    /// 3. **Sequential merge, shard-index (= bank) order**: energy folds
+    ///    (float sums keep the sequential association order), event-log
+    ///    appends, fault-injector sample observation (shared RNG — the
+    ///    draw order matches the sequential pass exactly), power-table
+    ///    rows, and shedding application (`power_off` + events).
+    ///
+    /// Shard stage timings are measured per worker and recorded as the
+    /// shard-index-ordered sum via [`StageClock::add`] — CPU time across
+    /// shards, not wall time.
+    fn route_power_sharded(
+        &mut self,
+        pool: &ExecPool,
+        solar_total: Watts,
+        tod: TimeOfDay,
+        dt: SimDuration,
+        clock: &mut StageClock<'_>,
+    ) -> Result<(), SimError> {
+        let profile = clock.is_active();
+        let ranges = shard_ranges(self.banks, pool.threads());
+        let ambient = self.config.ambient;
+        let now = self.now;
+        if !self.in_window {
+            // Night: grid-charge every bank (identical pre-pass to the
+            // sequential path).
+            self.scratch.ops.clear();
+            for b in 0..self.banks {
+                let soc = self.batteries.unit(b)?.soc();
+                self.observe_charge_stage(b, soc);
+                let faults = self.injector.bank(b);
+                let op = if faults.charger_failed || faults.open_circuit {
+                    BatteryOp::Idle
+                } else {
+                    let budget = if faults.charger_stuck {
+                        self.chargers[b].acceptance(Soc::FULL)
+                    } else {
+                        self.chargers[b].max_power()
+                    };
+                    let p = self.chargers[b].charge_power(soc, budget);
+                    if p.as_f64() > 0.0 {
+                        BatteryOp::Charge(p)
+                    } else {
+                        BatteryOp::Idle
+                    }
+                };
+                self.scratch.ops.push(op);
+            }
+            clock.lap(Stage::Charger);
+
+            struct NightShard<'a> {
+                units: &'a mut [AnyBattery],
+                sensors: &'a mut [BatterySensor],
+                currents: &'a mut [f64],
+                voltages: &'a mut [f64],
+            }
+            let mut tasks: Vec<Mutex<Option<NightShard<'_>>>> = Vec::with_capacity(ranges.len());
+            {
+                let mut units = self.batteries.units_mut();
+                let mut sensors = &mut self.sensors[..];
+                let mut currents = &mut self.last_currents[..];
+                let mut voltages = &mut self.last_voltages[..];
+                for r in &ranges {
+                    let len = r.len();
+                    let (u, rest) = units.split_at_mut(len);
+                    units = rest;
+                    let (s, rest) = sensors.split_at_mut(len);
+                    sensors = rest;
+                    let (c, rest) = currents.split_at_mut(len);
+                    currents = rest;
+                    let (v, rest) = voltages.split_at_mut(len);
+                    voltages = rest;
+                    tasks.push(Mutex::new(Some(NightShard {
+                        units: u,
+                        sensors: s,
+                        currents: c,
+                        voltages: v,
+                    })));
+                }
+            }
+            let ops = &self.scratch.ops;
+            type NightOut = (WattHours, SensorSample);
+            let shard_out: Vec<(Result<Vec<NightOut>, SimError>, u64)> =
+                pool.run(ranges.len(), |s| {
+                    let started = profile.then(Instant::now);
+                    let shard = tasks[s]
+                        .lock()
+                        .expect("night shard state")
+                        .take()
+                        .expect("each shard is taken exactly once");
+                    let range = ranges[s].clone();
+                    let mut out = Vec::with_capacity(range.len());
+                    let result = (|| {
+                        for (k, b) in range.enumerate() {
+                            let result = shard.units[k].try_step(ops[b], ambient, now, dt)?;
+                            shard.currents[k] = result.current.as_f64();
+                            shard.voltages[k] = result.terminal_voltage.as_f64();
+                            let fresh = shard.sensors[k].sample(
+                                &shard.units[k],
+                                Volts::new(shard.voltages[k]),
+                                result.current,
+                                now,
+                            );
+                            out.push((result.accepted * dt, fresh));
+                        }
+                        Ok(out)
+                    })();
+                    let ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    (result, ns)
+                });
+            drop(tasks);
+            let mut battery_ns = 0u64;
+            let mut b = 0usize;
+            for (result, ns) in shard_out {
+                battery_ns += ns;
+                for (accepted_energy, fresh) in result? {
+                    self.grid_charge_energy += accepted_energy;
+                    if let Some(sample) = self.injector.observe_sample(b, fresh, self.now) {
+                        for &node in &self.members[b] {
+                            self.power_table.record_battery(node, sample);
+                        }
+                    }
+                    b += 1;
+                }
+            }
+            self.fleet.mark_all(DirtyReason::Battery);
+            clock.skip();
+            clock.add(Stage::BatteryStep, battery_ns);
+            return Ok(());
+        }
+
+        // Day. The demand snapshot is filled inside the shards (each
+        // bank's members form a contiguous node range), so size it first.
+        let n = self.config.nodes;
+        self.scratch.demands.clear();
+        self.scratch.demands.resize(n, Watts::ZERO);
+
+        // Charger pre-pass (identical to the sequential path).
+        self.scratch.socs_acceptances.clear();
+        for b in 0..self.banks {
+            let soc = self.batteries.unit(b)?.soc();
+            self.observe_charge_stage(b, soc);
+            let faults = self.injector.bank(b);
+            let acceptance = if faults.charger_failed || faults.open_circuit {
+                Watts::ZERO
+            } else if faults.charger_stuck {
+                self.chargers[b].acceptance(Soc::FULL)
+            } else {
+                self.chargers[b].acceptance(soc)
+            };
+            self.scratch.socs_acceptances.push((soc, acceptance));
+        }
+        clock.lap(Stage::Charger);
+
+        struct DayShard<'a> {
+            /// First node of the shard's contiguous node range — maps a
+            /// global node index into the `demands` chunk.
+            node0: usize,
+            units: &'a mut [AnyBattery],
+            sensors: &'a mut [BatterySensor],
+            currents: &'a mut [f64],
+            voltages: &'a mut [f64],
+            streaks: &'a mut [u32],
+            demands: &'a mut [Watts],
+        }
+        /// Per-bank result carried from the parallel pass to the merge.
+        struct BankOutcome {
+            cutoff: bool,
+            unserved: WattHours,
+            curtailed: WattHours,
+            fresh: SensorSample,
+            victim: Option<usize>,
+        }
+        let mut tasks: Vec<Mutex<Option<DayShard<'_>>>> = Vec::with_capacity(ranges.len());
+        {
+            let mut units = self.batteries.units_mut();
+            let mut sensors = &mut self.sensors[..];
+            let mut currents = &mut self.last_currents[..];
+            let mut voltages = &mut self.last_voltages[..];
+            let mut streaks = &mut self.unserved_streak[..];
+            let mut demands = &mut self.scratch.demands[..];
+            let mut node0 = 0usize;
+            for r in &ranges {
+                let len = r.len();
+                let node_len: usize = self.members[r.clone()].iter().map(Vec::len).sum();
+                let (u, rest) = units.split_at_mut(len);
+                units = rest;
+                let (s, rest) = sensors.split_at_mut(len);
+                sensors = rest;
+                let (c, rest) = currents.split_at_mut(len);
+                currents = rest;
+                let (v, rest) = voltages.split_at_mut(len);
+                voltages = rest;
+                let (st, rest) = streaks.split_at_mut(len);
+                streaks = rest;
+                let (d, rest) = demands.split_at_mut(node_len);
+                demands = rest;
+                tasks.push(Mutex::new(Some(DayShard {
+                    node0,
+                    units: u,
+                    sensors: s,
+                    currents: c,
+                    voltages: v,
+                    streaks: st,
+                    demands: d,
+                })));
+                node0 += node_len;
+            }
+        }
+        let members = &self.members;
+        let socs_acceptances = &self.scratch.socs_acceptances;
+        let solar_shares = &self.solar_shares;
+        let soc_floors = &self.soc_floors;
+        let chargers = &self.chargers;
+        let switcher = &self.switcher;
+        let injector = &self.injector;
+        let cluster = &self.cluster;
+        let shard_out: Vec<(Result<Vec<BankOutcome>, SimError>, u64, u64)> =
+            pool.run(ranges.len(), |s| {
+                let mut mark = profile.then(Instant::now);
+                let mut sw_ns = 0u64;
+                let mut bat_ns = 0u64;
+                let lap = |acc: &mut u64, mark: &mut Option<Instant>| {
+                    if let Some(prev) = *mark {
+                        let at = Instant::now();
+                        *acc += at.duration_since(prev).as_nanos() as u64;
+                        *mark = Some(at);
+                    }
+                };
+                let shard = tasks[s]
+                    .lock()
+                    .expect("day shard state")
+                    .take()
+                    .expect("each shard is taken exactly once");
+                let range = ranges[s].clone();
+                let node0 = shard.node0;
+                let mut out = Vec::with_capacity(range.len());
+                let result = (|| {
+                    // Demand snapshot for this shard's node range.
+                    for (j, i) in (node0..node0 + shard.demands.len()).enumerate() {
+                        shard.demands[j] = cluster.host(i)?.power(tod);
+                    }
+                    for (k, b) in range.enumerate() {
+                        let (soc, acceptance) = socs_acceptances[b];
+                        let faults = injector.bank(b);
+                        let demand: Watts =
+                            members[b].iter().map(|&m| shard.demands[m - node0]).sum();
+                        let solar_i = solar_total * solar_shares[b];
+                        // `floored_available`, computed from the shard's
+                        // own unit — the identical expression, inlined
+                        // because the `&self` helper cannot be called
+                        // while the pack is mutably chunked.
+                        let available = if faults.open_circuit {
+                            Watts::ZERO
+                        } else {
+                            let battery = &shard.units[k];
+                            let headroom = battery.soc().value() - soc_floors[b].value();
+                            if headroom <= 0.0 {
+                                Watts::ZERO
+                            } else {
+                                let energy_wh = headroom
+                                    * battery.effective_capacity().as_f64()
+                                    * battery.open_circuit_voltage().as_f64();
+                                let cap = Watts::new(energy_wh / dt.as_hours());
+                                battery.available_discharge_power().min(cap)
+                            }
+                        };
+                        let routing = switcher.route(demand, solar_i, available, acceptance);
+                        lap(&mut sw_ns, &mut mark);
+                        let op = if faults.open_circuit {
+                            BatteryOp::Idle
+                        } else if routing.battery_to_load.as_f64() > 0.0 {
+                            BatteryOp::Discharge(routing.battery_to_load)
+                        } else {
+                            let p = chargers[b].charge_power(soc, routing.surplus_to_charger);
+                            if p.as_f64() > 0.0 {
+                                BatteryOp::Charge(p)
+                            } else {
+                                BatteryOp::Idle
+                            }
+                        };
+                        let result = shard.units[k].try_step(op, ambient, now, dt)?;
+                        shard.currents[k] = result.current.as_f64();
+                        shard.voltages[k] = result.terminal_voltage.as_f64();
+                        let fresh = shard.sensors[k].sample(
+                            &shard.units[k],
+                            Volts::new(shard.voltages[k]),
+                            result.current,
+                            now,
+                        );
+                        // Shedding *decision* (per-bank streak state; the
+                        // cluster reads touch only this bank's members,
+                        // which no other shard's merge can power off).
+                        let mut victim: Option<usize> = None;
+                        if demand.as_f64() > 0.0 {
+                            if routing.unserved.as_f64() > 0.05 * demand.as_f64() {
+                                shard.streaks[k] += 1;
+                                if shard.streaks[k] >= SHUTDOWN_STREAK {
+                                    for &m in &members[b] {
+                                        if !cluster.host(m)?.is_online() {
+                                            continue;
+                                        }
+                                        let better = match victim {
+                                            None => true,
+                                            Some(v) => {
+                                                shard.demands[m - node0].as_f64()
+                                                    > shard.demands[v - node0].as_f64()
+                                            }
+                                        };
+                                        if better {
+                                            victim = Some(m);
+                                        }
+                                    }
+                                    shard.streaks[k] = 0;
+                                }
+                            } else {
+                                shard.streaks[k] = 0;
+                            }
+                        }
+                        lap(&mut bat_ns, &mut mark);
+                        out.push(BankOutcome {
+                            cutoff: result.cutoff,
+                            unserved: routing.unserved * dt,
+                            curtailed: routing.curtailed * dt,
+                            fresh,
+                            victim,
+                        });
+                    }
+                    Ok(out)
+                })();
+                (result, sw_ns, bat_ns)
+            });
+        drop(tasks);
+        let mut sw_total = 0u64;
+        let mut bat_total = 0u64;
+        let mut b = 0usize;
+        for (result, sw_ns, bat_ns) in shard_out {
+            sw_total += sw_ns;
+            bat_total += bat_ns;
+            for o in result? {
+                if o.cutoff {
+                    self.counters.battery_cutoffs.inc();
+                    Self::log_event(
+                        &mut self.events,
+                        &mut self.flight,
+                        self.now,
+                        Event::BatteryCutoff {
+                            node: self.members[b][0],
+                        },
+                    );
+                }
+                self.unserved_energy += o.unserved;
+                self.curtailed_energy += o.curtailed;
+                let sample = self.injector.observe_sample(b, o.fresh, self.now);
+                for &node in &self.members[b] {
+                    if let Some(sample) = sample {
+                        self.power_table.record_battery(node, sample);
+                    }
+                    self.power_table.record_server(
+                        node,
+                        ServerPowerRecord {
+                            at: self.now,
+                            power: self.scratch.demands[node],
+                        },
+                    );
+                }
+                if let Some(victim) = o.victim {
+                    self.cluster.host_mut(victim)?.power_off();
+                    self.offline_since[victim] = Some(self.now);
+                    self.fleet.mark(victim, DirtyReason::Power);
+                    self.counters.shutdowns.inc();
+                    Self::log_event(
+                        &mut self.events,
+                        &mut self.flight,
+                        self.now,
+                        Event::ServerShutdown { node: victim },
+                    );
+                }
+                b += 1;
+            }
+        }
+        self.fleet.mark_all(DirtyReason::Battery);
+        clock.skip();
+        clock.add(Stage::Switcher, sw_total);
+        clock.add(Stage::BatteryStep, bat_total);
+        Ok(())
+    }
+
     fn try_restarts(&mut self, solar_total: Watts) -> Result<(), SimError> {
         let n = self.config.nodes;
         let idle = self.config.server_power.idle();
@@ -2013,9 +2557,7 @@ impl Simulation {
     /// inconsistent with the substrates (an invariant break).
     pub fn build_view(&self) -> Result<SystemView, SimError> {
         let tod = self.now.time_of_day();
-        let nodes = (0..self.config.nodes)
-            .map(|i| self.node_view(i, tod))
-            .collect::<Result<_, SimError>>()?;
+        let nodes = self.collect_node_views(tod)?;
         Ok(SystemView {
             now: self.now,
             tod,
@@ -2023,6 +2565,28 @@ impl Simulation {
             solar: self.last_solar,
             nodes,
         })
+    }
+
+    /// Node views for `0..nodes` in node order. [`Simulation::node_view`]
+    /// is a pure `&self` read, so with a configured pool (and a fleet
+    /// large enough to amortize dispatch) the views are built over
+    /// contiguous node-range shards and concatenated in shard order —
+    /// the identical vector.
+    fn collect_node_views(&self, tod: TimeOfDay) -> Result<Vec<NodeView>, SimError> {
+        let n = self.config.nodes;
+        let pool = match &self.pool {
+            Some(pool) if n >= PAR_VIEW_MIN_NODES => pool,
+            _ => return (0..n).map(|i| self.node_view(i, tod)).collect(),
+        };
+        let ranges = shard_ranges(n, pool.threads());
+        let chunks: Vec<Result<Vec<NodeView>, SimError>> = pool.run(ranges.len(), |s| {
+            ranges[s].clone().map(|i| self.node_view(i, tod)).collect()
+        });
+        let mut nodes = Vec::with_capacity(n);
+        for chunk in chunks {
+            nodes.extend(chunk?);
+        }
+        Ok(nodes)
     }
 
     /// Builds the read-only view of one node — the unit of incremental
@@ -2076,26 +2640,42 @@ impl Simulation {
     /// while `self.obs` holds a disabled placeholder.
     fn record_row(&mut self, solar: Watts, tod: TimeOfDay, obs: &Obs) -> Result<(), SimError> {
         let n = self.config.nodes;
-        let soc = (0..n)
-            .map(|i| Ok(self.batteries.unit(self.bank_of[i])?.soc().value()))
-            .collect::<Result<_, SimError>>()?;
-        let server_power = (0..n)
-            .map(|i| Ok(self.cluster.host(i)?.power(tod)))
-            .collect::<Result<_, SimError>>()?;
-        let row = TraceRow {
-            at: self.now,
-            solar,
-            soc,
-            server_power,
-            battery_current: (0..n)
-                .map(|i| self.last_currents[self.bank_of[i]])
-                .collect(),
-            work_cumulative: self.cluster.total_work_done(),
+        // One fused pass builds all three per-node series (the old code
+        // walked the fleet three times); and when the flight ring is off
+        // the build is handed to the recorder lazily, so sampled rows
+        // that the stride/cap will drop anyway are never built at all —
+        // on capped long-fleet runs that is most of them.
+        let batteries = &self.batteries;
+        let cluster = &self.cluster;
+        let bank_of = &self.bank_of;
+        let last_currents = &self.last_currents;
+        let now = self.now;
+        let build = move || -> Result<TraceRow, SimError> {
+            let mut soc = Vec::with_capacity(n);
+            let mut server_power = Vec::with_capacity(n);
+            let mut battery_current = Vec::with_capacity(n);
+            for (i, &bank) in bank_of.iter().enumerate().take(n) {
+                soc.push(batteries.unit(bank)?.soc().value());
+                server_power.push(cluster.host(i)?.power(tod));
+                battery_current.push(last_currents[bank]);
+            }
+            Ok(TraceRow {
+                at: now,
+                solar,
+                soc,
+                server_power,
+                battery_current,
+                work_cumulative: cluster.total_work_done(),
+            })
         };
         if self.flight.is_enabled() {
+            // The flight ring sees every sampled row, so build eagerly.
+            let row = build()?;
             self.flight.push(Recorder::row_json(&row));
+            self.recorder.push(row);
+        } else {
+            self.recorder.push_with(build)?;
         }
-        self.recorder.push(row);
         // Refresh the observability gauges at the trace cadence: cheap,
         // deterministic values, and read-only with respect to sim state.
         self.counters.unserved_wh.set(self.unserved_energy.as_f64());

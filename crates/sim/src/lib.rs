@@ -49,8 +49,8 @@ pub use baat_faults::{
     FaultError, FaultKind, FaultMix, FaultPlan, FaultSpec, DEFAULT_STALENESS_LIMIT,
 };
 pub use config::{
-    li_ion_node_battery, prototype_node_battery, BatteryTopology, ChemistrySpec, SimConfig,
-    SimConfigBuilder,
+    li_ion_node_battery, prototype_node_battery, BatteryTopology, ChemistrySpec, EngineThreads,
+    SimConfig, SimConfigBuilder,
 };
 pub use engine::{availability, run_simulation, run_simulation_observed, Simulation};
 pub use error::SimError;

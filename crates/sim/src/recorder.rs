@@ -111,14 +111,14 @@ impl Recorder {
         }
     }
 
-    /// Offers a sample row. Without a cap every row is stored; with one,
-    /// rows beyond the cap trigger an in-place halving of the stored
-    /// series and a doubling of the stride.
-    pub fn push(&mut self, row: TraceRow) {
+    /// Counts the next offered row and decides whether it is stored,
+    /// running the cap-halving pass if due — the shared admission
+    /// sequence behind [`Recorder::push`] and [`Recorder::push_with`].
+    fn admit_next(&mut self) -> bool {
         let index = self.pushes;
         self.pushes += 1;
         if !index.is_multiple_of(self.keep_every) {
-            return;
+            return false;
         }
         if let Some(max) = self.max_rows {
             if self.rows.len() >= max.max(2) {
@@ -133,11 +133,39 @@ impl Recorder {
                 });
                 self.keep_every *= 2;
                 if !index.is_multiple_of(self.keep_every) {
-                    return;
+                    return false;
                 }
             }
         }
-        self.rows.push(row);
+        true
+    }
+
+    /// Offers a sample row. Without a cap every row is stored; with one,
+    /// rows beyond the cap trigger an in-place halving of the stored
+    /// series and a doubling of the stride.
+    pub fn push(&mut self, row: TraceRow) {
+        if self.admit_next() {
+            self.rows.push(row);
+        }
+    }
+
+    /// Offers a sample row built on demand: the stride/cap admission
+    /// decision runs *first*, so rows the stride would drop cost nothing
+    /// to produce. On capped long runs most offered rows are dropped
+    /// (the stride doubles each time the cap is hit), which makes the
+    /// builder skip the dominant cost of the recorder stage on large
+    /// fleets. The stored series is identical to feeding every prebuilt
+    /// row through [`Recorder::push`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error; the offer is still counted (the
+    /// admission decision already ran).
+    pub fn push_with<E>(&mut self, build: impl FnOnce() -> Result<TraceRow, E>) -> Result<(), E> {
+        if self.admit_next() {
+            self.rows.push(build()?);
+        }
+        Ok(())
     }
 
     /// All rows in time order.
@@ -330,6 +358,26 @@ mod tests {
         for kept in capped.rows() {
             assert!(full.rows().contains(kept));
         }
+    }
+
+    #[test]
+    fn push_with_skips_building_dropped_rows() {
+        let mut lazy = Recorder::with_limits(4, Some(4));
+        let mut eager = Recorder::with_limits(4, Some(4));
+        let mut built = 0usize;
+        for i in 0..64u64 {
+            let r = row(i * 60, 1.0, i as f64);
+            eager.push(r.clone());
+            lazy.push_with::<()>(|| {
+                built += 1;
+                Ok(r)
+            })
+            .unwrap();
+        }
+        assert_eq!(lazy, eager, "lazy and eager series must be identical");
+        // Only the admitted rows (stored now, possibly displaced by a
+        // later halving) were ever built — far fewer than the 64 offers.
+        assert!(built < 16, "64 offers must build fewer than 16 rows");
     }
 
     #[test]

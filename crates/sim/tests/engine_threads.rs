@@ -1,0 +1,162 @@
+//! Shard-count invariance for the parallel stepping engine.
+//!
+//! The engine shards the hot per-bank stages across a worker pool when
+//! `SimConfig::threads` is above one, merging shard results in bank
+//! order. The contract is *bit-identity*: any thread count produces the
+//! same simulated state, the same serialized artifacts, and the same
+//! state hash as the sequential reference path. These tests pin that
+//! contract over a matrix of shard counts, chemistries and fault plans,
+//! and across a snapshot taken mid-parallel-run and resumed at a
+//! *different* thread count.
+
+use baat_battery::Chemistry;
+use baat_sim::{
+    BatteryTopology, ChemistrySpec, FaultMix, FaultPlan, Policy, RoundRobinPolicy, SimConfig,
+    SimReport, SimSnapshot, Simulation,
+};
+use baat_solar::Weather;
+use baat_units::SimDuration;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A 12-node per-server fleet (12 banks — enough for uneven shard
+/// splits at every count in the matrix) on a coarse timestep.
+fn matrix_config(chemistry: Chemistry, light_faults: bool, threads: usize) -> SimConfig {
+    let nodes = 12;
+    let mut b = SimConfig::builder();
+    b.weather_plan(vec![Weather::Cloudy])
+        .nodes(nodes)
+        .workload_mix(nodes, 60)
+        .dt(SimDuration::from_secs(120))
+        .control_interval(SimDuration::from_secs(600))
+        .sample_every(4)
+        .seed(97)
+        .chemistry(ChemistrySpec::new(chemistry))
+        .threads(threads);
+    if light_faults {
+        b.faults(FaultPlan::generate(97, 1, nodes, nodes, &FaultMix::light()));
+    }
+    b.build().expect("matrix config is valid")
+}
+
+fn total_steps(config: &SimConfig) -> u64 {
+    config.days() as u64 * 86_400 / config.dt.as_secs()
+}
+
+/// Runs to completion, returning the final state hash alongside the
+/// report (the report alone does not pin RNG tails and scratch state).
+fn run_hashed(config: SimConfig) -> (u64, SimReport) {
+    let steps = total_steps(&config);
+    let mut sim = Simulation::new(config).expect("sim builds");
+    let mut policy = RoundRobinPolicy::new();
+    sim.run_steps(&mut policy, steps).expect("run completes");
+    let hash = sim.state_hash();
+    let report = sim.into_report(policy.name()).expect("report builds");
+    (hash, report)
+}
+
+/// 1/2/4/8 shards × lead-acid/li-ion × clean/light-faults: byte-identical
+/// JSONL artifacts and equal state hashes against the sequential
+/// reference.
+#[test]
+fn shard_count_invariance_matrix() {
+    for chemistry in [Chemistry::LeadAcid, Chemistry::LiIon] {
+        for light_faults in [false, true] {
+            let (ref_hash, reference) = run_hashed(matrix_config(chemistry, light_faults, 1));
+            let ref_events = reference.events.to_jsonl();
+            let ref_trace = reference.recorder.to_jsonl();
+            for threads in SHARD_COUNTS {
+                let (hash, report) = run_hashed(matrix_config(chemistry, light_faults, threads));
+                assert_eq!(
+                    hash, ref_hash,
+                    "state hash diverged at {threads} threads ({chemistry:?}, light_faults={light_faults})"
+                );
+                assert_eq!(
+                    report.events.to_jsonl(),
+                    ref_events,
+                    "event JSONL diverged at {threads} threads ({chemistry:?}, light_faults={light_faults})"
+                );
+                assert_eq!(
+                    report.recorder.to_jsonl(),
+                    ref_trace,
+                    "trace JSONL diverged at {threads} threads ({chemistry:?}, light_faults={light_faults})"
+                );
+                assert_eq!(
+                    report, reference,
+                    "report diverged at {threads} threads ({chemistry:?}, light_faults={light_faults})"
+                );
+            }
+        }
+    }
+}
+
+/// Shared pools shard too (fewer banks than threads clamps the shard
+/// count; banks stay the independence boundary).
+#[test]
+fn shared_pool_topology_is_thread_invariant() {
+    let build = |threads: usize| {
+        let mut b = SimConfig::builder();
+        b.weather_plan(vec![Weather::Sunny])
+            .nodes(12)
+            .workload_mix(12, 60)
+            .topology(BatteryTopology::SharedPool { pools: 4 })
+            .dt(SimDuration::from_secs(120))
+            .control_interval(SimDuration::from_secs(600))
+            .sample_every(4)
+            .seed(31)
+            .threads(threads);
+        b.build().expect("shared-pool config is valid")
+    };
+    let (ref_hash, reference) = run_hashed(build(1));
+    for threads in [2, 8] {
+        let (hash, report) = run_hashed(build(threads));
+        assert_eq!(hash, ref_hash, "state hash diverged at {threads} threads");
+        assert_eq!(report, reference, "report diverged at {threads} threads");
+    }
+}
+
+/// A snapshot taken in the middle of a parallel (4-thread) run restores
+/// and finishes identically at *any* thread count: the thread knob is
+/// invisible to config identity, so checkpoints move freely between
+/// sequential and sharded engines.
+#[test]
+fn mid_parallel_snapshot_resumes_at_any_thread_count() {
+    let parallel = matrix_config(Chemistry::LeadAcid, true, 4);
+    let steps = total_steps(&parallel);
+    let split = steps / 3;
+
+    let mut sim = Simulation::new(parallel.clone()).expect("sim builds");
+    let mut policy = RoundRobinPolicy::new();
+    sim.run_steps(&mut policy, split).expect("prefix runs");
+    let bytes = sim.snapshot_with_policy(&policy).to_bytes();
+    sim.run_steps(&mut policy, steps - split)
+        .expect("suffix runs");
+    let straight_hash = sim.state_hash();
+    let straight = sim.into_report(policy.name()).expect("report builds");
+
+    let snapshot = SimSnapshot::from_bytes(&bytes).expect("bytes parse back");
+    for resume_threads in SHARD_COUNTS {
+        let config = matrix_config(Chemistry::LeadAcid, true, resume_threads);
+        let mut resumed = Simulation::restore(config, &snapshot).expect("snapshot restores");
+        let mut fresh = RoundRobinPolicy::new();
+        assert!(snapshot.apply_policy_state(&mut fresh));
+        resumed
+            .run_steps(&mut fresh, steps - split)
+            .expect("resumed run completes");
+        assert_eq!(
+            resumed.state_hash(),
+            straight_hash,
+            "resume at {resume_threads} threads diverged from the 4-thread run"
+        );
+        let report = resumed.into_report(fresh.name()).expect("report builds");
+        assert_eq!(
+            report.events.to_jsonl(),
+            straight.events.to_jsonl(),
+            "event JSONL diverged resuming at {resume_threads} threads"
+        );
+        assert_eq!(
+            report, straight,
+            "report diverged resuming at {resume_threads} threads"
+        );
+    }
+}
