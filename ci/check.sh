@@ -108,6 +108,61 @@ run_smoke() {
     "${CONSOLE[@]}" trace-check "$SMOKE_DIR/a/spans.jsonl"
     "${CONSOLE[@]}" diff "$SMOKE_DIR/a/events.jsonl" "$SMOKE_DIR/b/events.jsonl" >/dev/null
 
+    echo "==> live scrape endpoint smoke"
+    # `console serve` must print its bound address before stepping,
+    # answer /healthz and /run while the run progresses, expose a
+    # schema-valid OpenMetrics snapshot on /metrics that carries the
+    # exec.* pool-introspection family (the scenario is a sharded fleet
+    # run), keep serving under --linger after the run completes, and
+    # shut down cleanly when a client requests /quit. Probes use bash's
+    # /dev/tcp so the smoke stays dependency-free.
+    SERVE_LOG="$SMOKE_DIR/serve.log"
+    "${CONSOLE[@]}" serve --linger --scheme baat --weather cloudy --seed 7 \
+        --fleet 1000 --threads 4 >"$SERVE_LOG" 2>&1 &
+    SERVE_PID=$!
+    PORT=""
+    for _ in $(seq 1 600); do
+        PORT="$(sed -n 's|^serving http://127\.0\.0\.1:\([0-9]*\)/.*|\1|p' "$SERVE_LOG")"
+        [ -n "$PORT" ] && break
+        sleep 0.05
+    done
+    if [ -z "$PORT" ]; then
+        echo "error: console serve never printed its bound address" >&2
+        cat "$SERVE_LOG" >&2
+        exit 1
+    fi
+    http_get() {
+        # One HTTP/1.0 exchange against the serving console; body only.
+        exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+        printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+        sed '1,/^\r*$/d' <&3 >"$2"
+        exec 3<&- 3>&-
+    }
+    http_get /healthz "$SMOKE_DIR/healthz.body"
+    grep -q '^ok' "$SMOKE_DIR/healthz.body"
+    http_get /run "$SMOKE_DIR/run.body"
+    grep -q '"seed":7' "$SMOKE_DIR/run.body"
+    # A scrape taken while the run is still stepping must already be
+    # schema-valid (the exporter snapshots atomically).
+    http_get /metrics "$SMOKE_DIR/scrape.om"
+    grep -q '# EOF' "$SMOKE_DIR/scrape.om"
+    "${CONSOLE[@]}" trace-check "$SMOKE_DIR/scrape.om"
+    # Wait for the run to finish lingering, then take a final scrape:
+    # it must still validate and now carry the full exec.* family.
+    for _ in $(seq 1 2400); do
+        grep -q 'run complete' "$SERVE_LOG" && break
+        sleep 0.05
+    done
+    grep -q 'run complete' "$SERVE_LOG"
+    http_get /metrics "$SMOKE_DIR/scrape-final.om"
+    grep -q '^exec_pool_threads' "$SMOKE_DIR/scrape-final.om"
+    grep -q '^exec_worker_0_busy_ns' "$SMOKE_DIR/scrape-final.om"
+    grep -q '^exec_merge_wait_' "$SMOKE_DIR/scrape-final.om"
+    "${CONSOLE[@]}" trace-check "$SMOKE_DIR/scrape-final.om"
+    http_get /quit "$SMOKE_DIR/quit.body"
+    grep -q '^bye' "$SMOKE_DIR/quit.body"
+    wait "$SERVE_PID"
+
     echo "==> chemistry ablation smoke"
     # Both chemistries run the same short day. An explicit
     # --chemistry lead-acid run must stay byte-identical to the default
@@ -207,8 +262,10 @@ run_perf() {
     if [[ "${BAAT_SKIP_PERF:-0}" != "1" ]]; then
         echo "==> perf regression smoke (set BAAT_SKIP_PERF=1 to skip)"
         # Re-measures the hot paths and fails when best-case throughput
-        # falls >20% below the committed BENCH_9.json baseline, or when
+        # falls >20% below the committed BENCH_10.json baseline, or when
         # tracing+health overhead on a faulted day exceeds 1µs/step.
+        # Each run is also appended to the registry named by
+        # BAAT_PERF_HISTORY (if set), so CI can feed `console perf-trend`.
         cargo bench -p baat-bench --bench perf -- --check
     else
         echo "==> perf regression smoke skipped (BAAT_SKIP_PERF=1)"

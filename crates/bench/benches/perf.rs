@@ -1,13 +1,14 @@
-//! The perf regression harness behind `BENCH_9.json`.
+//! The perf regression harness behind `BENCH_10.json`.
 //!
 //! Measures the simulated-day hot path (both schemes), the fig03_05
-//! battery-kernel sweep, the per-stage ns/step profile, the
-//! observability overhead of a fully traced faulted day, and — with
-//! `--features count-allocs` — heap allocations per engine step.
+//! battery-kernel sweep, the per-stage ns/step profile (sequential and
+//! sharded), the observability overhead of a fully traced faulted day,
+//! and — with `--features count-allocs` — heap allocations per engine
+//! step.
 //!
 //! ```text
 //! cargo bench -p baat-bench --bench perf              # measure + print report
-//! cargo bench -p baat-bench --bench perf -- --update  # rewrite BENCH_9.json
+//! cargo bench -p baat-bench --bench perf -- --update  # rewrite BENCH_10.json + PERF_HISTORY.jsonl
 //! cargo bench -p baat-bench --bench perf -- --check   # gate: fail on >20% regression
 //! ```
 //!
@@ -16,9 +17,17 @@
 //! committed mean throughput with the tolerance from
 //! [`baat_bench::perf::TOLERANCE_PCT`], and bounds the traced-vs-disabled
 //! overhead with [`baat_bench::perf::OBS_OVERHEAD_LIMIT_NS_PER_STEP`].
+//!
+//! Every run can also register itself in the perf run registry
+//! (`baat_bench::registry`): `--update` appends to the committed
+//! `PERF_HISTORY.jsonl`, and setting `BAAT_PERF_HISTORY=PATH` appends
+//! to (creating) that file in any mode — CI's perf job uses it to grow
+//! a history artifact that `console perf-trend` reports over.
+//! `BAAT_PERF_RUN_LABEL` labels the registered run (default `local`).
 
 use baat_bench::experiments::fig03_05;
-use baat_bench::perf::{PerfBench, PerfReport, BASELINE_FILE};
+use baat_bench::perf::{PerfBench, PerfReport, StageProfile, BASELINE_FILE};
+use baat_bench::registry;
 use baat_core::Scheme;
 use baat_obs::Obs;
 use baat_sim::{
@@ -31,7 +40,7 @@ use std::hint::black_box;
 use std::path::PathBuf;
 
 /// Mean wall-clocks measured at the seed revision (before the perf
-/// pass), embedded so `BENCH_9.json` always carries the before/after
+/// pass), embedded so `BENCH_10.json` always carries the before/after
 /// pair. Nanoseconds.
 const SEED_SIMULATED_DAY_EBUFF_NS: u64 = 40_620_000;
 const SEED_SIMULATED_DAY_BAAT_NS: u64 = 176_660_000;
@@ -147,7 +156,13 @@ fn stage_profile(threads: usize) -> Vec<baat_obs::StageStats> {
     obs.stage_stats()
 }
 
-fn bench_entry(h: &Harness, id: &str, steps_per_iter: u64, seed_mean_ns: u64) -> PerfBench {
+fn bench_entry(
+    h: &Harness,
+    id: &str,
+    engine_threads: usize,
+    steps_per_iter: u64,
+    seed_mean_ns: u64,
+) -> PerfBench {
     let sample = h
         .results()
         .iter()
@@ -155,10 +170,12 @@ fn bench_entry(h: &Harness, id: &str, steps_per_iter: u64, seed_mean_ns: u64) ->
         .unwrap_or_else(|| panic!("benchmark {id} did not run — check the filter"));
     PerfBench {
         name: id.to_owned(),
+        engine_threads,
         steps_per_iter,
         seed_mean_ns,
         mean_ns: sample.mean.as_nanos() as u64,
         min_ns: sample.min.as_nanos() as u64,
+        parallel_efficiency: None,
     }
 }
 
@@ -213,8 +230,8 @@ fn main() {
     });
 
     let steps = day_steps();
-    let disabled = bench_entry(&h, "obs_overhead/disabled", steps, 0);
-    let traced = bench_entry(&h, "obs_overhead/traced", steps, 0);
+    let disabled = bench_entry(&h, "obs_overhead/disabled", 1, steps, 0);
+    let traced = bench_entry(&h, "obs_overhead/traced", 1, steps, 0);
     // Best-of-batches comparison, like the regression gate: robust to
     // scheduler noise, and clamped at zero because "obs was faster" is
     // just noise, not negative overhead. The gate bounds the absolute
@@ -222,26 +239,47 @@ fn main() {
     // silently tighten every time the base engine gets faster.
     let obs_overhead_ns = (traced.min_ns as f64 - disabled.min_ns as f64).max(0.0);
     let obs_overhead_ns_per_step = obs_overhead_ns / steps.max(1) as f64;
+    let baat = bench_entry(
+        &h,
+        "simulated_day/BAAT",
+        1,
+        steps,
+        SEED_SIMULATED_DAY_BAAT_NS,
+    );
+    let mut sharded = bench_entry(
+        &h,
+        "simulated_day/BAAT-sharded",
+        PARALLEL_THREADS,
+        steps,
+        SEED_SIMULATED_DAY_BAAT_NS,
+    );
+    // Parallel efficiency against the *same-revision* sequential BAAT
+    // mean: the figure that makes "sharding runs slower here" visible
+    // (efficiency < 1/threads) instead of hiding in two wall-clocks.
+    sharded.record_parallel_efficiency(baat.mean_ns);
     let report = PerfReport {
         benchmarks: vec![
             bench_entry(
                 &h,
                 "simulated_day/e-Buff",
+                1,
                 steps,
                 SEED_SIMULATED_DAY_EBUFF_NS,
             ),
-            bench_entry(&h, "simulated_day/BAAT", steps, SEED_SIMULATED_DAY_BAAT_NS),
-            bench_entry(
-                &h,
-                "simulated_day/BAAT-sharded",
-                steps,
-                SEED_SIMULATED_DAY_BAAT_NS,
-            ),
-            bench_entry(&h, "sweep/fig03_05", 1, SEED_FIG03_05_NS),
+            baat,
+            sharded,
+            bench_entry(&h, "sweep/fig03_05", 1, 1, SEED_FIG03_05_NS),
         ],
-        stages: stage_profile(1),
-        stages_parallel: stage_profile(PARALLEL_THREADS),
-        engine_threads: Some(PARALLEL_THREADS),
+        stage_profiles: vec![
+            StageProfile {
+                engine_threads: 1,
+                stages: stage_profile(1),
+            },
+            StageProfile {
+                engine_threads: PARALLEL_THREADS,
+                stages: stage_profile(PARALLEL_THREADS),
+            },
+        ],
         allocs_per_step: allocs_per_step(),
         obs_overhead_ns_per_step: Some(obs_overhead_ns_per_step),
     };
@@ -278,6 +316,25 @@ fn main() {
         eprintln!("perf baseline written to {}", baseline_path.display());
     } else {
         println!("{}", report.to_json());
+    }
+
+    // Run registry: --update grows the committed history alongside the
+    // baseline; BAAT_PERF_HISTORY=PATH grows an external history file
+    // (CI's artifact) in any mode.
+    let label = std::env::var("BAAT_PERF_RUN_LABEL").unwrap_or_else(|_| "local".to_owned());
+    let mut history_paths = Vec::new();
+    if update {
+        history_paths.push(workspace_root().join(registry::HISTORY_FILE));
+    }
+    if let Some(path) = std::env::var_os("BAAT_PERF_HISTORY") {
+        history_paths.push(PathBuf::from(path));
+    }
+    for path in history_paths {
+        let history = std::fs::read_to_string(&path).unwrap_or_default();
+        let (grown, id) = registry::append_run(&history, &report.to_json(), &label)
+            .expect("a freshly measured report always registers");
+        std::fs::write(&path, grown).expect("write perf history");
+        eprintln!("perf run {id} ({label}) registered in {}", path.display());
     }
 
     h.finish();

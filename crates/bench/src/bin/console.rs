@@ -65,15 +65,23 @@
 //! count, so the flag is a pure speed knob: it is not recorded in
 //! `run.jsonl`, and checkpoints move freely between thread counts.
 //! `console --fleet 1000 --threads 8` is the fast 1000-host day.
+//!
+//! `serve [--port P] [--linger]` runs the scenario with a live scrape
+//! endpoint (`/metrics` OpenMetrics, `/healthz`, `/run` metadata) bound
+//! to `127.0.0.1:P` (0 = ephemeral; the bound address is printed before
+//! the run starts). With `--linger` the endpoint keeps serving the
+//! final snapshot after the run completes until a client issues
+//! `GET /quit` — the handshake CI's scrape smoke uses. See DESIGN.md
+//! §14 for the endpoint contract.
 
 use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
 
 use baat_battery::Chemistry;
-use baat_bench::{diff, jsonq, trace_schema, watch};
+use baat_bench::{diff, jsonq, registry, trace_schema, watch};
 use baat_core::Scheme;
 use baat_obs::json::JsonLine;
-use baat_obs::Obs;
+use baat_obs::{MetricsServer, Obs, SampleValue};
 use baat_sim::{
     BatteryTopology, ChemistrySpec, Event, FaultMix, FaultPlan, SimConfig, SimSnapshot, Simulation,
 };
@@ -107,6 +115,20 @@ struct Args {
     /// `replay --event INDEX`: land just after the INDEX-th recorded
     /// event instead of an explicit step.
     replay_event: Option<usize>,
+    /// `serve --port P`: scrape-endpoint port (0 = ephemeral).
+    port: u16,
+    /// `serve --linger`: keep serving the final snapshot after the run
+    /// until a client requests `/quit`.
+    linger: bool,
+    /// `perf-trend --baseline FILE`: committed BENCH_N.json to gate
+    /// against (defaults to the bench crate's committed baseline).
+    trend_baseline: Option<String>,
+    /// `perf-trend --history FILE`: run-registry history file
+    /// (defaults to `PERF_HISTORY.jsonl`).
+    trend_history: Option<String>,
+    /// `perf-trend --report FILE`: the fresh perf report to judge
+    /// (defaults to the latest history entry).
+    trend_report: Option<String>,
 }
 
 impl Args {
@@ -120,11 +142,13 @@ impl Args {
 enum Command {
     Run,
     Watch,
+    Serve,
     Diff(String, String),
     TraceCheck(String),
     Checkpoint,
     Resume(String),
     Replay,
+    PerfTrend,
 }
 
 fn usage() -> ! {
@@ -135,11 +159,13 @@ fn usage() -> ! {
          [--fleet N] [--faults light|heavy[:SEED]] \
          [--csv PATH] [--jsonl DIR] [--profile] [--threads N] \
          [--every N] [--dir DIR]\n\
+         \x20      console serve [--port P] [--linger] [scenario flags]\n\
          \x20      console diff A.jsonl B.jsonl\n\
-         \x20      console trace-check spans.jsonl\n\
+         \x20      console trace-check spans.jsonl|metrics.om\n\
          \x20      console checkpoint --dir DIR [--every STEPS] [scenario flags]\n\
          \x20      console resume DIR/step-NNNNNNNN.snap\n\
-         \x20      console replay --dir DIR (--to STEP | --event INDEX)"
+         \x20      console replay --dir DIR (--to STEP | --event INDEX)\n\
+         \x20      console perf-trend [--baseline FILE] [--history FILE] [--report FILE]"
     );
     std::process::exit(2);
 }
@@ -163,11 +189,24 @@ fn parse_args() -> Args {
         dir: None,
         replay_to: None,
         replay_event: None,
+        port: 0,
+        linger: false,
+        trend_baseline: None,
+        trend_history: None,
+        trend_report: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     match it.peek().map(String::as_str) {
         Some("watch") => {
             args.command = Command::Watch;
+            it.next();
+        }
+        Some("serve") => {
+            args.command = Command::Serve;
+            it.next();
+        }
+        Some("perf-trend") => {
+            args.command = Command::PerfTrend;
             it.next();
         }
         Some("checkpoint") => {
@@ -309,6 +348,16 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--port" => {
+                args.port = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--linger" => args.linger = true,
+            "--baseline" => args.trend_baseline = Some(it.next().unwrap_or_else(|| usage())),
+            "--history" => args.trend_history = Some(it.next().unwrap_or_else(|| usage())),
+            "--report" => args.trend_report = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -320,10 +369,25 @@ fn parse_args() -> Args {
 /// metadata, the comparison is labelled with each run's chemistry so
 /// cross-chemistry diffs are not mistaken for regressions.
 fn run_diff(a: &str, b: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let doc_a = std::fs::read_to_string(a)?;
-    let doc_b = std::fs::read_to_string(b)?;
+    let mut doc_a = std::fs::read_to_string(a)?;
+    let mut doc_b = std::fs::read_to_string(b)?;
     if let Some(banner) = diff::chemistry_banner(Path::new(a), Path::new(b)) {
         println!("{banner}");
+    }
+    // Perf reports compare through the schema-normalized row shape, so
+    // a v1 baseline diffs cleanly against a v2 one (same rows, same
+    // order) instead of diverging on the envelope rewrite.
+    if let (Some(na), Some(nb)) = (
+        baat_bench::perf::normalized_lines(&doc_a),
+        baat_bench::perf::normalized_lines(&doc_b),
+    ) {
+        println!(
+            "perf reports (schema v{} vs v{}) — comparing normalized rows",
+            baat_bench::perf::schema_version(&doc_a).unwrap_or(0),
+            baat_bench::perf::schema_version(&doc_b).unwrap_or(0),
+        );
+        doc_a = na.join("\n");
+        doc_b = nb.join("\n");
     }
     let report = diff::diff_runs(&doc_a, &doc_b);
     print!("{}", report.render());
@@ -333,17 +397,86 @@ fn run_diff(a: &str, b: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// `console trace-check FILE`: validates a span export, exits 1 on any
-/// schema violation.
+/// `console trace-check FILE`: validates a span export (`*.jsonl`) or
+/// an OpenMetrics exposition (`*.om`, e.g. a `/metrics` scrape body),
+/// exits 1 on any schema violation.
 fn run_trace_check(file: &str) -> Result<(), Box<dyn std::error::Error>> {
     let doc = std::fs::read_to_string(file)?;
-    let violations = trace_schema::validate_trace(&doc);
+    let openmetrics = file.ends_with(".om");
+    let violations = if openmetrics {
+        trace_schema::validate_openmetrics(&doc)
+    } else {
+        trace_schema::validate_trace(&doc)
+    };
     if violations.is_empty() {
-        println!("trace ok ({} spans)", doc.lines().count());
+        if openmetrics {
+            let families = doc.lines().filter(|l| l.starts_with("# TYPE ")).count();
+            println!("openmetrics ok ({families} metric families)");
+        } else {
+            println!("trace ok ({} spans)", doc.lines().count());
+        }
         Ok(())
     } else {
         for v in &violations {
             eprintln!("trace-check: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `console perf-trend`: joins the committed perf baseline, the run
+/// registry history, and the latest measurement into a per-benchmark
+/// trend table, then re-applies the regression gate (exit 1 on any
+/// failure). The latest measurement defaults to the newest history
+/// entry; `--report FILE` judges a fresh `BAAT_PERF_OUT` report
+/// instead.
+fn run_perf_trend(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let baseline_path = args
+        .trend_baseline
+        .clone()
+        .unwrap_or_else(|| baat_bench::perf::BASELINE_FILE.to_owned());
+    let history_path = args
+        .trend_history
+        .clone()
+        .unwrap_or_else(|| registry::HISTORY_FILE.to_owned());
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("read baseline {baseline_path}: {e}"))?;
+    let history = std::fs::read_to_string(&history_path)
+        .map_err(|e| format!("read history {history_path}: {e}"))?;
+    let (latest, source) = match &args.trend_report {
+        Some(path) => {
+            let doc =
+                std::fs::read_to_string(path).map_err(|e| format!("read report {path}: {e}"))?;
+            let records = registry::report_benchmarks(&doc);
+            if records.is_empty() {
+                return Err(format!("{path}: not a perf report").into());
+            }
+            (records, format!("report {path}"))
+        }
+        None => {
+            let runs = registry::parse_history(&history);
+            let last = runs
+                .last()
+                .ok_or_else(|| format!("{history_path}: no runs registered"))?;
+            (
+                last.benchmarks.clone(),
+                format!("history run {} ({})", last.run, last.label),
+            )
+        }
+    };
+    let trend = registry::trend(&baseline, &history, &latest);
+    println!("perf trend — latest: {source}, baseline: {baseline_path}");
+    print!("{}", trend.render());
+    if trend.failures.is_empty() {
+        println!(
+            "gate ok ({} benchmarks within {}% of the baseline)",
+            trend.rows.len(),
+            baat_bench::perf::TOLERANCE_PCT
+        );
+        Ok(())
+    } else {
+        for f in &trend.failures {
+            eprintln!("perf-trend: {f}");
         }
         std::process::exit(1);
     }
@@ -776,7 +909,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Command::Checkpoint => return run_checkpoint(&args),
         Command::Resume(file) => return run_resume(file),
         Command::Replay => return run_replay(&args),
-        Command::Run | Command::Watch => {}
+        Command::PerfTrend => return run_perf_trend(&args),
+        Command::Run | Command::Watch | Command::Serve => {}
     }
     let config = RunSpec::from_args(&args).build_config()?;
 
@@ -784,10 +918,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return run_watch(&args, config);
     }
 
-    let obs = if args.jsonl.is_some() || args.profile {
+    let serving = matches!(args.command, Command::Serve);
+    let obs = if serving || args.jsonl.is_some() || args.profile {
         Obs::enabled()
     } else {
         Obs::disabled()
+    };
+    // The scrape endpoint comes up before the first step so a scraper
+    // can follow the whole run; the bound address is printed (and
+    // flushed) immediately for scripted clients.
+    let server = if serving {
+        let server = MetricsServer::start(args.port, obs.clone(), pre_run_metadata(&args))?;
+        println!(
+            "serving http://{}/  routes: /metrics /healthz /run /quit",
+            server.addr()
+        );
+        std::io::Write::flush(&mut std::io::stdout())?;
+        Some(server)
+    } else {
+        None
     };
     if args.chemistry.is_some() {
         // Registered only when --chemistry was given explicitly, so
@@ -805,6 +954,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut policy = args.scheme.build_observed(&obs);
     let report = sim.run(&mut policy)?;
+    if let Some(server) = &server {
+        // The run is complete: swap the provisional /run payload for
+        // the full metadata line a --jsonl export would have written.
+        server.set_run_info(run_metadata(&args, &report));
+    }
 
     println!("=== BAAT management console ===");
     println!(
@@ -893,6 +1047,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 s.total_ns as f64 / 1e6,
             );
         }
+        print_exec_profile(&obs);
     }
 
     if let Some(path) = &args.csv {
@@ -921,7 +1076,126 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             dir.display()
         );
     }
+
+    if let Some(server) = server {
+        if args.linger {
+            println!("\nrun complete — still serving; GET /quit to stop");
+            std::io::Write::flush(&mut std::io::stdout())?;
+            server.wait_for_quit();
+        }
+        server.shutdown();
+    }
     Ok(())
+}
+
+/// The provisional `/run` payload served while the simulation is still
+/// stepping: the flags that identify the run (the full metadata line
+/// replaces it once the report exists).
+fn pre_run_metadata(args: &Args) -> String {
+    let mut line = JsonLine::new();
+    line.str_field("state", "running")
+        .str_field("chemistry", args.chemistry().name())
+        .str_field("scheme", args.scheme.name())
+        .str_field(
+            "weather",
+            &args
+                .plan
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+        .u64_field("seed", args.seed)
+        .u64_field("threads", args.threads as u64)
+        .bool_field("old", args.old);
+    if let Some(n) = args.fleet {
+        line.u64_field("fleet", n as u64);
+    }
+    line.finish()
+}
+
+/// Renders the `exec.*` pool summary under `--profile`: where the
+/// sharded stages' wall time went (busy vs merge wait), per worker, and
+/// the parallel efficiency of the pool — the number that explains a
+/// sharded run stepping *slower* than the sequential path (see
+/// BENCH history: `simulated_day/BAAT-sharded`). Prints nothing for
+/// sequential runs, which register no `exec.*` metrics.
+fn print_exec_profile(obs: &Obs) {
+    let snapshot = obs.snapshot();
+    let gauge = |name: &str| {
+        snapshot.iter().find(|s| s.name == name).and_then(|s| {
+            if let SampleValue::Gauge(v) = s.value {
+                Some(v)
+            } else {
+                None
+            }
+        })
+    };
+    let counter = |name: &str| {
+        snapshot.iter().find(|s| s.name == name).and_then(|s| {
+            if let SampleValue::Counter(v) = s.value {
+                Some(v)
+            } else {
+                None
+            }
+        })
+    };
+    let Some(threads) = gauge("exec.pool.threads") else {
+        return;
+    };
+    let threads = threads as usize;
+    let wall_ns = gauge("exec.pool.wall_ns").unwrap_or(0.0);
+    let merge_wait_ns = gauge("exec.pool.merge_wait_ns").unwrap_or(0.0);
+    let batches = gauge("exec.pool.batches").unwrap_or(0.0);
+    println!("\nexec pool ({threads} threads):");
+    println!(
+        "  {batches:.0} batches | wall {:.3} ms | caller merge wait {:.3} ms",
+        wall_ns / 1e6,
+        merge_wait_ns / 1e6,
+    );
+    let mut busy_total = 0.0;
+    for w in 0..threads {
+        let busy = gauge(&format!("exec.worker.{w}.busy_ns")).unwrap_or(0.0);
+        let tasks = gauge(&format!("exec.worker.{w}.tasks")).unwrap_or(0.0);
+        busy_total += busy;
+        let role = if w == 0 { "caller" } else { "worker" };
+        println!(
+            "  thread {w} ({role}): busy {:.3} ms | {tasks:.0} tasks",
+            busy / 1e6,
+        );
+    }
+    if wall_ns > 0.0 {
+        // Busy time across all threads over perfectly-parallel wall
+        // time: 1.0 means every thread worked the whole batch, low
+        // values mean dispatch overhead and merge waits dominate —
+        // the pool slows the step loop down.
+        println!(
+            "  pool efficiency {:.2} (busy {:.3} ms / {threads} threads x wall {:.3} ms)",
+            busy_total / (wall_ns * threads as f64),
+            busy_total / 1e6,
+            wall_ns / 1e6,
+        );
+    }
+    let stages = [
+        ("battery_step", "exec.merge_wait.battery_step_ns"),
+        ("fleet_refresh", "exec.merge_wait.fleet_refresh_ns"),
+        ("view", "exec.merge_wait.view_ns"),
+    ];
+    let waits: Vec<String> = stages
+        .iter()
+        .filter_map(|(label, name)| {
+            counter(name).map(|ns| format!("{label} {:.3} ms", ns as f64 / 1e6))
+        })
+        .collect();
+    if !waits.is_empty() {
+        println!("  merge wait by stage: {}", waits.join(" | "));
+    }
+    if let Some(imbalance) = gauge("exec.shard.imbalance_x1000") {
+        println!(
+            "  shard imbalance (latest sampled step): {:.2}x slowest/mean",
+            imbalance / 1000.0
+        );
+    }
 }
 
 /// The `run.jsonl` metadata line written next to every `--jsonl` export:

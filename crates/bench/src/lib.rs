@@ -7,6 +7,7 @@ pub mod diff;
 pub mod experiments;
 pub mod jsonq;
 pub mod perf;
+pub mod registry;
 pub mod runner;
 pub mod table;
 pub mod trace_schema;

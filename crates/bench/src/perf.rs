@@ -1,15 +1,27 @@
 //! The performance-regression baseline: measurement records, the
-//! `BENCH_9.json` serialization, and the >20 % steps/sec gate.
+//! `BENCH_10.json` serialization (schema `baat-perf-v2`), and the
+//! >20 % steps/sec gate.
 //!
 //! The perf harness (`benches/perf.rs`) measures the hot paths, embeds
 //! the pre-optimization wall-clocks recorded at the seed revision, and
-//! emits the whole report as `BENCH_9.json` at the repository root.
+//! emits the whole report as `BENCH_10.json` at the repository root.
 //! `ci/check.sh` re-measures in `--check` mode and fails when any
 //! benchmark's best observed throughput falls more than
 //! [`TOLERANCE_PCT`] below the committed figure — catching perf
 //! regressions the way goldens catch behavioural ones. The same gate
 //! bounds tracing+health observability overhead on a faulted day to
 //! [`OBS_OVERHEAD_LIMIT_NS_PER_STEP`] of absolute per-step cost.
+//!
+//! Schema v2 records the engine thread count **per benchmark row** and
+//! **per stage row** (v1 kept one global `engine_threads` and split the
+//! stage profile into `stages`/`stages_parallel` twins, which duplicated
+//! every stage name and hid which cell ran where). Parallel cells also
+//! carry `parallel_efficiency` — speedup over the sequential twin
+//! divided by the thread count — so a sharded cell running *slower*
+//! than sequential reads as efficiency < 1/threads instead of hiding
+//! inside a wall-clock number. [`normalized_lines`] reads both schema
+//! versions into one canonical shape, so `console diff` and the run
+//! registry keep working across the bump.
 //!
 //! The file format is the in-tree [`baat_obs::json`] line style: one JSON
 //! object per benchmark inside a plain JSON document, parseable with the
@@ -19,7 +31,7 @@
 use baat_obs::json::JsonLine;
 use baat_obs::StageStats;
 
-use crate::jsonq::{extract_f64, extract_str};
+use crate::jsonq::{extract_f64, extract_str, extract_u64};
 
 /// Allowed steps/sec shortfall (percent) before `--check` fails.
 pub const TOLERANCE_PCT: f64 = 20.0;
@@ -35,7 +47,7 @@ pub const TOLERANCE_PCT: f64 = 20.0;
 pub const OBS_OVERHEAD_LIMIT_NS_PER_STEP: f64 = 1_000.0;
 
 /// Where the committed baseline lives, relative to the workspace root.
-pub const BASELINE_FILE: &str = "BENCH_9.json";
+pub const BASELINE_FILE: &str = "BENCH_10.json";
 
 /// One measured hot-path benchmark, with the seed-revision wall-clock it
 /// is compared against.
@@ -43,6 +55,8 @@ pub const BASELINE_FILE: &str = "BENCH_9.json";
 pub struct PerfBench {
     /// Benchmark id (`group/name`).
     pub name: String,
+    /// Engine worker threads the cell ran at (1 = sequential path).
+    pub engine_threads: usize,
     /// Work units (simulation steps, or 1 for whole-sweep wall-clocks)
     /// performed per iteration.
     pub steps_per_iter: u64,
@@ -54,6 +68,13 @@ pub struct PerfBench {
     /// Fastest observed batch per iteration, in nanoseconds — the
     /// noise-robust figure the regression gate compares.
     pub min_ns: u64,
+    /// Speedup over the same-revision sequential twin divided by
+    /// [`engine_threads`](Self::engine_threads): 1.0 is perfect
+    /// scaling, below `1/threads` means sharding made the cell slower
+    /// than running sequentially. Set via
+    /// [`record_parallel_efficiency`](Self::record_parallel_efficiency)
+    /// on parallel cells; `None` (and not emitted) on sequential ones.
+    pub parallel_efficiency: Option<f64>,
 }
 
 impl PerfBench {
@@ -75,9 +96,21 @@ impl PerfBench {
         self.seed_mean_ns as f64 / self.mean_ns as f64
     }
 
+    /// Records this cell's parallel efficiency against its sequential
+    /// twin's **same-revision** measured mean (not the seed figure):
+    /// `(seq_mean / mean) / engine_threads`.
+    pub fn record_parallel_efficiency(&mut self, seq_mean_ns: u64) {
+        if self.mean_ns == 0 || self.engine_threads == 0 {
+            return;
+        }
+        self.parallel_efficiency =
+            Some(seq_mean_ns as f64 / self.mean_ns as f64 / self.engine_threads as f64);
+    }
+
     fn to_json(&self) -> String {
         let mut line = JsonLine::new();
         line.str_field("name", &self.name)
+            .u64_field("engine_threads", self.engine_threads as u64)
             .u64_field("steps_per_iter", self.steps_per_iter)
             .u64_field("seed_mean_ns", self.seed_mean_ns)
             .u64_field("mean_ns", self.mean_ns)
@@ -85,6 +118,9 @@ impl PerfBench {
             .f64_field("steps_per_sec", self.steps_per_sec())
             .f64_field("best_steps_per_sec", self.best_steps_per_sec())
             .f64_field("speedup_vs_seed", self.speedup());
+        if let Some(eff) = self.parallel_efficiency {
+            line.f64_field("parallel_efficiency", eff);
+        }
         line.finish()
     }
 }
@@ -96,31 +132,43 @@ fn per_sec(units: u64, ns: u64) -> f64 {
     units as f64 * 1e9 / ns as f64
 }
 
-fn push_stage_rows(out: &mut String, stages: &[StageStats]) {
-    for (i, s) in stages.iter().enumerate() {
-        out.push_str(&s.to_json());
-        out.push_str(if i + 1 < stages.len() { ",\n" } else { "\n" });
-    }
+/// One per-stage profile of an observed simulated day, keyed by the
+/// engine thread count it ran at. Rows from a sharded run record
+/// **summed per-shard CPU time**, not wall time: comparing a row
+/// against its 1-thread twin shows sharding overhead, while the
+/// `simulated_day` benchmarks show the wall-clock effect.
+#[derive(Debug, Clone)]
+pub struct StageProfile {
+    /// Engine worker threads the profiled day ran at.
+    pub engine_threads: usize,
+    /// The per-stage ns/step profile from the `baat-obs` stage profiler.
+    pub stages: Vec<StageStats>,
 }
 
-/// The full perf report emitted as `BENCH_9.json`.
+fn stage_row_json(
+    stage: &str,
+    engine_threads: u64,
+    calls: u64,
+    total_ns: u64,
+    mean_ns: u64,
+) -> String {
+    let mut line = JsonLine::new();
+    line.str_field("stage", stage)
+        .u64_field("engine_threads", engine_threads)
+        .u64_field("calls", calls)
+        .u64_field("total_ns", total_ns)
+        .u64_field("mean_ns", mean_ns);
+    line.finish()
+}
+
+/// The full perf report emitted as `BENCH_10.json`.
 #[derive(Debug, Clone, Default)]
 pub struct PerfReport {
     /// The gated hot-path benchmarks.
     pub benchmarks: Vec<PerfBench>,
-    /// Per-stage profile of one observed simulated day (ns/step), from
-    /// the `baat-obs` stage profiler, on the sequential (1-thread)
-    /// engine.
-    pub stages: Vec<StageStats>,
-    /// The same day profiled with the engine's per-bank stages sharded
-    /// across [`PerfReport::engine_threads`] workers. Sharded stage rows
-    /// record **summed per-shard CPU time**, not wall time: comparing a
-    /// row against its `stages` twin shows sharding overhead, while the
-    /// `simulated_day` benchmarks above show the wall-clock win.
-    pub stages_parallel: Vec<StageStats>,
-    /// Worker-thread count the `stages_parallel` profile ran at (absent
-    /// when no parallel profile was taken).
-    pub engine_threads: Option<usize>,
+    /// Per-stage profiles, one per engine thread count — serialized as
+    /// a single `stages` table whose rows carry `engine_threads`.
+    pub stage_profiles: Vec<StageProfile>,
     /// Heap allocations per engine step over one simulated day, measured
     /// by the counting allocator (only with `--features count-allocs`).
     pub allocs_per_step: Option<f64>,
@@ -134,9 +182,9 @@ pub struct PerfReport {
 }
 
 impl PerfReport {
-    /// Serializes the report as the `BENCH_9.json` document.
+    /// Serializes the report as the `BENCH_10.json` document.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n\"schema\": \"baat-perf-v1\",\n\"issue\": 9,\n");
+        let mut out = String::from("{\n\"schema\": \"baat-perf-v2\",\n\"issue\": 10,\n");
         out.push_str(&format!("\"tolerance_pct\": {TOLERANCE_PCT},\n"));
         out.push_str("\"benchmarks\": [\n");
         for (i, b) in self.benchmarks.iter().enumerate() {
@@ -148,15 +196,26 @@ impl PerfReport {
             });
         }
         out.push_str("],\n\"stages\": [\n");
-        push_stage_rows(&mut out, &self.stages);
-        out.push(']');
-        if let Some(threads) = self.engine_threads {
-            out.push_str(&format!(
-                ",\n\"engine_threads\": {threads},\n\"stages_parallel\": [\n"
-            ));
-            push_stage_rows(&mut out, &self.stages_parallel);
-            out.push(']');
+        let rows: Vec<String> = self
+            .stage_profiles
+            .iter()
+            .flat_map(|p| {
+                p.stages.iter().map(|s| {
+                    stage_row_json(
+                        s.stage.name(),
+                        p.engine_threads as u64,
+                        s.calls,
+                        s.total_ns,
+                        s.mean_ns(),
+                    )
+                })
+            })
+            .collect();
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(row);
+            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
         }
+        out.push(']');
         if let Some(allocs) = self.allocs_per_step {
             let mut line = JsonLine::new();
             line.f64_field("allocs_per_step", allocs);
@@ -194,7 +253,8 @@ impl PerfReport {
     /// The gate compares the fresh **best** observed throughput against
     /// the committed **mean** throughput: the best-of-batches figure is
     /// robust to scheduler noise on loaded CI machines, while the mean
-    /// keeps the committed reference honest.
+    /// keeps the committed reference honest. The committed side may be
+    /// either schema version (the scanner keys on benchmark name only).
     pub fn regressions_against(&self, committed: &str) -> Vec<String> {
         let baseline = committed_steps_per_sec(committed);
         let mut failures = Vec::new();
@@ -233,8 +293,8 @@ impl PerfReport {
 /// Extracts `(name, steps_per_sec)` pairs from a committed baseline
 /// document.
 ///
-/// Minimal scanner for the format [`PerfReport::to_json`] emits: each
-/// benchmark is one line carrying both a `"name"` and a
+/// Minimal scanner for the format [`PerfReport::to_json`] emits (v1 or
+/// v2): each benchmark is one line carrying both a `"name"` and a
 /// `"steps_per_sec"` field.
 pub fn committed_steps_per_sec(json: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
@@ -250,31 +310,140 @@ pub fn committed_steps_per_sec(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// The rest of the document after `"key":`, with leading whitespace
+/// trimmed — tolerant of the pretty-printed `"key": value` style the
+/// report's top-level fields use (the line scanners in [`crate::jsonq`]
+/// require the compact `"key":value` the row lines use).
+fn field_tail<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = doc.find(&pat)? + pat.len();
+    Some(doc[start..].trim_start())
+}
+
+/// The schema version of a perf report document (`1` for
+/// `baat-perf-v1`, `2` for `baat-perf-v2`). `None` when the document is
+/// not a perf report.
+pub fn schema_version(json: &str) -> Option<u32> {
+    let tail = field_tail(json, "schema")?.strip_prefix('"')?;
+    let end = tail.find('"')?;
+    tail[..end].strip_prefix("baat-perf-v")?.parse().ok()
+}
+
+/// Leading unsigned integer of a top-level (pretty-printed) field.
+fn field_u64(doc: &str, key: &str) -> Option<u64> {
+    let tail = field_tail(doc, key)?;
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Reads a v1 **or** v2 perf report into one canonical line-per-row
+/// shape, so documents across the schema bump stay comparable
+/// (`console diff`) and machine-readable (the run registry):
+///
+/// ```text
+/// {"kind":"bench","name":...,"engine_threads":N,"steps_per_sec":...}
+/// {"kind":"stage","stage":...,"engine_threads":N,"calls":...,...}
+/// {"kind":"allocs","allocs_per_step":...}
+/// {"kind":"obs_overhead","obs_overhead_ns_per_step":...}
+/// ```
+///
+/// v1 documents carried one global `engine_threads` and split stage
+/// rows into `stages` (sequential) and `stages_parallel` sections; the
+/// normalizer folds that back into per-row thread counts (benchmarks:
+/// the global count for the one `-sharded` cell v1 ever had, 1
+/// otherwise). Returns `None` for non-perf documents.
+pub fn normalized_lines(json: &str) -> Option<Vec<String>> {
+    let version = schema_version(json)?;
+    let global_threads = field_u64(json, "engine_threads").unwrap_or(1);
+    let mut section_threads = 1u64;
+    let mut out = Vec::new();
+    for line in json.lines() {
+        if version < 2 {
+            if line.contains("\"stages\":") {
+                section_threads = 1;
+            } else if line.contains("\"stages_parallel\":") {
+                section_threads = global_threads;
+            }
+        }
+        if let (Some(name), Some(sps)) = (
+            extract_str(line, "name"),
+            extract_f64(line, "steps_per_sec"),
+        ) {
+            let threads =
+                extract_u64(line, "engine_threads").unwrap_or(if name.contains("sharded") {
+                    global_threads
+                } else {
+                    1
+                });
+            let mut l = JsonLine::new();
+            l.str_field("kind", "bench")
+                .str_field("name", &name)
+                .u64_field("engine_threads", threads)
+                .f64_field("steps_per_sec", sps);
+            if let Some(best) = extract_f64(line, "best_steps_per_sec") {
+                l.f64_field("best_steps_per_sec", best);
+            }
+            if let Some(eff) = extract_f64(line, "parallel_efficiency") {
+                l.f64_field("parallel_efficiency", eff);
+            }
+            out.push(l.finish());
+        } else if let Some(stage) = extract_str(line, "stage") {
+            let threads = extract_u64(line, "engine_threads").unwrap_or(section_threads);
+            let mut l = JsonLine::new();
+            l.str_field("kind", "stage")
+                .str_field("stage", &stage)
+                .u64_field("engine_threads", threads)
+                .u64_field("calls", extract_u64(line, "calls").unwrap_or(0))
+                .u64_field("total_ns", extract_u64(line, "total_ns").unwrap_or(0))
+                .u64_field("mean_ns", extract_u64(line, "mean_ns").unwrap_or(0));
+            out.push(l.finish());
+        } else if let Some(v) = extract_f64(line, "allocs_per_step") {
+            let mut l = JsonLine::new();
+            l.str_field("kind", "allocs")
+                .f64_field("allocs_per_step", v);
+            out.push(l.finish());
+        } else if let Some(v) = extract_f64(line, "obs_overhead_ns_per_step") {
+            let mut l = JsonLine::new();
+            l.str_field("kind", "obs_overhead")
+                .f64_field("obs_overhead_ns_per_step", v);
+            out.push(l.finish());
+        }
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use baat_obs::Stage;
+
+    fn bench(name: &str, threads: usize, mean_ns: u64, min_ns: u64) -> PerfBench {
+        PerfBench {
+            name: name.to_owned(),
+            engine_threads: threads,
+            steps_per_iter: 2880,
+            seed_mean_ns: 176_660_000,
+            mean_ns,
+            min_ns,
+            parallel_efficiency: None,
+        }
+    }
 
     fn report() -> PerfReport {
         PerfReport {
             benchmarks: vec![
-                PerfBench {
-                    name: "simulated_day/BAAT".to_owned(),
-                    steps_per_iter: 2880,
-                    seed_mean_ns: 176_660_000,
-                    mean_ns: 68_480_000,
-                    min_ns: 61_290_000,
-                },
+                bench("simulated_day/BAAT", 1, 68_480_000, 61_290_000),
                 PerfBench {
                     name: "sweep/fig03_05".to_owned(),
+                    engine_threads: 1,
                     steps_per_iter: 1,
                     seed_mean_ns: 279_820,
                     mean_ns: 132_830,
                     min_ns: 124_790,
+                    parallel_efficiency: None,
                 },
             ],
-            stages: Vec::new(),
-            stages_parallel: Vec::new(),
-            engine_threads: None,
+            stage_profiles: Vec::new(),
             allocs_per_step: None,
             obs_overhead_ns_per_step: None,
         }
@@ -347,40 +516,138 @@ mod tests {
     }
 
     #[test]
-    fn parallel_stage_rows_ride_with_the_thread_count() {
-        use baat_obs::Stage;
+    fn stage_rows_carry_their_thread_count() {
         let mut r = report();
         let row = |total_ns| StageStats {
             stage: Stage::BatteryStep,
             calls: 72,
             total_ns,
         };
-        r.stages = vec![row(7_200)];
-        r.stages_parallel = vec![row(9_600)];
-        // Without a thread count the parallel rows are not emitted.
-        assert!(!r.to_json().contains("stages_parallel"));
-        r.engine_threads = Some(4);
+        r.stage_profiles = vec![
+            StageProfile {
+                engine_threads: 1,
+                stages: vec![row(7_200)],
+            },
+            StageProfile {
+                engine_threads: 4,
+                stages: vec![row(9_600)],
+            },
+        ];
         let json = r.to_json();
-        assert!(json.contains("\"engine_threads\": 4"));
-        assert!(json.contains("\"stages_parallel\": [\n"));
-        // Both profiles still round-trip through the benchmark scanner
-        // untouched (stage rows carry no name/steps_per_sec pair).
+        assert!(json.contains("\"schema\": \"baat-perf-v2\""));
+        assert!(
+            !json.contains("stages_parallel"),
+            "the duplicated v1 twin table is gone"
+        );
+        assert!(json.contains(
+            "{\"stage\":\"battery_step\",\"engine_threads\":1,\"calls\":72,\"total_ns\":7200"
+        ));
+        assert!(json.contains(
+            "{\"stage\":\"battery_step\",\"engine_threads\":4,\"calls\":72,\"total_ns\":9600"
+        ));
+        // Stage rows carry no name/steps_per_sec pair, so the benchmark
+        // scanner still sees exactly the benchmarks.
         assert_eq!(committed_steps_per_sec(&json).len(), 2);
+    }
+
+    #[test]
+    fn parallel_efficiency_rides_on_parallel_cells_only() {
+        let mut r = report();
+        let mut sharded = bench("simulated_day/BAAT-sharded", 4, 137_000_000, 130_000_000);
+        sharded.record_parallel_efficiency(r.benchmarks[0].mean_ns);
+        let eff = sharded.parallel_efficiency.expect("recorded");
+        // 68.48 ms sequential vs 137 ms on 4 threads: eff = 0.5/4.
+        assert!((eff - 68_480_000.0 / 137_000_000.0 / 4.0).abs() < 1e-12);
+        r.benchmarks.push(sharded);
+        let json = r.to_json();
+        assert_eq!(json.matches("parallel_efficiency").count(), 1);
+        assert!(json.contains("\"engine_threads\":4"));
     }
 
     #[test]
     fn missing_benchmark_is_reported() {
         let committed = report().to_json();
         let mut extra = report();
-        extra.benchmarks.push(PerfBench {
-            name: "new/bench".to_owned(),
-            steps_per_iter: 1,
-            seed_mean_ns: 0,
-            mean_ns: 100,
-            min_ns: 90,
-        });
+        extra.benchmarks.push(bench("new/bench", 1, 100, 90));
         let failures = extra.regressions_against(&committed);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("missing"));
+    }
+
+    /// A hand-written v1 document shaped like the committed BENCH_9.json.
+    fn v1_doc() -> String {
+        "{\n\"schema\": \"baat-perf-v1\",\n\"issue\": 9,\n\"tolerance_pct\": 20,\n\
+         \"benchmarks\": [\n\
+         {\"name\":\"simulated_day/BAAT\",\"steps_per_iter\":2880,\"seed_mean_ns\":176660000,\"mean_ns\":68480000,\"min_ns\":61290000,\"steps_per_sec\":42056.08,\"best_steps_per_sec\":46989.72,\"speedup_vs_seed\":2.58},\n\
+         {\"name\":\"simulated_day/BAAT-sharded\",\"steps_per_iter\":2880,\"seed_mean_ns\":176660000,\"mean_ns\":32575708,\"min_ns\":31000000,\"steps_per_sec\":88409.0,\"best_steps_per_sec\":92903.2,\"speedup_vs_seed\":5.42}\n\
+         ],\n\"stages\": [\n\
+         {\"stage\":\"solar\",\"calls\":72,\"total_ns\":23487,\"mean_ns\":326}\n\
+         ],\n\"engine_threads\": 4,\n\"stages_parallel\": [\n\
+         {\"stage\":\"solar\",\"calls\":72,\"total_ns\":31002,\"mean_ns\":430}\n\
+         ],\n\"obs_overhead\": {\"obs_overhead_ns_per_step\":502.12,\"limit_ns_per_step\":1000}\n}\n"
+            .to_owned()
+    }
+
+    #[test]
+    fn schema_version_reads_both_generations() {
+        assert_eq!(schema_version(&v1_doc()), Some(1));
+        assert_eq!(schema_version(&report().to_json()), Some(2));
+        assert_eq!(schema_version("{\"at_s\":0}"), None);
+    }
+
+    #[test]
+    fn v1_documents_normalize_with_inferred_thread_counts() {
+        let lines = normalized_lines(&v1_doc()).expect("perf doc");
+        let benches: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"bench\""))
+            .collect();
+        assert_eq!(benches.len(), 2);
+        assert!(
+            benches[0].contains("\"engine_threads\":1"),
+            "sequential cell: {}",
+            benches[0]
+        );
+        assert!(
+            benches[1].contains("\"name\":\"simulated_day/BAAT-sharded\"")
+                && benches[1].contains("\"engine_threads\":4"),
+            "the sharded cell inherits the global count: {}",
+            benches[1]
+        );
+        let stages: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"stage\""))
+            .collect();
+        assert_eq!(stages.len(), 2);
+        assert!(stages[0].contains("\"engine_threads\":1") && stages[0].contains("23487"));
+        assert!(stages[1].contains("\"engine_threads\":4") && stages[1].contains("31002"));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"obs_overhead\"") && l.contains("502.12")));
+    }
+
+    #[test]
+    fn v2_normalization_matches_its_own_rows() {
+        let mut r = report();
+        r.stage_profiles = vec![StageProfile {
+            engine_threads: 8,
+            stages: vec![StageStats {
+                stage: Stage::Solar,
+                calls: 10,
+                total_ns: 1000,
+            }],
+        }];
+        let lines = normalized_lines(&r.to_json()).expect("perf doc");
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"stage\"") && l.contains("\"engine_threads\":8")));
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"kind\":\"bench\""))
+                .count(),
+            2
+        );
+        assert!(normalized_lines("{\"name\":\"x\"}").is_none(), "non-perf");
     }
 }

@@ -1,4 +1,5 @@
-//! Schema validation for `spans.jsonl` trace exports.
+//! Schema validation for `spans.jsonl` trace exports and OpenMetrics
+//! text exposition.
 //!
 //! The trace contract (pinned by `baat-obs` unit tests and re-checked
 //! here over whole files, so `ci/check.sh` can validate a real run's
@@ -6,6 +7,14 @@
 //! fields; ids sequential from 1; `parent`, when present, referring to
 //! an **earlier** span (causality cannot point forward in a
 //! simulated-time trace); `end_s`, when present, at or after `start_s`.
+//!
+//! [`validate_openmetrics`] checks the text a `/metrics` scrape (or a
+//! `metrics.om` export) returns against the slice of the OpenMetrics
+//! 1.0 spec the in-tree exporter promises: every sample declared by a
+//! preceding `# TYPE` line, counter samples suffixed `_total`,
+//! histogram buckets cumulative with a `+Inf` terminator matching
+//! `_count`, and a single final `# EOF` terminator. `console
+//! trace-check FILE.om` and CI's scrape smoke run it over live output.
 
 use crate::jsonq::{extract_str, extract_u64};
 
@@ -55,6 +64,144 @@ pub fn validate_trace(jsonl: &str) -> Vec<String> {
     violations
 }
 
+/// `true` for a name the exporter could have emitted
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Metric families declared by `# TYPE` lines, with the per-family
+/// bookkeeping histogram validation needs.
+struct Family {
+    name: String,
+    kind: String,
+    /// Last cumulative bucket value seen (histograms).
+    last_bucket: Option<f64>,
+    /// The `+Inf` bucket's value, once seen (histograms).
+    inf_bucket: Option<f64>,
+}
+
+/// Validates an OpenMetrics text document (a `/metrics` scrape body or
+/// a `metrics.om` export). Returns one human-readable violation per
+/// broken line/rule; empty means the document is well-formed.
+pub fn validate_openmetrics(text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut families: Vec<Family> = Vec::new();
+    let mut saw_eof = false;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if saw_eof {
+            violations.push(format!("line {n}: content after the # EOF terminator"));
+            break;
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut parts = decl.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                violations.push(format!("line {n}: malformed # TYPE declaration"));
+                continue;
+            };
+            if !valid_metric_name(name) {
+                violations.push(format!("line {n}: invalid metric name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                violations.push(format!("line {n}: unknown metric type {kind:?}"));
+            }
+            if families.iter().any(|f| f.name == name) {
+                violations.push(format!("line {n}: duplicate # TYPE for {name}"));
+            }
+            families.push(Family {
+                name: name.to_owned(),
+                kind: kind.to_owned(),
+                last_bucket: None,
+                inf_bucket: None,
+            });
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            // HELP/UNIT lines and blank separators are legal filler.
+            continue;
+        }
+        // A sample line: `name[{labels}] value`.
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        let (name, rest) = line.split_at(name_end);
+        if !valid_metric_name(name) {
+            violations.push(format!("line {n}: invalid sample name {name:?}"));
+            continue;
+        }
+        let value_str = rest
+            .rsplit_once(' ')
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| rest.trim_start());
+        let value = match value_str {
+            "+Inf" => Some(f64::INFINITY),
+            "-Inf" => Some(f64::NEG_INFINITY),
+            "NaN" => Some(f64::NAN),
+            v => v.parse::<f64>().ok(),
+        };
+        let Some(value) = value else {
+            violations.push(format!("line {n}: unparseable sample value {value_str:?}"));
+            continue;
+        };
+        // Resolve the sample to its declared family. Suffix resolution
+        // prefers the longest declared family name, so a histogram
+        // named `x` and a gauge named `x_sum` cannot shadow each other.
+        let family = families.iter_mut().rev().find(|f| match f.kind.as_str() {
+            "counter" => name == format!("{}_total", f.name),
+            "gauge" => name == f.name,
+            "histogram" => {
+                name == format!("{}_bucket", f.name)
+                    || name == format!("{}_sum", f.name)
+                    || name == format!("{}_count", f.name)
+            }
+            _ => false,
+        });
+        let Some(family) = family else {
+            violations.push(format!(
+                "line {n}: sample {name} has no preceding # TYPE declaration"
+            ));
+            continue;
+        };
+        if family.kind == "histogram" && name.ends_with("_bucket") {
+            if let Some(prev) = family.last_bucket {
+                if value < prev {
+                    violations.push(format!(
+                        "line {n}: {name} buckets are not cumulative ({value} < {prev})"
+                    ));
+                }
+            }
+            family.last_bucket = Some(value);
+            if rest.contains("le=\"+Inf\"") {
+                family.inf_bucket = Some(value);
+            }
+        }
+        if family.kind == "histogram" && name.ends_with("_count") {
+            match family.inf_bucket {
+                None => violations.push(format!(
+                    "line {n}: {name} appears before a +Inf bucket for {}",
+                    family.name
+                )),
+                Some(inf) if inf != value => violations.push(format!(
+                    "line {n}: {name} {value} does not equal the +Inf bucket {inf}"
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    if !saw_eof {
+        violations.push("missing the final # EOF terminator".to_owned());
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +245,87 @@ mod tests {
     #[test]
     fn empty_trace_is_valid() {
         assert!(validate_trace("").is_empty());
+    }
+
+    #[test]
+    fn a_well_formed_openmetrics_document_passes() {
+        let doc = "# TYPE sim_steps counter\n\
+                   sim_steps_total 2880\n\
+                   # TYPE exec_pool_threads gauge\n\
+                   exec_pool_threads 4\n\
+                   # TYPE lat_ns histogram\n\
+                   lat_ns_bucket{le=\"0\"} 0\n\
+                   lat_ns_bucket{le=\"1\"} 3\n\
+                   lat_ns_bucket{le=\"+Inf\"} 5\n\
+                   lat_ns_sum 42\n\
+                   lat_ns_count 5\n\
+                   # EOF\n";
+        assert_eq!(validate_openmetrics(doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn the_live_exporter_output_passes() {
+        // The real thing, not a transcript: whatever the registry
+        // exporter emits must satisfy the validator.
+        let obs = baat_obs::Obs::enabled();
+        obs.counter("sim.steps").add(7);
+        obs.gauge("exec.pool.threads").set(4.0);
+        let h = obs.histogram("exec.shard.imbalance_x1000.hist");
+        h.observe(1000);
+        h.observe(2500);
+        assert_eq!(
+            validate_openmetrics(&obs.metrics_openmetrics()),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn missing_eof_and_trailing_content_are_rejected() {
+        let v = validate_openmetrics("# TYPE x gauge\nx 1\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("# EOF"));
+        let v = validate_openmetrics("# EOF\nx 1\n");
+        assert!(v.iter().any(|m| m.contains("after the # EOF")), "{v:?}");
+    }
+
+    #[test]
+    fn undeclared_samples_and_bad_counter_suffixes_are_rejected() {
+        let v = validate_openmetrics("orphan_total 1\n# EOF\n");
+        assert!(v[0].contains("no preceding # TYPE"), "{v:?}");
+        // A counter sample without the _total suffix does not resolve.
+        let v = validate_openmetrics("# TYPE sim_steps counter\nsim_steps 1\n# EOF\n");
+        assert!(v[0].contains("no preceding # TYPE"), "{v:?}");
+    }
+
+    #[test]
+    fn histogram_violations_are_reported() {
+        let shrinking = "# TYPE h histogram\n\
+                         h_bucket{le=\"0\"} 5\n\
+                         h_bucket{le=\"+Inf\"} 3\n\
+                         h_count 3\n\
+                         # EOF\n";
+        let v = validate_openmetrics(shrinking);
+        assert!(v.iter().any(|m| m.contains("not cumulative")), "{v:?}");
+        let mismatched = "# TYPE h histogram\n\
+                          h_bucket{le=\"+Inf\"} 5\n\
+                          h_count 4\n\
+                          # EOF\n";
+        let v = validate_openmetrics(mismatched);
+        assert!(
+            v.iter().any(|m| m.contains("does not equal the +Inf")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_type_lines_and_values_are_rejected() {
+        let v = validate_openmetrics("# TYPE only_name\n# EOF\n");
+        assert!(v[0].contains("malformed # TYPE"), "{v:?}");
+        let v = validate_openmetrics("# TYPE x widget\n# EOF\n");
+        assert!(v[0].contains("unknown metric type"), "{v:?}");
+        let v = validate_openmetrics("# TYPE x gauge\n# TYPE x gauge\n# EOF\n");
+        assert!(v[0].contains("duplicate # TYPE"), "{v:?}");
+        let v = validate_openmetrics("# TYPE x gauge\nx pickles\n# EOF\n");
+        assert!(v[0].contains("unparseable sample value"), "{v:?}");
     }
 }

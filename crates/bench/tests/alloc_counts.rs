@@ -55,14 +55,19 @@ fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
 
 /// Allocations per step the committed baseline budgets for the engine's
 /// own step loop (events, queues, amortized growth) — see the `allocs`
-/// record in `BENCH_9.json`. Disabled observability must not add to it.
+/// record in `BENCH_10.json`. Disabled observability must not add to it.
 const STEP_ALLOC_BUDGET: f64 = 10.0;
 
 fn faulted_day_config() -> SimConfig {
+    faulted_day_config_threads(1)
+}
+
+fn faulted_day_config_threads(threads: usize) -> SimConfig {
     let mut cfg = SimConfig::builder();
     cfg.weather_plan(vec![Weather::Cloudy])
         .dt(SimDuration::from_secs(30))
         .sample_every(40)
+        .threads(threads)
         .seed(1);
     let probe = cfg.build().expect("valid");
     cfg.faults(FaultPlan::generate(
@@ -129,5 +134,29 @@ fn disabled_observability_allocates_nothing() {
         per_step < STEP_ALLOC_BUDGET,
         "faulted day with disabled obs allocated {per_step:.3}/step \
          (budget {STEP_ALLOC_BUDGET})"
+    );
+
+    // --- invariant 3: the sharded engine with disabled obs stays in
+    // its own budget. The extra headroom over `STEP_ALLOC_BUDGET` is
+    // the pool's inherent per-batch dispatch cost (the result-slot
+    // vector and per-shard output vectors), measured at ~11/step before
+    // the exec metering existed. The metering itself must add nothing:
+    // worker meters are sized at pool construction, per-shard timing
+    // vectors live in the reusable step scratch, and the off path is
+    // one relaxed load per batch — any metering allocation would blow
+    // the tight margin. The counting allocator is global, so
+    // worker-thread allocations are counted too.
+    const SHARDED_STEP_ALLOC_BUDGET: f64 = 14.0;
+    let config = faulted_day_config_threads(4);
+    let mut sim = Simulation::with_obs(config, Obs::disabled()).expect("valid");
+    let mut policy = Scheme::Baat.build();
+    let steps = sim.total_steps();
+    let (n, result) = allocs_during(|| sim.run_steps(&mut policy, steps));
+    result.expect("runs");
+    let per_step = n as f64 / steps as f64;
+    assert!(
+        per_step < SHARDED_STEP_ALLOC_BUDGET,
+        "sharded faulted day with disabled obs allocated {per_step:.3}/step \
+         (budget {SHARDED_STEP_ALLOC_BUDGET})"
     );
 }

@@ -39,6 +39,18 @@
 //! let squares = pool.run(8, |i| i * i);
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
+//!
+//! # Metering
+//!
+//! [`ExecPool::set_metering`] turns on per-thread execution counters:
+//! busy nanoseconds and task counts per thread (index 0 is the caller),
+//! batch counts, batch wall time, and the caller's post-drain *merge
+//! wait* — the time the calling thread spends waiting for stragglers
+//! after the task cursor drains, which is exactly the serialization
+//! cost a sharded stage pays over its slowest shard. Metering is off by
+//! default and its disabled cost is a single relaxed atomic load per
+//! batch: no clock reads, no allocation. Counters are relaxed atomics
+//! read after the fact — they never influence task scheduling.
 
 #![deny(missing_docs)]
 
@@ -46,6 +58,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Iterations an idle worker spins on the epoch atomic before sleeping
 /// on the condvar. Sized to cover the inter-batch gap of a hot step
@@ -76,6 +89,14 @@ struct Batch {
     tasks: usize,
 }
 
+/// One thread's execution counters; all relaxed, written only by the
+/// owning thread while metering is on.
+#[derive(Default)]
+struct ThreadMeter {
+    busy_ns: AtomicU64,
+    tasks: AtomicU64,
+}
+
 struct Shared {
     batch: Mutex<Batch>,
     work_cv: Condvar,
@@ -85,6 +106,50 @@ struct Shared {
     /// Tasks completed in the current batch (claimed *and* executed).
     finished: AtomicUsize,
     shutdown: AtomicBool,
+    /// Metering switch; the whole disabled cost is one relaxed load of
+    /// this flag per batch (workers re-check it once per task).
+    meter: AtomicBool,
+    /// Per-thread counters, index 0 = caller, 1.. = workers. Sized at
+    /// construction so the metered path never allocates either.
+    meters: Vec<ThreadMeter>,
+    /// Batches dispatched while metering was on.
+    batches: AtomicU64,
+    /// Sum of metered batch wall times (dispatch to last task done).
+    wall_ns: AtomicU64,
+    /// Cumulative caller post-drain wait (merge wait) across metered
+    /// batches, plus the most recent batch's wait on its own — the
+    /// engine reads the latter right after a sharded stage returns to
+    /// attribute the wait to that stage.
+    caller_wait_ns: AtomicU64,
+    last_caller_wait_ns: AtomicU64,
+}
+
+/// One thread's share of metered pool work. Index 0 of
+/// [`PoolStats::threads_stats`] is the calling thread; workers follow
+/// in spawn order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Nanoseconds this thread spent executing tasks.
+    pub busy_ns: u64,
+    /// Tasks this thread executed.
+    pub tasks: u64,
+}
+
+/// Snapshot of pool execution counters since metering was enabled.
+/// Values are relaxed-atomic reads: exact once the pool is quiescent
+/// (no `run` in flight), approximate during one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total threads batches run on (workers + caller).
+    pub threads: usize,
+    /// Batches dispatched while metering was on.
+    pub batches: u64,
+    /// Sum of metered batch wall times, dispatch to last task done.
+    pub wall_ns: u64,
+    /// Cumulative caller post-drain (merge) wait across metered batches.
+    pub caller_wait_ns: u64,
+    /// Per-thread busy time and task counts; index 0 is the caller.
+    pub threads_stats: Vec<ThreadStats>,
 }
 
 /// A fixed-size worker pool; see the crate docs for the design.
@@ -124,13 +189,19 @@ impl ExecPool {
             epoch: AtomicU64::new(0),
             finished: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            meter: AtomicBool::new(false),
+            meters: (0..threads).map(|_| ThreadMeter::default()).collect(),
+            batches: AtomicU64::new(0),
+            wall_ns: AtomicU64::new(0),
+            caller_wait_ns: AtomicU64::new(0),
+            last_caller_wait_ns: AtomicU64::new(0),
         });
         let workers = (1..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("baat-exec-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -147,6 +218,48 @@ impl ExecPool {
         self.threads
     }
 
+    /// Turns execution metering on or off. Off by default; toggling
+    /// does not reset counters, so a consumer that enables metering
+    /// once at startup reads monotonic totals.
+    pub fn set_metering(&self, on: bool) {
+        self.shared.meter.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether execution metering is currently on.
+    pub fn metering(&self) -> bool {
+        self.shared.meter.load(Ordering::Relaxed)
+    }
+
+    /// The most recent metered batch's caller merge wait in
+    /// nanoseconds: how long the calling thread idled behind its
+    /// slowest worker after the task cursor drained. Zero for inline
+    /// (single-thread or single-task) batches and while metering is
+    /// off. Read it immediately after [`run`](Self::run) to attribute
+    /// the wait to the stage that dispatched the batch.
+    pub fn last_caller_wait_ns(&self) -> u64 {
+        self.shared.last_caller_wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the pool's metered counters. Allocation happens
+    /// here, on the cold read path — never inside [`run`](Self::run).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            wall_ns: self.shared.wall_ns.load(Ordering::Relaxed),
+            caller_wait_ns: self.shared.caller_wait_ns.load(Ordering::Relaxed),
+            threads_stats: self
+                .shared
+                .meters
+                .iter()
+                .map(|m| ThreadStats {
+                    busy_ns: m.busy_ns.load(Ordering::Relaxed),
+                    tasks: m.tasks.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
     /// Runs `f(0..tasks)` across the pool and returns the results in
     /// task-index order. Blocks until every task completed. If any task
     /// panicked, the first panic (by task index) is re-thrown here
@@ -159,8 +272,25 @@ impl ExecPool {
         if tasks == 0 {
             return Vec::new();
         }
+        let meter = self.shared.meter.load(Ordering::Relaxed);
         if self.workers.is_empty() || tasks == 1 {
-            return (0..tasks).map(f).collect();
+            if !meter {
+                return (0..tasks).map(f).collect();
+            }
+            // Inline batch: all work is caller busy time, no merge wait.
+            let started = Instant::now();
+            let out = (0..tasks).map(f).collect();
+            let elapsed = started.elapsed().as_nanos() as u64;
+            self.shared.batches.fetch_add(1, Ordering::Relaxed);
+            self.shared.wall_ns.fetch_add(elapsed, Ordering::Relaxed);
+            self.shared.meters[0]
+                .busy_ns
+                .fetch_add(elapsed, Ordering::Relaxed);
+            self.shared.meters[0]
+                .tasks
+                .fetch_add(tasks as u64, Ordering::Relaxed);
+            self.shared.last_caller_wait_ns.store(0, Ordering::Relaxed);
+            return out;
         }
         // One slot per task; each index is claimed exactly once, so
         // every lock below is uncontended.
@@ -179,6 +309,7 @@ impl ExecPool {
         });
 
         let guard = self.run_lock.lock().expect("run lock");
+        let batch_started = meter.then(Instant::now);
         self.shared.finished.store(0, Ordering::Relaxed);
         {
             let mut batch = self.shared.batch.lock().expect("batch lock");
@@ -192,6 +323,8 @@ impl ExecPool {
 
         // Participate until the cursor drains, then clear the job so
         // late-waking workers see an exhausted batch.
+        let mut caller_busy_ns = 0u64;
+        let mut caller_tasks = 0u64;
         loop {
             let claimed = {
                 let mut batch = self.shared.batch.lock().expect("batch lock");
@@ -205,11 +338,19 @@ impl ExecPool {
                 }
             };
             let Some(i) = claimed else { break };
+            let task_started = meter.then(Instant::now);
             call(i);
+            if let Some(at) = task_started {
+                caller_busy_ns += at.elapsed().as_nanos() as u64;
+                caller_tasks += 1;
+            }
             self.shared.finished.fetch_add(1, Ordering::Release);
         }
         // Wait for tasks still running on workers. Every claimed index
         // increments `finished` (panics are caught), so this terminates.
+        // Under metering this wait is the batch's *merge wait*: the
+        // caller idling behind its slowest worker.
+        let wait_started = meter.then(Instant::now);
         let mut spins = 0u32;
         while self.shared.finished.load(Ordering::Acquire) < tasks {
             spins = spins.wrapping_add(1);
@@ -218,6 +359,27 @@ impl ExecPool {
             } else {
                 std::hint::spin_loop();
             }
+        }
+        if let Some(batch_at) = batch_started {
+            let wait_ns = wait_started
+                .map(|at| at.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            self.shared.batches.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .wall_ns
+                .fetch_add(batch_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.shared
+                .caller_wait_ns
+                .fetch_add(wait_ns, Ordering::Relaxed);
+            self.shared
+                .last_caller_wait_ns
+                .store(wait_ns, Ordering::Relaxed);
+            self.shared.meters[0]
+                .busy_ns
+                .fetch_add(caller_busy_ns, Ordering::Relaxed);
+            self.shared.meters[0]
+                .tasks
+                .fetch_add(caller_tasks, Ordering::Relaxed);
         }
         drop(guard);
 
@@ -268,7 +430,7 @@ impl Drop for ExecPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: usize) {
     let mut seen = 0u64;
     loop {
         // Fast path: spin briefly for the next batch before sleeping.
@@ -304,7 +466,15 @@ fn worker_loop(shared: &Shared) {
             let i = batch.cursor;
             batch.cursor += 1;
             drop(batch);
+            let task_started = shared.meter.load(Ordering::Relaxed).then(Instant::now);
             (job.0)(i);
+            if let Some(at) = task_started {
+                let meter = &shared.meters[index];
+                meter
+                    .busy_ns
+                    .fetch_add(at.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                meter.tasks.fetch_add(1, Ordering::Relaxed);
+            }
             shared.finished.fetch_add(1, Ordering::Release);
             batch = shared.batch.lock().expect("batch lock");
         }
@@ -405,5 +575,92 @@ mod tests {
         let out = pool.run(333, |i| i as u64 * 2);
         assert_eq!(out.len(), 333);
         assert_eq!(out[332], 664);
+    }
+
+    #[test]
+    fn metering_is_off_by_default_and_records_nothing() {
+        let pool = ExecPool::new(4);
+        assert!(!pool.metering());
+        pool.run(16, |i| i);
+        let stats = pool.stats();
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.wall_ns, 0);
+        assert_eq!(stats.caller_wait_ns, 0);
+        assert_eq!(stats.threads_stats.len(), 4);
+        for t in &stats.threads_stats {
+            assert_eq!(t.tasks, 0);
+            assert_eq!(t.busy_ns, 0);
+        }
+    }
+
+    #[test]
+    fn metered_batches_account_every_task_exactly_once() {
+        let pool = ExecPool::new(4);
+        pool.set_metering(true);
+        assert!(pool.metering());
+        for _ in 0..10 {
+            pool.run(32, |i| {
+                std::hint::black_box(i);
+            });
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.batches, 10);
+        let total_tasks: u64 = stats.threads_stats.iter().map(|t| t.tasks).sum();
+        assert_eq!(total_tasks, 320, "every task attributed to one thread");
+        assert!(stats.wall_ns > 0);
+    }
+
+    #[test]
+    fn inline_batches_meter_as_pure_caller_work() {
+        let pool = ExecPool::new(1);
+        pool.set_metering(true);
+        pool.run(7, |i| {
+            std::hint::black_box(i);
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.threads_stats[0].tasks, 7);
+        assert_eq!(stats.caller_wait_ns, 0);
+        assert_eq!(pool.last_caller_wait_ns(), 0);
+    }
+
+    #[test]
+    fn merge_wait_reflects_a_straggling_worker() {
+        let pool = ExecPool::new(2);
+        pool.set_metering(true);
+        // Two tasks: the caller claims one instantly, the worker's one
+        // sleeps — the caller must log the difference as merge wait.
+        // (Which index each thread claims is racy, so make both slow
+        // except the first, guaranteeing the caller finishes early at
+        // least once across attempts.)
+        let mut saw_wait = false;
+        for _ in 0..20 {
+            pool.run(2, |i| {
+                if i == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            });
+            if pool.last_caller_wait_ns() > 0 {
+                saw_wait = true;
+                break;
+            }
+        }
+        assert!(saw_wait, "caller never observed a merge wait");
+        assert!(pool.stats().caller_wait_ns > 0);
+    }
+
+    #[test]
+    fn disabling_metering_freezes_counters() {
+        let pool = ExecPool::new(3);
+        pool.set_metering(true);
+        pool.run(9, |i| i);
+        let before = pool.stats();
+        pool.set_metering(false);
+        pool.run(9, |i| i);
+        let after = pool.stats();
+        assert_eq!(before.batches, after.batches);
+        let tasks = |s: &PoolStats| s.threads_stats.iter().map(|t| t.tasks).sum::<u64>();
+        assert_eq!(tasks(&before), tasks(&after));
     }
 }

@@ -7,9 +7,10 @@
 //! [`Histogram`]), a per-stage step profiler ([`Stage`], [`StageTimer`]),
 //! causal trace spans ([`Tracer`], [`SpanId`]), an aging-health monitor
 //! with flight recorder ([`HealthMonitor`], [`FlightRecorder`]), an
-//! OpenMetrics text exporter ([`openmetrics`]) and a dependency-free
-//! JSONL encoder ([`json`]) used by every subsystem to export metrics,
-//! events and traces.
+//! OpenMetrics text exporter ([`openmetrics`]), a dependency-free live
+//! scrape endpoint ([`serve`]) and a dependency-free JSONL encoder
+//! ([`json`]) used by every subsystem to export metrics, events and
+//! traces.
 //!
 //! Two invariants shape the design:
 //!
@@ -37,6 +38,7 @@ pub mod json;
 pub mod openmetrics;
 pub mod profile;
 pub mod registry;
+pub mod serve;
 pub mod trace;
 
 pub use health::{
@@ -47,4 +49,5 @@ pub use profile::{Stage, StageClock, StageStats, StageTimer};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSample, MetricSample, Obs, SampleValue, HISTOGRAM_BUCKETS,
 };
+pub use serve::{MetricsServer, OPENMETRICS_CONTENT_TYPE};
 pub use trace::{AttrValue, SpanId, SpanRecord, Tracer};

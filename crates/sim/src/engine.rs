@@ -180,6 +180,125 @@ impl FaultCounters {
     }
 }
 
+/// Parallel-execution metric handles: the `exec.*` family. Registered
+/// only when the engine has *both* a worker pool and an enabled obs
+/// context, so sequential runs and disabled-obs runs leave the metric
+/// registry (and its exports) untouched — at `threads=1` the OpenMetrics
+/// golden stays byte-identical. All handles are interior-mutable, so
+/// hot-path updates are relaxed atomic ops with zero allocation; the
+/// per-shard/per-thread vectors are sized once at construction.
+///
+/// The registry encodes indices into metric names (it has no label
+/// support): `exec.worker.3.busy_ns` rather than
+/// `exec_worker_busy_ns{worker="3"}`.
+#[derive(Debug, Clone)]
+struct ExecObs {
+    /// Pool-level gauges, refreshed at the trace cadence from
+    /// [`ExecPool::stats`].
+    pool_threads: Gauge,
+    pool_batches: Gauge,
+    pool_wall_ns: Gauge,
+    pool_merge_wait_ns: Gauge,
+    /// Per-thread gauges (index 0 = the stepping thread itself).
+    worker_busy_ns: Vec<Gauge>,
+    worker_idle_ns: Vec<Gauge>,
+    worker_tasks: Vec<Gauge>,
+    /// Cumulative caller merge wait attributed per sharded stage: how
+    /// long the step loop idled behind the slowest worker after its own
+    /// task share drained. Exact (never sampled).
+    merge_wait_battery_step: Counter,
+    merge_wait_fleet_refresh: Counter,
+    merge_wait_view: Counter,
+    /// Cumulative per-shard busy ns for the routing pass, recorded on
+    /// profile-sampled steps only (same cadence as the stage profiler).
+    shard_step_ns: Vec<Counter>,
+    /// Load imbalance of the latest sampled routing pass — slowest
+    /// shard over mean shard, ×1000 (1000 = perfectly balanced) — and
+    /// its distribution across sampled steps.
+    shard_imbalance_x1000: Gauge,
+    shard_imbalance_hist: Histogram,
+}
+
+impl ExecObs {
+    /// Registers the `exec.*` family and switches the pool's metering
+    /// on. `shards` is the maximum routing shard count
+    /// (`min(banks, threads)`).
+    fn new(obs: &Obs, pool: &ExecPool, shards: usize) -> Self {
+        pool.set_metering(true);
+        let threads = pool.threads();
+        let this = Self {
+            pool_threads: obs.gauge("exec.pool.threads"),
+            pool_batches: obs.gauge("exec.pool.batches"),
+            pool_wall_ns: obs.gauge("exec.pool.wall_ns"),
+            pool_merge_wait_ns: obs.gauge("exec.pool.merge_wait_ns"),
+            worker_busy_ns: (0..threads)
+                .map(|i| obs.gauge(&format!("exec.worker.{i}.busy_ns")))
+                .collect(),
+            worker_idle_ns: (0..threads)
+                .map(|i| obs.gauge(&format!("exec.worker.{i}.idle_ns")))
+                .collect(),
+            worker_tasks: (0..threads)
+                .map(|i| obs.gauge(&format!("exec.worker.{i}.tasks")))
+                .collect(),
+            merge_wait_battery_step: obs.counter("exec.merge_wait.battery_step_ns"),
+            merge_wait_fleet_refresh: obs.counter("exec.merge_wait.fleet_refresh_ns"),
+            merge_wait_view: obs.counter("exec.merge_wait.view_ns"),
+            shard_step_ns: (0..shards)
+                .map(|s| obs.counter(&format!("exec.shard.{s}.step_ns")))
+                .collect(),
+            shard_imbalance_x1000: obs.gauge("exec.shard.imbalance_x1000"),
+            shard_imbalance_hist: obs.histogram("exec.shard.imbalance_x1000.hist"),
+        };
+        this.pool_threads.set(threads as f64);
+        this
+    }
+
+    /// Records one sampled routing pass's per-shard busy times and the
+    /// pass's load-imbalance ratio. `shard_ns[s]` is shard `s`'s busy
+    /// nanoseconds; a zero-sum pass (clock inert, or work too fast to
+    /// resolve) is skipped so the imbalance series only holds measured
+    /// passes.
+    fn record_shards(&self, shard_ns: &[u64]) {
+        let sum: u64 = shard_ns.iter().sum();
+        if sum == 0 {
+            return;
+        }
+        let mut max = 0u64;
+        for (s, &ns) in shard_ns.iter().enumerate() {
+            if let Some(counter) = self.shard_step_ns.get(s) {
+                counter.add(ns);
+            }
+            max = max.max(ns);
+        }
+        let imbalance_x1000 = (max as f64 * shard_ns.len() as f64 / sum as f64) * 1000.0;
+        self.shard_imbalance_x1000.set(imbalance_x1000.round());
+        self.shard_imbalance_hist.observe(imbalance_x1000 as u64);
+    }
+
+    /// Refreshes the pool-level and per-thread gauges from a stats
+    /// snapshot. Called at the trace cadence (the same cadence as the
+    /// engine's energy gauges), so a live scrape sees values at most one
+    /// sample interval old. Idle time is derived: metered batch wall
+    /// time minus the thread's own busy time.
+    fn refresh(&self, pool: &ExecPool) {
+        let stats = pool.stats();
+        self.pool_batches.set(stats.batches as f64);
+        self.pool_wall_ns.set(stats.wall_ns as f64);
+        self.pool_merge_wait_ns.set(stats.caller_wait_ns as f64);
+        for (i, t) in stats.threads_stats.iter().enumerate() {
+            if let Some(g) = self.worker_busy_ns.get(i) {
+                g.set(t.busy_ns as f64);
+            }
+            if let Some(g) = self.worker_idle_ns.get(i) {
+                g.set(stats.wall_ns.saturating_sub(t.busy_ns) as f64);
+            }
+            if let Some(g) = self.worker_tasks.get(i) {
+                g.set(t.tasks as f64);
+            }
+        }
+    }
+}
+
 /// Reusable hot-loop buffers for [`Simulation::route_power`].
 ///
 /// The step loop runs tens of thousands of times per simulated day; these
@@ -197,6 +316,9 @@ struct StepScratch {
     socs_acceptances: Vec<(Soc, Watts)>,
     /// Per-bank aggregate member demand (summed once, reused).
     bank_demands: Vec<Watts>,
+    /// Per-shard busy ns of the latest sharded routing pass (exec
+    /// observability; all zeros on unsampled steps).
+    shard_ns: Vec<u64>,
     /// Per-bank switcher decisions.
     routings: Vec<Routing>,
 }
@@ -304,6 +426,10 @@ pub struct Simulation {
     /// excluded from snapshots, and a resumed run may pick a different
     /// count freely.
     pool: Option<Arc<ExecPool>>,
+    /// `exec.*` metric handles; `Some` only when both a pool and an
+    /// enabled obs context exist. Like the pool itself, pure plumbing:
+    /// never snapshotted, never feeds back into simulated state.
+    exec_obs: Option<ExecObs>,
 }
 
 impl Simulation {
@@ -414,6 +540,12 @@ impl Simulation {
             0 | 1 => None,
             t => Some(Arc::new(ExecPool::new(t))),
         };
+        let exec_obs = match &pool {
+            Some(pool) if obs.is_enabled() => {
+                Some(ExecObs::new(&obs, pool, banks.min(pool.threads())))
+            }
+            _ => None,
+        };
         Ok(Self {
             banks,
             bank_of,
@@ -467,6 +599,7 @@ impl Simulation {
             scratch: StepScratch::default(),
             fleet,
             pool,
+            exec_obs,
             config,
         })
     }
@@ -1634,6 +1767,10 @@ impl Simulation {
                 })
                 .collect()
         });
+        if let Some(exec) = &self.exec_obs {
+            exec.merge_wait_fleet_refresh
+                .add(pool.last_caller_wait_ns());
+        }
         let mut scores = Vec::with_capacity(dirty_banks.len());
         for chunk in chunks {
             scores.extend(chunk?);
@@ -2228,8 +2365,10 @@ impl Simulation {
             drop(tasks);
             let mut battery_ns = 0u64;
             let mut b = 0usize;
+            self.scratch.shard_ns.clear();
             for (result, ns) in shard_out {
                 battery_ns += ns;
+                self.scratch.shard_ns.push(ns);
                 for (accepted_energy, fresh) in result? {
                     self.grid_charge_energy += accepted_energy;
                     if let Some(sample) = self.injector.observe_sample(b, fresh, self.now) {
@@ -2243,6 +2382,10 @@ impl Simulation {
             self.fleet.mark_all(DirtyReason::Battery);
             clock.skip();
             clock.add(Stage::BatteryStep, battery_ns);
+            if let Some(exec) = &self.exec_obs {
+                exec.record_shards(&self.scratch.shard_ns);
+                exec.merge_wait_battery_step.add(pool.last_caller_wait_ns());
+            }
             return Ok(());
         }
 
@@ -2451,9 +2594,11 @@ impl Simulation {
         let mut sw_total = 0u64;
         let mut bat_total = 0u64;
         let mut b = 0usize;
+        self.scratch.shard_ns.clear();
         for (result, sw_ns, bat_ns) in shard_out {
             sw_total += sw_ns;
             bat_total += bat_ns;
+            self.scratch.shard_ns.push(sw_ns + bat_ns);
             for o in result? {
                 if o.cutoff {
                     self.counters.battery_cutoffs.inc();
@@ -2500,6 +2645,10 @@ impl Simulation {
         clock.skip();
         clock.add(Stage::Switcher, sw_total);
         clock.add(Stage::BatteryStep, bat_total);
+        if let Some(exec) = &self.exec_obs {
+            exec.record_shards(&self.scratch.shard_ns);
+            exec.merge_wait_battery_step.add(pool.last_caller_wait_ns());
+        }
         Ok(())
     }
 
@@ -2582,6 +2731,9 @@ impl Simulation {
         let chunks: Vec<Result<Vec<NodeView>, SimError>> = pool.run(ranges.len(), |s| {
             ranges[s].clone().map(|i| self.node_view(i, tod)).collect()
         });
+        if let Some(exec) = &self.exec_obs {
+            exec.merge_wait_view.add(pool.last_caller_wait_ns());
+        }
         let mut nodes = Vec::with_capacity(n);
         for chunk in chunks {
             nodes.extend(chunk?);
@@ -2691,6 +2843,12 @@ impl Simulation {
                 agg.accumulate(&b.aging_breakdown());
             }
             self.aging_obs.record(&agg);
+        }
+        // Exec-pool gauges refresh at the same cadence, so a live
+        // scrape (`console serve`) sees pool state at most one sample
+        // interval old.
+        if let (Some(exec), Some(pool)) = (&self.exec_obs, &self.pool) {
+            exec.refresh(pool);
         }
         Ok(())
     }

@@ -10,6 +10,7 @@
 //! *different* thread count.
 
 use baat_battery::Chemistry;
+use baat_obs::Obs;
 use baat_sim::{
     BatteryTopology, ChemistrySpec, FaultMix, FaultPlan, Policy, RoundRobinPolicy, SimConfig,
     SimReport, SimSnapshot, Simulation,
@@ -87,6 +88,67 @@ fn shard_count_invariance_matrix() {
                 );
             }
         }
+    }
+}
+
+/// Observed runs are thread-invariant too, including the metric
+/// export: every metric except the `exec.*` pool-introspection family
+/// (wall-clock figures, registered only when a pool exists) is
+/// byte-identical across 1/2/8 threads, and sharded runs do expose the
+/// `exec.*` family while sequential runs register none of it — so the
+/// CI OpenMetrics golden stays byte-stable at any `--threads`.
+#[test]
+fn observed_runs_export_identical_metrics_at_any_thread_count() {
+    let run_observed = |threads: usize| {
+        let config = matrix_config(Chemistry::LeadAcid, true, threads);
+        let steps = total_steps(&config);
+        let obs = Obs::enabled();
+        let mut sim = Simulation::with_obs(config, obs.clone()).expect("sim builds");
+        let mut policy = RoundRobinPolicy::new();
+        sim.run_steps(&mut policy, steps).expect("run completes");
+        (sim.state_hash(), obs)
+    };
+    let non_exec_metrics = |obs: &Obs| -> String {
+        obs.metrics_jsonl()
+            .lines()
+            .filter(|l| !l.contains("\"name\":\"exec."))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (ref_hash, ref_obs) = run_observed(1);
+    assert!(
+        !ref_obs
+            .snapshot()
+            .iter()
+            .any(|s| s.name.starts_with("exec.")),
+        "a sequential run must register no exec.* metrics"
+    );
+    let reference = non_exec_metrics(&ref_obs);
+    for threads in [2, 8] {
+        let (hash, obs) = run_observed(threads);
+        assert_eq!(hash, ref_hash, "state hash diverged at {threads} threads");
+        assert_eq!(
+            non_exec_metrics(&obs),
+            reference,
+            "metric export (minus exec.*) diverged at {threads} threads"
+        );
+        let snapshot = obs.snapshot();
+        for required in [
+            "exec.pool.threads",
+            "exec.pool.batches",
+            "exec.pool.wall_ns",
+        ] {
+            assert!(
+                snapshot.iter().any(|s| s.name == required),
+                "sharded run at {threads} threads is missing {required}"
+            );
+        }
+        assert!(
+            snapshot
+                .iter()
+                .any(|s| s.name.starts_with("exec.worker.") && s.name.ends_with(".busy_ns")),
+            "sharded run at {threads} threads exports no per-worker meters"
+        );
     }
 }
 
